@@ -1,0 +1,463 @@
+(* Command-line front-end for Mira.
+
+   `mira analyze prog.mc --python`     generate the Python model
+   `mira eval prog.mc -f foo -p n=100` evaluate a function's model
+   `mira dot prog.mc --binary`         AST dumps (Figures 2 and 3)
+   `mira compile/disasm`               the object-file path
+   `mira coverage --corpus`            Table I
+   `mira validate --app stream`        static vs dynamic comparison
+   `mira corpus-dump DIR`              write the bundled corpus *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let level_conv =
+  let parse = function
+    | "O0" | "0" -> Ok Mira_codegen.Codegen.O0
+    | "O1" | "1" -> Ok Mira_codegen.Codegen.O1
+    | "O2" | "2" -> Ok Mira_codegen.Codegen.O2
+    | s -> Error (`Msg (Printf.sprintf "unknown optimization level %S" s))
+  in
+  let print ppf = function
+    | Mira_codegen.Codegen.O0 -> Format.pp_print_string ppf "O0"
+    | Mira_codegen.Codegen.O1 -> Format.pp_print_string ppf "O1"
+    | Mira_codegen.Codegen.O2 -> Format.pp_print_string ppf "O2"
+  in
+  Arg.conv (parse, print)
+
+let level_arg =
+  Arg.(
+    value
+    & opt level_conv Mira_codegen.Codegen.O1
+    & info [ "O"; "level" ] ~docv:"LEVEL" ~doc:"Optimization level (O0, O1, O2).")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-C source file.")
+
+let arch_conv =
+  let parse = function
+    | "arya" -> Ok Mira_arch.Archdesc.arya
+    | "frankenstein" -> Ok Mira_arch.Archdesc.frankenstein
+    | path when Sys.file_exists path -> (
+        try Ok (Mira_arch.Archdesc.load path)
+        with Mira_arch.Archdesc.Parse_error (m, l) ->
+          Error (`Msg (Printf.sprintf "%s:%d: %s" path l m)))
+    | s -> Error (`Msg (Printf.sprintf "unknown architecture %S" s))
+  in
+  let print ppf (a : Mira_arch.Archdesc.t) = Format.pp_print_string ppf a.name in
+  Arg.conv (parse, print)
+
+let arch_arg =
+  Arg.(
+    value
+    & opt arch_conv Mira_arch.Archdesc.frankenstein
+    & info [ "arch" ] ~docv:"ARCH"
+        ~doc:"Architecture description: arya, frankenstein, or a file path.")
+
+let handle_errors f =
+  try f () with
+  | Mira_srclang.Lexer.Error (m, p) ->
+      Printf.eprintf "lex error at %d:%d: %s\n" p.line p.col m;
+      exit 1
+  | Mira_srclang.Parser.Error (m, p) ->
+      Printf.eprintf "parse error at %d:%d: %s\n" p.line p.col m;
+      exit 1
+  | Mira_srclang.Annot.Error m ->
+      Printf.eprintf "annotation error: %s\n" m;
+      exit 1
+  | Mira_codegen.Codegen.Error (m, p) ->
+      Printf.eprintf "codegen error at %d:%d: %s\n" p.line p.col m;
+      exit 1
+  | Failure m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 1
+  | Mira_core.Model_eval.Missing_parameter (f, p) ->
+      Printf.eprintf
+        "error: function %s needs a value for parameter %s (use -p %s=...)\n" f
+        p p;
+      exit 1
+
+(* ---------- parse ---------- *)
+
+let parse_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let ast = Mira_srclang.Parser.parse (read_file file) in
+        match Mira_srclang.Typecheck.check ast with
+        | Ok () ->
+            Printf.printf "%s: %d function(s), %d class(es), %d extern(s)\n"
+              file
+              (List.length ast.funcs)
+              (List.length ast.classes)
+              (List.length ast.externs);
+            List.iter
+              (fun (f : Mira_srclang.Ast.func) ->
+                Printf.printf "  %s %s(%d args)\n"
+                  (Mira_srclang.Ast.ty_to_string f.fret)
+                  (match f.fclass with
+                  | Some c -> c ^ "::" ^ f.fname
+                  | None -> f.fname)
+                  (List.length f.fparams))
+              (Mira_srclang.Ast.all_functions ast)
+        | Error es ->
+            List.iter
+              (fun e ->
+                Printf.eprintf "%s\n"
+                  (Format.asprintf "%a" Mira_srclang.Typecheck.pp_error e))
+              es;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse and typecheck a mini-C source file.")
+    Term.(const run $ file_arg)
+
+(* ---------- dot ---------- *)
+
+let dot_cmd =
+  let run file binary level =
+    handle_errors (fun () ->
+        let m = Mira_core.Mira.analyze ~level ~source_name:file (read_file file) in
+        print_string
+          (if binary then Mira_core.Mira.binary_dot m
+           else Mira_core.Mira.source_dot m))
+  in
+  let binary =
+    Arg.(value & flag & info [ "binary" ] ~doc:"Dump the binary AST (Figure 3) instead of the source AST (Figure 2).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a Graphviz rendering of the source or binary AST.")
+    Term.(const run $ file_arg $ binary $ level_arg)
+
+(* ---------- compile / disasm ---------- *)
+
+let compile_cmd =
+  let run file out level =
+    handle_errors (fun () ->
+        let obj = Mira_codegen.Codegen.compile_to_object ~level (read_file file) in
+        write_file out obj;
+        List.iter
+          (fun (name, size) -> Printf.printf "%-14s %6d bytes\n" name size)
+          (Mira_visa.Objfile.section_sizes obj))
+  in
+  let out =
+    Arg.(value & opt string "a.mobj" & info [ "o" ] ~docv:"OUT" ~doc:"Output object file.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile mini-C to a virtual-ISA object file.")
+    Term.(const run $ file_arg $ out $ level_arg)
+
+let disasm_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let bast = Mira_visa.Binast.of_object (read_file file) in
+        Format.printf "%a@." Mira_visa.Binast.pp bast)
+  in
+  let obj =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OBJ" ~doc:"Object file.")
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble an object file (binary AST listing).")
+    Term.(const run $ obj)
+
+(* ---------- analyze ---------- *)
+
+let analyze_cmd =
+  let run file python level =
+    handle_errors (fun () ->
+        let m = Mira_core.Mira.analyze ~level ~source_name:file (read_file file) in
+        if python then print_string (Mira_core.Mira.python_model m)
+        else begin
+          Printf.printf "model for %s (%d function(s))\n" file
+            (List.length m.model.functions);
+          List.iter
+            (fun (fm : Mira_core.Model_ir.fmodel) ->
+              Printf.printf "  %s(%s)\n" fm.mf_name
+                (String.concat ", " fm.mf_params))
+            m.model.functions;
+          match Mira_core.Mira.warnings m with
+          | [] -> ()
+          | ws ->
+              print_endline "warnings:";
+              List.iter (fun (f, w) -> Printf.printf "  [%s] %s\n" f w) ws
+        end)
+  in
+  let python =
+    Arg.(value & flag & info [ "python" ] ~doc:"Print the generated Python model (Figure 5).")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Generate a performance model from mini-C source.")
+    Term.(const run $ file_arg $ python $ level_arg)
+
+(* ---------- eval ---------- *)
+
+let params_arg =
+  let kv_conv =
+    let parse s =
+      match String.index_opt s '=' with
+      | Some i -> (
+          let k = String.sub s 0 i in
+          let v = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt v with
+          | Some n -> Ok (k, n)
+          | None -> Error (`Msg (Printf.sprintf "parameter %S is not an integer" s)))
+      | None -> Error (`Msg (Printf.sprintf "expected name=value, got %S" s))
+    in
+    let print ppf (k, v) = Format.fprintf ppf "%s=%d" k v in
+    Arg.conv (parse, print)
+  in
+  Arg.(value & opt_all kv_conv [] & info [ "p"; "param" ] ~docv:"NAME=VALUE" ~doc:"Model parameter binding (repeatable).")
+
+let eval_cmd =
+  let run file fname env arch level via_python =
+    handle_errors (fun () ->
+        let m = Mira_core.Mira.analyze ~level ~source_name:file (read_file file) in
+        let counts =
+          if via_python then begin
+            (* evaluate the emitted Python artifact itself, through the
+               bundled mini-Python interpreter *)
+            let call = Mira_minipy.Minipy.run (Mira_core.Mira.python_model m) in
+            let fm = Mira_core.Model_ir.find_exn m.model fname in
+            let args =
+              List.map
+                (fun p ->
+                  match List.assoc_opt p env with
+                  | Some v -> Mira_minipy.Minipy.Int v
+                  | None ->
+                      Printf.eprintf
+                        "error: parameter %s required (use -p %s=...)\n" p p;
+                      exit 1)
+                fm.mf_params
+            in
+            Mira_minipy.Minipy.dict_counts
+              (call (Mira_core.Model_ir.python_name fm, args))
+          end
+          else Mira_core.Mira.counts m ~fname ~env
+        in
+        print_string (Mira_core.Report.table2 arch counts);
+        Printf.printf "\nFP instructions (FP_INS): %s\n"
+          (Mira_core.Report.scientific (Mira_core.Model_eval.fpi counts));
+        Printf.printf "arithmetic intensity:     %.3f\n"
+          (Mira_core.Report.arithmetic_intensity arch counts);
+        Printf.printf "roofline estimate:        %.1f GFLOP/s attainable on %s\n"
+          (Mira_core.Report.roofline_gflops arch counts)
+          arch.name)
+  in
+  let fname =
+    Arg.(required & opt (some string) None & info [ "f"; "function" ] ~docv:"FN" ~doc:"Function to evaluate (mangled name).")
+  in
+  let via_python =
+    Arg.(value & flag & info [ "via-python" ] ~doc:"Evaluate by executing the emitted Python model in the bundled interpreter instead of the internal evaluator.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a generated model and print categorized counts (Table II).")
+    Term.(const run $ file_arg $ fname $ params_arg $ arch_arg $ level_arg $ via_python)
+
+(* ---------- predict ---------- *)
+
+let predict_cmd =
+  let run file fname env archs level =
+    handle_errors (fun () ->
+        let m = Mira_core.Mira.analyze ~level ~source_name:file (read_file file) in
+        let counts = Mira_core.Mira.counts m ~fname ~env in
+        let archs =
+          if archs = [] then
+            [ Mira_arch.Archdesc.arya; Mira_arch.Archdesc.frankenstein ]
+          else archs
+        in
+        let ranked = Mira_core.Predict.compare_architectures archs counts in
+        List.iteri
+          (fun i (_, p) ->
+            if i > 0 then print_newline ();
+            print_endline (Mira_core.Predict.to_string p))
+          ranked;
+        match ranked with
+        | (best, pb) :: (_ :: _ as rest) ->
+            let worst, pw = List.nth rest (List.length rest - 1) in
+            Printf.printf "\n%s is %.2fx faster than %s for this workload\n"
+              best (pw.Mira_core.Predict.seconds /. pb.Mira_core.Predict.seconds) worst
+        | _ -> ())
+  in
+  let fname =
+    Arg.(required & opt (some string) None & info [ "f"; "function" ] ~docv:"FN" ~doc:"Function to predict (mangled name).")
+  in
+  let archs =
+    Arg.(value & opt_all arch_conv [] & info [ "arch" ] ~docv:"ARCH" ~doc:"Architecture(s) to compare (repeatable; default: arya and frankenstein).")
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Predict time/throughput on one or more architectures (section III-C6).")
+    Term.(const run $ file_arg $ fname $ params_arg $ archs $ level_arg)
+
+(* ---------- profile ---------- *)
+
+let profile_cmd =
+  let run app =
+    handle_errors (fun () ->
+        let vm =
+          match app with
+          | "stream" -> Mira_corpus.Corpus.run_stream ~n:200_000 ~ntimes:10
+          | "dgemm" -> Mira_corpus.Corpus.run_dgemm ~n:96
+          | "minife" ->
+              (Mira_corpus.Corpus.run_minife ~nx:10 ~ny:10 ~nz:10 ~max_iter:30)
+                .vm
+          | other ->
+              Printf.eprintf "unknown app %S (stream, dgemm, minife)\n" other;
+              exit 1
+        in
+        Printf.printf "%-22s %8s %14s %14s %12s\n" "function" "calls"
+          "incl. instrs" "self instrs" "incl. FPI";
+        List.iter
+          (fun (name, (p : Mira_vm.Vm.profile)) ->
+            let total sel =
+              List.fold_left (fun a (_, c) -> a + c) 0 sel
+            in
+            let fpi =
+              List.fold_left
+                (fun a mn -> a + Mira_vm.Vm.count_of p mn)
+                0 Mira_core.Model_eval.fp_mnemonics
+            in
+            Printf.printf "%-22s %8d %14d %14d %12d\n" name p.calls
+              (total p.inclusive) (total p.exclusive) fpi)
+          (Mira_vm.Vm.profiles vm))
+  in
+  let app_arg =
+    Arg.(value & opt string "minife" & info [ "app" ] ~docv:"APP" ~doc:"Workload: stream, dgemm or minife.")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Run a corpus workload in the VM and print a TAU-style profile.")
+    Term.(const run $ app_arg)
+
+(* ---------- coverage ---------- *)
+
+let coverage_cmd =
+  let run files use_corpus =
+    handle_errors (fun () ->
+        let sources =
+          if use_corpus then Mira_corpus.Corpus.all
+          else
+            List.map (fun f -> (Filename.remove_extension (Filename.basename f), read_file f)) files
+        in
+        let rows =
+          List.map
+            (fun (name, src) ->
+              Mira_core.Coverage.of_program ~name (Mira_srclang.Parser.parse src))
+            sources
+        in
+        print_string (Mira_core.Coverage.table rows))
+  in
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILES" ~doc:"mini-C sources.")
+  in
+  let use_corpus =
+    Arg.(value & flag & info [ "corpus" ] ~doc:"Analyze the bundled corpus (Table I).")
+  in
+  Cmd.v
+    (Cmd.info "coverage" ~doc:"Loop-coverage survey of programs (Table I).")
+    Term.(const run $ files $ use_corpus)
+
+(* ---------- validate ---------- *)
+
+let validate_cmd =
+  let run app arch =
+    handle_errors (fun () ->
+        let report name fname env vm =
+          let src = Option.get (Mira_corpus.Corpus.find name) in
+          let m = Mira_core.Mira.analyze ~source_name:name src in
+          let static = Mira_core.Mira.fpi m ~fname ~env in
+          match Mira_baselines.Tau.measure ~arch vm "FP_INS" fname with
+          | Error e ->
+              Format.printf "%s %s: static FPI = %s; dynamic: %a@." name fname
+                (Mira_core.Report.scientific static)
+                Mira_baselines.Tau.pp_error e
+          | Ok meas ->
+              let err =
+                if meas.per_call = 0.0 then 0.0
+                else
+                  Float.abs (meas.per_call -. static) /. meas.per_call *. 100.0
+              in
+              Format.printf "%-10s %-18s TAU %-12s Mira %-12s error %.2f%%@."
+                name fname
+                (Mira_core.Report.scientific meas.per_call)
+                (Mira_core.Report.scientific static)
+                err
+        in
+        match app with
+        | "stream" ->
+            let n = 500_000 and ntimes = 10 in
+            let vm = Mira_corpus.Corpus.run_stream ~n ~ntimes in
+            report "stream" "stream_driver" [ ("n", n); ("ntimes", ntimes) ] vm
+        | "dgemm" ->
+            let n = 96 in
+            let vm = Mira_corpus.Corpus.run_dgemm ~n in
+            report "dgemm" "dgemm" [ ("n", n) ] vm
+        | "minife" ->
+            let nx, ny, nz = (10, 10, 10) in
+            let max_iter = 30 in
+            let run = Mira_corpus.Corpus.run_minife ~nx ~ny ~nz ~max_iter in
+            let nrows = run.nrows in
+            report "minife" "waxpby" [ ("n", nrows) ] run.vm;
+            report "minife" "matvec_std::apply" [ ("nrows", nrows) ] run.vm;
+            report "minife" "cg_solve"
+              [ ("nrows", nrows); ("max_iter", max_iter) ]
+              run.vm
+        | other ->
+            Printf.eprintf "unknown app %S (stream, dgemm, minife)\n" other;
+            exit 1)
+  in
+  let app_arg =
+    Arg.(value & opt string "stream" & info [ "app" ] ~docv:"APP" ~doc:"Workload: stream, dgemm or minife.")
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Compare static predictions with dynamic measurement (Tables III-V).")
+    Term.(const run $ app_arg $ arch_arg)
+
+(* ---------- corpus-dump ---------- *)
+
+let corpus_dump_cmd =
+  let run dir =
+    Mira_corpus.Corpus.dump ~dir;
+    Printf.printf "wrote %d programs to %s/\n"
+      (List.length Mira_corpus.Corpus.all)
+      dir
+  in
+  let dir =
+    Arg.(value & pos 0 string "corpus" & info [] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "corpus-dump" ~doc:"Write the bundled mini-C corpus to disk.")
+    Term.(const run $ dir)
+
+(* ---------- arch ---------- *)
+
+let arch_cmd =
+  let run arch =
+    print_string (Mira_arch.Archdesc.to_text arch);
+    match Mira_arch.Archdesc.validate arch with
+    | Ok () -> ()
+    | Error es ->
+        List.iter (Printf.eprintf "invalid: %s\n") es;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "arch" ~doc:"Print (and validate) an architecture description.")
+    Term.(const run $ arch_arg)
+
+let () =
+  let doc = "Mira: static performance analysis for mini-C programs" in
+  let info = Cmd.info "mira" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            parse_cmd; dot_cmd; compile_cmd; disasm_cmd; analyze_cmd; eval_cmd;
+            predict_cmd; profile_cmd; coverage_cmd; validate_cmd;
+            corpus_dump_cmd; arch_cmd;
+          ]))

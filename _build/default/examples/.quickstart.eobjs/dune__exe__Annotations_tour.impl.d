@@ -1,0 +1,1 @@
+examples/annotations_tour.ml: Count Domain Expr List Mira_core Mira_poly Mira_symexpr Plot Poly Printf String

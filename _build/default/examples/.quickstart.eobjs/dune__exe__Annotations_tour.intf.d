@@ -1,0 +1,1 @@
+examples/annotations_tour.mli:

@@ -1,0 +1,1 @@
+examples/minife_study.ml: Float List Mira_arch Mira_core Mira_corpus Mira_vm Option Printf

@@ -1,0 +1,1 @@
+examples/minife_study.mli:

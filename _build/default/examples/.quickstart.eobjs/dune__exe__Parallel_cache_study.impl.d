@@ -1,0 +1,1 @@
+examples/parallel_cache_study.ml: Array List Mira_arch Mira_core Mira_vm Option Printf

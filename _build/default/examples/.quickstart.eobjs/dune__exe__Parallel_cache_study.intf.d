@@ -1,0 +1,1 @@
+examples/parallel_cache_study.mli:

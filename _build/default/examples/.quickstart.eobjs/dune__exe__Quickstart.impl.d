@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Mira_core Mira_vm Option Printf

@@ -1,0 +1,1 @@
+examples/stream_roofline.ml: Filename Format List Mira_arch Mira_baselines Mira_core Mira_corpus Printf Sys

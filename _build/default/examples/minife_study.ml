@@ -1,0 +1,70 @@
+(* The paper's miniFE study (§IV): per-function validation against
+   dynamic measurement at a VM-friendly size, categorized instruction
+   counts for cg_solve (Table II), the instruction distribution
+   (Figure 6), and model-only extrapolation to the paper's grids.
+
+   Run with: dune exec examples/minife_study.exe *)
+
+let fp_count vm fname =
+  match Mira_vm.Vm.profile_of vm fname with
+  | None -> nan
+  | Some p ->
+      List.fold_left
+        (fun acc mn -> acc +. float_of_int (Mira_vm.Vm.count_of p mn))
+        0.0 Mira_core.Model_eval.fp_mnemonics
+
+let () =
+  let m =
+    Mira_core.Mira.analyze ~source_name:"minife.mc" Mira_corpus.Corpus.minife
+  in
+
+  (* Validation at a small grid (Table V methodology). *)
+  let nx, ny, nz = (8, 8, 8) in
+  let max_iter = 25 in
+  let run = Mira_corpus.Corpus.run_minife ~nx ~ny ~nz ~max_iter in
+  let nrows = run.nrows in
+  Printf.printf "miniFE %dx%dx%d, %d CG iterations (residual %.2e)\n\n" nx ny
+    nz max_iter run.final_norm;
+  Printf.printf "%-22s %12s %12s %8s\n" "function" "TAU (dyn)" "Mira (static)"
+    "error";
+  List.iter
+    (fun (fname, env) ->
+      let static = Mira_core.Mira.fpi m ~fname ~env in
+      let p = Option.get (Mira_vm.Vm.profile_of run.vm fname) in
+      let dyn = fp_count run.vm fname /. float_of_int p.calls in
+      let static_str = Mira_core.Report.scientific static in
+      Printf.printf "%-22s %12s %12s %7.2f%%\n" fname
+        (Mira_core.Report.scientific dyn)
+        static_str
+        (Float.abs (dyn -. static) /. dyn *. 100.0))
+    [
+      ("waxpby", [ ("n", nrows) ]);
+      ("matvec_std::apply", [ ("nrows", nrows) ]);
+      ("cg_solve", [ ("nrows", nrows); ("max_iter", max_iter) ]);
+    ];
+
+  (* Model-only extrapolation to the paper's grids — no execution. *)
+  print_endline "\nmodel-only FPI at the paper's sizes (200 iterations):";
+  List.iter
+    (fun (nx, ny, nz) ->
+      let nrows = nx * ny * nz in
+      let fpi =
+        Mira_core.Mira.fpi m ~fname:"cg_solve"
+          ~env:[ ("nrows", nrows); ("max_iter", 200) ]
+      in
+      Printf.printf "  %2dx%2dx%2d  cg_solve FPI = %s\n" nx ny nz
+        (Mira_core.Report.scientific fpi))
+    [ (30, 30, 30); (35, 40, 45) ];
+
+  (* Table II + Figure 6 for cg_solve. *)
+  let arch = Mira_arch.Archdesc.arya in
+  let counts =
+    Mira_core.Mira.counts m ~fname:"cg_solve"
+      ~env:[ ("nrows", 27_000); ("max_iter", 200) ]
+  in
+  print_endline "\ncategorized instruction counts of cg_solve (Table II):";
+  print_string (Mira_core.Report.table2 arch counts);
+  print_endline "\ninstruction distribution (Figure 6):";
+  print_string (Mira_core.Report.distribution arch counts);
+  Printf.printf "\ninstruction-based arithmetic intensity: %.2f (paper: 0.53)\n"
+    (Mira_core.Report.arithmetic_intensity arch counts)

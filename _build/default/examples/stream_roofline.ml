@@ -1,0 +1,83 @@
+(* STREAM across architectures: evaluate the parametric STREAM model
+   at the paper's sizes, then combine it with architecture description
+   files — including one written to disk and loaded back — for
+   roofline-style estimates.  Also shows the Haswell FP_INS story:
+   dynamic FP measurement is impossible on `arya`, static analysis
+   still delivers (paper §IV-D1).
+
+   Run with: dune exec examples/stream_roofline.exe *)
+
+let () =
+  let m =
+    Mira_core.Mira.analyze ~source_name:"stream.mc" Mira_corpus.Corpus.stream
+  in
+
+  (* Table III shape: the model evaluated at the paper's sizes. *)
+  print_endline "STREAM FPI (model, ntimes = 10):";
+  List.iter
+    (fun n ->
+      let fpi =
+        Mira_core.Mira.fpi m ~fname:"stream_driver"
+          ~env:[ ("n", n); ("ntimes", 10) ]
+      in
+      Printf.printf "  n = %-10d FPI = %s\n" n (Mira_core.Report.scientific fpi))
+    [ 2_000_000; 50_000_000; 100_000_000 ];
+
+  (* Per-kernel arithmetic intensity and roofline on both machines. *)
+  let arch_list =
+    [ Mira_arch.Archdesc.arya; Mira_arch.Archdesc.frankenstein ]
+  in
+  List.iter
+    (fun (arch : Mira_arch.Archdesc.t) ->
+      Printf.printf "\narchitecture %s (%d cores, %d-bit vectors):\n" arch.name
+        arch.cores arch.vector_bits;
+      List.iter
+        (fun kernel ->
+          let counts =
+            Mira_core.Mira.counts m ~fname:kernel ~env:[ ("n", 1_000_000) ]
+          in
+          Printf.printf "  %-14s AI = %.3f   attainable %.1f GFLOP/s\n" kernel
+            (Mira_core.Report.arithmetic_intensity arch counts)
+            (Mira_core.Report.roofline_gflops arch counts))
+        [ "stream_copy"; "stream_scale"; "stream_add"; "stream_triad" ])
+    arch_list;
+
+  (* A custom description file round-trips through disk. *)
+  let custom =
+    {|arch my_cluster_node
+cores 64
+cache_line 64
+vector_bits 512
+clock_ghz 2.0
+peak_gflops 4096
+mem_gbps 300
+|}
+  in
+  let path = Filename.temp_file "mira_arch" ".desc" in
+  let oc = open_out path in
+  output_string oc custom;
+  close_out oc;
+  let arch = Mira_arch.Archdesc.load path in
+  Sys.remove path;
+  let counts =
+    Mira_core.Mira.counts m ~fname:"stream_triad" ~env:[ ("n", 1_000_000) ]
+  in
+  Printf.printf "\ncustom %s: triad attainable %.1f GFLOP/s\n" arch.name
+    (Mira_core.Report.roofline_gflops arch counts);
+
+  (* The Haswell counter story: dynamic FP_INS is unavailable on arya,
+     so the static model is the only source of FP counts there. *)
+  let vm = Mira_corpus.Corpus.run_stream ~n:10_000 ~ntimes:2 in
+  (match
+     Mira_baselines.Tau.measure ~arch:Mira_arch.Archdesc.arya vm "FP_INS"
+       "stream_driver"
+   with
+  | Error e ->
+      Format.printf "\ndynamic on arya: %a@." Mira_baselines.Tau.pp_error e
+  | Ok _ -> print_endline "unexpected: arya reported FP_INS");
+  let static =
+    Mira_core.Mira.fpi m ~fname:"stream_driver"
+      ~env:[ ("n", 10_000); ("ntimes", 2) ]
+  in
+  Printf.printf "static model still answers: FPI = %s\n"
+    (Mira_core.Report.scientific static)

@@ -1,0 +1,1 @@
+lib/arch/archdesc.ml: Buffer Fun Hashtbl List Mira_visa Option Printf String

@@ -1,0 +1,339 @@
+type t = {
+  name : string;
+  cores : int;
+  cache_line_bytes : int;
+  vector_bits : int;
+  clock_ghz : float;
+  peak_gflops : float;
+  mem_gbps : float;
+  unavailable_counters : string list;
+  categories : (string * string list) list;
+  groups : (string * string list) list;
+  costs : (string * float) list;  (* fine category -> issue cost in cycles *)
+}
+
+exception Parse_error of string * int
+
+(* The default 64-category table.  Our virtual ISA occupies a subset;
+   the remaining categories are the x86 families a real description
+   file would carry (x87, MMX, AVX, string ops, ...), listed so the
+   file genuinely describes 64 categories as in the paper. *)
+let default_categories =
+  [
+    ("int_arith_add", [ "addq"; "incq" ]);
+    ("int_arith_sub", [ "subq"; "decq"; "negq" ]);
+    ("int_arith_mul", [ "imulq" ]);
+    ("int_arith_div", [ "idivq"; "iremq" ]);
+    ("int_logic", [ "andq"; "orq"; "xorq" ]);
+    ("int_shift", [ "shlq"; "sarq" ]);
+    ("int_compare", [ "cmpq"; "testq" ]);
+    ("int_mov", [ "movq" ]);
+    ("int_push_pop", []);
+    ("jump_uncond", [ "jmp" ]);
+    ("jump_cond", [ "je"; "jne"; "jl"; "jle"; "jg"; "jge" ]);
+    ("call_ret", [ "call"; "ret" ]);
+    ("lea", [ "leaq" ]);
+    ("sse2_mov_scalar", [ "movsd" ]);
+    ("sse2_mov_packed", [ "movapd" ]);
+    ("sse2_logical", [ "xorpd" ]);
+    ("sse2_arith_scalar", [ "addsd"; "subsd"; "mulsd"; "divsd" ]);
+    ("sse2_arith_packed", [ "addpd"; "subpd"; "mulpd"; "divpd" ]);
+    ("sse2_sqrt", [ "sqrtsd" ]);
+    ("sse2_compare", [ "ucomisd" ]);
+    ("sse2_convert", [ "cvtsi2sd"; "cvttsd2si" ]);
+    ("nop", [ "nop" ]);
+    ("system_alloc", [ "alloci"; "allocf" ]);
+    (* x86 families without counterparts in the virtual ISA *)
+    ("int_arith_adc", []); ("int_arith_sbb", []); ("int_mul_high", []);
+    ("int_bit_test", []); ("int_bit_scan", []); ("int_rotate", []);
+    ("int_cmov", []); ("int_setcc", []); ("int_xchg", []);
+    ("int_string", []); ("int_io", []); ("flag_ops", []);
+    ("segment_ops", []); ("x87_load", []); ("x87_store", []);
+    ("x87_arith", []); ("x87_compare", []); ("x87_transcendental", []);
+    ("x87_control", []); ("mmx_mov", []); ("mmx_arith", []);
+    ("mmx_pack", []); ("mmx_logical", []); ("sse_mov", []);
+    ("sse_arith", []); ("sse_compare", []); ("sse_convert", []);
+    ("sse_shuffle", []); ("sse2_shuffle", []); ("sse2_int_simd", []);
+    ("sse3", []); ("ssse3", []); ("sse41", []); ("sse42", []);
+    ("avx_mov", []); ("avx_arith", []); ("avx_fma", []); ("avx2", []);
+    ("aes_ni", []); ("crypto_sha", []); ("system_call", []);
+    ("system_privileged", []); ("prefetch", []); ("fence", []);
+    ("atomic", []);
+  ]
+
+let () = assert (List.length default_categories >= 64)
+
+(* Reciprocal-throughput-style issue costs in cycles per fine
+   category; categories not listed cost [default_cost]. *)
+let default_cost = 1.0
+
+let default_costs =
+  [
+    ("int_arith_mul", 3.0); ("int_arith_div", 22.0);
+    ("sse2_arith_scalar", 2.0); ("sse2_arith_packed", 2.0);
+    ("sse2_sqrt", 16.0); ("sse2_compare", 2.0); ("sse2_convert", 4.0);
+    ("sse2_mov_scalar", 3.0); ("sse2_mov_packed", 3.0);
+    ("int_mov", 1.0); ("jump_cond", 1.5); ("call_ret", 2.0);
+    ("system_alloc", 50.0);
+  ]
+
+let default_groups =
+  [
+    ( "Integer arithmetic instruction",
+      [ "int_arith_add"; "int_arith_sub"; "int_arith_mul"; "int_arith_div";
+        "int_logic"; "int_shift"; "int_compare" ] );
+    ( "Integer control transfer instruction",
+      [ "jump_uncond"; "jump_cond"; "call_ret" ] );
+    ("Integer data transfer instruction", [ "int_mov"; "int_push_pop" ]);
+    ( "SSE2 data movement instruction",
+      [ "sse2_mov_scalar"; "sse2_mov_packed"; "sse2_logical" ] );
+    ( "SSE2 packed arithmetic instruction",
+      [ "sse2_arith_scalar"; "sse2_arith_packed"; "sse2_sqrt"; "sse2_compare" ] );
+    ("64-bit mode instruction", [ "lea"; "sse2_convert" ]);
+    ("Misc instruction", [ "nop"; "system_alloc" ]);
+  ]
+
+let make ~name ~cores ~cache_line_bytes ~vector_bits ~clock_ghz ~peak_gflops
+    ~mem_gbps ~unavailable_counters =
+  {
+    name;
+    cores;
+    cache_line_bytes;
+    vector_bits;
+    clock_ghz;
+    peak_gflops;
+    mem_gbps;
+    unavailable_counters;
+    categories = default_categories;
+    groups = default_groups;
+    costs = default_costs;
+  }
+
+(* The two evaluation machines of §IV-A. *)
+let arya =
+  make ~name:"arya" ~cores:36 ~cache_line_bytes:64 ~vector_bits:256
+    ~clock_ghz:2.3 ~peak_gflops:1324.8 ~mem_gbps:68.0
+    ~unavailable_counters:[ "FP_INS"; "FP_OPS" ]
+
+let frankenstein =
+  make ~name:"frankenstein" ~cores:8 ~cache_line_bytes:64 ~vector_bits:128
+    ~clock_ghz:2.4 ~peak_gflops:76.8 ~mem_gbps:25.6 ~unavailable_counters:[]
+
+(* ---------- text format ---------- *)
+
+let split_words s =
+  (* whitespace-separated tokens; double quotes group words *)
+  let n = String.length s in
+  let toks = ref [] and buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      toks := Buffer.contents buf :: !toks;
+      Buffer.clear buf
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | ' ' | '\t' -> flush ()
+    | '"' ->
+        incr i;
+        while !i < n && s.[!i] <> '"' do
+          Buffer.add_char buf s.[!i];
+          incr i
+        done;
+        flush ()
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !toks
+
+let parse text =
+  let name = ref "unnamed" in
+  let cores = ref 1 and cache_line = ref 64 and vector_bits = ref 128 in
+  let clock = ref 1.0 and peak = ref 0.0 and gbps = ref 0.0 in
+  let no_counters = ref [] in
+  let cats = ref [] and groups = ref [] in
+  let costs = ref [] in
+  let explicit_cats = ref false and explicit_groups = ref false in
+  let explicit_costs = ref false in
+  List.iteri
+    (fun lineno line ->
+      let lineno = lineno + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match split_words line with
+      | [] -> ()
+      | directive :: args -> (
+          let int1 () =
+            match args with
+            | [ a ] -> (
+                match int_of_string_opt a with
+                | Some v -> v
+                | None ->
+                    raise (Parse_error (directive ^ " expects an integer", lineno)))
+            | _ -> raise (Parse_error (directive ^ " expects one argument", lineno))
+          in
+          let float1 () =
+            match args with
+            | [ a ] -> (
+                match float_of_string_opt a with
+                | Some v -> v
+                | None ->
+                    raise (Parse_error (directive ^ " expects a number", lineno)))
+            | _ -> raise (Parse_error (directive ^ " expects one argument", lineno))
+          in
+          match directive with
+          | "arch" -> (
+              match args with
+              | [ a ] -> name := a
+              | _ -> raise (Parse_error ("arch expects one name", lineno)))
+          | "cores" -> cores := int1 ()
+          | "cache_line" -> cache_line := int1 ()
+          | "vector_bits" -> vector_bits := int1 ()
+          | "clock_ghz" -> clock := float1 ()
+          | "peak_gflops" -> peak := float1 ()
+          | "mem_gbps" -> gbps := float1 ()
+          | "no_counter" -> no_counters := !no_counters @ args
+          | "category" -> (
+              explicit_cats := true;
+              match args with
+              | cat :: mnemonics -> cats := !cats @ [ (cat, mnemonics) ]
+              | [] -> raise (Parse_error ("category expects a name", lineno)))
+          | "group" -> (
+              explicit_groups := true;
+              match args with
+              | g :: members -> groups := !groups @ [ (g, members) ]
+              | [] -> raise (Parse_error ("group expects a name", lineno)))
+          | "cost" -> (
+              explicit_costs := true;
+              match args with
+              | [ cat; cycles ] -> (
+                  match float_of_string_opt cycles with
+                  | Some v -> costs := !costs @ [ (cat, v) ]
+                  | None ->
+                      raise (Parse_error ("cost expects a number", lineno)))
+              | _ ->
+                  raise
+                    (Parse_error ("cost expects a category and cycles", lineno)))
+          | d -> raise (Parse_error ("unknown directive " ^ d, lineno))))
+    (String.split_on_char '\n' text);
+  {
+    name = !name;
+    cores = !cores;
+    cache_line_bytes = !cache_line;
+    vector_bits = !vector_bits;
+    clock_ghz = !clock;
+    peak_gflops = !peak;
+    mem_gbps = !gbps;
+    unavailable_counters = !no_counters;
+    categories = (if !explicit_cats then !cats else default_categories);
+    groups = (if !explicit_groups then !groups else default_groups);
+    costs = (if !explicit_costs then !costs else default_costs);
+  }
+
+let to_text t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "arch %s" t.name;
+  line "cores %d" t.cores;
+  line "cache_line %d" t.cache_line_bytes;
+  line "vector_bits %d" t.vector_bits;
+  line "clock_ghz %g" t.clock_ghz;
+  line "peak_gflops %g" t.peak_gflops;
+  line "mem_gbps %g" t.mem_gbps;
+  List.iter (fun c -> line "no_counter %s" c) t.unavailable_counters;
+  List.iter
+    (fun (c, ms) -> line "category %s %s" c (String.concat " " ms))
+    t.categories;
+  List.iter
+    (fun (g, cs) -> line "group \"%s\" %s" g (String.concat " " cs))
+    t.groups;
+  List.iter (fun (c, v) -> line "cost %s %g" c v) t.costs;
+  Buffer.contents b
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* ---------- queries ---------- *)
+
+let category_of_mnemonic t m =
+  List.find_map
+    (fun (c, ms) -> if List.mem m ms then Some c else None)
+    t.categories
+
+let group_of_category t c =
+  List.find_map
+    (fun (g, cs) -> if List.mem c cs then Some g else None)
+    t.groups
+
+let group_of_mnemonic t m =
+  Option.bind (category_of_mnemonic t m) (group_of_category t)
+
+let n_categories t = List.length t.categories
+
+let counter_available t c = not (List.mem c t.unavailable_counters)
+
+let aggregate t counts =
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun (m, c) ->
+      match group_of_mnemonic t m with
+      | Some g ->
+          Hashtbl.replace totals g
+            (c + Option.value ~default:0 (Hashtbl.find_opt totals g))
+      | None -> ())
+    counts;
+  List.map
+    (fun (g, _) -> (g, Option.value ~default:0 (Hashtbl.find_opt totals g)))
+    t.groups
+
+let vector_lanes t = max 1 (t.vector_bits / 64)
+
+let cost_of_category t c =
+  Option.value ~default:default_cost (List.assoc_opt c t.costs)
+
+let cost_of_mnemonic t m =
+  match category_of_mnemonic t m with
+  | Some c -> cost_of_category t c
+  | None -> default_cost
+
+let validate t =
+  let errs = ref [] in
+  List.iter
+    (fun m ->
+      if category_of_mnemonic t m = None then
+        errs := Printf.sprintf "mnemonic %s has no category" m :: !errs)
+    Mira_visa.Isa.all_mnemonics;
+  List.iter
+    (fun (c, _) ->
+      let owners =
+        List.filter (fun (_, cs) -> List.mem c cs) t.groups |> List.length
+      in
+      if owners > 1 then
+        errs := Printf.sprintf "category %s is in %d groups" c owners :: !errs)
+    t.categories;
+  List.iter
+    (fun (g, cs) ->
+      List.iter
+        (fun c ->
+          if not (List.mem_assoc c t.categories) then
+            errs :=
+              Printf.sprintf "group %s references unknown category %s" g c
+              :: !errs)
+        cs)
+    t.groups;
+  List.iter
+    (fun (c, v) ->
+      if not (List.mem_assoc c t.categories) then
+        errs := Printf.sprintf "cost for unknown category %s" c :: !errs;
+      if v < 0.0 then
+        errs := Printf.sprintf "negative cost for category %s" c :: !errs)
+    t.costs;
+  match !errs with [] -> Ok () | es -> Error (List.rev es)

@@ -1,0 +1,84 @@
+(** Architecture description files (paper §III-C6).
+
+    A description names the machine, its structural parameters (cores,
+    cache line, vector width, clock), the hardware counters it lacks
+    (modern Haswell parts dropped FP_INS — §IV-D1), and an instruction
+    categorization: every mnemonic maps to one of 64 fine categories,
+    and fine categories aggregate into display groups (the seven rows
+    of Table II).
+
+    Descriptions are plain text, one directive per line:
+    {v
+    arch arya
+    cores 36
+    cache_line 64
+    vector_bits 256
+    clock_ghz 2.3
+    peak_gflops 36.8
+    mem_gbps 68.0
+    no_counter FP_INS
+    category int_arith_add addq incq
+    group "Integer arithmetic instruction" int_arith_add int_arith_sub
+    v} *)
+
+type t = {
+  name : string;
+  cores : int;
+  cache_line_bytes : int;
+  vector_bits : int;
+  clock_ghz : float;
+  peak_gflops : float;
+  mem_gbps : float;
+  unavailable_counters : string list;
+  categories : (string * string list) list;
+      (** fine category -> mnemonics *)
+  groups : (string * string list) list;
+      (** display group -> fine categories *)
+  costs : (string * float) list;
+      (** fine category -> issue cost in cycles ([cost] directives);
+          unlisted categories cost 1 cycle *)
+}
+
+exception Parse_error of string * int  (** message, line *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed directives. *)
+
+val to_text : t -> string
+(** Render back to the file format ([parse (to_text a)] = [a] up to
+    ordering). *)
+
+val load : string -> t
+(** Read a description file from disk. *)
+
+val category_of_mnemonic : t -> string -> string option
+val group_of_mnemonic : t -> string -> string option
+
+val n_categories : t -> int
+
+val counter_available : t -> string -> bool
+(** [counter_available t "FP_INS"] is false on machines that lack the
+    counter. *)
+
+val aggregate :
+  t -> (string * int) list -> (string * int) list
+(** Fold per-mnemonic counts into per-display-group counts, in group
+    declaration order (groups with zero count included). *)
+
+val vector_lanes : t -> int
+(** Doubles per vector register: [vector_bits / 64]. *)
+
+val cost_of_category : t -> string -> float
+val cost_of_mnemonic : t -> string -> float
+
+val validate : t -> (unit, string list) result
+(** Every ISA mnemonic categorized, every category in at most one
+    group, group references resolve. *)
+
+val arya : t
+(** Haswell-like preset: 2× 18 cores, 256-bit vectors, no FP_INS
+    counter. *)
+
+val frankenstein : t
+(** Nehalem-like preset: 2× 4 cores, 128-bit vectors, FP_INS
+    available. *)

@@ -1,0 +1,1 @@
+lib/baselines/pbound.ml: Array List Loc Mira_core Mira_srclang Parser Typecheck

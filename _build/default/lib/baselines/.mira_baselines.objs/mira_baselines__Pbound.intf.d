@@ -1,0 +1,1 @@
+lib/baselines/pbound.mli: Mira_core

@@ -1,0 +1,1 @@
+lib/baselines/tau.ml: Format List Mira_arch Mira_core Mira_vm

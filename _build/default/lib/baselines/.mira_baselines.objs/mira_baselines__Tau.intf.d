@@ -1,0 +1,1 @@
+lib/baselines/tau.mli: Format Mira_arch Mira_vm

@@ -1,0 +1,26 @@
+(** PBound-style source-only static analysis (the paper's comparator,
+    [1]).
+
+    Counts {e source-level operations} — floating-point arithmetic,
+    array loads/stores, integer arithmetic — multiplied by the same
+    polyhedral iteration counts Mira uses, but without ever looking at
+    the binary.  Compiler effects (folded constants, strength
+    reduction, operand copies, address arithmetic, loop-control
+    overhead) are invisible to it, which is exactly the accuracy gap
+    the paper attributes to source-only estimation. *)
+
+type op =
+  [ `Fadd | `Fsub | `Fmul | `Fdiv | `Fneg | `Cmp | `Load | `Store
+  | `Iop | `Call | `Cvt ]
+
+val op_name : op -> string
+
+val analyze : ?source_name:string -> string -> Mira_core.Model_ir.t
+(** Build a source-operation model for every function in the given
+    mini-C source.  Counts are keyed by {!op_name} strings. *)
+
+val flops : (string * float) list -> float
+(** Source floating-point operations in an evaluated model. *)
+
+val mem_refs : (string * float) list -> float
+(** Source loads + stores. *)

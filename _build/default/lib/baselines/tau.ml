@@ -1,0 +1,56 @@
+type measurement = { fn : string; calls : int; value : float; per_call : float }
+
+type error =
+  | Counter_unavailable of string
+  | No_profile of string
+  | Unknown_counter of string
+
+let counters = [ "TOT_INS"; "FP_INS"; "FP_ARITH"; "LD_INS"; "SR_INS"; "BR_INS" ]
+
+(* Which mnemonics each PAPI-style counter retires. *)
+let mnemonics_of_counter = function
+  | "TOT_INS" -> Some None  (* all *)
+  | "FP_INS" | "FP_ARITH" -> Some (Some Mira_core.Model_eval.fp_mnemonics)
+  | "LD_INS" -> Some (Some [ "movsd"; "movapd"; "movq" ])
+  | "SR_INS" -> Some (Some [ "movsd"; "movapd"; "movq" ])
+  | "BR_INS" ->
+      Some (Some [ "jmp"; "je"; "jne"; "jl"; "jle"; "jg"; "jge"; "call"; "ret" ])
+  | _ -> None
+
+let measure ~arch vm counter fn =
+  match mnemonics_of_counter counter with
+  | None -> Error (Unknown_counter counter)
+  | Some selection -> (
+      if not (Mira_arch.Archdesc.counter_available arch counter) then
+        Error (Counter_unavailable counter)
+      else
+        match Mira_vm.Vm.profile_of vm fn with
+        | None -> Error (No_profile fn)
+        | Some p ->
+            let value =
+              match selection with
+              | None ->
+                  List.fold_left
+                    (fun acc (_, c) -> acc +. float_of_int c)
+                    0.0 p.inclusive
+              | Some mns ->
+                  List.fold_left
+                    (fun acc m ->
+                      acc +. float_of_int (Mira_vm.Vm.count_of p m))
+                    0.0 mns
+            in
+            Ok
+              {
+                fn;
+                calls = p.calls;
+                value;
+                per_call =
+                  (if p.calls = 0 then 0.0 else value /. float_of_int p.calls);
+              })
+
+let pp_error ppf = function
+  | Counter_unavailable c ->
+      Format.fprintf ppf
+        "hardware counter %s is not supported on this architecture" c
+  | No_profile f -> Format.fprintf ppf "function %s was never executed" f
+  | Unknown_counter c -> Format.fprintf ppf "unknown counter %s" c

@@ -1,0 +1,37 @@
+(** TAU/PAPI-style dynamic measurement, as the paper's validation
+    baseline (§II-C, §IV).
+
+    Wraps the VM's call-stack-attributed counters behind a
+    hardware-counter interface: measurements are requested by PAPI
+    counter name and honour the architecture description's counter
+    availability — requesting [FP_INS] on the Haswell-like [arya]
+    preset fails, reproducing the paper's observation that static
+    analysis may be the only way to obtain FP counts on such machines
+    (§IV-D1). *)
+
+type measurement = {
+  fn : string;
+  calls : int;
+  value : float;  (** counter total, inclusive *)
+  per_call : float;
+}
+
+type error =
+  | Counter_unavailable of string  (** counter, as on Haswell FP_INS *)
+  | No_profile of string  (** function never executed *)
+  | Unknown_counter of string
+
+val counters : string list
+(** Supported counter names: TOT_INS, FP_INS, FP_ARITH, LD_INS,
+    SR_INS, BR_INS. *)
+
+val measure :
+  arch:Mira_arch.Archdesc.t ->
+  Mira_vm.Vm.t ->
+  string ->
+  string ->
+  (measurement, error) result
+(** [measure ~arch vm counter fn] reads counter [counter] for function
+    [fn] from an executed machine. *)
+
+val pp_error : Format.formatter -> error -> unit

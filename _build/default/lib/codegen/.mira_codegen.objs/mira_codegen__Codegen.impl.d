@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Emit Fold Liveness Mira_srclang Mira_visa Peephole Vectorize

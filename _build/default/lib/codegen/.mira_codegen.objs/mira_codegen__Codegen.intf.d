@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Mira_srclang Mira_visa

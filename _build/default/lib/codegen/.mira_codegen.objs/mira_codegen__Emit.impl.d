@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Format Hashtbl Isa List Loc Mira_srclang Mira_visa Option Program

@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Mira_srclang Mira_visa

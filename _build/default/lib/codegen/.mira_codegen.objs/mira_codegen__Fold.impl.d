@@ -1,0 +1,1 @@
+lib/codegen/fold.ml: List Mira_srclang Option

@@ -1,0 +1,1 @@
+lib/codegen/fold.mli: Mira_srclang

@@ -1,0 +1,1 @@
+lib/codegen/liveness.ml: Array Hashtbl Int List Mira_visa Option Program Set

@@ -1,0 +1,1 @@
+lib/codegen/liveness.mli: Mira_visa

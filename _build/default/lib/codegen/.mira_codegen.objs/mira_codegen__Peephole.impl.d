@@ -1,0 +1,1 @@
+lib/codegen/peephole.ml: Array List Mira_visa Program

@@ -1,0 +1,1 @@
+lib/codegen/vectorize.ml: Array Hashtbl Isa List Mira_visa Program

@@ -1,0 +1,1 @@
+lib/codegen/vectorize.mli: Mira_visa

@@ -1,0 +1,18 @@
+type level = O0 | O1 | O2
+
+exception Error = Emit.Error
+
+let compile_ast ?(level = O1) (ast : Mira_srclang.Ast.program) =
+  let ast = match level with O0 -> ast | O1 | O2 -> Fold.program ast in
+  let ast = Mira_srclang.Typecheck.check_exn ast in
+  let prog = Emit.program ~addressing_fold:(level <> O0) ast in
+  let prog =
+    match level with
+    | O0 -> prog
+    | O1 | O2 -> Peephole.program (Liveness.program prog)
+  in
+  match level with O2 -> Vectorize.program prog | O0 | O1 -> prog
+
+let compile ?level src = compile_ast ?level (Mira_srclang.Parser.parse src)
+
+let compile_to_object ?level src = Mira_visa.Objfile.encode (compile ?level src)

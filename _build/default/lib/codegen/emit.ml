@@ -1,0 +1,926 @@
+open Mira_srclang
+open Mira_srclang.Ast
+open Mira_visa
+open Mira_visa.Isa
+
+exception Error of string * Loc.pos
+
+let err pos fmt = Format.kasprintf (fun m -> raise (Error (m, pos))) fmt
+
+let mangle (f : func) =
+  match f.fclass with None -> f.fname | Some c -> c ^ "::" ^ f.fname
+
+(* Storage of a named value. *)
+type storage =
+  | Sint of ireg  (* int scalar in a register *)
+  | Sdouble of xreg
+  | Sarr of ireg * Program.value_kind  (* base address; element kind *)
+  | Sclass of string * ireg * ireg  (* class name; int block; float block *)
+  | Sfield_int of int * ty  (* offset in this's int block; field type *)
+  | Sfield_double of int  (* offset in this's float block *)
+
+(* Per-class layout: int-space fields (int scalars and array handles)
+   and float-space fields get slots in declaration order. *)
+type layout = { li : (string * (int * ty)) list; lf : (string * int) list }
+
+let layout_of_class (c : class_decl) : layout =
+  let li = ref [] and lf = ref [] and ni = ref 0 and nf = ref 0 in
+  List.iter
+    (fun p ->
+      match p.pty with
+      | Tint | Tarr _ ->
+          li := (p.pname, (!ni, p.pty)) :: !li;
+          incr ni
+      | Tdouble ->
+          lf := (p.pname, !nf) :: !lf;
+          incr nf
+      | Tvoid | Tclass _ ->
+          err Loc.dummy.lo "unsupported field type in class %s" c.cname)
+    c.cfields;
+  { li = List.rev !li; lf = List.rev !lf }
+
+type ctx = {
+  prog : program;
+  layouts : (string * layout) list;
+  code : Isa.insn array ref;  (* grow-able buffer *)
+  dbg : Program.debug array ref;
+  mutable len : int;
+  mutable next_ireg : int;
+  mutable next_xreg : int;
+  mutable scopes : (string, storage) Hashtbl.t list;
+  mutable labels : (int, int) Hashtbl.t;  (* label id -> address *)
+  mutable next_label : int;
+  fpool : (float, int) Hashtbl.t;
+  fpool_rev : float array ref;
+  mutable fpool_len : int;
+  this_i : ireg;  (* valid in methods *)
+  this_f : ireg;
+  current_class : string option;
+  addressing_fold : bool;
+}
+
+let grow arr len default =
+  if len < Array.length !arr then ()
+  else begin
+    let bigger = Array.make (max 16 (2 * Array.length !arr)) default in
+    Array.blit !arr 0 bigger 0 (Array.length !arr);
+    arr := bigger
+  end
+
+let emit ctx insn (pos : Loc.pos) =
+  grow ctx.code ctx.len Nop;
+  grow ctx.dbg ctx.len { Program.line = 0; col = 0 };
+  !(ctx.code).(ctx.len) <- insn;
+  !(ctx.dbg).(ctx.len) <- { Program.line = pos.line; col = pos.col };
+  ctx.len <- ctx.len + 1
+
+let fresh_ireg ctx =
+  let r = ctx.next_ireg in
+  ctx.next_ireg <- r + 1;
+  r
+
+let fresh_xreg ctx =
+  let r = ctx.next_xreg in
+  ctx.next_xreg <- r + 1;
+  r
+
+let new_label ctx =
+  let l = ctx.next_label in
+  ctx.next_label <- l + 1;
+  l
+
+let place_label ctx l = Hashtbl.replace ctx.labels l ctx.len
+
+let push_scope ctx = ctx.scopes <- Hashtbl.create 8 :: ctx.scopes
+let pop_scope ctx = ctx.scopes <- List.tl ctx.scopes
+
+let bind ctx name st =
+  match ctx.scopes with
+  | [] -> assert false
+  | s :: _ -> Hashtbl.replace s name st
+
+let lookup ctx name pos =
+  let rec go = function
+    | [] -> None
+    | s :: rest -> (
+        match Hashtbl.find_opt s name with Some v -> Some v | None -> go rest)
+  in
+  match go ctx.scopes with
+  | Some v -> v
+  | None -> (
+      match ctx.current_class with
+      | Some c -> (
+          let l = List.assoc c ctx.layouts in
+          match List.assoc_opt name l.li with
+          | Some (off, ty) -> Sfield_int (off, ty)
+          | None -> (
+              match List.assoc_opt name l.lf with
+              | Some off -> Sfield_double off
+              | None -> err pos "unbound variable %s" name))
+      | None -> err pos "unbound variable %s" name)
+
+let const_index ctx f =
+  match Hashtbl.find_opt ctx.fpool f with
+  | Some i -> i
+  | None ->
+      let i = ctx.fpool_len in
+      grow ctx.fpool_rev i 0.0;
+      !(ctx.fpool_rev).(i) <- f;
+      ctx.fpool_len <- i + 1;
+      Hashtbl.add ctx.fpool f i;
+      i
+
+let ty_of (e : expr) pos =
+  match e.ety with
+  | Some t -> t
+  | None -> err pos "expression missing type (typecheck not run?)"
+
+let kind_of_ty pos = function
+  | Tint -> Program.Kint
+  | Tdouble -> Program.Kdouble
+  | Tvoid -> Program.Kvoid
+  | Tarr _ -> Program.Kint
+  | Tclass c -> err pos "class %s values have no direct register kind" c
+
+(* ---------- expression lowering ---------- *)
+
+(* Evaluate an int expression to an operand. *)
+let rec gen_int ctx (e : expr) : iop =
+  let pos = e.espan.lo in
+  match e.e with
+  | Int_lit n -> Imm n
+  | Float_lit _ -> err pos "float literal in int context"
+  | Var x -> (
+      match lookup ctx x pos with
+      | Sint r -> Reg r
+      | Sarr (r, _) -> Reg r
+      | Sfield_int (off, (Tint | Tarr _)) ->
+          let d = fresh_ireg ctx in
+          emit ctx (Load (d, { base = ctx.this_i; index = None; scale = 1; disp = off })) pos;
+          Reg d
+      | _ -> err pos "%s is not an int value" x)
+  | Index (a, i) ->
+      let addr = gen_addr ctx a i in
+      let d = fresh_ireg ctx in
+      emit ctx (Load (d, addr)) pos;
+      Reg d
+  | Field (o, f) -> (
+      let iblk, _ = gen_class ctx o in
+      let cls = class_of ctx o in
+      let l = List.assoc cls ctx.layouts in
+      match List.assoc_opt f l.li with
+      | Some (off, (Tint | Tarr _)) ->
+          let d = fresh_ireg ctx in
+          emit ctx (Load (d, { base = iblk; index = None; scale = 1; disp = off })) pos;
+          Reg d
+      | _ -> err pos "field %s is not an int field" f)
+  | Call _ | Method_call _ ->
+      let r = gen_call ctx e in
+      (match r with `Int op -> op | `Double _ -> err pos "double call in int context")
+  | Binop ((Lt | Le | Gt | Ge | Eq | Ne | Land | Lor), _, _) | Unop (Lnot, _)
+    ->
+      (* materialize a boolean via branches *)
+      let d = fresh_ireg ctx in
+      let l_false = new_label ctx and l_end = new_label ctx in
+      branch_false ctx e l_false;
+      emit ctx (Movq (d, Imm 1)) pos;
+      emit ctx (Jmp l_end) pos;
+      place_label ctx l_false;
+      emit ctx (Movq (d, Imm 0)) pos;
+      place_label ctx l_end;
+      Reg d
+  | Binop (op, a, b) -> (
+      let va = gen_int ctx a in
+      let vb = gen_int ctx b in
+      let d = fresh_ireg ctx in
+      emit ctx (Movq (d, va)) pos;
+      match (op, vb) with
+      | Add, _ -> emit ctx (Addq (d, vb)) pos; Reg d
+      | Sub, _ -> emit ctx (Subq (d, vb)) pos; Reg d
+      | Mul, Imm k when k > 0 && k land (k - 1) = 0 && ctx.addressing_fold ->
+          (* strength reduction: multiply by power of two *)
+          let rec log2 n = if n = 1 then 0 else 1 + log2 (n / 2) in
+          emit ctx (Shlq (d, log2 k)) pos;
+          Reg d
+      | Mul, _ -> emit ctx (Imulq (d, vb)) pos; Reg d
+      | Div, _ -> emit ctx (Idivq (d, vb)) pos; Reg d
+      | Mod, _ -> emit ctx (Iremq (d, vb)) pos; Reg d
+      | (Lt | Le | Gt | Ge | Eq | Ne | Land | Lor), _ -> assert false)
+  | Unop (Neg, a) ->
+      let va = gen_int ctx a in
+      let d = fresh_ireg ctx in
+      emit ctx (Movq (d, va)) pos;
+      emit ctx (Negq d) pos;
+      Reg d
+  | Cast (Tint, a) ->
+      if ty_of a pos = Tint then gen_int ctx a
+      else
+        let x = gen_double ctx a in
+        let d = fresh_ireg ctx in
+        emit ctx (Cvttsd2si (d, x)) pos;
+        Reg d
+  | Cast (_, _) -> err pos "unsupported cast in int context"
+
+(* Evaluate a double expression into an xmm register. *)
+and gen_double ctx (e : expr) : xreg =
+  let pos = e.espan.lo in
+  match ty_of e pos with
+  | Tint ->
+      (* implicit widening *)
+      let v = gen_int ctx e in
+      let tmp =
+        match v with
+        | Reg r -> r
+        | Imm n ->
+            let r = fresh_ireg ctx in
+            emit ctx (Movq (r, Imm n)) pos;
+            r
+      in
+      let x = fresh_xreg ctx in
+      emit ctx (Cvtsi2sd (x, tmp)) pos;
+      x
+  | Tdouble -> (
+      match e.e with
+      | Float_lit f ->
+          let x = fresh_xreg ctx in
+          if f = 0.0 then emit ctx (Xorpd x) pos
+          else emit ctx (Movsd_const (x, const_index ctx f)) pos;
+          x
+      | Var v -> (
+          match lookup ctx v pos with
+          | Sdouble x ->
+              let d = fresh_xreg ctx in
+              emit ctx (Movsd_rr (d, x)) pos;
+              d
+          | Sfield_double off ->
+              let d = fresh_xreg ctx in
+              emit ctx
+                (Movsd_load (d, { base = ctx.this_f; index = None; scale = 1; disp = off }))
+                pos;
+              d
+          | _ -> err pos "%s is not a double value" v)
+      | Index (a, i) ->
+          let addr = gen_addr ctx a i in
+          let d = fresh_xreg ctx in
+          emit ctx (Movsd_load (d, addr)) pos;
+          d
+      | Field (o, f) -> (
+          let _, fblk = gen_class ctx o in
+          let cls = class_of ctx o in
+          let l = List.assoc cls ctx.layouts in
+          match List.assoc_opt f l.lf with
+          | Some off ->
+              let d = fresh_xreg ctx in
+              emit ctx (Movsd_load (d, { base = fblk; index = None; scale = 1; disp = off })) pos;
+              d
+          | None -> err pos "field %s is not a double field" f)
+      | Call _ | Method_call _ -> (
+          match gen_call ctx e with
+          | `Double x -> x
+          | `Int _ -> err pos "int call in double context")
+      | Binop (op, a, b) -> (
+          let xa = gen_double ctx a in
+          let xb = gen_double ctx b in
+          let d = fresh_xreg ctx in
+          emit ctx (Movsd_rr (d, xa)) pos;
+          match op with
+          | Add -> emit ctx (Addsd (d, xb)) pos; d
+          | Sub -> emit ctx (Subsd (d, xb)) pos; d
+          | Mul -> emit ctx (Mulsd (d, xb)) pos; d
+          | Div -> emit ctx (Divsd (d, xb)) pos; d
+          | _ -> err pos "unsupported double operator %s" (binop_to_string op))
+      | Unop (Neg, a) ->
+          let xa = gen_double ctx a in
+          let d = fresh_xreg ctx in
+          emit ctx (Xorpd d) pos;
+          emit ctx (Subsd (d, xa)) pos;
+          d
+      | Cast (Tdouble, a) ->
+          if ty_of a pos = Tdouble then gen_double ctx a
+          else
+            let v = gen_int ctx a in
+            let tmp =
+              match v with
+              | Reg r -> r
+              | Imm n ->
+                  let r = fresh_ireg ctx in
+                  emit ctx (Movq (r, Imm n)) pos;
+                  r
+            in
+            let x = fresh_xreg ctx in
+            emit ctx (Cvtsi2sd (x, tmp)) pos;
+            x
+      | _ -> err pos "unsupported double expression")
+  | t -> err pos "expression of type %s in double context" (ty_to_string t)
+
+(* Address of a[i], folding literal offsets and `e + k` indices into
+   the operand when addressing_fold is on. *)
+and gen_addr ctx (a : expr) (i : expr) : addr =
+  let pos = a.espan.lo in
+  let base =
+    match gen_int ctx a with
+    | Reg r -> r
+    | Imm _ -> err pos "array base is an immediate"
+  in
+  if ctx.addressing_fold then
+    match i.e with
+    | Int_lit n -> { base; index = None; scale = 1; disp = n }
+    | Binop (Add, e1, { e = Int_lit k; _ }) ->
+        let idx = reg_of ctx (gen_int ctx e1) pos in
+        { base; index = Some idx; scale = 1; disp = k }
+    | Binop (Sub, e1, { e = Int_lit k; _ }) ->
+        let idx = reg_of ctx (gen_int ctx e1) pos in
+        { base; index = Some idx; scale = 1; disp = -k }
+    | _ ->
+        let idx = reg_of ctx (gen_int ctx i) pos in
+        { base; index = Some idx; scale = 1; disp = 0 }
+  else
+    let idx = reg_of ctx (gen_int ctx i) pos in
+    { base; index = Some idx; scale = 1; disp = 0 }
+
+and reg_of ctx v pos =
+  match v with
+  | Reg r -> r
+  | Imm n ->
+      let r = fresh_ireg ctx in
+      emit ctx (Movq (r, Imm n)) pos;
+      r
+
+(* Class-typed expression: yields (int block, float block) registers. *)
+and gen_class ctx (e : expr) : ireg * ireg =
+  let pos = e.espan.lo in
+  match e.e with
+  | Var x -> (
+      match lookup ctx x pos with
+      | Sclass (_, bi, bf) -> (bi, bf)
+      | _ -> err pos "%s is not a class instance" x)
+  | _ -> err pos "unsupported class-typed expression"
+
+and class_of _ctx (e : expr) =
+  let pos = e.espan.lo in
+  match ty_of e pos with
+  | Tclass c -> c
+  | t -> err pos "expected class type, got %s" (ty_to_string t)
+
+(* Calls: args go to ABI registers in positional order within their
+   register file; methods pass this's two blocks as leading int args. *)
+and gen_call ctx (e : expr) : [ `Int of iop | `Double of xreg ] =
+  let pos = e.espan.lo in
+  let name, args, is_method, recv =
+    match e.e with
+    | Call (f, args) -> (f, args, false, None)
+    | Method_call (o, m, args) -> (m, args, true, Some o)
+    | _ -> assert false
+  in
+  (* evaluate arguments into temporaries first *)
+  let evaluated =
+    List.map
+      (fun a ->
+        match ty_of a a.espan.lo with
+        | Tint | Tarr _ -> `I (reg_of ctx (gen_int ctx a) a.espan.lo)
+        | Tdouble -> `X (gen_double ctx a)
+        | t -> err a.espan.lo "unsupported argument type %s" (ty_to_string t))
+      args
+  in
+  let icount = ref 0 and xcount = ref 0 in
+  (match recv with
+  | Some o ->
+      let bi, bf = gen_class ctx o in
+      emit ctx (Movq (0, Reg bi)) pos;
+      emit ctx (Movq (1, Reg bf)) pos;
+      icount := 2
+  | None -> ());
+  List.iter
+    (fun v ->
+      match v with
+      | `I r ->
+          emit ctx (Movq (!icount, Reg r)) pos;
+          incr icount
+      | `X x ->
+          emit ctx (Movsd_rr (!xcount, x)) pos;
+          incr xcount)
+    evaluated;
+  let ret_ty =
+    if is_method then
+      let cls = class_of ctx (Option.get recv) in
+      match find_method ctx.prog cls name with
+      | Some m -> m.fret
+      | None -> err pos "unknown method %s::%s" cls name
+    else
+      match find_func ctx.prog name with
+      | Some f -> f.fret
+      | None -> (
+          match find_extern ctx.prog name with
+          | Some x -> x.xret
+          | None -> err pos "unknown function %s" name)
+  in
+  (match e.e with
+  | Method_call (o, m, _) ->
+      let cls = class_of ctx o in
+      emit ctx (Call (cls ^ "::" ^ m)) pos
+  | Call (f, _) ->
+      if find_func ctx.prog f <> None then emit ctx (Call f) pos
+      else emit ctx (Call_ext (f, List.length args)) pos
+  | _ -> assert false);
+  match ret_ty with
+  | Tint | Tarr _ ->
+      let d = fresh_ireg ctx in
+      emit ctx (Movq (d, Reg 0)) pos;
+      `Int (Reg d)
+  | Tdouble ->
+      let d = fresh_xreg ctx in
+      emit ctx (Movsd_rr (d, 0)) pos;
+      `Double d
+  | Tvoid -> `Int (Imm 0)
+  | Tclass c -> err pos "returning class %s by value is unsupported" c
+
+(* Conditional branches: jump to [l] when the condition is false. *)
+and branch_false ctx (e : expr) l =
+  let pos = e.espan.lo in
+  match e.e with
+  | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) ->
+      let both_int = ty_of a pos = Tint && ty_of b pos = Tint in
+      if both_int then begin
+        let va = gen_int ctx a in
+        let vb = gen_int ctx b in
+        emit ctx (Cmpq (va, vb)) pos
+      end
+      else begin
+        let xa = gen_double ctx a in
+        let xb = gen_double ctx b in
+        emit ctx (Ucomisd (xa, xb)) pos
+      end;
+      let inverse =
+        match op with
+        | Lt -> GE | Le -> G | Gt -> LE | Ge -> L | Eq -> NE | Ne -> E
+        | _ -> assert false
+      in
+      emit ctx (Jcc (inverse, l)) pos
+  | Binop (Land, a, b) ->
+      branch_false ctx a l;
+      branch_false ctx b l
+  | Binop (Lor, a, b) ->
+      let l_true = new_label ctx in
+      branch_true ctx a l_true;
+      branch_false ctx b l;
+      place_label ctx l_true
+  | Unop (Lnot, a) -> branch_true ctx a l
+  | _ ->
+      let v = gen_int ctx e in
+      emit ctx (Cmpq (v, Imm 0)) pos;
+      emit ctx (Jcc (E, l)) pos
+
+and branch_true ctx (e : expr) l =
+  let pos = e.espan.lo in
+  match e.e with
+  | Binop (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) ->
+      let both_int = ty_of a pos = Tint && ty_of b pos = Tint in
+      if both_int then begin
+        let va = gen_int ctx a in
+        let vb = gen_int ctx b in
+        emit ctx (Cmpq (va, vb)) pos
+      end
+      else begin
+        let xa = gen_double ctx a in
+        let xb = gen_double ctx b in
+        emit ctx (Ucomisd (xa, xb)) pos
+      end;
+      let cc =
+        match op with
+        | Lt -> L | Le -> LE | Gt -> G | Ge -> GE | Eq -> E | Ne -> NE
+        | _ -> assert false
+      in
+      emit ctx (Jcc (cc, l)) pos
+  | Binop (Land, a, b) ->
+      let l_false = new_label ctx in
+      branch_false ctx a l_false;
+      branch_true ctx b l;
+      place_label ctx l_false
+  | Binop (Lor, a, b) ->
+      branch_true ctx a l;
+      branch_true ctx b l
+  | Unop (Lnot, a) -> branch_false ctx a l
+  | _ ->
+      let v = gen_int ctx e in
+      emit ctx (Cmpq (v, Imm 0)) pos;
+      emit ctx (Jcc (NE, l)) pos
+
+(* ---------- lvalues ---------- *)
+
+type location =
+  | Loc_ireg of ireg
+  | Loc_xreg of xreg
+  | Loc_imem of addr
+  | Loc_fmem of addr
+
+let rec gen_lvalue ctx (lv : lvalue) : location * ty =
+  let pos = lv.lspan.lo in
+  match lv.l with
+  | Lvar x -> (
+      match lookup ctx x pos with
+      | Sint r -> (Loc_ireg r, Tint)
+      | Sdouble x -> (Loc_xreg x, Tdouble)
+      | Sarr (r, k) ->
+          (Loc_ireg r, Tarr (match k with Program.Kdouble -> Tdouble | _ -> Tint))
+      | Sclass (c, _, _) -> err pos "cannot assign to class instance %s of %s" x c
+      | Sfield_int (off, ty) ->
+          (Loc_imem { base = ctx.this_i; index = None; scale = 1; disp = off }, ty)
+      | Sfield_double off ->
+          (Loc_fmem { base = ctx.this_f; index = None; scale = 1; disp = off }, Tdouble))
+  | Lindex (base_lv, i) -> (
+      let elem_ty =
+        match snd (lvalue_ty ctx base_lv) with
+        | Tarr t -> t
+        | t -> err pos "indexing non-array of type %s" (ty_to_string t)
+      in
+      let base_expr = expr_of_lvalue base_lv in
+      let addr = gen_addr ctx base_expr i in
+      match elem_ty with
+      | Tdouble -> (Loc_fmem addr, Tdouble)
+      | Tint -> (Loc_imem addr, Tint)
+      | t -> err pos "unsupported array element type %s" (ty_to_string t))
+  | Lfield (base_lv, f) -> (
+      match base_lv.l with
+      | Lvar x -> (
+          match lookup ctx x pos with
+          | Sclass (c, bi, bf) -> (
+              let l = List.assoc c ctx.layouts in
+              match List.assoc_opt f l.li with
+              | Some (off, ty) ->
+                  (Loc_imem { base = bi; index = None; scale = 1; disp = off }, ty)
+              | None -> (
+                  match List.assoc_opt f l.lf with
+                  | Some off ->
+                      (Loc_fmem { base = bf; index = None; scale = 1; disp = off }, Tdouble)
+                  | None -> err pos "class %s has no field %s" c f))
+          | _ -> err pos "%s is not a class instance" x)
+      | _ -> err pos "unsupported nested field assignment")
+
+and lvalue_ty ctx (lv : lvalue) : location option * ty =
+  (* type-only view, no code emitted for the leaf var case *)
+  let pos = lv.lspan.lo in
+  match lv.l with
+  | Lvar x -> (
+      match lookup ctx x pos with
+      | Sint _ -> (None, Tint)
+      | Sdouble _ -> (None, Tdouble)
+      | Sarr (_, k) ->
+          (None, Tarr (match k with Program.Kdouble -> Tdouble | _ -> Tint))
+      | Sclass (c, _, _) -> (None, Tclass c)
+      | Sfield_int (_, ty) -> (None, ty)
+      | Sfield_double _ -> (None, Tdouble))
+  | Lindex (l, _) -> (
+      match snd (lvalue_ty ctx l) with
+      | Tarr t -> (None, t)
+      | t -> err pos "indexing non-array of type %s" (ty_to_string t))
+  | Lfield (l, f) -> (
+      match snd (lvalue_ty ctx l) with
+      | Tclass c -> (
+          let lay = List.assoc c ctx.layouts in
+          match List.assoc_opt f lay.li with
+          | Some (_, ty) -> (None, ty)
+          | None ->
+              if List.mem_assoc f lay.lf then (None, Tdouble)
+              else err pos "class %s has no field %s" c f)
+      | t -> err pos "field access on %s" (ty_to_string t))
+
+and expr_of_lvalue (lv : lvalue) : expr =
+  let desc =
+    match lv.l with
+    | Lvar x -> Var x
+    | Lindex (l, i) -> Index (expr_of_lvalue l, i)
+    | Lfield (l, f) -> Field (expr_of_lvalue l, f)
+  in
+  { e = desc; espan = lv.lspan; ety = None }
+
+(* ---------- statements ---------- *)
+
+let store_int ctx loc v pos =
+  match loc with
+  | Loc_ireg r -> emit ctx (Movq (r, v)) pos
+  | Loc_imem a -> emit ctx (Store (a, v)) pos
+  | Loc_xreg _ | Loc_fmem _ -> err pos "int store to double location"
+
+let store_double ctx loc x pos =
+  match loc with
+  | Loc_xreg d -> emit ctx (Movsd_rr (d, x)) pos
+  | Loc_fmem a -> emit ctx (Movsd_store (a, x)) pos
+  | Loc_ireg _ | Loc_imem _ -> err pos "double store to int location"
+
+let rec gen_stmt ctx (st : stmt) =
+  let pos = st.sspan.lo in
+  match st.s with
+  | Decl (Tint, name, init) ->
+      let r = fresh_ireg ctx in
+      (match init with
+      | Some e ->
+          let v = gen_int ctx e in
+          emit ctx (Movq (r, v)) pos
+      | None -> emit ctx (Movq (r, Imm 0)) pos);
+      bind ctx name (Sint r)
+  | Decl (Tdouble, name, init) ->
+      let x = fresh_xreg ctx in
+      (match init with
+      | Some e ->
+          let v = gen_double ctx e in
+          emit ctx (Movsd_rr (x, v)) pos
+      | None -> emit ctx (Xorpd x) pos);
+      bind ctx name (Sdouble x)
+  | Decl (Tclass c, name, None) ->
+      let l = List.assoc c ctx.layouts in
+      let bi = fresh_ireg ctx and bf = fresh_ireg ctx in
+      emit ctx (Alloc_i (bi, Imm (max 1 (List.length l.li)))) pos;
+      emit ctx (Alloc_f (bf, Imm (max 1 (List.length l.lf)))) pos;
+      bind ctx name (Sclass (c, bi, bf))
+  | Decl (Tclass _, _, Some _) -> err pos "class initializers are unsupported"
+  | Decl (Tarr _, name, Some init) ->
+      (* array alias: double *p = q; *)
+      let v = gen_int ctx init in
+      let r = fresh_ireg ctx in
+      emit ctx (Movq (r, v)) pos;
+      let kind =
+        match ty_of init pos with
+        | Tarr Tdouble -> Program.Kdouble
+        | Tarr _ -> Program.Kint
+        | t -> err pos "array alias initializer has type %s" (ty_to_string t)
+      in
+      bind ctx name (Sarr (r, kind))
+  | Decl ((Tarr _ | Tvoid), _, _) -> err pos "unsupported declaration"
+  | Arr_decl (elem, name, size) ->
+      let v = gen_int ctx size in
+      let r = fresh_ireg ctx in
+      (match elem with
+      | Tdouble ->
+          emit ctx (Alloc_f (r, v)) pos;
+          bind ctx name (Sarr (r, Program.Kdouble))
+      | Tint ->
+          emit ctx (Alloc_i (r, v)) pos;
+          bind ctx name (Sarr (r, Program.Kint))
+      | t -> err pos "unsupported array element type %s" (ty_to_string t))
+  | Assign (lv, e) -> (
+      let loc, ty = gen_lvalue ctx lv in
+      match ty with
+      | Tdouble ->
+          let x = gen_double ctx e in
+          store_double ctx loc x pos
+      | Tint | Tarr _ ->
+          let v = gen_int ctx e in
+          store_int ctx loc v pos
+      | t -> err pos "unsupported assignment to %s" (ty_to_string t))
+  | Op_assign (op, lv, e) -> (
+      match snd (lvalue_ty ctx lv) with
+      | Tint -> (
+          let v = gen_int ctx e in
+          let loc, _ = gen_lvalue ctx lv in
+          match loc with
+          | Loc_ireg r ->
+              (match op with
+              | Add -> emit ctx (Addq (r, v)) pos
+              | Sub -> emit ctx (Subq (r, v)) pos
+              | Mul -> emit ctx (Imulq (r, v)) pos
+              | Div -> emit ctx (Idivq (r, v)) pos
+              | Mod -> emit ctx (Iremq (r, v)) pos
+              | _ -> err pos "unsupported compound operator")
+          | Loc_imem a ->
+              let t = fresh_ireg ctx in
+              emit ctx (Load (t, a)) pos;
+              (match op with
+              | Add -> emit ctx (Addq (t, v)) pos
+              | Sub -> emit ctx (Subq (t, v)) pos
+              | Mul -> emit ctx (Imulq (t, v)) pos
+              | Div -> emit ctx (Idivq (t, v)) pos
+              | Mod -> emit ctx (Iremq (t, v)) pos
+              | _ -> err pos "unsupported compound operator");
+              emit ctx (Store (a, Reg t)) pos
+          | _ -> err pos "int compound assignment to double location")
+      | Tdouble -> (
+          let x = gen_double ctx e in
+          let loc, _ = gen_lvalue ctx lv in
+          let apply d =
+            match op with
+            | Add -> emit ctx (Addsd (d, x)) pos
+            | Sub -> emit ctx (Subsd (d, x)) pos
+            | Mul -> emit ctx (Mulsd (d, x)) pos
+            | Div -> emit ctx (Divsd (d, x)) pos
+            | _ -> err pos "unsupported compound operator"
+          in
+          match loc with
+          | Loc_xreg d -> apply d
+          | Loc_fmem a ->
+              let t = fresh_xreg ctx in
+              emit ctx (Movsd_load (t, a)) pos;
+              apply t;
+              emit ctx (Movsd_store (a, t)) pos
+          | _ -> err pos "double compound assignment to int location")
+      | t -> err pos "unsupported compound assignment to %s" (ty_to_string t))
+  | Expr_stmt e -> (
+      match e.e with
+      | Call _ | Method_call _ -> ignore (gen_call ctx e)
+      | _ ->
+          (* evaluate for effect; harmless and rare *)
+          (match ty_of e pos with
+          | Tdouble -> ignore (gen_double ctx e)
+          | _ -> ignore (gen_int ctx e)))
+  | If { cond; then_; else_ } ->
+      let l_else = new_label ctx and l_end = new_label ctx in
+      branch_false ctx cond l_else;
+      push_scope ctx;
+      List.iter (gen_stmt ctx) then_;
+      pop_scope ctx;
+      if else_ <> [] then begin
+        (* attribute the jump over the else branch to the last
+           statement of the then branch: it executes exactly as often
+           as that statement *)
+        let then_pos =
+          match List.rev then_ with
+          | last :: _ -> last.sspan.lo
+          | [] -> pos
+        in
+        emit ctx (Jmp l_end) then_pos;
+        place_label ctx l_else;
+        push_scope ctx;
+        List.iter (gen_stmt ctx) else_;
+        pop_scope ctx;
+        place_label ctx l_end
+      end
+      else place_label ctx l_else
+  | For { init; cond; step; body } ->
+      push_scope ctx;
+      let ipos = init.ispan.lo in
+      let r =
+        if init.ideclared then begin
+          let r = fresh_ireg ctx in
+          bind ctx init.ivar (Sint r);
+          r
+        end
+        else
+          match lookup ctx init.ivar ipos with
+          | Sint r -> r
+          | _ -> err ipos "loop variable %s is not an int" init.ivar
+      in
+      let v = gen_int ctx init.iexpr in
+      emit ctx (Movq (r, v)) ipos;
+      let l_cond = new_label ctx and l_exit = new_label ctx in
+      place_label ctx l_cond;
+      branch_false ctx cond l_exit;
+      push_scope ctx;
+      List.iter (gen_stmt ctx) body;
+      pop_scope ctx;
+      let spos = step.stspan.lo in
+      (match (step.sdelta, step.sexpr) with
+      | Some 1, _ -> emit ctx (Incq r) spos
+      | Some -1, _ -> emit ctx (Decq r) spos
+      | Some d, _ when d >= 0 -> emit ctx (Addq (r, Imm d)) spos
+      | Some d, _ -> emit ctx (Subq (r, Imm (-d))) spos
+      | None, Some e ->
+          let v = gen_int ctx e in
+          emit ctx (Addq (r, v)) spos
+      | None, None -> err spos "malformed loop step");
+      emit ctx (Jmp l_cond) spos;
+      place_label ctx l_exit;
+      pop_scope ctx
+  | While (cond, body) ->
+      let l_cond = new_label ctx and l_exit = new_label ctx in
+      place_label ctx l_cond;
+      branch_false ctx cond l_exit;
+      push_scope ctx;
+      List.iter (gen_stmt ctx) body;
+      pop_scope ctx;
+      (* the back-jump executes once per iteration: attribute it to the
+         last body statement, which has exactly that multiplicity *)
+      let back_pos =
+        match List.rev body with
+        | last :: _ -> last.sspan.lo
+        | [] -> cond.espan.lo
+      in
+      emit ctx (Jmp l_cond) back_pos;
+      place_label ctx l_exit
+  | Return None -> emit ctx Ret pos
+  | Return (Some e) ->
+      (match ty_of e pos with
+      | Tdouble ->
+          let x = gen_double ctx e in
+          emit ctx (Movsd_rr (0, x)) pos
+      | Tint | Tarr _ ->
+          let v = gen_int ctx e in
+          emit ctx (Movq (0, v)) pos
+      | t -> err pos "unsupported return type %s" (ty_to_string t));
+      emit ctx Ret pos
+  | Block body ->
+      push_scope ctx;
+      List.iter (gen_stmt ctx) body;
+      pop_scope ctx
+
+(* ---------- functions ---------- *)
+
+let gen_func ~addressing_fold prog layouts fpool fpool_rev fpool_len (f : func)
+    : Program.fundef * int =
+  let ctx =
+    {
+      prog;
+      layouts;
+      code = ref [||];
+      dbg = ref [||];
+      len = 0;
+      next_ireg = abi_regs;
+      next_xreg = abi_regs;
+      scopes = [];
+      labels = Hashtbl.create 16;
+      next_label = 0;
+      fpool;
+      fpool_rev;
+      fpool_len = !fpool_len;
+      this_i = abi_regs;  (* locals 16, 17 reserved for this in methods *)
+      this_f = abi_regs + 1;
+      current_class = f.fclass;
+      addressing_fold;
+    }
+  in
+  push_scope ctx;
+  let pos = f.fspan.lo in
+  (* prologue: copy ABI registers into frame-local registers *)
+  let icount = ref 0 and xcount = ref 0 in
+  if f.fclass <> None then begin
+    ctx.next_ireg <- abi_regs + 2;
+    emit ctx (Movq (ctx.this_i, Reg 0)) pos;
+    emit ctx (Movq (ctx.this_f, Reg 1)) pos;
+    icount := 2
+  end;
+  List.iter
+    (fun p ->
+      match p.pty with
+      | Tint ->
+          let r = fresh_ireg ctx in
+          emit ctx (Movq (r, Reg !icount)) pos;
+          incr icount;
+          bind ctx p.pname (Sint r)
+      | Tarr elem ->
+          let r = fresh_ireg ctx in
+          emit ctx (Movq (r, Reg !icount)) pos;
+          incr icount;
+          let kind =
+            match elem with Tdouble -> Program.Kdouble | _ -> Program.Kint
+          in
+          bind ctx p.pname (Sarr (r, kind))
+      | Tdouble ->
+          let x = fresh_xreg ctx in
+          emit ctx (Movsd_rr (x, !xcount)) pos;
+          incr xcount;
+          bind ctx p.pname (Sdouble x)
+      | t -> err pos "unsupported parameter type %s" (ty_to_string t))
+    f.fparams;
+  List.iter (gen_stmt ctx) f.fbody;
+  (* Implicit return for functions falling off the end (omitted when
+     the body already ends in return, as a real compiler would).
+     Attributed to the function's closing position — deliberately
+     outside every statement span so the bridge counts it once per
+     invocation. *)
+  (match List.rev f.fbody with
+  | { s = Return _; _ } :: _ -> ()
+  | _ -> emit ctx Ret f.fspan.hi);
+  (* patch label targets *)
+  let code = Array.sub !(ctx.code) 0 ctx.len in
+  let resolve l =
+    match Hashtbl.find_opt ctx.labels l with
+    | Some a -> a
+    | None -> err pos "internal: unplaced label %d" l
+  in
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Jmp l -> code.(i) <- Jmp (resolve l)
+      | Jcc (c, l) -> code.(i) <- Jcc (c, resolve l)
+      | _ -> ())
+    code;
+  let dbg = Array.sub !(ctx.dbg) 0 ctx.len in
+  let params =
+    (if f.fclass <> None then [ Program.Kint; Program.Kint ] else [])
+    @ List.map (fun p -> kind_of_ty pos p.pty) f.fparams
+  in
+  ( {
+      Program.name = mangle f;
+      params;
+      ret = kind_of_ty pos f.fret;
+      insns = code;
+      debug = dbg;
+      n_iregs = ctx.next_ireg;
+      n_xregs = ctx.next_xreg;
+    },
+    ctx.fpool_len )
+
+let program ?(addressing_fold = true) (p : program) : Program.t =
+  let layouts = List.map (fun c -> (c.cname, layout_of_class c)) p.classes in
+  let fpool = Hashtbl.create 16 in
+  let fpool_rev = ref [||] in
+  let fpool_len = ref 0 in
+  let funs =
+    List.map
+      (fun f ->
+        let fd, n =
+          gen_func ~addressing_fold p layouts fpool fpool_rev fpool_len f
+        in
+        fpool_len := n;
+        fd)
+      (all_functions p)
+  in
+  { Program.funs; fpool = Array.sub !fpool_rev 0 !fpool_len }

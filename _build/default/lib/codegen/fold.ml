@@ -1,0 +1,109 @@
+open Mira_srclang.Ast
+
+let mk desc (template : expr) = { template with e = desc }
+
+let rec expr (e : expr) : expr =
+  match e.e with
+  | Int_lit _ | Float_lit _ | Var _ -> e
+  | Index (a, i) -> mk (Index (expr a, expr i)) e
+  | Field (o, f) -> mk (Field (expr o, f)) e
+  | Call (f, args) -> mk (Call (f, List.map expr args)) e
+  | Method_call (o, m, args) ->
+      mk (Method_call (expr o, m, List.map expr args)) e
+  | Unop (op, a) -> (
+      let a = expr a in
+      match (op, a.e) with
+      | Neg, Int_lit n -> mk (Int_lit (-n)) e
+      | Neg, Float_lit f -> mk (Float_lit (-.f)) e
+      | Lnot, Int_lit n -> mk (Int_lit (if n = 0 then 1 else 0)) e
+      | _ -> mk (Unop (op, a)) e)
+  | Cast (t, a) -> (
+      let a = expr a in
+      match (t, a.e) with
+      | Tdouble, Int_lit n -> mk (Float_lit (float_of_int n)) e
+      | Tint, Float_lit f -> mk (Int_lit (int_of_float f)) e
+      | _ -> mk (Cast (t, a)) e)
+  | Binop (op, a, b) -> (
+      let a = expr a and b = expr b in
+      let int_result n = mk (Int_lit n) e in
+      let float_result f = mk (Float_lit f) e in
+      let bool_result c = int_result (if c then 1 else 0) in
+      match (op, a.e, b.e) with
+      (* integer folding *)
+      | Add, Int_lit x, Int_lit y -> int_result (x + y)
+      | Sub, Int_lit x, Int_lit y -> int_result (x - y)
+      | Mul, Int_lit x, Int_lit y -> int_result (x * y)
+      | Div, Int_lit x, Int_lit y when y <> 0 -> int_result (x / y)
+      | Mod, Int_lit x, Int_lit y when y <> 0 -> int_result (x mod y)
+      | Lt, Int_lit x, Int_lit y -> bool_result (x < y)
+      | Le, Int_lit x, Int_lit y -> bool_result (x <= y)
+      | Gt, Int_lit x, Int_lit y -> bool_result (x > y)
+      | Ge, Int_lit x, Int_lit y -> bool_result (x >= y)
+      | Eq, Int_lit x, Int_lit y -> bool_result (x = y)
+      | Ne, Int_lit x, Int_lit y -> bool_result (x <> y)
+      | Land, Int_lit x, Int_lit y -> bool_result (x <> 0 && y <> 0)
+      | Lor, Int_lit x, Int_lit y -> bool_result (x <> 0 || y <> 0)
+      (* float folding *)
+      | Add, Float_lit x, Float_lit y -> float_result (x +. y)
+      | Sub, Float_lit x, Float_lit y -> float_result (x -. y)
+      | Mul, Float_lit x, Float_lit y -> float_result (x *. y)
+      | Div, Float_lit x, Float_lit y when y <> 0.0 -> float_result (x /. y)
+      (* identities; sound for ints, and for the float ones we keep
+         only those valid under IEEE (x*1, x/1; not x+0 which alters
+         signed zeros in principle — our corpus does not care, but the
+         conservative set is free) *)
+      | Add, _, Int_lit 0 -> a
+      | Add, Int_lit 0, _ -> b
+      | Sub, _, Int_lit 0 -> a
+      | Mul, _, Int_lit 1 -> a
+      | Mul, Int_lit 1, _ -> b
+      | Mul, _, Float_lit 1.0 -> a
+      | Mul, Float_lit 1.0, _ -> b
+      | Div, _, Int_lit 1 -> a
+      | Div, _, Float_lit 1.0 -> a
+      | Mul, _, Int_lit 0 -> int_result 0
+      | Mul, Int_lit 0, _ -> int_result 0
+      | _ -> mk (Binop (op, a, b)) e)
+
+let rec stmt (st : stmt) : stmt =
+  let s =
+    match st.s with
+    | Decl (t, n, init) -> Decl (t, n, Option.map expr init)
+    | Arr_decl (t, n, size) -> Arr_decl (t, n, expr size)
+    | Assign (lv, e) -> Assign (lvalue lv, expr e)
+    | Op_assign (op, lv, e) -> Op_assign (op, lvalue lv, expr e)
+    | Expr_stmt e -> Expr_stmt (expr e)
+    | If { cond; then_; else_ } ->
+        If { cond = expr cond; then_ = List.map stmt then_;
+             else_ = List.map stmt else_ }
+    | For { init; cond; step; body } ->
+        For
+          {
+            init = { init with iexpr = expr init.iexpr };
+            cond = expr cond;
+            step = { step with sexpr = Option.map expr step.sexpr };
+            body = List.map stmt body;
+          }
+    | While (c, body) -> While (expr c, List.map stmt body)
+    | Return e -> Return (Option.map expr e)
+    | Block body -> Block (List.map stmt body)
+  in
+  { st with s }
+
+and lvalue (lv : lvalue) : lvalue =
+  match lv.l with
+  | Lvar _ -> lv
+  | Lindex (l, e) -> { lv with l = Lindex (lvalue l, expr e) }
+  | Lfield (l, f) -> { lv with l = Lfield (lvalue l, f) }
+
+let func (f : func) = { f with fbody = List.map stmt f.fbody }
+
+let program (p : program) =
+  {
+    p with
+    funcs = List.map func p.funcs;
+    classes =
+      List.map
+        (fun c -> { c with cmethods = List.map func c.cmethods })
+        p.classes;
+  }

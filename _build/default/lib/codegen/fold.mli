@@ -1,0 +1,12 @@
+(** AST-level constant folding and algebraic simplification.
+
+    Runs before lowering at [-O1] and is one of the compiler effects
+    that make binary instruction counts differ from source operation
+    counts (the PBound-vs-Mira contrast in the paper's related-work
+    discussion): [2.0 * 3.0] costs no runtime multiply, [x * 1] is a
+    move, [x * 8] becomes a shift during lowering. *)
+
+val expr : Mira_srclang.Ast.expr -> Mira_srclang.Ast.expr
+val stmt : Mira_srclang.Ast.stmt -> Mira_srclang.Ast.stmt
+val func : Mira_srclang.Ast.func -> Mira_srclang.Ast.func
+val program : Mira_srclang.Ast.program -> Mira_srclang.Ast.program

@@ -1,0 +1,268 @@
+open Mira_visa
+open Mira_visa.Isa
+
+(* Registers of both files share one encoding: int reg r -> 2r,
+   xmm reg r -> 2r+1. *)
+let ir r = 2 * r
+let xr r = (2 * r) + 1
+let is_local enc = enc / 2 >= abi_regs
+
+let addr_uses (a : addr) =
+  ir a.base :: (match a.index with None -> [] | Some i -> [ ir i ])
+
+let iop_uses = function Reg r -> [ ir r ] | Imm _ -> []
+
+(* (uses, defs) of one instruction.  Flag effects are not modeled:
+   flag-setting and flag-using instructions are never removed. *)
+let uses_defs (insn : insn) : int list * int list =
+  match insn with
+  | Movq (d, s) -> (iop_uses s, [ ir d ])
+  | Load (d, a) -> (addr_uses a, [ ir d ])
+  | Store (a, s) -> (addr_uses a @ iop_uses s, [])
+  | Leaq (d, a) -> (addr_uses a, [ ir d ])
+  | Addq (d, s) | Subq (d, s) | Imulq (d, s) | Idivq (d, s) | Iremq (d, s)
+  | Andq (d, s) | Orq (d, s) | Xorq (d, s) ->
+      (ir d :: iop_uses s, [ ir d ])
+  | Negq d | Incq d | Decq d | Shlq (d, _) | Sarq (d, _) ->
+      ([ ir d ], [ ir d ])
+  | Cmpq (a, b) | Testq (a, b) -> (iop_uses a @ iop_uses b, [])
+  | Jmp _ | Nop -> ([], [])
+  | Jcc _ -> ([], [])
+  | Call _ | Call_ext _ | Ret -> ([], [])  (* handled as barriers *)
+  | Movsd_rr (d, s) -> ([ xr s ], [ xr d ])
+  | Movsd_load (d, a) -> (addr_uses a, [ xr d ])
+  | Movsd_store (a, s) -> (addr_uses a @ [ xr s ], [])
+  | Movsd_const (d, _) -> ([], [ xr d ])
+  | Movapd (d, s) ->
+      if d = s then ([ xr d ], [ xr d; xr (d + 1) ])  (* broadcast *)
+      else ([ xr s; xr (s + 1) ], [ xr d; xr (d + 1) ])
+  | Movapd_load (d, a) -> (addr_uses a, [ xr d; xr (d + 1) ])
+  | Movapd_store (a, s) -> (addr_uses a @ [ xr s; xr (s + 1) ], [])
+  | Xorpd d -> ([], [ xr d ])
+  | Addsd (d, s) | Subsd (d, s) | Mulsd (d, s) | Divsd (d, s) ->
+      ([ xr d; xr s ], [ xr d ])
+  | Sqrtsd (d, s) -> ([ xr s ], [ xr d ])
+  | Ucomisd (a, b) -> ([ xr a; xr b ], [])
+  | Addpd (d, s) | Subpd (d, s) | Mulpd (d, s) | Divpd (d, s) ->
+      ([ xr d; xr (d + 1); xr s; xr (s + 1) ], [ xr d; xr (d + 1) ])
+  | Cvtsi2sd (d, s) -> ([ ir s ], [ xr d ])
+  | Cvttsd2si (d, s) -> ([ xr s ], [ ir d ])
+  | Alloc_i (d, n) | Alloc_f (d, n) -> (iop_uses n, [ ir d ])
+
+(* Instructions safe to drop when every defined register is a dead
+   local: no memory writes, no flags, no control, no allocation. *)
+let pure = function
+  | Movq _ | Load _ | Leaq _ | Addq _ | Subq _ | Imulq _ | Idivq _ | Iremq _
+  | Negq _ | Andq _ | Orq _ | Xorq _ | Shlq _ | Sarq _ | Incq _ | Decq _
+  | Movsd_rr _ | Movsd_load _ | Movsd_const _ | Movapd _ | Movapd_load _
+  | Xorpd _ | Addsd _ | Subsd _ | Mulsd _ | Divsd _ | Sqrtsd _ | Cvtsi2sd _
+  | Cvttsd2si _ | Addpd _ | Subpd _ | Mulpd _ | Divpd _ ->
+      true
+  | Store _ | Movsd_store _ | Movapd_store _ | Cmpq _ | Testq _ | Ucomisd _
+  | Jmp _ | Jcc _ | Call _ | Call_ext _ | Ret | Nop | Alloc_i _ | Alloc_f _
+    ->
+      false
+
+module ISet = Set.Make (Int)
+
+(* ---------- liveness over the CFG ---------- *)
+
+let block_starts insns =
+  let n = Array.length insns in
+  let starts = Array.make n false in
+  if n > 0 then starts.(0) <- true;
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Jmp t | Jcc (_, t) ->
+          if t < n then starts.(t) <- true;
+          if i + 1 < n then starts.(i + 1) <- true
+      | Ret -> if i + 1 < n then starts.(i + 1) <- true
+      | _ -> ())
+    insns;
+  starts
+
+(* live_out.(i): registers live after instruction i.  Fixed point over
+   the instruction-level CFG (successors of i are i+1 and/or targets). *)
+let live_out_per_insn insns =
+  let n = Array.length insns in
+  let live_in = Array.make n ISet.empty in
+  let live_out = Array.make n ISet.empty in
+  let succs i =
+    match insns.(i) with
+    | Jmp t -> if t < n then [ t ] else []
+    | Jcc (_, t) ->
+        (if t < n then [ t ] else []) @ if i + 1 < n then [ i + 1 ] else []
+    | Ret -> []
+    | _ -> if i + 1 < n then [ i + 1 ] else []
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> ISet.union acc live_in.(s))
+          ISet.empty (succs i)
+      in
+      let uses, defs = uses_defs insns.(i) in
+      let inn =
+        ISet.union
+          (ISet.of_list (List.filter is_local uses))
+          (ISet.diff out (ISet.of_list defs))
+      in
+      if not (ISet.equal out live_out.(i)) then begin
+        live_out.(i) <- out;
+        changed := true
+      end;
+      if not (ISet.equal inn live_in.(i)) then begin
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  live_out
+
+(* ---------- local copy propagation ---------- *)
+
+(* Within a basic block, rewrite uses of registers that are known
+   copies of other local registers.  Only local-to-local scalar moves
+   are tracked; any redefinition invalidates affected entries. *)
+let copy_propagate insns =
+  let n = Array.length insns in
+  let starts = block_starts insns in
+  let icopy : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let xcopy : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let resolve tbl r =
+    match Hashtbl.find_opt tbl r with Some s -> s | None -> r
+  in
+  let ri r = if r >= abi_regs then resolve icopy r else r in
+  let rx r = if r >= abi_regs then resolve xcopy r else r in
+  let rop = function Reg r -> Reg (ri r) | Imm n -> Imm n in
+  let raddr (a : addr) =
+    { a with base = ri a.base; index = Option.map ri a.index }
+  in
+  let invalidate tbl r =
+    Hashtbl.remove tbl r;
+    let stale =
+      Hashtbl.fold (fun k v acc -> if v = r then k :: acc else acc) tbl []
+    in
+    List.iter (Hashtbl.remove tbl) stale
+  in
+  let out = Array.copy insns in
+  for i = 0 to n - 1 do
+    if starts.(i) then begin
+      Hashtbl.reset icopy;
+      Hashtbl.reset xcopy
+    end;
+    (* rewrite uses *)
+    let insn =
+      match insns.(i) with
+      | Movq (d, s) -> Movq (d, rop s)
+      | Load (d, a) -> Load (d, raddr a)
+      | Store (a, s) -> Store (raddr a, rop s)
+      | Leaq (d, a) -> Leaq (d, raddr a)
+      | Addq (d, s) -> Addq (d, rop s)
+      | Subq (d, s) -> Subq (d, rop s)
+      | Imulq (d, s) -> Imulq (d, rop s)
+      | Idivq (d, s) -> Idivq (d, rop s)
+      | Iremq (d, s) -> Iremq (d, rop s)
+      | Andq (d, s) -> Andq (d, rop s)
+      | Orq (d, s) -> Orq (d, rop s)
+      | Xorq (d, s) -> Xorq (d, rop s)
+      | Cmpq (a, b) -> Cmpq (rop a, rop b)
+      | Testq (a, b) -> Testq (rop a, rop b)
+      | Movsd_rr (d, s) -> Movsd_rr (d, rx s)
+      | Movsd_load (d, a) -> Movsd_load (d, raddr a)
+      | Movsd_store (a, s) -> Movsd_store (raddr a, rx s)
+      | Movapd_load (d, a) -> Movapd_load (d, raddr a)
+      | Movapd_store (a, s) -> Movapd_store (raddr a, s)
+      | Addsd (d, s) -> Addsd (d, rx s)
+      | Subsd (d, s) -> Subsd (d, rx s)
+      | Mulsd (d, s) -> Mulsd (d, rx s)
+      | Divsd (d, s) -> Divsd (d, rx s)
+      | Sqrtsd (d, s) -> Sqrtsd (d, rx s)
+      | Ucomisd (a, b) -> Ucomisd (rx a, rx b)
+      | Cvtsi2sd (d, s) -> Cvtsi2sd (d, ri s)
+      | Cvttsd2si (d, s) -> Cvttsd2si (d, rx s)
+      | Alloc_i (d, s) -> Alloc_i (d, rop s)
+      | Alloc_f (d, s) -> Alloc_f (d, rop s)
+      | insn -> insn
+    in
+    out.(i) <- insn;
+    (* invalidate on defs *)
+    let _, defs = uses_defs insn in
+    List.iter
+      (fun enc ->
+        let r = enc / 2 in
+        if enc land 1 = 0 then invalidate icopy r else invalidate xcopy r)
+      defs;
+    (* record fresh local-to-local copies *)
+    (match insn with
+    | Movq (d, Reg s) when d >= abi_regs && s >= abi_regs && d <> s ->
+        Hashtbl.replace icopy d (resolve icopy s)
+    | Movsd_rr (d, s) when d >= abi_regs && s >= abi_regs && d <> s ->
+        Hashtbl.replace xcopy d (resolve xcopy s)
+    | _ -> ())
+  done;
+  out
+
+(* ---------- dead-move elimination ---------- *)
+
+let eliminate_dead (f : Program.fundef) : Program.fundef * bool =
+  let insns = f.insns in
+  let n = Array.length insns in
+  let live_out = live_out_per_insn insns in
+  let keep = Array.make n true in
+  let removed = ref false in
+  for i = 0 to n - 1 do
+    let insn = insns.(i) in
+    if pure insn then begin
+      let _, defs = uses_defs insn in
+      if defs <> [] && List.for_all is_local defs
+         && List.for_all (fun d -> not (ISet.mem d live_out.(i))) defs
+      then begin
+        keep.(i) <- false;
+        removed := true
+      end
+    end
+  done;
+  if not !removed then (f, false)
+  else begin
+    let new_index = Array.make (n + 1) 0 in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      new_index.(i) <- !count;
+      if keep.(i) then incr count
+    done;
+    new_index.(n) <- !count;
+    let insns' = Array.make !count Nop in
+    let debug' = Array.make (max 1 !count) { Program.line = 0; col = 0 } in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if keep.(i) then begin
+        insns'.(!j) <-
+          (match insns.(i) with
+          | Jmp t -> Jmp new_index.(t)
+          | Jcc (c, t) -> Jcc (c, new_index.(t))
+          | insn -> insn);
+        debug'.(!j) <- f.debug.(i);
+        incr j
+      end
+    done;
+    ({ f with insns = insns'; debug = Array.sub debug' 0 !count }, true)
+  end
+
+let fundef (f : Program.fundef) : Program.fundef =
+  (* propagate, eliminate, repeat until stable (bounded) *)
+  let rec go (f : Program.fundef) rounds =
+    if rounds = 0 then f
+    else
+      let f = { f with Program.insns = copy_propagate f.Program.insns } in
+      let f, changed = eliminate_dead f in
+      if changed then go f (rounds - 1) else f
+  in
+  go f 4
+
+let program (p : Program.t) : Program.t =
+  { p with funs = List.map fundef p.funs }

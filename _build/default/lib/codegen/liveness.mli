@@ -1,0 +1,15 @@
+(** Register liveness + local copy propagation + dead-move elimination.
+
+    The lowering emits SSA-ish code with many protective
+    register-to-register copies.  This pass (part of [-O1]) propagates
+    copies within basic blocks and removes pure instructions whose
+    results are never read, using a global backward liveness analysis
+    over the function's CFG.
+
+    ABI registers (indices below {!Mira_visa.Isa.abi_regs}) are
+    treated as permanently live and are never rewritten — calls and
+    returns communicate through them.  Stores, calls, jumps, flag
+    tests and allocations are never removed. *)
+
+val fundef : Mira_visa.Program.fundef -> Mira_visa.Program.fundef
+val program : Mira_visa.Program.t -> Mira_visa.Program.t

@@ -1,0 +1,42 @@
+open Mira_visa
+open Mira_visa.Isa
+
+let removable = function
+  | Movq (d, Reg s) when d = s -> true
+  | Movsd_rr (d, s) when d = s -> true
+  | Nop -> true
+  | _ -> false
+
+let fundef (f : Program.fundef) : Program.fundef =
+  let n = Array.length f.insns in
+  let keep = Array.make n true in
+  Array.iteri (fun i insn -> if removable insn then keep.(i) <- false) f.insns;
+  (* jump targets must survive: a removed instruction that is a target
+     retargets to the next kept one; compute new index mapping *)
+  let new_index = Array.make (n + 1) 0 in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    new_index.(i) <- !count;
+    if keep.(i) then incr count
+  done;
+  new_index.(n) <- !count;
+  let insns = Array.make !count Nop in
+  let debug = Array.make (max 1 !count) { Program.line = 0; col = 0 } in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      let insn =
+        match f.insns.(i) with
+        | Jmp t -> Jmp new_index.(t)
+        | Jcc (c, t) -> Jcc (c, new_index.(t))
+        | insn -> insn
+      in
+      insns.(!j) <- insn;
+      debug.(!j) <- f.debug.(i);
+      incr j
+    end
+  done;
+  { f with insns; debug = Array.sub debug 0 !count }
+
+let program (p : Program.t) : Program.t =
+  { p with funs = List.map fundef p.funs }

@@ -1,0 +1,6 @@
+(** Peephole cleanup on emitted code: removes no-op moves
+    ([movq r, r], [movsd x, x]) and [nop]s, remapping jump targets.
+    Applied at [-O1]. *)
+
+val fundef : Mira_visa.Program.fundef -> Mira_visa.Program.fundef
+val program : Mira_visa.Program.t -> Mira_visa.Program.t

@@ -1,0 +1,301 @@
+open Mira_visa
+open Mira_visa.Isa
+
+(* Remap xmm registers to even frame-local indices so every register
+   has a free pair slot (r, r+1).  ABI registers stay put. *)
+let remap_xregs (f : Program.fundef) : Program.fundef =
+  let m r = if r < abi_regs then r else abi_regs + (2 * (r - abi_regs)) in
+  let insns =
+    Array.map
+      (fun insn ->
+        match insn with
+        | Movsd_rr (d, s) -> Movsd_rr (m d, m s)
+        | Movsd_load (d, a) -> Movsd_load (m d, a)
+        | Movsd_store (a, s) -> Movsd_store (a, m s)
+        | Movsd_const (d, k) -> Movsd_const (m d, k)
+        | Movapd (d, s) -> Movapd (m d, m s)
+        | Movapd_load (d, a) -> Movapd_load (m d, a)
+        | Movapd_store (a, s) -> Movapd_store (a, m s)
+        | Xorpd d -> Xorpd (m d)
+        | Addsd (d, s) -> Addsd (m d, m s)
+        | Subsd (d, s) -> Subsd (m d, m s)
+        | Mulsd (d, s) -> Mulsd (m d, m s)
+        | Divsd (d, s) -> Divsd (m d, m s)
+        | Sqrtsd (d, s) -> Sqrtsd (m d, m s)
+        | Ucomisd (d, s) -> Ucomisd (m d, m s)
+        | Addpd (d, s) -> Addpd (m d, m s)
+        | Subpd (d, s) -> Subpd (m d, m s)
+        | Mulpd (d, s) -> Mulpd (m d, m s)
+        | Divpd (d, s) -> Divpd (m d, m s)
+        | Cvtsi2sd (d, s) -> Cvtsi2sd (m d, s)
+        | Cvttsd2si (d, s) -> Cvttsd2si (d, m s)
+        | insn -> insn)
+      f.insns
+  in
+  let n_xregs = abi_regs + (2 * (f.n_xregs - abi_regs)) + 2 in
+  { f with insns; n_xregs }
+
+type loop_info = {
+  header : int;  (* address of the Cmpq *)
+  jcc_at : int;
+  body_lo : int;
+  incq_at : int;
+  jmp_at : int;
+  counter : ireg;
+}
+
+(* Find innermost loops: a backward Jmp to a Cmpq/Jcc pair, with the
+   counter increment immediately before the Jmp. *)
+let find_loops (f : Program.fundef) : loop_info list =
+  let acc = ref [] in
+  Array.iteri
+    (fun j insn ->
+      match insn with
+      | Jmp t when t < j && j >= 2 -> (
+          match (f.insns.(t), f.insns.(t + 1), f.insns.(j - 1)) with
+          | Cmpq (Reg r, _), Jcc ((GE | G | LE | L | E | NE), exit_), Incq r'
+            when r = r' && exit_ = j + 1 ->
+              acc :=
+                {
+                  header = t;
+                  jcc_at = t + 1;
+                  body_lo = t + 2;
+                  incq_at = j - 1;
+                  jmp_at = j;
+                  counter = r;
+                }
+                :: !acc
+          | _ -> ())
+      | _ -> ())
+    f.insns;
+  !acc
+
+(* The loop body (between body_lo and incq_at, exclusive) is eligible
+   when it is straight-line scalar SSE2 code with stride-1 accesses
+   indexed by the counter and no loop-carried floating-point values
+   (reductions must stay scalar: packed lanes would accumulate
+   independent partial sums). *)
+let eligible (f : Program.fundef) (l : loop_info) : bool =
+  let ok = ref (l.incq_at > l.body_lo) in
+  let written = Hashtbl.create 8 in
+  let carried = ref false in
+  let read r =
+    (* a register read before any write in the body is live-in; if the
+       body also writes it, the value is loop-carried *)
+    if not (Hashtbl.mem written r) then
+      Hashtbl.replace written r `Live_in
+  in
+  let write r =
+    (match Hashtbl.find_opt written r with
+    | Some `Live_in -> carried := true
+    | _ -> ());
+    Hashtbl.replace written r `Written
+  in
+  for i = l.body_lo to l.incq_at - 1 do
+    (match f.insns.(i) with
+    | Movsd_load (d, a) ->
+        if not (a.index = Some l.counter && a.scale = 1) then ok := false;
+        write d
+    | Movsd_store (a, s) ->
+        if not (a.index = Some l.counter && a.scale = 1) then ok := false;
+        read s
+    | Movsd_rr (d, s) ->
+        read s;
+        write d
+    | Movsd_const (d, _) | Xorpd d -> write d
+    | Addsd (d, s) | Subsd (d, s) | Mulsd (d, s) | Divsd (d, s) ->
+        read s;
+        read d;
+        write d
+    | _ -> ok := false)
+  done;
+  !ok && not !carried
+
+(* Registers read in the body before being written there: live-in
+   scalars that need broadcasting. *)
+let live_in_xregs (f : Program.fundef) (l : loop_info) : xreg list =
+  let written = Hashtbl.create 8 in
+  let live = ref [] in
+  let read r =
+    if (not (Hashtbl.mem written r)) && not (List.mem r !live) then
+      live := r :: !live
+  in
+  let write r = Hashtbl.replace written r () in
+  for i = l.body_lo to l.incq_at - 1 do
+    match f.insns.(i) with
+    | Movsd_load (d, _) -> write d
+    | Movsd_store (_, s) -> read s
+    | Movsd_rr (d, s) ->
+        read s;
+        write d
+    | Movsd_const (d, _) | Xorpd d -> write d
+    | Addsd (d, s) | Subsd (d, s) | Mulsd (d, s) | Divsd (d, s) ->
+        read s;
+        read d;
+        write d
+    | _ -> ()
+  done;
+  List.rev !live
+
+let pack = function
+  | Movsd_load (d, a) -> Movapd_load (d, a)
+  | Movsd_store (a, s) -> Movapd_store (a, s)
+  | Movsd_rr (d, s) -> Movapd (d, s)
+  | Addsd (d, s) -> Addpd (d, s)
+  | Subsd (d, s) -> Subpd (d, s)
+  | Mulsd (d, s) -> Mulpd (d, s)
+  | Divsd (d, s) -> Divpd (d, s)
+  | insn -> insn  (* Movsd_const / Xorpd handled via broadcast *)
+
+let transform_fundef (f : Program.fundef) : Program.fundef =
+  let loops = List.filter (eligible f) (find_loops f) in
+  if loops = [] then f
+  else
+    let f = remap_xregs f in
+    (* Only `i < bound` loops (GE-exit, register counter) are
+       transformed: that shape admits the scalar remainder epilogue
+       below, so vectorization is correct for any trip count. *)
+    let loops =
+      List.filter
+        (fun l ->
+          (match f.insns.(l.jcc_at) with
+          | Jcc (GE, e) -> e = l.jmp_at + 1
+          | _ -> false)
+          && eligible f l)
+        (find_loops f)
+    in
+    if loops = [] then f
+    else begin
+      let n = Array.length f.insns in
+      let fresh_ireg = ref f.n_iregs in
+      (* per-loop rewrite plans *)
+      let pre : (int, (Isa.insn * Program.debug) list) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      let hdr_cmp : (int, Isa.insn) Hashtbl.t = Hashtbl.create 8 in
+      let epi : (int, loop_info) Hashtbl.t = Hashtbl.create 8 in
+      let back_jumps : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun l ->
+          let dbg_hdr = f.debug.(l.header) in
+          let casts =
+            List.map
+              (fun r -> (Movapd (r, r), dbg_hdr))
+              (live_in_xregs f l)
+            (* Movapd (r, r) is a stand-in for unpcklpd r, r: the VM
+               broadcasts the low lane on self-moves *)
+          in
+          let bound_items, new_cmp =
+            match f.insns.(l.header) with
+            | Cmpq (Reg r, Imm k) -> ([], Cmpq (Reg r, Imm (k - 1)))
+            | Cmpq (Reg r, Reg b) ->
+                let tmp = !fresh_ireg in
+                incr fresh_ireg;
+                ( [ (Movq (tmp, Reg b), dbg_hdr); (Decq tmp, dbg_hdr) ],
+                  Cmpq (Reg r, Reg tmp) )
+            | _ -> assert false
+          in
+          Hashtbl.replace pre l.header (bound_items @ casts);
+          Hashtbl.replace hdr_cmp l.header new_cmp;
+          Hashtbl.replace epi (l.jmp_at + 1) l;
+          Hashtbl.replace back_jumps l.jmp_at ())
+        loops;
+      let in_body i =
+        List.exists (fun l -> i >= l.body_lo && i < l.incq_at) loops
+      in
+      let is_incq i = List.exists (fun l -> i = l.incq_at) loops in
+      (* item: instruction, debug, and whether its jump target is in
+         the OLD index space (needs remapping) *)
+      let buf = ref [] in
+      let count = ref 0 in
+      let emit ?(remap = false) insn dbg =
+        buf := (insn, dbg, remap) :: !buf;
+        incr count
+      in
+      let new_index = Array.make (n + 1) 0 in
+      let insn_pos = Array.make (n + 1) 0 in
+      for i = 0 to n - 1 do
+        new_index.(i) <- !count;
+        (* scalar remainder epilogue sits at the loop's exit point, so
+           the main loop's exit lands on it *)
+        (match Hashtbl.find_opt epi i with
+        | Some l ->
+            let counter =
+              match f.insns.(l.incq_at) with
+              | Incq r -> r
+              | _ -> assert false
+            in
+            let bound =
+              match f.insns.(l.header) with
+              | Cmpq (_, op) -> op
+              | _ -> assert false
+            in
+            let body_len = l.incq_at - l.body_lo in
+            let after = !count + 2 + body_len + 1 in
+            emit (Cmpq (Reg counter, bound)) f.debug.(l.header);
+            emit (Jcc (GE, after)) f.debug.(l.jcc_at);
+            for k = l.body_lo to l.incq_at - 1 do
+              emit f.insns.(k) f.debug.(k)
+            done;
+            emit (Incq counter) f.debug.(l.incq_at)
+        | None -> ());
+        (match Hashtbl.find_opt pre i with
+        | Some items -> List.iter (fun (insn, dbg) -> emit insn dbg) items
+        | None -> ());
+        insn_pos.(i) <- !count;
+        let insn =
+          if Hashtbl.mem hdr_cmp i then Hashtbl.find hdr_cmp i
+          else if in_body i then pack f.insns.(i)
+          else if is_incq i then
+            Addq
+              ( (match f.insns.(i) with Incq r -> r | _ -> assert false),
+                Imm 2 )
+          else f.insns.(i)
+        in
+        (* back-jumps re-enter after the preheader; other jumps remap
+           straight through *)
+        if Hashtbl.mem back_jumps i then begin
+          match insn with
+          | Jmp t ->
+              buf := (Jmp t, f.debug.(i), true) :: !buf;
+              incr count
+          | _ -> assert false
+        end
+        else emit ~remap:true insn f.debug.(i)
+      done;
+      new_index.(n) <- !count;
+      (* skip preheaders when re-entering loops from their back-jumps *)
+      let headers = Hashtbl.create 8 in
+      List.iter (fun l -> Hashtbl.replace headers l.header ()) loops;
+      let items = Array.of_list (List.rev !buf) in
+      let insns =
+        Array.map
+          (fun (insn, _, remap) ->
+            if not remap then insn
+            else
+              match insn with
+              | Jmp t when Hashtbl.mem headers t -> Jmp insn_pos.(t)
+              | Jmp t -> Jmp new_index.(t)
+              | Jcc (c, t) -> Jcc (c, new_index.(t))
+              | insn -> insn)
+          items
+      in
+      let debug = Array.map (fun (_, d, _) -> d) items in
+      { f with insns; debug; n_iregs = !fresh_ireg }
+    end
+
+let program (p : Program.t) : Program.t =
+  { p with funs = List.map transform_fundef p.funs }
+
+let vectorized_lines (p : Program.t) : (string * int list) list =
+  List.filter_map
+    (fun (f : Program.fundef) ->
+      let lines = ref [] in
+      Array.iteri
+        (fun i insn ->
+          if Isa.is_packed insn then
+            let line = f.debug.(i).Program.line in
+            if not (List.mem line !lines) then lines := line :: !lines)
+        f.insns;
+      if !lines = [] then None else Some (f.name, List.sort compare !lines))
+    p.funs

@@ -1,0 +1,23 @@
+(** 2-wide vectorization of eligible innermost loops, applied to the
+    emitted code at [-O2].
+
+    A loop is eligible when it has the [i < bound] shape, its body is
+    straight-line SSE2 scalar code whose memory accesses are stride-1
+    in the loop variable, its only integer work is the counter
+    increment, and it carries no floating-point value across
+    iterations (reductions stay scalar).  The transformation doubles
+    the step, rewrites scalar ops to their packed forms, broadcasts
+    live-in scalars in the preheader, and appends a scalar remainder
+    epilogue — so it is semantics-preserving for any trip count.
+
+    The binary's main loop runs half the source trip count while the
+    source still reads as N iterations, and the epilogue duplicates
+    the body on the same source lines — exactly the source/binary
+    bridging hazard the ablation benchmark studies (and that
+    {!Mira_core.Model_eval.fpi_vectorization_aware} corrects). *)
+
+val program : Mira_visa.Program.t -> Mira_visa.Program.t
+
+val vectorized_lines : Mira_visa.Program.t -> (string * int list) list
+(** For each function, source lines whose instructions were packed —
+    what Mira's packed-aware correction consumes. *)

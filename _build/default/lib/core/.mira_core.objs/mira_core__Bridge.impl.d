@@ -1,0 +1,1 @@
+lib/core/bridge.ml: Array Binast Hashtbl List Loc Mira_srclang Mira_visa Option

@@ -1,0 +1,1 @@
+lib/core/bridge.mli: Mira_srclang Mira_visa

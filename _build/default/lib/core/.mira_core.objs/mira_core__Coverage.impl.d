@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Buffer List Mira_srclang Printf

@@ -1,0 +1,1 @@
+lib/core/input_processor.mli: Mira_codegen Mira_srclang Mira_visa

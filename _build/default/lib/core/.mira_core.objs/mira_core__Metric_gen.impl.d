@@ -1,0 +1,1 @@
+lib/core/metric_gen.ml: Bridge Count Domain Format Hashtbl List Loc Mira_poly Mira_srclang Mira_symexpr Model_ir Option Parser Poly Printf Set String

@@ -1,0 +1,1 @@
+lib/core/metric_gen.mli: Bridge Mira_srclang Model_ir

@@ -1,0 +1,1 @@
+lib/core/mira.ml: Bridge Input_processor Metric_gen Mira_srclang Mira_visa Model_eval Model_ir Python_emit

@@ -1,0 +1,1 @@
+lib/core/mira.mli: Input_processor Mira_codegen Model_ir

@@ -1,0 +1,1 @@
+lib/core/model_eval.ml: Count Domain Enumerate Expr Hashtbl List Mira_poly Mira_symexpr Mira_visa Model_ir Option Poly Ratio

@@ -1,0 +1,1 @@
+lib/core/model_eval.mli: Model_ir

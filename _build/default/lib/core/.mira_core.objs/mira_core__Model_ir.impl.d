@@ -1,0 +1,1 @@
+lib/core/model_ir.ml: Count Domain Expr List Mira_poly Mira_symexpr Poly Printf String

@@ -1,0 +1,1 @@
+lib/core/predict.ml: Archdesc Float Format List Mira_arch Option Report

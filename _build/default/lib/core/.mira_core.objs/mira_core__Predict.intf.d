@@ -1,0 +1,1 @@
+lib/core/predict.mli: Format Mira_arch

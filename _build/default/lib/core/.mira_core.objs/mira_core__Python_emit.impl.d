@@ -1,0 +1,1 @@
+lib/core/python_emit.ml: Buffer Count Expr List Mira_poly Mira_symexpr Model_ir Poly Printf String

@@ -1,0 +1,1 @@
+lib/core/python_emit.mli: Model_ir

@@ -1,0 +1,1 @@
+lib/core/report.ml: Archdesc Buffer Float Hashtbl List Mira_arch Option Printf String

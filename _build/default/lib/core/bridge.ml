@@ -1,0 +1,71 @@
+open Mira_srclang
+open Mira_visa
+
+type fn_bridge = {
+  positions : Loc.pos array;
+  mnemonics : string array;
+  claimed : bool array;
+}
+
+type t = (string, fn_bridge) Hashtbl.t
+
+let create (bast : Binast.t) : t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Binast.bin_func) ->
+      let n = List.length f.finsns in
+      let positions = Array.make n (Loc.pos 0 0) in
+      let mnemonics = Array.make n "" in
+      List.iteri
+        (fun i (insn : Binast.bin_insn) ->
+          positions.(i) <- Loc.pos insn.line insn.col;
+          mnemonics.(i) <- insn.mnemonic)
+        f.finsns;
+      Hashtbl.replace tbl f.fname
+        { positions; mnemonics; claimed = Array.make n false })
+    bast.bfuncs;
+  tbl
+
+let of_items items : t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, arr) ->
+      let n = Array.length arr in
+      Hashtbl.replace tbl name
+        {
+          positions = Array.map fst arr;
+          mnemonics = Array.map snd arr;
+          claimed = Array.make n false;
+        })
+    items;
+  tbl
+
+let fn t name = Hashtbl.find_opt t name
+
+let fn_exn t name =
+  match fn t name with
+  | Some b -> b
+  | None -> invalid_arg ("Bridge.fn_exn: unknown function " ^ name)
+
+let collect fb pred =
+  let counts = Hashtbl.create 8 in
+  Array.iteri
+    (fun i pos ->
+      if (not fb.claimed.(i)) && pred pos then begin
+        fb.claimed.(i) <- true;
+        let m = fb.mnemonics.(i) in
+        Hashtbl.replace counts m
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts m))
+      end)
+    fb.positions;
+  Hashtbl.fold (fun m c acc -> (m, c) :: acc) counts []
+  |> List.sort compare
+
+let claim_span fb span = collect fb (Loc.contains span)
+let claim_rest fb = collect fb (fun _ -> true)
+
+let unclaimed fb =
+  Array.fold_left (fun n c -> if c then n else n + 1) 0 fb.claimed
+
+let size fb = Array.length fb.positions
+let reset fb = Array.fill fb.claimed 0 (Array.length fb.claimed) false

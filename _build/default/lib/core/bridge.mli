@@ -1,0 +1,38 @@
+(** The source↔binary bridge (paper §III-A2).
+
+    Binds each binary-AST instruction to source coordinates recovered
+    from [.debug_line], and answers the metric generator's queries:
+    "which instructions belong to this source span / sub-expression
+    position".  Instructions are {e claimed} as they are queried so the
+    generator can verify every instruction was attributed exactly once
+    (full coverage of the function body). *)
+
+type fn_bridge
+
+type t
+
+val create : Mira_visa.Binast.t -> t
+
+val of_items : (string * (Mira_srclang.Loc.pos * string) array) list -> t
+(** Build a bridge from arbitrary positioned items (per function name).
+    Lets the metric generator run over other cost domains — the PBound
+    baseline feeds it source-level operations instead of binary
+    instructions. *)
+
+val fn : t -> string -> fn_bridge option
+(** Bridge for one (mangled) function name. *)
+
+val fn_exn : t -> string -> fn_bridge
+
+val claim_span : fn_bridge -> Mira_srclang.Loc.span -> (string * int) list
+(** Claim all not-yet-claimed instructions whose source position lies
+    inside the span; returns mnemonic counts.  Claims are destructive:
+    a second overlapping query does not double count. *)
+
+val claim_rest : fn_bridge -> (string * int) list
+(** Claim everything still unclaimed (function prologue/epilogue). *)
+
+val unclaimed : fn_bridge -> int
+val size : fn_bridge -> int
+
+val reset : fn_bridge -> unit

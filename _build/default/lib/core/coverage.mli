@@ -1,0 +1,17 @@
+(** Loop-coverage survey (paper Table I): for a program, how many
+    loops it has, how many statements, and what fraction of statements
+    sit inside loop bodies. *)
+
+type t = {
+  app : string;
+  loops : int;
+  statements : int;
+  in_loops : int;
+}
+
+val percentage : t -> float
+
+val of_program : name:string -> Mira_srclang.Ast.program -> t
+
+val table : t list -> string
+(** Render rows in the shape of Table I. *)

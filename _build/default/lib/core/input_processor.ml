@@ -1,0 +1,34 @@
+type t = {
+  source_name : string;
+  source : string;
+  ast : Mira_srclang.Ast.program;
+  object_bytes : string;
+  binast : Mira_visa.Binast.t;
+  level : Mira_codegen.Codegen.level;
+}
+
+let process ?(level = Mira_codegen.Codegen.O1) ~source_name source =
+  (* The analysis AST is folded the same way the compiler folds (spans
+     are preserved), so the metric generator's value propagation sees
+     the expressions the binary actually implements; the compiler
+     still parses its own copy. *)
+  let parsed = Mira_srclang.Parser.parse source in
+  let parsed =
+    match level with
+    | Mira_codegen.Codegen.O0 -> parsed
+    | Mira_codegen.Codegen.O1 | Mira_codegen.Codegen.O2 ->
+        Mira_codegen.Fold.program parsed
+  in
+  let ast = Mira_srclang.Typecheck.check_exn parsed in
+  let object_bytes = Mira_codegen.Codegen.compile_to_object ~level source in
+  let binast = Mira_visa.Binast.of_object object_bytes in
+  { source_name; source; ast; object_bytes; binast; level }
+
+let process_file ?level path =
+  let ic = open_in_bin path in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  process ?level ~source_name:(Filename.basename path) source

@@ -1,0 +1,25 @@
+(** The Input Processor (paper §III-A): parses the source into the
+    source AST and puts the compiled object file through the binary
+    path (encode → decode → disassemble) to obtain the binary AST.
+
+    Note the deliberate round-trip: Mira only ever sees the {e decoded
+    object bytes}, never the compiler's in-memory program, mirroring
+    the paper's setup where the binary comes from an external
+    toolchain. *)
+
+type t = {
+  source_name : string;
+  source : string;
+  ast : Mira_srclang.Ast.program;  (** typechecked source AST *)
+  object_bytes : string;
+  binast : Mira_visa.Binast.t;
+  level : Mira_codegen.Codegen.level;
+}
+
+val process :
+  ?level:Mira_codegen.Codegen.level -> source_name:string -> string -> t
+(** Process mini-C source text.
+    @raise Mira_srclang.Parser.Error, [Failure] (typechecking),
+    Mira_codegen.Codegen.Error. *)
+
+val process_file : ?level:Mira_codegen.Codegen.level -> string -> t

@@ -1,0 +1,26 @@
+(** The Metric Generator (paper §III-B): traverses the source AST with
+    the binary AST attached through the {!Bridge} and produces the
+    performance model.
+
+    The bottom-up phase of the paper (hoisting SCoP information to
+    loop head nodes) corresponds to {!Scop} extraction here; the
+    top-down phase is the walk that pushes polyhedral context (loop
+    levels, branch constraints, annotation scales) into nested
+    structures while claiming each structure's instructions from the
+    bridge.
+
+    Every instruction of every analyzed function is attributed exactly
+    once: statement buckets claim their spans, loop heads claim their
+    init/cond/step sub-spans with the right multiplicities (once,
+    n+1, n), and whatever remains (prologue, epilogue) is charged once
+    per invocation. *)
+
+exception Unsupported of string * Mira_srclang.Loc.pos
+
+val build : source_name:string -> Mira_srclang.Ast.program -> Bridge.t -> Model_ir.t
+(** Build models for every function in the program.  The AST must be
+    typechecked; the bridge must come from the same program's compiled
+    binary.
+    @raise Unsupported only for malformed inputs (analysis limitations
+    produce warnings and parameters instead, as the paper's annotation
+    workflow expects). *)

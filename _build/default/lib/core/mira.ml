@@ -1,0 +1,23 @@
+type t = { input : Input_processor.t; model : Model_ir.t }
+
+let analyze ?level ?(source_name = "<memory>") source =
+  let input = Input_processor.process ?level ~source_name source in
+  let bridge = Bridge.create input.binast in
+  let model = Metric_gen.build ~source_name input.ast bridge in
+  { input; model }
+
+let analyze_file ?level path =
+  let input = Input_processor.process_file ?level path in
+  let bridge = Bridge.create input.binast in
+  let model = Metric_gen.build ~source_name:input.source_name input.ast bridge in
+  { input; model }
+
+let counts t ~fname ~env = Model_eval.eval t.model ~fname ~env
+let counts_split t ~fname ~env = Model_eval.eval_split t.model ~fname ~env
+let fpi t ~fname ~env = Model_eval.fpi (counts t ~fname ~env)
+let python_model t = Python_emit.emit t.model
+
+let parameters t ~fname = (Model_ir.find_exn t.model fname).mf_params
+let warnings t = Model_ir.all_warnings t.model
+let source_dot t = Mira_srclang.Dot.of_program t.input.ast
+let binary_dot t = Mira_visa.Binast.to_dot t.input.binast

@@ -1,0 +1,45 @@
+(** Facade tying the pipeline together: source → input processing →
+    bridge → metric generation → model, plus evaluation and reporting
+    conveniences.  This is the API the CLI, examples and benchmarks
+    use. *)
+
+type t = {
+  input : Input_processor.t;
+  model : Model_ir.t;
+}
+
+val analyze :
+  ?level:Mira_codegen.Codegen.level -> ?source_name:string -> string -> t
+(** Analyze mini-C source text (builds the model for every function). *)
+
+val analyze_file : ?level:Mira_codegen.Codegen.level -> string -> t
+
+val counts :
+  t -> fname:string -> env:(string * int) list -> (string * float) list
+(** Predicted per-mnemonic counts for one invocation of [fname] (the
+    mangled name, e.g. ["cg_solve"] or ["A::foo"]). *)
+
+val counts_split :
+  t -> fname:string -> env:(string * int) list ->
+  (string * (float * float)) list
+(** (serial, parallel) per-mnemonic counts, split by [{parallel:yes}]
+    annotations — feeds {!Predict.parallel_estimate}. *)
+
+val fpi : t -> fname:string -> env:(string * int) list -> float
+(** Predicted floating-point instruction count — the paper's headline
+    metric. *)
+
+val python_model : t -> string
+(** The generated Python model (Figure 5). *)
+
+val parameters : t -> fname:string -> string list
+(** Model parameters [fname]'s evaluation requires. *)
+
+val warnings : t -> (string * string) list
+(** (function, warning) pairs accumulated during analysis. *)
+
+val source_dot : t -> string
+(** Source AST in Graphviz form (Figure 2). *)
+
+val binary_dot : t -> string
+(** Binary AST in Graphviz form (Figure 3). *)

@@ -1,0 +1,258 @@
+open Mira_symexpr
+open Mira_poly
+
+exception Missing_parameter of string * string
+
+let lookup fname env p =
+  match List.assoc_opt p env with
+  | Some v -> v
+  | None -> raise (Missing_parameter (fname, p))
+
+let eval_count fname env (c : Count.result) : float =
+  match c with
+  | Count.Closed e -> Expr.eval_float (fun v -> float_of_int (lookup fname env v)) e
+  | Count.Deferred d ->
+      let params =
+        List.map (fun p -> (p, lookup fname env p)) (Domain.parameters d)
+      in
+      float_of_int (Enumerate.count ~params d)
+
+let eval_mult fname env (m : Model_ir.mult) : float =
+  m.scale
+  *. List.fold_left
+       (fun acc (sign, c) ->
+         acc +. (float_of_int sign *. eval_count fname env c))
+       0.0 m.terms
+
+let add_counts tbl scale counts =
+  List.iter
+    (fun (m, c) ->
+      Hashtbl.replace tbl m
+        (Option.value ~default:0.0 (Hashtbl.find_opt tbl m)
+        +. (scale *. float_of_int c)))
+    counts
+
+let add_scaled tbl scale counts =
+  List.iter
+    (fun (m, c) ->
+      Hashtbl.replace tbl m
+        (Option.value ~default:0.0 (Hashtbl.find_opt tbl m) +. (scale *. c)))
+    counts
+
+(* Split accumulation: (serial, parallel) per mnemonic. *)
+let add_counts2 tbl scale ~parallel counts =
+  List.iter
+    (fun (m, c) ->
+      let s0, p0 =
+        Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt tbl m)
+      in
+      let v = scale *. float_of_int c in
+      Hashtbl.replace tbl m
+        (if parallel then (s0, p0 +. v) else (s0 +. v, p0)))
+    counts
+
+let add_scaled2 tbl scale ~parallel counts =
+  List.iter
+    (fun (m, (cs, cp)) ->
+      let s0, p0 =
+        Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt tbl m)
+      in
+      (* a parallel call site makes the whole callee parallel *)
+      if parallel then
+        Hashtbl.replace tbl m (s0, p0 +. (scale *. (cs +. cp)))
+      else Hashtbl.replace tbl m (s0 +. (scale *. cs), p0 +. (scale *. cp)))
+    counts
+
+(* Exclusive (self) counts: only this function's own entries; call
+   sites contribute their call-sequence instructions (they are Update
+   entries) but callee bodies are not spliced in. *)
+let eval_exclusive (model : Model_ir.t) ~fname ~env =
+  let fm =
+    match Model_ir.find model fname with
+    | Some fm -> fm
+    | None -> invalid_arg ("Model_eval.eval_exclusive: no model for " ^ fname)
+  in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Model_ir.Update { counts; mult; _ } ->
+          add_counts tbl (eval_mult fname env mult) counts
+      | Model_ir.Call_site _ -> ())
+    fm.mf_entries;
+  Hashtbl.fold (fun m c acc -> (m, c) :: acc) tbl [] |> List.sort compare
+
+let eval_split (model : Model_ir.t) ~fname ~env =
+  let memo = Hashtbl.create 16 in
+  let rec go fname env =
+    let fm =
+      match Model_ir.find model fname with
+      | Some fm -> fm
+      | None -> invalid_arg ("Model_eval.eval_split: no model for " ^ fname)
+    in
+    let key =
+      (fname, List.map (fun p -> (p, List.assoc_opt p env)) fm.mf_params)
+    in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+        let tbl = Hashtbl.create 32 in
+        List.iter
+          (fun entry ->
+            match entry with
+            | Model_ir.Update { counts; mult; _ } ->
+                add_counts2 tbl (eval_mult fname env mult)
+                  ~parallel:mult.parallel counts
+            | Model_ir.Call_site { callee; bindings; mult; _ } -> (
+                match Model_ir.find model callee with
+                | None -> ()
+                | Some cm ->
+                    let callee_env =
+                      List.map
+                        (fun p ->
+                          match List.assoc_opt p bindings with
+                          | Some (Model_ir.Bound poly) ->
+                              let v =
+                                Poly.eval
+                                  (fun x ->
+                                    Ratio.of_int (lookup fname env x))
+                                  poly
+                              in
+                              (p, Ratio.floor v)
+                          | Some (Model_ir.Unbound name) ->
+                              (p, lookup fname env name)
+                          | None -> (p, lookup fname env p))
+                        cm.mf_params
+                    in
+                    let sub = go callee callee_env in
+                    add_scaled2 tbl (eval_mult fname env mult)
+                      ~parallel:mult.parallel sub))
+          fm.mf_entries;
+        let result =
+          Hashtbl.fold (fun m c acc -> (m, c) :: acc) tbl []
+          |> List.sort compare
+        in
+        Hashtbl.replace memo key result;
+        result
+  in
+  go fname env
+
+let eval (model : Model_ir.t) ~fname ~env =
+  (* memoize on (function, relevant env slice) *)
+  let memo = Hashtbl.create 16 in
+  let rec go fname env =
+    let fm =
+      match Model_ir.find model fname with
+      | Some fm -> fm
+      | None -> invalid_arg ("Model_eval.eval: no model for " ^ fname)
+    in
+    let key =
+      (fname, List.map (fun p -> (p, List.assoc_opt p env)) fm.mf_params)
+    in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+        let tbl = Hashtbl.create 32 in
+        List.iter
+          (fun entry ->
+            match entry with
+            | Model_ir.Update { counts; mult; _ } ->
+                add_counts tbl (eval_mult fname env mult) counts
+            | Model_ir.Call_site { callee; bindings; mult; _ } -> (
+                match Model_ir.find model callee with
+                | None -> ()  (* extern or unmodeled: call cost already counted *)
+                | Some cm ->
+                    let callee_env =
+                      List.map
+                        (fun p ->
+                          match List.assoc_opt p bindings with
+                          | Some (Model_ir.Bound poly) ->
+                              let v =
+                                Poly.eval
+                                  (fun x ->
+                                    Ratio.of_int (lookup fname env x))
+                                  poly
+                              in
+                              (p, Ratio.floor v)
+                          | Some (Model_ir.Unbound name) ->
+                              (p, lookup fname env name)
+                          | None -> (p, lookup fname env p))
+                        cm.mf_params
+                    in
+                    let sub = go callee callee_env in
+                    add_scaled tbl (eval_mult fname env mult) sub))
+          fm.mf_entries;
+        let result =
+          Hashtbl.fold (fun m c acc -> (m, c) :: acc) tbl []
+          |> List.sort compare
+        in
+        Hashtbl.replace memo key result;
+        result
+  in
+  go fname env
+
+let total counts = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 counts
+
+let count counts m =
+  Option.value ~default:0.0 (List.assoc_opt m counts)
+
+let fp_mnemonics =
+  [ "addsd"; "subsd"; "mulsd"; "divsd"; "sqrtsd"; "ucomisd";
+    "addpd"; "subpd"; "mulpd"; "divpd" ]
+
+let fpi counts =
+  List.fold_left (fun acc m -> acc +. count counts m) 0.0 fp_mnemonics
+
+(* FPI under a trip-count-changing vectorizer (ablation B): on source
+   lines the compiler vectorized, the binary holds the packed main
+   loop AND its scalar remainder epilogue.  Bridging multiplies both
+   by the full source trip count; the correction divides packed
+   contributions by the lane count and drops the epilogue's scalar FP
+   (it executes at most lanes-1 times per loop entry). *)
+let fpi_vectorization_aware (model : Model_ir.t) ~lanes ~vectorized ~fname
+    ~env =
+  let lanes_f = float_of_int lanes in
+  let is_packed = Mira_visa.Isa.is_packed_mnemonic in
+  let rec go fname env =
+    let fm = Model_ir.find_exn model fname in
+    let vec_lines =
+      Option.value ~default:[] (List.assoc_opt fname vectorized)
+    in
+    List.fold_left
+      (fun acc entry ->
+        match entry with
+        | Model_ir.Update { line; counts; mult; _ } ->
+            let m = eval_mult fname env mult in
+            let vectorized_line = List.mem line vec_lines in
+            acc
+            +. List.fold_left
+                 (fun a (mn, c) ->
+                   if not (List.mem mn fp_mnemonics) then a
+                   else if vectorized_line then
+                     if is_packed mn then a +. (m *. float_of_int c /. lanes_f)
+                     else a  (* epilogue copy: at most lanes-1 runs *)
+                   else a +. (m *. float_of_int c))
+                 0.0 counts
+        | Model_ir.Call_site { callee; bindings; mult; _ } -> (
+            match Model_ir.find model callee with
+            | None -> acc
+            | Some cm ->
+                let callee_env =
+                  List.map
+                    (fun p ->
+                      match List.assoc_opt p bindings with
+                      | Some (Model_ir.Bound poly) ->
+                          ( p,
+                            Ratio.floor
+                              (Poly.eval
+                                 (fun x -> Ratio.of_int (lookup fname env x))
+                                 poly) )
+                      | Some (Model_ir.Unbound name) ->
+                          (p, lookup fname env name)
+                      | None -> (p, lookup fname env p))
+                    cm.mf_params
+                in
+                acc +. (eval_mult fname env mult *. go callee callee_env)))
+      0.0 fm.mf_entries
+  in
+  go fname env

@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Array Corpus_apps Corpus_dgemm Corpus_kernels Corpus_minife Corpus_stream Filename Fun List Mira_codegen Mira_vm Sys Vm

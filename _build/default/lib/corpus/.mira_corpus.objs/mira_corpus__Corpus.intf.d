@@ -1,0 +1,1 @@
+lib/corpus/corpus.mli: Mira_vm

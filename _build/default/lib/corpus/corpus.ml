@@ -1,0 +1,97 @@
+let stream = Corpus_stream.source
+let dgemm = Corpus_dgemm.source
+let minife = Corpus_minife.source
+
+let all =
+  [
+    ("stream", stream);
+    ("dgemm", dgemm);
+    ("minife", minife);
+    ("jacobi2d", Corpus_kernels.jacobi2d);
+    ("heat3d", Corpus_kernels.heat3d);
+    ("lu", Corpus_kernels.lu);
+    ("fdtd2d", Corpus_kernels.fdtd2d);
+    ("stencil9", Corpus_kernels.stencil9);
+    ("saxpy", Corpus_kernels.saxpy);
+    ("bicg", Corpus_kernels.bicg);
+    ("mvt", Corpus_kernels.mvt);
+    ("gemver", Corpus_kernels.gemver);
+    ("nbody", Corpus_apps.nbody);
+    ("cholesky", Corpus_apps.cholesky);
+    ("histogram", Corpus_apps.histogram);
+    ("correlation", Corpus_apps.correlation);
+  ]
+
+let find name = List.assoc_opt name all
+
+let dump ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, src) ->
+      let oc = open_out (Filename.concat dir (name ^ ".mc")) in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc src))
+    all
+
+(* ---------- workload drivers ---------- *)
+
+open Mira_vm
+
+let compile_corpus src =
+  (* route through object encoding so drivers measure exactly what
+     Mira analyzes *)
+  Vm.load_object
+    ~step_limit:4_000_000_000
+    (Mira_codegen.Codegen.compile_to_object src)
+
+let run_stream ~n ~ntimes =
+  let vm = compile_corpus stream in
+  let a = Vm.zeros_f vm n in
+  let b = Vm.zeros_f vm n in
+  let c = Vm.zeros_f vm n in
+  (* STREAM's standard initialization *)
+  ignore
+    (Vm.call vm "stream_driver"
+       [ Int a; Int b; Int c; Double 3.0; Int n; Int ntimes ]);
+  vm
+
+let run_dgemm ~n =
+  let vm = compile_corpus dgemm in
+  let a = Vm.alloc_floats vm (Array.make (n * n) 1.0) in
+  let b = Vm.alloc_floats vm (Array.make (n * n) 0.5) in
+  let c = Vm.zeros_f vm (n * n) in
+  ignore
+    (Vm.call vm "dgemm"
+       [ Int n; Double 1.0; Int a; Int b; Double 0.0; Int c ]);
+  vm
+
+type minife_run = { vm : Vm.t; nrows : int; final_norm : float }
+
+let run_minife ~nx ~ny ~nz ~max_iter =
+  let vm = compile_corpus minife in
+  let nrows = nx * ny * nz in
+  let row_ptr = Vm.zeros_i vm (nrows + 1) in
+  let col_idx = Vm.zeros_i vm (27 * nrows) in
+  let vals = Vm.zeros_f vm (27 * nrows) in
+  let b = Vm.alloc_floats vm (Array.make nrows 1.0) in
+  let x = Vm.zeros_f vm nrows in
+  let r = Vm.zeros_f vm nrows in
+  let p = Vm.zeros_f vm nrows in
+  let ap = Vm.zeros_f vm nrows in
+  ignore
+    (Vm.call vm "assemble"
+       [ Int nx; Int ny; Int nz; Int row_ptr; Int col_idx; Int vals ]);
+  (* measure cg_solve in isolation, like the paper's per-function
+     TAU numbers *)
+  Vm.reset_counters vm;
+  let final_norm =
+    match
+      Vm.call vm "cg_solve"
+        [ Int nrows; Int row_ptr; Int col_idx; Int vals; Int b; Int x;
+          Int r; Int p; Int ap; Int max_iter ]
+    with
+    | Double v -> v
+    | _ -> invalid_arg "cg_solve did not return a double"
+  in
+  { vm; nrows; final_norm }

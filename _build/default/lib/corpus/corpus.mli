@@ -1,0 +1,36 @@
+(** The mini-C benchmark corpus: STREAM, DGEMM, the miniFE-like
+    mini-app, nine polybench-style kernels, and four further mini-apps
+    (nbody, cholesky, histogram, correlation).
+
+    Sources are embedded strings (write them out with {!dump} for use
+    with the CLI).  The [run_*] helpers set up VM memory and execute
+    the paper's workloads, returning the measured machine for counter
+    inspection. *)
+
+val stream : string
+val dgemm : string
+val minife : string
+
+val all : (string * string) list
+(** (name, source) for every corpus program, evaluation apps first. *)
+
+val find : string -> string option
+
+val dump : dir:string -> unit
+(** Write every program to [dir/<name>.mc]. *)
+
+(* -- workload drivers (the paper's measurement configurations) -- *)
+
+val run_stream : n:int -> ntimes:int -> Mira_vm.Vm.t
+(** Allocate the three arrays and run [stream_driver]. *)
+
+val run_dgemm : n:int -> Mira_vm.Vm.t
+
+type minife_run = {
+  vm : Mira_vm.Vm.t;
+  nrows : int;
+  final_norm : float;
+}
+
+val run_minife : nx:int -> ny:int -> nz:int -> max_iter:int -> minife_run
+(** Assemble the brick-mesh matrix in the VM and run [cg_solve]. *)

@@ -1,0 +1,179 @@
+(* Additional mini-apps rounding out the corpus: FP-heavy kernels with
+   external math calls (the error source §IV-D1 discusses), triangular
+   factorizations, and data-dependent (scatter) access. *)
+
+let nbody =
+  {|// nbody: O(n^2) gravitational force accumulation
+extern double sqrt(double);
+
+void accumulate_forces(double *px, double *py, double *fx, double *fy, int n) {
+  for (int i = 0; i < n; i++) {
+    fx[i] = 0.0;
+    fy[i] = 0.0;
+    for (int j = 0; j < n; j++) {
+      if (j != i) {
+        double dx = px[j] - px[i];
+        double dy = py[j] - py[i];
+        double r2 = dx * dx + dy * dy + 0.0001;
+        double r = sqrt(r2);
+        double f = 1.0 / (r2 * r);
+        fx[i] += f * dx;
+        fy[i] += f * dy;
+      }
+    }
+  }
+}
+
+void step(double *px, double *py, double *vx, double *vy,
+          double *fx, double *fy, double dt, int n) {
+  accumulate_forces(px, py, fx, fy, n);
+  for (int i = 0; i < n; i++) {
+    vx[i] += dt * fx[i];
+    vy[i] += dt * fy[i];
+    px[i] += dt * vx[i];
+    py[i] += dt * vy[i];
+  }
+}
+
+int main() {
+  int n = 24;
+  double px[n];
+  double py[n];
+  double vx[n];
+  double vy[n];
+  double fx[n];
+  double fy[n];
+  for (int i = 0; i < n; i++) {
+    px[i] = i * 1.0;
+    py[i] = i * 0.5;
+    vx[i] = 0.0;
+    vy[i] = 0.0;
+  }
+  for (int t = 0; t < 3; t++) {
+    step(px, py, vx, vy, fx, fy, 0.01, n);
+  }
+  return 0;
+}
+|}
+
+let cholesky =
+  {|// cholesky: in-place factorization of an SPD matrix
+extern double sqrt(double);
+
+void cholesky(double *a, int n) {
+  for (int j = 0; j < n; j++) {
+    for (int k = 0; k < j; k++) {
+      for (int i = j; i < n; i++) {
+        a[i * n + j] = a[i * n + j] - a[i * n + k] * a[j * n + k];
+      }
+    }
+    a[j * n + j] = sqrt(a[j * n + j]);
+    for (int i = j + 1; i < n; i++) {
+      a[i * n + j] = a[i * n + j] / a[j * n + j];
+    }
+  }
+}
+
+int main() {
+  int n = 16;
+  double a[n * n];
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      if (i == j) {
+        a[i * n + j] = n + 1.0;
+      } else {
+        a[i * n + j] = 1.0;
+      }
+    }
+  }
+  cholesky(a, n);
+  return 0;
+}
+|}
+
+let histogram =
+  {|// histogram: data-dependent scatter increments
+void histogram(int *data, int *bins, int n, int nbins) {
+  for (int b = 0; b < nbins; b++) {
+    bins[b] = 0;
+  }
+  for (int i = 0; i < n; i++) {
+    int b = data[i] % nbins;
+    bins[b] += 1;
+  }
+}
+
+int max_bin(int *bins, int nbins) {
+  int best = 0;
+  for (int b = 1; b < nbins; b++) {
+    if (bins[b] > bins[best]) {
+      best = b;
+    }
+  }
+  return best;
+}
+
+int main() {
+  int n = 512;
+  int nbins = 16;
+  int data[n];
+  int bins[nbins];
+  for (int i = 0; i < n; i++) {
+    data[i] = i * 7 + 3;
+  }
+  histogram(data, bins, n, nbins);
+  int best = max_bin(bins, nbins);
+  if (best >= 0) {
+    return 0;
+  }
+  return 1;
+}
+|}
+
+let correlation =
+  {|// correlation: means, stddevs and the correlation matrix
+extern double sqrt(double);
+
+void column_stats(double *data, double *mean, double *stddev, int n, int m) {
+  for (int j = 0; j < m; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < n; i++) {
+      mean[j] += data[i * m + j];
+    }
+    mean[j] = mean[j] / n;
+    stddev[j] = 0.0;
+    for (int i = 0; i < n; i++) {
+      double d = data[i * m + j] - mean[j];
+      stddev[j] += d * d;
+    }
+    stddev[j] = sqrt(stddev[j] / n) + 0.000001;
+  }
+}
+
+void correlation(double *data, double *mean, double *stddev, double *corr, int n, int m) {
+  column_stats(data, mean, stddev, n, m);
+  for (int j1 = 0; j1 < m; j1++) {
+    for (int j2 = 0; j2 < m; j2++) {
+      double s = 0.0;
+      for (int i = 0; i < n; i++) {
+        s += (data[i * m + j1] - mean[j1]) * (data[i * m + j2] - mean[j2]);
+      }
+      corr[j1 * m + j2] = s / (n * stddev[j1] * stddev[j2]);
+    }
+  }
+}
+
+int main() {
+  int n = 48;
+  int m = 8;
+  double data[n * m];
+  double mean[m];
+  double stddev[m];
+  double corr[m * m];
+  for (int i = 0; i < n * m; i++) {
+    data[i] = (i % 13) * 0.5;
+  }
+  correlation(data, mean, stddev, corr, n, m);
+  return 0;
+}
+|}

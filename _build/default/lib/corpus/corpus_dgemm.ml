@@ -1,0 +1,45 @@
+(* DGEMM (HPCC-style) in mini-C: C = alpha*A*B + beta*C on n x n
+   matrices stored row-major in flat arrays.  FPI is dominated by the
+   2*n^3 multiply-add inner loop, as in the paper's Table IV. *)
+
+let source =
+  {|// DGEMM: double-precision matrix-matrix multiply
+void dgemm(int n, double alpha, double *a, double *b, double beta, double *c) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      double s = 0.0;
+      for (int k = 0; k < n; k++) {
+        s += a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = alpha * s + beta * c[i * n + j];
+    }
+  }
+}
+
+// Reference checksum so results can be validated cheaply.
+double matrix_checksum(double *c, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n * n; i++) {
+    s += c[i];
+  }
+  return s;
+}
+
+int main() {
+  int n = 24;
+  double a[n * n];
+  double b[n * n];
+  double c[n * n];
+  for (int i = 0; i < n * n; i++) {
+    a[i] = 1.0;
+    b[i] = 0.5;
+    c[i] = 0.0;
+  }
+  dgemm(n, 1.0, a, b, 0.0, c);
+  double s = matrix_checksum(c, n);
+  if (s > 0.0) {
+    return 0;
+  }
+  return 1;
+}
+|}

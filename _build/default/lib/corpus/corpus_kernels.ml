@@ -1,0 +1,340 @@
+(* Polybench-style kernels rounding out the loop-coverage corpus
+   (Table I) and exercising analysis paths: 2D/3D stencils (flattened
+   indexing), triangular factorization loops, multi-kernel chains. *)
+
+let jacobi2d =
+  {|// jacobi-2d: 5-point relaxation with ping-pong buffers
+void jacobi_step(double *a, double *b, int n) {
+  for (int i = 1; i < n - 1; i++) {
+    for (int j = 1; j < n - 1; j++) {
+      b[i * n + j] = 0.2 * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1]
+                            + a[(i - 1) * n + j] + a[(i + 1) * n + j]);
+    }
+  }
+}
+
+void jacobi2d(double *a, double *b, int n, int tsteps) {
+  for (int t = 0; t < tsteps; t++) {
+    jacobi_step(a, b, n);
+    jacobi_step(b, a, n);
+  }
+}
+
+int main() {
+  int n = 32;
+  double a[n * n];
+  double b[n * n];
+  for (int i = 0; i < n * n; i++) {
+    a[i] = 1.0;
+    b[i] = 0.0;
+  }
+  jacobi2d(a, b, n, 4);
+  return 0;
+}
+|}
+
+let heat3d =
+  {|// heat-3d: 7-point explicit heat equation step
+void heat_step(double *u, double *v, int n, double dt) {
+  for (int i = 1; i < n - 1; i++) {
+    for (int j = 1; j < n - 1; j++) {
+      for (int k = 1; k < n - 1; k++) {
+        int c = i * n * n + j * n + k;
+        v[c] = u[c] + dt * (u[c - 1] + u[c + 1] + u[c - n] + u[c + n]
+                            + u[c - n * n] + u[c + n * n] - 6.0 * u[c]);
+      }
+    }
+  }
+}
+
+void heat3d(double *u, double *v, int n, int tsteps, double dt) {
+  for (int t = 0; t < tsteps; t++) {
+    heat_step(u, v, n, dt);
+    heat_step(v, u, n, dt);
+  }
+}
+
+int main() {
+  int n = 12;
+  double u[n * n * n];
+  double v[n * n * n];
+  for (int i = 0; i < n * n * n; i++) {
+    u[i] = 1.0;
+    v[i] = 0.0;
+  }
+  heat3d(u, v, n, 3, 0.1);
+  return 0;
+}
+|}
+
+let lu =
+  {|// lu: in-place LU decomposition without pivoting (triangular nests)
+void lu(double *a, int n) {
+  for (int k = 0; k < n; k++) {
+    for (int i = k + 1; i < n; i++) {
+      a[i * n + k] = a[i * n + k] / a[k * n + k];
+      for (int j = k + 1; j < n; j++) {
+        a[i * n + j] = a[i * n + j] - a[i * n + k] * a[k * n + j];
+      }
+    }
+  }
+}
+
+int main() {
+  int n = 24;
+  double a[n * n];
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      if (i == j) {
+        a[i * n + j] = n * 1.0;
+      } else {
+        a[i * n + j] = 1.0;
+      }
+    }
+  }
+  lu(a, n);
+  return 0;
+}
+|}
+
+let fdtd2d =
+  {|// fdtd-2d: finite-difference time-domain over a 2D grid
+void fdtd_step(double *ex, double *ey, double *hz, int nx, int ny, double t) {
+  for (int j = 0; j < ny; j++) {
+    ey[j] = t;
+  }
+  for (int i = 1; i < nx; i++) {
+    for (int j = 0; j < ny; j++) {
+      ey[i * ny + j] = ey[i * ny + j] - 0.5 * (hz[i * ny + j] - hz[(i - 1) * ny + j]);
+    }
+  }
+  for (int i = 0; i < nx; i++) {
+    for (int j = 1; j < ny; j++) {
+      ex[i * ny + j] = ex[i * ny + j] - 0.5 * (hz[i * ny + j] - hz[i * ny + j - 1]);
+    }
+  }
+  for (int i = 0; i < nx - 1; i++) {
+    for (int j = 0; j < ny - 1; j++) {
+      hz[i * ny + j] = hz[i * ny + j]
+        - 0.7 * (ex[i * ny + j + 1] - ex[i * ny + j]
+                 + ey[(i + 1) * ny + j] - ey[i * ny + j]);
+    }
+  }
+}
+
+void fdtd2d(double *ex, double *ey, double *hz, int nx, int ny, int tsteps) {
+  for (int t = 0; t < tsteps; t++) {
+    fdtd_step(ex, ey, hz, nx, ny, t * 1.0);
+  }
+}
+
+int main() {
+  int nx = 24;
+  int ny = 20;
+  double ex[nx * ny];
+  double ey[nx * ny];
+  double hz[nx * ny];
+  for (int i = 0; i < nx * ny; i++) {
+    ex[i] = 0.0;
+    ey[i] = 0.0;
+    hz[i] = 1.0;
+  }
+  fdtd2d(ex, ey, hz, nx, ny, 5);
+  return 0;
+}
+|}
+
+let stencil9 =
+  {|// stencil9: 9-point weighted stencil with boundary branch
+void stencil9(double *in, double *out, int n) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      if (i > 0 && i < n - 1 && j > 0 && j < n - 1) {
+        out[i * n + j] =
+          0.4 * in[i * n + j]
+          + 0.1 * (in[(i - 1) * n + j] + in[(i + 1) * n + j]
+                   + in[i * n + j - 1] + in[i * n + j + 1])
+          + 0.05 * (in[(i - 1) * n + j - 1] + in[(i - 1) * n + j + 1]
+                    + in[(i + 1) * n + j - 1] + in[(i + 1) * n + j + 1]);
+      } else {
+        out[i * n + j] = in[i * n + j];
+      }
+    }
+  }
+}
+
+int main() {
+  int n = 32;
+  double a[n * n];
+  double b[n * n];
+  for (int i = 0; i < n * n; i++) {
+    a[i] = 1.0;
+  }
+  stencil9(a, b, n);
+  return 0;
+}
+|}
+
+let saxpy =
+  {|// saxpy chain: repeated y = alpha*x + y with norm tracking
+extern double sqrt(double);
+
+void saxpy(double alpha, double *x, double *y, int n) {
+  for (int i = 0; i < n; i++) {
+    y[i] = alpha * x[i] + y[i];
+  }
+}
+
+double norm2(double *x, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) {
+    s += x[i] * x[i];
+  }
+  return sqrt(s);
+}
+
+double saxpy_chain(double *x, double *y, int n, int reps) {
+  double nrm = 0.0;
+  for (int r = 0; r < reps; r++) {
+    saxpy(0.5, x, y, n);
+    nrm = norm2(y, n);
+  }
+  return nrm;
+}
+
+int main() {
+  int n = 512;
+  double x[n];
+  double y[n];
+  for (int i = 0; i < n; i++) {
+    x[i] = 1.0;
+    y[i] = 2.0;
+  }
+  double nrm = saxpy_chain(x, y, n, 8);
+  if (nrm > 0.0) {
+    return 0;
+  }
+  return 1;
+}
+|}
+
+let bicg =
+  {|// bicg: the BiCG kernel's two matrix-vector products
+void bicg(double *a, double *s, double *q, double *p, double *r, int nx, int ny) {
+  for (int j = 0; j < ny; j++) {
+    s[j] = 0.0;
+  }
+  for (int i = 0; i < nx; i++) {
+    q[i] = 0.0;
+    for (int j = 0; j < ny; j++) {
+      s[j] = s[j] + r[i] * a[i * ny + j];
+      q[i] = q[i] + a[i * ny + j] * p[j];
+    }
+  }
+}
+
+int main() {
+  int nx = 40;
+  int ny = 36;
+  double a[nx * ny];
+  double s[ny];
+  double q[nx];
+  double p[ny];
+  double r[nx];
+  for (int i = 0; i < nx * ny; i++) {
+    a[i] = 0.5;
+  }
+  for (int j = 0; j < ny; j++) {
+    p[j] = 1.0;
+  }
+  for (int i = 0; i < nx; i++) {
+    r[i] = 2.0;
+  }
+  bicg(a, s, q, p, r, nx, ny);
+  return 0;
+}
+|}
+
+let mvt =
+  {|// mvt: two transposed matrix-vector products
+void mvt(double *a, double *x1, double *x2, double *y1, double *y2, int n) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      x1[i] = x1[i] + a[i * n + j] * y1[j];
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      x2[i] = x2[i] + a[j * n + i] * y2[j];
+    }
+  }
+}
+
+int main() {
+  int n = 40;
+  double a[n * n];
+  double x1[n];
+  double x2[n];
+  double y1[n];
+  double y2[n];
+  for (int i = 0; i < n * n; i++) {
+    a[i] = 0.25;
+  }
+  for (int i = 0; i < n; i++) {
+    x1[i] = 0.0;
+    x2[i] = 0.0;
+    y1[i] = 1.0;
+    y2[i] = 2.0;
+  }
+  mvt(a, x1, x2, y1, y2, n);
+  return 0;
+}
+|}
+
+let gemver =
+  {|// gemver: vector multiplication and matrix addition composite
+void gemver(double *a, double *u1, double *v1, double *u2, double *v2,
+            double *w, double *x, double *y, double *z,
+            double alpha, double beta, int n) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = a[i * n + j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      x[i] = x[i] + beta * a[j * n + i] * y[j];
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    x[i] = x[i] + z[i];
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      w[i] = w[i] + alpha * a[i * n + j] * x[j];
+    }
+  }
+}
+
+int main() {
+  int n = 36;
+  double a[n * n];
+  double u1[n];
+  double v1[n];
+  double u2[n];
+  double v2[n];
+  double w[n];
+  double x[n];
+  double y[n];
+  double z[n];
+  for (int i = 0; i < n * n; i++) {
+    a[i] = 0.1;
+  }
+  for (int i = 0; i < n; i++) {
+    u1[i] = 1.0; v1[i] = 2.0; u2[i] = 3.0; v2[i] = 4.0;
+    w[i] = 0.0; x[i] = 0.0; y[i] = 0.5; z[i] = 0.25;
+  }
+  gemver(a, u1, v1, u2, v2, w, x, y, z, 1.5, 1.2, n);
+  return 0;
+}
+|}

@@ -1,0 +1,132 @@
+(* A miniFE-like finite-element mini-application in mini-C (paper
+   §IV-C): assembles a 27-point stencil over an nx*ny*nz brick mesh
+   into an ELLPACK-padded CSR matrix and solves with fixed-iteration
+   unpreconditioned conjugate gradient.  The call tree matches the
+   paper's Table V: cg_solve -> matvec_std::operator() (here
+   matvec_std::apply), waxpby and dot, with sqrt as the external
+   library call that static analysis cannot see into. *)
+
+let source =
+  {|// miniFE-like mini-app: 27-point stencil assembly + CG solve
+extern double sqrt(double);
+
+// Assemble the 27-point stencil matrix in padded CSR layout:
+// every row holds exactly 27 slots (absent neighbours padded with
+// zero coefficients pointing at column 0), so row i occupies
+// [27*i, 27*(i+1)).
+void assemble(int nx, int ny, int nz, int *row_ptr, int *col_idx, double *vals) {
+  for (int iz = 0; iz < nz; iz++) {
+    for (int iy = 0; iy < ny; iy++) {
+      for (int ix = 0; ix < nx; ix++) {
+        int row = ix + nx * iy + nx * ny * iz;
+        row_ptr[row] = 27 * row;
+        int slot = 27 * row;
+        for (int dz = -1; dz <= 1; dz++) {
+          for (int dy = -1; dy <= 1; dy++) {
+            for (int dx = -1; dx <= 1; dx++) {
+              int jx = ix + dx;
+              int jy = iy + dy;
+              int jz = iz + dz;
+              col_idx[slot] = 0;
+              vals[slot] = 0.0;
+              if (jx >= 0 && jx < nx && jy >= 0 && jy < ny && jz >= 0 && jz < nz) {
+                int col = jx + nx * jy + nx * ny * jz;
+                col_idx[slot] = col;
+                if (col == row) {
+                  vals[slot] = 26.0;
+                } else {
+                  vals[slot] = 0.0 - 1.0;
+                }
+              }
+              slot = slot + 1;
+            }
+          }
+        }
+      }
+    }
+  }
+  row_ptr[nx * ny * nz] = 27 * nx * ny * nz;
+}
+
+double dot(double *x, double *y, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i++) {
+    s += x[i] * y[i];
+  }
+  return s;
+}
+
+// w = alpha * x + beta * y
+void waxpby(double alpha, double *x, double beta, double *y, double *w, int n) {
+  for (int i = 0; i < n; i++) {
+    w[i] = alpha * x[i] + beta * y[i];
+  }
+}
+
+class matvec_std {
+  int nnz_per_row;
+  // y = A * x for the padded CSR matrix
+  void apply(int nrows, int *row_ptr, int *col_idx, double *vals, double *x, double *y) {
+    for (int i = 0; i < nrows; i++) {
+      double sum = 0.0;
+      int first = row_ptr[i];
+      #pragma @Annotation {iters:27}
+      for (int k = first; k < first + 27; k++) {
+        sum += vals[k] * x[col_idx[k]];
+      }
+      y[i] = sum;
+    }
+  }
+};
+
+// Unpreconditioned CG, fixed iteration count (miniFE's default mode:
+// run max_iter iterations, track the residual norm).
+double cg_solve(int nrows, int *row_ptr, int *col_idx, double *vals,
+                double *b, double *x, double *r, double *p, double *Ap,
+                int max_iter) {
+  matvec_std A;
+  // x = 0, r = b, p = r
+  waxpby(0.0, b, 0.0, b, x, nrows);
+  waxpby(1.0, b, 0.0, b, r, nrows);
+  waxpby(1.0, r, 0.0, r, p, nrows);
+  double rtrans = dot(r, r, nrows);
+  double normr = sqrt(rtrans);
+  for (int iter = 0; iter < max_iter; iter++) {
+    A.apply(nrows, row_ptr, col_idx, vals, p, Ap);
+    double alpha = rtrans / dot(p, Ap, nrows);
+    waxpby(1.0, x, alpha, p, x, nrows);
+    waxpby(1.0, r, 0.0 - alpha, Ap, r, nrows);
+    double rtrans_new = dot(r, r, nrows);
+    double beta = rtrans_new / rtrans;
+    rtrans = rtrans_new;
+    waxpby(1.0, r, beta, p, p, nrows);
+    normr = sqrt(rtrans);
+  }
+  return normr;
+}
+
+// Assemble and solve a small default problem.
+int main() {
+  int nx = 6;
+  int ny = 6;
+  int nz = 6;
+  int nrows = nx * ny * nz;
+  int row_ptr[nrows + 1];
+  int col_idx[27 * nrows];
+  double vals[27 * nrows];
+  double b[nrows];
+  double x[nrows];
+  double r[nrows];
+  double p[nrows];
+  double Ap[nrows];
+  assemble(nx, ny, nz, row_ptr, col_idx, vals);
+  for (int i = 0; i < nrows; i++) {
+    b[i] = 1.0;
+  }
+  double normr = cg_solve(nrows, row_ptr, col_idx, vals, b, x, r, p, Ap, 25);
+  if (normr < 1000000.0) {
+    return 0;
+  }
+  return 1;
+}
+|}

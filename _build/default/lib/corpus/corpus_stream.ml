@@ -1,0 +1,55 @@
+(* The STREAM benchmark (McCalpin) in mini-C: the four kernels plus
+   the standard driver that runs `ntimes` repetitions.  FP instruction
+   counts per repetition: copy 0, scale n, add n, triad 2n — so the
+   driver's FPI is 4*n*ntimes, matching the paper's Table III numbers
+   (8.239E7 for n = 2M with the standard 10 repetitions). *)
+
+let source =
+  {|// STREAM: sustainable memory bandwidth kernels
+void stream_copy(double *a, double *b, int n) {
+  for (int i = 0; i < n; i++) {
+    b[i] = a[i];
+  }
+}
+
+void stream_scale(double *b, double *c, double scalar, int n) {
+  for (int i = 0; i < n; i++) {
+    c[i] = scalar * b[i];
+  }
+}
+
+void stream_add(double *a, double *b, double *c, int n) {
+  for (int i = 0; i < n; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+
+void stream_triad(double *a, double *b, double *c, double scalar, int n) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] + scalar * c[i];
+  }
+}
+
+void stream_driver(double *a, double *b, double *c, double scalar, int n, int ntimes) {
+  for (int k = 0; k < ntimes; k++) {
+    stream_copy(a, c, n);
+    stream_scale(b, c, scalar, n);
+    stream_add(a, b, c, n);
+    stream_triad(a, b, c, scalar, n);
+  }
+}
+
+int main() {
+  int n = 1000;
+  double a[n];
+  double b[n];
+  double c[n];
+  for (int i = 0; i < n; i++) {
+    a[i] = 1.0;
+    b[i] = 2.0;
+    c[i] = 0.0;
+  }
+  stream_driver(a, b, c, 3.0, n, 10);
+  return 0;
+}
+|}

@@ -1,0 +1,1 @@
+lib/minipy/minipy.ml: Buffer Float Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/minipy/minipy.mli: Format Hashtbl

@@ -1,0 +1,659 @@
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | None_
+  | Dict of (value, value) Hashtbl.t
+  | Func of string
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+(* ---------- lexer (indentation-aware) ---------- *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STR of string
+  | NAME of string
+  | KW of string  (* def return for in if else not and or True False None *)
+  | OP of string
+  | NEWLINE
+  | INDENT
+  | DEDENT
+  | TEOF
+
+let keywords =
+  [ "def"; "return"; "for"; "in"; "if"; "else"; "elif"; "not"; "and"; "or";
+    "True"; "False"; "None"; "pass"; "while" ]
+
+let tokenize src : token list =
+  let lines = String.split_on_char '\n' src in
+  let toks = ref [] in
+  let indents = ref [ 0 ] in
+  let emit t = toks := t :: !toks in
+  let lex_line line =
+    let n = String.length line in
+    let i = ref 0 in
+    let peek k = if !i + k < n then Some line.[!i + k] else None in
+    let cur () = peek 0 in
+    while !i < n do
+      match cur () with
+      | None -> i := n
+      | Some '#' -> i := n
+      | Some (' ' | '\t') -> incr i
+      | Some c when (c >= '0' && c <= '9') ->
+          let start = !i in
+          while
+            (match cur () with
+            | Some c -> (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E'
+            | None -> false)
+          do
+            incr i
+          done;
+          let s = String.sub line start (!i - start) in
+          if String.contains s '.' || String.contains s 'e'
+             || String.contains s 'E' then emit (FLOAT (float_of_string s))
+          else emit (INT (int_of_string s))
+      | Some c when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+        ->
+          let start = !i in
+          while
+            (match cur () with
+            | Some c ->
+                (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                || (c >= '0' && c <= '9') || c = '_'
+            | None -> false)
+          do
+            incr i
+          done;
+          let s = String.sub line start (!i - start) in
+          emit (if List.mem s keywords then KW s else NAME s)
+      | Some ('"' | '\'') ->
+          let quote = Option.get (cur ()) in
+          incr i;
+          let buf = Buffer.create 8 in
+          while cur () <> Some quote && cur () <> None do
+            Buffer.add_char buf (Option.get (cur ()));
+            incr i
+          done;
+          if cur () = None then error "unterminated string";
+          incr i;
+          emit (STR (Buffer.contents buf))
+      | Some _ ->
+          let two =
+            if !i + 1 < n then Some (String.sub line !i 2) else None
+          in
+          (match two with
+          | Some (("**" | "//" | "<=" | ">=" | "==" | "!=") as op) ->
+              emit (OP op);
+              i := !i + 2
+          | _ ->
+              let c = Option.get (cur ()) in
+              let singles = "+-*/%()[]{}:,=<>." in
+              if String.contains singles c then begin
+                emit (OP (String.make 1 c));
+                incr i
+              end
+              else error "unexpected character %C" c)
+    done
+  in
+  List.iter
+    (fun line ->
+      (* measure indentation; skip blank/comment-only lines *)
+      let stripped = String.trim line in
+      if stripped <> "" && stripped.[0] <> '#' then begin
+        let ind = ref 0 in
+        while !ind < String.length line && line.[!ind] = ' ' do
+          incr ind
+        done;
+        let cur_ind = List.hd !indents in
+        if !ind > cur_ind then begin
+          indents := !ind :: !indents;
+          emit INDENT
+        end
+        else
+          while List.hd !indents > !ind do
+            indents := List.tl !indents;
+            emit DEDENT
+          done;
+        if List.hd !indents <> !ind then error "inconsistent indentation";
+        lex_line line;
+        emit NEWLINE
+      end)
+    lines;
+  while List.hd !indents > 0 do
+    indents := List.tl !indents;
+    emit DEDENT
+  done;
+  emit TEOF;
+  List.rev !toks
+
+(* ---------- AST ---------- *)
+
+type expr =
+  | Enum of value  (* literal *)
+  | Ename of string
+  | Ecall of expr * expr list
+  | Eattr of expr * string
+  | Esub of expr * expr  (* d[k] *)
+  | Ebin of string * expr * expr
+  | Eneg of expr
+  | Enot of expr
+  | Econd of expr * expr * expr  (* a if c else b *)
+  | Edict of (expr * expr) list
+
+type stmt =
+  | Sexpr of expr
+  | Sassign of expr * expr  (* target = value; target is Ename or Esub *)
+  | Sreturn of expr option
+  | Sfor of string * expr * stmt list
+  | Swhile of expr * stmt list
+  | Sif of expr * stmt list * stmt list
+  | Sdef of string * string list * stmt list
+  | Spass
+
+(* ---------- parser ---------- *)
+
+type pstate = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> TEOF | t :: _ -> t
+
+let next st =
+  match st.toks with
+  | [] -> TEOF
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st t =
+  let got = next st in
+  if got <> t then error "unexpected token in model source"
+
+let expect_op st op =
+  match next st with
+  | OP o when o = op -> ()
+  | _ -> error "expected %S" op
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let a = parse_or st in
+  match peek st with
+  | KW "if" ->
+      ignore (next st);
+      let c = parse_or st in
+      (match next st with
+      | KW "else" -> ()
+      | _ -> error "expected else in conditional expression");
+      let b = parse_ternary st in
+      Econd (a, c, b)
+  | _ -> a
+
+and parse_or st =
+  let a = parse_and st in
+  match peek st with
+  | KW "or" ->
+      ignore (next st);
+      Ebin ("or", a, parse_or st)
+  | _ -> a
+
+and parse_and st =
+  let a = parse_not st in
+  match peek st with
+  | KW "and" ->
+      ignore (next st);
+      Ebin ("and", a, parse_and st)
+  | _ -> a
+
+and parse_not st =
+  match peek st with
+  | KW "not" ->
+      ignore (next st);
+      Enot (parse_not st)
+  | _ -> parse_cmp st
+
+and parse_cmp st =
+  let a = parse_add st in
+  match peek st with
+  | OP (("<" | ">" | "<=" | ">=" | "==" | "!=") as op) ->
+      ignore (next st);
+      Ebin (op, a, parse_add st)
+  | _ -> a
+
+and parse_add st =
+  let rec go a =
+    match peek st with
+    | OP (("+" | "-") as op) ->
+        ignore (next st);
+        go (Ebin (op, a, parse_mul st))
+    | _ -> a
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go a =
+    match peek st with
+    | OP (("*" | "/" | "//" | "%") as op) ->
+        ignore (next st);
+        go (Ebin (op, a, parse_unary st))
+    | _ -> a
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | OP "-" ->
+      ignore (next st);
+      Eneg (parse_unary st)
+  | _ -> parse_power st
+
+and parse_power st =
+  let a = parse_postfix st in
+  match peek st with
+  | OP "**" ->
+      ignore (next st);
+      Ebin ("**", a, parse_unary st)
+  | _ -> a
+
+and parse_postfix st =
+  let rec go a =
+    match peek st with
+    | OP "(" ->
+        ignore (next st);
+        let args = parse_args st in
+        go (Ecall (a, args))
+    | OP "[" ->
+        ignore (next st);
+        let k = parse_expr st in
+        expect_op st "]";
+        go (Esub (a, k))
+    | OP "." -> (
+        ignore (next st);
+        match next st with
+        | NAME n -> go (Eattr (a, n))
+        | _ -> error "expected attribute name")
+    | _ -> a
+  in
+  go (parse_atom st)
+
+and parse_args st =
+  if peek st = OP ")" then begin
+    ignore (next st);
+    []
+  end
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      match next st with
+      | OP "," -> go (e :: acc)
+      | OP ")" -> List.rev (e :: acc)
+      | _ -> error "expected , or ) in call"
+    in
+    go []
+
+and parse_atom st =
+  match next st with
+  | INT n -> Enum (Int n)
+  | FLOAT f -> Enum (Float f)
+  | STR s -> Enum (Str s)
+  | NAME n -> Ename n
+  | KW "True" -> Enum (Bool true)
+  | KW "False" -> Enum (Bool false)
+  | KW "None" -> Enum None_
+  | OP "(" ->
+      let e = parse_expr st in
+      expect_op st ")";
+      e
+  | OP "{" ->
+      if peek st = OP "}" then begin
+        ignore (next st);
+        Edict []
+      end
+      else
+        let rec go acc =
+          let k = parse_expr st in
+          expect_op st ":";
+          let v = parse_expr st in
+          match next st with
+          | OP "," -> go ((k, v) :: acc)
+          | OP "}" -> Edict (List.rev ((k, v) :: acc))
+          | _ -> error "expected , or } in dict"
+        in
+        go []
+  | _ -> error "unexpected token in expression"
+
+let rec parse_block st : stmt list =
+  expect st NEWLINE;
+  expect st INDENT;
+  let rec go acc =
+    match peek st with
+    | DEDENT ->
+        ignore (next st);
+        List.rev acc
+    | TEOF -> List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st : stmt =
+  match peek st with
+  | KW "def" -> (
+      ignore (next st);
+      match next st with
+      | NAME fname ->
+          expect_op st "(";
+          let params =
+            if peek st = OP ")" then begin
+              ignore (next st);
+              []
+            end
+            else
+              let rec go acc =
+                match next st with
+                | NAME p -> (
+                    match next st with
+                    | OP "," -> go (p :: acc)
+                    | OP ")" -> List.rev (p :: acc)
+                    | _ -> error "expected , or ) in params")
+                | _ -> error "expected parameter name"
+              in
+              go []
+          in
+          expect_op st ":";
+          let body = parse_block st in
+          Sdef (fname, params, body)
+      | _ -> error "expected function name")
+  | KW "return" ->
+      ignore (next st);
+      let e = if peek st = NEWLINE then None else Some (parse_expr st) in
+      expect st NEWLINE;
+      Sreturn e
+  | KW "pass" ->
+      ignore (next st);
+      expect st NEWLINE;
+      Spass
+  | KW "for" -> (
+      ignore (next st);
+      match next st with
+      | NAME v ->
+          (match next st with
+          | KW "in" -> ()
+          | _ -> error "expected in");
+          let e = parse_expr st in
+          expect_op st ":";
+          let body = parse_block st in
+          Sfor (v, e, body)
+      | _ -> error "expected loop variable")
+  | KW "while" ->
+      ignore (next st);
+      let c = parse_expr st in
+      expect_op st ":";
+      Swhile (c, parse_block st)
+  | KW "if" ->
+      ignore (next st);
+      let c = parse_expr st in
+      expect_op st ":";
+      let then_ = parse_block st in
+      let else_ =
+        match peek st with
+        | KW "else" ->
+            ignore (next st);
+            expect_op st ":";
+            parse_block st
+        | _ -> []
+      in
+      Sif (c, then_, else_)
+  | _ ->
+      let e = parse_expr st in
+      (match peek st with
+      | OP "=" ->
+          ignore (next st);
+          let v = parse_expr st in
+          expect st NEWLINE;
+          (match e with
+          | Ename _ | Esub _ -> Sassign (e, v)
+          | _ -> error "invalid assignment target")
+      | NEWLINE ->
+          ignore (next st);
+          Sexpr e
+      | _ -> error "expected newline")
+
+let parse_module src : stmt list =
+  let st = { toks = tokenize src } in
+  let rec go acc =
+    match peek st with
+    | TEOF -> List.rev acc
+    | NEWLINE ->
+        ignore (next st);
+        go acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ---------- interpreter ---------- *)
+
+type fn = { fparams : string list; fbody : stmt list }
+
+type env = {
+  funcs : (string, fn) Hashtbl.t;
+  locals : (string, value) Hashtbl.t;
+}
+
+exception Return_exc of value
+
+let truthy = function
+  | Bool b -> b
+  | Int n -> n <> 0
+  | Float f -> f <> 0.0
+  | Str s -> s <> ""
+  | None_ -> false
+  | Dict d -> Hashtbl.length d > 0
+  | Func _ -> true
+
+let to_float = function
+  | Int n -> float_of_int n
+  | Float f -> f
+  | Bool b -> if b then 1.0 else 0.0
+  | Str _ -> error "expected number, got str"
+  | None_ -> error "expected number, got None"
+  | Dict _ -> error "expected number, got dict"
+  | Func _ -> error "expected number, got function"
+
+let rec pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.fprintf ppf "%b" b
+  | None_ -> Format.fprintf ppf "None"
+  | Func f -> Format.fprintf ppf "<function %s>" f
+  | Dict d ->
+      Format.fprintf ppf "{";
+      Hashtbl.iter (fun k v -> Format.fprintf ppf "%a: %a, " pp k pp v) d;
+      Format.fprintf ppf "}"
+
+let arith op a b =
+  match (op, a, b) with
+  | "+", Int x, Int y -> Int (x + y)
+  | "-", Int x, Int y -> Int (x - y)
+  | "*", Int x, Int y -> Int (x * y)
+  | "%", Int x, Int y ->
+      if y = 0 then error "modulo by zero"
+      else Int (((x mod y) + y) mod y)
+  | "//", Int x, Int y ->
+      if y = 0 then error "floor division by zero"
+      else
+        let q = x / y and r = x mod y in
+        Int (if (r <> 0) && ((r < 0) <> (y < 0)) then q - 1 else q)
+  | "**", Int x, Int y when y >= 0 ->
+      let rec go acc k = if k = 0 then acc else go (acc * x) (k - 1) in
+      Int (go 1 y)
+  | "/", _, _ -> Float (to_float a /. to_float b)
+  | "//", _, _ -> Float (Float.floor (to_float a /. to_float b))
+  | "+", _, _ -> Float (to_float a +. to_float b)
+  | "-", _, _ -> Float (to_float a -. to_float b)
+  | "*", _, _ -> Float (to_float a *. to_float b)
+  | "%", _, _ -> error "float modulo unsupported"
+  | "**", _, _ -> Float (to_float a ** to_float b)
+  | _ -> error "unknown operator %s" op
+
+let compare_vals a b =
+  match (a, b) with
+  | Str x, Str y -> compare x y
+  | _ -> compare (to_float a) (to_float b)
+
+let rec eval env (e : expr) : value =
+  match e with
+  | Enum v -> v
+  | Ename n -> (
+      match Hashtbl.find_opt env.locals n with
+      | Some v -> v
+      | None ->
+          if Hashtbl.mem env.funcs n then Func n
+          else error "name %s is not defined" n)
+  | Edict pairs ->
+      let d = Hashtbl.create 16 in
+      List.iter (fun (k, v) -> Hashtbl.replace d (eval env k) (eval env v)) pairs;
+      Dict d
+  | Esub (d, k) -> (
+      match eval env d with
+      | Dict tbl -> (
+          let key = eval env k in
+          match Hashtbl.find_opt tbl key with
+          | Some v -> v
+          | None -> error "KeyError: %s" (Format.asprintf "%a" pp key))
+      | _ -> error "subscript of non-dict")
+  | Eattr (_, _) -> error "attribute access only valid in calls"
+  | Eneg a -> (
+      match eval env a with
+      | Int n -> Int (-n)
+      | Float f -> Float (-.f)
+      | _ -> error "cannot negate non-number")
+  | Enot a -> Bool (not (truthy (eval env a)))
+  | Econd (a, c, b) -> if truthy (eval env c) then eval env a else eval env b
+  | Ebin ("and", a, b) ->
+      let va = eval env a in
+      if truthy va then eval env b else va
+  | Ebin ("or", a, b) ->
+      let va = eval env a in
+      if truthy va then va else eval env b
+  | Ebin (("<" | ">" | "<=" | ">=" | "==" | "!=") as op, a, b) ->
+      let c = compare_vals (eval env a) (eval env b) in
+      Bool
+        (match op with
+        | "<" -> c < 0
+        | ">" -> c > 0
+        | "<=" -> c <= 0
+        | ">=" -> c >= 0
+        | "==" -> c = 0
+        | _ -> c <> 0)
+  | Ebin (op, a, b) -> arith op (eval env a) (eval env b)
+  | Ecall (Eattr (d, "get"), args) -> (
+      match (eval env d, args) with
+      | Dict tbl, [ k ] ->
+          Option.value ~default:None_ (Hashtbl.find_opt tbl (eval env k))
+      | Dict tbl, [ k; dflt ] ->
+          Option.value ~default:(eval env dflt)
+            (Hashtbl.find_opt tbl (eval env k))
+      | _ -> error "get expects a dict receiver")
+  | Ecall (Ename "max", args) -> extremum env true args
+  | Ecall (Ename "min", args) -> extremum env false args
+  | Ecall (Ename "len", [ a ]) -> (
+      match eval env a with
+      | Dict d -> Int (Hashtbl.length d)
+      | Str s -> Int (String.length s)
+      | _ -> error "len of non-container")
+  | Ecall (f, args) -> (
+      let fname =
+        match f with
+        | Ename n -> n
+        | _ -> (
+            match eval env f with
+            | Func n -> n
+            | _ -> error "calling a non-function")
+      in
+      match Hashtbl.find_opt env.funcs fname with
+      | None -> error "function %s is not defined" fname
+      | Some fn ->
+          if List.length fn.fparams <> List.length args then
+            error "%s expects %d arguments" fname (List.length fn.fparams);
+          let locals = Hashtbl.create 16 in
+          List.iter2
+            (fun p a -> Hashtbl.replace locals p (eval env a))
+            fn.fparams args;
+          let fenv = { env with locals } in
+          exec_body fenv fn.fbody)
+
+and extremum env is_max args =
+  match List.map (eval env) args with
+  | [] -> error "max/min of nothing"
+  | v :: rest ->
+      List.fold_left
+        (fun acc v ->
+          let c = compare_vals v acc in
+          if (is_max && c > 0) || ((not is_max) && c < 0) then v else acc)
+        v rest
+
+and exec_body env body =
+  try
+    List.iter (exec env) body;
+    None_
+  with Return_exc v -> v
+
+and exec env = function
+  | Spass -> ()
+  | Sexpr e -> ignore (eval env e)
+  | Sreturn None -> raise (Return_exc None_)
+  | Sreturn (Some e) -> raise (Return_exc (eval env e))
+  | Sassign (Ename n, e) -> Hashtbl.replace env.locals n (eval env e)
+  | Sassign (Esub (d, k), e) -> (
+      match eval env d with
+      | Dict tbl -> Hashtbl.replace tbl (eval env k) (eval env e)
+      | _ -> error "subscript assignment to non-dict")
+  | Sassign (_, _) -> error "invalid assignment target"
+  | Sfor (v, e, body) -> (
+      match eval env e with
+      | Dict tbl ->
+          let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+          List.iter
+            (fun k ->
+              Hashtbl.replace env.locals v k;
+              List.iter (exec env) body)
+            keys
+      | _ -> error "for expects a dict")
+  | Swhile (c, body) ->
+      while truthy (eval env c) do
+        List.iter (exec env) body
+      done
+  | Sif (c, then_, else_) ->
+      if truthy (eval env c) then List.iter (exec env) then_
+      else List.iter (exec env) else_
+  | Sdef (name, params, body) ->
+      Hashtbl.replace env.funcs name { fparams = params; fbody = body }
+
+let run source =
+  let stmts = parse_module source in
+  let env = { funcs = Hashtbl.create 16; locals = Hashtbl.create 16 } in
+  List.iter (exec env) stmts;
+  fun (name, args) ->
+    match Hashtbl.find_opt env.funcs name with
+    | None -> error "function %s is not defined" name
+    | Some fn ->
+        if List.length fn.fparams <> List.length args then
+          error "%s expects %d arguments" name (List.length fn.fparams);
+        let locals = Hashtbl.create 16 in
+        List.iter2 (fun p a -> Hashtbl.replace locals p a) fn.fparams args;
+        exec_body { env with locals } fn.fbody
+
+let dict_counts = function
+  | Dict tbl ->
+      Hashtbl.fold
+        (fun k v acc ->
+          match k with
+          | Str s -> (s, to_float v) :: acc
+          | _ -> error "metric dict key is not a string")
+        tbl []
+      |> List.sort compare
+  | _ -> error "model did not return a dict"

@@ -1,0 +1,32 @@
+(** A small Python interpreter for the subset Mira's Model Generator
+    emits (paper Figure 5): function definitions, dict-accumulator
+    bodies, [for k in d:] loops, arithmetic with [//], conditional
+    expressions, [max]/[min]/[d.get].
+
+    The test suite runs the emitted Python model text through this
+    interpreter and checks it against {!Mira_core.Model_eval} — the
+    generated artifact itself is validated, not just the IR. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | None_
+  | Dict of (value, value) Hashtbl.t
+  | Func of string  (** function object, by name *)
+
+exception Error of string
+
+val run : string -> (string * value list -> value)
+(** [run source] executes the module top level (function definitions)
+    and returns a caller: [call ("name", args)] invokes a defined
+    function.
+    @raise Error on syntax or runtime errors. *)
+
+val dict_counts : value -> (string * float) list
+(** Interpret a returned metric dict as mnemonic counts (sorted).
+    @raise Error if the value is not a dict of string keys. *)
+
+val to_float : value -> float
+val pp : Format.formatter -> value -> unit

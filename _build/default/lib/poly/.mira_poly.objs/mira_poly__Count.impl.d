@@ -1,0 +1,1 @@
+lib/poly/count.ml: Array Domain Enumerate Expr Faulhaber Format List Mira_symexpr Poly Ratio

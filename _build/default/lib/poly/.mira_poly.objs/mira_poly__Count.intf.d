@@ -1,0 +1,1 @@
+lib/poly/count.mli: Domain Expr Format Mira_symexpr

@@ -1,0 +1,1 @@
+lib/poly/domain.ml: Format Hashtbl List Mira_symexpr Poly Set String

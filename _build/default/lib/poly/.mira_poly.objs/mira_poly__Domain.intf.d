@@ -1,0 +1,1 @@
+lib/poly/domain.mli: Format Mira_symexpr Poly

@@ -1,0 +1,1 @@
+lib/poly/enumerate.ml: Array Domain List Mira_symexpr Poly Ratio

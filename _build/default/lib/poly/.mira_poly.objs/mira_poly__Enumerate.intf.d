@@ -1,0 +1,1 @@
+lib/poly/enumerate.mli: Domain Mira_symexpr Poly Ratio

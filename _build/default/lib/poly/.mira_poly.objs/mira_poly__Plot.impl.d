@@ -1,0 +1,1 @@
+lib/poly/plot.ml: Array Buffer Domain Enumerate List Printf Set

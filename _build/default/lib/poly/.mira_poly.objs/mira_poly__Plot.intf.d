@@ -1,0 +1,1 @@
+lib/poly/plot.mli: Domain

@@ -1,0 +1,32 @@
+(** Parametric lattice-point counting.
+
+    [count t] attempts to produce a closed-form symbolic expression in
+    the domain parameters for the number of integer points in [t].
+    Rectangular and triangular affine nests give polynomials
+    (Faulhaber summation); affine guards and [max]/[min] clipping are
+    resolved by splitting summation intervals at their breakpoints;
+    lattice guards on the innermost variable produce floor/ceiling
+    divisions; everything else falls back to {!Enumerate} at
+    evaluation time ([Deferred]).
+
+    Counting follows the paper's convention that source loop ranges
+    are non-empty as written ([assume_nonempty], default true): the
+    polyhedral model of §III-C2 multiplies counts without emptiness
+    guards.  Pass [~assume_nonempty:false] to guard every range. *)
+
+open Mira_symexpr
+
+type result = Closed of Expr.t | Deferred of Domain.t
+
+val count : ?assume_nonempty:bool -> Domain.t -> result
+
+val eval : params:(string * int) list -> result -> int
+(** Evaluate a count for concrete parameter values, enumerating if the
+    count was deferred. *)
+
+val eval_float : params:(string * float) list -> result -> float
+(** Approximate evaluation; deferred counts require integral
+    parameters and are enumerated. *)
+
+val expr : result -> Expr.t option
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,22 @@
+(** Exact lattice-point enumeration over an iteration domain with all
+    parameters instantiated.  Used as the fallback evaluation mode for
+    domains the symbolic counter cannot close (paper §III-C2: cases
+    beyond the polyhedral model) and as the ground truth in tests. *)
+
+open Mira_symexpr
+
+val count : params:(string * int) list -> Domain.t -> int
+(** Number of integer points in the domain.  Bounds and guards are
+    evaluated under [params] extended with outer loop indices as the
+    enumeration recurses.
+    @raise Not_found if a free variable is missing from [params]. *)
+
+val points : params:(string * int) list -> Domain.t -> int array list
+(** The points themselves, each an array of loop-variable values in
+    level order (outermost first).  Intended for small domains, e.g.
+    the Figure 4 lattice plots. *)
+
+val iter : params:(string * int) list -> Domain.t -> (int array -> unit) -> unit
+
+val eval_poly : (string * int) list -> Poly.t -> Ratio.t
+(** Evaluate a polynomial under an integer environment. *)

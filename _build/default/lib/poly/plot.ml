@@ -1,0 +1,42 @@
+let render ?(params = []) (t : Domain.t) =
+  (match t.levels with
+  | [ _; _ ] -> ()
+  | _ -> invalid_arg "Plot.render: exactly two loop levels required");
+  let pts = Enumerate.points ~params t in
+  match pts with
+  | [] -> "(empty domain)\n"
+  | _ ->
+      let outer = List.map (fun p -> p.(0)) pts in
+      let inner = List.map (fun p -> p.(1)) pts in
+      let omin = List.fold_left min max_int outer
+      and omax = List.fold_left max min_int outer
+      and imin = List.fold_left min max_int inner
+      and imax = List.fold_left max min_int inner in
+      let module P = Set.Make (struct
+        type t = int * int
+
+        let compare = compare
+      end) in
+      let set =
+        List.fold_left (fun s p -> P.add (p.(0), p.(1)) s) P.empty pts
+      in
+      let buf = Buffer.create 256 in
+      let ovar = (List.nth t.levels 0).Domain.var
+      and ivar = (List.nth t.levels 1).Domain.var in
+      Buffer.add_string buf
+        (Printf.sprintf "%s \\ %s : %d..%d (rows) x %d..%d (cols)\n" ovar ivar
+           omin omax imin imax);
+      for o = omin to omax do
+        Buffer.add_string buf (Printf.sprintf "%3d | " o);
+        for i = imin to imax do
+          Buffer.add_char buf (if P.mem (o, i) set then '*' else '.');
+          Buffer.add_char buf ' '
+        done;
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf "      ";
+      for i = imin to imax do
+        Buffer.add_string buf (Printf.sprintf "%-2d" (((i mod 10) + 10) mod 10))
+      done;
+      Buffer.add_char buf '\n';
+      Buffer.contents buf

@@ -1,0 +1,10 @@
+(** ASCII lattice plots of two-dimensional iteration domains — the
+    textual counterpart of the paper's Figure 4 polyhedra drawings. *)
+
+val render : ?params:(string * int) list -> Domain.t -> string
+(** Renders a 2-level domain as a grid: ['*'] marks an iteration
+    point, ['.'] a lattice point inside the bounding box that the
+    domain excludes.  The vertical axis is the outer variable
+    (increasing downwards), the horizontal axis the inner one.
+    @raise Invalid_argument if the domain does not have exactly two
+    levels. *)

@@ -1,0 +1,1 @@
+lib/srclang/annot.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/srclang/annot.mli: Ast

@@ -1,0 +1,1 @@
+lib/srclang/dot.ml: Ast Buffer List Option Printf String

@@ -1,0 +1,1 @@
+lib/srclang/dot.mli: Ast

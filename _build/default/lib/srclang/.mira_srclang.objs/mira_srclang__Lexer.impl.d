@@ -1,0 +1,1 @@
+lib/srclang/lexer.ml: Buffer List Loc Option Printf String

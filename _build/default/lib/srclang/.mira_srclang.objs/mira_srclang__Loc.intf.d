@@ -1,0 +1,1 @@
+lib/srclang/loc.mli: Format

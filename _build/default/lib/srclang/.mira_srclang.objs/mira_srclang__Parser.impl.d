@@ -1,0 +1,1 @@
+lib/srclang/parser.ml: Annot Ast Lexer List Loc Printf

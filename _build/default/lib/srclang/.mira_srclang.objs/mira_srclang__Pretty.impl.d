@@ -1,0 +1,1 @@
+lib/srclang/pretty.ml: Annot Ast Buffer List Option Printf String

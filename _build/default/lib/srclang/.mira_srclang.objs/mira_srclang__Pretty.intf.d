@@ -1,0 +1,1 @@
+lib/srclang/pretty.mli: Ast

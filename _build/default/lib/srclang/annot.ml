@@ -1,0 +1,49 @@
+exception Error of string
+
+let strip = String.trim
+
+let parse payload =
+  let payload = strip payload in
+  let n = String.length payload in
+  if n < 2 || payload.[0] <> '{' || payload.[n - 1] <> '}' then
+    raise (Error (Printf.sprintf "annotation payload must be {k:v,...}: %S" payload));
+  let body = String.sub payload 1 (n - 2) in
+  if strip body = "" then []
+  else
+    String.split_on_char ',' body
+    |> List.map (fun item ->
+           match String.index_opt item ':' with
+           | None -> raise (Error (Printf.sprintf "missing ':' in %S" item))
+           | Some i ->
+               let k = strip (String.sub item 0 i) in
+               let v = strip (String.sub item (i + 1) (String.length item - i - 1)) in
+               if v = "" then raise (Error (Printf.sprintf "empty value for %S" k));
+               (match k with
+               | "skip" ->
+                   if v = "yes" || v = "true" then Ast.A_skip
+                   else raise (Error (Printf.sprintf "skip expects yes, got %S" v))
+               | "parallel" ->
+                   if v = "yes" || v = "true" then Ast.A_parallel
+                   else
+                     raise
+                       (Error (Printf.sprintf "parallel expects yes, got %S" v))
+               | "lp_init" -> Ast.A_init v
+               | "lp_cond" -> Ast.A_cond v
+               | "iters" -> Ast.A_iters v
+               | "fraction" -> (
+                   match float_of_string_opt v with
+                   | Some f when f >= 0.0 && f <= 1.0 -> Ast.A_fraction f
+                   | _ ->
+                       raise
+                         (Error
+                            (Printf.sprintf
+                               "fraction expects a number in [0,1], got %S" v)))
+               | _ -> raise (Error (Printf.sprintf "unknown annotation key %S" k))))
+
+let to_string = function
+  | Ast.A_skip -> "skip:yes"
+  | Ast.A_init v -> "lp_init:" ^ v
+  | Ast.A_cond v -> "lp_cond:" ^ v
+  | Ast.A_iters v -> "iters:" ^ v
+  | Ast.A_fraction f -> Printf.sprintf "fraction:%g" f
+  | Ast.A_parallel -> "parallel:yes"

@@ -1,0 +1,21 @@
+(** Parsing of [#pragma @Annotation {...}] payloads (paper §III-C4).
+
+    Recognized keys:
+    - [{skip:yes}] — exclude the next structure from the model;
+    - [{lp_init:v}] / [{lp_cond:v}] — variables (or integer literals)
+      completing a loop SCoP the static analysis cannot see;
+    - [{iters:e}] — iteration-count expression for a loop whose SCoP
+      is not affine (e.g. CSR row loops); [e] is an identifier, an
+      integer, or a product like [27*nrows];
+    - [{fraction:f}] — estimated proportion of iterations on which a
+      branch is taken;
+    - [{parallel:yes}] — the loop is a shared-memory parallel region
+      (an extension implementing the paper's future work: its body's
+      costs scale across the architecture's cores in predictions). *)
+
+exception Error of string
+
+val parse : string -> Ast.annotation_item list
+(** @raise Error on malformed payloads or unknown keys. *)
+
+val to_string : Ast.annotation_item -> string

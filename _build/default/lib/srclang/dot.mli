@@ -1,0 +1,6 @@
+(** Graphviz export of the source AST, in the style of the
+    ROSE-generated dot graphs shown in the paper's Figure 2 (node
+    labels reuse ROSE's [Sg*] class names for familiarity). *)
+
+val of_program : Ast.program -> string
+val of_func : Ast.func -> string

@@ -1,0 +1,235 @@
+type token_desc =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | PRAGMA of string
+  | EOF
+
+type token = { t : token_desc; tspan : Loc.span }
+
+exception Error of string * Loc.pos
+
+let keywords =
+  [ "int"; "double"; "void"; "for"; "while"; "if"; "else"; "return";
+    "class"; "extern" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_digit c || is_alpha c
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | PRAGMA s -> "#pragma @Annotation " ^ s
+  | EOF -> "<eof>"
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.off < String.length st.src then Some st.src.[st.off] else None
+
+let peek2 st =
+  if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.off <- st.off + 1
+
+let here st = Loc.pos st.line st.col
+
+let error st msg = raise (Error (msg, here st))
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> error st "unterminated comment"
+        | _ ->
+            advance st;
+            close ()
+      in
+      close ();
+      skip_ws_and_comments st
+  | _ -> ()
+
+let lex_number st =
+  let start = here st in
+  let buf = Buffer.create 8 in
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+        Buffer.add_char buf c;
+        advance st;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  let is_float =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | Some '.', (Some _ | None) -> true
+    | Some ('e' | 'E'), _ -> true
+    | _ -> false
+  in
+  if is_float then begin
+    (match peek st with
+    | Some '.' ->
+        Buffer.add_char buf '.';
+        advance st;
+        digits ()
+    | _ -> ());
+    (match peek st with
+    | Some ('e' | 'E') ->
+        Buffer.add_char buf 'e';
+        advance st;
+        (match peek st with
+        | Some ('+' | '-') ->
+            Buffer.add_char buf (Option.get (peek st));
+            advance st
+        | _ -> ());
+        digits ()
+    | _ -> ());
+    let stop = Loc.pos st.line (st.col - 1) in
+    { t = FLOAT (float_of_string (Buffer.contents buf)); tspan = Loc.span start stop }
+  end
+  else
+    let stop = Loc.pos st.line (st.col - 1) in
+    { t = INT (int_of_string (Buffer.contents buf)); tspan = Loc.span start stop }
+
+let lex_ident st =
+  let start = here st in
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | Some c when is_alnum c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let s = Buffer.contents buf in
+  let stop = Loc.pos st.line (st.col - 1) in
+  let t = if List.mem s keywords then KW s else IDENT s in
+  { t; tspan = Loc.span start stop }
+
+(* `#pragma @Annotation { ... }`, possibly continued over lines with a
+   trailing backslash (as in the paper's Listing 6). *)
+let lex_pragma st =
+  let start = here st in
+  let buf = Buffer.create 32 in
+  let rec to_eol () =
+    match peek st with
+    | Some '\\' when peek2 st = Some '\n' ->
+        advance st;
+        advance st;
+        to_eol ()
+    | Some '\\' when peek2 st = Some '\r' ->
+        advance st;
+        advance st;
+        (if peek st = Some '\n' then advance st);
+        to_eol ()
+    | Some '\n' | None -> ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        to_eol ()
+  in
+  to_eol ();
+  let line = Buffer.contents buf in
+  let prefix = "#pragma" in
+  if not (String.length line >= String.length prefix
+          && String.sub line 0 (String.length prefix) = prefix) then
+    error st "malformed pragma";
+  let rest = String.sub line 7 (String.length line - 7) |> String.trim in
+  let marker = "@Annotation" in
+  if String.length rest >= String.length marker
+     && String.sub rest 0 (String.length marker) = marker then
+    let payload =
+      String.sub rest (String.length marker)
+        (String.length rest - String.length marker)
+      |> String.trim
+    in
+    let stop = Loc.pos st.line (max 1 (st.col - 1)) in
+    Some { t = PRAGMA payload; tspan = Loc.span start stop }
+  else None (* unknown pragmas are ignored, like a real compiler *)
+
+let two_char_puncts =
+  [ "<="; ">="; "=="; "!="; "&&"; "||"; "+="; "-="; "*="; "/="; "++"; "--" ]
+
+let lex_punct st =
+  let start = here st in
+  let c = Option.get (peek st) in
+  let two =
+    match peek2 st with
+    | Some c2 ->
+        let s = Printf.sprintf "%c%c" c c2 in
+        if List.mem s two_char_puncts then Some s else None
+    | None -> None
+  in
+  match two with
+  | Some s ->
+      advance st;
+      advance st;
+      { t = PUNCT s; tspan = Loc.span start (Loc.pos st.line (st.col - 1)) }
+  | None ->
+      let singles = "+-*/%<>=!()[]{};,." in
+      if String.contains singles c then begin
+        advance st;
+        { t = PUNCT (String.make 1 c); tspan = Loc.span start start }
+      end
+      else error st (Printf.sprintf "unexpected character %C" c)
+
+let tokenize src =
+  let st = { src; off = 0; line = 1; col = 1 } in
+  let acc = ref [] in
+  let rec go () =
+    skip_ws_and_comments st;
+    match peek st with
+    | None ->
+        acc := { t = EOF; tspan = Loc.span (here st) (here st) } :: !acc
+    | Some '#' ->
+        (match lex_pragma st with
+        | Some tok -> acc := tok :: !acc
+        | None -> ());
+        go ()
+    | Some c when is_digit c ->
+        acc := lex_number st :: !acc;
+        go ()
+    | Some c when is_alpha c ->
+        acc := lex_ident st :: !acc;
+        go ()
+    | Some _ ->
+        acc := lex_punct st :: !acc;
+        go ()
+  in
+  go ();
+  List.rev !acc

@@ -1,0 +1,21 @@
+(** Hand-written lexer for mini-C. *)
+
+type token_desc =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string  (** int double void for while if else return class extern *)
+  | PUNCT of string
+      (** one of: + - * / % < <= > >= == != && || ! = += -= *= /= ++ --
+          ( ) [ ] { } ; , . *)
+  | PRAGMA of string  (** payload after [#pragma @Annotation] *)
+  | EOF
+
+type token = { t : token_desc; tspan : Loc.span }
+
+exception Error of string * Loc.pos
+
+val tokenize : string -> token list
+(** @raise Error on malformed input. *)
+
+val token_to_string : token_desc -> string

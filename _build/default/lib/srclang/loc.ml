@@ -1,0 +1,19 @@
+type pos = { line : int; col : int }
+type span = { lo : pos; hi : pos }
+
+let pos line col = { line; col }
+let dummy = { lo = { line = 0; col = 0 }; hi = { line = 0; col = 0 } }
+let span lo hi = { lo; hi }
+
+let compare_pos a b =
+  if a.line <> b.line then compare a.line b.line else compare a.col b.col
+
+let join a b =
+  {
+    lo = (if compare_pos a.lo b.lo <= 0 then a.lo else b.lo);
+    hi = (if compare_pos a.hi b.hi >= 0 then a.hi else b.hi);
+  }
+
+let contains s p = compare_pos s.lo p <= 0 && compare_pos p s.hi <= 0
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+let pp ppf s = Format.fprintf ppf "%a-%a" pp_pos s.lo pp_pos s.hi

@@ -1,0 +1,21 @@
+(** Source positions and spans.
+
+    Line and column information is the bridge between the source AST
+    and the binary AST (paper §III-A2): the compiler stamps every
+    emitted instruction with the position of the expression it came
+    from, mirroring DWARF [.debug_line]. *)
+
+type pos = { line : int; col : int }
+type span = { lo : pos; hi : pos }
+
+val pos : int -> int -> pos
+val dummy : span
+val span : pos -> pos -> span
+val join : span -> span -> span
+
+val contains : span -> pos -> bool
+(** Inclusive on both ends. *)
+
+val compare_pos : pos -> pos -> int
+val pp_pos : Format.formatter -> pos -> unit
+val pp : Format.formatter -> span -> unit

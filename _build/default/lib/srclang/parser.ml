@@ -1,0 +1,519 @@
+open Ast
+
+exception Error of string * Loc.pos
+
+type state = {
+  mutable toks : Lexer.token list;
+  mutable classes : string list;  (* class names seen so far *)
+}
+
+let peek st = match st.toks with [] -> assert false | t :: _ -> t
+
+let peek2 st =
+  match st.toks with _ :: t :: _ -> Some t.Lexer.t | _ -> None
+
+let next st =
+  match st.toks with
+  | [] -> assert false
+  | t :: rest ->
+      st.toks <- (match rest with [] -> [ t ] | _ -> rest);
+      t
+
+let err st msg = raise (Error (msg, (peek st).tspan.lo))
+
+let expect_punct st p =
+  match (peek st).Lexer.t with
+  | PUNCT q when q = p -> next st
+  | t ->
+      err st
+        (Printf.sprintf "expected %S, found %S" p (Lexer.token_to_string t))
+
+let expect_ident st =
+  match (peek st).Lexer.t with
+  | IDENT s ->
+      let tok = next st in
+      (s, tok.tspan)
+  | t -> err st (Printf.sprintf "expected identifier, found %S" (Lexer.token_to_string t))
+
+let accept_punct st p =
+  match (peek st).Lexer.t with
+  | PUNCT q when q = p ->
+      ignore (next st);
+      true
+  | _ -> false
+
+let is_type_start st =
+  match (peek st).Lexer.t with
+  | KW ("int" | "double" | "void") -> true
+  | IDENT c when List.mem c st.classes -> (
+      (* a class name starts a declaration only when followed by an
+         identifier: `A a;` vs the expression `a.foo()` *)
+      match peek2 st with Some (IDENT _) -> true | _ -> false)
+  | _ -> false
+
+let parse_base_ty st =
+  match (peek st).Lexer.t with
+  | KW "int" -> ignore (next st); Tint
+  | KW "double" -> ignore (next st); Tdouble
+  | KW "void" -> ignore (next st); Tvoid
+  | IDENT c when List.mem c st.classes -> ignore (next st); Tclass c
+  | t -> err st (Printf.sprintf "expected type, found %S" (Lexer.token_to_string t))
+
+(* ---------- expressions ---------- *)
+
+let rec parse_expr_prec st min_prec =
+  let lhs = parse_unary st in
+  climb st lhs min_prec
+
+and prec_of = function
+  | "||" -> Some (1, Lor)
+  | "&&" -> Some (2, Land)
+  | "==" -> Some (3, Eq)
+  | "!=" -> Some (3, Ne)
+  | "<" -> Some (4, Lt)
+  | "<=" -> Some (4, Le)
+  | ">" -> Some (4, Gt)
+  | ">=" -> Some (4, Ge)
+  | "+" -> Some (5, Add)
+  | "-" -> Some (5, Sub)
+  | "*" -> Some (6, Mul)
+  | "/" -> Some (6, Div)
+  | "%" -> Some (6, Mod)
+  | _ -> None
+
+and climb st lhs min_prec =
+  match (peek st).Lexer.t with
+  | PUNCT p -> (
+      match prec_of p with
+      | Some (prec, op) when prec >= min_prec ->
+          ignore (next st);
+          let rhs = parse_expr_prec st (prec + 1) in
+          let span = Loc.join lhs.espan rhs.espan in
+          climb st (mk_expr (Binop (op, lhs, rhs)) span) min_prec
+      | _ -> lhs)
+  | _ -> lhs
+
+and parse_unary st =
+  let tok = peek st in
+  match tok.Lexer.t with
+  | PUNCT "-" ->
+      ignore (next st);
+      let e = parse_unary st in
+      mk_expr (Unop (Neg, e)) (Loc.join tok.tspan e.espan)
+  | PUNCT "!" ->
+      ignore (next st);
+      let e = parse_unary st in
+      mk_expr (Unop (Lnot, e)) (Loc.join tok.tspan e.espan)
+  | PUNCT "(" -> (
+      (* cast or parenthesized expression *)
+      match peek2 st with
+      | Some (KW ("int" | "double")) ->
+          ignore (next st);
+          let ty = parse_base_ty st in
+          ignore (expect_punct st ")");
+          let e = parse_unary st in
+          mk_expr (Cast (ty, e)) (Loc.join tok.tspan e.espan)
+      | _ ->
+          ignore (next st);
+          let e = parse_expr_prec st 1 in
+          let closing = expect_punct st ")" in
+          { e with espan = Loc.join tok.tspan closing.tspan })
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  parse_postfix_ops st e
+
+and parse_postfix_ops st e =
+  match (peek st).Lexer.t with
+  | PUNCT "[" ->
+      ignore (next st);
+      let idx = parse_expr_prec st 1 in
+      let closing = expect_punct st "]" in
+      parse_postfix_ops st
+        (mk_expr (Index (e, idx)) (Loc.join e.espan closing.tspan))
+  | PUNCT "." -> (
+      ignore (next st);
+      let name, nspan = expect_ident st in
+      match (peek st).Lexer.t with
+      | PUNCT "(" ->
+          let args, stop = parse_args st in
+          parse_postfix_ops st
+            (mk_expr (Method_call (e, name, args)) (Loc.join e.espan stop))
+      | _ ->
+          parse_postfix_ops st
+            (mk_expr (Field (e, name)) (Loc.join e.espan nspan)))
+  | _ -> e
+
+and parse_args st =
+  ignore (expect_punct st "(");
+  let rec go acc =
+    if (peek st).Lexer.t = PUNCT ")" then
+      let closing = next st in
+      (List.rev acc, closing.tspan)
+    else
+      let e = parse_expr_prec st 1 in
+      if accept_punct st "," then go (e :: acc)
+      else
+        let closing = expect_punct st ")" in
+        (List.rev (e :: acc), closing.tspan)
+  in
+  go []
+
+and parse_primary st =
+  let tok = peek st in
+  match tok.Lexer.t with
+  | INT n ->
+      ignore (next st);
+      mk_expr (Int_lit n) tok.tspan
+  | FLOAT f ->
+      ignore (next st);
+      mk_expr (Float_lit f) tok.tspan
+  | IDENT name -> (
+      ignore (next st);
+      match (peek st).Lexer.t with
+      | PUNCT "(" ->
+          let args, stop = parse_args st in
+          mk_expr (Call (name, args)) (Loc.join tok.tspan stop)
+      | _ -> mk_expr (Var name) tok.tspan)
+  | t -> err st (Printf.sprintf "expected expression, found %S" (Lexer.token_to_string t))
+
+let parse_full_expr st = parse_expr_prec st 1
+
+(* ---------- lvalues ---------- *)
+
+let rec lvalue_of_expr st (e : expr) : lvalue =
+  match e.e with
+  | Var x -> { l = Lvar x; lspan = e.espan }
+  | Index (a, i) -> { l = Lindex (lvalue_of_expr st a, i); lspan = e.espan }
+  | Field (a, f) -> { l = Lfield (lvalue_of_expr st a, f); lspan = e.espan }
+  | _ -> raise (Error ("invalid assignment target", e.espan.lo))
+
+(* ---------- statements ---------- *)
+
+let rec parse_stmt st : stmt =
+  let tok = peek st in
+  match tok.Lexer.t with
+  | PRAGMA payload ->
+      ignore (next st);
+      let items = Annot.parse payload in
+      let inner = parse_stmt st in
+      { inner with sann = items @ inner.sann }
+  | PUNCT "{" ->
+      let body, span = parse_block st in
+      mk_stmt (Block body) span
+  | KW "if" -> parse_if st
+  | KW "for" -> parse_for st
+  | KW "while" -> parse_while st
+  | KW "return" ->
+      ignore (next st);
+      if (peek st).Lexer.t = PUNCT ";" then begin
+        let stop = next st in
+        mk_stmt (Return None) (Loc.join tok.tspan stop.tspan)
+      end
+      else
+        let e = parse_full_expr st in
+        let stop = expect_punct st ";" in
+        mk_stmt (Return (Some e)) (Loc.join tok.tspan stop.tspan)
+  | _ when is_type_start st -> parse_decl st
+  | _ ->
+      (* assignment, compound assignment, increment or expression *)
+      let e = parse_full_expr st in
+      let finish desc stop = mk_stmt desc (Loc.join tok.tspan stop) in
+      (match (peek st).Lexer.t with
+      | PUNCT "=" ->
+          ignore (next st);
+          let lv = lvalue_of_expr st e in
+          let rhs = parse_full_expr st in
+          let stop = expect_punct st ";" in
+          finish (Assign (lv, rhs)) stop.tspan
+      | PUNCT ("+=" | "-=" | "*=" | "/=") ->
+          let op_tok = next st in
+          let op =
+            match op_tok.Lexer.t with
+            | PUNCT "+=" -> Add
+            | PUNCT "-=" -> Sub
+            | PUNCT "*=" -> Mul
+            | PUNCT "/=" -> Div
+            | _ -> assert false
+          in
+          let lv = lvalue_of_expr st e in
+          let rhs = parse_full_expr st in
+          let stop = expect_punct st ";" in
+          finish (Op_assign (op, lv, rhs)) stop.tspan
+      | PUNCT "++" ->
+          ignore (next st);
+          let lv = lvalue_of_expr st e in
+          let stop = expect_punct st ";" in
+          finish (Op_assign (Add, lv, mk_expr (Int_lit 1) e.espan)) stop.tspan
+      | PUNCT "--" ->
+          ignore (next st);
+          let lv = lvalue_of_expr st e in
+          let stop = expect_punct st ";" in
+          finish (Op_assign (Sub, lv, mk_expr (Int_lit 1) e.espan)) stop.tspan
+      | PUNCT ";" ->
+          let stop = next st in
+          finish (Expr_stmt e) stop.tspan
+      | t ->
+          err st
+            (Printf.sprintf "expected statement terminator, found %S"
+               (Lexer.token_to_string t)))
+
+and parse_decl st =
+  let start = (peek st).tspan in
+  let base = parse_base_ty st in
+  let ptr = accept_punct st "*" in
+  let name, _ = expect_ident st in
+  match (peek st).Lexer.t with
+  | PUNCT "[" ->
+      ignore (next st);
+      let size = parse_full_expr st in
+      ignore (expect_punct st "]");
+      let stop = expect_punct st ";" in
+      mk_stmt (Arr_decl (base, name, size)) (Loc.join start stop.tspan)
+  | PUNCT "=" ->
+      ignore (next st);
+      let init = parse_full_expr st in
+      let stop = expect_punct st ";" in
+      let ty = if ptr then Tarr base else base in
+      mk_stmt (Decl (ty, name, Some init)) (Loc.join start stop.tspan)
+  | _ ->
+      let stop = expect_punct st ";" in
+      let ty = if ptr then Tarr base else base in
+      mk_stmt (Decl (ty, name, None)) (Loc.join start stop.tspan)
+
+and parse_body st : stmt list =
+  (* a single statement or a braced block, flattened *)
+  if (peek st).Lexer.t = PUNCT "{" then fst (parse_block st)
+  else [ parse_stmt st ]
+
+and parse_block st : stmt list * Loc.span =
+  let opening = expect_punct st "{" in
+  let rec go acc =
+    if (peek st).Lexer.t = PUNCT "}" then
+      let closing = next st in
+      (List.rev acc, Loc.join opening.tspan closing.tspan)
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_if st =
+  let start = next st (* if *) in
+  ignore (expect_punct st "(");
+  let cond = parse_full_expr st in
+  ignore (expect_punct st ")");
+  let then_ = parse_body st in
+  let else_ =
+    match (peek st).Lexer.t with
+    | KW "else" ->
+        ignore (next st);
+        parse_body st
+    | _ -> []
+  in
+  let stop =
+    match (List.rev (then_ @ else_) : stmt list) with
+    | last :: _ -> last.sspan
+    | [] -> start.tspan
+  in
+  mk_stmt (If { cond; then_; else_ }) (Loc.join start.tspan stop)
+
+and parse_for st =
+  let start = next st (* for *) in
+  ignore (expect_punct st "(");
+  (* init: [int] x = e *)
+  let init_start = (peek st).tspan in
+  let ideclared =
+    match (peek st).Lexer.t with
+    | KW "int" ->
+        ignore (next st);
+        true
+    | _ -> false
+  in
+  let ivar, _ = expect_ident st in
+  ignore (expect_punct st "=");
+  let iexpr = parse_full_expr st in
+  let init_stop = expect_punct st ";" in
+  let init =
+    { ivar; ideclared; iexpr; ispan = Loc.join init_start init_stop.tspan }
+  in
+  let cond = parse_full_expr st in
+  ignore (expect_punct st ";");
+  (* step: x++ | x-- | x += e | x -= e *)
+  let step_start = (peek st).tspan in
+  let svar, _ = expect_ident st in
+  let sdelta, sexpr =
+    match (peek st).Lexer.t with
+    | PUNCT "++" ->
+        ignore (next st);
+        (Some 1, None)
+    | PUNCT "--" ->
+        ignore (next st);
+        (Some (-1), None)
+    | PUNCT "+=" ->
+        ignore (next st);
+        let e = parse_full_expr st in
+        ((match e.e with Int_lit n -> Some n | _ -> None), Some e)
+    | PUNCT "-=" ->
+        ignore (next st);
+        let e = parse_full_expr st in
+        ((match e.e with Int_lit n -> Some (-n) | _ -> None), Some e)
+    | t ->
+        err st
+          (Printf.sprintf "expected loop step, found %S" (Lexer.token_to_string t))
+  in
+  let step_stop = expect_punct st ")" in
+  let step =
+    { svar; sdelta; sexpr; stspan = Loc.join step_start step_stop.tspan }
+  in
+  let body = parse_body st in
+  let stop =
+    match List.rev body with last :: _ -> last.sspan | [] -> step.stspan
+  in
+  mk_stmt (For { init; cond; step; body }) (Loc.join start.tspan stop)
+
+and parse_while st =
+  let start = next st in
+  ignore (expect_punct st "(");
+  let cond = parse_full_expr st in
+  ignore (expect_punct st ")");
+  let body = parse_body st in
+  let stop =
+    match List.rev body with last :: _ -> last.sspan | [] -> cond.espan
+  in
+  mk_stmt (While (cond, body)) (Loc.join start.tspan stop)
+
+(* ---------- top level ---------- *)
+
+let parse_params st : param list =
+  ignore (expect_punct st "(");
+  if accept_punct st ")" then []
+  else
+    let rec go acc =
+      let base = parse_base_ty st in
+      let ptr = accept_punct st "*" in
+      let name, _ = expect_ident st in
+      let arr =
+        if accept_punct st "[" then begin
+          ignore (expect_punct st "]");
+          true
+        end
+        else false
+      in
+      let pty = if ptr || arr then Tarr base else base in
+      let p = { pty; pname = name } in
+      if accept_punct st "," then go (p :: acc)
+      else begin
+        ignore (expect_punct st ")");
+        List.rev (p :: acc)
+      end
+    in
+    go []
+
+let parse_func st ~fclass ~fret ~fname ~start : func =
+  let fparams = parse_params st in
+  let fbody, body_span = parse_block st in
+  { fname; fret; fparams; fbody; fclass; fspan = Loc.join start body_span }
+
+let parse_extern st : extern_decl =
+  ignore (next st) (* extern *);
+  let xret = parse_base_ty st in
+  let xname, _ = expect_ident st in
+  ignore (expect_punct st "(");
+  let xparams =
+    if accept_punct st ")" then []
+    else
+      let rec go acc =
+        let t = parse_base_ty st in
+        let t = if accept_punct st "*" then Tarr t else t in
+        (* parameter names in extern prototypes are optional *)
+        (match (peek st).Lexer.t with
+        | IDENT _ -> ignore (next st)
+        | _ -> ());
+        if accept_punct st "," then go (t :: acc)
+        else begin
+          ignore (expect_punct st ")");
+          List.rev (t :: acc)
+        end
+      in
+      go []
+  in
+  ignore (expect_punct st ";");
+  { xname; xret; xparams }
+
+let parse_class st : class_decl =
+  let start = next st (* class *) in
+  let cname, _ = expect_ident st in
+  st.classes <- cname :: st.classes;
+  ignore (expect_punct st "{");
+  let fields = ref [] and methods = ref [] in
+  let rec go () =
+    match (peek st).Lexer.t with
+    | PUNCT "}" ->
+        ignore (next st);
+        ignore (accept_punct st ";")
+    | _ ->
+        let mstart = (peek st).tspan in
+        let base = parse_base_ty st in
+        let ptr = accept_punct st "*" in
+        let name, _ = expect_ident st in
+        (match (peek st).Lexer.t with
+        | PUNCT "(" ->
+            let m =
+              parse_func st ~fclass:(Some cname) ~fret:base ~fname:name
+                ~start:mstart
+            in
+            methods := m :: !methods
+        | _ ->
+            let arr =
+              if accept_punct st "[" then begin
+                ignore (expect_punct st "]");
+                true
+              end
+              else false
+            in
+            ignore (expect_punct st ";");
+            let pty = if ptr || arr then Tarr base else base in
+            fields := { pty; pname = name } :: !fields);
+        go ()
+  in
+  go ();
+  {
+    cname;
+    cfields = List.rev !fields;
+    cmethods = List.rev !methods;
+    cspan = Loc.join start.tspan (peek st).tspan;
+  }
+
+let parse src =
+  let st = { toks = Lexer.tokenize src; classes = [] } in
+  let classes = ref [] and funcs = ref [] and externs = ref [] in
+  let rec go () =
+    match (peek st).Lexer.t with
+    | EOF -> ()
+    | KW "extern" ->
+        externs := parse_extern st :: !externs;
+        go ()
+    | KW "class" ->
+        classes := parse_class st :: !classes;
+        go ()
+    | _ ->
+        let start = (peek st).tspan in
+        let fret = parse_base_ty st in
+        let fname, _ = expect_ident st in
+        funcs := parse_func st ~fclass:None ~fret ~fname ~start :: !funcs;
+        go ()
+  in
+  go ();
+  {
+    classes = List.rev !classes;
+    funcs = List.rev !funcs;
+    externs = List.rev !externs;
+  }
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src; classes = [] } in
+  let e = parse_full_expr st in
+  (match (peek st).Lexer.t with
+  | EOF -> ()
+  | t -> err st (Printf.sprintf "trailing input: %S" (Lexer.token_to_string t)));
+  e

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for mini-C producing the positioned AST.
+
+    The accepted language is the C subset Mira's analyses consume:
+    functions, classes with fields and member functions, [int] /
+    [double] scalars and one-dimensional arrays, [for] / [while] /
+    [if], compound assignment, calls and method calls, [extern]
+    declarations, and [#pragma @Annotation] attached to the following
+    statement. *)
+
+exception Error of string * Loc.pos
+
+val parse : string -> Ast.program
+(** @raise Error with a message and position on syntax errors.
+    @raise Lexer.Error on lexical errors.
+    @raise Annot.Error on malformed annotations. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by annotation values and
+    tests). *)

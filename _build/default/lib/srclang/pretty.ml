@@ -1,0 +1,323 @@
+open Ast
+
+(* Precedence levels matching the parser: higher binds tighter. *)
+let prec_of = function
+  | Lor -> 1
+  | Land -> 2
+  | Eq | Ne -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+let rec expr_prec buf prec (e : expr) =
+  match e.e with
+  | Int_lit n ->
+      if n < 0 then Buffer.add_string buf (Printf.sprintf "(%d)" n)
+      else Buffer.add_string buf (string_of_int n)
+  | Float_lit f ->
+      let s = Printf.sprintf "%.17g" f in
+      let s =
+        if String.contains s '.' || String.contains s 'e'
+           || String.contains s 'n' (* nan/inf *) then s
+        else s ^ ".0"
+      in
+      if f < 0.0 then Buffer.add_string buf (Printf.sprintf "(%s)" s)
+      else Buffer.add_string buf s
+  | Var x -> Buffer.add_string buf x
+  | Index (a, i) ->
+      expr_prec buf 10 a;
+      Buffer.add_char buf '[';
+      expr_prec buf 0 i;
+      Buffer.add_char buf ']'
+  | Field (o, f) ->
+      expr_prec buf 10 o;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf f
+  | Call (f, args) ->
+      Buffer.add_string buf f;
+      args_to_buf buf args
+  | Method_call (o, m, args) ->
+      expr_prec buf 10 o;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf m;
+      args_to_buf buf args
+  | Binop (op, a, b) ->
+      let p = prec_of op in
+      if p < prec then Buffer.add_char buf '(';
+      expr_prec buf p a;
+      Buffer.add_string buf (Printf.sprintf " %s " (binop_to_string op));
+      expr_prec buf (p + 1) b;
+      if p < prec then Buffer.add_char buf ')'
+  | Unop (Neg, a) ->
+      if prec > 7 then Buffer.add_char buf '(';
+      Buffer.add_char buf '-';
+      expr_prec buf 8 a;
+      if prec > 7 then Buffer.add_char buf ')'
+  | Unop (Lnot, a) ->
+      if prec > 7 then Buffer.add_char buf '(';
+      Buffer.add_char buf '!';
+      expr_prec buf 8 a;
+      if prec > 7 then Buffer.add_char buf ')'
+  | Cast (t, a) ->
+      if prec > 7 then Buffer.add_char buf '(';
+      Buffer.add_string buf (Printf.sprintf "(%s)" (ty_to_string t));
+      expr_prec buf 8 a;
+      if prec > 7 then Buffer.add_char buf ')'
+
+and args_to_buf buf args =
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_string buf ", ";
+      expr_prec buf 0 a)
+    args;
+  Buffer.add_char buf ')'
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  expr_prec buf 0 e;
+  Buffer.contents buf
+
+let rec lvalue_to_buf buf (lv : lvalue) =
+  match lv.l with
+  | Lvar x -> Buffer.add_string buf x
+  | Lindex (l, i) ->
+      lvalue_to_buf buf l;
+      Buffer.add_char buf '[';
+      expr_prec buf 0 i;
+      Buffer.add_char buf ']'
+  | Lfield (l, f) ->
+      lvalue_to_buf buf l;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf f
+
+let base_ty_and_suffix = function
+  | Tarr t -> (ty_to_string t, "*")
+  | t -> (ty_to_string t, "")
+
+let rec stmt_to_buf buf indent (st : stmt) =
+  let pad = String.make indent ' ' in
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s#pragma @Annotation {%s}\n" pad (Annot.to_string a)))
+    st.sann;
+  match st.s with
+  | Decl (ty, name, init) ->
+      let base, star = base_ty_and_suffix ty in
+      Buffer.add_string buf (Printf.sprintf "%s%s %s%s" pad base star name);
+      Option.iter
+        (fun e ->
+          Buffer.add_string buf " = ";
+          expr_prec buf 0 e)
+        init;
+      Buffer.add_string buf ";\n"
+  | Arr_decl (ty, name, size) ->
+      Buffer.add_string buf (Printf.sprintf "%s%s %s[" pad (ty_to_string ty) name);
+      expr_prec buf 0 size;
+      Buffer.add_string buf "];\n"
+  | Assign (lv, e) ->
+      Buffer.add_string buf pad;
+      lvalue_to_buf buf lv;
+      Buffer.add_string buf " = ";
+      expr_prec buf 0 e;
+      Buffer.add_string buf ";\n"
+  | Op_assign (op, lv, e) ->
+      Buffer.add_string buf pad;
+      lvalue_to_buf buf lv;
+      Buffer.add_string buf (Printf.sprintf " %s= " (binop_to_string op));
+      expr_prec buf 0 e;
+      Buffer.add_string buf ";\n"
+  | Expr_stmt e ->
+      Buffer.add_string buf pad;
+      expr_prec buf 0 e;
+      Buffer.add_string buf ";\n"
+  | If { cond; then_; else_ } ->
+      Buffer.add_string buf (pad ^ "if (");
+      expr_prec buf 0 cond;
+      Buffer.add_string buf ") {\n";
+      List.iter (stmt_to_buf buf (indent + 2)) then_;
+      Buffer.add_string buf (pad ^ "}");
+      if else_ <> [] then begin
+        Buffer.add_string buf " else {\n";
+        List.iter (stmt_to_buf buf (indent + 2)) else_;
+        Buffer.add_string buf (pad ^ "}")
+      end;
+      Buffer.add_char buf '\n'
+  | For { init; cond; step; body } ->
+      Buffer.add_string buf (pad ^ "for (");
+      if init.ideclared then Buffer.add_string buf "int ";
+      Buffer.add_string buf (init.ivar ^ " = ");
+      expr_prec buf 0 init.iexpr;
+      Buffer.add_string buf "; ";
+      expr_prec buf 0 cond;
+      Buffer.add_string buf "; ";
+      (match (step.sdelta, step.sexpr) with
+      | Some 1, None -> Buffer.add_string buf (step.svar ^ "++")
+      | Some -1, None -> Buffer.add_string buf (step.svar ^ "--")
+      | _, Some e ->
+          Buffer.add_string buf (step.svar ^ " += ");
+          expr_prec buf 0 e
+      | Some d, None ->
+          Buffer.add_string buf (Printf.sprintf "%s += %d" step.svar d)
+      | None, None -> Buffer.add_string buf (step.svar ^ "++"));
+      Buffer.add_string buf ") {\n";
+      List.iter (stmt_to_buf buf (indent + 2)) body;
+      Buffer.add_string buf (pad ^ "}\n")
+  | While (cond, body) ->
+      Buffer.add_string buf (pad ^ "while (");
+      expr_prec buf 0 cond;
+      Buffer.add_string buf ") {\n";
+      List.iter (stmt_to_buf buf (indent + 2)) body;
+      Buffer.add_string buf (pad ^ "}\n")
+  | Return None -> Buffer.add_string buf (pad ^ "return;\n")
+  | Return (Some e) ->
+      Buffer.add_string buf (pad ^ "return ");
+      expr_prec buf 0 e;
+      Buffer.add_string buf ";\n"
+  | Block body ->
+      Buffer.add_string buf (pad ^ "{\n");
+      List.iter (stmt_to_buf buf (indent + 2)) body;
+      Buffer.add_string buf (pad ^ "}\n")
+
+let stmt_to_string ?(indent = 0) st =
+  let buf = Buffer.create 128 in
+  stmt_to_buf buf indent st;
+  Buffer.contents buf
+
+let params_to_string params =
+  String.concat ", "
+    (List.map
+       (fun p ->
+         let base, star = base_ty_and_suffix p.pty in
+         Printf.sprintf "%s %s%s" base star p.pname)
+       params)
+
+let func_to_buf buf indent (f : func) =
+  let pad = String.make indent ' ' in
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s %s(%s) {\n" pad (ty_to_string f.fret) f.fname
+       (params_to_string f.fparams));
+  List.iter (stmt_to_buf buf (indent + 2)) f.fbody;
+  Buffer.add_string buf (pad ^ "}\n")
+
+let func_to_string f =
+  let buf = Buffer.create 256 in
+  func_to_buf buf 0 f;
+  Buffer.contents buf
+
+let program_to_string (p : program) =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (x : extern_decl) ->
+      Buffer.add_string buf
+        (Printf.sprintf "extern %s %s(%s);\n" (ty_to_string x.xret) x.xname
+           (String.concat ", "
+              (List.map
+                 (fun t ->
+                   let base, star = base_ty_and_suffix t in
+                   base ^ star)
+                 x.xparams))))
+    p.externs;
+  List.iter
+    (fun (c : class_decl) ->
+      Buffer.add_string buf (Printf.sprintf "class %s {\n" c.cname);
+      List.iter
+        (fun f ->
+          let base, star = base_ty_and_suffix f.pty in
+          Buffer.add_string buf (Printf.sprintf "  %s %s%s;\n" base star f.pname))
+        c.cfields;
+      List.iter (func_to_buf buf 2) c.cmethods;
+      Buffer.add_string buf "};\n")
+    p.classes;
+  List.iter
+    (fun f ->
+      Buffer.add_char buf '\n';
+      func_to_buf buf 0 f)
+    p.funcs;
+  Buffer.contents buf
+
+(* ---------- structural equality (spans and types ignored) ---------- *)
+
+let rec equal_expr (a : expr) (b : expr) =
+  match (a.e, b.e) with
+  | Int_lit x, Int_lit y -> x = y
+  | Float_lit x, Float_lit y -> x = y
+  | Var x, Var y -> x = y
+  | Index (a1, i1), Index (a2, i2) -> equal_expr a1 a2 && equal_expr i1 i2
+  | Field (o1, f1), Field (o2, f2) -> f1 = f2 && equal_expr o1 o2
+  | Call (f1, a1), Call (f2, a2) ->
+      f1 = f2 && List.length a1 = List.length a2
+      && List.for_all2 equal_expr a1 a2
+  | Method_call (o1, m1, a1), Method_call (o2, m2, a2) ->
+      m1 = m2 && equal_expr o1 o2
+      && List.length a1 = List.length a2
+      && List.for_all2 equal_expr a1 a2
+  | Binop (op1, x1, y1), Binop (op2, x2, y2) ->
+      op1 = op2 && equal_expr x1 x2 && equal_expr y1 y2
+  | Unop (op1, x1), Unop (op2, x2) -> op1 = op2 && equal_expr x1 x2
+  | Cast (t1, x1), Cast (t2, x2) -> t1 = t2 && equal_expr x1 x2
+  | _ -> false
+
+let rec equal_lvalue (a : lvalue) (b : lvalue) =
+  match (a.l, b.l) with
+  | Lvar x, Lvar y -> x = y
+  | Lindex (l1, i1), Lindex (l2, i2) -> equal_lvalue l1 l2 && equal_expr i1 i2
+  | Lfield (l1, f1), Lfield (l2, f2) -> f1 = f2 && equal_lvalue l1 l2
+  | _ -> false
+
+let equal_opt eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> eq x y
+  | _ -> false
+
+let rec equal_stmt (a : stmt) (b : stmt) =
+  a.sann = b.sann
+  &&
+  match (a.s, b.s) with
+  | Decl (t1, n1, i1), Decl (t2, n2, i2) ->
+      t1 = t2 && n1 = n2 && equal_opt equal_expr i1 i2
+  | Arr_decl (t1, n1, s1), Arr_decl (t2, n2, s2) ->
+      t1 = t2 && n1 = n2 && equal_expr s1 s2
+  | Assign (l1, e1), Assign (l2, e2) -> equal_lvalue l1 l2 && equal_expr e1 e2
+  | Op_assign (o1, l1, e1), Op_assign (o2, l2, e2) ->
+      o1 = o2 && equal_lvalue l1 l2 && equal_expr e1 e2
+  | Expr_stmt e1, Expr_stmt e2 -> equal_expr e1 e2
+  | If i1, If i2 ->
+      equal_expr i1.cond i2.cond
+      && equal_stmts i1.then_ i2.then_
+      && equal_stmts i1.else_ i2.else_
+  | For f1, For f2 ->
+      f1.init.ivar = f2.init.ivar
+      && f1.init.ideclared = f2.init.ideclared
+      && equal_expr f1.init.iexpr f2.init.iexpr
+      && equal_expr f1.cond f2.cond
+      && f1.step.svar = f2.step.svar
+      && f1.step.sdelta = f2.step.sdelta
+      && equal_opt equal_expr f1.step.sexpr f2.step.sexpr
+      && equal_stmts f1.body f2.body
+  | While (c1, b1), While (c2, b2) -> equal_expr c1 c2 && equal_stmts b1 b2
+  | Return e1, Return e2 -> equal_opt equal_expr e1 e2
+  | Block b1, Block b2 -> equal_stmts b1 b2
+  | _ -> false
+
+and equal_stmts a b =
+  List.length a = List.length b && List.for_all2 equal_stmt a b
+
+let equal_func (a : func) (b : func) =
+  a.fname = b.fname && a.fret = b.fret && a.fclass = b.fclass
+  && a.fparams = b.fparams
+  && equal_stmts a.fbody b.fbody
+
+let equal_program (a : program) (b : program) =
+  a.externs = b.externs
+  && List.length a.classes = List.length b.classes
+  && List.for_all2
+       (fun (c1 : class_decl) (c2 : class_decl) ->
+         c1.cname = c2.cname && c1.cfields = c2.cfields
+         && List.length c1.cmethods = List.length c2.cmethods
+         && List.for_all2 equal_func c1.cmethods c2.cmethods)
+       a.classes b.classes
+  && List.length a.funcs = List.length b.funcs
+  && List.for_all2 equal_func a.funcs b.funcs

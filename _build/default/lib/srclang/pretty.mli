@@ -1,0 +1,14 @@
+(** Mini-C pretty-printer.
+
+    Renders an AST back to compilable source.  Positions are not
+    preserved (the printer lays out its own lines), but structure is:
+    [parse (print ast)] is structurally equal to [ast] up to spans —
+    a property the test suite checks on random programs. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val func_to_string : Ast.func -> string
+val program_to_string : Ast.program -> string
+
+val equal_program : Ast.program -> Ast.program -> bool
+(** Structural equality ignoring spans and inferred types. *)

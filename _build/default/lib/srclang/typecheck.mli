@@ -1,0 +1,18 @@
+(** Type checking and type annotation.
+
+    Walks the program, checks well-formedness, and fills the mutable
+    [ety] slot of every expression with its inferred type — codegen
+    and the metric generator dispatch on it (int vs double
+    instructions).  Implicit [int → double] widening is allowed, as in
+    C; narrowing requires an explicit cast. *)
+
+type error = { msg : string; at : Loc.pos }
+
+val check : Ast.program -> (unit, error list) result
+(** On [Ok], every reachable expression's [ety] is set. *)
+
+val check_exn : Ast.program -> Ast.program
+(** Same, returning the (annotated) program.
+    @raise Failure with a rendered error list. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/symexpr/expr.ml: Float Format List Poly Printf Ratio Set String

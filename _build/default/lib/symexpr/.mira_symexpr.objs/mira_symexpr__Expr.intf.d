@@ -1,0 +1,1 @@
+lib/symexpr/expr.mli: Format Poly Ratio

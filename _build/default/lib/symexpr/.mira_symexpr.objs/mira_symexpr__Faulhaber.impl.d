@@ -1,0 +1,1 @@
+lib/symexpr/faulhaber.ml: Array Hashtbl Poly Ratio

@@ -1,0 +1,1 @@
+lib/symexpr/faulhaber.mli: Poly Ratio

@@ -1,0 +1,1 @@
+lib/symexpr/poly.ml: Array Format List Map Printf Ratio Set Stdlib String

@@ -1,0 +1,1 @@
+lib/symexpr/poly.mli: Format Ratio

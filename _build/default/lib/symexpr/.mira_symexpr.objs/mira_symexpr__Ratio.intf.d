@@ -1,0 +1,1 @@
+lib/symexpr/ratio.mli: Format

@@ -1,0 +1,60 @@
+let binom n k =
+  (* Small n only (degrees of loop-count polynomials). *)
+  let k = min k (n - k) in
+  let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
+  if k < 0 then 0 else go 1 1
+
+let bernoulli_minus =
+  (* Memoized B_n with the B(1) = -1/2 convention, via
+     sum_{j=0}^{m} C(m+1,j) B_j = 0. *)
+  let cache = Hashtbl.create 16 in
+  Hashtbl.add cache 0 Ratio.one;
+  let rec b n =
+    match Hashtbl.find_opt cache n with
+    | Some v -> v
+    | None ->
+        let s = ref Ratio.zero in
+        for j = 0 to n - 1 do
+          s := Ratio.add !s (Ratio.mul (Ratio.of_int (binom (n + 1) j)) (b j))
+        done;
+        let v = Ratio.div (Ratio.neg !s) (Ratio.of_int (n + 1)) in
+        Hashtbl.add cache n v;
+        v
+  in
+  b
+
+let bernoulli n =
+  let v = bernoulli_minus n in
+  if n = 1 then Ratio.neg v else v
+
+let power_sum =
+  let cache = Hashtbl.create 16 in
+  fun k ->
+    match Hashtbl.find_opt cache k with
+    | Some p -> p
+    | None ->
+        (* S_k(n) = 1/(k+1) * sum_{j=0}^{k} C(k+1,j) B+_j n^{k+1-j} *)
+        let n = Poly.var "n" in
+        let terms = ref Poly.zero in
+        for j = 0 to k do
+          let c = Ratio.mul (Ratio.of_int (binom (k + 1) j)) (bernoulli j) in
+          terms := Poly.add !terms (Poly.scale c (Poly.pow n (k + 1 - j)))
+        done;
+        let p = Poly.scale (Ratio.make 1 (k + 1)) !terms in
+        Hashtbl.add cache k p;
+        p
+
+let sum_range x ~lo ~hi p =
+  if Poly.degree_in x lo > 0 || Poly.degree_in x hi > 0 then
+    invalid_arg "Faulhaber.sum_range: bounds mention the summation variable";
+  let coeffs = Poly.coeffs_in x p in
+  let lo_minus_1 = Poly.sub lo Poly.one in
+  let acc = ref Poly.zero in
+  Array.iteri
+    (fun k ck ->
+      if not (Poly.is_zero ck) then
+        let sk = power_sum k in
+        let at b = Poly.subst "n" b sk in
+        acc := Poly.add !acc (Poly.mul ck (Poly.sub (at hi) (at lo_minus_1))))
+    coeffs;
+  !acc

@@ -1,0 +1,20 @@
+(** Closed-form summation of polynomials over integer ranges
+    (Faulhaber's formula), the engine behind parametric loop-nest
+    counting.
+
+    [sum_range x ~lo ~hi p] equals {m sum_{x=lo}^{hi} p(x)} whenever
+    [hi >= lo - 1] (for [hi = lo - 1] the empty sum is 0).  Callers are
+    responsible for that validity condition; the polyhedral layer
+    either proves it or splits intervals. *)
+
+val bernoulli : int -> Ratio.t
+(** Bernoulli number {m B_n^+} (the [B(1) = +1/2] convention). *)
+
+val power_sum : int -> Poly.t
+(** [power_sum k] is the polynomial {m S_k(n) = sum_{i=1}^{n} i^k} in
+    the variable ["n"]. *)
+
+val sum_range : string -> lo:Poly.t -> hi:Poly.t -> Poly.t -> Poly.t
+(** [sum_range x ~lo ~hi p] sums [p] over integer values of variable
+    [x] from [lo] to [hi] inclusive.  [lo] and [hi] must not contain
+    [x].  The result no longer contains [x]. *)

@@ -1,0 +1,54 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = gcd (abs num) den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num q = q.num
+let den q = q.den
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+let div a b = make (a.num * b.den) (a.den * b.num)
+let neg a = { a with num = -a.num }
+let abs a = { a with num = abs a.num }
+let inv a = make a.den a.num
+let equal a b = a.num = b.num && a.den = b.den
+let compare a b = compare (a.num * b.den) (b.num * a.den)
+let sign a = compare a zero
+let is_zero a = a.num = 0
+let is_integer a = a.den = 1
+
+let to_int_exn a =
+  if a.den <> 1 then invalid_arg "Ratio.to_int_exn: not an integer";
+  a.num
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let floor a =
+  if a.num >= 0 then a.num / a.den
+  else
+    let q = a.num / a.den in
+    if q * a.den = a.num then q else q - 1
+
+let ceil a = -floor (neg a)
+
+let pow a k =
+  assert (k >= 0);
+  let rec go acc k = if k = 0 then acc else go (mul acc a) (k - 1) in
+  go one k
+
+let pp ppf a =
+  if a.den = 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a

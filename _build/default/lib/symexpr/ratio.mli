@@ -1,0 +1,51 @@
+(** Exact rational arithmetic on native integers.
+
+    Numerators and denominators stay tiny in Mira models (the largest
+    constants are Bernoulli-number denominators used by Faulhaber
+    summation), so native [int] is ample.  All values are kept in
+    canonical form: [den > 0] and [gcd (abs num) den = 1]. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the canonical rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val to_float : t -> float
+
+val floor : t -> int
+(** Greatest integer [<=] the value. *)
+
+val ceil : t -> int
+(** Least integer [>=] the value. *)
+
+val pow : t -> int -> t
+(** [pow q k] for [k >= 0]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/visa/binast.ml: Array Buffer Format Isa List Objfile Printf Program String

@@ -1,0 +1,1 @@
+lib/visa/binast.mli: Format Isa Program

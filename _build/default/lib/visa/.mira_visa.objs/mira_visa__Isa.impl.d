@@ -1,0 +1,1 @@
+lib/visa/isa.ml: Format

@@ -1,0 +1,1 @@
+lib/visa/objfile.ml: Array Buffer Char Fun Int64 Isa List Printf Program String

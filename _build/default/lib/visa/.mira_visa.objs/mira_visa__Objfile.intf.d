@@ -1,0 +1,1 @@
+lib/visa/objfile.mli: Program

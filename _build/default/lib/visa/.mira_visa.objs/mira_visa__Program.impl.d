@@ -1,0 +1,1 @@
+lib/visa/program.ml: Array Format Isa List Printf

@@ -1,0 +1,82 @@
+type bin_insn = {
+  addr : int;
+  insn : Isa.insn;
+  mnemonic : string;
+  text : string;
+  line : int;
+  col : int;
+}
+
+type bin_func = { fname : string; fsize : int; finsns : bin_insn list }
+type t = { bfuncs : bin_func list; bpool : float array }
+
+let of_program (p : Program.t) =
+  let bfuncs =
+    List.map
+      (fun (f : Program.fundef) ->
+        let finsns =
+          Array.to_list
+            (Array.mapi
+               (fun i insn ->
+                 let d = f.debug.(i) in
+                 {
+                   addr = i;
+                   insn;
+                   mnemonic = Isa.mnemonic insn;
+                   text = Isa.insn_to_string insn;
+                   line = d.Program.line;
+                   col = d.Program.col;
+                 })
+               f.insns)
+        in
+        { fname = f.name; fsize = Array.length f.insns; finsns })
+      p.funs
+  in
+  { bfuncs; bpool = p.fpool }
+
+let of_object bytes = of_program (Objfile.decode bytes)
+
+let find_func t name = List.find_opt (fun f -> f.fname = name) t.bfuncs
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  let next = ref 0 in
+  let node label =
+    let id = !next in
+    incr next;
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" id (String.escaped label));
+    id
+  in
+  let edge a b = Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" a b) in
+  Buffer.add_string buf "digraph binast {\n  node [shape=box];\n";
+  let root = node "SgAsmBlock" in
+  List.iter
+    (fun f ->
+      let fid = node (Printf.sprintf "SgAsmFunction %s" f.fname) in
+      edge root fid;
+      let blk = node "SgAsmBlock" in
+      edge fid blk;
+      List.iter
+        (fun i ->
+          let iid =
+            node
+              (Printf.sprintf "SgAsmX86Instruction 0x%04x: %s  <%d:%d>" i.addr
+                 i.text i.line i.col)
+          in
+          edge blk iid)
+        f.finsns)
+    t.bfuncs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%s:  # %d instructions@." f.fname f.fsize;
+      List.iter
+        (fun i ->
+          Format.fprintf ppf "  %04x: %-40s # %d:%d@." i.addr i.text i.line
+            i.col)
+        f.finsns)
+    t.bfuncs

@@ -1,0 +1,35 @@
+(** The binary AST (paper Figure 3).
+
+    Disassembling an object file yields a tree shaped like ROSE's
+    binary AST: an [SgAsmBlock] of [SgAsmFunction]s, each containing
+    [SgAsmX86Instruction]s.  Every instruction node carries the
+    source line/column recovered from [.debug_line] — the information
+    the source↔binary bridge matches on. *)
+
+type bin_insn = {
+  addr : int;  (** index within the function's code *)
+  insn : Isa.insn;
+  mnemonic : string;
+  text : string;  (** disassembly rendering *)
+  line : int;
+  col : int;
+}
+
+type bin_func = {
+  fname : string;
+  fsize : int;
+  finsns : bin_insn list;
+}
+
+type t = { bfuncs : bin_func list; bpool : float array }
+
+val of_program : Program.t -> t
+val of_object : string -> t
+(** Disassemble an encoded object file. *)
+
+val find_func : t -> string -> bin_func option
+
+val to_dot : t -> string
+(** Graphviz rendering with ROSE [SgAsm*] node labels. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,211 @@
+(* The virtual instruction set Mira's compiler targets.
+
+   It is deliberately x86-64-shaped: two register files (general
+   purpose and XMM), memory operands with base/index/scale/disp
+   addressing, condition flags, and SSE2-style scalar/packed
+   floating-point instructions.  Registers 0..15 of each file are the
+   ABI registers (argument and return-value passing, shared across
+   frames, caller-saved by construction); registers from 16 up are
+   frame-local virtual registers.
+
+   Memory is split into an integer space and a floating-point space
+   (Fortran-style); addresses are element indices within a space.
+   [Alloc_i]/[Alloc_f] stand in for the allocator the runtime would
+   provide. *)
+
+type ireg = int
+type xreg = int
+
+let abi_regs = 16
+(* First frame-local register index. *)
+
+type addr = {
+  base : ireg;
+  index : ireg option;
+  scale : int;  (* element scale for the index register *)
+  disp : int;
+}
+
+type iop = Reg of ireg | Imm of int
+
+type cc = E | NE | L | LE | G | GE
+
+type insn =
+  (* integer data transfer *)
+  | Movq of ireg * iop
+  | Load of ireg * addr  (* from integer memory *)
+  | Store of addr * iop  (* to integer memory *)
+  | Leaq of ireg * addr
+  (* integer arithmetic / logic *)
+  | Addq of ireg * iop
+  | Subq of ireg * iop
+  | Imulq of ireg * iop
+  | Idivq of ireg * iop  (* dst <- dst / src, truncated *)
+  | Iremq of ireg * iop  (* dst <- dst mod src, sign of dividend *)
+  | Negq of ireg
+  | Andq of ireg * iop
+  | Orq of ireg * iop
+  | Xorq of ireg * iop
+  | Shlq of ireg * int
+  | Sarq of ireg * int
+  | Incq of ireg
+  | Decq of ireg
+  | Cmpq of iop * iop  (* flags <- sign (a - b) *)
+  | Testq of iop * iop
+  (* control transfer; targets are instruction indices in the function *)
+  | Jmp of int
+  | Jcc of cc * int
+  | Call of string
+  | Call_ext of string * int  (* external function, arity *)
+  | Ret
+  (* SSE2 data movement *)
+  | Movsd_rr of xreg * xreg
+  | Movsd_load of xreg * addr  (* from float memory *)
+  | Movsd_store of addr * xreg
+  | Movsd_const of xreg * int  (* load from the .rodata constant pool *)
+  | Movapd of xreg * xreg  (* packed register move: pairs (r, r+1) *)
+  | Movapd_load of xreg * addr  (* packed load: r, r+1 <- [a], [a+1] *)
+  | Movapd_store of addr * xreg
+  | Xorpd of xreg  (* zero an xmm register *)
+  (* SSE2 arithmetic *)
+  | Addsd of xreg * xreg
+  | Subsd of xreg * xreg
+  | Mulsd of xreg * xreg
+  | Divsd of xreg * xreg
+  | Sqrtsd of xreg * xreg  (* dst <- sqrt src *)
+  | Ucomisd of xreg * xreg  (* flags <- compare *)
+  | Addpd of xreg * xreg
+  | Subpd of xreg * xreg
+  | Mulpd of xreg * xreg
+  | Divpd of xreg * xreg
+  (* conversions *)
+  | Cvtsi2sd of xreg * ireg
+  | Cvttsd2si of ireg * xreg
+  (* misc *)
+  | Nop
+  | Alloc_i of ireg * iop  (* dst <- address of fresh int block *)
+  | Alloc_f of ireg * iop
+
+let mnemonic = function
+  | Movq _ | Load _ | Store _ -> "movq"
+  | Leaq _ -> "leaq"
+  | Addq _ -> "addq"
+  | Subq _ -> "subq"
+  | Imulq _ -> "imulq"
+  | Idivq _ -> "idivq"
+  | Iremq _ -> "iremq"
+  | Negq _ -> "negq"
+  | Andq _ -> "andq"
+  | Orq _ -> "orq"
+  | Xorq _ -> "xorq"
+  | Shlq _ -> "shlq"
+  | Sarq _ -> "sarq"
+  | Incq _ -> "incq"
+  | Decq _ -> "decq"
+  | Cmpq _ -> "cmpq"
+  | Testq _ -> "testq"
+  | Jmp _ -> "jmp"
+  | Jcc (E, _) -> "je"
+  | Jcc (NE, _) -> "jne"
+  | Jcc (L, _) -> "jl"
+  | Jcc (LE, _) -> "jle"
+  | Jcc (G, _) -> "jg"
+  | Jcc (GE, _) -> "jge"
+  | Call _ -> "call"
+  | Call_ext _ -> "call"
+  | Ret -> "ret"
+  | Movsd_rr _ | Movsd_load _ | Movsd_store _ | Movsd_const _ -> "movsd"
+  | Movapd _ | Movapd_load _ | Movapd_store _ -> "movapd"
+  | Xorpd _ -> "xorpd"
+  | Addsd _ -> "addsd"
+  | Subsd _ -> "subsd"
+  | Mulsd _ -> "mulsd"
+  | Divsd _ -> "divsd"
+  | Sqrtsd _ -> "sqrtsd"
+  | Ucomisd _ -> "ucomisd"
+  | Addpd _ -> "addpd"
+  | Subpd _ -> "subpd"
+  | Mulpd _ -> "mulpd"
+  | Divpd _ -> "divpd"
+  | Cvtsi2sd _ -> "cvtsi2sd"
+  | Cvttsd2si _ -> "cvttsd2si"
+  | Nop -> "nop"
+  | Alloc_i _ -> "alloci"
+  | Alloc_f _ -> "allocf"
+
+let all_mnemonics =
+  [
+    "movq"; "leaq"; "addq"; "subq"; "imulq"; "idivq"; "iremq"; "negq";
+    "andq"; "orq"; "xorq"; "shlq"; "sarq"; "incq"; "decq"; "cmpq"; "testq";
+    "jmp"; "je"; "jne"; "jl"; "jle"; "jg"; "jge"; "call"; "ret";
+    "movsd"; "movapd"; "xorpd";
+    "addsd"; "subsd"; "mulsd"; "divsd"; "sqrtsd"; "ucomisd";
+    "addpd"; "subpd"; "mulpd"; "divpd";
+    "cvtsi2sd"; "cvttsd2si"; "nop"; "alloci"; "allocf";
+  ]
+
+let is_packed_mnemonic = function
+  | "movapd" | "addpd" | "subpd" | "mulpd" | "divpd" -> true
+  | _ -> false
+
+let is_packed = function
+  | Movapd _ | Movapd_load _ | Movapd_store _ | Addpd _ | Subpd _ | Mulpd _
+  | Divpd _ ->
+      true
+  | _ -> false
+
+let pp_ireg ppf r =
+  if r < abi_regs then Format.fprintf ppf "%%a%d" r
+  else Format.fprintf ppf "%%r%d" r
+
+let pp_xreg ppf r =
+  if r < abi_regs then Format.fprintf ppf "%%xa%d" r
+  else Format.fprintf ppf "%%x%d" r
+
+let pp_addr ppf a =
+  match a.index with
+  | None -> Format.fprintf ppf "%d(%a)" a.disp pp_ireg a.base
+  | Some i -> Format.fprintf ppf "%d(%a,%a,%d)" a.disp pp_ireg a.base pp_ireg i a.scale
+
+let pp_iop ppf = function
+  | Reg r -> pp_ireg ppf r
+  | Imm n -> Format.fprintf ppf "$%d" n
+
+let pp_insn ppf insn =
+  let m = mnemonic insn in
+  match insn with
+  | Movq (d, s) -> Format.fprintf ppf "%s %a, %a" m pp_iop s pp_ireg d
+  | Load (d, a) -> Format.fprintf ppf "%s %a, %a" m pp_addr a pp_ireg d
+  | Store (a, s) -> Format.fprintf ppf "%s %a, %a" m pp_iop s pp_addr a
+  | Leaq (d, a) -> Format.fprintf ppf "%s %a, %a" m pp_addr a pp_ireg d
+  | Addq (d, s) | Subq (d, s) | Imulq (d, s) | Idivq (d, s) | Iremq (d, s)
+  | Andq (d, s) | Orq (d, s) | Xorq (d, s) ->
+      Format.fprintf ppf "%s %a, %a" m pp_iop s pp_ireg d
+  | Negq d | Incq d | Decq d -> Format.fprintf ppf "%s %a" m pp_ireg d
+  | Shlq (d, k) | Sarq (d, k) -> Format.fprintf ppf "%s $%d, %a" m k pp_ireg d
+  | Cmpq (a, b) | Testq (a, b) ->
+      Format.fprintf ppf "%s %a, %a" m pp_iop b pp_iop a
+  | Jmp t -> Format.fprintf ppf "%s .L%d" m t
+  | Jcc (_, t) -> Format.fprintf ppf "%s .L%d" m t
+  | Call f -> Format.fprintf ppf "%s %s" m f
+  | Call_ext (f, _) -> Format.fprintf ppf "%s %s@plt" m f
+  | Ret -> Format.fprintf ppf "%s" m
+  | Movsd_rr (d, s) | Movapd (d, s) ->
+      Format.fprintf ppf "%s %a, %a" m pp_xreg s pp_xreg d
+  | Movsd_load (d, a) | Movapd_load (d, a) ->
+      Format.fprintf ppf "%s %a, %a" m pp_addr a pp_xreg d
+  | Movsd_store (a, s) | Movapd_store (a, s) ->
+      Format.fprintf ppf "%s %a, %a" m pp_xreg s pp_addr a
+  | Movsd_const (d, k) -> Format.fprintf ppf "%s .LC%d(%%rip), %a" m k pp_xreg d
+  | Xorpd d -> Format.fprintf ppf "%s %a, %a" m pp_xreg d pp_xreg d
+  | Addsd (d, s) | Subsd (d, s) | Mulsd (d, s) | Divsd (d, s)
+  | Sqrtsd (d, s) | Ucomisd (d, s) | Addpd (d, s) | Subpd (d, s)
+  | Mulpd (d, s) | Divpd (d, s) ->
+      Format.fprintf ppf "%s %a, %a" m pp_xreg s pp_xreg d
+  | Cvtsi2sd (d, s) -> Format.fprintf ppf "%s %a, %a" m pp_ireg s pp_xreg d
+  | Cvttsd2si (d, s) -> Format.fprintf ppf "%s %a, %a" m pp_xreg s pp_ireg d
+  | Nop -> Format.fprintf ppf "%s" m
+  | Alloc_i (d, n) | Alloc_f (d, n) ->
+      Format.fprintf ppf "%s %a, %a" m pp_iop n pp_ireg d
+
+let insn_to_string i = Format.asprintf "%a" pp_insn i

@@ -1,0 +1,395 @@
+exception Corrupt of string
+
+let magic = "MIRAOBJ1"
+
+(* --- primitive writers: zigzag varints and length-prefixed strings --- *)
+
+let put_varint buf n =
+  (* zigzag so negative displacements stay compact *)
+  let u = (n lsl 1) lxor (n asr 62) in
+  let rec go u =
+    if u land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr (u land 0x7f))
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x7f)));
+      go (u lsr 7)
+    end
+  in
+  go (u land max_int)
+
+let put_string buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let put_float buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+type reader = { src : string; mutable off : int }
+
+let byte r =
+  if r.off >= String.length r.src then raise (Corrupt "unexpected end of object");
+  let c = Char.code r.src.[r.off] in
+  r.off <- r.off + 1;
+  c
+
+let get_varint r =
+  let rec go shift acc =
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  let u = go 0 0 in
+  (u lsr 1) lxor (-(u land 1))
+
+let get_string r =
+  let n = get_varint r in
+  if n < 0 || r.off + n > String.length r.src then raise (Corrupt "bad string");
+  let s = String.sub r.src r.off n in
+  r.off <- r.off + n;
+  s
+
+let get_float r =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (byte r)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+(* --- instruction encoding --- *)
+
+open Isa
+
+let put_addr buf a =
+  put_varint buf a.base;
+  (match a.index with
+  | None -> put_varint buf (-1)
+  | Some i -> put_varint buf i);
+  put_varint buf a.scale;
+  put_varint buf a.disp
+
+let get_addr r =
+  let base = get_varint r in
+  let index = match get_varint r with -1 -> None | i -> Some i in
+  let scale = get_varint r in
+  let disp = get_varint r in
+  { base; index; scale; disp }
+
+let put_iop buf = function
+  | Reg x ->
+      put_varint buf 0;
+      put_varint buf x
+  | Imm n ->
+      put_varint buf 1;
+      put_varint buf n
+
+let get_iop r =
+  match get_varint r with
+  | 0 -> Reg (get_varint r)
+  | 1 -> Imm (get_varint r)
+  | k -> raise (Corrupt (Printf.sprintf "bad operand kind %d" k))
+
+let cc_code = function E -> 0 | NE -> 1 | L -> 2 | LE -> 3 | G -> 4 | GE -> 5
+
+let cc_of_code = function
+  | 0 -> E | 1 -> NE | 2 -> L | 3 -> LE | 4 -> G | 5 -> GE
+  | k -> raise (Corrupt (Printf.sprintf "bad condition code %d" k))
+
+let put_insn buf insn =
+  let tag t = Buffer.add_char buf (Char.chr t) in
+  let rr t a b = tag t; put_varint buf a; put_varint buf b in
+  let ri t a op = tag t; put_varint buf a; put_iop buf op in
+  let ra t a addr = tag t; put_varint buf a; put_addr buf addr in
+  match insn with
+  | Movq (d, s) -> ri 0 d s
+  | Load (d, a) -> ra 1 d a
+  | Store (a, s) -> tag 2; put_addr buf a; put_iop buf s
+  | Leaq (d, a) -> ra 3 d a
+  | Addq (d, s) -> ri 4 d s
+  | Subq (d, s) -> ri 5 d s
+  | Imulq (d, s) -> ri 6 d s
+  | Idivq (d, s) -> ri 7 d s
+  | Iremq (d, s) -> ri 8 d s
+  | Negq d -> tag 9; put_varint buf d
+  | Andq (d, s) -> ri 10 d s
+  | Orq (d, s) -> ri 11 d s
+  | Xorq (d, s) -> ri 12 d s
+  | Shlq (d, k) -> rr 13 d k
+  | Sarq (d, k) -> rr 14 d k
+  | Incq d -> tag 15; put_varint buf d
+  | Decq d -> tag 16; put_varint buf d
+  | Cmpq (a, b) -> tag 17; put_iop buf a; put_iop buf b
+  | Testq (a, b) -> tag 18; put_iop buf a; put_iop buf b
+  | Jmp t -> tag 19; put_varint buf t
+  | Jcc (c, t) -> tag 20; put_varint buf (cc_code c); put_varint buf t
+  | Call f -> tag 21; put_string buf f
+  | Call_ext (f, n) -> tag 22; put_string buf f; put_varint buf n
+  | Ret -> tag 23
+  | Movsd_rr (d, s) -> rr 24 d s
+  | Movsd_load (d, a) -> ra 25 d a
+  | Movsd_store (a, s) -> tag 26; put_addr buf a; put_varint buf s
+  | Movsd_const (d, k) -> rr 46 d k
+  | Movapd (d, s) -> rr 27 d s
+  | Movapd_load (d, a) -> ra 28 d a
+  | Movapd_store (a, s) -> tag 29; put_addr buf a; put_varint buf s
+  | Xorpd d -> tag 30; put_varint buf d
+  | Addsd (d, s) -> rr 31 d s
+  | Subsd (d, s) -> rr 32 d s
+  | Mulsd (d, s) -> rr 33 d s
+  | Divsd (d, s) -> rr 34 d s
+  | Sqrtsd (d, s) -> rr 35 d s
+  | Ucomisd (d, s) -> rr 36 d s
+  | Addpd (d, s) -> rr 37 d s
+  | Subpd (d, s) -> rr 38 d s
+  | Mulpd (d, s) -> rr 39 d s
+  | Divpd (d, s) -> rr 40 d s
+  | Cvtsi2sd (d, s) -> rr 41 d s
+  | Cvttsd2si (d, s) -> rr 42 d s
+  | Nop -> tag 43
+  | Alloc_i (d, n) -> ri 44 d n
+  | Alloc_f (d, n) -> ri 45 d n
+
+let get_insn r =
+  let t = byte r in
+  let v () = get_varint r in
+  (* OCaml evaluates constructor arguments right-to-left; every
+     multi-operand case must bind its reads explicitly in order. *)
+  let ri mk = let d = v () in let s = get_iop r in mk d s in
+  let ra mk = let d = v () in let a = get_addr r in mk d a in
+  match t with
+  | 0 -> ri (fun d s -> Movq (d, s))
+  | 1 -> ra (fun d a -> Load (d, a))
+  | 2 -> let a = get_addr r in Store (a, get_iop r)
+  | 3 -> ra (fun d a -> Leaq (d, a))
+  | 4 -> ri (fun d s -> Addq (d, s))
+  | 5 -> ri (fun d s -> Subq (d, s))
+  | 6 -> ri (fun d s -> Imulq (d, s))
+  | 7 -> ri (fun d s -> Idivq (d, s))
+  | 8 -> ri (fun d s -> Iremq (d, s))
+  | 9 -> Negq (v ())
+  | 10 -> ri (fun d s -> Andq (d, s))
+  | 11 -> ri (fun d s -> Orq (d, s))
+  | 12 -> ri (fun d s -> Xorq (d, s))
+  | 13 -> let d = v () in Shlq (d, v ())
+  | 14 -> let d = v () in Sarq (d, v ())
+  | 15 -> Incq (v ())
+  | 16 -> Decq (v ())
+  | 17 -> let a = get_iop r in Cmpq (a, get_iop r)
+  | 18 -> let a = get_iop r in Testq (a, get_iop r)
+  | 19 -> Jmp (v ())
+  | 20 -> let c = cc_of_code (v ()) in Jcc (c, v ())
+  | 21 -> Call (get_string r)
+  | 22 -> let f = get_string r in Call_ext (f, v ())
+  | 23 -> Ret
+  | 24 -> let d = v () in Movsd_rr (d, v ())
+  | 25 -> ra (fun d a -> Movsd_load (d, a))
+  | 26 -> let a = get_addr r in Movsd_store (a, v ())
+  | 27 -> let d = v () in Movapd (d, v ())
+  | 28 -> ra (fun d a -> Movapd_load (d, a))
+  | 29 -> let a = get_addr r in Movapd_store (a, v ())
+  | 30 -> Xorpd (v ())
+  | 31 -> let d = v () in Addsd (d, v ())
+  | 32 -> let d = v () in Subsd (d, v ())
+  | 33 -> let d = v () in Mulsd (d, v ())
+  | 34 -> let d = v () in Divsd (d, v ())
+  | 35 -> let d = v () in Sqrtsd (d, v ())
+  | 36 -> let d = v () in Ucomisd (d, v ())
+  | 37 -> let d = v () in Addpd (d, v ())
+  | 38 -> let d = v () in Subpd (d, v ())
+  | 39 -> let d = v () in Mulpd (d, v ())
+  | 40 -> let d = v () in Divpd (d, v ())
+  | 41 -> let d = v () in Cvtsi2sd (d, v ())
+  | 42 -> let d = v () in Cvttsd2si (d, v ())
+  | 43 -> Nop
+  | 44 -> ri (fun d s -> Alloc_i (d, s))
+  | 45 -> ri (fun d s -> Alloc_f (d, s))
+  | 46 -> let d = v () in Movsd_const (d, v ())
+  | t -> raise (Corrupt (Printf.sprintf "bad instruction tag %d" t))
+
+(* --- sections --- *)
+
+let kind_code = function
+  | Program.Kint -> 0
+  | Program.Kdouble -> 1
+  | Program.Kvoid -> 2
+
+let kind_of_code = function
+  | 0 -> Program.Kint
+  | 1 -> Program.Kdouble
+  | 2 -> Program.Kvoid
+  | k -> raise (Corrupt (Printf.sprintf "bad value kind %d" k))
+
+let encode_section buf name payload =
+  put_string buf name;
+  put_string buf payload
+
+let encode (p : Program.t) =
+  let symtab = Buffer.create 256 in
+  put_varint symtab (List.length p.funs);
+  List.iter
+    (fun (f : Program.fundef) ->
+      put_string symtab f.name;
+      put_varint symtab (List.length f.params);
+      List.iter (fun k -> put_varint symtab (kind_code k)) f.params;
+      put_varint symtab (kind_code f.ret);
+      put_varint symtab f.n_iregs;
+      put_varint symtab f.n_xregs;
+      put_varint symtab (Array.length f.insns))
+    p.funs;
+  let text = Buffer.create 1024 in
+  List.iter
+    (fun (f : Program.fundef) -> Array.iter (put_insn text) f.insns)
+    p.funs;
+  let dbg = Buffer.create 1024 in
+  List.iter
+    (fun (f : Program.fundef) ->
+      Array.iter
+        (fun (d : Program.debug) ->
+          put_varint dbg d.line;
+          put_varint dbg d.col)
+        f.debug)
+    p.funs;
+  let rodata = Buffer.create 64 in
+  put_varint rodata (Array.length p.fpool);
+  Array.iter (put_float rodata) p.fpool;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  put_varint buf 4;
+  encode_section buf ".symtab" (Buffer.contents symtab);
+  encode_section buf ".text" (Buffer.contents text);
+  encode_section buf ".rodata" (Buffer.contents rodata);
+  encode_section buf ".debug_line" (Buffer.contents dbg);
+  Buffer.contents buf
+
+(* Stateful reads must happen strictly in order; List.init/Array.init
+   do not guarantee evaluation order.  Counts come from untrusted
+   input: negative or absurd values are corruption, not allocation
+   requests. *)
+let check_count ?(limit = 100_000_000) n =
+  if n < 0 || n > limit then
+    raise (Corrupt (Printf.sprintf "implausible element count %d" n))
+
+let read_list ?limit n f =
+  check_count ?limit n;
+  let rec go acc k = if k = 0 then List.rev acc else go (f () :: acc) (k - 1) in
+  go [] n
+
+let read_array ?limit n f =
+  check_count ?limit n;
+  if n = 0 then [||]
+  else begin
+    let first = f () in
+    let a = Array.make n first in
+    for i = 1 to n - 1 do
+      a.(i) <- f ()
+    done;
+    a
+  end
+
+type sym = {
+  s_name : string;
+  s_params : Program.value_kind list;
+  s_ret : Program.value_kind;
+  s_niregs : int;
+  s_nxregs : int;
+  s_count : int;
+}
+
+let decode src =
+  if String.length src < String.length magic
+     || String.sub src 0 (String.length magic) <> magic then
+    raise (Corrupt "bad magic");
+  let r = { src; off = String.length magic } in
+  let nsections = get_varint r in
+  let sections = ref [] in
+  for _ = 1 to nsections do
+    let name = get_string r in
+    let payload = get_string r in
+    sections := (name, payload) :: !sections
+  done;
+  let section name =
+    match List.assoc_opt name !sections with
+    | Some s -> s
+    | None -> raise (Corrupt ("missing section " ^ name))
+  in
+  let symr = { src = section ".symtab"; off = 0 } in
+  let nfuns = get_varint symr in
+  let syms =
+    read_list nfuns (fun () ->
+        let s_name = get_string symr in
+        let nparams = get_varint symr in
+        let s_params =
+          read_list nparams (fun () -> kind_of_code (get_varint symr))
+        in
+        let s_ret = kind_of_code (get_varint symr) in
+        let s_niregs = get_varint symr in
+        let s_nxregs = get_varint symr in
+        let s_count = get_varint symr in
+        { s_name; s_params; s_ret; s_niregs; s_nxregs; s_count })
+  in
+  let textr = { src = section ".text"; off = 0 } in
+  let dbgr = { src = section ".debug_line"; off = 0 } in
+  let rodatar = { src = section ".rodata"; off = 0 } in
+  let npool = get_varint rodatar in
+  let fpool =
+    read_array ~limit:(String.length rodatar.src) npool (fun () ->
+        get_float rodatar)
+  in
+  (* List.map does not guarantee evaluation order either. *)
+  let rec map_in_order f = function
+    | [] -> []
+    | x :: rest ->
+        let y = f x in
+        y :: map_in_order f rest
+  in
+  let funs =
+    map_in_order
+      (fun s ->
+        let insns =
+          read_array ~limit:(String.length textr.src) s.s_count (fun () ->
+              get_insn textr)
+        in
+        let debug =
+          read_array s.s_count (fun () ->
+              let line = get_varint dbgr in
+              let col = get_varint dbgr in
+              { Program.line; col })
+        in
+        {
+          Program.name = s.s_name;
+          params = s.s_params;
+          ret = s.s_ret;
+          insns;
+          debug;
+          n_iregs = s.s_niregs;
+          n_xregs = s.s_nxregs;
+        })
+      syms
+  in
+  { Program.funs; fpool }
+
+let write_file path p =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode p))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))
+
+let section_sizes src =
+  if String.length src < String.length magic then raise (Corrupt "bad magic");
+  let r = { src; off = String.length magic } in
+  let n = get_varint r in
+  let acc = ref [ ("header", String.length magic) ] in
+  for _ = 1 to n do
+    let name = get_string r in
+    let payload = get_string r in
+    acc := (name, String.length payload) :: !acc
+  done;
+  List.rev !acc

@@ -1,0 +1,26 @@
+(** Object-file encoding — the stand-in for ELF.
+
+    A serialized program has a magic header and three sections
+    mirroring what Mira reads from a real binary:
+
+    - [.symtab]: function names, signatures and code extents;
+    - [.text]: the instruction encodings;
+    - [.debug_line]: one (line, column) record per instruction, the
+      DWARF line-table equivalent used to bridge the binary AST back
+      to source positions (paper §III-A2).
+
+    The encoding is deterministic, so encode/decode round-trips are
+    testable byte-for-byte. *)
+
+exception Corrupt of string
+
+val encode : Program.t -> string
+val decode : string -> Program.t
+(** @raise Corrupt on malformed input. *)
+
+val write_file : string -> Program.t -> unit
+val read_file : string -> Program.t
+
+val section_sizes : string -> (string * int) list
+(** Sizes in bytes of the header and each section of an encoded
+    object, for reporting. *)

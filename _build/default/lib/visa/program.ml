@@ -1,0 +1,43 @@
+(* Compiled programs: functions with their instructions and per-
+   instruction debug records (source line and column — the virtual
+   counterpart of DWARF .debug_line). *)
+
+type value_kind = Kint | Kdouble | Kvoid
+
+type debug = { line : int; col : int }
+
+type fundef = {
+  name : string;  (* mangled: `A::foo` for methods *)
+  params : value_kind list;  (* Kint also covers array addresses *)
+  ret : value_kind;
+  insns : Isa.insn array;
+  debug : debug array;  (* same length as insns *)
+  n_iregs : int;  (* frame-local register-file sizes *)
+  n_xregs : int;
+}
+
+type t = {
+  funs : fundef list;
+  fpool : float array;  (* .rodata: double constants for Movsd_const *)
+}
+
+let find t name = List.find_opt (fun f -> f.name = name) t.funs
+
+let find_exn t name =
+  match find t name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Program.find_exn: no function %s" name)
+
+let total_insns t =
+  List.fold_left (fun n f -> n + Array.length f.insns) 0 t.funs
+
+let pp_fundef ppf f =
+  Format.fprintf ppf "%s:  # %d instructions@." f.name (Array.length f.insns);
+  Array.iteri
+    (fun i insn ->
+      let d = f.debug.(i) in
+      Format.fprintf ppf "  %4d: %-40s # %d:%d@." i (Isa.insn_to_string insn)
+        d.line d.col)
+    f.insns
+
+let pp ppf t = List.iter (pp_fundef ppf) t.funs

@@ -1,0 +1,1 @@
+lib/vm/cache.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Array Cache Float Format Hashtbl Isa List Mira_visa Objfile Option Program

@@ -1,0 +1,88 @@
+type stats = { accesses : int; hits : int; misses : int; evictions : int }
+
+type t = {
+  line_elems : int;  (* doubles per line *)
+  line_bytes : int;
+  ways : int;
+  sets : int;
+  tags : int array;  (* sets * ways; -1 = invalid *)
+  ages : int array;  (* LRU clocks *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(line_bytes = 64) ?(ways = 8) ~size_bytes () =
+  if line_bytes <= 0 || ways <= 0 || size_bytes <= 0 then
+    invalid_arg "Cache.create: sizes must be positive";
+  if line_bytes mod 8 <> 0 then
+    invalid_arg "Cache.create: line size must hold whole doubles";
+  if size_bytes mod (ways * line_bytes) <> 0 then
+    invalid_arg "Cache.create: capacity must be a whole number of sets";
+  let sets = size_bytes / (ways * line_bytes) in
+  {
+    line_elems = line_bytes / 8;
+    line_bytes;
+    ways;
+    sets;
+    tags = Array.make (sets * ways) (-1);
+    ages = Array.make (sets * ways) 0;
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let access t elem =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = elem / t.line_elems in
+  let set = line mod t.sets in
+  let base = set * t.ways in
+  let rec find w = if w = t.ways then None
+    else if t.tags.(base + w) = line then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+      t.hits <- t.hits + 1;
+      t.ages.(base + w) <- t.clock;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      (* LRU victim: oldest way (empty ways have age 0 and win) *)
+      let victim = ref 0 in
+      for w = 1 to t.ways - 1 do
+        if t.ages.(base + w) < t.ages.(base + !victim) then victim := w
+      done;
+      if t.tags.(base + !victim) >= 0 then t.evictions <- t.evictions + 1;
+      t.tags.(base + !victim) <- line;
+      t.ages.(base + !victim) <- t.clock;
+      false
+
+let stats t =
+  { accesses = t.accesses; hits = t.hits; misses = t.misses;
+    evictions = t.evictions }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.ages 0 (Array.length t.ages) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let hit_rate (s : stats) =
+  if s.accesses = 0 then 1.0
+  else float_of_int s.hits /. float_of_int s.accesses
+
+let miss_traffic_bytes t = float_of_int (t.misses * t.line_bytes)
+
+let describe t =
+  Printf.sprintf "%d B (%d sets x %d ways x %d B lines), LRU"
+    (t.sets * t.ways * t.line_bytes)
+    t.sets t.ways t.line_bytes

@@ -1,0 +1,40 @@
+(** A set-associative LRU data-cache simulator for the VM's
+    floating-point memory space.
+
+    The paper positions Mira's static arithmetic-intensity estimates
+    against measurement; related work (Kerncraft) centres on the
+    memory hierarchy.  This simulator provides the dynamic side of
+    that comparison: attach one to a VM, run a workload, and compare
+    measured miss traffic with the model's static byte estimates
+    (`Report.roofline_gflops`, `Predict`).
+
+    Addresses are element indices (8-byte doubles); [line_bytes]
+    converts to elements per line. *)
+
+type t
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val create : ?line_bytes:int -> ?ways:int -> size_bytes:int -> unit -> t
+(** [create ~size_bytes ()] builds an LRU cache with the given total
+    capacity, 64-byte lines and 8 ways by default.
+    @raise Invalid_argument if geometry is inconsistent (capacity not
+    divisible by [ways * line_bytes], or non-positive sizes). *)
+
+val access : t -> int -> bool
+(** [access t elem_index] touches one double; returns [true] on hit. *)
+
+val stats : t -> stats
+val reset : t -> unit
+
+val hit_rate : stats -> float
+val miss_traffic_bytes : t -> float
+(** Misses × line size — the memory traffic a hardware prefetch-free
+    cache of this geometry would generate. *)
+
+val describe : t -> string

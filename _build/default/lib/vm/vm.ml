@@ -1,0 +1,547 @@
+open Mira_visa
+open Mira_visa.Isa
+
+exception Fault of string
+
+let fault fmt = Format.kasprintf (fun m -> raise (Fault m)) fmt
+
+(* ---------- mnemonic interning ---------- *)
+
+let n_mnemonics = List.length Isa.all_mnemonics
+
+let mnemonic_id =
+  let tbl = Hashtbl.create 64 in
+  List.iteri (fun i m -> Hashtbl.add tbl m i) Isa.all_mnemonics;
+  fun m ->
+    match Hashtbl.find_opt tbl m with
+    | Some i -> i
+    | None -> fault "unknown mnemonic %s" m
+
+let mnemonic_of_id = Array.of_list Isa.all_mnemonics
+
+(* ---------- function stats ---------- *)
+
+type fstat = {
+  mutable calls : int;
+  totals : int array;  (* inclusive *)
+  self_totals : int array;  (* exclusive *)
+}
+
+type loaded = { fn : Program.fundef; mids : int array }
+
+type frame = {
+  lf : loaded;
+  mutable pc : int;
+  ir : int array;
+  xr : float array;
+  incl : int array;  (* inclusive counts for this invocation *)
+  excl : int array;  (* own retires only *)
+}
+
+type t = {
+  prog : Program.t;
+  funcs : (string, loaded) Hashtbl.t;
+  stats : (string, fstat) Hashtbl.t;
+  iabi : int array;
+  xabi : float array;
+  mutable imem : int array;
+  mutable itop : int;
+  mutable fmem : float array;
+  mutable ftop : int;
+  mutable flags : int;
+  mutable retired : int;
+  step_limit : int;
+  extern_costs : (string, int array) Hashtbl.t;  (* per-mnemonic synthetic mix *)
+  mutable dcache : Cache.t option;  (* simulated cache on float memory *)
+}
+
+let mix items =
+  let a = Array.make n_mnemonics 0 in
+  List.iter (fun (m, c) -> a.(mnemonic_id m) <- a.(mnemonic_id m) + c) items;
+  a
+
+(* Synthetic instruction mixes for external library calls: roughly the
+   shape of glibc's small math routines.  TAU/PAPI sees these; static
+   analysis does not. *)
+let default_extern_costs () =
+  let tbl = Hashtbl.create 8 in
+  Hashtbl.replace tbl "sqrt"
+    (mix
+       [ ("sqrtsd", 1); ("movsd", 6); ("ucomisd", 2); ("mulsd", 3);
+         ("addsd", 2); ("movq", 4); ("cmpq", 2); ("jne", 1); ("ret", 1) ]);
+  Hashtbl.replace tbl "fabs"
+    (mix [ ("movsd", 2); ("movq", 2); ("andq", 1); ("ret", 1) ]);
+  Hashtbl.replace tbl "exp"
+    (mix
+       [ ("movsd", 8); ("mulsd", 9); ("addsd", 7); ("ucomisd", 2);
+         ("movq", 6); ("cmpq", 2); ("jle", 1); ("ret", 1) ]);
+  Hashtbl.replace tbl "log"
+    (mix
+       [ ("movsd", 8); ("mulsd", 8); ("addsd", 8); ("divsd", 1);
+         ("ucomisd", 2); ("movq", 6); ("cmpq", 2); ("jle", 1); ("ret", 1) ]);
+  Hashtbl.replace tbl "min"
+    (mix [ ("cmpq", 1); ("movq", 2); ("jle", 1); ("ret", 1) ]);
+  Hashtbl.replace tbl "max"
+    (mix [ ("cmpq", 1); ("movq", 2); ("jge", 1); ("ret", 1) ]);
+  tbl
+
+let load (f : Program.fundef) =
+  { fn = f; mids = Array.map (fun i -> mnemonic_id (Isa.mnemonic i)) f.insns }
+
+let create ?(step_limit = 2_000_000_000) prog =
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Program.fundef) -> Hashtbl.replace funcs f.name (load f))
+    prog.Program.funs;
+  {
+    prog;
+    funcs;
+    stats = Hashtbl.create 16;
+    iabi = Array.make abi_regs 0;
+    xabi = Array.make abi_regs 0.0;
+    imem = Array.make 1024 0;
+    itop = 0;
+    fmem = Array.make 1024 0.0;
+    ftop = 0;
+    flags = 0;
+    retired = 0;
+    step_limit;
+    extern_costs = default_extern_costs ();
+    dcache = None;
+  }
+
+let load_object ?step_limit bytes = create ?step_limit (Objfile.decode bytes)
+
+(* ---------- memory ---------- *)
+
+let ensure_i vm n =
+  let need = vm.itop + n in
+  if need > Array.length vm.imem then begin
+    let bigger = Array.make (max need (2 * Array.length vm.imem)) 0 in
+    Array.blit vm.imem 0 bigger 0 vm.itop;
+    vm.imem <- bigger
+  end
+
+let ensure_f vm n =
+  let need = vm.ftop + n in
+  if need > Array.length vm.fmem then begin
+    let bigger = Array.make (max need (2 * Array.length vm.fmem)) 0.0 in
+    Array.blit vm.fmem 0 bigger 0 vm.ftop;
+    vm.fmem <- bigger
+  end
+
+let zeros_i vm n =
+  if n < 0 then fault "negative allocation %d" n;
+  ensure_i vm n;
+  let a = vm.itop in
+  Array.fill vm.imem a n 0;
+  vm.itop <- a + n;
+  a
+
+let zeros_f vm n =
+  if n < 0 then fault "negative allocation %d" n;
+  ensure_f vm n;
+  let a = vm.ftop in
+  Array.fill vm.fmem a n 0.0;
+  vm.ftop <- a + n;
+  a
+
+let alloc_ints vm src =
+  let a = zeros_i vm (Array.length src) in
+  Array.blit src 0 vm.imem a (Array.length src);
+  a
+
+let alloc_floats vm src =
+  let a = zeros_f vm (Array.length src) in
+  Array.blit src 0 vm.fmem a (Array.length src);
+  a
+
+let read_ints vm addr n =
+  if addr < 0 || addr + n > vm.itop then fault "read_ints out of bounds";
+  Array.sub vm.imem addr n
+
+let read_floats vm addr n =
+  if addr < 0 || addr + n > vm.ftop then fault "read_floats out of bounds";
+  Array.sub vm.fmem addr n
+
+(* ---------- execution ---------- *)
+
+type value = Int of int | Double of float | Unit
+
+let geti vm fr r = if r < abi_regs then vm.iabi.(r) else fr.ir.(r)
+
+let seti vm fr r v =
+  if r < abi_regs then vm.iabi.(r) <- v else fr.ir.(r) <- v
+
+let getx vm fr r = if r < abi_regs then vm.xabi.(r) else fr.xr.(r)
+
+let setx vm fr r v =
+  if r < abi_regs then vm.xabi.(r) <- v else fr.xr.(r) <- v
+
+let iop vm fr = function Reg r -> geti vm fr r | Imm n -> n
+
+let eff vm fr (a : addr) =
+  let base = geti vm fr a.base in
+  let idx = match a.index with None -> 0 | Some r -> geti vm fr r * a.scale in
+  base + idx + a.disp
+
+let load_i vm addr =
+  if addr < 0 || addr >= vm.itop then fault "int load out of bounds: %d" addr;
+  vm.imem.(addr)
+
+let store_i vm addr v =
+  if addr < 0 || addr >= vm.itop then fault "int store out of bounds: %d" addr;
+  vm.imem.(addr) <- v
+
+let touch_cache vm addr =
+  match vm.dcache with None -> () | Some c -> ignore (Cache.access c addr)
+
+let load_f vm addr =
+  if addr < 0 || addr >= vm.ftop then fault "float load out of bounds: %d" addr;
+  touch_cache vm addr;
+  vm.fmem.(addr)
+
+let store_f vm addr v =
+  if addr < 0 || addr >= vm.ftop then fault "float store out of bounds: %d" addr;
+  touch_cache vm addr;
+  vm.fmem.(addr) <- v
+
+let stat_of vm name =
+  match Hashtbl.find_opt vm.stats name with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          calls = 0;
+          totals = Array.make n_mnemonics 0;
+          self_totals = Array.make n_mnemonics 0;
+        }
+      in
+      Hashtbl.replace vm.stats name s;
+      s
+
+let charge_extern vm fr name =
+  match Hashtbl.find_opt vm.extern_costs name with
+  | None -> ()
+  | Some costs ->
+      for i = 0 to n_mnemonics - 1 do
+        fr.incl.(i) <- fr.incl.(i) + costs.(i);
+        fr.excl.(i) <- fr.excl.(i) + costs.(i)
+      done
+
+let run_extern vm fr name arity =
+  match (name, arity) with
+  | "sqrt", 1 ->
+      vm.xabi.(0) <- sqrt vm.xabi.(0);
+      charge_extern vm fr name
+  | "fabs", 1 ->
+      vm.xabi.(0) <- Float.abs vm.xabi.(0);
+      charge_extern vm fr name
+  | "exp", 1 ->
+      vm.xabi.(0) <- exp vm.xabi.(0);
+      charge_extern vm fr name
+  | "log", 1 ->
+      vm.xabi.(0) <- log vm.xabi.(0);
+      charge_extern vm fr name
+  | "min", 2 ->
+      vm.iabi.(0) <- min vm.iabi.(0) vm.iabi.(1);
+      charge_extern vm fr name
+  | "max", 2 ->
+      vm.iabi.(0) <- max vm.iabi.(0) vm.iabi.(1);
+      charge_extern vm fr name
+  | _ -> fault "unknown external function %s/%d" name arity
+
+let new_frame lf =
+  {
+    lf;
+    pc = 0;
+    ir = Array.make (max abi_regs lf.fn.n_iregs) 0;
+    xr = Array.make (max abi_regs lf.fn.n_xregs) 0.0;
+    incl = Array.make n_mnemonics 0;
+    excl = Array.make n_mnemonics 0;
+  }
+
+let finish_frame vm fr (parent : frame option) =
+  let st = stat_of vm fr.lf.fn.name in
+  st.calls <- st.calls + 1;
+  for i = 0 to n_mnemonics - 1 do
+    st.totals.(i) <- st.totals.(i) + fr.incl.(i);
+    st.self_totals.(i) <- st.self_totals.(i) + fr.excl.(i)
+  done;
+  match parent with
+  | None -> ()
+  | Some p ->
+      for i = 0 to n_mnemonics - 1 do
+        p.incl.(i) <- p.incl.(i) + fr.incl.(i)
+      done
+
+let exec vm (entry : loaded) =
+  let stack = ref [] in
+  let fr = ref (new_frame entry) in
+  let running = ref true in
+  while !running do
+    let f = !fr in
+    let code = f.lf.fn.insns in
+    if f.pc < 0 || f.pc >= Array.length code then
+      fault "pc out of range in %s" f.lf.fn.name;
+    let insn = code.(f.pc) in
+    let mid = f.lf.mids.(f.pc) in
+    f.incl.(mid) <- f.incl.(mid) + 1;
+    f.excl.(mid) <- f.excl.(mid) + 1;
+    vm.retired <- vm.retired + 1;
+    if vm.retired > vm.step_limit then fault "step limit exceeded";
+    let next = f.pc + 1 in
+    (match insn with
+    | Movq (d, s) ->
+        seti vm f d (iop vm f s);
+        f.pc <- next
+    | Load (d, a) ->
+        seti vm f d (load_i vm (eff vm f a));
+        f.pc <- next
+    | Store (a, s) ->
+        store_i vm (eff vm f a) (iop vm f s);
+        f.pc <- next
+    | Leaq (d, a) ->
+        seti vm f d (eff vm f a);
+        f.pc <- next
+    | Addq (d, s) ->
+        seti vm f d (geti vm f d + iop vm f s);
+        f.pc <- next
+    | Subq (d, s) ->
+        seti vm f d (geti vm f d - iop vm f s);
+        f.pc <- next
+    | Imulq (d, s) ->
+        seti vm f d (geti vm f d * iop vm f s);
+        f.pc <- next
+    | Idivq (d, s) ->
+        let v = iop vm f s in
+        if v = 0 then fault "integer division by zero";
+        seti vm f d (geti vm f d / v);
+        f.pc <- next
+    | Iremq (d, s) ->
+        let v = iop vm f s in
+        if v = 0 then fault "integer modulo by zero";
+        seti vm f d (geti vm f d mod v);
+        f.pc <- next
+    | Negq d ->
+        seti vm f d (-geti vm f d);
+        f.pc <- next
+    | Andq (d, s) ->
+        seti vm f d (geti vm f d land iop vm f s);
+        f.pc <- next
+    | Orq (d, s) ->
+        seti vm f d (geti vm f d lor iop vm f s);
+        f.pc <- next
+    | Xorq (d, s) ->
+        seti vm f d (geti vm f d lxor iop vm f s);
+        f.pc <- next
+    | Shlq (d, k) ->
+        seti vm f d (geti vm f d lsl k);
+        f.pc <- next
+    | Sarq (d, k) ->
+        seti vm f d (geti vm f d asr k);
+        f.pc <- next
+    | Incq d ->
+        seti vm f d (geti vm f d + 1);
+        f.pc <- next
+    | Decq d ->
+        seti vm f d (geti vm f d - 1);
+        f.pc <- next
+    | Cmpq (a, b) ->
+        vm.flags <- compare (iop vm f a) (iop vm f b);
+        f.pc <- next
+    | Testq (a, b) ->
+        vm.flags <- compare (iop vm f a land iop vm f b) 0;
+        f.pc <- next
+    | Jmp t -> f.pc <- t
+    | Jcc (cc, t) ->
+        let taken =
+          match cc with
+          | E -> vm.flags = 0
+          | NE -> vm.flags <> 0
+          | L -> vm.flags < 0
+          | LE -> vm.flags <= 0
+          | G -> vm.flags > 0
+          | GE -> vm.flags >= 0
+        in
+        f.pc <- (if taken then t else next)
+    | Call name -> (
+        match Hashtbl.find_opt vm.funcs name with
+        | None -> fault "call to unknown function %s" name
+        | Some lf ->
+            f.pc <- next;
+            stack := f :: !stack;
+            fr := new_frame lf)
+    | Call_ext (name, arity) ->
+        run_extern vm f name arity;
+        f.pc <- next
+    | Ret -> (
+        match !stack with
+        | [] ->
+            finish_frame vm f None;
+            running := false
+        | parent :: rest ->
+            finish_frame vm f (Some parent);
+            stack := rest;
+            fr := parent)
+    | Movsd_rr (d, s) ->
+        setx vm f d (getx vm f s);
+        f.pc <- next
+    | Movsd_load (d, a) ->
+        setx vm f d (load_f vm (eff vm f a));
+        f.pc <- next
+    | Movsd_store (a, s) ->
+        store_f vm (eff vm f a) (getx vm f s);
+        f.pc <- next
+    | Movsd_const (d, k) ->
+        if k < 0 || k >= Array.length vm.prog.fpool then
+          fault "bad constant-pool index %d" k;
+        setx vm f d vm.prog.fpool.(k);
+        f.pc <- next
+    | Movapd (d, s) ->
+        if d = s then (* broadcast low lane (unpcklpd stand-in) *)
+          setx vm f (d + 1) (getx vm f d)
+        else begin
+          setx vm f d (getx vm f s);
+          setx vm f (d + 1) (getx vm f (s + 1))
+        end;
+        f.pc <- next
+    | Movapd_load (d, a) ->
+        let addr = eff vm f a in
+        setx vm f d (load_f vm addr);
+        setx vm f (d + 1) (load_f vm (addr + 1));
+        f.pc <- next
+    | Movapd_store (a, s) ->
+        let addr = eff vm f a in
+        store_f vm addr (getx vm f s);
+        store_f vm (addr + 1) (getx vm f (s + 1));
+        f.pc <- next
+    | Xorpd d ->
+        setx vm f d 0.0;
+        f.pc <- next
+    | Addsd (d, s) ->
+        setx vm f d (getx vm f d +. getx vm f s);
+        f.pc <- next
+    | Subsd (d, s) ->
+        setx vm f d (getx vm f d -. getx vm f s);
+        f.pc <- next
+    | Mulsd (d, s) ->
+        setx vm f d (getx vm f d *. getx vm f s);
+        f.pc <- next
+    | Divsd (d, s) ->
+        setx vm f d (getx vm f d /. getx vm f s);
+        f.pc <- next
+    | Sqrtsd (d, s) ->
+        setx vm f d (sqrt (getx vm f s));
+        f.pc <- next
+    | Ucomisd (a, b) ->
+        vm.flags <- compare (getx vm f a) (getx vm f b);
+        f.pc <- next
+    | Addpd (d, s) ->
+        setx vm f d (getx vm f d +. getx vm f s);
+        setx vm f (d + 1) (getx vm f (d + 1) +. getx vm f (s + 1));
+        f.pc <- next
+    | Subpd (d, s) ->
+        setx vm f d (getx vm f d -. getx vm f s);
+        setx vm f (d + 1) (getx vm f (d + 1) -. getx vm f (s + 1));
+        f.pc <- next
+    | Mulpd (d, s) ->
+        setx vm f d (getx vm f d *. getx vm f s);
+        setx vm f (d + 1) (getx vm f (d + 1) *. getx vm f (s + 1));
+        f.pc <- next
+    | Divpd (d, s) ->
+        setx vm f d (getx vm f d /. getx vm f s);
+        setx vm f (d + 1) (getx vm f (d + 1) /. getx vm f (s + 1));
+        f.pc <- next
+    | Cvtsi2sd (d, s) ->
+        setx vm f d (float_of_int (geti vm f s));
+        f.pc <- next
+    | Cvttsd2si (d, s) ->
+        seti vm f d (int_of_float (Float.trunc (getx vm f s)));
+        f.pc <- next
+    | Nop -> f.pc <- next
+    | Alloc_i (d, n) ->
+        seti vm f d (zeros_i vm (iop vm f n));
+        f.pc <- next
+    | Alloc_f (d, n) ->
+        seti vm f d (zeros_f vm (iop vm f n));
+        f.pc <- next)
+  done
+
+let call vm name args =
+  let lf =
+    match Hashtbl.find_opt vm.funcs name with
+    | Some lf -> lf
+    | None -> fault "no such function: %s" name
+  in
+  let params = lf.fn.params in
+  if List.length params <> List.length args then
+    fault "%s expects %d arguments, got %d" name (List.length params)
+      (List.length args);
+  let icount = ref 0 and xcount = ref 0 in
+  List.iter2
+    (fun kind arg ->
+      match (kind, arg) with
+      | Program.Kint, Int v ->
+          vm.iabi.(!icount) <- v;
+          incr icount
+      | Program.Kdouble, Double v ->
+          vm.xabi.(!xcount) <- v;
+          incr xcount
+      | Program.Kint, Double _ | Program.Kdouble, Int _ ->
+          fault "argument kind mismatch calling %s" name
+      | _, Unit | Program.Kvoid, _ -> fault "void argument calling %s" name)
+    params args;
+  exec vm lf;
+  match lf.fn.ret with
+  | Program.Kint -> Int vm.iabi.(0)
+  | Program.Kdouble -> Double vm.xabi.(0)
+  | Program.Kvoid -> Unit
+
+(* ---------- reporting ---------- *)
+
+type profile = {
+  calls : int;
+  inclusive : (string * int) list;
+  exclusive : (string * int) list;
+}
+
+let profile_of_stat (s : fstat) =
+  let collect arr =
+    let acc = ref [] in
+    Array.iteri
+      (fun i c -> if c > 0 then acc := (mnemonic_of_id.(i), c) :: !acc)
+      arr;
+    List.rev !acc
+  in
+  {
+    calls = s.calls;
+    inclusive = collect s.totals;
+    exclusive = collect s.self_totals;
+  }
+
+let profiles vm =
+  Hashtbl.fold (fun name s acc -> (name, profile_of_stat s) :: acc) vm.stats []
+  |> List.sort (fun (_, a) (_, b) ->
+         compare
+           (List.fold_left (fun n (_, c) -> n + c) 0 b.inclusive)
+           (List.fold_left (fun n (_, c) -> n + c) 0 a.inclusive))
+
+let profile_of vm name =
+  Option.map profile_of_stat (Hashtbl.find_opt vm.stats name)
+
+let total_retired vm = vm.retired
+
+let reset_counters vm =
+  Hashtbl.reset vm.stats;
+  vm.retired <- 0
+
+let attach_cache vm cache = vm.dcache <- Some cache
+let cache_stats vm = Option.map Cache.stats vm.dcache
+let cache vm = vm.dcache
+
+let count_of p m =
+  match List.assoc_opt m p.inclusive with Some c -> c | None -> 0
+
+let self_count_of p m =
+  match List.assoc_opt m p.exclusive with Some c -> c | None -> 0

@@ -1,0 +1,79 @@
+(** Interpreter for virtual-ISA programs with TAU/PAPI-style
+    measurement.
+
+    Executes object code while counting every retired instruction by
+    mnemonic, attributed to functions {e inclusively} through the call
+    stack (what instrumentation-based TAU reports per invocation).
+    External functions ([sqrt], [min], [max], [fabs]) execute natively
+    and charge a synthetic libm-like instruction mix to the calling
+    frame — instructions a hardware counter sees but a static analyzer
+    does not (the paper's dominant validation error source).
+
+    Memory is split into an integer and a floating-point space, each a
+    flat growable array with a bump allocator. *)
+
+type t
+
+exception Fault of string
+
+val create : ?step_limit:int -> Mira_visa.Program.t -> t
+(** [step_limit] (default 2_000_000_000) aborts runaway programs. *)
+
+val load_object : ?step_limit:int -> string -> t
+(** Decode an object file and create a machine for it. *)
+
+(* -- memory helpers for harnesses -- *)
+
+val alloc_floats : t -> float array -> int
+(** Copy an array into float memory; returns its address. *)
+
+val alloc_ints : t -> int array -> int
+
+val zeros_f : t -> int -> int
+(** Allocate a zeroed float block; returns its address. *)
+
+val zeros_i : t -> int -> int
+val read_floats : t -> int -> int -> float array
+val read_ints : t -> int -> int -> int array
+
+(* -- execution -- *)
+
+type value = Int of int | Double of float | Unit
+
+val call : t -> string -> value list -> value
+(** Call a function by (mangled) name with the given arguments; array
+    arguments are passed as [Int address].
+    @raise Fault on runtime errors (unknown function, bad memory
+    access, step-limit exhaustion, arity mismatch). *)
+
+(* -- measurement -- *)
+
+type profile = {
+  calls : int;
+  inclusive : (string * int) list;  (** mnemonic -> retired count *)
+  exclusive : (string * int) list;
+      (** own retires only, callees excluded (TAU's "self" column);
+          synthetic extern costs count as the caller's own *)
+}
+
+val profiles : t -> (string * profile) list
+(** Per-function inclusive instruction counts accumulated so far,
+    including synthetic extern costs, most-executed first. *)
+
+val profile_of : t -> string -> profile option
+val total_retired : t -> int
+val reset_counters : t -> unit
+
+val count_of : profile -> string -> int
+(** Inclusive count for one mnemonic (0 when absent). *)
+
+val self_count_of : profile -> string -> int
+
+(* -- data-cache simulation -- *)
+
+val attach_cache : t -> Cache.t -> unit
+(** Attach a simulated data cache: every float-memory access (scalar
+    and packed loads/stores) touches it from then on. *)
+
+val cache_stats : t -> Cache.stats option
+val cache : t -> Cache.t option

@@ -1,0 +1,1 @@
+test/test_compile_vm.ml: Alcotest Array Binast Bytes Char List Mira_codegen Mira_visa Mira_vm Objfile Option Printexc Program Random String

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Lazy List Mira_codegen Mira_core Mira_corpus Mira_srclang Mira_vm Option Printf

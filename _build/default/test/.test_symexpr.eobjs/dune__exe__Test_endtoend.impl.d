@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Alcotest Array Buffer List Mira_codegen Mira_core Mira_srclang Mira_vm Option Printf Random String

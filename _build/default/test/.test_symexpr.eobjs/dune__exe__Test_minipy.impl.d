@@ -1,0 +1,1 @@
+test/test_minipy.ml: Alcotest Expr Format List Minipy Mira_core Mira_corpus Mira_minipy Mira_symexpr Option Poly Printf Random

@@ -1,0 +1,1 @@
+test/test_mira_units.ml: Alcotest Archdesc Array Format List Loc Mira_arch Mira_baselines Mira_codegen Mira_core Mira_corpus Mira_srclang Mira_visa Mira_vm Option Printf Random String

@@ -1,0 +1,1 @@
+test/test_mira_units.mli:

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Count Domain Enumerate Expr Format List Mira_poly Mira_symexpr Plot Poly Printf QCheck QCheck_alcotest Ratio String

@@ -1,0 +1,1 @@
+test/test_srclang.ml: Alcotest Annot Ast Dot Format Lexer List Mira_srclang Option Parser Pretty Printf String Typecheck

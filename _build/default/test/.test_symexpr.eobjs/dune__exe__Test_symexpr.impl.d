@@ -1,0 +1,1 @@
+test/test_symexpr.ml: Alcotest Array Expr Faulhaber List Mira_symexpr Poly Printf QCheck QCheck_alcotest Ratio String

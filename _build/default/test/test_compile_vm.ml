@@ -1,0 +1,443 @@
+open Mira_visa
+
+let compile = Mira_codegen.Codegen.compile
+
+let exec_src ?level src fn args =
+  let prog = compile ?level src in
+  let vm = Mira_vm.Vm.create prog in
+  (Mira_vm.Vm.call vm fn args, vm)
+
+let check_int msg expected = function
+  | Mira_vm.Vm.Int n -> Alcotest.check Alcotest.int msg expected n
+  | _ -> Alcotest.fail "expected int result"
+
+let check_double msg expected = function
+  | Mira_vm.Vm.Double f -> Alcotest.check (Alcotest.float 1e-9) msg expected f
+  | _ -> Alcotest.fail "expected double result"
+
+let basic_tests =
+  let open Alcotest in
+  [
+    test_case "arithmetic and return" `Quick (fun () ->
+        let r, _ = exec_src "int f(int a, int b) { return a * b + 7; }" "f"
+            [ Int 6; Int 7 ] in
+        check_int "6*7+7" 49 r);
+    test_case "double arithmetic" `Quick (fun () ->
+        let r, _ =
+          exec_src "double f(double x) { return x * x - 0.5; }" "f" [ Double 3.0 ]
+        in
+        check_double "9-0.5" 8.5 r);
+    test_case "int/double mixing" `Quick (fun () ->
+        let r, _ =
+          exec_src "double f(int n) { return n * 0.5; }" "f" [ Int 7 ]
+        in
+        check_double "3.5" 3.5 r);
+    test_case "division and modulo truncate like C" `Quick (fun () ->
+        let r, _ =
+          exec_src "int f(int a, int b) { return a / b * 100 + a % b; }" "f"
+            [ Int (-7); Int 2 ]
+        in
+        check_int "-7/2=-3 rem -1" (-301) r);
+    test_case "if/else" `Quick (fun () ->
+        let src = "int f(int x) { if (x > 10) return 1; else return 2; }" in
+        let r1, _ = exec_src src "f" [ Int 11 ] in
+        check_int "11 -> 1" 1 r1;
+        let r2, _ = exec_src src "f" [ Int 10 ] in
+        check_int "10 -> 2" 2 r2);
+    test_case "logical operators short-circuit" `Quick (fun () ->
+        let src =
+          "int f(int a, int b) { if (a > 0 && b / a > 1) return 1; return 0; }"
+        in
+        (* b/a would fault on a = 0 without short-circuiting *)
+        let r, _ = exec_src src "f" [ Int 0; Int 5 ] in
+        check_int "no division by zero" 0 r);
+    test_case "for loop sum" `Quick (fun () ->
+        let r, _ =
+          exec_src "int f(int n) { int s = 0; for (int i = 1; i <= n; i++) { s += i; } return s; }"
+            "f" [ Int 100 ]
+        in
+        check_int "gauss" 5050 r);
+    test_case "nested triangular loop" `Quick (fun () ->
+        let r, _ =
+          exec_src
+            {|int f() {
+                int c = 0;
+                for (int i = 1; i <= 4; i++)
+                  for (int j = i + 1; j <= 6; j++)
+                    c++;
+                return c;
+              }|}
+            "f" []
+        in
+        check_int "listing 2 count" 14 r);
+    test_case "while loop" `Quick (fun () ->
+        let r, _ =
+          exec_src
+            "int f(int n) { int c = 0; while (n > 1) { if (n % 2 == 0) n = n / 2; else n = 3 * n + 1; c++; } return c; }"
+            "f" [ Int 27 ]
+        in
+        check_int "collatz(27)" 111 r);
+    test_case "arrays" `Quick (fun () ->
+        let r, _ =
+          exec_src
+            {|double f(int n) {
+                double a[n];
+                for (int i = 0; i < n; i++) { a[i] = i * 1.5; }
+                double s = 0.0;
+                for (int i = 0; i < n; i++) { s += a[i]; }
+                return s;
+              }|}
+            "f" [ Int 10 ]
+        in
+        check_double "sum" (1.5 *. 45.0) r);
+    test_case "int arrays and a[i+1] addressing" `Quick (fun () ->
+        let r, _ =
+          exec_src
+            {|int f(int n) {
+                int a[n];
+                for (int i = 0; i < n; i++) { a[i] = i; }
+                int s = 0;
+                for (int i = 0; i < n - 1; i++) { s += a[i + 1] - a[i]; }
+                return s;
+              }|}
+            "f" [ Int 50 ]
+        in
+        check_int "telescoping" 49 r);
+    test_case "function calls" `Quick (fun () ->
+        let r, _ =
+          exec_src
+            {|int sq(int x) { return x * x; }
+              int f(int n) { return sq(n) + sq(n + 1); }|}
+            "f" [ Int 3 ]
+        in
+        check_int "9+16" 25 r);
+    test_case "recursion" `Quick (fun () ->
+        let r, _ =
+          exec_src
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }"
+            "fib" [ Int 15 ]
+        in
+        check_int "fib 15" 610 r);
+    test_case "extern sqrt" `Quick (fun () ->
+        let r, _ =
+          exec_src "extern double sqrt(double);\ndouble f(double x) { return sqrt(x); }"
+            "f" [ Double 2.0 ]
+        in
+        check_double "sqrt 2" (sqrt 2.0) r);
+    test_case "extern min/max" `Quick (fun () ->
+        let r, _ =
+          exec_src
+            "extern int min(int, int);\nextern int max(int, int);\nint f(int a, int b) { return max(a, b) - min(a, b); }"
+            "f" [ Int 3; Int 11 ]
+        in
+        check_int "range" 8 r);
+    test_case "classes: fields and methods" `Quick (fun () ->
+        let r, _ =
+          exec_src
+            {|class Acc {
+                double total;
+                int n;
+                void add(double x) { total += x; n++; }
+                double mean() { return total / n; }
+              };
+              double f() {
+                Acc a;
+                a.add(1.0); a.add(2.0); a.add(6.0);
+                return a.mean();
+              }|}
+            "f" []
+        in
+        check_double "mean" 3.0 r);
+    test_case "casts" `Quick (fun () ->
+        let r, _ =
+          exec_src "int f(double x) { return (int)(x * 2.0); }" "f" [ Double 3.7 ]
+        in
+        check_int "trunc 7.4" 7 r);
+    test_case "array parameter aliasing" `Quick (fun () ->
+        let r, _ =
+          exec_src
+            {|void fill(double *a, int n, double v) {
+                for (int i = 0; i < n; i++) { a[i] = v; }
+              }
+              double f(int n) {
+                double a[n];
+                fill(a, n, 2.5);
+                double s = 0.0;
+                for (int i = 0; i < n; i++) { s += a[i]; }
+                return s;
+              }|}
+            "f" [ Int 8 ]
+        in
+        check_double "8 * 2.5" 20.0 r);
+    test_case "O0 and O1 agree semantically" `Quick (fun () ->
+        let src =
+          {|int f(int n) {
+              int s = 0;
+              for (int i = 0; i < n; i++) { s += i * 8 + 3 * 4; }
+              return s;
+            }|}
+        in
+        let r0, _ = exec_src ~level:Mira_codegen.Codegen.O0 src "f" [ Int 20 ] in
+        let r1, _ = exec_src ~level:Mira_codegen.Codegen.O1 src "f" [ Int 20 ] in
+        check_int "O0" (8 * 190 + 240) r0;
+        check_int "O1" (8 * 190 + 240) r1);
+    test_case "memory fault detected" `Quick (fun () ->
+        match
+          exec_src "double f() { double a[4]; return a[9]; }" "f" []
+        with
+        | exception Mira_vm.Vm.Fault _ -> ()
+        | _ -> Alcotest.fail "expected fault");
+  ]
+
+let counting_tests =
+  let open Alcotest in
+  [
+    test_case "FP instruction counts are exact" `Quick (fun () ->
+        (* triad: per iteration 2 loads, 1 store, 1 mul, 1 add (plus
+           two-address accumulator copies) *)
+        let src =
+          {|void triad(double *a, double *b, double *c, double s, int n) {
+              for (int i = 0; i < n; i++) {
+                a[i] = b[i] + s * c[i];
+              }
+            }|}
+        in
+        let prog = compile src in
+        let vm = Mira_vm.Vm.create prog in
+        let n = 1000 in
+        let a = Mira_vm.Vm.zeros_f vm n in
+        let b = Mira_vm.Vm.alloc_floats vm (Array.make n 1.0) in
+        let c = Mira_vm.Vm.alloc_floats vm (Array.make n 2.0) in
+        (match
+           Mira_vm.Vm.call vm "triad"
+             [ Int a; Int b; Int c; Double 3.0; Int n ]
+         with
+        | Unit -> ()
+        | _ -> fail "expected unit");
+        let p = Option.get (Mira_vm.Vm.profile_of vm "triad") in
+        check int "one call" 1 p.calls;
+        check int "mulsd" n (Mira_vm.Vm.count_of p "mulsd");
+        check int "addsd" n (Mira_vm.Vm.count_of p "addsd");
+        (* result correct too *)
+        let out = Mira_vm.Vm.read_floats vm a n in
+        check (float 1e-9) "a[0]" 7.0 out.(0));
+    test_case "inclusive attribution through calls" `Quick (fun () ->
+        let src =
+          {|double inner(double x) { return x * x; }
+            double outer(int n) {
+              double s = 0.0;
+              for (int i = 0; i < n; i++) { s += inner(i * 1.0); }
+              return s;
+            }|}
+        in
+        let prog = compile src in
+        let vm = Mira_vm.Vm.create prog in
+        ignore (Mira_vm.Vm.call vm "outer" [ Int 10 ]);
+        let po = Option.get (Mira_vm.Vm.profile_of vm "outer") in
+        let pi = Option.get (Mira_vm.Vm.profile_of vm "inner") in
+        check int "inner called 10x" 10 pi.calls;
+        check bool "outer includes inner's multiplies" true
+          (Mira_vm.Vm.count_of po "mulsd" >= Mira_vm.Vm.count_of pi "mulsd"));
+    test_case "extern costs are charged to caller" `Quick (fun () ->
+        let src =
+          {|extern double sqrt(double);
+            double f(double x) { return sqrt(x) + 1.0; }|}
+        in
+        let prog = compile src in
+        let vm = Mira_vm.Vm.create prog in
+        ignore (Mira_vm.Vm.call vm "f" [ Double 9.0 ]);
+        let p = Option.get (Mira_vm.Vm.profile_of vm "f") in
+        check bool "synthetic sqrtsd present" true
+          (Mira_vm.Vm.count_of p "sqrtsd" >= 1));
+    test_case "step limit" `Quick (fun () ->
+        let src = "int f() { int i = 0; while (i < 100000) { i++; } return i; }" in
+        let prog = compile src in
+        let vm = Mira_vm.Vm.create ~step_limit:1000 prog in
+        match Mira_vm.Vm.call vm "f" [] with
+        | exception Mira_vm.Vm.Fault _ -> ()
+        | _ -> fail "expected step-limit fault");
+  ]
+
+let objfile_tests =
+  let open Alcotest in
+  let sample =
+    {|extern double sqrt(double);
+      class P { double x; double y; double norm() { return sqrt(x * x + y * y); } };
+      double f(double a, double b) {
+        P p;
+        p.x = a; p.y = b;
+        return p.norm();
+      }|}
+  in
+  [
+    test_case "encode/decode round-trip is exact" `Quick (fun () ->
+        let prog = compile sample in
+        let bytes = Objfile.encode prog in
+        let prog' = Objfile.decode bytes in
+        let bytes' = Objfile.encode prog' in
+        check bool "byte-identical" true (bytes = bytes');
+        check int "same functions" (List.length prog.funs)
+          (List.length prog'.funs);
+        List.iter2
+          (fun (a : Program.fundef) (b : Program.fundef) ->
+            check string "name" a.name b.name;
+            check bool "insns equal" true (a.insns = b.insns);
+            check bool "debug equal" true (a.debug = b.debug))
+          prog.funs prog'.funs);
+    test_case "decoded object runs identically" `Quick (fun () ->
+        let prog = compile sample in
+        let bytes = Objfile.encode prog in
+        let vm = Mira_vm.Vm.load_object bytes in
+        match Mira_vm.Vm.call vm "f" [ Double 3.0; Double 4.0 ] with
+        | Double v -> check (float 1e-9) "norm" 5.0 v
+        | _ -> fail "expected double");
+    test_case "corrupt objects rejected" `Quick (fun () ->
+        check_raises "bad magic" (Objfile.Corrupt "bad magic") (fun () ->
+            ignore (Objfile.decode "NOTANOBJ"));
+        let prog = compile sample in
+        let bytes = Objfile.encode prog in
+        let clipped = String.sub bytes 0 (String.length bytes / 2) in
+        match Objfile.decode clipped with
+        | exception Objfile.Corrupt _ -> ()
+        | _ -> fail "expected corrupt error");
+    test_case "fuzz: corrupted objects never crash the decoder" `Quick
+      (fun () ->
+        let prog = compile sample in
+        let bytes = Objfile.encode prog in
+        let rng = Random.State.make [| 13 |] in
+        for _ = 1 to 500 do
+          let b = Bytes.of_string bytes in
+          (* flip 1-4 random bytes *)
+          for _ = 1 to 1 + Random.State.int rng 4 do
+            let i = Random.State.int rng (Bytes.length b) in
+            Bytes.set b i (Char.chr (Random.State.int rng 256))
+          done;
+          match Objfile.decode (Bytes.to_string b) with
+          | _ -> ()  (* harmless mutation or silently different program *)
+          | exception Objfile.Corrupt _ -> ()  (* detected *)
+          | exception e ->
+              Alcotest.failf "decoder raised %s" (Printexc.to_string e)
+        done);
+    test_case "fuzz: truncated objects never crash the decoder" `Quick
+      (fun () ->
+        let prog = compile sample in
+        let bytes = Objfile.encode prog in
+        let n = String.length bytes in
+        for len = 0 to min n 200 do
+          match Objfile.decode (String.sub bytes 0 len) with
+          | _ -> ()
+          | exception Objfile.Corrupt _ -> ()
+          | exception e ->
+              Alcotest.failf "len %d: decoder raised %s" len
+                (Printexc.to_string e)
+        done);
+    test_case "section sizes reported" `Quick (fun () ->
+        let bytes = Objfile.encode (compile sample) in
+        let sections = Objfile.section_sizes bytes in
+        List.iter
+          (fun name ->
+            check bool (name ^ " present") true (List.mem_assoc name sections))
+          [ ".symtab"; ".text"; ".rodata"; ".debug_line" ]);
+    test_case "binary AST mirrors the program" `Quick (fun () ->
+        let prog = compile sample in
+        let bast = Binast.of_object (Objfile.encode prog) in
+        let f = Option.get (Binast.find_func bast "P::norm") in
+        check bool "has instructions" true (f.fsize > 0);
+        check bool "line info present" true
+          (List.exists (fun i -> i.Binast.line > 0) f.finsns);
+        let dot = Binast.to_dot bast in
+        check bool "dot has SgAsmFunction" true
+          (let frag = "SgAsmFunction P::norm" in
+           let len = String.length frag in
+           let rec has i =
+             i + len <= String.length dot
+             && (String.sub dot i len = frag || has (i + 1))
+           in
+           has 0));
+  ]
+
+let debug_line_tests =
+  let open Alcotest in
+  [
+    test_case "loop header instructions carry init/cond/step positions"
+      `Quick (fun () ->
+        (* source col of init, cond, step differ; check distinct cols
+           appear among loop-control instructions *)
+        let src = "int f(int n) { int s = 0;\nfor (int i = 0; i < n; i++) { s += i; }\nreturn s; }" in
+        let prog = compile src in
+        let f = Program.find_exn prog "f" in
+        let cols_on_line2 = ref [] in
+        Array.iteri
+          (fun i insn ->
+            ignore insn;
+            let d = f.debug.(i) in
+            if d.line = 2 && not (List.mem d.col !cols_on_line2) then
+              cols_on_line2 := d.col :: !cols_on_line2)
+          f.insns;
+        check bool "at least 3 distinct columns (init/cond/step)" true
+          (List.length !cols_on_line2 >= 3));
+  ]
+
+let vm_edge_tests =
+  let open Alcotest in
+  [
+    test_case "deep recursion works (fresh frames)" `Quick (fun () ->
+        let r, _ =
+          exec_src "int down(int n) { if (n <= 0) return 0; return down(n - 1) + 1; }"
+            "down" [ Int 5000 ]
+        in
+        check_int "depth 5000" 5000 r);
+    test_case "float constants come from the pool" `Quick (fun () ->
+        let src =
+          "double f() { return 3.25 + 3.25 + 1.5; }"
+        in
+        let prog = compile src in
+        (* pool deduplicates: 3.25 appears once *)
+        check bool "pool small" true (Array.length prog.fpool <= 2);
+        let r, _ = exec_src src "f" [] in
+        check_double "value" 8.0 r);
+    test_case "reset_counters clears profiles" `Quick (fun () ->
+        let prog = compile "int f() { return 1; }" in
+        let vm = Mira_vm.Vm.create prog in
+        ignore (Mira_vm.Vm.call vm "f" []);
+        check bool "has profile" true (Mira_vm.Vm.profile_of vm "f" <> None);
+        Mira_vm.Vm.reset_counters vm;
+        check bool "cleared" true (Mira_vm.Vm.profile_of vm "f" = None);
+        check int "retired reset" 0 (Mira_vm.Vm.total_retired vm));
+    test_case "calling unknown function faults" `Quick (fun () ->
+        let prog = compile "int f() { return 1; }" in
+        let vm = Mira_vm.Vm.create prog in
+        match Mira_vm.Vm.call vm "nope" [] with
+        | exception Mira_vm.Vm.Fault _ -> ()
+        | _ -> fail "expected fault");
+    test_case "argument kind mismatch faults" `Quick (fun () ->
+        let prog = compile "int f(int x) { return x; }" in
+        let vm = Mira_vm.Vm.create prog in
+        (match Mira_vm.Vm.call vm "f" [ Double 1.0 ] with
+        | exception Mira_vm.Vm.Fault _ -> ()
+        | _ -> fail "expected kind fault");
+        match Mira_vm.Vm.call vm "f" [] with
+        | exception Mira_vm.Vm.Fault _ -> ()
+        | _ -> fail "expected arity fault");
+    test_case "division by zero faults cleanly" `Quick (fun () ->
+        match exec_src "int f(int a) { return 1 / a; }" "f" [ Int 0 ] with
+        | exception Mira_vm.Vm.Fault _ -> ()
+        | _ -> fail "expected fault");
+    test_case "total_retired counts across calls" `Quick (fun () ->
+        let prog = compile "int f() { return 1; }" in
+        let vm = Mira_vm.Vm.create prog in
+        ignore (Mira_vm.Vm.call vm "f" []);
+        let once = Mira_vm.Vm.total_retired vm in
+        ignore (Mira_vm.Vm.call vm "f" []);
+        check int "doubles" (2 * once) (Mira_vm.Vm.total_retired vm));
+  ]
+
+let () =
+  Alcotest.run "compile-vm"
+    [
+      ("basic", basic_tests);
+      ("counting", counting_tests);
+      ("objfile", objfile_tests);
+      ("debug-line", debug_line_tests);
+      ("vm-edge", vm_edge_tests);
+    ]

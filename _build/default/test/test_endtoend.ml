@@ -1,0 +1,263 @@
+(* End-to-end property: for randomly generated affine mini-C kernels,
+   Mira's statically predicted per-mnemonic instruction counts equal
+   the VM's dynamically measured counts exactly.
+
+   The generator stays inside the statically analyzable fragment (the
+   paper's scope): affine bounds that are non-empty by construction,
+   branch conditions that are affine or modulo tests, stride-1 and
+   strided loops, array and scalar statements. *)
+
+let margin = 64  (* array slack beyond the largest generated index *)
+
+type level = { var : string; header : string; guaranteed_span : int }
+
+let gen_level rng depth_idx outer_vars =
+  let var = Printf.sprintf "i%d" depth_idx in
+  match Random.State.int rng 3 with
+  | 0 ->
+      (* 0 .. n-1 *)
+      { var; header = Printf.sprintf "for (int %s = 0; %s < n; %s++)" var var var;
+        guaranteed_span = 0 }
+  | 1 ->
+      (* base .. base + span, always non-empty *)
+      let base =
+        match outer_vars with
+        | [] -> "0"
+        | vs -> List.nth vs (Random.State.int rng (List.length vs))
+      in
+      let span = Random.State.int rng 5 in
+      { var;
+        header =
+          Printf.sprintf "for (int %s = %s; %s <= %s + %d; %s++)" var base var
+            base span var;
+        guaranteed_span = span }
+  | _ ->
+      (* constant range, possibly strided *)
+      let c0 = Random.State.int rng 4 in
+      let c1 = c0 + 1 + Random.State.int rng 8 in
+      let step = 1 + Random.State.int rng 2 in
+      let step_str = if step = 1 then var ^ "++" else Printf.sprintf "%s += %d" var step in
+      { var;
+        header =
+          Printf.sprintf "for (int %s = %d; %s <= %d; %s)" var c0 var c1
+            step_str;
+        guaranteed_span = c1 }
+
+let gen_stmt rng vars =
+  let v () = List.nth vars (Random.State.int rng (List.length vars)) in
+  let idx () =
+    let off = Random.State.int rng 3 in
+    if off = 0 then v () else Printf.sprintf "%s + %d" (v ()) off
+  in
+  match Random.State.int rng 6 with
+  | 0 -> Printf.sprintf "s += a[%s] * 1.5;" (idx ())
+  | 1 -> Printf.sprintf "a[%s] = b[%s] + s;" (idx ()) (idx ())
+  | 2 -> Printf.sprintf "b[%s] = a[%s] - 2.0 * b[%s];" (idx ()) (idx ()) (idx ())
+  | 3 -> "t++;"
+  | 4 -> Printf.sprintf "t += %s;" (v ())
+  | _ -> Printf.sprintf "s = s + a[%s] / 4.0;" (idx ())
+
+let gen_cond rng vars =
+  let v () = List.nth vars (Random.State.int rng (List.length vars)) in
+  match Random.State.int rng 5 with
+  | 0 -> Printf.sprintf "%s > %d" (v ()) (Random.State.int rng 6)
+  | 1 -> (
+      match vars with
+      | [ _ ] -> Printf.sprintf "%s <= %d" (v ()) (Random.State.int rng 8)
+      | _ ->
+          let a = v () and b = v () in
+          Printf.sprintf "%s <= %s + %d" a b (Random.State.int rng 3))
+  | 2 -> Printf.sprintf "%s %% %d == 0" (v ()) (2 + Random.State.int rng 3)
+  | 3 -> Printf.sprintf "%s %% %d != 0" (v ()) (2 + Random.State.int rng 3)
+  | _ ->
+      Printf.sprintf "%s >= %d && %s <= %d" (v ())
+        (Random.State.int rng 4)
+        (v ())
+        (4 + Random.State.int rng 8)
+
+let gen_program ?(with_helper = false) rng =
+  let depth = 1 + Random.State.int rng 3 in
+  let buf = Buffer.create 256 in
+  if with_helper then
+    Buffer.add_string buf
+      "double helper(double x, double y) {\n  return x * 0.5 + y;\n}\n\n\
+       double helper2(double *p, int k, int m) {\n\
+       \  double acc = 0.0;\n\
+       \  for (int q = 0; q < m; q++) {\n\
+       \    acc += p[k + q];\n\
+       \  }\n\
+       \  return acc;\n\
+       }\n\n";
+  Buffer.add_string buf
+    "void kern(double *a, double *b, int n) {\n  double s = 0.0;\n  int t = 0;\n";
+  let rec build idx outer_vars indent =
+    if idx = depth then begin
+      let vars = List.rev outer_vars in
+      let with_if = Random.State.int rng 3 = 0 in
+      if with_if then begin
+        Buffer.add_string buf
+          (Printf.sprintf "%sif (%s) {\n" indent (gen_cond rng vars));
+        Buffer.add_string buf
+          (Printf.sprintf "%s  %s\n" indent (gen_stmt rng vars));
+        Buffer.add_string buf (Printf.sprintf "%s}\n" indent)
+      end;
+      let n_stmts = 1 + Random.State.int rng 2 in
+      for _ = 1 to n_stmts do
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s\n" indent (gen_stmt rng vars))
+      done;
+      if with_helper then begin
+        let v = List.nth vars (Random.State.int rng (List.length vars)) in
+        (match Random.State.int rng 2 with
+        | 0 ->
+            Buffer.add_string buf
+              (Printf.sprintf "%ss += helper(a[%s], b[%s]);\n" indent v v)
+        | _ ->
+            Buffer.add_string buf
+              (Printf.sprintf "%ss += helper2(b, %s, %d);\n" indent v
+                 (1 + Random.State.int rng 4)))
+      end
+    end
+    else begin
+      let lvl = gen_level rng idx outer_vars in
+      Buffer.add_string buf (Printf.sprintf "%s%s {\n" indent lvl.header);
+      build (idx + 1) (lvl.var :: outer_vars) (indent ^ "  ");
+      Buffer.add_string buf (Printf.sprintf "%s}\n" indent)
+    end
+  in
+  build 0 [] "  ";
+  Buffer.add_string buf "  a[0] = s + t;\n}\n";
+  Buffer.contents buf
+
+let compare_static_dynamic ?level src n =
+  let m = Mira_core.Mira.analyze ?level ~source_name:"gen.mc" src in
+  let static = Mira_core.Mira.counts m ~fname:"kern" ~env:[ ("n", n) ] in
+  let vm = Mira_vm.Vm.load_object m.input.object_bytes in
+  let size = n + margin in
+  let a = Mira_vm.Vm.alloc_floats vm (Array.make size 1.0) in
+  let b = Mira_vm.Vm.alloc_floats vm (Array.make size 2.0) in
+  ignore (Mira_vm.Vm.call vm "kern" [ Int a; Int b; Int n ]);
+  let p = Option.get (Mira_vm.Vm.profile_of vm "kern") in
+  let mns =
+    List.sort_uniq compare
+      (List.map fst static @ List.map fst p.Mira_vm.Vm.inclusive)
+  in
+  List.filter_map
+    (fun mn ->
+      let s = Mira_core.Model_eval.count static mn in
+      let d = float_of_int (Mira_vm.Vm.count_of p mn) in
+      if s <> d then Some (mn, s, d) else None)
+    mns
+
+let endtoend_tests =
+  let open Alcotest in
+  [
+    test_case "100 random affine kernels: static = dynamic exactly" `Slow
+      (fun () ->
+        let rng = Random.State.make [| 20260704 |] in
+        for seed = 1 to 100 do
+          let src = gen_program rng in
+          let n = 5 + Random.State.int rng 8 in
+          match compare_static_dynamic src n with
+          | [] -> ()
+          | mismatches ->
+              failf "seed %d, n=%d:\n%s\nmismatches: %s" seed n src
+                (String.concat "; "
+                   (List.map
+                      (fun (mn, s, d) ->
+                        Printf.sprintf "%s static=%.0f dyn=%.0f" mn s d)
+                      mismatches))
+        done);
+    test_case "20 random kernels: quick subset" `Quick (fun () ->
+        let rng = Random.State.make [| 42 |] in
+        for seed = 1 to 20 do
+          let src = gen_program rng in
+          let n = 5 + Random.State.int rng 8 in
+          match compare_static_dynamic src n with
+          | [] -> ()
+          | mismatches ->
+              failf "seed %d, n=%d:\n%s\nmismatches: %s" seed n src
+                (String.concat "; "
+                   (List.map
+                      (fun (mn, s, d) ->
+                        Printf.sprintf "%s static=%.0f dyn=%.0f" mn s d)
+                      mismatches))
+        done);
+    test_case
+      "40 random kernels with helper calls: call-site multiplicities exact"
+      `Quick (fun () ->
+        let rng = Random.State.make [| 5150 |] in
+        for seed = 1 to 40 do
+          let src = gen_program ~with_helper:true rng in
+          let n = 5 + Random.State.int rng 8 in
+          match compare_static_dynamic src n with
+          | [] -> ()
+          | mismatches ->
+              failf "helper seed %d, n=%d:\n%s\nmismatches: %s" seed n src
+                (String.concat "; "
+                   (List.map
+                      (fun (mn, s, d) ->
+                        Printf.sprintf "%s static=%.0f dyn=%.0f" mn s d)
+                      mismatches))
+        done);
+    test_case "30 random kernels at -O0: bridging exact without folding"
+      `Quick (fun () ->
+        let rng = Random.State.make [| 90210 |] in
+        for seed = 1 to 30 do
+          let src = gen_program rng in
+          let n = 5 + Random.State.int rng 8 in
+          match
+            compare_static_dynamic ~level:Mira_codegen.Codegen.O0 src n
+          with
+          | [] -> ()
+          | mismatches ->
+              failf "O0 seed %d, n=%d:\n%s\nmismatches: %s" seed n src
+                (String.concat "; "
+                   (List.map
+                      (fun (mn, s, d) ->
+                        Printf.sprintf "%s static=%.0f dyn=%.0f" mn s d)
+                      mismatches))
+        done);
+  ]
+
+(* The pretty-printer round-trip on the same random programs, plus
+   semantic equivalence: the reprinted source compiles to a program
+   that executes identically. *)
+let roundtrip_tests =
+  let open Alcotest in
+  [
+    test_case "50 random kernels: print/parse round-trip + same behavior"
+      `Quick (fun () ->
+        let rng = Random.State.make [| 777 |] in
+        for seed = 1 to 50 do
+          let src = gen_program rng in
+          let ast = Mira_srclang.Parser.parse src in
+          let printed = Mira_srclang.Pretty.program_to_string ast in
+          let ast2 =
+            try Mira_srclang.Parser.parse printed
+            with Mira_srclang.Parser.Error (m, pos) ->
+              failf "seed %d: reparse failed at %d:%d: %s\n%s" seed pos.line
+                pos.col m printed
+          in
+          if not (Mira_srclang.Pretty.equal_program ast ast2) then
+            failf "seed %d: round-trip changed the AST\n%s\n----\n%s" seed src
+              printed;
+          (* dynamic behavior identical *)
+          let n = 6 + Random.State.int rng 6 in
+          let run_it source =
+            let prog = Mira_codegen.Codegen.compile source in
+            let vm = Mira_vm.Vm.create prog in
+            let size = n + margin in
+            let a = Mira_vm.Vm.alloc_floats vm (Array.make size 1.0) in
+            let b = Mira_vm.Vm.alloc_floats vm (Array.make size 2.0) in
+            ignore (Mira_vm.Vm.call vm "kern" [ Int a; Int b; Int n ]);
+            Mira_vm.Vm.read_floats vm a size
+          in
+          let r1 = run_it src and r2 = run_it printed in
+          if r1 <> r2 then failf "seed %d: behavior diverged after printing" seed
+        done);
+  ]
+
+let () =
+  Alcotest.run "endtoend"
+    [ ("random-kernels", endtoend_tests); ("print-roundtrip", roundtrip_tests) ]

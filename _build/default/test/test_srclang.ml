@@ -1,0 +1,347 @@
+open Mira_srclang
+
+let parse = Parser.parse
+
+let tc src = Typecheck.check_exn (parse src)
+
+let stream_like =
+  {|
+extern double sqrt(double);
+
+void triad(double *a, double *b, double *c, double s, int n) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] + s * c[i];
+  }
+}
+
+int main() {
+  return 0;
+}
+|}
+
+let class_example =
+  {|
+class A {
+  int n;
+  double foo(double *a, double *b) {
+    double s = 0.0;
+    for (int i = 0; i < 16; i++) {
+      #pragma @Annotation {lp_cond:y}
+      for (int j = 0; j < 8; j++) {
+        s = s + a[i] * b[j];
+      }
+    }
+    return s;
+  }
+};
+
+int main() {
+  return 0;
+}
+|}
+
+let lexer_tests =
+  let open Alcotest in
+  [
+    test_case "tokens with positions" `Quick (fun () ->
+        let toks = Lexer.tokenize "int x = 42;" in
+        check int "count incl EOF" 6 (List.length toks);
+        let first = List.hd toks in
+        check bool "first is kw int" true (first.Lexer.t = Lexer.KW "int");
+        check int "line" 1 first.tspan.lo.line;
+        check int "col" 1 first.tspan.lo.col);
+    test_case "comments are skipped" `Quick (fun () ->
+        let toks = Lexer.tokenize "// hi\n/* multi\nline */ x" in
+        check int "ident + eof" 2 (List.length toks));
+    test_case "float literals" `Quick (fun () ->
+        match Lexer.tokenize "3.5 1e3 2.0e-2 7" with
+        | [ { t = FLOAT a; _ }; { t = FLOAT b; _ }; { t = FLOAT c; _ };
+            { t = INT d; _ }; { t = EOF; _ } ] ->
+            check (float 1e-9) "3.5" 3.5 a;
+            check (float 1e-9) "1e3" 1000.0 b;
+            check (float 1e-9) "2e-2" 0.02 c;
+            check int "7" 7 d
+        | _ -> fail "unexpected token stream");
+    test_case "two-char operators" `Quick (fun () ->
+        let toks = Lexer.tokenize "<= >= == != && || += ++" in
+        let ops =
+          List.filter_map
+            (function { Lexer.t = PUNCT p; _ } -> Some p | _ -> None)
+            toks
+        in
+        check (list string) "ops"
+          [ "<="; ">="; "=="; "!="; "&&"; "||"; "+="; "++" ]
+          ops);
+    test_case "pragma annotation is a token" `Quick (fun () ->
+        let toks = Lexer.tokenize "#pragma @Annotation {skip:yes}\nx" in
+        match toks with
+        | { t = PRAGMA p; _ } :: _ -> check string "payload" "{skip:yes}" p
+        | _ -> fail "expected pragma token");
+    test_case "pragma with line continuation" `Quick (fun () ->
+        let toks =
+          Lexer.tokenize "#pragma @Annotation \\\n{lp_init:x,lp_cond:y}\nz"
+        in
+        match toks with
+        | { t = PRAGMA p; _ } :: _ ->
+            check string "payload" "{lp_init:x,lp_cond:y}" p
+        | _ -> fail "expected pragma token");
+    test_case "unknown pragmas ignored" `Quick (fun () ->
+        let toks = Lexer.tokenize "#pragma omp parallel\nx" in
+        check int "just ident+eof" 2 (List.length toks));
+    test_case "lex error position" `Quick (fun () ->
+        try
+          ignore (Lexer.tokenize "x @");
+          fail "expected error"
+        with Lexer.Error (_, pos) -> check int "col" 3 pos.col);
+  ]
+
+let annot_tests =
+  let open Alcotest in
+  [
+    test_case "all annotation forms" `Quick (fun () ->
+        check bool "skip" true (Annot.parse "{skip:yes}" = [ Ast.A_skip ]);
+        check bool "bounds" true
+          (Annot.parse "{lp_init:x, lp_cond:y}"
+          = [ Ast.A_init "x"; Ast.A_cond "y" ]);
+        check bool "iters" true (Annot.parse "{iters:27}" = [ Ast.A_iters "27" ]);
+        check bool "fraction" true
+          (Annot.parse "{fraction:0.25}" = [ Ast.A_fraction 0.25 ]));
+    test_case "malformed payloads rejected" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Annot.parse s with
+            | exception Annot.Error _ -> ()
+            | _ -> failf "accepted %S" s)
+          [ "skip:yes"; "{skip:no}"; "{fraction:2.0}"; "{wat:1}"; "{skip}" ]);
+  ]
+
+let parser_tests =
+  let open Alcotest in
+  [
+    test_case "parse stream-like program" `Quick (fun () ->
+        let p = parse stream_like in
+        check int "functions" 2 (List.length p.funcs);
+        check int "externs" 1 (List.length p.externs);
+        let triad = Option.get (Ast.find_func p "triad") in
+        check int "params" 5 (List.length triad.fparams);
+        match triad.fbody with
+        | [ { s = For { init; cond; step; body }; _ } ] ->
+            check string "loop var" "i" init.ivar;
+            check bool "declared" true init.ideclared;
+            check bool "step is ++" true (step.sdelta = Some 1);
+            check int "body" 1 (List.length body);
+            check bool "cond is i < n" true
+              (match cond.e with
+              | Binop (Lt, { e = Var "i"; _ }, { e = Var "n"; _ }) -> true
+              | _ -> false)
+        | _ -> fail "expected single for loop");
+    test_case "spans map to source lines" `Quick (fun () ->
+        let p = parse stream_like in
+        let triad = Option.get (Ast.find_func p "triad") in
+        match triad.fbody with
+        | [ { s = For { body = [ assign ]; _ }; sspan; _ } ] ->
+            check int "for starts line 5" 5 sspan.lo.line;
+            check int "assign on line 6" 6 assign.sspan.lo.line
+        | _ -> fail "expected loop");
+    test_case "classes, methods, annotations" `Quick (fun () ->
+        let p = parse class_example in
+        check int "one class" 1 (List.length p.classes);
+        let c = List.hd p.classes in
+        check string "name" "A" c.cname;
+        check int "fields" 1 (List.length c.cfields);
+        check int "methods" 1 (List.length c.cmethods);
+        let m = List.hd c.cmethods in
+        check bool "method class" true (m.fclass = Some "A");
+        (* the annotation is attached to the inner for *)
+        let anns = ref [] in
+        Ast.iter_stmts
+          (fun st -> if st.sann <> [] then anns := st.sann :: !anns)
+          m.fbody;
+        check int "one annotated stmt" 1 (List.length !anns);
+        check bool "is lp_cond" true (List.hd !anns = [ Ast.A_cond "y" ]));
+    test_case "operator precedence" `Quick (fun () ->
+        let e = Parser.parse_expr "1 + 2 * 3 < 4 && 5 == 6" in
+        match e.e with
+        | Ast.Binop (Land, { e = Binop (Lt, _, _); _ }, { e = Binop (Eq, _, _); _ })
+          -> ()
+        | _ -> fail "precedence wrong");
+    test_case "method call and field access" `Quick (fun () ->
+        let e = Parser.parse_expr "obj.run(1, x)" in
+        (match e.e with
+        | Ast.Method_call ({ e = Var "obj"; _ }, "run", [ _; _ ]) -> ()
+        | _ -> fail "method call");
+        let e2 = Parser.parse_expr "p.x + a[i].y" in
+        match e2.e with Ast.Binop (Add, _, _) -> () | _ -> fail "field");
+    test_case "compound assignment and ++" `Quick (fun () ->
+        let p = parse "void f() { int i = 0; i += 2; i++; }" in
+        let f = Option.get (Ast.find_func p "f") in
+        check int "3 stmts" 3 (List.length f.fbody));
+    test_case "syntax error reported with position" `Quick (fun () ->
+        try
+          ignore (parse "void f( { }");
+          fail "expected error"
+        with Parser.Error (_, pos) -> check int "line" 1 pos.line);
+    test_case "else branch" `Quick (fun () ->
+        let p = parse "int f(int x) { if (x > 0) return 1; else return 2; }" in
+        let f = Option.get (Ast.find_func p "f") in
+        match f.fbody with
+        | [ { s = If { else_ = [ _ ]; _ }; _ } ] -> ()
+        | _ -> fail "expected if/else");
+    test_case "while loop" `Quick (fun () ->
+        let p = parse "int f(int x) { while (x > 0) { x -= 1; } return x; }" in
+        let f = Option.get (Ast.find_func p "f") in
+        check int "stmts" 2 (List.length f.fbody));
+    test_case "cast expression" `Quick (fun () ->
+        let e = Parser.parse_expr "(double)n * 0.5" in
+        match e.e with
+        | Ast.Binop (Mul, { e = Cast (Tdouble, _); _ }, _) -> ()
+        | _ -> fail "cast");
+  ]
+
+let typecheck_tests =
+  let open Alcotest in
+  let expect_err src frag =
+    match Typecheck.check (parse src) with
+    | Ok () -> failf "expected error mentioning %S" frag
+    | Error es ->
+        let all =
+          String.concat "; "
+            (List.map (fun e -> Format.asprintf "%a" Typecheck.pp_error e) es)
+        in
+        check bool
+          (Printf.sprintf "error mentions %S (got %s)" frag all)
+          true
+          (let len = String.length frag in
+           let rec has i =
+             i + len <= String.length all
+             && (String.sub all i len = frag || has (i + 1))
+           in
+           has 0)
+  in
+  [
+    test_case "stream program typechecks" `Quick (fun () ->
+        ignore (tc stream_like));
+    test_case "class program typechecks and fills ety" `Quick (fun () ->
+        let p = tc class_example in
+        let m = Option.get (Ast.find_method p "A" "foo") in
+        let filled = ref 0 and total = ref 0 in
+        Ast.iter_stmts
+          (fun st ->
+            Ast.iter_exprs_of_stmt
+              (fun e ->
+                Ast.iter_exprs_of_expr
+                  (fun e ->
+                    incr total;
+                    if e.ety <> None then incr filled)
+                  e)
+              st)
+          m.fbody;
+        check bool "all expressions typed" true (!total > 0 && !filled = !total));
+    test_case "unbound variable" `Quick (fun () ->
+        expect_err "int f() { return x; }" "unbound variable x");
+    test_case "indexing non-array" `Quick (fun () ->
+        expect_err "int f(int x) { return x[0]; }" "indexing non-array");
+    test_case "arity mismatch" `Quick (fun () ->
+        expect_err "int g(int x) { return x; } int f() { return g(1, 2); }"
+          "expects 1 arguments");
+    test_case "narrowing rejected, widening allowed" `Quick (fun () ->
+        expect_err "int f() { int x = 1.5; return x; }" "expected int";
+        ignore (tc "double f() { double x = 1; return x; }"));
+    test_case "mod requires ints" `Quick (fun () ->
+        expect_err "int f(double x) { if (x % 2 == 0) return 1; return 0; }"
+          "% requires int");
+    test_case "field and method resolution" `Quick (fun () ->
+        ignore
+          (tc
+             {|
+class V {
+  double x;
+  double get() { return x; }
+};
+double f() { V v; return v.get() + v.x; }
+|});
+        expect_err
+          {|
+class V { double x; };
+double f() { V v; return v.y; }
+|}
+          "no field y");
+    test_case "loop step variable must match" `Quick (fun () ->
+        expect_err "void f(int n) { for (int i = 0; i < n; n++) { } }"
+          "loop variable");
+    test_case "duplicate function" `Quick (fun () ->
+        expect_err "int f() { return 0; } int f() { return 1; }"
+          "duplicate function f");
+  ]
+
+let dot_tests =
+  let open Alcotest in
+  [
+    test_case "dot output contains ROSE-style nodes" `Quick (fun () ->
+        let p = tc class_example in
+        let s = Dot.of_program p in
+        List.iter
+          (fun frag ->
+            let len = String.length frag in
+            let rec has i =
+              i + len <= String.length s
+              && (String.sub s i len = frag || has (i + 1))
+            in
+            check bool (frag ^ " present") true (has 0))
+          [
+            "digraph"; "SgForStatement"; "SgForInitStatement"; "SgPlusPlusOp";
+            "SgClassDeclaration A"; "SgFunctionDeclaration A::foo";
+            "SgPntrArrRefExp";
+          ]);
+  ]
+
+let pretty_tests =
+  let open Alcotest in
+  let roundtrip name src =
+    let ast = parse src in
+    let printed = Pretty.program_to_string ast in
+    let ast2 =
+      try parse printed
+      with Parser.Error (m, pos) ->
+        failf "%s: reparse failed at %d:%d: %s\n%s" name pos.line pos.col m
+          printed
+    in
+    check bool (name ^ " round-trips") true (Pretty.equal_program ast ast2)
+  in
+  [
+    test_case "print/parse round-trip on handwritten programs" `Quick
+      (fun () ->
+        roundtrip "stream-like" stream_like;
+        roundtrip "class example" class_example);
+    test_case "precedence is preserved" `Quick (fun () ->
+        let e = Parser.parse_expr "(a + b) * c - d / (e - f)" in
+        let printed = Pretty.expr_to_string e in
+        check string "minimal parens" "(a + b) * c - d / (e - f)" printed;
+        let e2 = Parser.parse_expr printed in
+        check bool "same tree" true
+          (Pretty.expr_to_string e2 = printed));
+    test_case "annotations survive printing" `Quick (fun () ->
+        let src =
+          "void f(int n) {\n#pragma @Annotation {iters:27}\nfor (int i = 0; i < n; i++) { n += 0; }\n}"
+        in
+        let printed = Pretty.program_to_string (parse src) in
+        check bool "pragma present" true
+          (let needle = "#pragma @Annotation {iters:27}" in
+           let ln = String.length needle and lh = String.length printed in
+           let rec go i =
+             i + ln <= lh && (String.sub printed i ln = needle || go (i + 1))
+           in
+           go 0);
+        roundtrip "annotated" src);
+  ]
+
+let () =
+  Alcotest.run "srclang"
+    [
+      ("lexer", lexer_tests);
+      ("annot", annot_tests);
+      ("parser", parser_tests);
+      ("typecheck", typecheck_tests);
+      ("dot", dot_tests);
+      ("pretty", pretty_tests);
+    ]
