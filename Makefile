@@ -1,0 +1,23 @@
+.PHONY: build test ci bench clean
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Reproducible CI entry point: full build plus the whole test suite
+# with every randomized layer pinned — the differential fuzz oracle
+# reads MIRA_FUZZ_SEED (its default is the same baked-in seed) and the
+# qcheck property suites read QCHECK_SEED.  --force re-executes tests
+# even when dune has them cached, so the pinned seeds really run.
+ci:
+	dune build @all
+	MIRA_FUZZ_SEED=20260806 QCHECK_SEED=20260806 dune runtest --force
+
+bench:
+	dune exec bench/main.exe -- --fast
+
+clean:
+	dune clean
+	rm -rf .mira-cache

@@ -430,6 +430,47 @@ let cache_behavior () =
     "  (streaming kernels miss once per line; the blocked working set of\n\
     \   dgemm at this size largely fits, matching the roofline verdicts)"
 
+(* ---------- batch analysis: parallel scaling and memoization ---------- *)
+
+let batch_timings () =
+  header "Batch analysis: whole-corpus wall time (serial vs pool vs cache)";
+  let sources = Mira_corpus.Corpus.all in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run ?cache ~jobs () = Mira_core.Mira.analyze_batch ~jobs ?cache sources in
+  (* one throwaway pass so allocator/caches inside the compiler are in
+     steady state before anything is timed *)
+  ignore (run ~jobs:1 ());
+  let (_, s1), t_serial = time (fun () -> run ~jobs:1 ()) in
+  let (_, s4), t_par = time (fun () -> run ~jobs:4 ()) in
+  let cache = Mira_core.Batch.create_cache () in
+  let (_, sc), t_cold = time (fun () -> run ~cache ~jobs:4 ()) in
+  let (_, sw), t_warm = time (fun () -> run ~cache ~jobs:4 ()) in
+  let cores =
+    try Domain.recommended_domain_count () with _ -> 1
+  in
+  Printf.printf "corpus: %d programs; host offers %d core(s)\n"
+    (List.length sources) cores;
+  Printf.printf "  serial    (--jobs 1)        %8.3f s (%d analyzed)\n" t_serial
+    s1.Mira_core.Batch.st_analyzed;
+  Printf.printf
+    "  pool      (--jobs 4)        %8.3f s (%d analyzed)  %.2fx serial time\n"
+    t_par s4.Mira_core.Batch.st_analyzed (t_par /. t_serial);
+  Printf.printf "  cold cache (--jobs 4)       %8.3f s (%d analyzed)\n" t_cold
+    sc.Mira_core.Batch.st_analyzed;
+  Printf.printf
+    "  warm cache (--jobs 4)       %8.3f s (%d analyzed, %d hits)  %.1fx faster than cold\n"
+    t_warm sw.Mira_core.Batch.st_analyzed sw.Mira_core.Batch.st_mem_hits
+    (t_cold /. t_warm);
+  if cores < 4 then
+    Printf.printf
+      "  (pool speedup needs cores: this host exposes %d, so --jobs 4 \
+       timeslices)\n"
+      cores
+
 (* ---------- bechamel timing suite ---------- *)
 
 let timing_suite () =
@@ -524,5 +565,6 @@ let () =
   ablation_vectorize ();
   prediction_extension ();
   cache_behavior ();
+  batch_timings ();
   timing_suite ();
   print_endline "\nbench: done"

@@ -419,6 +419,72 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Compare static predictions with dynamic measurement (Tables III-V).")
     Term.(const run $ app_arg $ arch_arg)
 
+(* ---------- batch ---------- *)
+
+let batch_cmd =
+  let run paths jobs use_cache cache_dir python level =
+    handle_errors (fun () ->
+        let sources =
+          try Mira_core.Batch.sources_of_paths paths
+          with Sys_error m ->
+            Printf.eprintf "error: %s\n" m;
+            exit 1
+        in
+        if sources = [] then begin
+          Printf.eprintf "error: no .mc sources found\n";
+          exit 1
+        end;
+        let cache =
+          if use_cache then
+            Some (Mira_core.Batch.create_cache ~dir:cache_dir ())
+          else None
+        in
+        let results, stats = Mira_core.Batch.run ~jobs ?cache ~level sources in
+        if python then
+          List.iter
+            (function
+              | Ok (a : Mira_core.Batch.analysis) -> print_string a.a_python
+              | Error (name, msg) ->
+                  Printf.eprintf "%s: FAILED: %s\n" name msg)
+            results
+        else print_string (Mira_core.Batch.report results stats);
+        if stats.st_failed > 0 then exit 1)
+  in
+  let paths =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"PATHS"
+          ~doc:"mini-C source files and/or directories of .mc files.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains to analyze with.")
+  in
+  let use_cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:"Memoize analyses content-addressed on disk (reused across runs).")
+  in
+  let cache_dir =
+    Arg.(
+      value & opt string ".mira-cache"
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"On-disk cache directory.")
+  in
+  let python =
+    Arg.(
+      value & flag
+      & info [ "python" ]
+          ~doc:"Print every generated Python model instead of the batch report.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze many sources concurrently with memoization (deterministic: \
+          output is byte-identical for any --jobs and cache state).")
+    Term.(const run $ paths $ jobs $ use_cache $ cache_dir $ python $ level_arg)
+
 (* ---------- corpus-dump ---------- *)
 
 let corpus_dump_cmd =
@@ -458,6 +524,6 @@ let () =
        (Cmd.group info
           [
             parse_cmd; dot_cmd; compile_cmd; disasm_cmd; analyze_cmd; eval_cmd;
-            predict_cmd; profile_cmd; coverage_cmd; validate_cmd;
+            predict_cmd; profile_cmd; coverage_cmd; validate_cmd; batch_cmd;
             corpus_dump_cmd; arch_cmd;
           ]))

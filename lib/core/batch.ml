@@ -1,0 +1,283 @@
+type source = { src_name : string; src_text : string }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let source_of_file path =
+  { src_name = Filename.basename path; src_text = read_file path }
+
+let sources_of_paths paths =
+  List.concat_map
+    (fun path ->
+      if Sys.is_directory path then
+        Sys.readdir path |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".mc")
+        |> List.sort compare
+        |> List.map (fun f -> source_of_file (Filename.concat path f))
+      else [ source_of_file path ])
+    paths
+
+type analysis = {
+  a_name : string;
+  a_model : Model_ir.t;
+  a_python : string;
+  a_warnings : (string * string) list;
+  a_cached : bool;
+}
+
+type result = (analysis, string * string) Stdlib.result
+
+type stats = {
+  st_total : int;
+  st_analyzed : int;
+  st_mem_hits : int;
+  st_disk_hits : int;
+  st_failed : int;
+  st_jobs : int;
+}
+
+(* ---------- content addressing ---------- *)
+
+let cache_version = "mira-batch-1"
+
+let level_tag = function
+  | Mira_codegen.Codegen.O0 -> "O0"
+  | Mira_codegen.Codegen.O1 -> "O1"
+  | Mira_codegen.Codegen.O2 -> "O2"
+
+let key ~level text =
+  Digest.to_hex
+    (Digest.string (cache_version ^ "\x00" ^ level_tag level ^ "\x00" ^ text))
+
+(* ---------- two-tier cache ---------- *)
+
+(* What a cache entry holds: the model plus the Python emitted for it
+   under [p_name].  Emission is deterministic in (model, name), so a
+   hit under the same name reuses [p_python] verbatim and a hit under
+   another name (renamed identical file) re-emits from the model —
+   either way the output is byte-identical to a fresh analysis. *)
+type payload = { p_name : string; p_model : Model_ir.t; p_python : string }
+
+(* The memory tier is an LRU keyed by digest; entries carry a use tick
+   and eviction scans for the minimum (capacities are small).  All
+   access goes through [c_lock]: lookups and stores are brief, the
+   expensive analysis itself runs outside the lock. *)
+type cache = {
+  c_lock : Mutex.t;
+  c_mem : (string, payload * int ref) Hashtbl.t;
+  c_capacity : int;
+  mutable c_tick : int;
+  c_dir : string option;
+}
+
+let create_cache ?(capacity = 512) ?dir () =
+  {
+    c_lock = Mutex.create ();
+    c_mem = Hashtbl.create 64;
+    c_capacity = max 1 capacity;
+    c_tick = 0;
+    c_dir = dir;
+  }
+
+let locked c f =
+  Mutex.lock c.c_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.c_lock) f
+
+let mem_find c k =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.c_mem k with
+      | None -> None
+      | Some (m, tick) ->
+          c.c_tick <- c.c_tick + 1;
+          tick := c.c_tick;
+          Some m)
+
+let mem_store c k m =
+  locked c (fun () ->
+      if not (Hashtbl.mem c.c_mem k) then begin
+        if Hashtbl.length c.c_mem >= c.c_capacity then begin
+          (* evict the least recently used entry *)
+          let victim = ref None in
+          Hashtbl.iter
+            (fun k' (_, tick) ->
+              match !victim with
+              | Some (_, t) when t <= !tick -> ()
+              | _ -> victim := Some (k', !tick))
+            c.c_mem;
+          match !victim with
+          | Some (k', _) -> Hashtbl.remove c.c_mem k'
+          | None -> ()
+        end;
+        c.c_tick <- c.c_tick + 1;
+        Hashtbl.add c.c_mem k (m, ref c.c_tick)
+      end)
+
+let disk_path dir k = Filename.concat dir (k ^ ".model")
+
+let disk_find c k =
+  match c.c_dir with
+  | None -> None
+  | Some dir -> (
+      let path = disk_path dir k in
+      try
+        let data = read_file path in
+        Some (Marshal.from_string data 0 : payload)
+      with _ -> None)
+
+let disk_store c k m =
+  match c.c_dir with
+  | None -> ()
+  | Some dir -> (
+      try
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let tmp =
+          disk_path dir
+            (Printf.sprintf "%s.tmp.%d" k (Domain.self () :> int))
+        in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Marshal.to_string m []));
+        Sys.rename tmp (disk_path dir k)
+      with _ -> () (* a cold cache next time, never a failed batch *))
+
+(* ---------- one task ---------- *)
+
+type tier = Fresh | Mem | Disk
+
+let analyze_one ~level ~cache { src_name; src_text } =
+  let fresh () =
+    let input = Input_processor.process ~level ~source_name:src_name src_text in
+    let bridge = Bridge.create input.binast in
+    let model = Metric_gen.build ~source_name:src_name input.ast bridge in
+    { p_name = src_name; p_model = model; p_python = Python_emit.emit model }
+  in
+  (* A hit may come from an identical source under another name:
+     re-emission runs off the current name so output stays
+     byte-identical to a fresh analysis. *)
+  let rename p =
+    if p.p_name = src_name then p
+    else
+      let model = { p.p_model with Model_ir.source_name = src_name } in
+      { p_name = src_name; p_model = model; p_python = Python_emit.emit model }
+  in
+  try
+    let k = key ~level src_text in
+    let payload, tier =
+      match cache with
+      | None -> (fresh (), Fresh)
+      | Some c -> (
+          match mem_find c k with
+          | Some p -> (rename p, Mem)
+          | None -> (
+              match disk_find c k with
+              | Some p ->
+                  mem_store c k p;
+                  (rename p, Disk)
+              | None ->
+                  let p = fresh () in
+                  mem_store c k p;
+                  disk_store c k p;
+                  (p, Fresh)))
+    in
+    ( Ok
+        {
+          a_name = src_name;
+          a_model = payload.p_model;
+          a_python = payload.p_python;
+          a_warnings = Model_ir.all_warnings payload.p_model;
+          a_cached = tier <> Fresh;
+        },
+      tier )
+  with
+  | Mira_srclang.Lexer.Error (m, p) ->
+      (Error (src_name, Printf.sprintf "lex error at %d:%d: %s" p.line p.col m), Fresh)
+  | Mira_srclang.Parser.Error (m, p) ->
+      ( Error (src_name, Printf.sprintf "parse error at %d:%d: %s" p.line p.col m),
+        Fresh )
+  | Mira_srclang.Annot.Error m ->
+      (Error (src_name, "annotation error: " ^ m), Fresh)
+  | Mira_codegen.Codegen.Error (m, p) ->
+      ( Error
+          (src_name, Printf.sprintf "codegen error at %d:%d: %s" p.line p.col m),
+        Fresh )
+  | Failure m -> (Error (src_name, m), Fresh)
+
+(* ---------- the worker pool ---------- *)
+
+let run ?(jobs = 1) ?cache ?(level = Mira_codegen.Codegen.O1) sources =
+  let tasks = Array.of_list sources in
+  let n = Array.length tasks in
+  let out = Array.make n None in
+  let next = Atomic.make 0 in
+  let analyzed = Atomic.make 0
+  and mem_hits = Atomic.make 0
+  and disk_hits = Atomic.make 0
+  and failed = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let res, tier = analyze_one ~level ~cache tasks.(i) in
+        (match (res, tier) with
+        | Error _, _ -> Atomic.incr failed
+        | Ok _, Fresh -> Atomic.incr analyzed
+        | Ok _, Mem -> Atomic.incr mem_hits
+        | Ok _, Disk -> Atomic.incr disk_hits);
+        (* slot write: the merge below replays input order, so
+           scheduling cannot reorder results *)
+        out.(i) <- Some res;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let jobs = max 1 (min jobs (max 1 n)) in
+  if jobs = 1 then worker ()
+  else begin
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers
+  end;
+  let results =
+    Array.to_list (Array.map (fun r -> Option.get r) out)
+  in
+  ( results,
+    {
+      st_total = n;
+      st_analyzed = Atomic.get analyzed;
+      st_mem_hits = Atomic.get mem_hits;
+      st_disk_hits = Atomic.get disk_hits;
+      st_failed = Atomic.get failed;
+      st_jobs = jobs;
+    } )
+
+(* ---------- reporting ---------- *)
+
+let report results stats =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun res ->
+      match res with
+      | Ok a ->
+          (* no cache marker here: per-source report lines are
+             byte-identical whether the source was analyzed or served
+             from cache; only the stats line below reflects tiers *)
+          pr "%s: %d function(s)\n" a.a_name
+            (List.length a.a_model.Model_ir.functions);
+          List.iter
+            (fun (fm : Model_ir.fmodel) ->
+              pr "  %s(%s)\n" fm.Model_ir.mf_name
+                (String.concat ", " fm.Model_ir.mf_params))
+            a.a_model.Model_ir.functions;
+          List.iter (fun (f, w) -> pr "  warning [%s] %s\n" f w) a.a_warnings
+      | Error (name, msg) -> pr "%s: FAILED: %s\n" name msg)
+    results;
+  pr "batch: %d source(s), %d analyzed, %d memory hit(s), %d disk hit(s), %d failed\n"
+    stats.st_total stats.st_analyzed stats.st_mem_hits stats.st_disk_hits
+    stats.st_failed;
+  Buffer.contents buf

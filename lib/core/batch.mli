@@ -1,0 +1,78 @@
+(** Batch analysis driver: many mini-C sources analyzed concurrently
+    on a fixed-size pool of OCaml 5 domains, with a content-addressed
+    memoization cache.
+
+    Two guarantees shape the design:
+
+    - {b Determinism}: for a given input list, every per-source output
+      (model, emitted Python, warnings, report lines) is byte-identical
+      whatever [jobs] is and whatever the cache contains; only the
+      trailing stats line of {!report} reflects cache tiers.  Workers
+      pull tasks from a shared index and write results into per-task
+      slots; the merge replays input order.  Cache hits re-emit Python
+      from the cached {!Model_ir.t} with the current source name, so a
+      hit is indistinguishable from a fresh analysis.
+    - {b Content addressing}: the cache key is
+      [Digest(source text, codegen level, cache_version)].  Renaming a
+      file reuses its entry; editing one byte, changing [-O], or
+      upgrading the library invalidates it.
+
+    The cache has an in-memory LRU tier (always) and an optional
+    on-disk tier (a directory of marshalled model + emitted-Python
+    payloads, conventionally [.mira-cache/]).  Disk entries that fail
+    to load for any reason are treated as misses and rewritten. *)
+
+type source = { src_name : string; src_text : string }
+
+val source_of_file : string -> source
+(** Read one file; [src_name] is its basename. *)
+
+val sources_of_paths : string list -> source list
+(** Expand files and directories (directories contribute their [.mc]
+    files, sorted by name) into a deterministic source list. *)
+
+type analysis = {
+  a_name : string;
+  a_model : Model_ir.t;
+  a_python : string;  (** the emitted Python model *)
+  a_warnings : (string * string) list;
+  a_cached : bool;  (** served from a cache tier, no re-analysis *)
+}
+
+type result = (analysis, string * string) Stdlib.result
+(** Per-source outcome; [Error (name, message)] for sources that fail
+    to parse, typecheck or compile (the batch keeps going). *)
+
+type stats = {
+  st_total : int;  (** sources submitted *)
+  st_analyzed : int;  (** full analyses actually performed *)
+  st_mem_hits : int;
+  st_disk_hits : int;
+  st_failed : int;
+  st_jobs : int;  (** worker domains actually used *)
+}
+
+type cache
+
+val cache_version : string
+(** Participates in every key; bump on model-format changes. *)
+
+val create_cache : ?capacity:int -> ?dir:string -> unit -> cache
+(** [capacity] bounds the in-memory LRU tier (default 512 entries).
+    [dir] enables the on-disk tier; it is created on first write. *)
+
+val key : level:Mira_codegen.Codegen.level -> string -> string
+(** The content-addressed cache key (hex digest) of a source text. *)
+
+val run :
+  ?jobs:int ->
+  ?cache:cache ->
+  ?level:Mira_codegen.Codegen.level ->
+  source list ->
+  result list * stats
+(** Analyze every source.  [jobs] defaults to 1; it is clamped to
+    [1 .. max 1 (length sources)].  Results are in input order. *)
+
+val report : result list -> stats -> string
+(** Deterministic textual report of a batch run (per-source function
+    lists, warnings, failures, then the stats line). *)

@@ -12,6 +12,12 @@ let analyze_file ?level path =
   let model = Metric_gen.build ~source_name:input.source_name input.ast bridge in
   { input; model }
 
+let analyze_batch ?jobs ?cache ?level sources =
+  Batch.run ?jobs ?cache ?level
+    (List.map
+       (fun (name, text) -> { Batch.src_name = name; src_text = text })
+       sources)
+
 let counts t ~fname ~env = Model_eval.eval t.model ~fname ~env
 let counts_split t ~fname ~env = Model_eval.eval_split t.model ~fname ~env
 let fpi t ~fname ~env = Model_eval.fpi (counts t ~fname ~env)

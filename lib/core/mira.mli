@@ -14,6 +14,16 @@ val analyze :
 
 val analyze_file : ?level:Mira_codegen.Codegen.level -> string -> t
 
+val analyze_batch :
+  ?jobs:int ->
+  ?cache:Batch.cache ->
+  ?level:Mira_codegen.Codegen.level ->
+  (string * string) list ->
+  Batch.result list * Batch.stats
+(** Analyze many [(name, source)] pairs through {!Batch}: a fixed-size
+    pool of worker domains, deterministic input-order results, and
+    optional content-addressed memoization. *)
+
 val counts :
   t -> fname:string -> env:(string * int) list -> (string * float) list
 (** Predicted per-mnemonic counts for one invocation of [fname] (the

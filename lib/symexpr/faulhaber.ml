@@ -4,7 +4,18 @@ let binom n k =
   let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
   if k < 0 then 0 else go 1 1
 
-let bernoulli_minus =
+(* The two memo tables below are the only module-level mutable state in
+   the analysis path; analyses may run on several domains at once
+   (Mira_core.Batch), so every access goes through [lock].  The lock is
+   not reentrant: public entry points take it once and then use only
+   the _unlocked internals. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let bernoulli_minus_unlocked =
   (* Memoized B_n with the B(1) = -1/2 convention, via
      sum_{j=0}^{m} C(m+1,j) B_j = 0. *)
   let cache = Hashtbl.create 16 in
@@ -23,11 +34,13 @@ let bernoulli_minus =
   in
   b
 
-let bernoulli n =
-  let v = bernoulli_minus n in
+let bernoulli_unlocked n =
+  let v = bernoulli_minus_unlocked n in
   if n = 1 then Ratio.neg v else v
 
-let power_sum =
+let bernoulli n = locked (fun () -> bernoulli_unlocked n)
+
+let power_sum_unlocked =
   let cache = Hashtbl.create 16 in
   fun k ->
     match Hashtbl.find_opt cache k with
@@ -37,12 +50,16 @@ let power_sum =
         let n = Poly.var "n" in
         let terms = ref Poly.zero in
         for j = 0 to k do
-          let c = Ratio.mul (Ratio.of_int (binom (k + 1) j)) (bernoulli j) in
+          let c =
+            Ratio.mul (Ratio.of_int (binom (k + 1) j)) (bernoulli_unlocked j)
+          in
           terms := Poly.add !terms (Poly.scale c (Poly.pow n (k + 1 - j)))
         done;
         let p = Poly.scale (Ratio.make 1 (k + 1)) !terms in
         Hashtbl.add cache k p;
         p
+
+let power_sum k = locked (fun () -> power_sum_unlocked k)
 
 let sum_range x ~lo ~hi p =
   if Poly.degree_in x lo > 0 || Poly.degree_in x hi > 0 then

@@ -1,0 +1,164 @@
+(* Batch driver guarantees:
+   - jobs=1 and jobs=4 produce byte-identical Python models, warnings
+     and reports for the whole corpus;
+   - a warm cache run performs zero re-analyses (Batch.stats);
+   - the disk tier survives a fresh in-memory cache and invalidates on
+     source or level changes;
+   - failures are reported per source without aborting the batch. *)
+
+open Mira_core
+
+let corpus_sources = Mira_corpus.Corpus.all
+
+let run_batch ?jobs ?cache ?level () =
+  Mira.analyze_batch ?jobs ?cache ?level corpus_sources
+
+let render (results, stats) =
+  let pythons =
+    String.concat "\x00"
+      (List.map
+         (function
+           | Ok (a : Batch.analysis) -> a.a_python
+           | Error (name, msg) -> name ^ ": " ^ msg)
+         results)
+  in
+  (pythons, Batch.report results stats)
+
+let strip_stats_line report =
+  (* everything up to the trailing "batch: ..." stats line, which is
+     allowed to differ between cache states (not between job counts) *)
+  String.concat "\n"
+    (List.filter
+       (fun l -> not (String.length l >= 6 && String.sub l 0 6 = "batch:"))
+       (String.split_on_char '\n' report))
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mira-batch-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let batch_tests =
+  let open Alcotest in
+  [
+    test_case "jobs=1 and jobs=4 outputs byte-identical" `Quick (fun () ->
+        let p1, r1 = render (run_batch ~jobs:1 ()) in
+        let p4, r4 = render (run_batch ~jobs:4 ()) in
+        check bool "python models identical" true (String.equal p1 p4);
+        check bool "reports identical" true (String.equal r1 r4));
+    test_case "results come back in input order" `Quick (fun () ->
+        let results, _ = run_batch ~jobs:4 () in
+        let names =
+          List.map
+            (function Ok (a : Batch.analysis) -> a.a_name | Error (n, _) -> n)
+            results
+        in
+        check (list string) "order" (List.map fst corpus_sources) names);
+    test_case "warm memory cache performs zero re-analyses" `Quick (fun () ->
+        let cache = Batch.create_cache () in
+        let _, cold = run_batch ~jobs:4 ~cache () in
+        check int "cold run analyzes everything"
+          (List.length corpus_sources)
+          cold.Batch.st_analyzed;
+        let warm_results, warm = run_batch ~jobs:4 ~cache () in
+        check int "warm run analyzes nothing" 0 warm.Batch.st_analyzed;
+        check int "warm run hits memory"
+          (List.length corpus_sources)
+          warm.Batch.st_mem_hits;
+        check bool "hits are flagged" true
+          (List.for_all
+             (function Ok a -> a.Batch.a_cached | Error _ -> false)
+             warm_results));
+    test_case "cached outputs byte-identical to fresh" `Quick (fun () ->
+        let cache = Batch.create_cache () in
+        let fresh = run_batch ~jobs:1 () in
+        ignore (run_batch ~jobs:1 ~cache ());
+        let warm = run_batch ~jobs:4 ~cache () in
+        check bool "python identical" true
+          (String.equal (fst (render fresh)) (fst (render warm)));
+        check bool "report identical modulo stats line" true
+          (String.equal
+             (strip_stats_line (snd (render fresh)))
+             (strip_stats_line (snd (render warm)))));
+    test_case "disk tier survives a fresh process-level cache" `Quick
+      (fun () ->
+        with_temp_dir (fun dir ->
+            let c1 = Batch.create_cache ~dir () in
+            let _, s1 = run_batch ~jobs:2 ~cache:c1 () in
+            check int "first run analyzes"
+              (List.length corpus_sources)
+              s1.Batch.st_analyzed;
+            (* a new cache value = new memory tier, same directory:
+               everything must come off disk, nothing re-analyzed *)
+            let c2 = Batch.create_cache ~dir () in
+            let _, s2 = run_batch ~jobs:2 ~cache:c2 () in
+            check int "second run analyzes nothing" 0 s2.Batch.st_analyzed;
+            check int "second run hits disk"
+              (List.length corpus_sources)
+              s2.Batch.st_disk_hits));
+    test_case "key invalidates on text, level and version" `Quick (fun () ->
+        let k t = Batch.key ~level:Mira_codegen.Codegen.O1 t in
+        check bool "same text, same key" true (k "int x;" = k "int x;");
+        check bool "different text" false (k "int x;" = k "int y;");
+        check bool "different level" false
+          (k "int x;" = Batch.key ~level:Mira_codegen.Codegen.O2 "int x;"));
+    test_case "renamed identical source reuses the cache entry" `Quick
+      (fun () ->
+        let cache = Batch.create_cache () in
+        let src = List.assoc "stream" corpus_sources in
+        let _, s1 =
+          Mira.analyze_batch ~cache [ ("stream.mc", src) ]
+        in
+        check int "first analyzes" 1 s1.Batch.st_analyzed;
+        let results, s2 =
+          Mira.analyze_batch ~cache [ ("renamed.mc", src) ]
+        in
+        check int "rename hits" 1 s2.Batch.st_mem_hits;
+        (* and the hit is indistinguishable from a fresh analysis *)
+        let fresh, _ = Mira.analyze_batch [ ("renamed.mc", src) ] in
+        match (results, fresh) with
+        | [ Ok a ], [ Ok b ] ->
+            check bool "python under new name" true
+              (String.equal a.Batch.a_python b.Batch.a_python)
+        | _ -> fail "expected two successful analyses");
+    test_case "a bad source fails alone, batch continues" `Quick (fun () ->
+        let results, stats =
+          Mira.analyze_batch ~jobs:2
+            [
+              ("good.mc", "void f(int n) { for (int i = 0; i < n; i++) { n = n + 0; } }");
+              ("bad.mc", "void g( {");
+              ("also_good.mc", List.assoc "saxpy" corpus_sources);
+            ]
+        in
+        check int "one failure" 1 stats.Batch.st_failed;
+        match results with
+        | [ Ok _; Error ("bad.mc", _); Ok _ ] -> ()
+        | _ -> fail "expected ok/error/ok in input order");
+    test_case "LRU tier evicts but stays correct" `Quick (fun () ->
+        let cache = Batch.create_cache ~capacity:4 () in
+        let _, s1 = run_batch ~jobs:1 ~cache () in
+        check int "cold analyzes all"
+          (List.length corpus_sources)
+          s1.Batch.st_analyzed;
+        (* capacity 4 << corpus size: most entries were evicted, so a
+           second pass re-analyzes at least the evicted majority but
+           still returns identical output *)
+        let fresh = render (run_batch ~jobs:1 ()) in
+        let again = render (run_batch ~jobs:1 ~cache ()) in
+        check bool "output unchanged under eviction" true
+          (String.equal (fst fresh) (fst again)));
+  ]
+
+let () =
+  Random.self_init ();
+  Alcotest.run "batch" [ ("batch", batch_tests) ]

@@ -294,6 +294,233 @@ let expr_tests =
         check (list string) "vars" [ "a"; "b"; "p" ] (Expr.vars e));
   ]
 
+(* ---------- randomized algebraic identities (bulk suites) ----------
+
+   The heavier property suites behind the symbolic layer: ring laws
+   for Poly, Faulhaber power sums against brute-force summation, and
+   Expr's simplifying smart constructors against a reference
+   interpreter — ~1000 seeded cases each. *)
+
+let poly_point_arb =
+  QCheck.make
+    ~print:(fun (p, (a, b)) ->
+      Printf.sprintf "%s at x=%d, y=%d" (Poly.to_string p) a b)
+    QCheck.Gen.(pair poly_gen (pair (int_range (-9) 9) (int_range (-9) 9)))
+
+let eval_xy a b p =
+  Poly.eval
+    (function "x" -> Ratio.of_int a | "y" -> Ratio.of_int b | _ -> assert false)
+    p
+
+let poly_ring_props =
+  let triple_arb =
+    QCheck.make
+      ~print:(fun ((p, q, r), _) ->
+        String.concat " | " (List.map Poly.to_string [ p; q; r ]))
+      QCheck.Gen.(
+        pair (triple poly_gen poly_gen poly_gen)
+          (pair (int_range (-9) 9) (int_range (-9) 9)))
+  in
+  let at (a, b) p = eval_xy a b p in
+  [
+    QCheck.Test.make ~name:"ring: add commutative" ~count:1000
+      (QCheck.pair poly_arb poly_arb) (fun (p, q) ->
+        Poly.equal (Poly.add p q) (Poly.add q p));
+    QCheck.Test.make ~name:"ring: mul commutative" ~count:1000
+      (QCheck.pair poly_arb poly_arb) (fun (p, q) ->
+        Poly.equal (Poly.mul p q) (Poly.mul q p));
+    QCheck.Test.make ~name:"ring: add associative" ~count:1000 triple_arb
+      (fun ((p, q, r), _) ->
+        Poly.equal (Poly.add p (Poly.add q r)) (Poly.add (Poly.add p q) r));
+    QCheck.Test.make ~name:"ring: mul associative" ~count:1000 triple_arb
+      (fun ((p, q, r), _) ->
+        Poly.equal (Poly.mul p (Poly.mul q r)) (Poly.mul (Poly.mul p q) r));
+    QCheck.Test.make ~name:"ring: mul distributes over add" ~count:1000
+      triple_arb (fun ((p, q, r), _) ->
+        Poly.equal
+          (Poly.mul p (Poly.add q r))
+          (Poly.add (Poly.mul p q) (Poly.mul p r)));
+    QCheck.Test.make ~name:"ring: identities and inverses" ~count:1000
+      poly_arb (fun p ->
+        Poly.equal (Poly.add p Poly.zero) p
+        && Poly.equal (Poly.mul p Poly.one) p
+        && Poly.is_zero (Poly.sub p p)
+        && Poly.is_zero (Poly.mul p Poly.zero));
+    QCheck.Test.make ~name:"ring laws hold under evaluation too" ~count:1000
+      triple_arb (fun ((p, q, r), pt) ->
+        Ratio.equal
+          (at pt (Poly.mul p (Poly.add q r)))
+          (Ratio.add (at pt (Poly.mul p q)) (at pt (Poly.mul p r))));
+    QCheck.Test.make ~name:"pow n is repeated mul" ~count:1000
+      (QCheck.pair poly_point_arb (QCheck.int_range 0 4))
+      (fun ((p, (a, b)), n) ->
+        let rec rep i acc = if i = 0 then acc else rep (i - 1) (Poly.mul acc p) in
+        Ratio.equal (eval_xy a b (Poly.pow p n)) (eval_xy a b (rep n Poly.one)));
+  ]
+
+let faulhaber_bulk_props =
+  let brute k n =
+    (* integer i^k summed 1..n *)
+    let pow_int i k =
+      let rec go acc j = if j = 0 then acc else go (acc * i) (j - 1) in
+      go 1 k
+    in
+    let s = ref 0 in
+    for i = 1 to n do
+      s := !s + pow_int i k
+    done;
+    !s
+  in
+  [
+    QCheck.Test.make ~name:"power_sum k<=4 equals brute-force summation"
+      ~count:1000
+      QCheck.(pair (int_range 0 4) (int_range 0 80))
+      (fun (k, n) ->
+        let v =
+          Poly.eval
+            (function "n" -> Ratio.of_int n | _ -> assert false)
+            (Faulhaber.power_sum k)
+        in
+        Ratio.to_int_exn v = brute k n);
+    QCheck.Test.make ~name:"power_sum telescopes: S_k(n) - S_k(n-1) = n^k"
+      ~count:1000
+      QCheck.(pair (int_range 0 4) (int_range 1 80))
+      (fun (k, n) ->
+        brute k n - brute k (n - 1)
+        = int_of_float (float_of_int n ** float_of_int k));
+  ]
+
+(* A reference interpreter for expression descriptions: [build] maps a
+   description through Expr's simplifying smart constructors, [ref_eval]
+   interprets the same description naively.  Agreement means
+   simplify-then-eval = eval. *)
+type expr_desc =
+  | DConst of int
+  | DVar of string
+  | DAdd of expr_desc * expr_desc
+  | DSub of expr_desc * expr_desc
+  | DMul of expr_desc * expr_desc
+  | DMax of expr_desc * expr_desc
+  | DMin of expr_desc * expr_desc
+  | DFdiv of expr_desc * int
+  | DCdiv of expr_desc * int
+  | DIf of (int * int * int) * expr_desc * expr_desc
+      (* guard c0 + c1*x + c2*y >= 0 *)
+
+let rec build = function
+  | DConst c -> Expr.of_int c
+  | DVar v -> Expr.var v
+  | DAdd (a, b) -> Expr.add (build a) (build b)
+  | DSub (a, b) -> Expr.sub (build a) (build b)
+  | DMul (a, b) -> Expr.mul (build a) (build b)
+  | DMax (a, b) -> Expr.max_ (build a) (build b)
+  | DMin (a, b) -> Expr.min_ (build a) (build b)
+  | DFdiv (a, n) -> Expr.fdiv (build a) n
+  | DCdiv (a, n) -> Expr.cdiv (build a) n
+  | DIf ((c0, c1, c2), a, b) ->
+      let g =
+        Poly.sum
+          [
+            p_of_int c0;
+            Poly.scale (Ratio.of_int c1) x;
+            Poly.scale (Ratio.of_int c2) y;
+          ]
+      in
+      Expr.if_ g (build a) (build b)
+
+let rec ref_eval vx vy = function
+  | DConst c -> c
+  | DVar "x" -> vx
+  | DVar "y" -> vy
+  | DVar _ -> assert false
+  | DAdd (a, b) -> ref_eval vx vy a + ref_eval vx vy b
+  | DSub (a, b) -> ref_eval vx vy a - ref_eval vx vy b
+  | DMul (a, b) -> ref_eval vx vy a * ref_eval vx vy b
+  | DMax (a, b) -> max (ref_eval vx vy a) (ref_eval vx vy b)
+  | DMin (a, b) -> min (ref_eval vx vy a) (ref_eval vx vy b)
+  | DFdiv (a, n) ->
+      let v = ref_eval vx vy a in
+      if v >= 0 then v / n else -((-v + n - 1) / n)
+  | DCdiv (a, n) ->
+      let v = ref_eval vx vy a in
+      if v >= 0 then (v + n - 1) / n else -(-v / n)
+  | DIf ((c0, c1, c2), a, b) ->
+      if c0 + (c1 * vx) + (c2 * vy) >= 0 then ref_eval vx vy a
+      else ref_eval vx vy b
+
+let expr_desc_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun c -> DConst c) (int_range (-8) 8);
+        oneofl [ DVar "x"; DVar "y" ];
+      ]
+  in
+  let coef = int_range (-3) 3 in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        let sub = self (depth - 1) in
+        frequency
+          [
+            (1, leaf);
+            (2, map2 (fun a b -> DAdd (a, b)) sub sub);
+            (2, map2 (fun a b -> DSub (a, b)) sub sub);
+            (2, map2 (fun a b -> DMul (a, b)) sub sub);
+            (1, map2 (fun a b -> DMax (a, b)) sub sub);
+            (1, map2 (fun a b -> DMin (a, b)) sub sub);
+            (1, map2 (fun a n -> DFdiv (a, n)) sub (int_range 1 5));
+            (1, map2 (fun a n -> DCdiv (a, n)) sub (int_range 1 5));
+            ( 1,
+              map3
+                (fun g a b -> DIf (g, a, b))
+                (triple coef coef coef) sub sub );
+          ])
+    3
+
+let rec desc_to_string = function
+  | DConst c -> string_of_int c
+  | DVar v -> v
+  | DAdd (a, b) -> Printf.sprintf "(%s + %s)" (desc_to_string a) (desc_to_string b)
+  | DSub (a, b) -> Printf.sprintf "(%s - %s)" (desc_to_string a) (desc_to_string b)
+  | DMul (a, b) -> Printf.sprintf "(%s * %s)" (desc_to_string a) (desc_to_string b)
+  | DMax (a, b) -> Printf.sprintf "max(%s, %s)" (desc_to_string a) (desc_to_string b)
+  | DMin (a, b) -> Printf.sprintf "min(%s, %s)" (desc_to_string a) (desc_to_string b)
+  | DFdiv (a, n) -> Printf.sprintf "floor(%s / %d)" (desc_to_string a) n
+  | DCdiv (a, n) -> Printf.sprintf "ceil(%s / %d)" (desc_to_string a) n
+  | DIf ((c0, c1, c2), a, b) ->
+      Printf.sprintf "if(%d+%d*x+%d*y >= 0, %s, %s)" c0 c1 c2
+        (desc_to_string a) (desc_to_string b)
+
+let expr_simplify_props =
+  let arb =
+    QCheck.make
+      ~print:(fun (d, (vx, vy)) ->
+        Printf.sprintf "%s at x=%d, y=%d" (desc_to_string d) vx vy)
+      QCheck.Gen.(
+        pair expr_desc_gen (pair (int_range (-12) 12) (int_range (-12) 12)))
+  in
+  [
+    QCheck.Test.make ~name:"smart constructors: simplify-then-eval = eval"
+      ~count:1000 arb (fun (d, (vx, vy)) ->
+        let e = build d in
+        let env = function "x" -> vx | "y" -> vy | _ -> assert false in
+        Expr.eval_int env e = ref_eval vx vy d);
+    QCheck.Test.make ~name:"eval_float agrees with eval_int after building"
+      ~count:1000 arb (fun (d, (vx, vy)) ->
+        let e = build d in
+        let fenv = function
+          | "x" -> float_of_int vx
+          | "y" -> float_of_int vy
+          | _ -> assert false
+        in
+        Float.abs
+          (Expr.eval_float fenv e -. float_of_int (ref_eval vx vy d))
+        < 1e-6);
+  ]
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "symexpr"
@@ -302,7 +529,10 @@ let () =
       ("ratio-props", q ratio_props);
       ("poly", poly_tests);
       ("poly-props", q poly_props);
+      ("poly-ring-props", q poly_ring_props);
       ("faulhaber", faulhaber_tests);
       ("faulhaber-props", q faulhaber_props);
+      ("faulhaber-bulk-props", q faulhaber_bulk_props);
       ("expr", expr_tests);
+      ("expr-simplify-props", q expr_simplify_props);
     ]
