@@ -8,12 +8,17 @@ test:
 
 # Reproducible CI entry point: full build plus the whole test suite
 # with every randomized layer pinned — the differential fuzz oracle
-# reads MIRA_FUZZ_SEED (its default is the same baked-in seed) and the
-# qcheck property suites read QCHECK_SEED.  --force re-executes tests
-# even when dune has them cached, so the pinned seeds really run.
+# reads MIRA_FUZZ_SEED (its default is the same baked-in seed), the
+# qcheck property suites read QCHECK_SEED, and the fault-injection
+# harness reads MIRA_FAULT_SEED.  --force re-executes tests even when
+# dune has them cached, so the pinned seeds really run.  The hard
+# timeout turns any nontermination regression (a budget that stopped
+# firing, a stuck worker) into a CI failure instead of a hang.
+CI_TIMEOUT ?= 600
 ci:
 	dune build @all
-	MIRA_FUZZ_SEED=20260806 QCHECK_SEED=20260806 dune runtest --force
+	MIRA_FUZZ_SEED=20260806 QCHECK_SEED=20260806 MIRA_FAULT_SEED=20260806 \
+	  timeout --kill-after=30 $(CI_TIMEOUT) dune runtest --force
 
 bench:
 	dune exec bench/main.exe -- --fast

@@ -63,28 +63,41 @@ let arch_arg =
     & info [ "arch" ] ~docv:"ARCH"
         ~doc:"Architecture description: arya, frankenstein, or a file path.")
 
+(* Documented exit codes (README "Robustness & limits"):
+   0 success; 1 analysis failure (the input is at fault); 2 a budget,
+   timeout or other resource limit was hit; 3 internal error (a bug in
+   mira); 124 command-line usage error (cmdliner's convention). *)
+let exit_analysis = 1
+let exit_budget = 2
+let exit_internal = 3
+
 let handle_errors f =
+  Printexc.record_backtrace true;
   try f () with
-  | Mira_srclang.Lexer.Error (m, p) ->
-      Printf.eprintf "lex error at %d:%d: %s\n" p.line p.col m;
-      exit 1
-  | Mira_srclang.Parser.Error (m, p) ->
-      Printf.eprintf "parse error at %d:%d: %s\n" p.line p.col m;
-      exit 1
-  | Mira_srclang.Annot.Error m ->
-      Printf.eprintf "annotation error: %s\n" m;
-      exit 1
-  | Mira_codegen.Codegen.Error (m, p) ->
-      Printf.eprintf "codegen error at %d:%d: %s\n" p.line p.col m;
-      exit 1
-  | Failure m ->
-      Printf.eprintf "error: %s\n" m;
-      exit 1
   | Mira_core.Model_eval.Missing_parameter (f, p) ->
       Printf.eprintf
         "error: function %s needs a value for parameter %s (use -p %s=...)\n" f
         p p;
-      exit 1
+      exit exit_analysis
+  (* at the CLI a Failure/Invalid_argument usually means a bad argument
+     (unknown function name, missing parameter), not a bug: report it
+     plainly as an analysis failure, as before this exit-code scheme *)
+  | Failure m | Invalid_argument m ->
+      Printf.eprintf "error: %s\n" m;
+      exit exit_analysis
+  | e ->
+      let diag = Mira_core.Diag.of_exn e in
+      Printf.eprintf "%s\n" (Mira_core.Diag.to_string diag);
+      (match diag.Mira_core.Diag.d_backtrace with
+      | Some bt when diag.d_kind = Mira_core.Diag.Internal_error ->
+          prerr_string bt
+      | _ -> ());
+      exit
+        (match diag.Mira_core.Diag.d_kind with
+        | Mira_core.Diag.Budget_exhausted | Mira_core.Diag.Timeout ->
+            exit_budget
+        | Mira_core.Diag.Internal_error -> exit_internal
+        | _ -> exit_analysis)
 
 (* ---------- parse ---------- *)
 
@@ -421,34 +434,61 @@ let validate_cmd =
 
 (* ---------- batch ---------- *)
 
+let faults_conv =
+  let parse s =
+    match Mira_core.Faults.parse s with
+    | Ok f -> Ok f
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf f = Format.pp_print_string ppf (Mira_core.Faults.to_string f) in
+  Arg.conv (parse, print)
+
 let batch_cmd =
-  let run paths jobs use_cache cache_dir python level =
+  let run paths jobs use_cache cache_dir python level timeout_ms fuel depth
+      retries faults =
     handle_errors (fun () ->
         let sources =
           try Mira_core.Batch.sources_of_paths paths
           with Sys_error m ->
             Printf.eprintf "error: %s\n" m;
-            exit 1
+            exit exit_analysis
         in
         if sources = [] then begin
           Printf.eprintf "error: no .mc sources found\n";
-          exit 1
+          exit exit_analysis
         end;
         let cache =
           if use_cache then
             Some (Mira_core.Batch.create_cache ~dir:cache_dir ())
           else None
         in
-        let results, stats = Mira_core.Batch.run ~jobs ?cache ~level sources in
+        let limits =
+          {
+            Mira_core.Limits.fuel;
+            depth =
+              Option.value depth ~default:Mira_core.Limits.default.depth;
+            timeout_ms;
+            retries =
+              Option.value retries ~default:Mira_core.Limits.default.retries;
+          }
+        in
+        let results, stats =
+          Mira_core.Batch.run ~jobs ?cache ~level ~limits ?faults sources
+        in
         if python then
           List.iter
             (function
               | Ok (a : Mira_core.Batch.analysis) -> print_string a.a_python
-              | Error (name, msg) ->
-                  Printf.eprintf "%s: FAILED: %s\n" name msg)
+              | Error (name, diag) ->
+                  Printf.eprintf "%s: FAILED: %s\n" name
+                    (Mira_core.Diag.to_string diag))
             results
         else print_string (Mira_core.Batch.report results stats);
-        if stats.st_failed > 0 then exit 1)
+        (* budget/timeout overruns outrank plain analysis failures so a
+           driver can tell "your corpus is slow" from "your corpus is
+           broken" without parsing the report *)
+        if stats.st_budget > 0 then exit exit_budget
+        else if stats.st_failed > 0 then exit exit_analysis)
   in
   let paths =
     Arg.(
@@ -478,12 +518,53 @@ let batch_cmd =
       & info [ "python" ]
           ~doc:"Print every generated Python model instead of the batch report.")
   in
+  let timeout_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-source wall-clock deadline; an overrun becomes a timeout \
+             diagnostic for that source (exit code 2).")
+  in
+  let fuel =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Per-source work budget (tokens, statements, domain pieces); \
+             exhaustion becomes a diagnostic for that source (exit code 2).")
+  in
+  let depth =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"Per-source recursion-depth cap (default 10000).")
+  in
+  let retries =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Disk-cache I/O retry attempts after the first, with bounded \
+             exponential backoff (default 2).")
+  in
+  let faults =
+    Arg.(
+      value & opt (some faults_conv) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection, e.g. \
+             seed=42,read=0.3,corrupt=0.2,worker=0.1,slow=0.5,slow_ms=20 \
+             (testing only; decisions are scheduling-independent).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Analyze many sources concurrently with memoization (deterministic: \
           output is byte-identical for any --jobs and cache state).")
-    Term.(const run $ paths $ jobs $ use_cache $ cache_dir $ python $ level_arg)
+    Term.(
+      const run $ paths $ jobs $ use_cache $ cache_dir $ python $ level_arg
+      $ timeout_ms $ fuel $ depth $ retries $ faults)
 
 (* ---------- corpus-dump ---------- *)
 

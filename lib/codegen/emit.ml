@@ -146,6 +146,7 @@ let kind_of_ty pos = function
 
 (* Evaluate an int expression to an operand. *)
 let rec gen_int ctx (e : expr) : iop =
+  Mira_limits.Budget.tick ();
   let pos = e.espan.lo in
   match e.e with
   | Int_lit n -> Imm n
@@ -608,6 +609,7 @@ let store_double ctx loc x pos =
   | Loc_ireg _ | Loc_imem _ -> err pos "double store to int location"
 
 let rec gen_stmt ctx (st : stmt) =
+  Mira_limits.Budget.tick ();
   let pos = st.sspan.lo in
   match st.s with
   | Decl (Tint, name, init) ->

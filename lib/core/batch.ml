@@ -28,7 +28,7 @@ type analysis = {
   a_cached : bool;
 }
 
-type result = (analysis, string * string) Stdlib.result
+type result = (analysis, string * Diag.t) Stdlib.result
 
 type stats = {
   st_total : int;
@@ -37,11 +37,17 @@ type stats = {
   st_disk_hits : int;
   st_failed : int;
   st_jobs : int;
+  st_budget : int;
+  st_injected : int;
+  st_cache_corrupt : int;
+  st_io_retries : int;
+  st_io_failures : int;
 }
 
 (* ---------- content addressing ---------- *)
 
-let cache_version = "mira-batch-1"
+(* bumped from mira-batch-1: disk payloads are now checksummed *)
+let cache_version = "mira-batch-2"
 
 let level_tag = function
   | Mira_codegen.Codegen.O0 -> "O0"
@@ -64,22 +70,60 @@ type payload = { p_name : string; p_model : Model_ir.t; p_python : string }
 (* The memory tier is an LRU keyed by digest; entries carry a use tick
    and eviction scans for the minimum (capacities are small).  All
    access goes through [c_lock]: lookups and stores are brief, the
-   expensive analysis itself runs outside the lock. *)
+   expensive analysis itself runs outside the lock.  The health
+   counters are atomics, not lock-protected: they are bumped from
+   worker domains during disk I/O, outside the lock. *)
 type cache = {
   c_lock : Mutex.t;
   c_mem : (string, payload * int ref) Hashtbl.t;
   c_capacity : int;
   mutable c_tick : int;
   c_dir : string option;
+  c_corrupt : int Atomic.t;  (* checksum/decode failures detected *)
+  c_retries : int Atomic.t;  (* I/O attempts retried *)
+  c_io_fail : int Atomic.t;  (* I/O given up on after retries *)
 }
 
+let is_tmp_name f =
+  (* entries are published as <digest>.model; anything still carrying a
+     .tmp. infix is an orphan from an interrupted writer *)
+  let rec find_sub i =
+    i + 5 <= String.length f && (String.sub f i 5 = ".tmp." || find_sub (i + 1))
+  in
+  find_sub 0
+
+let sweep_orphans dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      Array.iter
+        (fun f ->
+          if is_tmp_name f then
+            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        entries
+
 let create_cache ?(capacity = 512) ?dir () =
+  (match dir with
+  | Some d when Sys.file_exists d -> sweep_orphans d
+  | _ -> ());
   {
     c_lock = Mutex.create ();
     c_mem = Hashtbl.create 64;
     c_capacity = max 1 capacity;
     c_tick = 0;
     c_dir = dir;
+    c_corrupt = Atomic.make 0;
+    c_retries = Atomic.make 0;
+    c_io_fail = Atomic.make 0;
+  }
+
+type cache_health = { h_corrupt : int; h_io_retries : int; h_io_failures : int }
+
+let cache_health c =
+  {
+    h_corrupt = Atomic.get c.c_corrupt;
+    h_io_retries = Atomic.get c.c_retries;
+    h_io_failures = Atomic.get c.c_io_fail;
   }
 
 let locked c f =
@@ -115,40 +159,135 @@ let mem_store c k m =
         Hashtbl.add c.c_mem k (m, ref c.c_tick)
       end)
 
+(* ---------- checksummed disk payloads ---------- *)
+
+exception Corrupt_entry of string
+
+let payload_magic = "MIRAC2\n"
+
+let encode_payload (m : payload) =
+  let body = Marshal.to_string m [] in
+  payload_magic ^ Digest.string body ^ body
+
+let decode_payload data : payload =
+  let mlen = String.length payload_magic in
+  if String.length data < mlen + 16 then raise (Corrupt_entry "truncated entry");
+  if String.sub data 0 mlen <> payload_magic then
+    raise (Corrupt_entry "bad magic");
+  let digest = String.sub data mlen 16 in
+  let body = String.sub data (mlen + 16) (String.length data - mlen - 16) in
+  if Digest.string body <> digest then
+    raise (Corrupt_entry "checksum mismatch");
+  (* the checksum matched, so this is byte-for-byte what a writer
+     produced and unmarshalling is safe *)
+  match (Marshal.from_string body 0 : payload) with
+  | p -> p
+  | exception _ -> raise (Corrupt_entry "undecodable payload")
+
+(* ---------- retrying disk I/O ---------- *)
+
+let backoff_s attempt = 0.0005 *. (4.0 ** float_of_int attempt)
+
+(* Run [op attempt], retrying transient [Sys_error]s with bounded
+   exponential backoff.  [op] receives the attempt number so fault
+   injection can key on it (a retry may then succeed, exercising the
+   recovery path rather than looping on the same decision). *)
+let with_io_retries c ~retries op =
+  let rec go attempt =
+    try op attempt
+    with Sys_error _ when attempt < retries ->
+      Atomic.incr c.c_retries;
+      Unix.sleepf (backoff_s attempt);
+      go (attempt + 1)
+  in
+  go 0
+
+let inject_io faults ~p ~site ~subject ~attempt =
+  match faults with
+  | Some f when Faults.fires f ~p:(p f) ~site ~subject:(Printf.sprintf "%s#%d" subject attempt)
+    ->
+      raise (Sys_error ("injected " ^ site))
+  | _ -> ()
+
 let disk_path dir k = Filename.concat dir (k ^ ".model")
 
-let disk_find c k =
+let disk_find ~faults ~retries c k =
   match c.c_dir with
   | None -> None
   | Some dir -> (
       let path = disk_path dir k in
-      try
-        let data = read_file path in
-        Some (Marshal.from_string data 0 : payload)
-      with _ -> None)
+      if not (Sys.file_exists path) then None
+      else
+        match
+          with_io_retries c ~retries (fun attempt ->
+              inject_io faults
+                ~p:(fun f -> f.Faults.read_p)
+                ~site:"disk_read" ~subject:k ~attempt;
+              read_file path)
+        with
+        | exception Sys_error _ ->
+            (* persistently unreadable: degrade to a miss *)
+            Atomic.incr c.c_io_fail;
+            None
+        | data -> (
+            match decode_payload data with
+            | p -> Some p
+            | exception Corrupt_entry _ ->
+                (* detected, counted, and removed so the fresh result
+                   can be rewritten cleanly *)
+                Atomic.incr c.c_corrupt;
+                (try Sys.remove path with Sys_error _ -> ());
+                None))
 
-let disk_store c k m =
+let disk_store ~faults ~retries c k m =
   match c.c_dir with
   | None -> ()
   | Some dir -> (
-      try
-        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-        let tmp =
-          disk_path dir
-            (Printf.sprintf "%s.tmp.%d" k (Domain.self () :> int))
-        in
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc (Marshal.to_string m []));
-        Sys.rename tmp (disk_path dir k)
-      with _ -> () (* a cold cache next time, never a failed batch *))
+      let data =
+        let full = encode_payload m in
+        match faults with
+        | Some f when Faults.fires f ~p:f.corrupt_p ~site:"corrupt" ~subject:k
+          ->
+            (* a deliberately truncated payload: readable, wrong
+               checksum — must be detected on the next read *)
+            String.sub full 0 (String.length full / 2)
+        | _ -> full
+      in
+      let tmp =
+        disk_path dir (Printf.sprintf "%s.tmp.%d" k (Domain.self () :> int))
+      in
+      match
+        with_io_retries c ~retries (fun attempt ->
+            if not (Sys.file_exists dir) then begin
+              try Sys.mkdir dir 0o755
+              with Sys_error _ when Sys.file_exists dir -> ()
+            end;
+            inject_io faults
+              ~p:(fun f -> f.Faults.write_p)
+              ~site:"disk_write" ~subject:k ~attempt;
+            let oc = open_out_bin tmp in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc data);
+            inject_io faults
+              ~p:(fun f -> f.Faults.rename_p)
+              ~site:"rename" ~subject:k ~attempt;
+            Sys.rename tmp (disk_path dir k))
+      with
+      | () -> ()
+      | exception Sys_error _ ->
+          (* a cold cache next time, never a failed batch; don't leave
+             the orphan behind (the next create_cache would sweep it,
+             but be tidy) *)
+          Atomic.incr c.c_io_fail;
+          (try Sys.remove tmp with Sys_error _ -> ()))
 
 (* ---------- one task ---------- *)
 
 type tier = Fresh | Mem | Disk
 
-let analyze_one ~level ~cache { src_name; src_text } =
+let analyze_one ~level ~cache ~limits ~faults { src_name; src_text } =
+  let retries = limits.Limits.retries in
   let fresh () =
     let input = Input_processor.process ~level ~source_name:src_name src_text in
     let bridge = Bridge.create input.binast in
@@ -164,51 +303,63 @@ let analyze_one ~level ~cache { src_name; src_text } =
       let model = { p.p_model with Model_ir.source_name = src_name } in
       { p_name = src_name; p_model = model; p_python = Python_emit.emit model }
   in
-  try
-    let k = key ~level src_text in
-    let payload, tier =
-      match cache with
-      | None -> (fresh (), Fresh)
-      | Some c -> (
-          match mem_find c k with
-          | Some p -> (rename p, Mem)
-          | None -> (
-              match disk_find c k with
-              | Some p ->
-                  mem_store c k p;
-                  (rename p, Disk)
-              | None ->
-                  let p = fresh () in
-                  mem_store c k p;
-                  disk_store c k p;
-                  (p, Fresh)))
-    in
-    ( Ok
-        {
-          a_name = src_name;
-          a_model = payload.p_model;
-          a_python = payload.p_python;
-          a_warnings = Model_ir.all_warnings payload.p_model;
-          a_cached = tier <> Fresh;
-        },
-      tier )
+  match
+    (* each source gets its own budget: a hostile input exhausts its
+       fuel, depth or deadline and becomes a diagnostic — it cannot
+       hang or crash the worker domain *)
+    Limits.Budget.install (Limits.budget limits) (fun () ->
+        (match faults with
+        | Some f ->
+            if f.Faults.slow_ms > 0
+               && Faults.fires f ~p:f.slow_p ~site:"slow" ~subject:src_name
+            then Unix.sleepf (float_of_int f.slow_ms /. 1000.0);
+            if Faults.fires f ~p:f.worker_p ~site:"worker" ~subject:src_name
+            then raise (Faults.Injected "worker")
+        | None -> ());
+        let k = key ~level src_text in
+        match cache with
+        | None -> (fresh (), Fresh)
+        | Some c -> (
+            match mem_find c k with
+            | Some p -> (rename p, Mem)
+            | None -> (
+                match disk_find ~faults ~retries c k with
+                | Some p ->
+                    mem_store c k p;
+                    (rename p, Disk)
+                | None ->
+                    let p = fresh () in
+                    mem_store c k p;
+                    disk_store ~faults ~retries c k p;
+                    (p, Fresh))))
   with
-  | Mira_srclang.Lexer.Error (m, p) ->
-      (Error (src_name, Printf.sprintf "lex error at %d:%d: %s" p.line p.col m), Fresh)
-  | Mira_srclang.Parser.Error (m, p) ->
-      ( Error (src_name, Printf.sprintf "parse error at %d:%d: %s" p.line p.col m),
-        Fresh )
-  | Mira_srclang.Annot.Error m ->
-      (Error (src_name, "annotation error: " ^ m), Fresh)
-  | Mira_codegen.Codegen.Error (m, p) ->
-      ( Error
-          (src_name, Printf.sprintf "codegen error at %d:%d: %s" p.line p.col m),
-        Fresh )
-  | Failure m -> (Error (src_name, m), Fresh)
+  | payload, tier ->
+      ( Ok
+          {
+            a_name = src_name;
+            a_model = payload.p_model;
+            a_python = payload.p_python;
+            a_warnings = Model_ir.all_warnings payload.p_model;
+            a_cached = tier <> Fresh;
+          },
+        tier )
+  | exception e ->
+      (* classify everything: user errors keep their position, budget
+         and timeout overruns are first-class, and anything unexpected
+         becomes Internal_error with a captured backtrace instead of
+         masquerading as an input problem *)
+      (Error (src_name, Diag.of_exn e), Fresh)
 
 (* ---------- the worker pool ---------- *)
 
-let run ?(jobs = 1) ?cache ?(level = Mira_codegen.Codegen.O1) sources =
+let run ?(jobs = 1) ?cache ?(level = Mira_codegen.Codegen.O1)
+    ?(limits = Limits.default) ?faults sources =
+  Printexc.record_backtrace true;
+  let health0 =
+    match cache with
+    | Some c -> cache_health c
+    | None -> { h_corrupt = 0; h_io_retries = 0; h_io_failures = 0 }
+  in
   let tasks = Array.of_list sources in
   let n = Array.length tasks in
   let out = Array.make n None in
@@ -221,7 +372,7 @@ let run ?(jobs = 1) ?cache ?(level = Mira_codegen.Codegen.O1) sources =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        let res, tier = analyze_one ~level ~cache tasks.(i) in
+        let res, tier = analyze_one ~level ~cache ~limits ~faults tasks.(i) in
         (match (res, tier) with
         | Error _, _ -> Atomic.incr failed
         | Ok _, Fresh -> Atomic.incr analyzed
@@ -242,8 +393,15 @@ let run ?(jobs = 1) ?cache ?(level = Mira_codegen.Codegen.O1) sources =
     worker ();
     Array.iter Domain.join helpers
   end;
-  let results =
-    Array.to_list (Array.map (fun r -> Option.get r) out)
+  let results = Array.to_list (Array.map (fun r -> Option.get r) out) in
+  let count_diag pred =
+    List.fold_left
+      (fun acc r ->
+        match r with Error (_, d) when pred d -> acc + 1 | _ -> acc)
+      0 results
+  in
+  let health =
+    match cache with Some c -> cache_health c | None -> health0
   in
   ( results,
     {
@@ -253,6 +411,14 @@ let run ?(jobs = 1) ?cache ?(level = Mira_codegen.Codegen.O1) sources =
       st_disk_hits = Atomic.get disk_hits;
       st_failed = Atomic.get failed;
       st_jobs = jobs;
+      st_budget = count_diag Diag.is_budget;
+      st_injected =
+        count_diag (fun d -> d.Diag.d_kind = Diag.Injected_fault);
+      (* cache health is reported as this run's delta, so a cache value
+         reused across runs doesn't double-count *)
+      st_cache_corrupt = health.h_corrupt - health0.h_corrupt;
+      st_io_retries = health.h_io_retries - health0.h_io_retries;
+      st_io_failures = health.h_io_failures - health0.h_io_failures;
     } )
 
 (* ---------- reporting ---------- *)
@@ -275,9 +441,18 @@ let report results stats =
                 (String.concat ", " fm.Model_ir.mf_params))
             a.a_model.Model_ir.functions;
           List.iter (fun (f, w) -> pr "  warning [%s] %s\n" f w) a.a_warnings
-      | Error (name, msg) -> pr "%s: FAILED: %s\n" name msg)
+      | Error (name, diag) -> pr "%s: FAILED: %s\n" name (Diag.to_string diag))
     results;
   pr "batch: %d source(s), %d analyzed, %d memory hit(s), %d disk hit(s), %d failed\n"
     stats.st_total stats.st_analyzed stats.st_mem_hits stats.st_disk_hits
     stats.st_failed;
+  if
+    stats.st_budget + stats.st_injected + stats.st_cache_corrupt
+    + stats.st_io_retries + stats.st_io_failures
+    > 0
+  then
+    pr "robustness: %d budget-limited, %d injected fault(s), %d corrupt cache \
+        entr(ies), %d I/O retr(ies), %d I/O failure(s)\n"
+      stats.st_budget stats.st_injected stats.st_cache_corrupt
+      stats.st_io_retries stats.st_io_failures;
   Buffer.contents buf

@@ -2,12 +2,12 @@
     on a fixed-size pool of OCaml 5 domains, with a content-addressed
     memoization cache.
 
-    Two guarantees shape the design:
+    Three guarantees shape the design:
 
     - {b Determinism}: for a given input list, every per-source output
       (model, emitted Python, warnings, report lines) is byte-identical
       whatever [jobs] is and whatever the cache contains; only the
-      trailing stats line of {!report} reflects cache tiers.  Workers
+      trailing stats lines of {!report} reflect cache tiers.  Workers
       pull tasks from a shared index and write results into per-task
       slots; the merge replays input order.  Cache hits re-emit Python
       from the cached {!Model_ir.t} with the current source name, so a
@@ -16,11 +16,20 @@
       [Digest(source text, codegen level, cache_version)].  Renaming a
       file reuses its entry; editing one byte, changing [-O], or
       upgrading the library invalidates it.
+    - {b Fault tolerance}: a batch run always terminates and never
+      raises.  Every per-source failure — malformed input, an exhausted
+      {!Limits} budget, a timeout, an injected {!Faults} event, or an
+      unexpected exception (classified [Internal_error] with a captured
+      backtrace) — becomes a structured {!Diag.t} in that source's slot
+      while the rest of the batch proceeds.  Disk-cache entries are
+      checksummed; corrupt or unreadable entries are counted and
+      degraded to misses, transient I/O errors are retried with bounded
+      backoff, and orphaned temporary files are swept when a cache is
+      opened.
 
     The cache has an in-memory LRU tier (always) and an optional
     on-disk tier (a directory of marshalled model + emitted-Python
-    payloads, conventionally [.mira-cache/]).  Disk entries that fail
-    to load for any reason are treated as misses and rewritten. *)
+    payloads, conventionally [.mira-cache/]). *)
 
 type source = { src_name : string; src_text : string }
 
@@ -39,9 +48,10 @@ type analysis = {
   a_cached : bool;  (** served from a cache tier, no re-analysis *)
 }
 
-type result = (analysis, string * string) Stdlib.result
-(** Per-source outcome; [Error (name, message)] for sources that fail
-    to parse, typecheck or compile (the batch keeps going). *)
+type result = (analysis, string * Diag.t) Stdlib.result
+(** Per-source outcome; [Error (name, diag)] for sources that fail to
+    parse, typecheck, compile, or stay within budget (the batch keeps
+    going). *)
 
 type stats = {
   st_total : int;  (** sources submitted *)
@@ -50,6 +60,11 @@ type stats = {
   st_disk_hits : int;
   st_failed : int;
   st_jobs : int;  (** worker domains actually used *)
+  st_budget : int;  (** failures that were budget/timeout overruns *)
+  st_injected : int;  (** failures caused by injected worker faults *)
+  st_cache_corrupt : int;  (** corrupt disk entries detected this run *)
+  st_io_retries : int;  (** disk I/O attempts retried this run *)
+  st_io_failures : int;  (** disk I/O given up on after retries *)
 }
 
 type cache
@@ -59,7 +74,19 @@ val cache_version : string
 
 val create_cache : ?capacity:int -> ?dir:string -> unit -> cache
 (** [capacity] bounds the in-memory LRU tier (default 512 entries).
-    [dir] enables the on-disk tier; it is created on first write. *)
+    [dir] enables the on-disk tier; it is created on first write, and
+    orphaned [*.tmp.*] files from interrupted writers are swept from an
+    existing directory now. *)
+
+type cache_health = {
+  h_corrupt : int;
+  h_io_retries : int;
+  h_io_failures : int;
+}
+
+val cache_health : cache -> cache_health
+(** Cumulative robustness counters over the cache value's lifetime
+    ({!stats} reports per-run deltas of these). *)
 
 val key : level:Mira_codegen.Codegen.level -> string -> string
 (** The content-addressed cache key (hex digest) of a source text. *)
@@ -68,11 +95,19 @@ val run :
   ?jobs:int ->
   ?cache:cache ->
   ?level:Mira_codegen.Codegen.level ->
+  ?limits:Limits.t ->
+  ?faults:Faults.t ->
   source list ->
   result list * stats
 (** Analyze every source.  [jobs] defaults to 1; it is clamped to
-    [1 .. max 1 (length sources)].  Results are in input order. *)
+    [1 .. max 1 (length sources)].  Results are in input order.
+    [limits] is enforced per source (each gets a fresh budget whose
+    deadline starts when its analysis starts).  [faults] injects a
+    deterministic fault schedule — decisions depend only on
+    [(seed, site, subject)], never on worker scheduling, so the set of
+    affected sources is identical at any [jobs] value. *)
 
 val report : result list -> stats -> string
 (** Deterministic textual report of a batch run (per-source function
-    lists, warnings, failures, then the stats line). *)
+    lists, warnings, failures, then the stats line and — only when any
+    counter is nonzero — a robustness line). *)

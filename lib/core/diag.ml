@@ -1,0 +1,100 @@
+type phase =
+  | Lex
+  | Parse
+  | Annotate
+  | Typecheck
+  | Codegen
+  | Analysis
+  | Cache
+  | Driver
+
+type kind =
+  | User_error
+  | Budget_exhausted
+  | Timeout
+  | Io_error
+  | Cache_corrupt
+  | Injected_fault
+  | Internal_error
+
+type t = {
+  d_phase : phase;
+  d_kind : kind;
+  d_message : string;
+  d_pos : Mira_srclang.Loc.pos option;
+  d_backtrace : string option;
+}
+
+let make ?pos ?backtrace d_phase d_kind d_message =
+  { d_phase; d_kind; d_message; d_pos = pos; d_backtrace = backtrace }
+
+let phase_to_string = function
+  | Lex -> "lex"
+  | Parse -> "parse"
+  | Annotate -> "annotation"
+  | Typecheck -> "type"
+  | Codegen -> "codegen"
+  | Analysis -> "analysis"
+  | Cache -> "cache"
+  | Driver -> "driver"
+
+let kind_to_string = function
+  | User_error -> "error"
+  | Budget_exhausted -> "budget exhausted"
+  | Timeout -> "timeout"
+  | Io_error -> "I/O error"
+  | Cache_corrupt -> "corrupt cache entry"
+  | Injected_fault -> "injected fault"
+  | Internal_error -> "internal error"
+
+let of_exn ?(phase = Analysis) exn =
+  (* capture before any further calls can disturb the backtrace *)
+  let bt () =
+    match Printexc.get_backtrace () with "" -> None | s -> Some s
+  in
+  match exn with
+  | Mira_srclang.Lexer.Error (m, p) -> make ~pos:p Lex User_error m
+  | Mira_srclang.Parser.Error (m, p) -> make ~pos:p Parse User_error m
+  | Mira_srclang.Annot.Error m -> make Annotate User_error m
+  | Mira_srclang.Typecheck.Check_error es -> (
+      (* a lone error's position goes in [d_pos]; several keep their
+         own positions in the multi-line message *)
+      match es with
+      | [ e ] ->
+          make ~pos:e.Mira_srclang.Typecheck.at Typecheck User_error
+            e.Mira_srclang.Typecheck.msg
+      | es ->
+          make Typecheck User_error
+            (Mira_srclang.Typecheck.errors_to_string es))
+  | Mira_codegen.Codegen.Error (m, p) -> make ~pos:p Codegen User_error m
+  | Metric_gen.Unsupported (m, p) ->
+      let pos = if p = Mira_srclang.Loc.dummy.lo then None else Some p in
+      make ?pos Analysis User_error m
+  | Mira_limits.Budget.Exhausted what ->
+      let kind =
+        match what with
+        | Mira_limits.Budget.Deadline -> Timeout
+        | Fuel | Depth -> Budget_exhausted
+      in
+      make phase kind (Mira_limits.Budget.what_to_string what)
+  | Faults.Injected site -> make phase Injected_fault site
+  | Stack_overflow ->
+      (* the depth budget should make this unreachable; classify it as
+         a resource limit all the same so it is never a crash *)
+      make phase Budget_exhausted "native stack overflow" ?backtrace:(bt ())
+  | Out_of_memory -> make phase Budget_exhausted "out of memory"
+  | e ->
+      make phase Internal_error (Printexc.to_string e) ?backtrace:(bt ())
+
+let to_string d =
+  let label =
+    match d.d_kind with
+    | User_error -> phase_to_string d.d_phase ^ " error"
+    | k -> kind_to_string k
+  in
+  match d.d_pos with
+  | Some p -> Printf.sprintf "%s at %d:%d: %s" label p.line p.col d.d_message
+  | None -> Printf.sprintf "%s: %s" label d.d_message
+
+let is_budget d =
+  match d.d_kind with Budget_exhausted | Timeout -> true | _ -> false

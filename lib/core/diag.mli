@@ -1,0 +1,62 @@
+(** Structured diagnostics.
+
+    Every way an analysis can fail — a malformed source, an exhausted
+    budget, a wall-clock timeout, cache corruption, an injected fault,
+    or a genuine bug in Mira itself — is described by one {!t}: the
+    pipeline phase that failed, a machine-readable {!kind}, a human
+    message, the source position when one is known, and a captured
+    backtrace for internal errors.  {!Batch} threads these through its
+    results in place of ad-hoc strings, and the CLI maps {!kind}s to
+    distinct exit codes. *)
+
+type phase =
+  | Lex
+  | Parse
+  | Annotate
+  | Typecheck
+  | Codegen
+  | Analysis  (** metric generation / model emission *)
+  | Cache
+  | Driver  (** the batch driver or worker machinery itself *)
+
+type kind =
+  | User_error  (** the input is malformed; fix the source *)
+  | Budget_exhausted  (** fuel or recursion-depth budget ran out *)
+  | Timeout  (** the per-source wall-clock deadline passed *)
+  | Io_error  (** persistent I/O failure after retries *)
+  | Cache_corrupt  (** checksum/decode failure on a disk cache entry *)
+  | Injected_fault  (** a {!Faults} schedule fired on purpose *)
+  | Internal_error  (** an unexpected exception: a bug in Mira *)
+
+type t = {
+  d_phase : phase;
+  d_kind : kind;
+  d_message : string;
+  d_pos : Mira_srclang.Loc.pos option;
+  d_backtrace : string option;  (** captured for [Internal_error] *)
+}
+
+val make :
+  ?pos:Mira_srclang.Loc.pos -> ?backtrace:string -> phase -> kind -> string -> t
+
+val of_exn : ?phase:phase -> exn -> t
+(** Classify an exception raised during analysis.  Known pipeline
+    exceptions ([Lexer.Error], [Parser.Error], [Annot.Error],
+    [Typecheck.Check_error], [Codegen.Error], [Metric_gen.Unsupported],
+    [Budget.Exhausted], [Faults.Injected], [Stack_overflow], …) map to
+    their phase and kind; anything else — including a bare [Failure] —
+    becomes [Internal_error] with the current backtrace attached.
+    [phase] is the fallback phase for exceptions that do not pin one
+    down (default [Analysis]). *)
+
+val phase_to_string : phase -> string
+val kind_to_string : kind -> string
+
+val to_string : t -> string
+(** One-line rendering, e.g. ["parse error at 3:7: expected \";\""] or
+    ["budget exhausted: fuel"].  Deterministic (never includes the
+    backtrace — use {!d_backtrace} for that). *)
+
+val is_budget : t -> bool
+(** [Budget_exhausted] or [Timeout] — the "slow source" family that
+    the CLI reports with its own exit code. *)

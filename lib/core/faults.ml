@@ -1,0 +1,92 @@
+type t = {
+  seed : int;
+  read_p : float;
+  write_p : float;
+  rename_p : float;
+  corrupt_p : float;
+  worker_p : float;
+  slow_p : float;
+  slow_ms : int;
+}
+
+exception Injected of string
+
+let none =
+  {
+    seed = 0;
+    read_p = 0.0;
+    write_p = 0.0;
+    rename_p = 0.0;
+    corrupt_p = 0.0;
+    worker_p = 0.0;
+    slow_p = 0.0;
+    slow_ms = 0;
+  }
+
+let parse spec =
+  let parse_p k v =
+    match float_of_string_opt v with
+    | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+    | _ -> Error (Printf.sprintf "%s expects a probability in [0,1], got %S" k v)
+  in
+  let parse_int k v =
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "%s expects a non-negative integer, got %S" k v)
+  in
+  let step acc item =
+    match acc with
+    | Error _ -> acc
+    | Ok t -> (
+        match String.index_opt item '=' with
+        | None -> Error (Printf.sprintf "expected key=value, got %S" item)
+        | Some i -> (
+            let k = String.trim (String.sub item 0 i) in
+            let v =
+              String.trim (String.sub item (i + 1) (String.length item - i - 1))
+            in
+            match k with
+            | "seed" -> Result.map (fun n -> { t with seed = n }) (parse_int k v)
+            | "read" -> Result.map (fun p -> { t with read_p = p }) (parse_p k v)
+            | "write" ->
+                Result.map (fun p -> { t with write_p = p }) (parse_p k v)
+            | "rename" ->
+                Result.map (fun p -> { t with rename_p = p }) (parse_p k v)
+            | "corrupt" ->
+                Result.map (fun p -> { t with corrupt_p = p }) (parse_p k v)
+            | "worker" ->
+                Result.map (fun p -> { t with worker_p = p }) (parse_p k v)
+            | "slow" -> Result.map (fun p -> { t with slow_p = p }) (parse_p k v)
+            | "slow_ms" ->
+                Result.map (fun n -> { t with slow_ms = n }) (parse_int k v)
+            | _ -> Error (Printf.sprintf "unknown fault key %S" k)))
+  in
+  match String.trim spec with
+  | "" -> Error "empty fault spec"
+  | spec -> List.fold_left step (Ok none) (String.split_on_char ',' spec)
+
+let to_string t =
+  let parts = ref [] in
+  let add k v = if v > 0.0 then parts := Printf.sprintf "%s=%g" k v :: !parts in
+  add "slow" t.slow_p;
+  if t.slow_ms > 0 then parts := Printf.sprintf "slow_ms=%d" t.slow_ms :: !parts;
+  add "worker" t.worker_p;
+  add "corrupt" t.corrupt_p;
+  add "rename" t.rename_p;
+  add "write" t.write_p;
+  add "read" t.read_p;
+  String.concat "," (Printf.sprintf "seed=%d" t.seed :: !parts)
+
+(* 56 bits of an MD5 over (seed, site, subject), scaled to [0, 1).
+   Stateless, platform-independent, and oblivious to scheduling. *)
+let roll t ~site ~subject =
+  let d =
+    Digest.string (Printf.sprintf "%d\x00%s\x00%s" t.seed site subject)
+  in
+  let bits = ref 0 in
+  for i = 0 to 6 do
+    bits := (!bits lsl 8) lor Char.code d.[i]
+  done;
+  float_of_int !bits /. 72057594037927936.0 (* 2^56 *)
+
+let fires t ~p ~site ~subject = p > 0.0 && roll t ~site ~subject < p

@@ -1,0 +1,49 @@
+(** Deterministic fault injection.
+
+    A fault spec assigns probabilities to injection sites in the batch
+    pipeline (disk-cache reads, writes and renames; payload corruption;
+    worker exceptions; artificial slowness).  Whether a given site
+    fires is a {e pure function} of [(seed, site, subject)] — an MD5
+    hash, no global PRNG state — so a schedule is reproducible across
+    runs and, crucially, independent of worker scheduling: the set of
+    affected sources is identical at [--jobs 1] and [--jobs 8].  That
+    is what makes the byte-identity invariant testable under faults.
+
+    Spec grammar (comma-separated [key=value]):
+
+    {v seed=INT read=P write=P rename=P corrupt=P worker=P slow=P slow_ms=INT v}
+
+    where [P] is a probability in [0..1].  Example:
+    [--faults seed=42,read=0.3,corrupt=0.2,worker=0.1]. *)
+
+type t = {
+  seed : int;
+  read_p : float;  (** injected [Sys_error] on a disk-cache read attempt *)
+  write_p : float;  (** injected [Sys_error] on a disk-cache write attempt *)
+  rename_p : float;  (** injected [Sys_error] publishing a cache entry *)
+  corrupt_p : float;  (** write a truncated/garbled payload instead *)
+  worker_p : float;  (** raise {!Injected} in the worker for a source *)
+  slow_p : float;  (** sleep [slow_ms] in the worker for a source *)
+  slow_ms : int;
+}
+
+exception Injected of string
+(** Raised at a [worker] site; the payload names the site. *)
+
+val none : t
+(** All probabilities zero (seed 0). *)
+
+val parse : string -> (t, string) result
+(** Parse the spec grammar above; unknown keys and malformed values are
+    errors. *)
+
+val to_string : t -> string
+(** Canonical spec rendering (omits zero-probability sites). *)
+
+val roll : t -> site:string -> subject:string -> float
+(** The deterministic uniform draw in [0, 1) for one site/subject
+    pair.  [subject] should identify the unit of work (a source name, a
+    cache key, a cache key with an attempt number…). *)
+
+val fires : t -> p:float -> site:string -> subject:string -> bool
+(** [roll < p]; false when [p = 0]. *)

@@ -1,0 +1,13 @@
+module Budget = Mira_limits.Budget
+
+type t = {
+  fuel : int option;
+  depth : int;
+  timeout_ms : int option;
+  retries : int;
+}
+
+let default =
+  { fuel = None; depth = Budget.default_depth; timeout_ms = None; retries = 2 }
+
+let budget t = Budget.make ?fuel:t.fuel ~depth:t.depth ?timeout_ms:t.timeout_ms ()

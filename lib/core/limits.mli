@@ -1,0 +1,28 @@
+(** Per-source analysis budgets, as configured by the batch driver and
+    the CLI ([--fuel], [--timeout-ms], [--retries]).
+
+    The enforcement mechanism lives in {!Mira_limits.Budget} (fuel
+    ticks and depth guards inside the lexer, parser, code generator,
+    metric generator and VM); this module is the policy record the
+    driver installs once per source. *)
+
+module Budget = Mira_limits.Budget
+(** Re-export: [Limits.Budget.Exhausted] is the exception hot paths
+    raise. *)
+
+type t = {
+  fuel : int option;
+      (** total work units (tokens, statements, domain pieces) one
+          source may consume; [None] = unlimited *)
+  depth : int;  (** recursion-depth cap (parser nesting etc.) *)
+  timeout_ms : int option;
+      (** wall-clock deadline per source; [None] = no deadline *)
+  retries : int;  (** disk-cache I/O retry attempts after the first *)
+}
+
+val default : t
+(** Unlimited fuel, depth {!Mira_limits.Budget.default_depth}, no
+    deadline, 2 retries. *)
+
+val budget : t -> Budget.t
+(** A fresh budget for one source; the deadline clock starts now. *)

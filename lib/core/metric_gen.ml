@@ -30,6 +30,7 @@ let warn ctx fmt =
 (* ---------- affine conversion ---------- *)
 
 let rec expr_to_poly ctx (e : expr) : Poly.t =
+  Mira_limits.Budget.tick ();
   match e.e with
   | Int_lit n -> Poly.of_int n
   | Var x -> (
@@ -59,6 +60,7 @@ let rec expr_to_poly ctx (e : expr) : Poly.t =
    comparisons, &&, ||, !, == / != and modulo tests all reduce to this
    form (Figure 4 b/c); anything else raises Non_affine. *)
 let rec cond_terms ctx (c : expr) : (int * Domain.guard list) list =
+  Mira_limits.Budget.tick ();
   match c.e with
   | Binop (Lt, a, b) -> [ (1, [ cmp_guard ctx b a (-1) ]) ]
   | Binop (Le, a, b) -> [ (1, [ cmp_guard ctx b a 0 ]) ]
@@ -131,7 +133,18 @@ let apply_cond (sd : sdoms) (terms : (int * Domain.guard list) list) : sdoms =
 let negate (sd : sdoms) : sdoms = List.map (fun (s, d) -> (-s, d)) sd
 
 let mult_of ?(parallel = false) (sd : sdoms) (scale : float) : Model_ir.mult =
-  { terms = List.map (fun (s, d) -> (s, Count.count d)) sd; scale; parallel }
+  (* signed-domain lists grow multiplicatively under nested &&/|| and
+     each piece pays a symbolic count: tick per piece so pathological
+     conditions burn fuel instead of time *)
+  { terms =
+      List.map
+        (fun (s, d) ->
+          Mira_limits.Budget.tick ();
+          (s, Count.count d))
+        sd;
+    scale;
+    parallel;
+  }
 
 (* ---------- entries ---------- *)
 
@@ -400,6 +413,7 @@ and claim_cond ctx ~par (sd : sdoms) (scale : float) ~line (c : expr) =
         ~mult:(mult_of ~parallel:par sd scale)
 
 and walk_stmt ctx ~par (sd : sdoms) (scale : float) (st : stmt) =
+  Mira_limits.Budget.tick ();
   let line = st.sspan.lo.line in
   if has_skip st then
     (* claim and drop: excluded from the model, as §III-C4 *)

@@ -18,11 +18,14 @@ val analyze_batch :
   ?jobs:int ->
   ?cache:Batch.cache ->
   ?level:Mira_codegen.Codegen.level ->
+  ?limits:Limits.t ->
+  ?faults:Faults.t ->
   (string * string) list ->
   Batch.result list * Batch.stats
 (** Analyze many [(name, source)] pairs through {!Batch}: a fixed-size
-    pool of worker domains, deterministic input-order results, and
-    optional content-addressed memoization. *)
+    pool of worker domains, deterministic input-order results, optional
+    content-addressed memoization, per-source {!Limits} budgets, and an
+    optional deterministic {!Faults} schedule. *)
 
 val counts :
   t -> fname:string -> env:(string * int) list -> (string * float) list

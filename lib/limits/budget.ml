@@ -1,0 +1,77 @@
+type what = Fuel | Depth | Deadline
+
+exception Exhausted of what
+
+let what_to_string = function
+  | Fuel -> "fuel"
+  | Depth -> "recursion depth"
+  | Deadline -> "deadline"
+
+type t = {
+  mutable fuel : int;  (* remaining ticks; max_int means unlimited *)
+  fuel_limit : int;
+  depth_limit : int;
+  mutable depth : int;
+  deadline : float;  (* absolute wall-clock time; infinity means none *)
+  mutable clock_in : int;  (* ticks until the next deadline check *)
+}
+
+let default_depth = 10_000
+
+(* How often [tick] consults the wall clock.  Small enough that a
+   source with a few hundred tokens still notices an expired deadline,
+   large enough that gettimeofday stays off the hot path. *)
+let clock_period = 64
+
+let make ?fuel ?(depth = default_depth) ?timeout_ms () =
+  let fuel = match fuel with Some f -> max 0 f | None -> max_int in
+  let deadline =
+    match timeout_ms with
+    | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0)
+    | None -> infinity
+  in
+  {
+    fuel;
+    fuel_limit = fuel;
+    depth_limit = max 1 depth;
+    depth = 0;
+    deadline;
+    clock_in = clock_period;
+  }
+
+(* The default budget never expires except on depth, so it can be
+   shared: its only mutable traffic is the fuel/clock counters, which
+   are per-domain because DLS hands each domain a fresh copy. *)
+let current : t Domain.DLS.key = Domain.DLS.new_key (fun () -> make ())
+
+let check_deadline b =
+  if b.deadline < infinity && Unix.gettimeofday () > b.deadline then
+    raise (Exhausted Deadline)
+
+let install b f =
+  check_deadline b;
+  let prev = Domain.DLS.get current in
+  Domain.DLS.set current b;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current prev) f
+
+let tick () =
+  let b = Domain.DLS.get current in
+  if b.fuel <> max_int then begin
+    if b.fuel <= 0 then raise (Exhausted Fuel);
+    b.fuel <- b.fuel - 1
+  end;
+  b.clock_in <- b.clock_in - 1;
+  if b.clock_in <= 0 then begin
+    b.clock_in <- clock_period;
+    check_deadline b
+  end
+
+let with_depth f =
+  let b = Domain.DLS.get current in
+  if b.depth >= b.depth_limit then raise (Exhausted Depth);
+  b.depth <- b.depth + 1;
+  Fun.protect ~finally:(fun () -> b.depth <- b.depth - 1) f
+
+let spent () =
+  let b = Domain.DLS.get current in
+  if b.fuel_limit = max_int then 0 else b.fuel_limit - b.fuel

@@ -118,11 +118,30 @@ let lex_number st =
         digits ()
     | _ -> ());
     let stop = Loc.pos st.line (st.col - 1) in
-    { t = FLOAT (float_of_string (Buffer.contents buf)); tspan = Loc.span start stop }
+    let f =
+      match float_of_string_opt (Buffer.contents buf) with
+      | Some f -> f
+      | None ->
+          raise
+            (Error
+               ( Printf.sprintf "malformed float literal %S" (Buffer.contents buf),
+                 start ))
+    in
+    { t = FLOAT f; tspan = Loc.span start stop }
   end
   else
     let stop = Loc.pos st.line (st.col - 1) in
-    { t = INT (int_of_string (Buffer.contents buf)); tspan = Loc.span start stop }
+    let n =
+      match int_of_string_opt (Buffer.contents buf) with
+      | Some n -> n
+      | None ->
+          raise
+            (Error
+               ( Printf.sprintf "integer literal %s out of range"
+                   (Buffer.contents buf),
+                 start ))
+    in
+    { t = INT n; tspan = Loc.span start stop }
 
 let lex_ident st =
   let start = here st in
@@ -212,6 +231,7 @@ let tokenize src =
   let st = { src; off = 0; line = 1; col = 1 } in
   let acc = ref [] in
   let rec go () =
+    Mira_limits.Budget.tick ();
     skip_ws_and_comments st;
     match peek st with
     | None ->

@@ -94,6 +94,12 @@ and climb st lhs min_prec =
   | _ -> lhs
 
 and parse_unary st =
+  (* every nested-expression shape — parens, casts, unary chains,
+     index subscripts — passes through here, so one depth guard bounds
+     expression recursion as a whole *)
+  Mira_limits.Budget.with_depth (fun () -> parse_unary_inner st)
+
+and parse_unary_inner st =
   let tok = peek st in
   match tok.Lexer.t with
   | PUNCT "-" ->
@@ -192,6 +198,11 @@ let rec lvalue_of_expr st (e : expr) : lvalue =
 (* ---------- statements ---------- *)
 
 let rec parse_stmt st : stmt =
+  Mira_limits.Budget.tick ();
+  (* blocks, ifs and loops recurse through here: cap their nesting *)
+  Mira_limits.Budget.with_depth (fun () -> parse_stmt_inner st)
+
+and parse_stmt_inner st : stmt =
   let tok = peek st in
   match tok.Lexer.t with
   | PRAGMA payload ->

@@ -312,10 +312,10 @@ let check prog =
   List.iter (check_func prog errors) (all_functions prog);
   match !errors with [] -> Ok () | es -> Error es
 
+exception Check_error of error list
+
+let errors_to_string es =
+  String.concat "\n" (List.map (fun e -> Format.asprintf "%a" pp_error e) es)
+
 let check_exn prog =
-  match check prog with
-  | Ok () -> prog
-  | Error es ->
-      failwith
-        (String.concat "\n"
-           (List.map (fun e -> Format.asprintf "%a" pp_error e) es))
+  match check prog with Ok () -> prog | Error es -> raise (Check_error es)

@@ -8,11 +8,18 @@
 
 type error = { msg : string; at : Loc.pos }
 
+exception Check_error of error list
+(** Raised by {!check_exn}; distinct from [Failure] so callers can tell
+    a type error in the input from a genuine internal failure. *)
+
 val check : Ast.program -> (unit, error list) result
 (** On [Ok], every reachable expression's [ety] is set. *)
 
 val check_exn : Ast.program -> Ast.program
 (** Same, returning the (annotated) program.
-    @raise Failure with a rendered error list. *)
+    @raise Check_error with the error list. *)
+
+val errors_to_string : error list -> string
+(** Newline-separated rendering of {!pp_error} lines. *)
 
 val pp_error : Format.formatter -> error -> unit

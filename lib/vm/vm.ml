@@ -290,6 +290,10 @@ let exec vm (entry : loaded) =
     f.excl.(mid) <- f.excl.(mid) + 1;
     vm.retired <- vm.retired + 1;
     if vm.retired > vm.step_limit then fault "step limit exceeded";
+    (* budget hook: amortized so the interpreter loop stays tight, but
+       frequent enough that a wall-clock deadline cuts a runaway
+       program off within microseconds *)
+    if vm.retired land 63 = 0 then Mira_limits.Budget.tick ();
     let next = f.pc + 1 in
     (match insn with
     | Movq (d, s) ->

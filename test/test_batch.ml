@@ -19,7 +19,7 @@ let render (results, stats) =
       (List.map
          (function
            | Ok (a : Batch.analysis) -> a.a_python
-           | Error (name, msg) -> name ^ ": " ^ msg)
+           | Error (name, diag) -> name ^ ": " ^ Diag.to_string diag)
          results)
   in
   (pythons, Batch.report results stats)
