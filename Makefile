@@ -1,4 +1,4 @@
-.PHONY: build test ci bench clean
+.PHONY: build test ci bench bench-json clean
 
 build:
 	dune build @all
@@ -22,6 +22,11 @@ ci:
 
 bench:
 	dune exec bench/main.exe -- --fast
+
+# Timing-only run (batch scaling + incremental reanalysis) that
+# records its numbers in BENCH_batch.json for regression tracking.
+bench-json:
+	dune exec bench/main.exe -- --json
 
 clean:
 	dune clean

@@ -444,8 +444,8 @@ let faults_conv =
   Arg.conv (parse, print)
 
 let batch_cmd =
-  let run paths jobs use_cache cache_dir python level timeout_ms fuel depth
-      retries faults =
+  let run paths jobs use_cache cache_dir cache_max_mb no_incremental python
+      level timeout_ms fuel depth retries faults =
     handle_errors (fun () ->
         let sources =
           try Mira_core.Batch.sources_of_paths paths
@@ -473,8 +473,15 @@ let batch_cmd =
           }
         in
         let results, stats =
-          Mira_core.Batch.run ~jobs ?cache ~level ~limits ?faults sources
+          Mira_core.Batch.run ~jobs ?cache ~incremental:(not no_incremental)
+            ~level ~limits ?faults sources
         in
+        (* evict after the run so this run's own entries participate in
+           the LRU ordering *)
+        (match (cache, cache_max_mb) with
+        | Some c, Some mb ->
+            ignore (Mira_core.Batch.gc_disk ~max_bytes:(mb * 1024 * 1024) c)
+        | _ -> ());
         if python then
           List.iter
             (function
@@ -511,6 +518,23 @@ let batch_cmd =
     Arg.(
       value & opt string ".mira-cache"
       & info [ "cache-dir" ] ~docv:"DIR" ~doc:"On-disk cache directory.")
+  in
+  let cache_max_mb =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cache-max-mb" ] ~docv:"MB"
+          ~doc:
+            "Evict least-recently-used disk-cache entries after the run \
+             until the directory is under this size.")
+  in
+  let no_incremental =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:
+            "Disable function-granular incremental reanalysis (with a cache, \
+             a file-tier miss then always re-analyzes the whole file instead \
+             of only the edited functions).")
   in
   let python =
     Arg.(
@@ -563,8 +587,9 @@ let batch_cmd =
          "Analyze many sources concurrently with memoization (deterministic: \
           output is byte-identical for any --jobs and cache state).")
     Term.(
-      const run $ paths $ jobs $ use_cache $ cache_dir $ python $ level_arg
-      $ timeout_ms $ fuel $ depth $ retries $ faults)
+      const run $ paths $ jobs $ use_cache $ cache_dir $ cache_max_mb
+      $ no_incremental $ python $ level_arg $ timeout_ms $ fuel $ depth
+      $ retries $ faults)
 
 (* ---------- corpus-dump ---------- *)
 

@@ -28,3 +28,18 @@ val compile : ?level:level -> string -> Mira_visa.Program.t
 
 val compile_to_object : ?level:level -> string -> string
 (** Source text → encoded object file bytes. *)
+
+val reduce_to_function :
+  Mira_srclang.Ast.program -> name:string -> cls:string option ->
+  Mira_srclang.Ast.program
+(** Stub the body of every function except the one matching
+    [(name, cls)] ([cls] is the enclosing class for methods).
+    Signatures, classes and externs are preserved, so compiling the
+    reduced program yields instructions for the kept function that are
+    identical (as mnemonic streams with source positions) to a
+    whole-file compilation. *)
+
+val compile_function_to_object :
+  ?level:level -> name:string -> cls:string option -> string -> string
+(** Parse, reduce to one function, compile, encode — the
+    single-function analogue of {!compile_to_object}. *)

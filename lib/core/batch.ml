@@ -42,12 +42,23 @@ type stats = {
   st_cache_corrupt : int;
   st_io_retries : int;
   st_io_failures : int;
+  (* function tier *)
+  st_assembled : int;
+  st_fn_mem_hits : int;
+  st_fn_disk_hits : int;
+  st_fn_analyzed : int;
 }
 
 (* ---------- content addressing ---------- *)
 
 (* bumped from mira-batch-1: disk payloads are now checksummed *)
 let cache_version = "mira-batch-2"
+
+(* the function tier versions independently of the file tier: it keys
+   marshalled Metric_gen.part values, whose layout can change without
+   the file payloads changing (and vice versa) *)
+(* bumped from mira-fn-1: parts now carry precomputed free vars *)
+let fn_cache_version = "mira-fn-2"
 
 let level_tag = function
   | Mira_codegen.Codegen.O0 -> "O0"
@@ -76,12 +87,19 @@ type payload = { p_name : string; p_model : Model_ir.t; p_python : string }
 type cache = {
   c_lock : Mutex.t;
   c_mem : (string, payload * int ref) Hashtbl.t;
+  (* the function tier: Metric_gen.part keyed by Fingerprint digest.
+     A separate table (same lock, same use clock) so file payloads and
+     function parts don't evict each other. *)
+  c_fn_mem : (string, Metric_gen.part * int ref) Hashtbl.t;
   c_capacity : int;
   mutable c_tick : int;
   c_dir : string option;
   c_corrupt : int Atomic.t;  (* checksum/decode failures detected *)
   c_retries : int Atomic.t;  (* I/O attempts retried *)
   c_io_fail : int Atomic.t;  (* I/O given up on after retries *)
+  c_fn_mem_hits : int Atomic.t;
+  c_fn_disk_hits : int Atomic.t;
+  c_fn_fresh : int Atomic.t;  (* functions re-analyzed in isolation *)
 }
 
 let is_tmp_name f =
@@ -109,40 +127,57 @@ let create_cache ?(capacity = 512) ?dir () =
   {
     c_lock = Mutex.create ();
     c_mem = Hashtbl.create 64;
+    c_fn_mem = Hashtbl.create 256;
     c_capacity = max 1 capacity;
     c_tick = 0;
     c_dir = dir;
     c_corrupt = Atomic.make 0;
     c_retries = Atomic.make 0;
     c_io_fail = Atomic.make 0;
+    c_fn_mem_hits = Atomic.make 0;
+    c_fn_disk_hits = Atomic.make 0;
+    c_fn_fresh = Atomic.make 0;
   }
 
-type cache_health = { h_corrupt : int; h_io_retries : int; h_io_failures : int }
+type cache_health = {
+  h_corrupt : int;
+  h_io_retries : int;
+  h_io_failures : int;
+  h_fn_mem_hits : int;
+  h_fn_disk_hits : int;
+  h_fn_fresh : int;
+}
 
 let cache_health c =
   {
     h_corrupt = Atomic.get c.c_corrupt;
     h_io_retries = Atomic.get c.c_retries;
     h_io_failures = Atomic.get c.c_io_fail;
+    h_fn_mem_hits = Atomic.get c.c_fn_mem_hits;
+    h_fn_disk_hits = Atomic.get c.c_fn_disk_hits;
+    h_fn_fresh = Atomic.get c.c_fn_fresh;
   }
 
 let locked c f =
   Mutex.lock c.c_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock c.c_lock) f
 
-let mem_find c k =
+(* LRU lookup/insert, generic over the table so the file tier
+   ([c_mem]) and the function tier ([c_fn_mem]) share one
+   implementation, one lock, and one use clock *)
+let mem_find_in c tbl k =
   locked c (fun () ->
-      match Hashtbl.find_opt c.c_mem k with
+      match Hashtbl.find_opt tbl k with
       | None -> None
       | Some (m, tick) ->
           c.c_tick <- c.c_tick + 1;
           tick := c.c_tick;
           Some m)
 
-let mem_store c k m =
+let mem_store_in c tbl k m =
   locked c (fun () ->
-      if not (Hashtbl.mem c.c_mem k) then begin
-        if Hashtbl.length c.c_mem >= c.c_capacity then begin
+      if not (Hashtbl.mem tbl k) then begin
+        if Hashtbl.length tbl >= c.c_capacity then begin
           (* evict the least recently used entry *)
           let victim = ref None in
           Hashtbl.iter
@@ -150,37 +185,56 @@ let mem_store c k m =
               match !victim with
               | Some (_, t) when t <= !tick -> ()
               | _ -> victim := Some (k', !tick))
-            c.c_mem;
+            tbl;
           match !victim with
-          | Some (k', _) -> Hashtbl.remove c.c_mem k'
+          | Some (k', _) -> Hashtbl.remove tbl k'
           | None -> ()
         end;
         c.c_tick <- c.c_tick + 1;
-        Hashtbl.add c.c_mem k (m, ref c.c_tick)
+        Hashtbl.add tbl k (m, ref c.c_tick)
       end)
+
+let mem_find c k = mem_find_in c c.c_mem k
+let mem_store c k m = mem_store_in c c.c_mem k m
 
 (* ---------- checksummed disk payloads ---------- *)
 
 exception Corrupt_entry of string
 
 let payload_magic = "MIRAC2\n"
+let fn_magic = "MIRAF1\n"
 
-let encode_payload (m : payload) =
-  let body = Marshal.to_string m [] in
-  payload_magic ^ Digest.string body ^ body
+(* magic + MD5-of-body + marshalled body; both tiers use the same
+   frame with their own magic *)
+let encode_blob ~magic body = magic ^ Digest.string body ^ body
 
-let decode_payload data : payload =
-  let mlen = String.length payload_magic in
+let decode_blob ~magic data =
+  let mlen = String.length magic in
   if String.length data < mlen + 16 then raise (Corrupt_entry "truncated entry");
-  if String.sub data 0 mlen <> payload_magic then
-    raise (Corrupt_entry "bad magic");
+  if String.sub data 0 mlen <> magic then raise (Corrupt_entry "bad magic");
   let digest = String.sub data mlen 16 in
   let body = String.sub data (mlen + 16) (String.length data - mlen - 16) in
   if Digest.string body <> digest then
     raise (Corrupt_entry "checksum mismatch");
+  body
+
+let encode_payload (m : payload) =
+  encode_blob ~magic:payload_magic (Marshal.to_string m [])
+
+let decode_payload data : payload =
+  let body = decode_blob ~magic:payload_magic data in
   (* the checksum matched, so this is byte-for-byte what a writer
      produced and unmarshalling is safe *)
   match (Marshal.from_string body 0 : payload) with
+  | p -> p
+  | exception _ -> raise (Corrupt_entry "undecodable payload")
+
+let encode_fn_payload (p : Metric_gen.part) =
+  encode_blob ~magic:fn_magic (Marshal.to_string p [])
+
+let decode_fn_payload data : Metric_gen.part =
+  let body = decode_blob ~magic:fn_magic data in
+  match (Marshal.from_string body 0 : Metric_gen.part) with
   | p -> p
   | exception _ -> raise (Corrupt_entry "undecodable payload")
 
@@ -209,13 +263,21 @@ let inject_io faults ~p ~site ~subject ~attempt =
       raise (Sys_error ("injected " ^ site))
   | _ -> ()
 
-let disk_path dir k = Filename.concat dir (k ^ ".model")
+let file_suffix = ".model"
+let fn_suffix = ".fnmodel"
 
-let disk_find ~faults ~retries c k =
+let disk_path ~suffix dir k = Filename.concat dir (k ^ suffix)
+
+(* a successful read refreshes the entry's mtime so {!gc_disk}'s
+   LRU-by-mtime eviction spares hot entries *)
+let touch path =
+  try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> () | Sys_error _ -> ()
+
+let disk_find_blob ~faults ~retries ~suffix ~decode c k =
   match c.c_dir with
   | None -> None
   | Some dir -> (
-      let path = disk_path dir k in
+      let path = disk_path ~suffix dir k in
       if not (Sys.file_exists path) then None
       else
         match
@@ -230,8 +292,10 @@ let disk_find ~faults ~retries c k =
             Atomic.incr c.c_io_fail;
             None
         | data -> (
-            match decode_payload data with
-            | p -> Some p
+            match decode data with
+            | p ->
+                touch path;
+                Some p
             | exception Corrupt_entry _ ->
                 (* detected, counted, and removed so the fresh result
                    can be rewritten cleanly *)
@@ -239,12 +303,11 @@ let disk_find ~faults ~retries c k =
                 (try Sys.remove path with Sys_error _ -> ());
                 None))
 
-let disk_store ~faults ~retries c k m =
+let disk_store_blob ~faults ~retries ~suffix c k full =
   match c.c_dir with
   | None -> ()
   | Some dir -> (
       let data =
-        let full = encode_payload m in
         match faults with
         | Some f when Faults.fires f ~p:f.corrupt_p ~site:"corrupt" ~subject:k
           ->
@@ -254,7 +317,8 @@ let disk_store ~faults ~retries c k m =
         | _ -> full
       in
       let tmp =
-        disk_path dir (Printf.sprintf "%s.tmp.%d" k (Domain.self () :> int))
+        disk_path ~suffix dir
+          (Printf.sprintf "%s.tmp.%d" k (Domain.self () :> int))
       in
       match
         with_io_retries c ~retries (fun attempt ->
@@ -272,7 +336,7 @@ let disk_store ~faults ~retries c k m =
             inject_io faults
               ~p:(fun f -> f.Faults.rename_p)
               ~site:"rename" ~subject:k ~attempt;
-            Sys.rename tmp (disk_path dir k))
+            Sys.rename tmp (disk_path ~suffix dir k))
       with
       | () -> ()
       | exception Sys_error _ ->
@@ -282,11 +346,158 @@ let disk_store ~faults ~retries c k m =
           Atomic.incr c.c_io_fail;
           (try Sys.remove tmp with Sys_error _ -> ()))
 
+let disk_find ~faults ~retries c k =
+  disk_find_blob ~faults ~retries ~suffix:file_suffix ~decode:decode_payload c k
+
+let disk_store ~faults ~retries c k m =
+  disk_store_blob ~faults ~retries ~suffix:file_suffix c k (encode_payload m)
+
+let disk_find_fn ~faults ~retries c k =
+  disk_find_blob ~faults ~retries ~suffix:fn_suffix ~decode:decode_fn_payload c
+    k
+
+let disk_store_fn ~faults ~retries c k p =
+  disk_store_blob ~faults ~retries ~suffix:fn_suffix c k (encode_fn_payload p)
+
+(* ---------- disk-tier eviction ---------- *)
+
+(* Size-capped GC: scan the cache directory, and if the published
+   entries exceed [max_bytes], remove oldest-mtime-first (reads touch
+   mtime, so this is LRU) until under the cap.  Removals are atomic
+   ([Sys.remove]); a concurrently vanishing file is tolerated.  Orphan
+   temporaries are swept too, as in [create_cache]. *)
+let gc_disk ~max_bytes c =
+  match c.c_dir with
+  | None -> (0, 0)
+  | Some dir -> (
+      match Sys.readdir dir with
+      | exception Sys_error _ -> (0, 0)
+      | entries ->
+          let files =
+            Array.to_list entries
+            |> List.filter_map (fun f ->
+                   if is_tmp_name f then (
+                     (try Sys.remove (Filename.concat dir f)
+                      with Sys_error _ -> ());
+                     None)
+                   else if
+                     Filename.check_suffix f file_suffix
+                     || Filename.check_suffix f fn_suffix
+                   then
+                     let path = Filename.concat dir f in
+                     match Unix.stat path with
+                     | st -> Some (path, st.Unix.st_mtime, st.Unix.st_size)
+                     | exception Unix.Unix_error _ -> None
+                     | exception Sys_error _ -> None
+                   else None)
+          in
+          let total = List.fold_left (fun a (_, _, sz) -> a + sz) 0 files in
+          if total <= max_bytes then (0, 0)
+          else
+            (* oldest first *)
+            let files =
+              List.sort (fun (_, m1, _) (_, m2, _) -> compare m1 m2) files
+            in
+            let removed = ref 0 and freed = ref 0 and live = ref total in
+            List.iter
+              (fun (path, _, sz) ->
+                if !live > max_bytes then
+                  match Sys.remove path with
+                  | () ->
+                      incr removed;
+                      freed := !freed + sz;
+                      live := !live - sz
+                  | exception Sys_error _ -> ())
+              files;
+            (!removed, !freed))
+
 (* ---------- one task ---------- *)
 
-type tier = Fresh | Mem | Disk
+(* [Assembled n]: the file missed both file tiers but was rebuilt from
+   the function tier with [n] functions re-analyzed in isolation
+   ([n = 0] — e.g. a formatting-only edit — means pure cache work). *)
+type tier = Fresh | Mem | Disk | Assembled of int
 
-let analyze_one ~level ~cache ~limits ~faults { src_name; src_text } =
+let fn_salt level = fn_cache_version ^ "\x00" ^ level_tag level
+
+(* The function-granular path, taken on a file-tier miss when
+   [incremental] is on and a cache exists.  Digest every function of
+   the prepared AST and probe the function tier; if nothing hits, fall
+   back to the whole-file pipeline (one compilation instead of N
+   stub-reduced ones) and seed the tier with the parts it produces.
+   Otherwise re-analyze only the misses, each against its own reduced
+   compilation, and assemble.  Either way the assembled model is
+   byte-identical to a cold whole-file analysis: parts are a pure
+   function of (function, closure) — which is what the digest hashes —
+   and the cross-function parameter fixpoint reruns at assembly. *)
+let analyze_incremental ~level ~faults ~retries c ~src_name ~src_text =
+  let pr = Input_processor.prepare ~level ~source_name:src_name src_text in
+  let salt = fn_salt level in
+  let fns = Mira_srclang.Ast.all_functions pr.Input_processor.pr_ast in
+  let probed =
+    List.map
+      (fun f ->
+        let d = Input_processor.function_digest pr ~salt f in
+        let part =
+          match mem_find_in c c.c_fn_mem d with
+          | Some part ->
+              Atomic.incr c.c_fn_mem_hits;
+              Some part
+          | None -> (
+              match disk_find_fn ~faults ~retries c d with
+              | Some part ->
+                  Atomic.incr c.c_fn_disk_hits;
+                  mem_store_in c c.c_fn_mem d part;
+                  Some part
+              | None -> None)
+        in
+        (f, d, part))
+      fns
+  in
+  let store_part d part =
+    mem_store_in c c.c_fn_mem d part;
+    disk_store_fn ~faults ~retries c d part
+  in
+  if List.for_all (fun (_, _, part) -> part = None) probed then begin
+    (* nothing reusable: one whole-file compilation, then seed the
+       function tier from its parts *)
+    let input = Input_processor.process_prepared pr in
+    let bridge = Bridge.create input.Input_processor.binast in
+    let parts =
+      List.map
+        (fun (f, d, _) ->
+          let part =
+            Metric_gen.build_part input.Input_processor.ast bridge f
+          in
+          store_part d part;
+          part)
+        probed
+    in
+    (Metric_gen.assemble ~source_name:src_name parts, None)
+  end
+  else
+    let misses = ref 0 in
+    let parts =
+      List.map
+        (fun (f, d, part) ->
+          match part with
+          | Some part -> part
+          | None ->
+              let binast = Input_processor.process_function pr f in
+              let bridge = Bridge.create binast in
+              let part =
+                Metric_gen.build_part pr.Input_processor.pr_ast bridge f
+              in
+              Atomic.incr c.c_fn_fresh;
+              incr misses;
+              store_part d part;
+              part)
+        probed
+    in
+    (Metric_gen.assemble ~source_name:src_name parts, Some !misses)
+
+let analyze_one ~level ~cache ~incremental ~limits ~faults
+    { src_name; src_text } =
   let retries = limits.Limits.retries in
   let fresh () =
     let input = Input_processor.process ~level ~source_name:src_name src_text in
@@ -328,10 +539,25 @@ let analyze_one ~level ~cache ~limits ~faults { src_name; src_text } =
                     mem_store c k p;
                     (rename p, Disk)
                 | None ->
-                    let p = fresh () in
+                    let p, tier =
+                      if incremental then
+                        let model, misses =
+                          analyze_incremental ~level ~faults ~retries c
+                            ~src_name ~src_text
+                        in
+                        ( {
+                            p_name = src_name;
+                            p_model = model;
+                            p_python = Python_emit.emit model;
+                          },
+                          match misses with
+                          | None -> Fresh
+                          | Some m -> Assembled m )
+                      else (fresh (), Fresh)
+                    in
                     mem_store c k p;
                     disk_store ~faults ~retries c k p;
-                    (p, Fresh))))
+                    (p, tier))))
   with
   | payload, tier ->
       ( Ok
@@ -340,7 +566,13 @@ let analyze_one ~level ~cache ~limits ~faults { src_name; src_text } =
             a_model = payload.p_model;
             a_python = payload.p_python;
             a_warnings = Model_ir.all_warnings payload.p_model;
-            a_cached = tier <> Fresh;
+            a_cached =
+              (match tier with
+              | Fresh -> false
+              | Mem | Disk -> true
+              (* assembled entirely from cached parts (e.g. a
+                 formatting-only edit): no re-analysis happened *)
+              | Assembled misses -> misses = 0);
           },
         tier )
   | exception e ->
@@ -352,13 +584,22 @@ let analyze_one ~level ~cache ~limits ~faults { src_name; src_text } =
 
 (* ---------- the worker pool ---------- *)
 
-let run ?(jobs = 1) ?cache ?(level = Mira_codegen.Codegen.O1)
-    ?(limits = Limits.default) ?faults sources =
+let run ?(jobs = 1) ?cache ?(incremental = true)
+    ?(level = Mira_codegen.Codegen.O1) ?(limits = Limits.default) ?faults
+    sources =
   Printexc.record_backtrace true;
   let health0 =
     match cache with
     | Some c -> cache_health c
-    | None -> { h_corrupt = 0; h_io_retries = 0; h_io_failures = 0 }
+    | None ->
+        {
+          h_corrupt = 0;
+          h_io_retries = 0;
+          h_io_failures = 0;
+          h_fn_mem_hits = 0;
+          h_fn_disk_hits = 0;
+          h_fn_fresh = 0;
+        }
   in
   let tasks = Array.of_list sources in
   let n = Array.length tasks in
@@ -367,17 +608,21 @@ let run ?(jobs = 1) ?cache ?(level = Mira_codegen.Codegen.O1)
   let analyzed = Atomic.make 0
   and mem_hits = Atomic.make 0
   and disk_hits = Atomic.make 0
+  and assembled = Atomic.make 0
   and failed = Atomic.make 0 in
   let worker () =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        let res, tier = analyze_one ~level ~cache ~limits ~faults tasks.(i) in
+        let res, tier =
+          analyze_one ~level ~cache ~incremental ~limits ~faults tasks.(i)
+        in
         (match (res, tier) with
         | Error _, _ -> Atomic.incr failed
         | Ok _, Fresh -> Atomic.incr analyzed
         | Ok _, Mem -> Atomic.incr mem_hits
-        | Ok _, Disk -> Atomic.incr disk_hits);
+        | Ok _, Disk -> Atomic.incr disk_hits
+        | Ok _, Assembled _ -> Atomic.incr assembled);
         (* slot write: the merge below replays input order, so
            scheduling cannot reorder results *)
         out.(i) <- Some res;
@@ -419,6 +664,10 @@ let run ?(jobs = 1) ?cache ?(level = Mira_codegen.Codegen.O1)
       st_cache_corrupt = health.h_corrupt - health0.h_corrupt;
       st_io_retries = health.h_io_retries - health0.h_io_retries;
       st_io_failures = health.h_io_failures - health0.h_io_failures;
+      st_assembled = Atomic.get assembled;
+      st_fn_mem_hits = health.h_fn_mem_hits - health0.h_fn_mem_hits;
+      st_fn_disk_hits = health.h_fn_disk_hits - health0.h_fn_disk_hits;
+      st_fn_analyzed = health.h_fn_fresh - health0.h_fn_fresh;
     } )
 
 (* ---------- reporting ---------- *)
@@ -446,6 +695,16 @@ let report results stats =
   pr "batch: %d source(s), %d analyzed, %d memory hit(s), %d disk hit(s), %d failed\n"
     stats.st_total stats.st_analyzed stats.st_mem_hits stats.st_disk_hits
     stats.st_failed;
+  if
+    stats.st_assembled + stats.st_fn_mem_hits + stats.st_fn_disk_hits
+    + stats.st_fn_analyzed
+    > 0
+  then
+    pr
+      "batch: function tier: %d source(s) assembled, %d memory hit(s), %d \
+       disk hit(s), %d function(s) analyzed\n"
+      stats.st_assembled stats.st_fn_mem_hits stats.st_fn_disk_hits
+      stats.st_fn_analyzed;
   if
     stats.st_budget + stats.st_injected + stats.st_cache_corrupt
     + stats.st_io_retries + stats.st_io_failures

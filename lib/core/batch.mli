@@ -55,7 +55,7 @@ type result = (analysis, string * Diag.t) Stdlib.result
 
 type stats = {
   st_total : int;  (** sources submitted *)
-  st_analyzed : int;  (** full analyses actually performed *)
+  st_analyzed : int;  (** whole-file analyses actually performed *)
   st_mem_hits : int;
   st_disk_hits : int;
   st_failed : int;
@@ -65,12 +65,24 @@ type stats = {
   st_cache_corrupt : int;  (** corrupt disk entries detected this run *)
   st_io_retries : int;  (** disk I/O attempts retried this run *)
   st_io_failures : int;  (** disk I/O given up on after retries *)
+  st_assembled : int;
+      (** sources rebuilt from the function tier (file-tier miss) *)
+  st_fn_mem_hits : int;  (** function-tier memory hits this run *)
+  st_fn_disk_hits : int;  (** function-tier disk hits this run *)
+  st_fn_analyzed : int;
+      (** functions re-analyzed in isolation this run — editing one
+          function of an N-function source costs 1 here, not N *)
 }
 
 type cache
 
 val cache_version : string
-(** Participates in every key; bump on model-format changes. *)
+(** Participates in every file-tier key; bump on model-format
+    changes. *)
+
+val fn_cache_version : string
+(** Participates in every function-tier digest; bump when
+    {!Metric_gen.part} or its serialization changes. *)
 
 val create_cache : ?capacity:int -> ?dir:string -> unit -> cache
 (** [capacity] bounds the in-memory LRU tier (default 512 entries).
@@ -82,11 +94,23 @@ type cache_health = {
   h_corrupt : int;
   h_io_retries : int;
   h_io_failures : int;
+  h_fn_mem_hits : int;
+  h_fn_disk_hits : int;
+  h_fn_fresh : int;
 }
 
 val cache_health : cache -> cache_health
-(** Cumulative robustness counters over the cache value's lifetime
-    ({!stats} reports per-run deltas of these). *)
+(** Cumulative robustness and function-tier counters over the cache
+    value's lifetime ({!stats} reports per-run deltas of these). *)
+
+val gc_disk : max_bytes:int -> cache -> int * int
+(** Size-capped eviction of the disk tier: if the directory's
+    published entries ([.model] and [.fnmodel]) exceed [max_bytes],
+    remove least-recently-used first (successful reads refresh an
+    entry's mtime) until under the cap; orphaned temporaries are swept
+    unconditionally.  Returns [(entries_removed, bytes_freed)].
+    Removals are atomic, so a concurrent reader at worst takes a
+    miss.  No-op without a disk tier. *)
 
 val key : level:Mira_codegen.Codegen.level -> string -> string
 (** The content-addressed cache key (hex digest) of a source text. *)
@@ -94,6 +118,7 @@ val key : level:Mira_codegen.Codegen.level -> string -> string
 val run :
   ?jobs:int ->
   ?cache:cache ->
+  ?incremental:bool ->
   ?level:Mira_codegen.Codegen.level ->
   ?limits:Limits.t ->
   ?faults:Faults.t ->
@@ -105,7 +130,16 @@ val run :
     deadline starts when its analysis starts).  [faults] injects a
     deterministic fault schedule — decisions depend only on
     [(seed, site, subject)], never on worker scheduling, so the set of
-    affected sources is identical at any [jobs] value. *)
+    affected sources is identical at any [jobs] value.
+
+    [incremental] (default [true], meaningful only with a cache): on a
+    file-tier miss, probe the function tier by per-function
+    {!Mira_srclang.Fingerprint} digest, re-analyze only missing
+    functions against stub-reduced compilations, and assemble the
+    model from cached + fresh parts.  The assembled output is
+    byte-identical to a cold whole-file analysis; only the stats
+    differ.  When no function hits (a brand-new source), the
+    whole-file pipeline runs once and seeds the function tier. *)
 
 val report : result list -> stats -> string
 (** Deterministic textual report of a batch run (per-source function

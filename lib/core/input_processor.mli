@@ -5,7 +5,13 @@
     Note the deliberate round-trip: Mira only ever sees the {e decoded
     object bytes}, never the compiler's in-memory program, mirroring
     the paper's setup where the binary comes from an external
-    toolchain. *)
+    toolchain.
+
+    For incremental reanalysis the pipeline splits in two: {!prepare}
+    does the cheap source-side work (parse, fold, typecheck, closure
+    fingerprint) shared by every function, after which each function
+    can be digested ({!function_digest}) and, on a cache miss,
+    compiled and disassembled in isolation ({!process_function}). *)
 
 type t = {
   source_name : string;
@@ -23,3 +29,33 @@ val process :
     Mira_codegen.Codegen.Error. *)
 
 val process_file : ?level:Mira_codegen.Codegen.level -> string -> t
+
+(** {2 Function-granular pipeline} *)
+
+type prepared = {
+  pr_source_name : string;
+  pr_source : string;
+  pr_level : Mira_codegen.Codegen.level;
+  pr_ast : Mira_srclang.Ast.program;  (** folded, typechecked *)
+  pr_closure : Mira_srclang.Fingerprint.context;
+}
+
+val prepare :
+  ?level:Mira_codegen.Codegen.level -> source_name:string -> string -> prepared
+(** Source-side half of {!process}: parse, fold, typecheck, and
+    compute the fingerprint closure.  Raises exactly what {!process}
+    raises for source-side errors. *)
+
+val process_prepared : prepared -> t
+(** Compile-side half: [process = process_prepared ∘ prepare]. *)
+
+val function_digest : prepared -> salt:string -> Mira_srclang.Ast.func -> string
+(** Content digest of one function of [pr_ast] under its closure; see
+    {!Mira_srclang.Fingerprint.func_digest}. *)
+
+val process_function : prepared -> Mira_srclang.Ast.func -> Mira_visa.Binast.t
+(** Compile just this function (all others stubbed) and return the
+    binary AST of the reduced program.  The kept function's
+    instruction stream is identical to its stream in a whole-file
+    {!process}, so a {!Bridge} over this binast yields an identical
+    {!Metric_gen.part}. *)

@@ -24,8 +24,11 @@ type tctx = {
   mutable used_domain_vars : string list;
 }
 
+(* warnings accumulate in reverse (prepend is O(1); appending made a
+   warning-heavy function quadratic) and are reversed once at the end
+   of [build_function] *)
 let warn ctx fmt =
-  Format.kasprintf (fun m -> ctx.warnings <- ctx.warnings @ [ m ]) fmt
+  Format.kasprintf (fun m -> ctx.warnings <- m :: ctx.warnings) fmt
 
 (* ---------- affine conversion ---------- *)
 
@@ -537,19 +540,42 @@ let local_free_vars (entries : Model_ir.entry list) =
   in
   s
 
+(* What one function contributes to the model, before the
+   whole-program parameter fixpoint: everything here is computable
+   from the function and its analysis closure alone, which is what
+   makes parts cacheable per function digest (see
+   {!Mira_srclang.Fingerprint}). *)
+type part = {
+  fp_name : string;  (* mangled *)
+  fp_source_params : string list;
+  fp_arity : int;
+  fp_class : string option;
+  fp_entries : Model_ir.entry list;
+  fp_warnings : string list;
+  fp_free : string list;
+      (* [local_free_vars fp_entries], precomputed: the entry lists
+         carry the multiplicity expressions, which can run to hundreds
+         of kilobytes for deep dependent nests, and the parameter
+         fixpoint at assembly must not re-walk them on every
+         incremental reanalysis *)
+  fp_update_py : string option list;
+      (* {!Python_emit.update_chunk} per entry, precomputed for the
+         same reason: emission of a cached function must splice stored
+         text, not re-render those expressions *)
+}
+
 (* Fixpoint over the call graph: a caller inherits callee model
    parameters that its call sites leave unbound. *)
-let compute_params (fns : (string * Model_ir.entry list * func) list) :
-    (string * string list) list =
+let compute_params (fns : part list) : (string * string list) list =
   let params = Hashtbl.create 16 in
   List.iter
-    (fun (name, entries, _) -> Hashtbl.replace params name (local_free_vars entries))
+    (fun p -> Hashtbl.replace params p.fp_name (S.of_list p.fp_free))
     fns;
   let changed = ref true in
   while !changed do
     changed := false;
     List.iter
-      (fun (name, entries, _) ->
+      (fun { fp_name = name; fp_entries = entries; _ } ->
         let mine = Hashtbl.find params name in
         let extra =
           List.fold_left
@@ -574,19 +600,14 @@ let compute_params (fns : (string * Model_ir.entry list * func) list) :
       fns
   done;
   List.map
-    (fun (name, _, (f : func)) ->
-      let s = Hashtbl.find params name in
+    (fun p ->
+      let s = Hashtbl.find params p.fp_name in
       (* stable order: source parameters first, then the rest sorted *)
-      let src =
-        List.filter_map
-          (fun (p : param) ->
-            if S.mem p.pname s then Some p.pname else None)
-          f.fparams
-      in
+      let src = List.filter (fun pname -> S.mem pname s) p.fp_source_params in
       let rest =
         S.elements (S.diff s (S.of_list src)) |> List.sort compare
       in
-      (name, src @ rest))
+      (p.fp_name, src @ rest))
     fns
 
 (* ---------- entry point ---------- *)
@@ -613,32 +634,43 @@ let build_function prog bridge (f : func) : Model_ir.entry list * string list =
   let rest = Bridge.claim_rest fb in
   add_update ctx ~line:f.fspan.lo.line ~label:"overhead" ~counts:rest
     ~mult:Model_ir.mult_one;
-  (List.rev ctx.entries, ctx.warnings)
+  (List.rev ctx.entries, List.rev ctx.warnings)
 
-let build ~source_name (prog : program) (bridge : Bridge.t) : Model_ir.t =
-  let fns = all_functions prog in
-  let built =
-    List.map
-      (fun f ->
-        let entries, warnings = build_function prog bridge f in
-        (mangle_func f, entries, f, warnings))
-      fns
-  in
-  let params =
-    compute_params (List.map (fun (n, e, f, _) -> (n, e, f)) built)
-  in
+let build_part (prog : program) (bridge : Bridge.t) (f : func) : part =
+  let entries, warnings = build_function prog bridge f in
+  {
+    fp_name = mangle_func f;
+    fp_source_params = List.map (fun (p : param) -> p.pname) f.fparams;
+    fp_arity = List.length f.fparams;
+    fp_class = f.fclass;
+    fp_entries = entries;
+    fp_warnings = warnings;
+    fp_free = S.elements (local_free_vars entries);
+    fp_update_py = List.map Python_emit.update_chunk entries;
+  }
+
+(* The parameter fixpoint runs at assembly time over the parts —
+   cached or fresh — so an assembled model is byte-identical to a
+   whole-file build by construction. *)
+let assemble ~source_name (parts : part list) : Model_ir.t =
+  let params = compute_params parts in
   let functions =
     List.map
-      (fun (name, entries, (f : func), warnings) ->
+      (fun p ->
         {
-          Model_ir.mf_name = name;
-          mf_source_params = List.map (fun (p : param) -> p.pname) f.fparams;
-          mf_arity = List.length f.fparams;
-          mf_class = f.fclass;
-          mf_params = List.assoc name params;
-          mf_entries = entries;
-          mf_warnings = warnings;
+          Model_ir.mf_name = p.fp_name;
+          mf_source_params = p.fp_source_params;
+          mf_arity = p.fp_arity;
+          mf_class = p.fp_class;
+          mf_params = List.assoc p.fp_name params;
+          mf_entries = p.fp_entries;
+          mf_warnings = p.fp_warnings;
+          mf_update_py = p.fp_update_py;
         })
-      built
+      parts
   in
   { Model_ir.functions; source_name }
+
+let build ~source_name (prog : program) (bridge : Bridge.t) : Model_ir.t =
+  assemble ~source_name
+    (List.map (build_part prog bridge) (all_functions prog))

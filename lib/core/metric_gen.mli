@@ -17,6 +17,38 @@
 
 exception Unsupported of string * Mira_srclang.Loc.pos
 
+type part = {
+  fp_name : string;  (** mangled: [Class::method] for methods *)
+  fp_source_params : string list;
+  fp_arity : int;
+  fp_class : string option;
+  fp_entries : Model_ir.entry list;
+  fp_warnings : string list;
+  fp_free : string list;
+      (** free model variables of [fp_entries], precomputed so the
+          assembly fixpoint never re-walks the (possibly very large)
+          multiplicity expressions *)
+  fp_update_py : string option list;
+      (** {!Python_emit.update_chunk} per entry, precomputed so
+          emission of a cache-served function splices stored text *)
+}
+(** One function's contribution to the model before the whole-program
+    parameter fixpoint.  A part depends only on the function and its
+    analysis closure (signatures, classes, externs), never on other
+    functions' bodies — which is what makes parts cacheable under a
+    {!Mira_srclang.Fingerprint} digest. *)
+
+val build_part : Mira_srclang.Ast.program -> Bridge.t -> Mira_srclang.Ast.func -> part
+(** Model one function against a bridge that contains it (whole-file
+    or reduced single-function compilation — the result is identical
+    either way). *)
+
+val assemble : source_name:string -> part list -> Model_ir.t
+(** Run the cross-function parameter fixpoint over the parts and
+    produce the model.  [assemble ~source_name (List.map (build_part
+    prog bridge) (all_functions prog))] is exactly {!build}; parts may
+    come from a cache instead and the output is byte-identical. *)
+
 val build : source_name:string -> Mira_srclang.Ast.program -> Bridge.t -> Model_ir.t
 (** Build models for every function in the program.  The AST must be
     typechecked; the bridge must come from the same program's compiled

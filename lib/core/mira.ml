@@ -12,8 +12,8 @@ let analyze_file ?level path =
   let model = Metric_gen.build ~source_name:input.source_name input.ast bridge in
   { input; model }
 
-let analyze_batch ?jobs ?cache ?level ?limits ?faults sources =
-  Batch.run ?jobs ?cache ?level ?limits ?faults
+let analyze_batch ?jobs ?cache ?incremental ?level ?limits ?faults sources =
+  Batch.run ?jobs ?cache ?incremental ?level ?limits ?faults
     (List.map
        (fun (name, text) -> { Batch.src_name = name; src_text = text })
        sources)

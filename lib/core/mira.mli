@@ -17,6 +17,7 @@ val analyze_file : ?level:Mira_codegen.Codegen.level -> string -> t
 val analyze_batch :
   ?jobs:int ->
   ?cache:Batch.cache ->
+  ?incremental:bool ->
   ?level:Mira_codegen.Codegen.level ->
   ?limits:Limits.t ->
   ?faults:Faults.t ->
@@ -24,8 +25,10 @@ val analyze_batch :
   Batch.result list * Batch.stats
 (** Analyze many [(name, source)] pairs through {!Batch}: a fixed-size
     pool of worker domains, deterministic input-order results, optional
-    content-addressed memoization, per-source {!Limits} budgets, and an
-    optional deterministic {!Faults} schedule. *)
+    content-addressed memoization (with function-granular incremental
+    reanalysis, on by default — see {!Batch.run}), per-source
+    {!Limits} budgets, and an optional deterministic {!Faults}
+    schedule. *)
 
 val counts :
   t -> fname:string -> env:(string * int) list -> (string * float) list

@@ -56,6 +56,11 @@ type fmodel = {
   mf_params : string list;  (* model parameters, in signature order *)
   mf_entries : entry list;
   mf_warnings : string list;
+  mf_update_py : string option list;
+      (* per-entry cached Python rendering, in lockstep with
+         [mf_entries]: [Some chunk] for [Update] entries (whose text
+         depends only on the entry), [None] for [Call_site] entries
+         (rendered live against the assembled model) *)
 }
 
 type t = {

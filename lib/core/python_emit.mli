@@ -18,3 +18,10 @@ val emit_function : Model_ir.t -> string -> string
 
 val python_name_of : Model_ir.t -> string -> string
 (** Mangled name -> emitted Python name. *)
+
+val update_chunk : Model_ir.entry -> string option
+(** The rendered Python of one [Update] entry ([None] for a
+    [Call_site], whose text depends on the assembled model).  Pure in
+    the entry, so {!Metric_gen.build_part} precomputes it and a
+    cache-served function is emitted by splicing stored text instead
+    of re-rendering its multiplicity expressions. *)

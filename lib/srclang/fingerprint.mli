@@ -1,0 +1,32 @@
+(** Canonical per-function digests over the folded, typechecked AST —
+    the keys of function-granular incremental reanalysis.
+
+    A function's digest covers its own structure (statements,
+    expressions, annotations, and the source {e line} of every span —
+    absolute lines appear in model entries, synthesized parameter
+    names and warnings) plus its {e analysis closure}: every function,
+    method and extern signature and every class declaration in the
+    program.  It deliberately excludes columns (instruction
+    attribution is span-relative, so whitespace edits that preserve
+    line structure change nothing) and the bodies of other functions
+    (editing one function invalidates only that function).
+
+    Two sources of invalidation follow: editing a function's own body
+    or moving it to different lines changes only its digest; changing
+    any signature, class or extern changes every digest in the file —
+    sound and cheap, at the cost of over-invalidation when an unused
+    declaration changes. *)
+
+val version : string
+(** Participates in every digest; bump on serialization changes. *)
+
+type context
+(** The serialized analysis closure of a program. *)
+
+val context_of_program : Ast.program -> context
+(** Compute the closure once per program; cheap (signatures only). *)
+
+val func_digest : context:context -> salt:string -> Ast.func -> string
+(** Hex digest of one function under the given closure.  [salt] lets
+    callers fold in external invalidators (codegen level, consumer
+    cache version). *)

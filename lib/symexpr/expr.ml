@@ -49,15 +49,32 @@ let compare_const a b =
   | Some x, Some y -> Some (Ratio.compare x y)
   | _ -> None
 
+(* Poly.t is a Map.Make tree: equal maps can have unequal internal
+   shapes, so polymorphic (=) is wrong on anything containing one.
+   Recurse structurally and compare polynomials with Poly.equal. *)
+let rec equal a b =
+  match (a, b) with
+  | P x, P y -> Poly.equal x y
+  | Add (a1, b1), Add (a2, b2)
+  | Mul (a1, b1), Mul (a2, b2)
+  | Max (a1, b1), Max (a2, b2)
+  | Min (a1, b1), Min (a2, b2) ->
+      equal a1 a2 && equal b1 b2
+  | Fdiv (a1, n1), Fdiv (a2, n2) | Cdiv (a1, n1), Cdiv (a2, n2) ->
+      n1 = n2 && equal a1 a2
+  | If (g1, a1, b1), If (g2, a2, b2) ->
+      Poly.equal g1 g2 && equal a1 a2 && equal b1 b2
+  | (P _ | Add _ | Mul _ | Max _ | Min _ | Fdiv _ | Cdiv _ | If _), _ -> false
+
 let max_ a b =
-  if a = b then a
+  if equal a b then a
   else
     match compare_const a b with
     | Some c -> if c >= 0 then a else b
     | None -> Max (a, b)
 
 let min_ a b =
-  if a = b then a
+  if equal a b then a
   else
     match compare_const a b with
     | Some c -> if c <= 0 then a else b
@@ -82,7 +99,7 @@ let cdiv a n =
 let if_ g a b =
   match Poly.to_const g with
   | Some c -> if Ratio.sign c >= 0 then a else b
-  | None -> if a = b then a else If (g, a, b)
+  | None -> if equal a b then a else If (g, a, b)
 
 let clamp0 e =
   match is_const e with
@@ -151,8 +168,6 @@ let vars e =
   in
   S.elements (go S.empty e)
 
-let equal a b = a = b
-
 let rec pp ppf = function
   | P p -> Poly.pp ppf p
   | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
@@ -166,14 +181,29 @@ let rec pp ppf = function
 
 let to_string e = Format.asprintf "%a" pp e
 
-let rec to_python = function
-  | P p -> Poly.to_python p
-  | Add (a, b) -> Printf.sprintf "(%s + %s)" (to_python a) (to_python b)
-  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (to_python a) (to_python b)
-  | Max (a, b) -> Printf.sprintf "max(%s, %s)" (to_python a) (to_python b)
-  | Min (a, b) -> Printf.sprintf "min(%s, %s)" (to_python a) (to_python b)
-  | Fdiv (a, n) -> Printf.sprintf "((%s) // %d)" (to_python a) n
-  | Cdiv (a, n) -> Printf.sprintf "(-((-(%s)) // %d))" (to_python a) n
-  | If (g, a, b) ->
-      Printf.sprintf "(%s if (%s) >= 0 else %s)" (to_python a)
-        (Poly.to_python g) (to_python b)
+(* A single shared buffer keeps rendering linear in the output size;
+   nesting sprintf calls instead re-copies every subexpression once
+   per enclosing level, which is quadratic on the deep Min/Max/If
+   towers dependent loop nests produce. *)
+let to_python e =
+  let b = Buffer.create 256 in
+  let s = Buffer.add_string b in
+  let rec go = function
+    | P p -> Poly.add_python b p
+    | Add (x, y) -> s "("; go x; s " + "; go y; s ")"
+    | Mul (x, y) -> s "("; go x; s " * "; go y; s ")"
+    | Max (x, y) -> s "max("; go x; s ", "; go y; s ")"
+    | Min (x, y) -> s "min("; go x; s ", "; go y; s ")"
+    | Fdiv (x, n) -> s "(("; go x; s (Printf.sprintf ") // %d)" n)
+    | Cdiv (x, n) -> s "(-((-("; go x; s (Printf.sprintf ")) // %d))" n)
+    | If (g, x, y) ->
+        s "(";
+        go x;
+        s " if (";
+        Poly.add_python b g;
+        s ") >= 0 else ";
+        go y;
+        s ")"
+  in
+  go e;
+  Buffer.contents b

@@ -136,18 +136,34 @@ let pp ppf p =
 
 let to_string p = Format.asprintf "%a" pp p
 
-let to_python p =
-  if is_zero p then "0"
-  else
+(* Renders straight into [b]: polynomials appear as the leaves of
+   symbolic-expression towers that can carry tens of thousands of
+   them, so the per-leaf intermediate strings of a concat-based
+   renderer dominate emission time. *)
+let add_python b p =
+  if is_zero p then Buffer.add_string b "0"
+  else begin
     let term (m, c) =
-      let pow_str (x, e) = if e = 1 then x else Printf.sprintf "%s**%d" x e in
-      let vars = List.map pow_str m in
       let n = Ratio.num c and d = Ratio.den c in
-      let parts =
-        (if n = 1 && vars <> [] then [] else [ string_of_int n ]) @ vars
-      in
-      let s = String.concat "*" parts in
-      if d = 1 then s else Printf.sprintf "%s//%d" s d
+      if n <> 1 || m = [] then Buffer.add_string b (string_of_int n);
+      List.iteri
+        (fun i (x, e) ->
+          if i > 0 || n <> 1 || m = [] then Buffer.add_char b '*';
+          Buffer.add_string b x;
+          if e <> 1 then (
+            Buffer.add_string b "**";
+            Buffer.add_string b (string_of_int e)))
+        m;
+      if d <> 1 then (
+        Buffer.add_string b "//";
+        Buffer.add_string b (string_of_int d))
+    in
+    let terms q =
+      List.iteri
+        (fun i t ->
+          if i > 0 then Buffer.add_string b " + ";
+          term t)
+        (List.rev (M.bindings q))
     in
     (* Integer-valued polynomials may have rational coefficients whose
        sum is integral; group by denominator so Python // stays exact:
@@ -155,11 +171,16 @@ let to_python p =
        common denominator. *)
     let lcm a b = a / (let rec g a b = if b = 0 then a else g b (a mod b) in g a b) * b in
     let common_den = M.fold (fun _ c d -> lcm d (Ratio.den c)) p 1 in
-    if common_den = 1 then
-      String.concat " + " (List.map term (List.rev (M.bindings p)))
-    else
-      let scaled = scale (Ratio.of_int common_den) p in
-      let inner =
-        String.concat " + " (List.map term (List.rev (M.bindings scaled)))
-      in
-      Printf.sprintf "(%s)//%d" inner common_den
+    if common_den = 1 then terms p
+    else begin
+      Buffer.add_char b '(';
+      terms (scale (Ratio.of_int common_den) p);
+      Buffer.add_string b ")//";
+      Buffer.add_string b (string_of_int common_den)
+    end
+  end
+
+let to_python p =
+  let b = Buffer.create 64 in
+  add_python b p;
+  Buffer.contents b

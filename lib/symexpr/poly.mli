@@ -63,3 +63,8 @@ val to_string : t -> string
 
 val to_python : t -> string
 (** Render as a Python expression, e.g. ["3*n**2/2 + n/2"]. *)
+
+val add_python : Buffer.t -> t -> unit
+(** [to_python] rendered straight into a buffer — polynomials are the
+    leaves of {!Expr} towers, and avoiding one intermediate string per
+    leaf keeps large-model emission linear. *)

@@ -11,177 +11,14 @@
    mismatch persists, then prints the minimal offending source.
 
    The seed is fixed (reproducible in CI); set MIRA_FUZZ_SEED to
-   explore other streams locally. *)
+   explore other streams locally.
+
+   The program IR, renderer and generator live in {!Kernelgen} (shared
+   with test_incremental). *)
+
+open Kernelgen
 
 let margin = 64 (* array slack beyond the largest generated index *)
-
-(* ---------- program IR ---------- *)
-
-type cond =
-  | Cmp of string * string * string (* var, op, affine rhs rendered *)
-  | Mod of string * int * bool (* var, modulus, equal-zero? *)
-
-type stmt =
-  | Dstmt of string (* statement over doubles a/b and scalar s *)
-  | Istmt of string (* statement over int array p and scalar t *)
-  | Callstmt of string (* helper-call statement *)
-  | Ifblk of cond * stmt list
-
-type node = Loop of loop | Body of stmt list
-and loop = { lvar : string; llo : string; lhi : string; lbody : node list }
-
-type kernel = { nodes : node list }
-
-(* ---------- rendering ---------- *)
-
-let render_cond = function
-  | Cmp (v, op, rhs) -> Printf.sprintf "%s %s %s" v op rhs
-  | Mod (v, m, eq) ->
-      Printf.sprintf "%s %% %d %s 0" v m (if eq then "==" else "!=")
-
-let rec render_stmt buf indent = function
-  | Dstmt s | Istmt s | Callstmt s ->
-      Buffer.add_string buf (indent ^ s ^ "\n")
-  | Ifblk (c, body) ->
-      Buffer.add_string buf
-        (Printf.sprintf "%sif (%s) {\n" indent (render_cond c));
-      List.iter (render_stmt buf (indent ^ "  ")) body;
-      Buffer.add_string buf (indent ^ "}\n")
-
-let rec render_node buf indent = function
-  | Body stmts -> List.iter (render_stmt buf indent) stmts
-  | Loop l ->
-      Buffer.add_string buf
-        (Printf.sprintf "%sfor (int %s = %s; %s <= %s; %s++) {\n" indent
-           l.lvar l.llo l.lvar l.lhi l.lvar);
-      List.iter (render_node buf (indent ^ "  ")) l.lbody;
-      Buffer.add_string buf (indent ^ "}\n")
-
-let helpers =
-  "double dhelper(double x, double y) {\n\
-  \  return x * 0.5 + y;\n\
-   }\n\n\
-   int ihelper(int *q, int k, int m) {\n\
-  \  int acc = 0;\n\
-  \  for (int w = 0; w < m; w++) {\n\
-  \    acc += q[k + w];\n\
-  \  }\n\
-  \  return acc;\n\
-   }\n\n"
-
-let render k =
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf helpers;
-  Buffer.add_string buf
-    "void kern(double *a, double *b, int *p, int n) {\n\
-    \  double s = 0.0;\n\
-    \  int t = 0;\n";
-  List.iter (render_node buf "  ") k.nodes;
-  Buffer.add_string buf "  a[0] = s + t;\n  p[0] = t;\n}\n";
-  Buffer.contents buf
-
-(* ---------- generation ---------- *)
-
-(* All loop variables are >= 0 by construction (lower bounds are 0, an
-   outer variable, or a nonnegative constant) and ranges are non-empty
-   as written, which is the paper's counting convention. *)
-let gen_loop rng depth_idx outers =
-  let lvar = Printf.sprintf "i%d" depth_idx in
-  match Random.State.int rng 3 with
-  | 0 -> { lvar; llo = "0"; lhi = "n - 1"; lbody = [] }
-  | 1 ->
-      (* affine dependent bounds: base off an outer variable *)
-      let base =
-        match outers with
-        | [] -> "0"
-        | vs -> List.nth vs (Random.State.int rng (List.length vs))
-      in
-      let span = Random.State.int rng 6 in
-      {
-        lvar;
-        llo = base;
-        lhi = Printf.sprintf "%s + %d" base span;
-        lbody = [];
-      }
-  | _ ->
-      let lo = Random.State.int rng 4 in
-      let hi = lo + 1 + Random.State.int rng 7 in
-      { lvar; llo = string_of_int lo; lhi = string_of_int hi; lbody = [] }
-
-let pick rng l = List.nth l (Random.State.int rng (List.length l))
-
-let gen_index rng vars =
-  let v = pick rng vars in
-  match Random.State.int rng 3 with
-  | 0 -> v
-  | 1 -> Printf.sprintf "%s + %d" v (1 + Random.State.int rng 3)
-  | _ -> (
-      match vars with
-      | [ _ ] -> v
-      | _ -> Printf.sprintf "%s + %s" v (pick rng vars))
-
-let gen_stmt rng vars =
-  let idx () = gen_index rng vars in
-  let v () = pick rng vars in
-  match Random.State.int rng 9 with
-  | 0 -> Dstmt (Printf.sprintf "s += a[%s] * 1.5;" (idx ()))
-  | 1 -> Dstmt (Printf.sprintf "a[%s] = b[%s] + s;" (idx ()) (idx ()))
-  | 2 ->
-      Dstmt
-        (Printf.sprintf "b[%s] = a[%s] - 2.0 * b[%s];" (idx ()) (idx ())
-           (idx ()))
-  | 3 -> Istmt (Printf.sprintf "p[%s] = p[%s] + %d;" (idx ()) (idx ())
-                  (1 + Random.State.int rng 4))
-  | 4 -> Istmt (Printf.sprintf "t += p[%s] + %s;" (idx ()) (v ()))
-  | 5 -> Istmt "t++;"
-  | 6 ->
-      Callstmt
-        (Printf.sprintf "s += dhelper(a[%s], b[%s]);" (idx ()) (idx ()))
-  | 7 ->
-      Callstmt
-        (Printf.sprintf "t += ihelper(p, %s, %d);" (v ())
-           (1 + Random.State.int rng 4))
-  | _ -> Dstmt (Printf.sprintf "s = s + b[%s] / 4.0;" (idx ()))
-
-let gen_cond rng vars =
-  let v () = pick rng vars in
-  match Random.State.int rng 4 with
-  | 0 -> Cmp (v (), ">", string_of_int (Random.State.int rng 6))
-  | 1 ->
-      let rhs =
-        match vars with
-        | [ _ ] -> string_of_int (Random.State.int rng 8)
-        | _ -> Printf.sprintf "%s + %d" (v ()) (Random.State.int rng 3)
-      in
-      Cmp (v (), "<=", rhs)
-  | 2 -> Mod (v (), 2 + Random.State.int rng 3, true)
-  | _ -> Mod (v (), 2 + Random.State.int rng 3, false)
-
-let gen_body rng vars =
-  let stmts = ref [] in
-  if Random.State.int rng 3 = 0 then begin
-    let inner = [ gen_stmt rng vars ] in
-    stmts := [ Ifblk (gen_cond rng vars, inner) ]
-  end;
-  for _ = 1 to 1 + Random.State.int rng 2 do
-    stmts := gen_stmt rng vars :: !stmts
-  done;
-  Body !stmts
-
-let rec gen_nest rng depth idx outers =
-  if idx = depth then gen_body rng (List.rev outers)
-  else
-    let l = gen_loop rng idx outers in
-    Loop { l with lbody = [ gen_nest rng depth (idx + 1) (l.lvar :: outers) ] }
-
-let gen_kernel rng =
-  let n_nests = 1 + Random.State.int rng 2 in
-  let nodes =
-    List.init n_nests (fun _ ->
-        let depth = 1 + Random.State.int rng 3 in
-        gen_nest rng depth 0 [])
-  in
-  { nodes }
 
 (* ---------- the oracle ---------- *)
 
