@@ -457,6 +457,9 @@ let batch_cmd =
           Printf.eprintf "error: no .mc sources found\n";
           exit exit_analysis
         end;
+        (* a size cap only makes sense with a cache, so asking for one
+           turns the cache on rather than being silently ignored *)
+        let use_cache = use_cache || cache_max_mb <> None in
         let cache =
           if use_cache then
             Some (Mira_core.Batch.create_cache ~dir:cache_dir ())
@@ -525,7 +528,7 @@ let batch_cmd =
       & info [ "cache-max-mb" ] ~docv:"MB"
           ~doc:
             "Evict least-recently-used disk-cache entries after the run \
-             until the directory is under this size.")
+             until the directory is under this size (implies $(b,--cache)).")
   in
   let no_incremental =
     Arg.(

@@ -51,8 +51,11 @@ type stats = {
 
 (* ---------- content addressing ---------- *)
 
-(* bumped from mira-batch-1: disk payloads are now checksummed *)
-let cache_version = "mira-batch-2"
+(* bumped from mira-batch-2: Model_ir.fmodel gained mf_update_py, so
+   payloads marshalled by older releases decode at the wrong type —
+   versioning the key keeps them from ever being looked up (they age
+   out under the old version via gc_disk) *)
+let cache_version = "mira-batch-3"
 
 (* the function tier versions independently of the file tier: it keys
    marshalled Metric_gen.part values, whose layout can change without
@@ -359,6 +362,15 @@ let disk_find_fn ~faults ~retries c k =
 let disk_store_fn ~faults ~retries c k p =
   disk_store_blob ~faults ~retries ~suffix:fn_suffix c k (encode_fn_payload p)
 
+(* A memory-tier hit never reads the disk copy, so refresh its mtime
+   explicitly: otherwise entries that stay hot in the LRU look cold to
+   {!gc_disk} and are evicted first, turning the next cold start into
+   a full miss. *)
+let touch_disk ~suffix c k =
+  match c.c_dir with
+  | None -> ()
+  | Some dir -> touch (disk_path ~suffix dir k)
+
 (* ---------- disk-tier eviction ---------- *)
 
 (* Size-capped GC: scan the cache directory, and if the published
@@ -442,6 +454,7 @@ let analyze_incremental ~level ~faults ~retries c ~src_name ~src_text =
           match mem_find_in c c.c_fn_mem d with
           | Some part ->
               Atomic.incr c.c_fn_mem_hits;
+              touch_disk ~suffix:fn_suffix c d;
               Some part
           | None -> (
               match disk_find_fn ~faults ~retries c d with
@@ -532,7 +545,9 @@ let analyze_one ~level ~cache ~incremental ~limits ~faults
         | None -> (fresh (), Fresh)
         | Some c -> (
             match mem_find c k with
-            | Some p -> (rename p, Mem)
+            | Some p ->
+                touch_disk ~suffix:file_suffix c k;
+                (rename p, Mem)
             | None -> (
                 match disk_find ~faults ~retries c k with
                 | Some p ->
