@@ -1,4 +1,4 @@
-.PHONY: build test ci bench bench-json clean
+.PHONY: build test ci serve-smoke bench bench-json clean
 
 build:
 	dune build @all
@@ -19,6 +19,27 @@ ci:
 	dune build @all
 	MIRA_FUZZ_SEED=20260806 QCHECK_SEED=20260806 MIRA_FAULT_SEED=20260806 \
 	  timeout --kill-after=30 $(CI_TIMEOUT) dune runtest --force
+	$(MAKE) serve-smoke
+
+# Eval-service smoke: boot the real daemon, drive one client
+# round-trip per verb, SIGTERM it and require a clean drained exit —
+# all under a hard timeout so a wedged daemon fails CI instead of
+# hanging it.
+SERVE_TIMEOUT ?= 60
+serve-smoke: build
+	timeout --kill-after=10 $(SERVE_TIMEOUT) sh -ec ' \
+	  exe=./_build/default/bin/mira.exe; \
+	  dir=$$(mktemp -d); trap "rm -rf $$dir" EXIT; \
+	  sock=$$dir/mira.sock; \
+	  $$exe corpus-dump $$dir/corpus; \
+	  $$exe serve --socket $$sock --cache --cache-dir $$dir/cache & pid=$$!; \
+	  i=0; until $$exe client ping --socket $$sock >/dev/null 2>&1; do \
+	    i=$$((i+1)); [ $$i -lt 100 ] || exit 1; sleep 0.05; done; \
+	  $$exe client analyze $$dir/corpus/saxpy.mc --socket $$sock >/dev/null; \
+	  $$exe client eval $$dir/corpus/stream.mc -f stream_triad -p n=1000 --socket $$sock; \
+	  $$exe client stats --socket $$sock; \
+	  kill -TERM $$pid; \
+	  wait $$pid'
 
 bench:
 	dune exec bench/main.exe -- --fast

@@ -594,6 +594,321 @@ let batch_cmd =
       $ no_incremental $ python $ level_arg $ timeout_ms $ fuel $ depth
       $ retries $ faults)
 
+(* ---------- serve / client ---------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "mira.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket max_inflight max_frame_bytes idle_timeout_ms drain_ms
+      use_cache cache_dir cache_max_mb no_incremental level timeout_ms fuel
+      depth retries faults =
+    handle_errors (fun () ->
+        (* a size cap only makes sense with a cache, as in `mira batch` *)
+        let use_cache = use_cache || cache_max_mb <> None in
+        let cache =
+          if use_cache then
+            Some (Mira_core.Batch.create_cache ~dir:cache_dir ())
+          else None
+        in
+        let limits =
+          {
+            Mira_core.Limits.fuel;
+            depth =
+              Option.value depth ~default:Mira_core.Limits.default.depth;
+            timeout_ms;
+            retries =
+              Option.value retries ~default:Mira_core.Limits.default.retries;
+          }
+        in
+        let cfg =
+          {
+            (Mira_core.Serve.default_config ~socket) with
+            cfg_max_inflight = max 1 max_inflight;
+            cfg_max_frame_bytes = max 1024 max_frame_bytes;
+            cfg_idle_timeout_ms = idle_timeout_ms;
+            cfg_drain_ms = drain_ms;
+            cfg_level = level;
+            cfg_limits = limits;
+            cfg_cache = cache;
+            cfg_incremental = not no_incremental;
+            cfg_faults = faults;
+          }
+        in
+        let server = Mira_core.Serve.create cfg in
+        (* graceful shutdown: drain in-flight requests, then exit 0 *)
+        List.iter
+          (fun s ->
+            Sys.set_signal s
+              (Sys.Signal_handle (fun _ -> Mira_core.Serve.stop server)))
+          [ Sys.sigterm; Sys.sigint ];
+        (* the ready line is the startup handshake scripts wait for *)
+        Printf.printf "mira serve: listening on %s\n%!" socket;
+        let stats = Mira_core.Serve.serve server in
+        (match (cache, cache_max_mb) with
+        | Some c, Some mb ->
+            ignore (Mira_core.Batch.gc_disk ~max_bytes:(mb * 1024 * 1024) c)
+        | _ -> ());
+        Printf.printf
+          "mira serve: drained; %d served, %d failed, %d shed, %d protocol \
+           error(s), in-flight high-water %d\n"
+          stats.Mira_core.Serve.sv_served stats.sv_failed stats.sv_shed
+          stats.sv_protocol_errors stats.sv_inflight_hwm)
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 8
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Connections served concurrently; beyond this, new connections \
+             are shed with an $(i,overloaded) frame (bounded memory under \
+             any offered load).")
+  in
+  let max_frame_bytes =
+    Arg.(
+      value
+      & opt int (4 * 1024 * 1024)
+      & info [ "max-frame-bytes" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request payload; bigger frames are rejected.")
+  in
+  let idle_timeout_ms =
+    Arg.(
+      value & opt int 30_000
+      & info [ "idle-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-read/write socket timeout; stalled (slow-loris) clients are \
+             disconnected.  0 disables.")
+  in
+  let drain_ms =
+    Arg.(
+      value & opt int 2_000
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:
+            "Hard deadline for the graceful drain on SIGTERM/SIGINT/shutdown.")
+  in
+  let use_cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:"Keep a content-addressed disk cache warm across requests.")
+  in
+  let cache_dir =
+    Arg.(
+      value & opt string ".mira-cache"
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"On-disk cache directory.")
+  in
+  let cache_max_mb =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cache-max-mb" ] ~docv:"MB"
+          ~doc:
+            "Evict least-recently-used disk-cache entries on shutdown until \
+             the directory is under this size (implies $(b,--cache)).")
+  in
+  let no_incremental =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:"Disable function-granular incremental reanalysis.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request wall-clock deadline; requests may tighten \
+             it but never exceed it.")
+  in
+  let fuel =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Default per-request work budget; requests may tighten it but \
+             never exceed it.")
+  in
+  let depth =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"Per-request recursion-depth cap (default 10000).")
+  in
+  let retries =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Disk-cache I/O retry attempts after the first (default 2).")
+  in
+  let faults =
+    Arg.(
+      value & opt (some faults_conv) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection, including the wire sites \
+             net_write and disconnect (testing only).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis daemon: a long-lived process serving \
+          analyze/eval/stats/ping over a Unix-domain socket, with the batch \
+          cache kept warm, per-request budgets, bounded admission, and \
+          graceful drain on SIGTERM.")
+    Term.(
+      const run $ socket_arg $ max_inflight $ max_frame_bytes
+      $ idle_timeout_ms $ drain_ms $ use_cache $ cache_dir $ cache_max_mb
+      $ no_incremental $ level_arg $ timeout_ms $ fuel $ depth $ retries
+      $ faults)
+
+let client_cmd =
+  let run socket verb file fname params fuel timeout_ms =
+    handle_errors (fun () ->
+        let budget =
+          {
+            Mira_core.Serve.rq_fuel = fuel;
+            rq_timeout_ms = timeout_ms;
+            rq_depth = None;
+          }
+        in
+        let need_file () =
+          match file with
+          | Some f -> f
+          | None ->
+              Printf.eprintf "error: %s needs a FILE argument\n" verb;
+              exit 124
+        in
+        let req =
+          match verb with
+          | "ping" -> Mira_core.Serve.Ping
+          | "stats" -> Mira_core.Serve.Stats
+          | "shutdown" -> Mira_core.Serve.Shutdown
+          | "analyze" ->
+              let f = need_file () in
+              Mira_core.Serve.Analyze
+                {
+                  an_name = Filename.basename f;
+                  an_source = read_file f;
+                  an_budget = budget;
+                }
+          | "eval" -> (
+              let f = need_file () in
+              match fname with
+              | None ->
+                  Printf.eprintf "error: eval needs -f FUNCTION\n";
+                  exit 124
+              | Some fn ->
+                  Mira_core.Serve.Eval
+                    {
+                      ev_name = Filename.basename f;
+                      ev_source = read_file f;
+                      ev_function = fn;
+                      ev_params = params;
+                      ev_budget = budget;
+                    })
+          | other ->
+              Printf.eprintf
+                "error: unknown request %S (ping, stats, analyze, eval, \
+                 shutdown)\n"
+                other;
+              exit 124
+        in
+        let fd =
+          try Mira_core.Serve.connect socket
+          with Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "error: cannot connect to %s: %s\n" socket
+              (Unix.error_message e);
+            exit exit_internal
+        in
+        let result = Mira_core.Serve.roundtrip fd req in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match result with
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            exit exit_internal
+        | Ok resp -> (
+            match resp.Mira_core.Serve.rs_status with
+            | "ok" ->
+                List.iter
+                  (fun (k, v) ->
+                    if k = "warning" then Printf.eprintf "warning: %s\n" v)
+                  resp.rs_fields;
+                if resp.rs_body <> "" then begin
+                  print_string resp.rs_body;
+                  (* eval carries its headline numbers as fields *)
+                  List.iter
+                    (fun k ->
+                      match Mira_core.Serve.field resp k with
+                      | Some v -> Printf.printf "%s=%s\n" k v
+                      | None -> ())
+                    [ "fpi"; "total" ]
+                end
+                else (
+                  match Mira_core.Serve.field resp "pong" with
+                  | Some _ -> print_endline "pong"
+                  | None -> print_endline "ok")
+            | "overloaded" ->
+                Printf.eprintf "error: server overloaded, retry later\n";
+                exit exit_budget
+            | "error" ->
+                let msg =
+                  Option.value
+                    (Mira_core.Serve.field resp "message")
+                    ~default:"unknown error"
+                in
+                Printf.eprintf "error: %s\n" msg;
+                exit
+                  (match Mira_core.Serve.field resp "code" with
+                  | Some ("budget" | "timeout") -> exit_budget
+                  | Some "internal" -> exit_internal
+                  | _ -> exit_analysis)
+            | other ->
+                Printf.eprintf "error: unknown response status %S\n" other;
+                exit exit_internal))
+  in
+  let verb =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST"
+          ~doc:"One of ping, stats, analyze, eval, shutdown.")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE" ~doc:"mini-C source (analyze and eval).")
+  in
+  let fname =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "function" ] ~docv:"FN"
+          ~doc:"Function to evaluate (mangled name).")
+  in
+  let fuel =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Tighten the request's work budget (clamped by the server's).")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Tighten the request's wall-clock deadline (clamped by the \
+             server's).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running $(b,mira serve) daemon.")
+    Term.(
+      const run $ socket_arg $ verb $ file $ fname $ params_arg $ fuel
+      $ timeout_ms)
+
 (* ---------- corpus-dump ---------- *)
 
 let corpus_dump_cmd =
@@ -626,6 +941,11 @@ let arch_cmd =
     Term.(const run $ arch_arg)
 
 let () =
+  (* process-wide: a peer disconnecting mid-write (daemon responses,
+     piped stdout) must surface as Unix_error (EPIPE, ...) on that
+     descriptor and be handled there — never terminate the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let doc = "Mira: static performance analysis for mini-C programs" in
   let info = Cmd.info "mira" ~version:"1.0.0" ~doc in
   exit
@@ -634,5 +954,5 @@ let () =
           [
             parse_cmd; dot_cmd; compile_cmd; disasm_cmd; analyze_cmd; eval_cmd;
             predict_cmd; profile_cmd; coverage_cmd; validate_cmd; batch_cmd;
-            corpus_dump_cmd; arch_cmd;
+            serve_cmd; client_cmd; corpus_dump_cmd; arch_cmd;
           ]))

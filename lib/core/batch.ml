@@ -113,6 +113,62 @@ let is_tmp_name f =
   in
   find_sub 0
 
+(* ---------- cross-process cache locking ----------
+
+   A daemon and a concurrent [mira batch] may share one cache
+   directory.  Entry publication was already safe (atomic rename,
+   checksummed payloads), but eviction was not: one process's
+   [gc_disk] or orphan sweep could delete a [*.tmp.*] file the other
+   was mid-writing, failing that writer's publish.  An advisory
+   [Unix.lockf] region lock on [.mira-cache/.lock] coordinates them:
+   writers hold it {e shared} for the brief write+rename window,
+   GC/sweep holds it {e exclusive}.  Acquisition is non-blocking with
+   a few short retries; on failure the caller degrades — GC is skipped
+   (it can run next time), a store is dropped (cold cache next run) —
+   never crashes and never blocks a batch behind another process.
+
+   POSIX record locks are per-process (and closing {e any} descriptor
+   of the lock file drops {e all} of the process's locks on it), so
+   lock-holding sections are additionally serialized on a process-wide
+   mutex: at most one section per process holds the file lock at a
+   time, which makes the close-drops-everything semantics harmless and
+   keeps in-process GC from racing in-process writers too.  Sections
+   are short — one entry's write+rename, or one GC pass. *)
+
+let lock_file_name = ".lock"
+let dir_lock_mu = Mutex.create ()
+
+let with_dir_lock ?(shared = false) dir f =
+  Mutex.lock dir_lock_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock dir_lock_mu)
+    (fun () ->
+      let path = Filename.concat dir lock_file_name in
+      match Unix.openfile path [ O_CREAT; O_RDWR; O_CLOEXEC ] 0o644 with
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+          (* cannot even create the lock file (read-only dir, …):
+             degrade *)
+          None
+      | fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let cmd = if shared then Unix.F_TRLOCK else Unix.F_TLOCK in
+              let rec acquire attempt =
+                match Unix.lockf fd cmd 0 with
+                | () -> true
+                | exception Unix.Unix_error ((EAGAIN | EACCES | EINTR), _, _)
+                  when attempt < 3 ->
+                    Unix.sleepf (0.002 *. float_of_int (1 lsl attempt));
+                    acquire (attempt + 1)
+                | exception (Unix.Unix_error _ | Sys_error _) -> false
+              in
+              if acquire 0 then
+                (* closing fd in [finally] releases the lock *)
+                Some (f ())
+              else None))
+
 let sweep_orphans dir =
   match Sys.readdir dir with
   | exception Sys_error _ -> ()
@@ -123,9 +179,14 @@ let sweep_orphans dir =
             try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
         entries
 
+(* the sweep deletes other writers' temporaries, so it needs the
+   exclusive lock; an unobtainable lock just postpones the sweep *)
+let sweep_orphans_locked dir =
+  ignore (with_dir_lock dir (fun () -> sweep_orphans dir))
+
 let create_cache ?(capacity = 512) ?dir () =
   (match dir with
-  | Some d when Sys.file_exists d -> sweep_orphans d
+  | Some d when Sys.file_exists d -> sweep_orphans_locked d
   | _ -> ());
   {
     c_lock = Mutex.create ();
@@ -248,14 +309,28 @@ let backoff_s attempt = 0.0005 *. (4.0 ** float_of_int attempt)
 (* Run [op attempt], retrying transient [Sys_error]s with bounded
    exponential backoff.  [op] receives the attempt number so fault
    injection can key on it (a retry may then succeed, exercising the
-   recovery path rather than looping on the same decision). *)
+   recovery path rather than looping on the same decision).  The
+   backoff respects the caller's wall-clock deadline: a retry sleep is
+   capped at the time remaining, and once the deadline has passed we
+   stop retrying rather than burn time the request no longer has —
+   without this, a slow disk near the deadline could make a budgeted
+   request overrun its own timeout while asleep. *)
 let with_io_retries c ~retries op =
   let rec go attempt =
     try op attempt
-    with Sys_error _ when attempt < retries ->
-      Atomic.incr c.c_retries;
-      Unix.sleepf (backoff_s attempt);
-      go (attempt + 1)
+    with Sys_error _ as e when attempt < retries -> (
+      match Limits.Budget.time_left_s () with
+      | Some left when left <= 0.0 -> raise e
+      | left ->
+          Atomic.incr c.c_retries;
+          let pause = backoff_s attempt in
+          let pause =
+            match left with
+            | Some l -> Float.min pause l
+            | None -> pause
+          in
+          Unix.sleepf pause;
+          go (attempt + 1))
   in
   go 0
 
@@ -323,26 +398,29 @@ let disk_store_blob ~faults ~retries ~suffix c k full =
         disk_path ~suffix dir
           (Printf.sprintf "%s.tmp.%d" k (Domain.self () :> int))
       in
+      if not (Sys.file_exists dir) then begin
+        try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+      end;
+      (* hold the directory lock (shared) for the write+rename window
+         so a concurrent process's GC cannot sweep [tmp] from under
+         us; an unobtainable lock degrades to skipping the store *)
       match
-        with_io_retries c ~retries (fun attempt ->
-            if not (Sys.file_exists dir) then begin
-              try Sys.mkdir dir 0o755
-              with Sys_error _ when Sys.file_exists dir -> ()
-            end;
-            inject_io faults
-              ~p:(fun f -> f.Faults.write_p)
-              ~site:"disk_write" ~subject:k ~attempt;
-            let oc = open_out_bin tmp in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () -> output_string oc data);
-            inject_io faults
-              ~p:(fun f -> f.Faults.rename_p)
-              ~site:"rename" ~subject:k ~attempt;
-            Sys.rename tmp (disk_path ~suffix dir k))
+        with_dir_lock ~shared:true dir (fun () ->
+            with_io_retries c ~retries (fun attempt ->
+                inject_io faults
+                  ~p:(fun f -> f.Faults.write_p)
+                  ~site:"disk_write" ~subject:k ~attempt;
+                let oc = open_out_bin tmp in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> output_string oc data);
+                inject_io faults
+                  ~p:(fun f -> f.Faults.rename_p)
+                  ~site:"rename" ~subject:k ~attempt;
+                Sys.rename tmp (disk_path ~suffix dir k)))
       with
-      | () -> ()
-      | exception Sys_error _ ->
+      | Some () -> ()
+      | None | (exception Sys_error _) ->
           (* a cold cache next time, never a failed batch; don't leave
              the orphan behind (the next create_cache would sweep it,
              but be tidy) *)
@@ -377,8 +455,12 @@ let touch_disk ~suffix c k =
    entries exceed [max_bytes], remove oldest-mtime-first (reads touch
    mtime, so this is LRU) until under the cap.  Removals are atomic
    ([Sys.remove]); a concurrently vanishing file is tolerated.  Orphan
-   temporaries are swept too, as in [create_cache]. *)
-let gc_disk ~max_bytes c =
+   temporaries are swept too, as in [create_cache].  The whole pass
+   runs under the exclusive directory lock so it cannot sweep a
+   temporary another process is about to publish; when the lock is
+   busy the pass is skipped — eviction is best-effort housekeeping,
+   and the next run will do it. *)
+let gc_disk_unlocked ~max_bytes c =
   match c.c_dir with
   | None -> (0, 0)
   | Some dir -> (
@@ -422,6 +504,14 @@ let gc_disk ~max_bytes c =
                   | exception Sys_error _ -> ())
               files;
             (!removed, !freed))
+
+let gc_disk ~max_bytes c =
+  match c.c_dir with
+  | None -> (0, 0)
+  | Some dir -> (
+      match with_dir_lock dir (fun () -> gc_disk_unlocked ~max_bytes c) with
+      | Some r -> r
+      | None -> (0, 0))
 
 (* ---------- one task ---------- *)
 

@@ -88,7 +88,19 @@ val create_cache : ?capacity:int -> ?dir:string -> unit -> cache
 (** [capacity] bounds the in-memory LRU tier (default 512 entries).
     [dir] enables the on-disk tier; it is created on first write, and
     orphaned [*.tmp.*] files from interrupted writers are swept from an
-    existing directory now. *)
+    existing directory now (under the directory lock — see
+    {!lock_file_name}). *)
+
+val lock_file_name : string
+(** Name of the advisory lock file ([".lock"]) kept inside a disk
+    cache directory.  Writers hold a shared [Unix.lockf] lock on it
+    for the write+rename window of each entry; {!gc_disk} and the
+    orphan sweep hold it exclusively, so two processes sharing one
+    cache directory (a daemon and a concurrent [mira batch], say)
+    cannot evict or sweep what the other is mid-writing.  Acquisition
+    is always non-blocking with bounded retry; failure degrades —
+    GC is skipped, a store is dropped — and never blocks or crashes
+    a run. *)
 
 type cache_health = {
   h_corrupt : int;
@@ -110,7 +122,9 @@ val gc_disk : max_bytes:int -> cache -> int * int
     entry's mtime) until under the cap; orphaned temporaries are swept
     unconditionally.  Returns [(entries_removed, bytes_freed)].
     Removals are atomic, so a concurrent reader at worst takes a
-    miss.  No-op without a disk tier. *)
+    miss.  The pass runs under the exclusive directory lock
+    ({!lock_file_name}); if another process holds it the pass is
+    skipped and [(0, 0)] is returned.  No-op without a disk tier. *)
 
 val key : level:Mira_codegen.Codegen.level -> string -> string
 (** The content-addressed cache key (hex digest) of a source text. *)

@@ -7,6 +7,8 @@ type t = {
   worker_p : float;
   slow_p : float;
   slow_ms : int;
+  net_write_p : float;
+  disconnect_p : float;
 }
 
 exception Injected of string
@@ -21,6 +23,8 @@ let none =
     worker_p = 0.0;
     slow_p = 0.0;
     slow_ms = 0;
+    net_write_p = 0.0;
+    disconnect_p = 0.0;
   }
 
 let parse spec =
@@ -59,6 +63,10 @@ let parse spec =
             | "slow" -> Result.map (fun p -> { t with slow_p = p }) (parse_p k v)
             | "slow_ms" ->
                 Result.map (fun n -> { t with slow_ms = n }) (parse_int k v)
+            | "net_write" ->
+                Result.map (fun p -> { t with net_write_p = p }) (parse_p k v)
+            | "disconnect" ->
+                Result.map (fun p -> { t with disconnect_p = p }) (parse_p k v)
             | _ -> Error (Printf.sprintf "unknown fault key %S" k)))
   in
   match String.trim spec with
@@ -68,6 +76,8 @@ let parse spec =
 let to_string t =
   let parts = ref [] in
   let add k v = if v > 0.0 then parts := Printf.sprintf "%s=%g" k v :: !parts in
+  add "disconnect" t.disconnect_p;
+  add "net_write" t.net_write_p;
   add "slow" t.slow_p;
   if t.slow_ms > 0 then parts := Printf.sprintf "slow_ms=%d" t.slow_ms :: !parts;
   add "worker" t.worker_p;

@@ -11,10 +11,19 @@
 
     Spec grammar (comma-separated [key=value]):
 
-    {v seed=INT read=P write=P rename=P corrupt=P worker=P slow=P slow_ms=INT v}
+    {v seed=INT read=P write=P rename=P corrupt=P worker=P slow=P slow_ms=INT
+       net_write=P disconnect=P v}
 
     where [P] is a probability in [0..1].  Example:
-    [--faults seed=42,read=0.3,corrupt=0.2,worker=0.1]. *)
+    [--faults seed=42,read=0.3,corrupt=0.2,worker=0.1].
+
+    The [net_write] and [disconnect] sites live in the {!Serve} wire
+    layer: a firing [net_write] truncates a socket write mid-frame (a
+    dropped/short write), a firing [disconnect] closes the connection
+    mid-frame instead of completing it, and [slow] in that layer
+    stalls [slow_ms] between the frame header and its payload (a slow
+    client).  They let one spec drive both the disk-cache and the
+    network fault schedules. *)
 
 type t = {
   seed : int;
@@ -25,6 +34,10 @@ type t = {
   worker_p : float;  (** raise {!Injected} in the worker for a source *)
   slow_p : float;  (** sleep [slow_ms] in the worker for a source *)
   slow_ms : int;
+  net_write_p : float;
+      (** truncate a {!Serve} frame write (short write, then EOF) *)
+  disconnect_p : float;
+      (** drop a {!Serve} connection mid-frame instead of finishing *)
 }
 
 exception Injected of string

@@ -1,0 +1,891 @@
+(* The analysis daemon.  Layering, bottom up:
+
+   - frame I/O: length-prefixed, versioned, checksummed frames over a
+     file descriptor, with fault-injection sites on the write path;
+   - payload codec: a tiny line-oriented grammar shared by requests
+     and responses;
+   - the server: an accept loop in the calling thread, one thread per
+     admitted connection, bounded admission with load shedding, and a
+     graceful drain on stop.
+
+   Robustness stance: everything a client can send is untrusted.
+   Frame errors are classified; whatever still has a trustworthy
+   frame boundary is answered with an error frame and the connection
+   continues, anything past a lost boundary closes the connection —
+   and in neither case does the accept loop notice. *)
+
+type config = {
+  cfg_socket : string;
+  cfg_max_inflight : int;
+  cfg_max_frame_bytes : int;
+  cfg_idle_timeout_ms : int;
+  cfg_drain_ms : int;
+  cfg_level : Mira_codegen.Codegen.level;
+  cfg_limits : Limits.t;
+  cfg_cache : Batch.cache option;
+  cfg_incremental : bool;
+  cfg_faults : Faults.t option;
+}
+
+let default_config ~socket =
+  {
+    cfg_socket = socket;
+    cfg_max_inflight = 8;
+    cfg_max_frame_bytes = 4 * 1024 * 1024;
+    cfg_idle_timeout_ms = 30_000;
+    cfg_drain_ms = 2_000;
+    cfg_level = Mira_codegen.Codegen.O1;
+    cfg_limits = Limits.default;
+    cfg_cache = None;
+    cfg_incremental = true;
+    cfg_faults = None;
+  }
+
+(* ---------- frame layer ---------- *)
+
+let magic = "MIRS1\n"
+let digest_len = 16
+let header_len = String.length magic + 4
+
+type frame_error =
+  | Closed
+  | Truncated
+  | Bad_magic
+  | Oversized of int
+  | Bad_checksum
+  | Timed_out
+
+let frame_error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated -> "truncated frame"
+  | Bad_magic -> "bad frame magic"
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes declared)" n
+  | Bad_checksum -> "frame checksum mismatch"
+  | Timed_out -> "socket timeout"
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.unsafe_to_string b
+
+let of_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+(* [read_exact fd n]: all [n] bytes, or how the stream ended.  EINTR
+   restarts; EAGAIN/EWOULDBLOCK is the SO_RCVTIMEO idle timeout; a
+   reset peer reads as EOF. *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then `Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> `Eof off
+      | r -> go (off + r)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> `Timeout
+      | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> `Eof off
+  in
+  go 0
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | r -> go (off + r)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+let frame payload =
+  magic ^ be32 (String.length payload) ^ Digest.string payload ^ payload
+
+let write_frame ?faults fd payload =
+  let data = frame payload in
+  let subject = Digest.to_hex (Digest.string payload) in
+  let fires p site =
+    match faults with
+    | Some f -> Faults.fires f ~p:(p f) ~site ~subject
+    | None -> false
+  in
+  if fires (fun f -> f.Faults.disconnect_p) "net_disconnect" then begin
+    (* the peer vanishes mid-frame: half a frame, then a hard close *)
+    write_all fd (String.sub data 0 (String.length data / 2));
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    raise (Faults.Injected "net_disconnect")
+  end
+  else if fires (fun f -> f.Faults.net_write_p) "net_write" then begin
+    (* a dropped/short write: the frame just stops *)
+    write_all fd (String.sub data 0 (String.length data / 2));
+    raise (Faults.Injected "net_write")
+  end
+  else if
+    (match faults with Some f -> f.Faults.slow_ms > 0 | None -> false)
+    && fires (fun f -> f.Faults.slow_p) "net_slow"
+  then begin
+    (* a slow peer: the header arrives, the payload dribbles in later *)
+    write_all fd (String.sub data 0 header_len);
+    (match faults with
+    | Some f -> Unix.sleepf (float_of_int f.Faults.slow_ms /. 1000.0)
+    | None -> ());
+    write_all fd
+      (String.sub data header_len (String.length data - header_len))
+  end
+  else write_all fd data
+
+let read_frame ?(max_bytes = 4 * 1024 * 1024) fd =
+  match read_exact fd header_len with
+  | `Timeout -> Error Timed_out
+  | `Eof 0 -> Error Closed
+  | `Eof _ -> Error Truncated
+  | `Ok header ->
+      if String.sub header 0 (String.length magic) <> magic then
+        Error Bad_magic
+      else
+        let len = of_be32 header (String.length magic) in
+        if len > max_bytes then Error (Oversized len)
+        else (
+          match read_exact fd (digest_len + len) with
+          | `Timeout -> Error Timed_out
+          | `Eof _ -> Error Truncated
+          | `Ok rest ->
+              let digest = String.sub rest 0 digest_len in
+              let payload =
+                String.sub rest digest_len (String.length rest - digest_len)
+              in
+              if Digest.string payload <> digest then Error Bad_checksum
+              else Ok payload)
+
+(* ---------- payload codec ---------- *)
+
+let proto = "mira/1"
+
+(* field values travel on one line; whatever they came from, newlines
+   must not let a value forge extra fields *)
+let sanitize v =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) v
+
+let encode_payload ~head ~fields ~body =
+  let buf = Buffer.create (128 + String.length body) in
+  Buffer.add_string buf proto;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf head;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (sanitize v))
+    fields;
+  Buffer.add_string buf "\n\n";
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_payload s =
+  let header, body =
+    match find_sub s "\n\n" with
+    | Some i ->
+        (String.sub s 0 i, String.sub s (i + 2) (String.length s - i - 2))
+    | None -> (s, "")
+  in
+  match String.split_on_char '\n' header with
+  | [] -> Error "empty payload"
+  | head :: field_lines -> (
+      match String.index_opt head ' ' with
+      | None -> Error "malformed head line"
+      | Some sp ->
+          let version = String.sub head 0 sp in
+          if version <> proto then
+            Error (Printf.sprintf "unsupported protocol version %S" version)
+          else
+            let verb =
+              String.sub head (sp + 1) (String.length head - sp - 1)
+            in
+            if verb = "" then Error "missing verb"
+            else
+              let rec fields acc = function
+                | [] -> Ok (List.rev acc)
+                | "" :: _ -> Error "blank line inside header"
+                | line :: rest -> (
+                    match String.index_opt line '=' with
+                    | None ->
+                        Error
+                          (Printf.sprintf "malformed field line %S" line)
+                    | Some i ->
+                        let k = String.sub line 0 i in
+                        let v =
+                          String.sub line (i + 1)
+                            (String.length line - i - 1)
+                        in
+                        fields ((k, v) :: acc) rest)
+              in
+              Result.map (fun fs -> (verb, fs, body)) (fields [] field_lines))
+
+(* ---------- requests ---------- *)
+
+type budget_request = {
+  rq_fuel : int option;
+  rq_timeout_ms : int option;
+  rq_depth : int option;
+}
+
+let no_budget = { rq_fuel = None; rq_timeout_ms = None; rq_depth = None }
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Analyze of {
+      an_name : string;
+      an_source : string;
+      an_budget : budget_request;
+    }
+  | Eval of {
+      ev_name : string;
+      ev_source : string;
+      ev_function : string;
+      ev_params : (string * int) list;
+      ev_budget : budget_request;
+    }
+
+let budget_fields b =
+  let opt k = function
+    | Some n -> [ (k, string_of_int n) ]
+    | None -> []
+  in
+  opt "fuel" b.rq_fuel @ opt "timeout-ms" b.rq_timeout_ms
+  @ opt "depth" b.rq_depth
+
+let encode_request = function
+  | Ping -> encode_payload ~head:"ping" ~fields:[] ~body:""
+  | Stats -> encode_payload ~head:"stats" ~fields:[] ~body:""
+  | Shutdown -> encode_payload ~head:"shutdown" ~fields:[] ~body:""
+  | Analyze { an_name; an_source; an_budget } ->
+      encode_payload ~head:"analyze"
+        ~fields:(("name", an_name) :: budget_fields an_budget)
+        ~body:an_source
+  | Eval { ev_name; ev_source; ev_function; ev_params; ev_budget } ->
+      encode_payload ~head:"eval"
+        ~fields:
+          ([ ("name", ev_name); ("function", ev_function) ]
+          @ List.map
+              (fun (k, v) -> ("param", Printf.sprintf "%s=%d" k v))
+              ev_params
+          @ budget_fields ev_budget)
+        ~body:ev_source
+
+let parse_request payload =
+  let ( let* ) = Result.bind in
+  let* verb, fields, body = parse_payload payload in
+  let field k = List.assoc_opt k fields in
+  let int_field k =
+    match field k with
+    | None -> Ok None
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> Ok (Some n)
+        | _ -> Error (Printf.sprintf "field %s: expected an integer, got %S" k v))
+  in
+  let budget () =
+    let* fuel = int_field "fuel" in
+    let* timeout_ms = int_field "timeout-ms" in
+    let* depth = int_field "depth" in
+    Ok { rq_fuel = fuel; rq_timeout_ms = timeout_ms; rq_depth = depth }
+  in
+  let name () = Option.value (field "name") ~default:"request.mc" in
+  match verb with
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | "analyze" ->
+      let* b = budget () in
+      Ok (Analyze { an_name = name (); an_source = body; an_budget = b })
+  | "eval" -> (
+      let* b = budget () in
+      match field "function" with
+      | None -> Error "eval needs a function= field"
+      | Some fn ->
+          let* params =
+            List.fold_left
+              (fun acc (k, v) ->
+                let* acc = acc in
+                if k <> "param" then Ok acc
+                else
+                  match String.index_opt v '=' with
+                  | None ->
+                      Error
+                        (Printf.sprintf "param %S: expected name=value" v)
+                  | Some i -> (
+                      let pk = String.sub v 0 i in
+                      let pv =
+                        String.sub v (i + 1) (String.length v - i - 1)
+                      in
+                      match int_of_string_opt pv with
+                      | Some n -> Ok ((pk, n) :: acc)
+                      | None ->
+                          Error
+                            (Printf.sprintf "param %s: %S is not an integer"
+                               pk pv)))
+              (Ok []) fields
+          in
+          Ok
+            (Eval
+               {
+                 ev_name = name ();
+                 ev_source = body;
+                 ev_function = fn;
+                 ev_params = List.rev params;
+                 ev_budget = b;
+               }))
+  | v -> Error (Printf.sprintf "unknown request verb %S" v)
+
+(* ---------- responses ---------- *)
+
+type response = {
+  rs_status : string;
+  rs_fields : (string * string) list;
+  rs_body : string;
+}
+
+let encode_response r =
+  encode_payload ~head:r.rs_status ~fields:r.rs_fields ~body:r.rs_body
+
+let parse_response payload =
+  Result.map
+    (fun (status, fields, body) ->
+      { rs_status = status; rs_fields = fields; rs_body = body })
+    (parse_payload payload)
+
+let field r k = List.assoc_opt k r.rs_fields
+
+let ok ?(fields = []) ?(body = "") () =
+  { rs_status = "ok"; rs_fields = fields; rs_body = body }
+
+let error_response ~code ?(fields = []) message =
+  {
+    rs_status = "error";
+    rs_fields = (("code", code) :: ("message", message) :: fields);
+    rs_body = "";
+  }
+
+let overloaded_response =
+  {
+    rs_status = "overloaded";
+    rs_fields = [ ("retry", "1") ];
+    rs_body = "";
+  }
+
+let diag_code (d : Diag.t) =
+  match d.d_kind with
+  | Diag.User_error -> "analysis"
+  | Diag.Budget_exhausted -> "budget"
+  | Diag.Timeout -> "timeout"
+  | Diag.Io_error -> "io"
+  | Diag.Cache_corrupt -> "cache"
+  | Diag.Injected_fault -> "injected"
+  | Diag.Internal_error -> "internal"
+
+let diag_response (d : Diag.t) =
+  error_response ~code:(diag_code d)
+    ~fields:
+      [
+        ("phase", Diag.phase_to_string d.d_phase);
+        ("kind", Diag.kind_to_string d.d_kind);
+      ]
+    (Diag.to_string d)
+
+(* ---------- server stats ---------- *)
+
+type server_stats = {
+  sv_uptime_ms : int;
+  sv_served : int;
+  sv_failed : int;
+  sv_shed : int;
+  sv_protocol_errors : int;
+  sv_inflight : int;
+  sv_inflight_hwm : int;
+  sv_analyzed : int;
+  sv_mem_hits : int;
+  sv_disk_hits : int;
+  sv_assembled : int;
+  sv_fn_mem_hits : int;
+  sv_fn_disk_hits : int;
+  sv_fn_analyzed : int;
+  sv_cache_corrupt : int;
+  sv_io_retries : int;
+  sv_io_failures : int;
+}
+
+let stats_fields s =
+  [
+    ("uptime-ms", string_of_int s.sv_uptime_ms);
+    ("served", string_of_int s.sv_served);
+    ("failed", string_of_int s.sv_failed);
+    ("shed", string_of_int s.sv_shed);
+    ("protocol-errors", string_of_int s.sv_protocol_errors);
+    ("inflight", string_of_int s.sv_inflight);
+    ("inflight-hwm", string_of_int s.sv_inflight_hwm);
+    ("analyzed", string_of_int s.sv_analyzed);
+    ("mem-hits", string_of_int s.sv_mem_hits);
+    ("disk-hits", string_of_int s.sv_disk_hits);
+    ("assembled", string_of_int s.sv_assembled);
+    ("fn-mem-hits", string_of_int s.sv_fn_mem_hits);
+    ("fn-disk-hits", string_of_int s.sv_fn_disk_hits);
+    ("fn-analyzed", string_of_int s.sv_fn_analyzed);
+    ("cache-corrupt", string_of_int s.sv_cache_corrupt);
+    ("io-retries", string_of_int s.sv_io_retries);
+    ("io-failures", string_of_int s.sv_io_failures);
+  ]
+
+(* ---------- the server ---------- *)
+
+type t = {
+  t_cfg : config;
+  t_listen : Unix.file_descr;
+  t_stop_r : Unix.file_descr;
+  t_stop_w : Unix.file_descr;
+  t_stopping : bool Atomic.t;
+  t_start : float;
+  t_inflight : int Atomic.t;
+  t_hwm : int Atomic.t;
+  t_served : int Atomic.t;
+  t_failed : int Atomic.t;
+  t_shed : int Atomic.t;
+  t_proto_err : int Atomic.t;
+  (* accumulated Batch.stats over served requests *)
+  t_batch_mu : Mutex.t;
+  mutable t_batch : Batch.stats option;
+  (* live connections, so the drain can force-close stragglers *)
+  t_conns_mu : Mutex.t;
+  t_conns : (Unix.file_descr, unit) Hashtbl.t;
+}
+
+let add_batch_stats t (s : Batch.stats) =
+  Mutex.lock t.t_batch_mu;
+  (t.t_batch <-
+    (match t.t_batch with
+    | None -> Some s
+    | Some a ->
+        Some
+          {
+            a with
+            Batch.st_analyzed = a.Batch.st_analyzed + s.Batch.st_analyzed;
+            st_mem_hits = a.st_mem_hits + s.Batch.st_mem_hits;
+            st_disk_hits = a.st_disk_hits + s.Batch.st_disk_hits;
+            st_assembled = a.st_assembled + s.Batch.st_assembled;
+            st_fn_mem_hits = a.st_fn_mem_hits + s.Batch.st_fn_mem_hits;
+            st_fn_disk_hits = a.st_fn_disk_hits + s.Batch.st_fn_disk_hits;
+            st_fn_analyzed = a.st_fn_analyzed + s.Batch.st_fn_analyzed;
+            st_cache_corrupt = a.st_cache_corrupt + s.Batch.st_cache_corrupt;
+            st_io_retries = a.st_io_retries + s.Batch.st_io_retries;
+            st_io_failures = a.st_io_failures + s.Batch.st_io_failures;
+          }));
+  Mutex.unlock t.t_batch_mu
+
+let stats t =
+  let b =
+    Mutex.lock t.t_batch_mu;
+    let b = t.t_batch in
+    Mutex.unlock t.t_batch_mu;
+    b
+  in
+  let bf f = match b with None -> 0 | Some s -> f s in
+  {
+    sv_uptime_ms =
+      int_of_float ((Unix.gettimeofday () -. t.t_start) *. 1000.0);
+    sv_served = Atomic.get t.t_served;
+    sv_failed = Atomic.get t.t_failed;
+    sv_shed = Atomic.get t.t_shed;
+    sv_protocol_errors = Atomic.get t.t_proto_err;
+    sv_inflight = Atomic.get t.t_inflight;
+    sv_inflight_hwm = Atomic.get t.t_hwm;
+    sv_analyzed = bf (fun s -> s.Batch.st_analyzed);
+    sv_mem_hits = bf (fun s -> s.Batch.st_mem_hits);
+    sv_disk_hits = bf (fun s -> s.Batch.st_disk_hits);
+    sv_assembled = bf (fun s -> s.Batch.st_assembled);
+    sv_fn_mem_hits = bf (fun s -> s.Batch.st_fn_mem_hits);
+    sv_fn_disk_hits = bf (fun s -> s.Batch.st_fn_disk_hits);
+    sv_fn_analyzed = bf (fun s -> s.Batch.st_fn_analyzed);
+    sv_cache_corrupt = bf (fun s -> s.Batch.st_cache_corrupt);
+    sv_io_retries = bf (fun s -> s.Batch.st_io_retries);
+    sv_io_failures = bf (fun s -> s.Batch.st_io_failures);
+  }
+
+let create cfg =
+  (* a client that disconnects mid-response must surface as EPIPE on
+     that connection, never as a process-killing signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let path = cfg.cfg_socket in
+  if Sys.file_exists path then begin
+    (match (Unix.stat path).Unix.st_kind with
+    | Unix.S_SOCK -> ()
+    | _ -> failwith (path ^ ": exists and is not a socket"));
+    (* stale socket from a dead daemon, or a live one?  probe it *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () ->
+        Unix.close probe;
+        failwith (path ^ ": a daemon is already serving this socket")
+    | exception Unix.Unix_error _ ->
+        Unix.close probe;
+        (try Unix.unlink path with Unix.Unix_error _ -> ()))
+  end;
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.bind listen (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception e ->
+      Unix.close listen;
+      raise e);
+  Unix.listen listen 64;
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock stop_w;
+  {
+    t_cfg = cfg;
+    t_listen = listen;
+    t_stop_r = stop_r;
+    t_stop_w = stop_w;
+    t_stopping = Atomic.make false;
+    t_start = Unix.gettimeofday ();
+    t_inflight = Atomic.make 0;
+    t_hwm = Atomic.make 0;
+    t_served = Atomic.make 0;
+    t_failed = Atomic.make 0;
+    t_shed = Atomic.make 0;
+    t_proto_err = Atomic.make 0;
+    t_batch_mu = Mutex.create ();
+    t_batch = None;
+    t_conns_mu = Mutex.create ();
+    t_conns = Hashtbl.create 16;
+  }
+
+let stop t =
+  if not (Atomic.exchange t.t_stopping true) then
+    (* wake the accept loop; if the pipe is gone the loop already
+       exited, which is fine *)
+    try ignore (Unix.write t.t_stop_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+(* ---------- request handling ---------- *)
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+(* the server's limits are a ceiling: a request can tighten its own
+   budget but never exceed the operator's *)
+let clamp_limits (server : Limits.t) (rq : budget_request) =
+  {
+    Limits.fuel = min_opt server.Limits.fuel rq.rq_fuel;
+    depth =
+      (match rq.rq_depth with
+      | Some d -> min server.Limits.depth d
+      | None -> server.Limits.depth);
+    timeout_ms = min_opt server.Limits.timeout_ms rq.rq_timeout_ms;
+    retries = server.Limits.retries;
+  }
+
+let analyze_source t ~name ~source ~budget =
+  let cfg = t.t_cfg in
+  let limits = clamp_limits cfg.cfg_limits budget in
+  let results, stats =
+    Batch.run ~jobs:1 ?cache:cfg.cfg_cache ~incremental:cfg.cfg_incremental
+      ~level:cfg.cfg_level ~limits ?faults:cfg.cfg_faults
+      [ { Batch.src_name = name; src_text = source } ]
+  in
+  add_batch_stats t stats;
+  match results with
+  | [ Ok a ] -> Ok (a, limits)
+  | [ Error (_, d) ] -> Error d
+  | _ ->
+      Error
+        (Diag.make Diag.Driver Diag.Internal_error
+           "batch returned an unexpected result shape")
+
+let float_field v = Printf.sprintf "%.12g" v
+
+let handle_analyze t ~name ~source ~budget =
+  match analyze_source t ~name ~source ~budget with
+  | Error d -> diag_response d
+  | Ok ((a : Batch.analysis), _) ->
+      ok
+        ~fields:
+          ([
+             ("name", a.a_name);
+             ( "functions",
+               string_of_int (List.length a.a_model.Model_ir.functions) );
+             ("cached", if a.a_cached then "1" else "0");
+           ]
+          @ List.map
+              (fun (f, w) -> ("warning", f ^ ": " ^ w))
+              a.a_warnings)
+        ~body:a.a_python ()
+
+let handle_eval t ~name ~source ~fname ~params ~budget =
+  match analyze_source t ~name ~source ~budget with
+  | Error d -> diag_response d
+  | Ok ((a : Batch.analysis), limits) -> (
+      (* model evaluation recurses over untrusted structure too; give
+         it the same budget the analysis ran under *)
+      match
+        Limits.Budget.install (Limits.budget limits) (fun () ->
+            Model_eval.eval a.a_model ~fname ~env:params)
+      with
+      | counts ->
+          let buf = Buffer.create 256 in
+          List.iter
+            (fun (mn, v) ->
+              Buffer.add_string buf mn;
+              Buffer.add_char buf '=';
+              Buffer.add_string buf (float_field v);
+              Buffer.add_char buf '\n')
+            counts;
+          ok
+            ~fields:
+              [
+                ("name", a.a_name);
+                ("function", fname);
+                ("fpi", float_field (Model_eval.fpi counts));
+                ("total", float_field (Model_eval.total counts));
+                ("cached", if a.a_cached then "1" else "0");
+              ]
+            ~body:(Buffer.contents buf) ()
+      | exception Model_eval.Missing_parameter (f, p) ->
+          error_response ~code:"bad-request"
+            (Printf.sprintf "function %s needs a value for parameter %s" f p)
+      | exception Invalid_argument m ->
+          error_response ~code:"bad-request" m
+      | exception e -> diag_response (Diag.of_exn e))
+
+(* returns the response plus whether the connection should go on *)
+let handle_request t req =
+  match req with
+  | Ping -> (ok ~fields:[ ("pong", "1") ] (), `Continue)
+  | Stats ->
+      let s = stats t in
+      let body =
+        String.concat ""
+          (List.map (fun (k, v) -> k ^ "=" ^ v ^ "\n") (stats_fields s))
+      in
+      (ok ~body (), `Continue)
+  | Shutdown ->
+      (ok ~fields:[ ("stopping", "1") ] (), `Stop)
+  | Analyze { an_name; an_source; an_budget } ->
+      ( handle_analyze t ~name:an_name ~source:an_source ~budget:an_budget,
+        `Continue )
+  | Eval { ev_name; ev_source; ev_function; ev_params; ev_budget } ->
+      ( handle_eval t ~name:ev_name ~source:ev_source ~fname:ev_function
+          ~params:ev_params ~budget:ev_budget,
+        `Continue )
+
+(* ---------- connections ---------- *)
+
+let register_conn t fd =
+  Mutex.lock t.t_conns_mu;
+  Hashtbl.replace t.t_conns fd ();
+  Mutex.unlock t.t_conns_mu
+
+let unregister_conn t fd =
+  Mutex.lock t.t_conns_mu;
+  Hashtbl.remove t.t_conns fd;
+  Mutex.unlock t.t_conns_mu
+
+(* best-effort response write: a vanished or wedged client is its own
+   problem; [false] means the connection is no longer usable *)
+let send_response t fd resp =
+  match write_frame ?faults:t.t_cfg.cfg_faults fd (encode_response resp) with
+  | () -> true
+  | exception Unix.Unix_error ((EPIPE | ECONNRESET | EAGAIN | EWOULDBLOCK), _, _)
+    ->
+      false
+  | exception Faults.Injected _ -> false
+
+let handle_connection t fd =
+  let cfg = t.t_cfg in
+  if cfg.cfg_idle_timeout_ms > 0 then begin
+    let s = float_of_int cfg.cfg_idle_timeout_ms /. 1000.0 in
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+     with Unix.Unix_error _ -> ());
+    try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+    with Unix.Unix_error _ -> ()
+  end;
+  let rec loop () =
+    match read_frame ~max_bytes:cfg.cfg_max_frame_bytes fd with
+    | Error Closed | Error Timed_out ->
+        (* a finished client, or an idle/slow-loris one: just let the
+           connection go *)
+        ()
+    | Error Bad_checksum ->
+        (* the length prefix was honest, so the frame boundary is
+           still trustworthy: reject the frame, keep the connection *)
+        Atomic.incr t.t_proto_err;
+        if send_response t fd (error_response ~code:"bad-frame" "frame checksum mismatch")
+        then loop ()
+    | Error ((Bad_magic | Oversized _ | Truncated) as e) ->
+        (* the stream position can no longer be trusted: answer if
+           possible, then drop the connection *)
+        Atomic.incr t.t_proto_err;
+        ignore
+          (send_response t fd
+             (error_response ~code:"bad-frame" (frame_error_to_string e)))
+    | Ok payload -> (
+        let resp, after =
+          match parse_request payload with
+          | Error m -> (error_response ~code:"bad-request" m, `Continue)
+          | Ok req -> (
+              (* one hostile request must never take the daemon down:
+                 whatever escapes becomes a structured error frame *)
+              try handle_request t req
+              with e -> (diag_response (Diag.of_exn e), `Continue))
+        in
+        if resp.rs_status = "ok" then Atomic.incr t.t_served
+        else Atomic.incr t.t_failed;
+        let sent = send_response t fd resp in
+        match after with
+        | `Stop ->
+            stop t
+        | `Continue ->
+            if sent && not (Atomic.get t.t_stopping) then loop ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      unregister_conn t fd;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.decr t.t_inflight)
+    (fun () -> try loop () with _ -> ())
+
+(* ---------- accept loop and drain ---------- *)
+
+let shed t fd =
+  Atomic.incr t.t_shed;
+  (* the frame is far smaller than a fresh socket buffer, so this
+     cannot block even on a client that never reads *)
+  (try write_frame fd (encode_response overloaded_response)
+   with Unix.Unix_error _ | Faults.Injected _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec bump_hwm hwm v =
+  let cur = Atomic.get hwm in
+  if v > cur && not (Atomic.compare_and_set hwm cur v) then bump_hwm hwm v
+
+let serve t =
+  let cfg = t.t_cfg in
+  let rec accept_loop () =
+    if Atomic.get t.t_stopping then ()
+    else
+      match Unix.select [ t.t_listen; t.t_stop_r ] [] [] 0.5 with
+      | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
+      | readable, _, _ ->
+          if List.mem t.t_stop_r readable then ()
+          else begin
+            (if List.mem t.t_listen readable then
+               match Unix.accept ~cloexec:true t.t_listen with
+               | exception
+                   Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK | ECONNABORTED), _, _)
+                 ->
+                   ()
+               | fd, _ ->
+                   if Atomic.get t.t_stopping then (
+                     try Unix.close fd with Unix.Unix_error _ -> ())
+                   else if Atomic.get t.t_inflight >= cfg.cfg_max_inflight
+                   then shed t fd
+                   else begin
+                     let now = Atomic.fetch_and_add t.t_inflight 1 + 1 in
+                     bump_hwm t.t_hwm now;
+                     register_conn t fd;
+                     ignore (Thread.create (handle_connection t) fd)
+                   end);
+            accept_loop ()
+          end
+  in
+  accept_loop ();
+  Atomic.set t.t_stopping true;
+  (* no new admissions *)
+  (try Unix.close t.t_listen with Unix.Unix_error _ -> ());
+  (try Unix.unlink cfg.cfg_socket with Unix.Unix_error _ | Sys_error _ -> ());
+  (* graceful drain: in-flight requests get [cfg_drain_ms] to finish *)
+  let deadline =
+    Unix.gettimeofday () +. (float_of_int cfg.cfg_drain_ms /. 1000.0)
+  in
+  while Atomic.get t.t_inflight > 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  (* hard deadline passed: force the stragglers' sockets shut so their
+     threads wake out of blocking reads and unwind *)
+  if Atomic.get t.t_inflight > 0 then begin
+    Mutex.lock t.t_conns_mu;
+    Hashtbl.iter
+      (fun fd () ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.t_conns;
+    Mutex.unlock t.t_conns_mu;
+    let hard = Unix.gettimeofday () +. 0.5 in
+    while Atomic.get t.t_inflight > 0 && Unix.gettimeofday () < hard do
+      Unix.sleepf 0.005
+    done
+  end;
+  (try Unix.close t.t_stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.t_stop_w with Unix.Unix_error _ -> ());
+  stats t
+
+(* ---------- client helpers ---------- *)
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let roundtrip ?faults ?max_bytes fd req =
+  match write_frame ?faults fd (encode_request req) with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("write: " ^ Unix.error_message e)
+  | exception Faults.Injected site -> Error ("injected: " ^ site)
+  | () -> (
+      match read_frame ?max_bytes fd with
+      | Error e -> Error (frame_error_to_string e)
+      | Ok payload -> parse_response payload)
+
+let wait_ready ?(timeout_s = 5.0) path =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let ready =
+      match connect path with
+      | exception (Unix.Unix_error _ | Sys_error _) -> false
+      | fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              match roundtrip fd Ping with
+              | Ok { rs_status = "ok"; _ } -> true
+              | _ -> false)
+    in
+    if ready then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()

@@ -1,0 +1,206 @@
+(** [mira serve]: a long-lived analysis daemon on a Unix-domain
+    socket.
+
+    The daemon keeps one {!Batch.cache} warm across requests — models
+    are generated once and evaluated many times, so the serving layer
+    is where the two-tier cache pays off — and exposes the analysis
+    pipeline to untrusted clients.  Its contract is that {e no request
+    can take it down}:
+
+    - The wire format is a length-prefixed, versioned, checksummed
+      frame ({!read_frame} / {!write_frame}).  Malformed input —
+      bad magic, oversized length prefixes, truncated frames, checksum
+      mismatches, garbage payloads — is answered with a structured
+      error frame (or, when the stream can no longer be trusted, the
+      connection is dropped); the accept loop is never affected.
+    - Every analysis runs under a per-request {!Limits} budget: the
+      server's defaults, clamped further by the request (a request can
+      only tighten its budget, never exceed the server's).  A hostile
+      source exhausts its fuel or deadline and becomes an error frame.
+    - Worker exceptions are caught and rendered as {!Diag}-derived
+      error frames; the connection, and the daemon, live on.
+    - Admission is bounded: at most [cfg_max_inflight] connections are
+      served concurrently; beyond that, new connections receive an
+      [overloaded] frame and are closed (load shedding — memory use
+      never grows with offered load).
+    - {!stop} (wired to SIGTERM/SIGINT by the CLI, and to the
+      [shutdown] request) drains in-flight requests up to a hard
+      deadline before {!serve} returns.
+
+    {2 Wire protocol}
+
+    Frame: [magic(6) ∥ length(4, big-endian) ∥ MD5(payload)(16) ∥
+    payload].  Payloads are text: a [mira/1 <verb>] (request) or
+    [mira/1 <status>] (response) head line, [key=value] field lines, a
+    blank line, then a raw body (the source text, the emitted Python,
+    …).  Requests: [ping], [stats], [analyze], [eval], [shutdown].
+    Response statuses: [ok], [error], [overloaded]. *)
+
+(** {1 Configuration} *)
+
+type config = {
+  cfg_socket : string;  (** Unix-domain socket path *)
+  cfg_max_inflight : int;  (** concurrent connections before shedding *)
+  cfg_max_frame_bytes : int;  (** largest accepted request payload *)
+  cfg_idle_timeout_ms : int;
+      (** per-read/write socket timeout; a stalled (slow-loris) client
+          is disconnected, never waited on forever; [0] disables *)
+  cfg_drain_ms : int;
+      (** hard deadline for the graceful-shutdown drain *)
+  cfg_level : Mira_codegen.Codegen.level;
+  cfg_limits : Limits.t;  (** per-request budget ceiling *)
+  cfg_cache : Batch.cache option;  (** the warm cache, shared by all requests *)
+  cfg_incremental : bool;
+  cfg_faults : Faults.t option;
+      (** deterministic fault schedule (worker and wire sites) *)
+}
+
+val default_config : socket:string -> config
+(** 8 in-flight, 4 MiB frames, 30 s idle timeout, 2 s drain, [O1],
+    {!Limits.default}, no cache, incremental on, no faults. *)
+
+(** {1 Frame layer}
+
+    Exposed so tests (and any other client) can speak — and abuse —
+    the wire format directly. *)
+
+val magic : string
+(** The 6-byte frame magic; its last byte before the newline is the
+    frame-format version. *)
+
+type frame_error =
+  | Closed  (** clean EOF between frames *)
+  | Truncated  (** EOF mid-frame *)
+  | Bad_magic
+  | Oversized of int  (** declared payload length exceeds the cap *)
+  | Bad_checksum
+  | Timed_out  (** the socket timeout expired mid-read *)
+
+val frame_error_to_string : frame_error -> string
+
+val write_frame : ?faults:Faults.t -> Unix.file_descr -> string -> unit
+(** Frame [payload] and write it fully.  With [faults], the [net_write]
+    site truncates the write mid-frame (short write), the [disconnect]
+    site truncates it and shuts the socket down, and the [slow] site
+    stalls [slow_ms] between header and payload (a slow client) —
+    each raising/returning exactly as the real condition would. *)
+
+val read_frame :
+  ?max_bytes:int -> Unix.file_descr -> (string, frame_error) result
+(** Read one frame's payload ([max_bytes] caps the declared length;
+    default 4 MiB). *)
+
+(** {1 Requests and responses} *)
+
+type budget_request = {
+  rq_fuel : int option;
+  rq_timeout_ms : int option;
+  rq_depth : int option;
+}
+(** Per-request budget clamp: each field, when set, {e lowers} the
+    server's corresponding default ([min]); it can never raise it. *)
+
+val no_budget : budget_request
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Analyze of {
+      an_name : string;  (** source name used in the model/report *)
+      an_source : string;
+      an_budget : budget_request;
+    }
+  | Eval of {
+      ev_name : string;
+      ev_source : string;
+      ev_function : string;  (** mangled function name *)
+      ev_params : (string * int) list;
+      ev_budget : budget_request;
+    }
+
+val encode_request : request -> string
+(** The request payload (to hand to {!write_frame}). *)
+
+val parse_request : string -> (request, string) result
+
+type response = {
+  rs_status : string;  (** ["ok"], ["error"] or ["overloaded"] *)
+  rs_fields : (string * string) list;  (** in wire order; keys repeat *)
+  rs_body : string;
+}
+
+val encode_response : response -> string
+val parse_response : string -> (response, string) result
+
+val field : response -> string -> string option
+(** First field with that key. *)
+
+(** {1 Server} *)
+
+type server_stats = {
+  sv_uptime_ms : int;
+  sv_served : int;  (** requests answered [ok] *)
+  sv_failed : int;  (** requests answered [error] *)
+  sv_shed : int;  (** connections answered [overloaded] and dropped *)
+  sv_protocol_errors : int;  (** malformed frames rejected *)
+  sv_inflight : int;  (** connections being served right now *)
+  sv_inflight_hwm : int;  (** in-flight high-water mark *)
+  (* accumulated Batch.stats over every analyze/eval served, so an
+     operator can watch cache efficiency and robustness degrade before
+     it becomes an outage *)
+  sv_analyzed : int;
+  sv_mem_hits : int;
+  sv_disk_hits : int;
+  sv_assembled : int;
+  sv_fn_mem_hits : int;
+  sv_fn_disk_hits : int;
+  sv_fn_analyzed : int;
+  sv_cache_corrupt : int;
+  sv_io_retries : int;
+  sv_io_failures : int;
+}
+
+val stats_fields : server_stats -> (string * string) list
+(** Deterministically ordered [key=value] rendering — the body of a
+    [stats] response. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen.  A leftover socket file from a dead daemon is
+    detected (connect probe) and replaced; a live one raises
+    [Failure].  Also ignores SIGPIPE process-wide: a client
+    disconnecting mid-response must surface as [EPIPE] on that
+    connection, not kill the process. *)
+
+val stop : t -> unit
+(** Begin graceful shutdown: stop accepting, let in-flight requests
+    finish (up to [cfg_drain_ms]), then force-close stragglers.  Safe
+    to call from a signal handler or another thread; idempotent. *)
+
+val serve : t -> server_stats
+(** Run the accept loop in the calling thread until {!stop} (or a
+    [shutdown] request) and the drain complete; returns the final
+    stats.  Connections are handled on threads; analyses reuse the
+    shared cache. *)
+
+val stats : t -> server_stats
+(** A live snapshot (what a [stats] request returns). *)
+
+(** {1 Client helpers} *)
+
+val connect : string -> Unix.file_descr
+(** Connect to a daemon's socket. *)
+
+val roundtrip :
+  ?faults:Faults.t ->
+  ?max_bytes:int ->
+  Unix.file_descr ->
+  request ->
+  (response, string) result
+(** One request/response exchange on an open connection. *)
+
+val wait_ready : ?timeout_s:float -> string -> bool
+(** Poll [connect]+[ping] until the daemon answers (for scripts and
+    tests that just started one); [false] on timeout (default 5 s). *)

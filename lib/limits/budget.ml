@@ -75,3 +75,8 @@ let with_depth f =
 let spent () =
   let b = Domain.DLS.get current in
   if b.fuel_limit = max_int then 0 else b.fuel_limit - b.fuel
+
+let time_left_s () =
+  let b = Domain.DLS.get current in
+  if b.deadline = infinity then None
+  else Some (b.deadline -. Unix.gettimeofday ())

@@ -52,3 +52,10 @@ val with_depth : (unit -> 'a) -> 'a
 
 val spent : unit -> int
 (** Fuel consumed so far on the current budget (for tests and stats). *)
+
+val time_left_s : unit -> float option
+(** Seconds until the current budget's wall-clock deadline ([None]
+    when it has no deadline; non-positive once it has passed).  Lets
+    slow paths that sleep voluntarily — retry backoff, queue waits —
+    cap the sleep so they never outlive the deadline that is supposed
+    to bound them. *)

@@ -21,7 +21,8 @@ let seed =
   | None -> 20260806
 
 let faults ?(read = 0.0) ?(write = 0.0) ?(rename = 0.0) ?(corrupt = 0.0)
-    ?(worker = 0.0) ?(slow = 0.0) ?(slow_ms = 0) () =
+    ?(worker = 0.0) ?(slow = 0.0) ?(slow_ms = 0) ?(net_write = 0.0)
+    ?(disconnect = 0.0) () =
   {
     Faults.seed;
     read_p = read;
@@ -31,6 +32,8 @@ let faults ?(read = 0.0) ?(write = 0.0) ?(rename = 0.0) ?(corrupt = 0.0)
     worker_p = worker;
     slow_p = slow;
     slow_ms;
+    net_write_p = net_write;
+    disconnect_p = disconnect;
   }
 
 let corpus_sources =
@@ -159,8 +162,11 @@ let fault_tests =
             check bool "rename failures counted" true (s0.st_io_failures > 0);
             check bool "outputs identical to clean run" true
               (outcomes r0 = clean);
+            (* only the advisory lock file may remain — no entries, no
+               temporaries *)
             check (list string) "no entries or temporaries left behind" []
-              (Array.to_list (Sys.readdir dir));
+              (Array.to_list (Sys.readdir dir)
+              |> List.filter (fun f -> f <> Batch.lock_file_name));
             (* second run over the same dir finds nothing to reuse *)
             let c1 = Batch.create_cache ~dir () in
             let _, s1 = Batch.run ~cache:c1 corpus_sources in
@@ -232,12 +238,17 @@ let fault_tests =
                   (Diag.kind_to_string diag.Diag.d_kind))
           results);
     test_case "fault specs parse and round-trip" `Quick (fun () ->
-        (match Faults.parse "seed=42,read=0.25,worker=0.1,slow=1,slow_ms=7" with
+        (match
+           Faults.parse
+             "seed=42,read=0.25,worker=0.1,slow=1,slow_ms=7,net_write=0.5,disconnect=0.3"
+         with
         | Error m -> failf "parse failed: %s" m
         | Ok f ->
             check int "seed" 42 f.Faults.seed;
             check (float 1e-9) "read" 0.25 f.read_p;
             check int "slow_ms" 7 f.slow_ms;
+            check (float 1e-9) "net_write" 0.5 f.net_write_p;
+            check (float 1e-9) "disconnect" 0.3 f.disconnect_p;
             match Faults.parse (Faults.to_string f) with
             | Error m -> failf "round-trip failed: %s" m
             | Ok f' -> check bool "round-trips" true (f = f'));

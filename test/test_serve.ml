@@ -1,0 +1,914 @@
+(* The daemon's robustness contract, exercised end to end:
+
+   - codec: request/response round-trips; hostile payloads parse to
+     errors, never exceptions; field values cannot forge fields;
+   - protocol fuzz: random truncations, bad magic, oversized length
+     prefixes, garbled checksums, garbage payloads — after every
+     attack the daemon still answers a clean ping;
+   - requests: analyze is byte-identical to direct analysis, eval
+     matches the library, failures arrive as structured error frames,
+     per-request budgets clamp at the server's ceiling, the shared
+     cache stays warm across requests;
+   - wire faults (pinned by MIRA_FAULT_SEED): slow clients, slow-loris
+     stalls, mid-frame disconnects, short writes;
+   - bounded admission: offered load beyond max-inflight is shed with
+     an explicit overloaded frame;
+   - graceful drain: stop (in-process) and SIGTERM (the real binary)
+     let in-flight requests finish before exit;
+   - cross-process cache locking: GC skips while another process holds
+     the directory lock, and two concurrent batch processes sharing
+     one cache directory corrupt nothing. *)
+
+open Mira_core
+
+let seed =
+  match Sys.getenv_opt "MIRA_FAULT_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> failwith "MIRA_FAULT_SEED must be an integer")
+  | None -> 20260806
+
+let faults ?(worker = 0.0) ?(slow = 0.0) ?(slow_ms = 0) ?(net_write = 0.0)
+    ?(disconnect = 0.0) () =
+  {
+    Faults.seed;
+    read_p = 0.0;
+    write_p = 0.0;
+    rename_p = 0.0;
+    corrupt_p = 0.0;
+    worker_p = worker;
+    slow_p = slow;
+    slow_ms;
+    net_write_p = net_write;
+    disconnect_p = disconnect;
+  }
+
+let temp_name =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+let mira_exe = Filename.concat (Filename.concat ".." "bin") "mira.exe"
+
+(* run [f ~socket server] against an in-process daemon; stopped and
+   joined even when [f] raises *)
+let with_server ?(cfg = fun c -> c) f =
+  let socket = temp_name "mira-serve" ^ ".sock" in
+  let config = cfg (Serve.default_config ~socket) in
+  let server = Serve.create config in
+  let stats = ref None in
+  let th = Thread.create (fun () -> stats := Some (Serve.serve server)) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop server;
+      Thread.join th;
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () ->
+      Alcotest.(check bool) "daemon is up" true (Serve.wait_ready socket);
+      let r = f ~socket server in
+      Serve.stop server;
+      Thread.join th;
+      (r, Option.get !stats))
+
+let with_conn socket f =
+  let fd = Serve.connect socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let roundtrip_exn ?faults fd req =
+  match Serve.roundtrip ?faults fd req with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "roundtrip failed: %s" m
+
+let request ?faults socket req =
+  with_conn socket (fun fd -> roundtrip_exn ?faults fd req)
+
+let ping_ok socket =
+  Alcotest.(check string)
+    "daemon answers a clean ping" "ok" (request socket Serve.Ping).rs_status
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | r -> go (off + r)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.to_string b
+
+let valid_frame payload =
+  Serve.magic ^ be32 (String.length payload) ^ Digest.string payload ^ payload
+
+(* bounded wait for a subprocess; SIGKILL + test failure on timeout so
+   a wedged daemon can never hang the suite *)
+let wait_exit ?(timeout_s = 15.0) pid =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          Alcotest.fail "subprocess did not exit in time"
+        end
+        else begin
+          Unix.sleepf 0.02;
+          go ()
+        end
+    | _, st -> st
+  in
+  go ()
+
+let spawn_quiet argv =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close devnull)
+    (fun () -> Unix.create_process argv.(0) argv devnull devnull devnull)
+
+let saxpy = Option.get (Mira_corpus.Corpus.find "saxpy")
+let stream = Option.get (Mira_corpus.Corpus.find "stream")
+
+let analyze ?(budget = Serve.no_budget) ?(name = "saxpy") ?(source = saxpy) ()
+    =
+  Serve.Analyze { an_name = name; an_source = source; an_budget = budget }
+
+let code resp = Serve.field resp "code"
+
+(* ---------- codec ---------- *)
+
+let codec_tests =
+  let open Alcotest in
+  [
+    test_case "request encode/parse round-trips" `Quick (fun () ->
+        let reqs =
+          [
+            Serve.Ping;
+            Serve.Stats;
+            Serve.Shutdown;
+            analyze ();
+            analyze
+              ~budget:
+                {
+                  rq_fuel = Some 5;
+                  rq_timeout_ms = Some 7;
+                  rq_depth = Some 9;
+                }
+              ();
+            Serve.Eval
+              {
+                ev_name = "stream";
+                ev_source = stream;
+                ev_function = "stream_triad";
+                ev_params = [ ("n", 1000); ("ntimes", 3) ];
+                ev_budget = Serve.no_budget;
+              };
+          ]
+        in
+        List.iter
+          (fun req ->
+            match Serve.parse_request (Serve.encode_request req) with
+            | Ok req' -> check bool "round-trips" true (req = req')
+            | Error m -> failf "parse failed: %s" m)
+          reqs);
+    test_case "hostile payloads parse to errors, not exceptions" `Quick
+      (fun () ->
+        let bad =
+          [
+            "";
+            "mira/1";
+            "mira/9 ping\n\n";
+            "http/1.1 GET\n\n";
+            "mira/1 launch-missiles\n\n";
+            "mira/1 eval\nfunction=f\nparam=zz\n\nint f() { return 0; }";
+            "mira/1 eval\n\nno function field";
+            "mira/1 analyze\nfuel=-3\n\nx";
+            "mira/1 analyze\nfuel=1e9\n\nx";
+            "mira/1 analyze\nnot a field line\n\nx";
+          ]
+        in
+        List.iter
+          (fun payload ->
+            match Serve.parse_request payload with
+            | Error _ -> ()
+            | Ok _ -> failf "accepted hostile payload %S" payload)
+          bad);
+    test_case "field values cannot forge extra fields" `Quick (fun () ->
+        let encoded =
+          Serve.encode_response
+            {
+              rs_status = "ok";
+              rs_fields = [ ("warning", "a\nevil=1") ];
+              rs_body = "";
+            }
+        in
+        match Serve.parse_response encoded with
+        | Error m -> failf "parse failed: %s" m
+        | Ok resp ->
+            check (option string) "newline flattened" (Some "a evil=1")
+              (Serve.field resp "warning");
+            check bool "no forged field" true (Serve.field resp "evil" = None));
+  ]
+
+(* ---------- protocol fuzz ---------- *)
+
+let fuzz_tests =
+  let open Alcotest in
+  [
+    test_case "daemon survives the malformed-frame attack suite" `Quick
+      (fun () ->
+        let (), final =
+          with_server
+            ~cfg:(fun c -> { c with Serve.cfg_max_frame_bytes = 64 * 1024 })
+            (fun ~socket server ->
+              let rng = Random.State.make [| seed |] in
+              let ping_payload = Serve.encode_request Serve.Ping in
+              let attacks =
+                [|
+                  (* random garbage *)
+                  (fun () ->
+                    String.init
+                      (1 + Random.State.int rng 64)
+                      (fun _ -> Char.chr (Random.State.int rng 256)));
+                  (* bad magic *)
+                  (fun () -> "BOGUS\n" ^ be32 4 ^ String.make 20 'x');
+                  (* oversized length prefix *)
+                  (fun () ->
+                    Serve.magic
+                    ^ be32 (64 * 1024 * 1024)
+                    ^ String.make 16 '\x00');
+                  (* truncated valid frame *)
+                  (fun () ->
+                    let f = valid_frame ping_payload in
+                    String.sub f 0
+                      (1 + Random.State.int rng (String.length f - 1)));
+                  (* garbled checksum: flip one payload byte *)
+                  (fun () ->
+                    let f = Bytes.of_string (valid_frame ping_payload) in
+                    let i = Bytes.length f - 1 - Random.State.int rng 4 in
+                    Bytes.set f i
+                      (Char.chr (Char.code (Bytes.get f i) lxor 0xff));
+                    Bytes.to_string f);
+                  (* well-formed frames, garbage payloads *)
+                  (fun () -> valid_frame "mira/1 no-such-verb\n\n");
+                  (fun () -> valid_frame "complete nonsense");
+                |]
+              in
+              for i = 0 to 29 do
+                (match Serve.connect socket with
+                | fd ->
+                    (try write_all fd (attacks.(i mod Array.length attacks) ())
+                     with Unix.Unix_error _ ->
+                       (* the server already dropped us; that is a valid
+                          answer to an attack *)
+                       ());
+                    (try Unix.close fd with Unix.Unix_error _ -> ())
+                | exception Unix.Unix_error _ ->
+                    failf "attack %d: daemon stopped accepting" i);
+                (* the contract: a clean request succeeds after every
+                   single attack *)
+                ping_ok socket
+              done;
+              let s = Serve.stats server in
+              check bool "protocol errors were counted" true
+                (s.Serve.sv_protocol_errors > 0);
+              check bool "every ping was served" true (s.Serve.sv_served >= 30))
+        in
+        check bool "final stats carry the damage" true
+          (final.Serve.sv_protocol_errors > 0));
+    test_case "checksum mismatch keeps the connection alive" `Quick
+      (fun () ->
+        let (), _ =
+          with_server (fun ~socket _server ->
+              with_conn socket (fun fd ->
+                  (* flip a payload byte: the frame boundary is still
+                     trustworthy, so the server answers an error frame
+                     and the same connection keeps working *)
+                  let f =
+                    Bytes.of_string
+                      (valid_frame (Serve.encode_request Serve.Ping))
+                  in
+                  Bytes.set f
+                    (Bytes.length f - 1)
+                    (Char.chr
+                       (Char.code (Bytes.get f (Bytes.length f - 1)) lxor 0xff));
+                  write_all fd (Bytes.to_string f);
+                  (match Serve.read_frame fd with
+                  | Ok payload -> (
+                      match Serve.parse_response payload with
+                      | Ok resp ->
+                          Alcotest.(check string)
+                            "error frame" "error" resp.rs_status;
+                          Alcotest.(check (option string))
+                            "bad-frame code" (Some "bad-frame") (code resp)
+                      | Error m -> failf "unparseable error frame: %s" m)
+                  | Error e ->
+                      failf "expected an error frame, got %s"
+                        (Serve.frame_error_to_string e));
+                  let r = roundtrip_exn fd Serve.Ping in
+                  Alcotest.(check string)
+                    "same connection still serves" "ok" r.rs_status))
+        in
+        ());
+  ]
+
+(* ---------- requests ---------- *)
+
+let float_of_field resp k =
+  match Serve.field resp k with
+  | Some v -> float_of_string v
+  | None -> Alcotest.failf "response is missing field %s" k
+
+let request_tests =
+  let open Alcotest in
+  [
+    test_case "analyze is byte-identical to direct analysis" `Quick
+      (fun () ->
+        let (), final =
+          with_server (fun ~socket _server ->
+              let resp = request socket (analyze ()) in
+              check string "ok" "ok" resp.rs_status;
+              let direct =
+                Mira.analyze ~level:Mira_codegen.Codegen.O1
+                  ~source_name:"saxpy" saxpy
+              in
+              check string "same emitted Python"
+                (Mira.python_model direct)
+                resp.rs_body;
+              check (option string) "function count"
+                (Some
+                   (string_of_int
+                      (List.length direct.Mira.model.Model_ir.functions)))
+                (Serve.field resp "functions"))
+        in
+        check bool "served" true (final.Serve.sv_served >= 1));
+    test_case "eval matches the library's numbers" `Quick (fun () ->
+        let env = [ ("n", 64); ("reps", 2) ] in
+        let (), _ =
+          with_server (fun ~socket _server ->
+              let resp =
+                request socket
+                  (Serve.Eval
+                     {
+                       ev_name = "saxpy";
+                       ev_source = saxpy;
+                       ev_function = "saxpy_chain";
+                       ev_params = env;
+                       ev_budget = Serve.no_budget;
+                     })
+              in
+              check string "ok" "ok" resp.rs_status;
+              let direct =
+                Mira.fpi
+                  (Mira.analyze ~source_name:"saxpy" saxpy)
+                  ~fname:"saxpy_chain" ~env
+              in
+              check (float 1e-6) "fpi field" direct (float_of_field resp "fpi");
+              check bool "counts body is non-empty" true
+                (String.length resp.rs_body > 0))
+        in
+        ());
+    test_case "failures arrive as structured error frames" `Quick (fun () ->
+        let (), final =
+          with_server (fun ~socket _server ->
+              (* malformed source *)
+              let resp =
+                request socket (analyze ~source:"int f( {" ~name:"bad" ())
+              in
+              check string "error status" "error" resp.rs_status;
+              check (option string) "analysis code" (Some "analysis")
+                (code resp);
+              check bool "message present" true
+                (Serve.field resp "message" <> None);
+              (* eval without its required parameter *)
+              let resp =
+                request socket
+                  (Serve.Eval
+                     {
+                       ev_name = "saxpy";
+                       ev_source = saxpy;
+                       ev_function = "saxpy_chain";
+                       ev_params = [];
+                       ev_budget = Serve.no_budget;
+                     })
+              in
+              check string "error status" "error" resp.rs_status;
+              check (option string) "bad-request code" (Some "bad-request")
+                (code resp);
+              (* and the daemon is unimpressed *)
+              ping_ok socket)
+        in
+        check bool "failures counted" true (final.Serve.sv_failed >= 2));
+    test_case "a request can tighten its budget" `Quick (fun () ->
+        let (), _ =
+          with_server (fun ~socket _server ->
+              let resp =
+                request socket
+                  (analyze
+                     ~budget:
+                       {
+                         rq_fuel = Some 10;
+                         rq_timeout_ms = None;
+                         rq_depth = None;
+                       }
+                     ())
+              in
+              check string "error status" "error" resp.rs_status;
+              check (option string) "budget code" (Some "budget") (code resp);
+              let resp =
+                request socket
+                  (analyze
+                     ~budget:
+                       {
+                         rq_fuel = None;
+                         rq_timeout_ms = Some 0;
+                         rq_depth = None;
+                       }
+                     ())
+              in
+              check string "error status" "error" resp.rs_status;
+              check bool "deadline overrun code" true
+                (match code resp with
+                | Some ("timeout" | "budget") -> true
+                | _ -> false);
+              ping_ok socket)
+        in
+        ());
+    test_case "a request cannot exceed the server's ceiling" `Quick
+      (fun () ->
+        let (), _ =
+          with_server
+            ~cfg:(fun c ->
+              {
+                c with
+                Serve.cfg_limits =
+                  { c.Serve.cfg_limits with Limits.fuel = Some 10 };
+              })
+            (fun ~socket _server ->
+              (* the request asks for a million fuel; the server's
+                 ceiling of 10 wins *)
+              let resp =
+                request socket
+                  (analyze
+                     ~budget:
+                       {
+                         rq_fuel = Some 1_000_000;
+                         rq_timeout_ms = None;
+                         rq_depth = None;
+                       }
+                     ())
+              in
+              check string "error status" "error" resp.rs_status;
+              check (option string) "clamped to the ceiling" (Some "budget")
+                (code resp))
+        in
+        ());
+    test_case "injected worker faults become error frames" `Quick (fun () ->
+        let (), final =
+          with_server
+            ~cfg:(fun c ->
+              { c with Serve.cfg_faults = Some (faults ~worker:1.0 ()) })
+            (fun ~socket _server ->
+              let resp = request socket (analyze ()) in
+              check string "error status" "error" resp.rs_status;
+              check (option string) "injected code" (Some "injected")
+                (code resp);
+              ping_ok socket)
+        in
+        check bool "daemon survived" true (final.Serve.sv_served >= 1));
+    test_case "the cache stays warm across requests" `Quick (fun () ->
+        let (), final =
+          with_server
+            ~cfg:(fun c ->
+              { c with Serve.cfg_cache = Some (Batch.create_cache ()) })
+            (fun ~socket _server ->
+              let first = request socket (analyze ()) in
+              let second = request socket (analyze ()) in
+              check string "ok" "ok" second.rs_status;
+              check (option string) "first is a miss" (Some "0")
+                (Serve.field first "cached");
+              check (option string) "second is a hit" (Some "1")
+                (Serve.field second "cached");
+              check string "hit is byte-identical" first.rs_body
+                second.rs_body)
+        in
+        check bool "one analysis" true (final.Serve.sv_analyzed = 1);
+        check bool "one memory hit" true (final.Serve.sv_mem_hits >= 1));
+    test_case "stats responses expose server health" `Quick (fun () ->
+        let (), _ =
+          with_server (fun ~socket _server ->
+              ignore (request socket (analyze ()));
+              let resp = request socket Serve.Stats in
+              check string "ok" "ok" resp.rs_status;
+              let kv =
+                List.filter_map
+                  (fun line ->
+                    match String.index_opt line '=' with
+                    | Some i ->
+                        Some
+                          ( String.sub line 0 i,
+                            String.sub line (i + 1)
+                              (String.length line - i - 1) )
+                    | None -> None)
+                  (String.split_on_char '\n' resp.rs_body)
+              in
+              let get k =
+                match List.assoc_opt k kv with
+                | Some v -> int_of_string v
+                | None -> failf "stats body is missing %s" k
+              in
+              check bool "uptime is sane" true (get "uptime-ms" >= 0);
+              check bool "served counts the analyze" true (get "served" >= 1);
+              check bool "hwm at least one" true (get "inflight-hwm" >= 1);
+              check bool "analyzed counted" true (get "analyzed" >= 1);
+              check bool "shed starts at zero" true (get "shed" = 0))
+        in
+        ());
+  ]
+
+(* ---------- wire faults ---------- *)
+
+let wire_tests =
+  let open Alcotest in
+  [
+    test_case "a slow client is served, not dropped" `Quick (fun () ->
+        let (), _ =
+          with_server (fun ~socket _server ->
+              let resp =
+                request ~faults:(faults ~slow:1.0 ~slow_ms:60 ()) socket
+                  Serve.Ping
+              in
+              check string "ok despite the stall" "ok" resp.rs_status)
+        in
+        ());
+    test_case "a slow-loris client is disconnected" `Quick (fun () ->
+        let (), final =
+          with_server
+            ~cfg:(fun c -> { c with Serve.cfg_idle_timeout_ms = 150 })
+            (fun ~socket _server ->
+              with_conn socket (fun fd ->
+                  (* send three bytes of magic, then stall forever *)
+                  write_all fd (String.sub Serve.magic 0 3);
+                  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+                  let buf = Bytes.create 64 in
+                  match Unix.read fd buf 0 64 with
+                  | 0 -> () (* server gave up on us: exactly right *)
+                  | _ -> (
+                      (* an error frame first is fine too, but the
+                         server must then close *)
+                      match Unix.read fd buf 0 64 with
+                      | 0 -> ()
+                      | _ -> fail "server kept a stalled connection open"
+                      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _)
+                        ->
+                          fail "server never disconnected the slow-loris")
+                  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+                      fail "server never disconnected the slow-loris");
+              ping_ok socket)
+        in
+        check bool "the stalled connection never blocked real work" true
+          (final.Serve.sv_served >= 1));
+    test_case "mid-frame disconnect leaves the daemon standing" `Quick
+      (fun () ->
+        let (), _ =
+          with_server (fun ~socket _server ->
+              for _ = 1 to 3 do
+                (match
+                   with_conn socket (fun fd ->
+                       Serve.write_frame
+                         ~faults:(faults ~disconnect:1.0 ())
+                         fd
+                         (Serve.encode_request (analyze ())))
+                 with
+                | () -> fail "disconnect fault did not fire"
+                | exception Faults.Injected _ -> ());
+                ping_ok socket
+              done)
+        in
+        ());
+    test_case "a short write becomes a truncated frame, not a hang" `Quick
+      (fun () ->
+        let (), final =
+          with_server (fun ~socket _server ->
+              (match
+                 with_conn socket (fun fd ->
+                     Serve.write_frame
+                       ~faults:(faults ~net_write:1.0 ())
+                       fd
+                       (Serve.encode_request (analyze ())))
+               with
+              | () -> fail "net_write fault did not fire"
+              | exception Faults.Injected _ -> ());
+              ping_ok socket)
+        in
+        check bool "truncation counted" true
+          (final.Serve.sv_protocol_errors >= 1));
+  ]
+
+(* ---------- overload ---------- *)
+
+let overload_tests =
+  let open Alcotest in
+  [
+    test_case "offered load beyond max-inflight is shed" `Quick (fun () ->
+        let (), final =
+          with_server
+            ~cfg:(fun c -> { c with Serve.cfg_max_inflight = 1 })
+            (fun ~socket _server ->
+              with_conn socket (fun fd1 ->
+                  (* fd1's handler thread stays attached to the
+                     connection after answering, so it occupies the
+                     only slot *)
+                  let r1 = roundtrip_exn fd1 Serve.Ping in
+                  check string "first client served" "ok" r1.rs_status;
+                  (* the shed frame arrives unsolicited, at accept
+                     time: no request needs to be written at all *)
+                  with_conn socket (fun fd2 ->
+                      Unix.setsockopt_float fd2 Unix.SO_RCVTIMEO 5.0;
+                      match Serve.read_frame fd2 with
+                      | Ok payload -> (
+                          match Serve.parse_response payload with
+                          | Ok r2 ->
+                              check string "second client shed" "overloaded"
+                                r2.rs_status;
+                              check (option string) "told to retry" (Some "1")
+                                (Serve.field r2 "retry")
+                          | Error m -> failf "bad shed frame: %s" m)
+                      | Error e ->
+                          failf "no shed frame: %s"
+                            (Serve.frame_error_to_string e)));
+              (* slot freed: the daemon recovers on its own *)
+              let deadline = Unix.gettimeofday () +. 5.0 in
+              let rec recovered () =
+                let r =
+                  try with_conn socket (fun fd -> Serve.roundtrip fd Serve.Ping)
+                  with Unix.Unix_error _ -> Error "connect"
+                in
+                match r with
+                | Ok { rs_status = "ok"; _ } -> true
+                | _ ->
+                    Unix.gettimeofday () < deadline
+                    && begin
+                         Unix.sleepf 0.02;
+                         recovered ()
+                       end
+              in
+              check bool "accepts again after the slot frees" true
+                (recovered ()))
+        in
+        check bool "shed counted" true (final.Serve.sv_shed >= 1);
+        check bool "hwm respected the cap" true
+          (final.Serve.sv_inflight_hwm <= 1));
+  ]
+
+(* ---------- graceful shutdown ---------- *)
+
+let shutdown_tests =
+  let open Alcotest in
+  [
+    test_case "stop drains the in-flight request first" `Quick (fun () ->
+        let (), final =
+          with_server
+            ~cfg:(fun c ->
+              (* every analysis stalls 300 ms in the worker, so the
+                 request is reliably in flight when stop lands *)
+              { c with Serve.cfg_faults = Some (faults ~slow:1.0 ~slow_ms:300 ()) })
+            (fun ~socket server ->
+              with_conn socket (fun fd ->
+                  Serve.write_frame fd
+                    (Serve.encode_request (analyze ()));
+                  Unix.sleepf 0.1;
+                  Serve.stop server;
+                  match Serve.read_frame fd with
+                  | Ok payload -> (
+                      match Serve.parse_response payload with
+                      | Ok resp ->
+                          check string "in-flight request completed" "ok"
+                            resp.rs_status
+                      | Error m -> failf "bad drain response: %s" m)
+                  | Error e ->
+                      failf "drain dropped the in-flight request: %s"
+                        (Serve.frame_error_to_string e)))
+        in
+        check bool "request counted as served" true
+          (final.Serve.sv_served >= 1));
+    test_case "shutdown request stops the daemon" `Quick (fun () ->
+        let (), _ =
+          with_server (fun ~socket _server ->
+              let resp = request socket Serve.Shutdown in
+              check string "acknowledged" "ok" resp.rs_status;
+              (* serve returns on its own; with_server's join below
+                 would hang forever if it did not *)
+              let deadline = Unix.gettimeofday () +. 5.0 in
+              let rec gone () =
+                match request socket Serve.Ping with
+                | _ ->
+                    Unix.gettimeofday () < deadline
+                    && begin
+                         Unix.sleepf 0.05;
+                         gone ()
+                       end
+                | exception _ -> true
+              in
+              check bool "socket goes quiet" true (gone ()))
+        in
+        ());
+    test_case "SIGTERM drains the real binary" `Quick (fun () ->
+        let socket = temp_name "mira-sigterm" ^ ".sock" in
+        let pid =
+          spawn_quiet
+            [|
+              mira_exe;
+              "serve";
+              "--socket";
+              socket;
+              "--faults";
+              Printf.sprintf "seed=%d,slow=1,slow_ms=300" seed;
+            |]
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
+             with Unix.Unix_error _ -> ());
+            try Sys.remove socket with Sys_error _ -> ())
+          (fun () ->
+            check bool "daemon came up" true (Serve.wait_ready socket);
+            with_conn socket (fun fd ->
+                Serve.write_frame fd (Serve.encode_request (analyze ()));
+                Unix.sleepf 0.1;
+                Unix.kill pid Sys.sigterm;
+                (match Serve.read_frame fd with
+                | Ok payload -> (
+                    match Serve.parse_response payload with
+                    | Ok resp ->
+                        check string "in-flight request completed" "ok"
+                          resp.rs_status
+                    | Error m -> failf "bad drain response: %s" m)
+                | Error e ->
+                    failf "SIGTERM dropped the in-flight request: %s"
+                      (Serve.frame_error_to_string e));
+                match wait_exit pid with
+                | Unix.WEXITED 0 -> ()
+                | Unix.WEXITED n -> failf "daemon exited %d" n
+                | Unix.WSIGNALED s -> failf "daemon killed by signal %d" s
+                | Unix.WSTOPPED _ -> fail "daemon stopped")));
+  ]
+
+(* ---------- cross-process cache locking ---------- *)
+
+let disk_entries dir =
+  if Sys.file_exists dir then
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".model" || Filename.check_suffix f ".fnmodel")
+  else []
+
+let locking_tests =
+  let open Alcotest in
+  [
+    test_case "GC skips while another process holds the lock" `Quick
+      (fun () ->
+        let dir = temp_name "mira-lock-cache" in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let cache = Batch.create_cache ~dir () in
+            let results, _ =
+              Batch.run ~cache
+                [
+                  { Batch.src_name = "saxpy"; src_text = saxpy };
+                  { Batch.src_name = "stream"; src_text = stream };
+                ]
+            in
+            check bool "entries analyzed" true
+              (List.for_all Result.is_ok results);
+            let before = List.length (disk_entries dir) in
+            check bool "entries on disk" true (before > 0);
+            match Unix.fork () with
+            | 0 ->
+                (* child: grab the exclusive lock the way a foreign
+                   process would, hold it past the parent's GC attempt *)
+                (try
+                   let fd =
+                     Unix.openfile
+                       (Filename.concat dir Batch.lock_file_name)
+                       [ Unix.O_CREAT; Unix.O_RDWR ]
+                       0o644
+                   in
+                   Unix.lockf fd Unix.F_LOCK 0;
+                   Unix.sleepf 1.5
+                 with _ -> ());
+                Unix._exit 0
+            | child ->
+                Unix.sleepf 0.3;
+                let removed, freed = Batch.gc_disk ~max_bytes:0 cache in
+                check int "no entries removed under a foreign lock" 0 removed;
+                check int "no bytes freed" 0 freed;
+                check int "entries untouched" before
+                  (List.length (disk_entries dir));
+                ignore (wait_exit child);
+                let removed, _ = Batch.gc_disk ~max_bytes:0 cache in
+                check bool "GC proceeds once the lock is free" true
+                  (removed > 0);
+                check int "entries evicted" 0
+                  (List.length (disk_entries dir))))
+        ;
+    test_case "two batch processes share one cache without corruption"
+      `Quick (fun () ->
+        let src_dir = temp_name "mira-shared-src" in
+        let cache_dir = temp_name "mira-shared-cache" in
+        Fun.protect
+          ~finally:(fun () ->
+            rm_rf src_dir;
+            rm_rf cache_dir)
+          (fun () ->
+            Unix.mkdir src_dir 0o755;
+            let sources =
+              List.filteri (fun i _ -> i < 4) Mira_corpus.Corpus.all
+            in
+            List.iter
+              (fun (name, text) ->
+                let oc =
+                  open_out (Filename.concat src_dir (name ^ ".mc"))
+                in
+                output_string oc text;
+                close_out oc)
+              sources;
+            let spawn () =
+              spawn_quiet
+                [|
+                  mira_exe;
+                  "batch";
+                  src_dir;
+                  "--jobs";
+                  "2";
+                  "--cache";
+                  "--cache-dir";
+                  cache_dir;
+                |]
+            in
+            let p1 = spawn () in
+            let p2 = spawn () in
+            let s1 = wait_exit ~timeout_s:60.0 p1 in
+            let s2 = wait_exit ~timeout_s:60.0 p2 in
+            check bool "first process succeeded" true (s1 = Unix.WEXITED 0);
+            check bool "second process succeeded" true (s2 = Unix.WEXITED 0);
+            (* the surviving cache must be fully usable: everything the
+               two writers left behind reads back clean *)
+            let cache = Batch.create_cache ~dir:cache_dir () in
+            let results, stats =
+              Batch.run ~cache
+                (List.map
+                   (fun (name, text) ->
+                     { Batch.src_name = name; src_text = text })
+                   sources)
+            in
+            check bool "all sources analyze" true
+              (List.for_all Result.is_ok results);
+            check int "no corrupt entries" 0 stats.Batch.st_cache_corrupt;
+            check bool "the shared entries actually served" true
+              (stats.Batch.st_disk_hits + stats.Batch.st_fn_disk_hits > 0);
+            (* and byte-identical to a cold analysis *)
+            match (results, sources) with
+            | Ok a :: _, (name, text) :: _ ->
+                let direct =
+                  Mira.python_model (Mira.analyze ~source_name:name text)
+                in
+                check string "cache round-trip is byte-identical" direct
+                  a.Batch.a_python
+            | _ -> fail "no results"));
+  ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ("codec", codec_tests);
+      ("protocol-fuzz", fuzz_tests);
+      ("requests", request_tests);
+      ("wire-faults", wire_tests);
+      ("overload", overload_tests);
+      ("shutdown", shutdown_tests);
+      ("cache-locking", locking_tests);
+    ]
