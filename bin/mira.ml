@@ -764,7 +764,7 @@ let serve_cmd =
       $ faults)
 
 let client_cmd =
-  let run socket verb file fname params fuel timeout_ms =
+  let run socket verb file fname params fuel timeout_ms io_timeout_ms =
     handle_errors (fun () ->
         let budget =
           {
@@ -816,7 +816,7 @@ let client_cmd =
               exit 124
         in
         let fd =
-          try Mira_core.Serve.connect socket
+          try Mira_core.Serve.connect ~io_timeout_ms socket
           with Unix.Unix_error (e, _, _) ->
             Printf.eprintf "error: cannot connect to %s: %s\n" socket
               (Unix.error_message e);
@@ -826,7 +826,12 @@ let client_cmd =
         (try Unix.close fd with Unix.Unix_error _ -> ());
         match result with
         | Error m ->
-            Printf.eprintf "error: %s\n" m;
+            let hint =
+              if m = "socket timeout" then
+                " (no response within --io-timeout-ms; daemon wedged?)"
+              else ""
+            in
+            Printf.eprintf "error: %s%s\n" m hint;
             exit exit_internal
         | Ok resp -> (
             match resp.Mira_core.Serve.rs_status with
@@ -902,12 +907,21 @@ let client_cmd =
             "Tighten the request's wall-clock deadline (clamped by the \
              server's).")
   in
+  let io_timeout_ms =
+    Arg.(
+      value & opt int 30_000
+      & info [ "io-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Client-side socket timeout covering connect and every \
+             read/write: a wedged or stalled daemon becomes a clean error \
+             exit instead of a hung client.  0 disables.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send one request to a running $(b,mira serve) daemon.")
     Term.(
       const run $ socket_arg $ verb $ file $ fname $ params_arg $ fuel
-      $ timeout_ms)
+      $ timeout_ms $ io_timeout_ms)
 
 (* ---------- corpus-dump ---------- *)
 

@@ -127,47 +127,119 @@ let is_tmp_name f =
    (it can run next time), a store is dropped (cold cache next run) —
    never crashes and never blocks a batch behind another process.
 
-   POSIX record locks are per-process (and closing {e any} descriptor
-   of the lock file drops {e all} of the process's locks on it), so
-   lock-holding sections are additionally serialized on a process-wide
-   mutex: at most one section per process holds the file lock at a
-   time, which makes the close-drops-everything semantics harmless and
-   keeps in-process GC from racing in-process writers too.  Sections
-   are short — one entry's write+rename, or one GC pass. *)
+   POSIX record locks are per-process (closing {e any} descriptor of
+   the lock file drops {e all} of the process's locks on it, and locks
+   taken on two descriptors by one process never conflict), so the
+   file lock alone cannot coordinate threads/domains of one process.
+   Each directory therefore gets one cached lock-file descriptor that
+   is {e never closed} — the close-drops-everything footgun cannot
+   fire — plus an in-process holder mode: shared holders are counted
+   (the file lock is taken on the first and released by the last, and
+   their write+rename sections run {e concurrently}), an exclusive
+   holder (GC/sweep) excludes everyone.  The per-directory mutex
+   covers only these acquire/release transitions, never a caller's
+   critical section, so disk-cache stores from parallel batch workers
+   no longer serialize behind one another's I/O.  (The registry is
+   keyed by the directory path as given; processes use one consistent
+   path per cache, as the CLI does.) *)
 
 let lock_file_name = ".lock"
-let dir_lock_mu = Mutex.create ()
 
-let with_dir_lock ?(shared = false) dir f =
-  Mutex.lock dir_lock_mu;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock dir_lock_mu)
-    (fun () ->
+type dir_lock = {
+  dl_mu : Mutex.t;
+  mutable dl_fd : Unix.file_descr option;  (* cached, never closed *)
+  mutable dl_mode : [ `Free | `Shared of int | `Exclusive ];
+}
+
+let dir_locks_mu = Mutex.create ()
+let dir_locks : (string, dir_lock) Hashtbl.t = Hashtbl.create 4
+
+let dir_lock_for dir =
+  Mutex.lock dir_locks_mu;
+  let dl =
+    match Hashtbl.find_opt dir_locks dir with
+    | Some dl -> dl
+    | None ->
+        let dl = { dl_mu = Mutex.create (); dl_fd = None; dl_mode = `Free } in
+        Hashtbl.add dir_locks dir dl;
+        dl
+  in
+  Mutex.unlock dir_locks_mu;
+  dl
+
+(* must hold [dl.dl_mu] *)
+let dir_lock_fd dl dir =
+  match dl.dl_fd with
+  | Some fd -> Some fd
+  | None -> (
       let path = Filename.concat dir lock_file_name in
       match Unix.openfile path [ O_CREAT; O_RDWR; O_CLOEXEC ] 0o644 with
+      | fd ->
+          dl.dl_fd <- Some fd;
+          Some fd
       | exception (Unix.Unix_error _ | Sys_error _) ->
           (* cannot even create the lock file (read-only dir, …):
              degrade *)
-          None
-      | fd ->
-          Fun.protect
-            ~finally:(fun () ->
-              try Unix.close fd with Unix.Unix_error _ -> ())
-            (fun () ->
-              let cmd = if shared then Unix.F_TRLOCK else Unix.F_TLOCK in
-              let rec acquire attempt =
-                match Unix.lockf fd cmd 0 with
-                | () -> true
-                | exception Unix.Unix_error ((EAGAIN | EACCES | EINTR), _, _)
-                  when attempt < 3 ->
-                    Unix.sleepf (0.002 *. float_of_int (1 lsl attempt));
-                    acquire (attempt + 1)
-                | exception (Unix.Unix_error _ | Sys_error _) -> false
-              in
-              if acquire 0 then
-                (* closing fd in [finally] releases the lock *)
-                Some (f ())
-              else None))
+          None)
+
+let rec dir_lock_acquire ~shared dl dir attempt =
+  Mutex.lock dl.dl_mu;
+  let outcome =
+    match (dl.dl_mode, shared) with
+    | `Shared n, true ->
+        (* the process already holds the shared file lock: join it *)
+        dl.dl_mode <- `Shared (n + 1);
+        `Ok
+    | `Free, _ -> (
+        match dir_lock_fd dl dir with
+        | None -> `Fail
+        | Some fd -> (
+            (* one non-blocking attempt; backoff runs with the mutex
+               released so other sections are not held up *)
+            let cmd = if shared then Unix.F_TRLOCK else Unix.F_TLOCK in
+            match Unix.lockf fd cmd 0 with
+            | () ->
+                dl.dl_mode <- (if shared then `Shared 1 else `Exclusive);
+                `Ok
+            | exception Unix.Unix_error ((EAGAIN | EACCES | EINTR), _, _) ->
+                `Busy
+            | exception (Unix.Unix_error _ | Sys_error _) -> `Fail))
+    | (`Shared _ | `Exclusive), _ ->
+        (* an incompatible in-process holder *)
+        `Busy
+  in
+  Mutex.unlock dl.dl_mu;
+  match outcome with
+  | `Ok -> true
+  | `Fail -> false
+  | `Busy ->
+      if attempt >= 3 then false
+      else begin
+        Unix.sleepf (0.002 *. float_of_int (1 lsl attempt));
+        dir_lock_acquire ~shared dl dir (attempt + 1)
+      end
+
+let dir_lock_release dl =
+  Mutex.lock dl.dl_mu;
+  (match dl.dl_mode with
+  | `Shared n when n > 1 -> dl.dl_mode <- `Shared (n - 1)
+  | `Shared _ | `Exclusive -> (
+      dl.dl_mode <- `Free;
+      match dl.dl_fd with
+      | Some fd -> (
+          try Unix.lockf fd Unix.F_ULOCK 0
+          with Unix.Unix_error _ | Sys_error _ -> ())
+      | None -> ())
+  | `Free -> ());
+  Mutex.unlock dl.dl_mu
+
+let with_dir_lock ?(shared = false) dir f =
+  let dl = dir_lock_for dir in
+  if dir_lock_acquire ~shared dl dir 0 then
+    Fun.protect
+      ~finally:(fun () -> dir_lock_release dl)
+      (fun () -> Some (f ()))
+  else None
 
 let sweep_orphans dir =
   match Sys.readdir dir with
@@ -395,8 +467,12 @@ let disk_store_blob ~faults ~retries ~suffix c k full =
         | _ -> full
       in
       let tmp =
+        (* thread id, not domain id: concurrent daemon threads all
+           live on domain 0 and their stores now overlap in time, so
+           the temporary must be unique per writer thread (thread ids
+           are process-unique, covering worker domains too) *)
         disk_path ~suffix dir
-          (Printf.sprintf "%s.tmp.%d" k (Domain.self () :> int))
+          (Printf.sprintf "%s.tmp.%d" k (Thread.id (Thread.self ())))
       in
       if not (Sys.file_exists dir) then begin
         try Sys.mkdir dir 0o755 with Sys_error _ -> ()

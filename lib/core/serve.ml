@@ -733,15 +733,12 @@ let handle_connection t fd =
         (* a finished client, or an idle/slow-loris one: just let the
            connection go *)
         ()
-    | Error Bad_checksum ->
-        (* the length prefix was honest, so the frame boundary is
-           still trustworthy: reject the frame, keep the connection *)
-        Atomic.incr t.t_proto_err;
-        if send_response t fd (error_response ~code:"bad-frame" "frame checksum mismatch")
-        then loop ()
-    | Error ((Bad_magic | Oversized _ | Truncated) as e) ->
+    | Error ((Bad_magic | Oversized _ | Truncated | Bad_checksum) as e) ->
         (* the stream position can no longer be trusted: answer if
-           possible, then drop the connection *)
+           possible, then drop the connection.  A checksum mismatch is
+           in this class too — the digest covers only the payload, so
+           a corrupted length prefix also surfaces as Bad_checksum,
+           and then the boundary we read at was never real *)
         Atomic.incr t.t_proto_err;
         ignore
           (send_response t fd
@@ -848,9 +845,35 @@ let serve t =
 
 (* ---------- client helpers ---------- *)
 
-let connect path =
+let connect ?(io_timeout_ms = 0) path =
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  match
+    if io_timeout_ms <= 0 then Unix.connect fd (Unix.ADDR_UNIX path)
+    else begin
+      let s = float_of_int io_timeout_ms /. 1000.0 in
+      (* the connect itself is bounded too: a wedged daemon whose
+         backlog has filled parks a blocking connect forever *)
+      Unix.set_nonblock fd;
+      (match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> ()
+      | exception Unix.Unix_error ((EINPROGRESS | EAGAIN | EWOULDBLOCK), _, _)
+        -> (
+          match Unix.select [] [ fd ] [] s with
+          | [], [], [] ->
+              raise (Unix.Unix_error (ETIMEDOUT, "connect", path))
+          | _ -> (
+              match Unix.getsockopt_error fd with
+              | None -> ()
+              | Some e -> raise (Unix.Unix_error (e, "connect", path)))));
+      Unix.clear_nonblock fd;
+      (* and so is every read/write: a daemon that stops responding
+         mid-exchange surfaces as Timed_out, never as a hung client *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+       with Unix.Unix_error _ -> ());
+      try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+      with Unix.Unix_error _ -> ()
+    end
+  with
   | () -> fd
   | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -870,7 +893,9 @@ let wait_ready ?(timeout_s = 5.0) path =
   let deadline = Unix.gettimeofday () +. timeout_s in
   let rec go () =
     let ready =
-      match connect path with
+      (* each probe is individually bounded so a half-up daemon cannot
+         park one past the caller's overall deadline *)
+      match connect ~io_timeout_ms:1000 path with
       | exception (Unix.Unix_error _ | Sys_error _) -> false
       | fd ->
           Fun.protect

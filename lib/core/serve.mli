@@ -11,8 +11,10 @@
       frame ({!read_frame} / {!write_frame}).  Malformed input —
       bad magic, oversized length prefixes, truncated frames, checksum
       mismatches, garbage payloads — is answered with a structured
-      error frame (or, when the stream can no longer be trusted, the
-      connection is dropped); the accept loop is never affected.
+      error frame; whenever the frame boundary can no longer be
+      trusted (including checksum mismatches: the digest covers only
+      the payload, so a corrupted length prefix surfaces as one) the
+      connection is also dropped.  The accept loop is never affected.
     - Every analysis runs under a per-request {!Limits} budget: the
       server's defaults, clamped further by the request (a request can
       only tighten its budget, never exceed the server's).  A hostile
@@ -190,8 +192,13 @@ val stats : t -> server_stats
 
 (** {1 Client helpers} *)
 
-val connect : string -> Unix.file_descr
-(** Connect to a daemon's socket. *)
+val connect : ?io_timeout_ms:int -> string -> Unix.file_descr
+(** Connect to a daemon's socket.  With [io_timeout_ms > 0] the
+    connect, and every subsequent read and write on the descriptor,
+    is bounded: a wedged or stalled daemon surfaces as
+    [Unix_error (ETIMEDOUT, _, _)] (connect) or {!Timed_out}
+    (roundtrip) instead of hanging the client forever.  [0] (the
+    default) keeps the descriptor fully blocking. *)
 
 val roundtrip :
   ?faults:Faults.t ->

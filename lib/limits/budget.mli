@@ -1,16 +1,18 @@
-(** Per-domain analysis budgets.
+(** Per-thread analysis budgets.
 
     Every analysis pass that recurses or loops over untrusted input
-    consults the domain's {e current budget}: a fuel counter (bounding
+    consults the thread's {e current budget}: a fuel counter (bounding
     total work), a recursion-depth cap (bounding stack growth well
     below [Stack_overflow] territory), and an optional wall-clock
     deadline (checked every few fuel ticks, so a runaway source times
-    out instead of hanging a worker domain).
+    out instead of hanging a worker).
 
     The budget is installed with {!install} for the dynamic extent of
     one analysis; the hot paths call {!tick} and {!with_depth} without
-    threading state through every signature.  Each domain owns its own
-    slot ({!Domain.DLS}), so concurrent batch workers cannot observe
+    threading state through every signature.  Each {e sys-thread} owns
+    its own slot, keyed by [Thread.id] — not [Domain.DLS], which all
+    of a domain's threads share — so concurrent batch worker domains
+    {e and} concurrent server threads on one domain cannot observe
     each other's budgets.  When nothing is installed a permissive
     default applies: unlimited fuel, no deadline, and a recursion-depth
     cap of {!default_depth} (deep enough for any legitimate program,
@@ -38,7 +40,7 @@ val make : ?fuel:int -> ?depth:int -> ?timeout_ms:int -> unit -> t
     first check. *)
 
 val install : t -> (unit -> 'a) -> 'a
-(** [install b f] makes [b] the calling domain's current budget for the
+(** [install b f] makes [b] the calling thread's current budget for the
     duration of [f], restoring the previous budget afterwards (also on
     exceptions).  The deadline is checked once on entry. *)
 

@@ -9,6 +9,9 @@
      matches the library, failures arrive as structured error frames,
      per-request budgets clamp at the server's ceiling, the shared
      cache stays warm across requests;
+   - budget isolation: concurrent threads and concurrent requests each
+     keep their own fuel/deadline (the slot is per sys-thread, never
+     shared through a domain);
    - wire faults (pinned by MIRA_FAULT_SEED): slow clients, slow-loris
      stalls, mid-frame disconnects, short writes;
    - bounded admission: offered load beyond max-inflight is shed with
@@ -297,14 +300,17 @@ let fuzz_tests =
         in
         check bool "final stats carry the damage" true
           (final.Serve.sv_protocol_errors > 0));
-    test_case "checksum mismatch keeps the connection alive" `Quick
-      (fun () ->
+    test_case "checksum mismatch is answered, then the connection dropped"
+      `Quick (fun () ->
         let (), _ =
           with_server (fun ~socket _server ->
               with_conn socket (fun fd ->
-                  (* flip a payload byte: the frame boundary is still
-                     trustworthy, so the server answers an error frame
-                     and the same connection keeps working *)
+                  (* flip a payload byte: the digest covers only the
+                     payload, so this mismatch is indistinguishable
+                     from a corrupted length prefix — the frame
+                     boundary cannot be trusted, and the server must
+                     resynchronize by dropping the connection (after a
+                     best-effort error frame) *)
                   let f =
                     Bytes.of_string
                       (valid_frame (Serve.encode_request Serve.Ping))
@@ -314,6 +320,7 @@ let fuzz_tests =
                     (Char.chr
                        (Char.code (Bytes.get f (Bytes.length f - 1)) lxor 0xff));
                   write_all fd (Bytes.to_string f);
+                  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
                   (match Serve.read_frame fd with
                   | Ok payload -> (
                       match Serve.parse_response payload with
@@ -323,12 +330,20 @@ let fuzz_tests =
                           Alcotest.(check (option string))
                             "bad-frame code" (Some "bad-frame") (code resp)
                       | Error m -> failf "unparseable error frame: %s" m)
+                  | Error (Serve.Closed | Serve.Truncated) ->
+                      (* dropping without the courtesy frame is legal *)
+                      ()
                   | Error e ->
-                      failf "expected an error frame, got %s"
+                      failf "expected an error frame or a drop, got %s"
                         (Serve.frame_error_to_string e));
-                  let r = roundtrip_exn fd Serve.Ping in
-                  Alcotest.(check string)
-                    "same connection still serves" "ok" r.rs_status))
+                  (match Serve.read_frame fd with
+                  | Error Serve.Closed -> ()
+                  | Error e ->
+                      failf "expected a dropped connection, got %s"
+                        (Serve.frame_error_to_string e)
+                  | Ok _ -> fail "server kept a desynced connection alive"));
+              (* a fresh connection is served as if nothing happened *)
+              ping_ok socket)
         in
         ());
   ]
@@ -543,6 +558,165 @@ let request_tests =
               check bool "hwm at least one" true (get "inflight-hwm" >= 1);
               check bool "analyzed counted" true (get "analyzed" >= 1);
               check bool "shed starts at zero" true (get "shed" = 0))
+        in
+        ());
+  ]
+
+(* ---------- budget isolation ----------
+
+   The daemon serves every connection on a [Thread.create] thread, all
+   sharing domain 0.  The current-budget slot therefore must be
+   per-thread: when it lived in [Domain.DLS] (shared by all of a
+   domain's sys-threads), concurrent requests overwrote each other's
+   budget — one request's ticks burned another's fuel, and a restore
+   firing mid-request dropped a live budget back to the unlimited
+   default, letting a hostile source escape its budget entirely. *)
+
+let budget_isolation_tests =
+  let open Alcotest in
+  [
+    test_case "concurrent threads keep their own budgets" `Quick (fun () ->
+        (* Deterministic interleaving: A installs its tight budget,
+           then B installs a roomy one, and only then does A tick.
+           When the slot lived in Domain.DLS — which every sys-thread
+           of a domain shares — B's install overwrote A's, so A burned
+           B's fuel and its own 100-fuel cap never fired; and once A's
+           restore ran, B was left ticking the permissive default, so
+           its spend read back as zero.  Per-thread slots keep each
+           install private to its thread whatever the interleaving. *)
+        ignore (Limits.Budget.spent ());
+        (* primed, as a long-lived accept thread's slot would be *)
+        let a_installed = Atomic.make false in
+        let b_installed = Atomic.make false in
+        let a_finished = Atomic.make false in
+        let await flag =
+          while not (Atomic.get flag) do
+            Thread.yield ()
+          done
+        in
+        let a_result = ref (Error "thread A never ran") in
+        let b_result = ref (Error "thread B never ran") in
+        (* A: 100 fuel, burned exactly; the 101st tick must raise on
+           A's own budget even though B installed a bigger one after
+           A did and before A ticked *)
+        let a =
+          Thread.create
+            (fun () ->
+              (a_result :=
+                 try
+                   Limits.Budget.install
+                     (Limits.Budget.make ~fuel:100 ())
+                     (fun () ->
+                       Atomic.set a_installed true;
+                       await b_installed;
+                       let burned = ref 0 in
+                       match
+                         for _ = 1 to 101 do
+                           Limits.Budget.tick ();
+                           incr burned
+                         done
+                       with
+                       | () ->
+                           Error
+                             "101 ticks succeeded on a 100-fuel budget \
+                              (escaped into another thread's budget)"
+                       | exception
+                           Limits.Budget.Exhausted Limits.Budget.Fuel
+                         ->
+                           if !burned = 100 then Ok ()
+                           else
+                             Error
+                               (Printf.sprintf
+                                  "exhausted after %d ticks, not 100"
+                                  !burned))
+                 with e -> Error (Printexc.to_string e));
+              Atomic.set a_finished true)
+            ()
+        in
+        (* B: plenty of fuel; its spend must be exactly its own ticks
+           even though A exhausted and restored in between — foreign
+           ticks (or a clobbered slot reading back zero) is the bug *)
+        let b =
+          Thread.create
+            (fun () ->
+              b_result :=
+                try
+                  await a_installed;
+                  Limits.Budget.install
+                    (Limits.Budget.make ~fuel:10_000_000 ())
+                    (fun () ->
+                      Atomic.set b_installed true;
+                      await a_finished;
+                      for _ = 1 to 1_000_000 do
+                        Limits.Budget.tick ()
+                      done;
+                      let spent = Limits.Budget.spent () in
+                      if spent = 1_000_000 then Ok ()
+                      else
+                        Error
+                          (Printf.sprintf
+                             "budget saw foreign ticks: spent=%d" spent))
+                with e -> Error (Printexc.to_string e))
+            ()
+        in
+        Thread.join a;
+        Thread.join b;
+        (match !a_result with
+        | Ok () -> ()
+        | Error m -> failf "thread A: %s" m);
+        match !b_result with
+        | Ok () -> ()
+        | Error m -> failf "thread B: %s" m);
+    test_case "concurrent requests are budgeted independently" `Quick
+      (fun () ->
+        let (), _ =
+          with_server
+            ~cfg:(fun c -> { c with Serve.cfg_max_inflight = 16 })
+            (fun ~socket _server ->
+              (* four strangled requests (fuel 10 → budget error)
+                 racing four unlimited ones (→ ok); each must get its
+                 own verdict whatever the interleaving *)
+              let n = 8 in
+              let results = Array.make n None in
+              let threads =
+                List.init n (fun i ->
+                    Thread.create
+                      (fun i ->
+                        let budget =
+                          if i mod 2 = 0 then
+                            {
+                              Serve.rq_fuel = Some 10;
+                              rq_timeout_ms = None;
+                              rq_depth = None;
+                            }
+                          else Serve.no_budget
+                        in
+                        results.(i) <-
+                          Some
+                            (try Ok (request socket (analyze ~budget ()))
+                             with e -> Error (Printexc.to_string e)))
+                      i)
+              in
+              List.iter Thread.join threads;
+              Array.iteri
+                (fun i r ->
+                  match r with
+                  | None -> failf "request %d never finished" i
+                  | Some (Error m) -> failf "request %d: %s" i m
+                  | Some (Ok (resp : Serve.response)) ->
+                      if i mod 2 = 0 then begin
+                        check string
+                          (Printf.sprintf "request %d is budget-limited" i)
+                          "error" resp.rs_status;
+                        check (option string)
+                          (Printf.sprintf "request %d budget code" i)
+                          (Some "budget") (code resp)
+                      end
+                      else
+                        check string
+                          (Printf.sprintf "request %d runs to completion" i)
+                          "ok" resp.rs_status)
+                results)
         in
         ());
   ]
@@ -907,6 +1081,7 @@ let () =
       ("codec", codec_tests);
       ("protocol-fuzz", fuzz_tests);
       ("requests", request_tests);
+      ("budget-isolation", budget_isolation_tests);
       ("wire-faults", wire_tests);
       ("overload", overload_tests);
       ("shutdown", shutdown_tests);
