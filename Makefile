@@ -21,10 +21,12 @@ ci:
 	  timeout --kill-after=30 $(CI_TIMEOUT) dune runtest --force
 	$(MAKE) serve-smoke
 
-# Eval-service smoke: boot the real daemon, drive one client
-# round-trip per verb, SIGTERM it and require a clean drained exit —
-# all under a hard timeout so a wedged daemon fails CI instead of
-# hanging it.
+# Eval-service smoke: boot two real daemons — one on a Unix socket,
+# one on a TCP ephemeral port (discovered from its ready line) — drive
+# one client round-trip per verb, fan a pooled, pipelined eval-sweep
+# across both, then SIGTERM each and require clean drained exits — all
+# under a hard timeout so a wedged daemon fails CI instead of hanging
+# it.
 SERVE_TIMEOUT ?= 60
 serve-smoke: build
 	timeout --kill-after=10 $(SERVE_TIMEOUT) sh -ec ' \
@@ -32,14 +34,30 @@ serve-smoke: build
 	  dir=$$(mktemp -d); trap "rm -rf $$dir" EXIT; \
 	  sock=$$dir/mira.sock; \
 	  $$exe corpus-dump $$dir/corpus; \
-	  $$exe serve --socket $$sock --cache --cache-dir $$dir/cache & pid=$$!; \
-	  i=0; until $$exe client ping --socket $$sock >/dev/null 2>&1; do \
+	  $$exe serve --endpoint unix:$$sock --cache --cache-dir $$dir/cache-a \
+	    & pid_unix=$$!; \
+	  $$exe serve --endpoint tcp:127.0.0.1:0 --cache --cache-dir $$dir/cache-b \
+	    > $$dir/tcp.log & pid_tcp=$$!; \
+	  i=0; until $$exe client ping --endpoint unix:$$sock >/dev/null 2>&1; do \
 	    i=$$((i+1)); [ $$i -lt 100 ] || exit 1; sleep 0.05; done; \
-	  $$exe client analyze $$dir/corpus/saxpy.mc --socket $$sock >/dev/null; \
-	  $$exe client eval $$dir/corpus/stream.mc -f stream_triad -p n=1000 --socket $$sock; \
-	  $$exe client stats --socket $$sock; \
-	  kill -TERM $$pid; \
-	  wait $$pid'
+	  i=0; until grep -q "listening on tcp:" $$dir/tcp.log; do \
+	    i=$$((i+1)); [ $$i -lt 100 ] || exit 1; sleep 0.05; done; \
+	  tcp=$$(sed -n "s/^mira serve: listening on \(tcp:.*\)$$/\1/p" $$dir/tcp.log); \
+	  $$exe client ping --endpoint $$tcp; \
+	  $$exe client analyze $$dir/corpus/saxpy.mc --endpoint unix:$$sock >/dev/null; \
+	  $$exe client eval $$dir/corpus/stream.mc -f stream_triad -p n=1000 \
+	    --endpoint $$tcp; \
+	  $$exe client stats --endpoint $$tcp | grep -q "^uptime-ms="; \
+	  printf "%s\n%s\n%s\n%s\n" \
+	    "$$dir/corpus/saxpy.mc saxpy_chain n=64 reps=2" \
+	    "$$dir/corpus/saxpy.mc saxpy_chain n=128 reps=2" \
+	    "$$dir/corpus/stream.mc stream_triad n=1000" \
+	    "$$dir/corpus/stream.mc stream_triad n=2000" > $$dir/sweep.txt; \
+	  $$exe eval-sweep $$dir/sweep.txt --endpoint unix:$$sock --endpoint $$tcp \
+	    --pipeline 4 | tee $$dir/sweep.out; \
+	  [ $$(grep -c "^ok " $$dir/sweep.out) -eq 4 ]; \
+	  kill -TERM $$pid_unix; kill -TERM $$pid_tcp; \
+	  wait $$pid_unix; wait $$pid_tcp'
 
 bench:
 	dune exec bench/main.exe -- --fast

@@ -432,20 +432,201 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Compare static predictions with dynamic measurement (Tables III-V).")
     Term.(const run $ app_arg $ arch_arg)
 
+(* ---------- shared option set (batch / serve / client / eval-sweep) ----------
+
+   One definition per flag: every subcommand that touches the cache,
+   the limits, the fault schedule or a daemon endpoint gets identical
+   names, docs and defaults from this single source. *)
+
+module Opts = struct
+  let faults_conv =
+    let parse s =
+      match Mira_core.Faults.parse s with
+      | Ok f -> Ok f
+      | Error m -> Error (`Msg m)
+    in
+    let print ppf f =
+      Format.pp_print_string ppf (Mira_core.Faults.to_string f)
+    in
+    Arg.conv (parse, print)
+
+  let faults =
+    Arg.(
+      value & opt (some faults_conv) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection, e.g. \
+             seed=42,read=0.3,corrupt=0.2,worker=0.1,slow=0.5,slow_ms=20, \
+             including the wire sites net_write and disconnect, which fire \
+             identically over Unix and TCP transports (testing only; \
+             decisions are scheduling-independent).")
+
+  (* cache: --cache / --cache-dir / --cache-max-mb *)
+
+  let use_cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Memoize analyses content-addressed on disk (reused across runs \
+             and, under $(b,mira serve), kept warm across requests).")
+
+  let cache_dir =
+    Arg.(
+      value & opt string ".mira-cache"
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"On-disk cache directory.")
+
+  let cache_max_mb =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cache-max-mb" ] ~docv:"MB"
+          ~doc:
+            "Evict least-recently-used disk-cache entries after the run (on \
+             shutdown, for a daemon) until the directory is under this size \
+             (implies $(b,--cache)).")
+
+  (* a size cap only makes sense with a cache, so asking for one turns
+     the cache on rather than being silently ignored *)
+  let cache_term =
+    let make use dir mb =
+      let use = use || mb <> None in
+      ( (if use then Some (Mira_core.Batch.create_cache ~dir ()) else None),
+        mb )
+    in
+    Term.(const make $ use_cache $ cache_dir $ cache_max_mb)
+
+  (* evict after the run so this run's own entries participate in the
+     LRU ordering *)
+  let gc_cache = function
+    | Some c, Some mb ->
+        ignore (Mira_core.Batch.gc_disk ~max_bytes:(mb * 1024 * 1024) c)
+    | _ -> ()
+
+  (* limits: --fuel / --timeout-ms / --max-depth / --retries *)
+
+  let fuel =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Per-request work budget (tokens, statements, domain pieces); \
+             exhaustion becomes a diagnostic for that source (exit code 2). \
+             A daemon treats its own value as a ceiling: requests may \
+             tighten it but never exceed it.")
+
+  let timeout_ms =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request wall-clock deadline; an overrun becomes a timeout \
+             diagnostic for that source (exit code 2).  A daemon treats its \
+             own value as a ceiling: requests may tighten it but never \
+             exceed it.")
+
+  let depth =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"Per-request recursion-depth cap (default 10000).")
+
+  let retries =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Disk-cache I/O retry attempts after the first, with bounded \
+             exponential backoff (default 2).")
+
+  let limits_term =
+    let make fuel timeout_ms depth retries =
+      {
+        Mira_core.Limits.fuel;
+        depth = Option.value depth ~default:Mira_core.Limits.default.depth;
+        timeout_ms;
+        retries =
+          Option.value retries ~default:Mira_core.Limits.default.retries;
+      }
+    in
+    Term.(const make $ fuel $ timeout_ms $ depth $ retries)
+
+  (* the same flags, as a client-side budget request (clamped by the
+     daemon's ceiling; --retries is a disk-cache knob, not a wire one) *)
+  let budget_term =
+    let make fuel timeout_ms depth =
+      { Mira_core.Serve.rq_fuel = fuel; rq_timeout_ms = timeout_ms;
+        rq_depth = depth }
+    in
+    Term.(const make $ fuel $ timeout_ms $ depth)
+
+  (* endpoints: --endpoint (with --socket as unix shorthand) *)
+
+  let endpoint_conv =
+    let parse s =
+      match Mira_core.Endpoint.parse s with
+      | Ok e -> Ok e
+      | Error m -> Error (`Msg m)
+    in
+    let print ppf e =
+      Format.pp_print_string ppf (Mira_core.Endpoint.to_string e)
+    in
+    Arg.conv (parse, print)
+
+  let endpoints_term =
+    let eps =
+      Arg.(
+        value
+        & opt_all endpoint_conv []
+        & info [ "e"; "endpoint" ] ~docv:"ENDPOINT"
+            ~doc:
+              "Daemon endpoint, $(i,unix:PATH) or $(i,tcp:HOST:PORT) \
+               (repeatable; a bare path means $(i,unix:); port 0 asks the \
+               OS for an ephemeral port when serving).")
+    in
+    let socket =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "socket" ] ~docv:"PATH"
+            ~doc:
+              "Unix-domain socket path — shorthand for $(b,--endpoint) \
+               $(i,unix:PATH).")
+    in
+    let make eps socket =
+      match
+        (match socket with
+        | Some s -> Mira_core.Endpoint.Unix_sock s :: eps
+        | None -> eps)
+      with
+      | [] -> [ Mira_core.Endpoint.Unix_sock "mira.sock" ]
+      | eps -> eps
+    in
+    Term.(const make $ eps $ socket)
+
+  let io_timeout_ms =
+    Arg.(
+      value & opt int 30_000
+      & info [ "io-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Client-side socket timeout covering connect, every read/write \
+             and the per-request response deadline: a wedged or stalled \
+             daemon becomes a clean error exit instead of a hung client.  \
+             0 disables.")
+
+  let pipeline =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"K"
+          ~doc:
+            "Requests kept in flight per daemon connection: tagged with \
+             $(i,id=), answered possibly out of order, and re-associated by \
+             the tag.")
+end
+
 (* ---------- batch ---------- *)
 
-let faults_conv =
-  let parse s =
-    match Mira_core.Faults.parse s with
-    | Ok f -> Ok f
-    | Error m -> Error (`Msg m)
-  in
-  let print ppf f = Format.pp_print_string ppf (Mira_core.Faults.to_string f) in
-  Arg.conv (parse, print)
-
 let batch_cmd =
-  let run paths jobs use_cache cache_dir cache_max_mb no_incremental python
-      level timeout_ms fuel depth retries faults =
+  let run paths jobs cache no_incremental python level limits faults =
     handle_errors (fun () ->
         let sources =
           try Mira_core.Batch.sources_of_paths paths
@@ -457,34 +638,12 @@ let batch_cmd =
           Printf.eprintf "error: no .mc sources found\n";
           exit exit_analysis
         end;
-        (* a size cap only makes sense with a cache, so asking for one
-           turns the cache on rather than being silently ignored *)
-        let use_cache = use_cache || cache_max_mb <> None in
-        let cache =
-          if use_cache then
-            Some (Mira_core.Batch.create_cache ~dir:cache_dir ())
-          else None
-        in
-        let limits =
-          {
-            Mira_core.Limits.fuel;
-            depth =
-              Option.value depth ~default:Mira_core.Limits.default.depth;
-            timeout_ms;
-            retries =
-              Option.value retries ~default:Mira_core.Limits.default.retries;
-          }
-        in
         let results, stats =
-          Mira_core.Batch.run ~jobs ?cache ~incremental:(not no_incremental)
-            ~level ~limits ?faults sources
+          Mira_core.Batch.run ~jobs
+            ?cache:(fst cache)
+            ~incremental:(not no_incremental) ~level ~limits ?faults sources
         in
-        (* evict after the run so this run's own entries participate in
-           the LRU ordering *)
-        (match (cache, cache_max_mb) with
-        | Some c, Some mb ->
-            ignore (Mira_core.Batch.gc_disk ~max_bytes:(mb * 1024 * 1024) c)
-        | _ -> ());
+        Opts.gc_cache cache;
         if python then
           List.iter
             (function
@@ -511,25 +670,6 @@ let batch_cmd =
       value & opt int 1
       & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains to analyze with.")
   in
-  let use_cache =
-    Arg.(
-      value & flag
-      & info [ "cache" ]
-          ~doc:"Memoize analyses content-addressed on disk (reused across runs).")
-  in
-  let cache_dir =
-    Arg.(
-      value & opt string ".mira-cache"
-      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"On-disk cache directory.")
-  in
-  let cache_max_mb =
-    Arg.(
-      value & opt (some int) None
-      & info [ "cache-max-mb" ] ~docv:"MB"
-          ~doc:
-            "Evict least-recently-used disk-cache entries after the run \
-             until the directory is under this size (implies $(b,--cache)).")
-  in
   let no_incremental =
     Arg.(
       value & flag
@@ -545,95 +685,32 @@ let batch_cmd =
       & info [ "python" ]
           ~doc:"Print every generated Python model instead of the batch report.")
   in
-  let timeout_ms =
-    Arg.(
-      value & opt (some int) None
-      & info [ "timeout-ms" ] ~docv:"MS"
-          ~doc:
-            "Per-source wall-clock deadline; an overrun becomes a timeout \
-             diagnostic for that source (exit code 2).")
-  in
-  let fuel =
-    Arg.(
-      value & opt (some int) None
-      & info [ "fuel" ] ~docv:"N"
-          ~doc:
-            "Per-source work budget (tokens, statements, domain pieces); \
-             exhaustion becomes a diagnostic for that source (exit code 2).")
-  in
-  let depth =
-    Arg.(
-      value & opt (some int) None
-      & info [ "max-depth" ] ~docv:"N"
-          ~doc:"Per-source recursion-depth cap (default 10000).")
-  in
-  let retries =
-    Arg.(
-      value & opt (some int) None
-      & info [ "retries" ] ~docv:"N"
-          ~doc:
-            "Disk-cache I/O retry attempts after the first, with bounded \
-             exponential backoff (default 2).")
-  in
-  let faults =
-    Arg.(
-      value & opt (some faults_conv) None
-      & info [ "faults" ] ~docv:"SPEC"
-          ~doc:
-            "Deterministic fault injection, e.g. \
-             seed=42,read=0.3,corrupt=0.2,worker=0.1,slow=0.5,slow_ms=20 \
-             (testing only; decisions are scheduling-independent).")
-  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Analyze many sources concurrently with memoization (deterministic: \
           output is byte-identical for any --jobs and cache state).")
     Term.(
-      const run $ paths $ jobs $ use_cache $ cache_dir $ cache_max_mb
-      $ no_incremental $ python $ level_arg $ timeout_ms $ fuel $ depth
-      $ retries $ faults)
+      const run $ paths $ jobs $ Opts.cache_term $ no_incremental $ python
+      $ level_arg $ Opts.limits_term $ Opts.faults)
 
-(* ---------- serve / client ---------- *)
-
-let socket_arg =
-  Arg.(
-    value
-    & opt string "mira.sock"
-    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+(* ---------- serve / client / eval-sweep ---------- *)
 
 let serve_cmd =
-  let run socket max_inflight max_frame_bytes idle_timeout_ms drain_ms
-      use_cache cache_dir cache_max_mb no_incremental level timeout_ms fuel
-      depth retries faults =
+  let run endpoints max_inflight max_pipeline max_frame_bytes idle_timeout_ms
+      drain_ms cache no_incremental level limits faults =
     handle_errors (fun () ->
-        (* a size cap only makes sense with a cache, as in `mira batch` *)
-        let use_cache = use_cache || cache_max_mb <> None in
-        let cache =
-          if use_cache then
-            Some (Mira_core.Batch.create_cache ~dir:cache_dir ())
-          else None
-        in
-        let limits =
-          {
-            Mira_core.Limits.fuel;
-            depth =
-              Option.value depth ~default:Mira_core.Limits.default.depth;
-            timeout_ms;
-            retries =
-              Option.value retries ~default:Mira_core.Limits.default.retries;
-          }
-        in
         let cfg =
           {
-            (Mira_core.Serve.default_config ~socket) with
+            (Mira_core.Serve.default_config_endpoints ~endpoints) with
             cfg_max_inflight = max 1 max_inflight;
+            cfg_max_pipeline = max 1 max_pipeline;
             cfg_max_frame_bytes = max 1024 max_frame_bytes;
             cfg_idle_timeout_ms = idle_timeout_ms;
             cfg_drain_ms = drain_ms;
             cfg_level = level;
             cfg_limits = limits;
-            cfg_cache = cache;
+            cfg_cache = fst cache;
             cfg_incremental = not no_incremental;
             cfg_faults = faults;
           }
@@ -645,13 +722,16 @@ let serve_cmd =
             Sys.set_signal s
               (Sys.Signal_handle (fun _ -> Mira_core.Serve.stop server)))
           [ Sys.sigterm; Sys.sigint ];
-        (* the ready line is the startup handshake scripts wait for *)
-        Printf.printf "mira serve: listening on %s\n%!" socket;
+        (* the ready lines are the startup handshake scripts wait for; a
+           tcp:HOST:0 endpoint is printed with its OS-assigned port, which
+           is the only place that port is advertised *)
+        List.iter
+          (fun ep ->
+            Printf.printf "mira serve: listening on %s\n%!"
+              (Mira_core.Endpoint.to_string ep))
+          (Mira_core.Serve.bound_endpoints server);
         let stats = Mira_core.Serve.serve server in
-        (match (cache, cache_max_mb) with
-        | Some c, Some mb ->
-            ignore (Mira_core.Batch.gc_disk ~max_bytes:(mb * 1024 * 1024) c)
-        | _ -> ());
+        Opts.gc_cache cache;
         Printf.printf
           "mira serve: drained; %d served, %d failed, %d shed, %d protocol \
            error(s), in-flight high-water %d\n"
@@ -666,6 +746,15 @@ let serve_cmd =
             "Connections served concurrently; beyond this, new connections \
              are shed with an $(i,overloaded) frame (bounded memory under \
              any offered load).")
+  in
+  let max_pipeline =
+    Arg.(
+      value & opt int 8
+      & info [ "max-pipeline" ] ~docv:"N"
+          ~doc:
+            "Tagged ($(i,id=)) requests dispatched concurrently per \
+             connection; beyond this the connection's reader stops \
+             consuming, backpressuring the socket.")
   in
   let max_frame_bytes =
     Arg.(
@@ -689,90 +778,74 @@ let serve_cmd =
           ~doc:
             "Hard deadline for the graceful drain on SIGTERM/SIGINT/shutdown.")
   in
-  let use_cache =
-    Arg.(
-      value & flag
-      & info [ "cache" ]
-          ~doc:"Keep a content-addressed disk cache warm across requests.")
-  in
-  let cache_dir =
-    Arg.(
-      value & opt string ".mira-cache"
-      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"On-disk cache directory.")
-  in
-  let cache_max_mb =
-    Arg.(
-      value & opt (some int) None
-      & info [ "cache-max-mb" ] ~docv:"MB"
-          ~doc:
-            "Evict least-recently-used disk-cache entries on shutdown until \
-             the directory is under this size (implies $(b,--cache)).")
-  in
   let no_incremental =
     Arg.(
       value & flag
       & info [ "no-incremental" ]
           ~doc:"Disable function-granular incremental reanalysis.")
   in
-  let timeout_ms =
-    Arg.(
-      value & opt (some int) None
-      & info [ "timeout-ms" ] ~docv:"MS"
-          ~doc:
-            "Default per-request wall-clock deadline; requests may tighten \
-             it but never exceed it.")
-  in
-  let fuel =
-    Arg.(
-      value & opt (some int) None
-      & info [ "fuel" ] ~docv:"N"
-          ~doc:
-            "Default per-request work budget; requests may tighten it but \
-             never exceed it.")
-  in
-  let depth =
-    Arg.(
-      value & opt (some int) None
-      & info [ "max-depth" ] ~docv:"N"
-          ~doc:"Per-request recursion-depth cap (default 10000).")
-  in
-  let retries =
-    Arg.(
-      value & opt (some int) None
-      & info [ "retries" ] ~docv:"N"
-          ~doc:"Disk-cache I/O retry attempts after the first (default 2).")
-  in
-  let faults =
-    Arg.(
-      value & opt (some faults_conv) None
-      & info [ "faults" ] ~docv:"SPEC"
-          ~doc:
-            "Deterministic fault injection, including the wire sites \
-             net_write and disconnect (testing only).")
-  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the analysis daemon: a long-lived process serving \
-          analyze/eval/stats/ping over a Unix-domain socket, with the batch \
-          cache kept warm, per-request budgets, bounded admission, and \
-          graceful drain on SIGTERM.")
+          analyze/eval/stats/ping over Unix-domain and/or TCP endpoints \
+          (repeat $(b,--endpoint) to listen on several), with pipelined \
+          requests, the batch cache kept warm, per-request budgets, bounded \
+          admission, and graceful drain on SIGTERM.")
     Term.(
-      const run $ socket_arg $ max_inflight $ max_frame_bytes
-      $ idle_timeout_ms $ drain_ms $ use_cache $ cache_dir $ cache_max_mb
-      $ no_incremental $ level_arg $ timeout_ms $ fuel $ depth $ retries
-      $ faults)
+      const run $ Opts.endpoints_term $ max_inflight $ max_pipeline
+      $ max_frame_bytes $ idle_timeout_ms $ drain_ms $ Opts.cache_term
+      $ no_incremental $ level_arg $ Opts.limits_term $ Opts.faults)
+
+(* shared response rendering for the pooled clients: print one response
+   (body to stdout, diagnostics to stderr) and return its exit code *)
+let render_response = function
+  | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit_internal
+  | Ok resp -> (
+      match resp.Mira_core.Serve.rs_status with
+      | "ok" ->
+          List.iter
+            (fun (k, v) ->
+              if k = "warning" then Printf.eprintf "warning: %s\n" v)
+            resp.rs_fields;
+          (if resp.rs_body <> "" then begin
+             print_string resp.rs_body;
+             (* eval carries its headline numbers as fields *)
+             List.iter
+               (fun k ->
+                 match Mira_core.Serve.field resp k with
+                 | Some v -> Printf.printf "%s=%s\n" k v
+                 | None -> ())
+               [ "fpi"; "total" ]
+           end
+           else
+             match Mira_core.Serve.field resp "pong" with
+             | Some _ -> print_endline "pong"
+             | None -> print_endline "ok");
+          0
+      | "overloaded" ->
+          Printf.eprintf "error: server overloaded, retry later\n";
+          exit_budget
+      | "error" ->
+          let msg =
+            Option.value
+              (Mira_core.Serve.field resp "message")
+              ~default:"unknown error"
+          in
+          Printf.eprintf "error: %s\n" msg;
+          (match Mira_core.Serve.field resp "code" with
+          | Some ("budget" | "timeout") -> exit_budget
+          | Some "internal" -> exit_internal
+          | _ -> exit_analysis)
+      | other ->
+          Printf.eprintf "error: unknown response status %S\n" other;
+          exit_internal)
 
 let client_cmd =
-  let run socket verb file fname params fuel timeout_ms io_timeout_ms =
+  let run endpoints verb file fname params budget io_timeout_ms pipeline =
     handle_errors (fun () ->
-        let budget =
-          {
-            Mira_core.Serve.rq_fuel = fuel;
-            rq_timeout_ms = timeout_ms;
-            rq_depth = None;
-          }
-        in
         let need_file () =
           match file with
           | Some f -> f
@@ -815,63 +888,19 @@ let client_cmd =
                 other;
               exit 124
         in
-        let fd =
-          try Mira_core.Serve.connect ~io_timeout_ms socket
-          with Unix.Unix_error (e, _, _) ->
-            Printf.eprintf "error: cannot connect to %s: %s\n" socket
-              (Unix.error_message e);
-            exit exit_internal
+        let pipeline = max 1 pipeline in
+        let results =
+          Mira_core.Client.with_pool ~io_timeout_ms ~max_inflight:pipeline
+            endpoints (fun pool ->
+              if pipeline = 1 then [ Mira_core.Client.request pool req ]
+              else
+                Mira_core.Client.sweep pool
+                  (List.init pipeline (fun _ -> req)))
         in
-        let result = Mira_core.Serve.roundtrip fd req in
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        match result with
-        | Error m ->
-            let hint =
-              if m = "socket timeout" then
-                " (no response within --io-timeout-ms; daemon wedged?)"
-              else ""
-            in
-            Printf.eprintf "error: %s%s\n" m hint;
-            exit exit_internal
-        | Ok resp -> (
-            match resp.Mira_core.Serve.rs_status with
-            | "ok" ->
-                List.iter
-                  (fun (k, v) ->
-                    if k = "warning" then Printf.eprintf "warning: %s\n" v)
-                  resp.rs_fields;
-                if resp.rs_body <> "" then begin
-                  print_string resp.rs_body;
-                  (* eval carries its headline numbers as fields *)
-                  List.iter
-                    (fun k ->
-                      match Mira_core.Serve.field resp k with
-                      | Some v -> Printf.printf "%s=%s\n" k v
-                      | None -> ())
-                    [ "fpi"; "total" ]
-                end
-                else (
-                  match Mira_core.Serve.field resp "pong" with
-                  | Some _ -> print_endline "pong"
-                  | None -> print_endline "ok")
-            | "overloaded" ->
-                Printf.eprintf "error: server overloaded, retry later\n";
-                exit exit_budget
-            | "error" ->
-                let msg =
-                  Option.value
-                    (Mira_core.Serve.field resp "message")
-                    ~default:"unknown error"
-                in
-                Printf.eprintf "error: %s\n" msg;
-                exit
-                  (match Mira_core.Serve.field resp "code" with
-                  | Some ("budget" | "timeout") -> exit_budget
-                  | Some "internal" -> exit_internal
-                  | _ -> exit_analysis)
-            | other ->
-                Printf.eprintf "error: unknown response status %S\n" other;
-                exit exit_internal))
+        let worst =
+          List.fold_left (fun acc r -> max acc (render_response r)) 0 results
+        in
+        if worst <> 0 then exit worst)
   in
   let verb =
     Arg.(
@@ -893,35 +922,171 @@ let client_cmd =
       & info [ "f"; "function" ] ~docv:"FN"
           ~doc:"Function to evaluate (mangled name).")
   in
-  let fuel =
-    Arg.(
-      value & opt (some int) None
-      & info [ "fuel" ] ~docv:"N"
-          ~doc:"Tighten the request's work budget (clamped by the server's).")
-  in
-  let timeout_ms =
-    Arg.(
-      value & opt (some int) None
-      & info [ "timeout-ms" ] ~docv:"MS"
-          ~doc:
-            "Tighten the request's wall-clock deadline (clamped by the \
-             server's).")
-  in
-  let io_timeout_ms =
-    Arg.(
-      value & opt int 30_000
-      & info [ "io-timeout-ms" ] ~docv:"MS"
-          ~doc:
-            "Client-side socket timeout covering connect and every \
-             read/write: a wedged or stalled daemon becomes a clean error \
-             exit instead of a hung client.  0 disables.")
-  in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Send one request to a running $(b,mira serve) daemon.")
+       ~doc:
+         "Send a request to running $(b,mira serve) daemon(s) through the \
+          connection pool (repeat $(b,--endpoint) to spread load; \
+          $(b,--pipeline) $(i,K) sends the request K times down one \
+          connection and prints the answers in request order).")
     Term.(
-      const run $ socket_arg $ verb $ file $ fname $ params_arg $ fuel
-      $ timeout_ms $ io_timeout_ms)
+      const run $ Opts.endpoints_term $ verb $ file $ fname $ params_arg
+      $ Opts.budget_term $ Opts.io_timeout_ms $ Opts.pipeline)
+
+let eval_sweep_cmd =
+  let run sweep_file endpoints pipeline io_timeout_ms budget =
+    handle_errors (fun () ->
+        let usage_error ln msg =
+          Printf.eprintf "error: %s:%d: %s\n" sweep_file ln msg;
+          exit 124
+        in
+        (* one spec line per evaluation: FILE FUNCTION [name=value ...] *)
+        let specs =
+          let ln = ref 0 in
+          read_file sweep_file |> String.split_on_char '\n'
+          |> List.filter_map (fun line ->
+                 incr ln;
+                 let line =
+                   String.map (fun c -> if c = '\t' then ' ' else c) line
+                   |> String.trim
+                 in
+                 if line = "" || line.[0] = '#' then None
+                 else
+                   match
+                     String.split_on_char ' ' line
+                     |> List.filter (fun s -> s <> "")
+                   with
+                   | file :: fn :: binds ->
+                       let params =
+                         List.map
+                           (fun tok ->
+                             match String.index_opt tok '=' with
+                             | Some i when i > 0 -> (
+                                 let v =
+                                   String.sub tok (i + 1)
+                                     (String.length tok - i - 1)
+                                 in
+                                 match int_of_string_opt v with
+                                 | Some n -> (String.sub tok 0 i, n)
+                                 | None ->
+                                     usage_error !ln
+                                       (Printf.sprintf
+                                          "binding %S is not name=INT" tok))
+                             | _ ->
+                                 usage_error !ln
+                                   (Printf.sprintf
+                                      "binding %S is not name=INT" tok))
+                           binds
+                       in
+                       Some (!ln, file, fn, params)
+                   | _ ->
+                       usage_error !ln
+                         "expected: FILE FUNCTION [name=value ...]")
+        in
+        if specs = [] then begin
+          Printf.eprintf "error: %s: no evaluations\n" sweep_file;
+          exit 124
+        end;
+        (* each distinct file is read (and shipped) once per request but
+           loaded from disk once *)
+        let sources = Hashtbl.create 16 in
+        let source_of ln f =
+          match Hashtbl.find_opt sources f with
+          | Some s -> s
+          | None ->
+              let s =
+                try read_file f
+                with Sys_error m -> usage_error ln m
+              in
+              Hashtbl.add sources f s;
+              s
+        in
+        let reqs =
+          List.map
+            (fun (ln, file, fn, params) ->
+              Mira_core.Serve.Eval
+                {
+                  ev_name = Filename.basename file;
+                  ev_source = source_of ln file;
+                  ev_function = fn;
+                  ev_params = params;
+                  ev_budget = budget;
+                })
+            specs
+        in
+        let results =
+          Mira_core.Client.with_pool ~io_timeout_ms
+            ~max_inflight:(max 1 pipeline) endpoints (fun pool ->
+              Mira_core.Client.sweep pool reqs)
+        in
+        (* results come back in input order whatever the completion order
+           across the pool was; render one line per spec line *)
+        let transport = ref 0 and budget_hits = ref 0 and failed = ref 0 in
+        List.iter2
+          (fun (_, file, fn, params) result ->
+            let label =
+              Printf.sprintf "%s %s%s" (Filename.basename file) fn
+                (String.concat ""
+                   (List.map
+                      (fun (k, v) -> Printf.sprintf " %s=%d" k v)
+                      params))
+            in
+            match result with
+            | Error m ->
+                incr transport;
+                Printf.printf "error %s: %s\n" label m
+            | Ok resp -> (
+                match resp.Mira_core.Serve.rs_status with
+                | "ok" ->
+                    let fld k =
+                      Option.value
+                        (Mira_core.Serve.field resp k)
+                        ~default:"?"
+                    in
+                    Printf.printf "ok %s fpi=%s total=%s\n" label (fld "fpi")
+                      (fld "total")
+                | "overloaded" ->
+                    incr budget_hits;
+                    Printf.printf "error %s: server overloaded\n" label
+                | _ ->
+                    let msg =
+                      Option.value
+                        (Mira_core.Serve.field resp "message")
+                        ~default:"unknown error"
+                    in
+                    (match Mira_core.Serve.field resp "code" with
+                    | Some ("budget" | "timeout") -> incr budget_hits
+                    | _ -> incr failed);
+                    Printf.printf "error %s: %s\n" label msg))
+          specs results;
+        (* transport failures outrank budget outranks analysis, mirroring
+           `mira batch`'s slow-vs-broken split with an extra "unreachable"
+           tier *)
+        if !transport > 0 then exit exit_internal
+        else if !budget_hits > 0 then exit exit_budget
+        else if !failed > 0 then exit exit_analysis)
+  in
+  let sweep_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SWEEPFILE"
+          ~doc:
+            "Evaluation sweep: one $(i,FILE FUNCTION [name=value ...]) line \
+             per evaluation ($(i,#) comments and blank lines ignored).")
+  in
+  Cmd.v
+    (Cmd.info "eval-sweep"
+       ~doc:
+         "Fan a batch of model evaluations across a pool of $(b,mira serve) \
+          daemons (repeat $(b,--endpoint); Unix and TCP mix freely) and \
+          print one result line per sweep line, in input order.  Endpoints \
+          that die mid-sweep are retried elsewhere; exit status is 3 if any \
+          evaluation could not reach a daemon, else 2 on any budget/timeout \
+          overrun, else 1 on any analysis failure.")
+    Term.(
+      const run $ sweep_file $ Opts.endpoints_term $ Opts.pipeline
+      $ Opts.io_timeout_ms $ Opts.budget_term)
 
 (* ---------- corpus-dump ---------- *)
 
@@ -968,5 +1133,5 @@ let () =
           [
             parse_cmd; dot_cmd; compile_cmd; disasm_cmd; analyze_cmd; eval_cmd;
             predict_cmd; profile_cmd; coverage_cmd; validate_cmd; batch_cmd;
-            serve_cmd; client_cmd; corpus_dump_cmd; arch_cmd;
+            serve_cmd; client_cmd; eval_sweep_cmd; corpus_dump_cmd; arch_cmd;
           ]))

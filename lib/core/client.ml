@@ -1,0 +1,391 @@
+(* The pooled daemon client.  Layering, bottom up:
+
+   - conn: one pipelined connection — a writer (serialized under the
+     connection mutex), a reader thread that re-associates responses
+     by their echoed id= tag, and per-request slots the callers poll;
+   - pool: one conn per endpoint, opened lazily, with round-robin +
+     health-aware dispatch and reconnect-with-retry for idempotent
+     requests;
+   - sweep: fan a request batch over the pool on worker threads,
+     merging results positionally so the output is in input order.
+
+   Death discipline: a connection dies exactly once ([kill] sets
+   [c_dead] under the mutex and shuts the socket down so the blocked
+   reader wakes); the reader owns the descriptor close, taken under
+   the same mutex after it exits, so no writer can race a descriptor
+   reuse.  Every waiter observes either its response or the death
+   message — never silence. *)
+
+type slot = { mutable s_resp : Serve.response option }
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_mu : Mutex.t;
+  mutable c_next : int;
+  c_slots : (string, slot) Hashtbl.t;
+  mutable c_dead : string option;
+  mutable c_closed : bool;
+  mutable c_inflight : int;
+  mutable c_reader : Thread.t option;
+}
+
+let kill conn msg =
+  Mutex.lock conn.c_mu;
+  if conn.c_dead = None then begin
+    conn.c_dead <- Some msg;
+    (* wake the reader out of its blocking read; it will close the
+       descriptor once no writer can hold it *)
+    try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL
+    with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock conn.c_mu
+
+let reader conn =
+  let rec loop () =
+    match Serve.read_frame conn.c_fd with
+    | Error Serve.Timed_out ->
+        (* the socket timeout is only a poll tick here: per-request
+           deadlines belong to the waiters, and an idle pooled
+           connection is not an error *)
+        if conn.c_dead = None then loop ()
+    | Error e -> kill conn (Serve.frame_error_to_string e)
+    | Ok payload -> (
+        match Serve.parse_response payload with
+        | Error m -> kill conn ("unparseable response: " ^ m)
+        | Ok resp -> (
+            match Serve.field resp "id" with
+            | None ->
+                (* the only legitimate untagged response is the shed
+                   frame the accept loop sends before dropping us *)
+                if resp.Serve.rs_status = "overloaded" then
+                  kill conn "server overloaded"
+                else kill conn "untagged response on a pipelined connection"
+            | Some id ->
+                Mutex.lock conn.c_mu;
+                (match Hashtbl.find_opt conn.c_slots id with
+                | Some slot ->
+                    slot.s_resp <- Some resp;
+                    Hashtbl.remove conn.c_slots id
+                | None ->
+                    (* an abandoned (deadlined) request's late answer:
+                       drop it, the stream itself is still in sync *)
+                    ());
+                Mutex.unlock conn.c_mu;
+                loop ()))
+  in
+  (try loop () with _ -> ());
+  Mutex.lock conn.c_mu;
+  if conn.c_dead = None then conn.c_dead <- Some "connection closed";
+  if not conn.c_closed then begin
+    conn.c_closed <- true;
+    try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock conn.c_mu
+
+let make_conn ~io_timeout_ms ep =
+  let fd = Endpoint.connect ~io_timeout_ms ep in
+  let conn =
+    {
+      c_fd = fd;
+      c_mu = Mutex.create ();
+      c_next = 1;
+      c_slots = Hashtbl.create 16;
+      c_dead = None;
+      c_closed = false;
+      c_inflight = 0;
+      c_reader = None;
+    }
+  in
+  conn.c_reader <- Some (Thread.create reader conn);
+  conn
+
+(* adaptive wait: spin briefly for the common sub-millisecond ping,
+   then back off to a 1 ms poll for real analyses *)
+let backoff n = if n < 64 then Thread.yield () else Unix.sleepf 0.001
+
+(* one tagged request on an open connection; every exit decrements the
+   in-flight count exactly once *)
+let conn_request conn ~max_inflight ~deadline_ms req =
+  Mutex.lock conn.c_mu;
+  let rec admit n =
+    match conn.c_dead with
+    | Some m ->
+        Mutex.unlock conn.c_mu;
+        Error ("connection: " ^ m)
+    | None ->
+        if conn.c_inflight >= max 1 max_inflight then begin
+          (* pipeline full: backpressure this caller, not the wire *)
+          Mutex.unlock conn.c_mu;
+          backoff n;
+          Mutex.lock conn.c_mu;
+          admit (n + 1)
+        end
+        else submit ()
+  and submit () =
+    let id = string_of_int conn.c_next in
+    conn.c_next <- conn.c_next + 1;
+    let slot = { s_resp = None } in
+    Hashtbl.replace conn.c_slots id slot;
+    conn.c_inflight <- conn.c_inflight + 1;
+    match Serve.write_frame conn.c_fd (Serve.encode_request ~id req) with
+    | exception e ->
+        Hashtbl.remove conn.c_slots id;
+        conn.c_inflight <- conn.c_inflight - 1;
+        let msg =
+          match e with
+          | Unix.Unix_error (er, _, _) -> Unix.error_message er
+          | e -> Printexc.to_string e
+        in
+        Mutex.unlock conn.c_mu;
+        kill conn ("write: " ^ msg);
+        Error ("write: " ^ msg)
+    | () ->
+        Mutex.unlock conn.c_mu;
+        await id slot
+  and await id slot =
+    let deadline =
+      if deadline_ms <= 0 then infinity
+      else Unix.gettimeofday () +. (float_of_int deadline_ms /. 1000.0)
+    in
+    let finish r =
+      conn.c_inflight <- conn.c_inflight - 1;
+      Mutex.unlock conn.c_mu;
+      r
+    in
+    let rec wait n =
+      Mutex.lock conn.c_mu;
+      match (slot.s_resp, conn.c_dead) with
+      | Some resp, _ -> finish (Ok resp)
+      | None, Some m -> finish (Error ("connection: " ^ m))
+      | None, None ->
+          if Unix.gettimeofday () > deadline then begin
+            (* wedged or merely slow?  Undecidable from here — treat
+               the connection as lost so nothing queues behind it *)
+            Hashtbl.remove conn.c_slots id;
+            ignore
+              (finish
+                 (Error "request deadline exceeded (daemon wedged?)"));
+            kill conn "request deadline exceeded";
+            Error "request deadline exceeded (daemon wedged?)"
+          end
+          else begin
+            Mutex.unlock conn.c_mu;
+            backoff n;
+            wait (n + 1)
+          end
+    in
+    wait 0
+  in
+  admit 0
+
+(* ---------- the pool ---------- *)
+
+type ep_state = {
+  e_ep : Endpoint.t;
+  e_mu : Mutex.t;
+  mutable e_conn : conn option;
+  mutable e_down_until : float;
+}
+
+type t = {
+  p_eps : ep_state array;
+  p_rr : int Atomic.t;
+  p_io_timeout_ms : int;
+  p_max_inflight : int;
+  p_retries : int;
+  p_closed : bool Atomic.t;
+}
+
+(* how long a failed endpoint sits out before dispatch tries it again;
+   reconnects still happen sooner when every endpoint is down *)
+let down_cooldown_s = 1.0
+
+let create ?(io_timeout_ms = 30_000) ?(max_inflight = 8) ?(retries = 2) eps =
+  if eps = [] then invalid_arg "Client.create: no endpoints";
+  {
+    p_eps =
+      Array.of_list
+        (List.map
+           (fun ep ->
+             {
+               e_ep = ep;
+               e_mu = Mutex.create ();
+               e_conn = None;
+               e_down_until = 0.0;
+             })
+           eps);
+    p_rr = Atomic.make 0;
+    p_io_timeout_ms = max 0 io_timeout_ms;
+    p_max_inflight = max 1 max_inflight;
+    p_retries = max 0 retries;
+    p_closed = Atomic.make false;
+  }
+
+let endpoints t = Array.to_list (Array.map (fun s -> s.e_ep) t.p_eps)
+
+let idempotent = function
+  | Serve.Shutdown -> false
+  | Serve.Ping | Serve.Stats | Serve.Analyze _ | Serve.Eval _ -> true
+
+let drop_conn st =
+  Mutex.lock st.e_mu;
+  let c = st.e_conn in
+  st.e_conn <- None;
+  Mutex.unlock st.e_mu;
+  match c with None -> () | Some c -> kill c "connection replaced"
+
+let mark_down st =
+  st.e_down_until <- Unix.gettimeofday () +. down_cooldown_s;
+  drop_conn st
+
+(* round-robin, health- and room-aware: prefer an up endpoint with
+   pipeline room, then any up endpoint, then the raw round-robin
+   choice (when everything is cooling down, trying beats failing) *)
+let pick t =
+  let n = Array.length t.p_eps in
+  let start = Atomic.fetch_and_add t.p_rr 1 in
+  let at i = t.p_eps.((start + i) mod n) in
+  let now = Unix.gettimeofday () in
+  let up st = st.e_down_until <= now in
+  let room st =
+    match st.e_conn with
+    | Some c -> c.c_dead = None && c.c_inflight < t.p_max_inflight
+    | None -> true
+  in
+  let rec scan i pred = if i >= n then None else
+    let st = at i in
+    if pred st then Some st else scan (i + 1) pred
+  in
+  match scan 0 (fun st -> up st && room st) with
+  | Some st -> st
+  | None -> (
+      match scan 0 up with Some st -> st | None -> at 0)
+
+let get_conn t st =
+  Mutex.lock st.e_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock st.e_mu)
+    (fun () ->
+      match st.e_conn with
+      | Some c when c.c_dead = None -> c
+      | _ ->
+          let c = make_conn ~io_timeout_ms:t.p_io_timeout_ms st.e_ep in
+          st.e_conn <- Some c;
+          st.e_down_until <- 0.0;
+          c)
+
+let request ?deadline_ms t req =
+  if Atomic.get t.p_closed then Error "client pool is closed"
+  else
+    let deadline_ms = Option.value deadline_ms ~default:t.p_io_timeout_ms in
+    let attempts = if idempotent req then 1 + t.p_retries else 1 in
+    let rec go attempt last_err =
+      if attempt >= attempts then Error last_err
+      else
+        let st = pick t in
+        let label m = Endpoint.to_string st.e_ep ^ ": " ^ m in
+        match get_conn t st with
+        | exception Unix.Unix_error (e, _, _) ->
+            mark_down st;
+            go (attempt + 1) (label ("connect: " ^ Unix.error_message e))
+        | exception Failure m ->
+            (* unresolvable host: no point hammering it *)
+            mark_down st;
+            go (attempt + 1) (label m)
+        | conn -> (
+            match
+              conn_request conn ~max_inflight:t.p_max_inflight ~deadline_ms
+                req
+            with
+            | Ok resp when resp.Serve.rs_status = "overloaded" ->
+                (* shed at accept: this daemon is saturated, move on —
+                   but surface the shed itself when attempts run out *)
+                mark_down st;
+                if idempotent req && attempt + 1 < attempts then
+                  go (attempt + 1) (label "overloaded")
+                else Ok resp
+            | Ok resp -> Ok resp
+            | Error m ->
+                mark_down st;
+                go (attempt + 1) (label m))
+    in
+    go 0 "no endpoints"
+
+let sweep ?jobs ?deadline_ms t reqs =
+  let arr = Array.of_list reqs in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let results = Array.make n (Error "sweep: never ran") in
+    let jobs =
+      min n
+        (match jobs with
+        | Some j -> max 1 j
+        | None -> max 1 (Array.length t.p_eps * t.p_max_inflight))
+    in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+            (try request ?deadline_ms t arr.(i)
+             with e -> Error (Printexc.to_string e)));
+          go ()
+        end
+      in
+      go ()
+    in
+    let threads = List.init jobs (fun _ -> Thread.create worker ()) in
+    List.iter Thread.join threads;
+    Array.to_list results
+  end
+
+let close t =
+  if not (Atomic.exchange t.p_closed true) then
+    Array.iter
+      (fun st ->
+        Mutex.lock st.e_mu;
+        let c = st.e_conn in
+        st.e_conn <- None;
+        Mutex.unlock st.e_mu;
+        match c with
+        | None -> ()
+        | Some c -> (
+            kill c "client closed";
+            match c.c_reader with
+            | Some th -> ( try Thread.join th with _ -> ())
+            | None -> ()))
+      t.p_eps
+
+let with_pool ?io_timeout_ms ?max_inflight ?retries eps f =
+  let t = create ?io_timeout_ms ?max_inflight ?retries eps in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let with_endpoint ?io_timeout_ms ep f = with_pool ?io_timeout_ms [ ep ] f
+
+let wait_ready ?(timeout_s = 5.0) ep =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let ready =
+      (* each probe is individually bounded so a half-up daemon cannot
+         park one past the caller's overall deadline *)
+      match Endpoint.connect ~io_timeout_ms:1000 ep with
+      | exception (Unix.Unix_error _ | Sys_error _ | Failure _) -> false
+      | fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              match Serve.roundtrip fd Serve.Ping with
+              | Ok { Serve.rs_status = "ok"; _ } -> true
+              | _ -> false)
+    in
+    if ready then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()

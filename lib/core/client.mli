@@ -1,0 +1,99 @@
+(** The daemon client: pipelined connections, a connection pool over
+    many endpoints, and fan-out sweeps.
+
+    One {!t} fronts N daemons (any mix of [unix:] and [tcp:]
+    endpoints).  Each endpoint gets one pipelined connection, opened
+    lazily and reopened transparently after failures: requests are
+    tagged with [id=] and may complete out of order on the wire
+    ({!Serve} echoes the tag), so up to [max_inflight] requests ride
+    one connection concurrently.  Dispatch is round-robin, skipping
+    endpoints that recently failed (a short health cooldown) and
+    preferring connections with pipeline room.
+
+    {2 Failure semantics}
+
+    A transport failure — connect refused, a dead or desynced
+    connection, a request deadline overrun — marks the endpoint down
+    for a cooldown and, for {e idempotent} requests ([ping], [stats],
+    [analyze], [eval]: all side-effect-free on the daemon), retries on
+    the next endpoint, up to [retries] extra attempts.  [shutdown] is
+    not idempotent and is {e never} retried: if its connection dies
+    before the acknowledgement arrives, the caller gets the transport
+    error and must decide for itself.  An [overloaded] response is
+    treated like a transport failure for retry purposes (idempotent
+    requests move to another endpoint) but is returned as-is when
+    attempts run out.
+
+    A request deadline overrun closes its connection: whether the
+    daemon is wedged or merely slow cannot be distinguished, and the
+    other in-flight requests on that connection fail fast (and are
+    retried elsewhere when idempotent) instead of queueing behind a
+    corpse. *)
+
+type t
+
+val create :
+  ?io_timeout_ms:int ->
+  ?max_inflight:int ->
+  ?retries:int ->
+  Endpoint.t list ->
+  t
+(** A pool over the given endpoints (at least one; raises
+    [Invalid_argument] on an empty list).  [io_timeout_ms] (default
+    30 000) bounds connects and socket writes, and is the default
+    per-request deadline; [0] disables both.  [max_inflight] (default
+    8) bounds the pipeline depth per connection.  [retries] (default
+    2) is the number of {e extra} attempts an idempotent request gets
+    after a transport failure.  No connection is opened until the
+    first request needs it. *)
+
+val endpoints : t -> Endpoint.t list
+
+val request :
+  ?deadline_ms:int -> t -> Serve.request -> (Serve.response, string) result
+(** One request through the pool.  [deadline_ms] (default
+    [io_timeout_ms]) bounds the wait for this response; an overrun is
+    a transport error (and closes the connection — see above).
+    [Error] means no daemon could be reached within the retry budget;
+    server-side failures arrive as [Ok] responses with
+    [rs_status = "error"]. *)
+
+val sweep :
+  ?jobs:int ->
+  ?deadline_ms:int ->
+  t ->
+  Serve.request list ->
+  (Serve.response, string) result list
+(** Fan a batch of requests across the pool and return the results
+    {e in input order} (the merge is positional, whatever order the
+    wire completions arrive in).  [jobs] (default
+    [endpoints × max_inflight]) bounds concurrent in-flight requests;
+    each failure is confined to its own slot in the result list. *)
+
+val close : t -> unit
+(** Close every connection and join their reader threads.
+    Idempotent; in-flight requests fail with a transport error. *)
+
+val with_pool :
+  ?io_timeout_ms:int ->
+  ?max_inflight:int ->
+  ?retries:int ->
+  Endpoint.t list ->
+  (t -> 'a) ->
+  'a
+(** [create] / run / [close], exception-safe. *)
+
+val with_endpoint :
+  ?io_timeout_ms:int -> Endpoint.t -> (t -> 'a) -> 'a
+(** {!with_pool} over a single endpoint — the one-shot convenience:
+    [with_endpoint e (fun c -> request c Ping)].  Re-exported as
+    {!Mira.with_endpoint} so library users never touch the frame
+    codec. *)
+
+val wait_ready : ?timeout_s:float -> Endpoint.t -> bool
+(** Poll connect+ping until a daemon answers at [ep] (for scripts and
+    tests that just started one); [false] on timeout (default 5 s). *)
+
+val idempotent : Serve.request -> bool
+(** Whether the pool may transparently retry this request after a
+    transport failure ([true] for everything but [Shutdown]). *)

@@ -1,0 +1,142 @@
+(* The one place the endpoint grammar lives.  Everything that names a
+   daemon — serve's listeners, the client pool, the CLI flags — goes
+   through parse/to_string here, so the two sides can never drift. *)
+
+type t = Unix_sock of string | Tcp of string * int
+
+let parse s =
+  let prefixed p =
+    String.length s >= String.length p
+    && String.sub s 0 (String.length p) = p
+  in
+  let rest p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefixed "unix:" then
+    let path = rest "unix:" in
+    if path = "" then Error "unix endpoint: empty socket path"
+    else Ok (Unix_sock path)
+  else if prefixed "tcp:" then
+    let hp = rest "tcp:" in
+    match String.rindex_opt hp ':' with
+    | None -> Error (Printf.sprintf "tcp endpoint %S: expected HOST:PORT" hp)
+    | Some i -> (
+        let host = String.sub hp 0 i in
+        let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+        if host = "" then Error "tcp endpoint: empty host"
+        else
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p <= 65535 -> Ok (Tcp (host, p))
+          | _ ->
+              Error
+                (Printf.sprintf "tcp endpoint: port %S is not in 0..65535"
+                   port))
+  else if s = "" then Error "empty endpoint"
+  else
+    (* compatibility: a bare path (no scheme) is a Unix socket, which
+       is what every pre-endpoint --socket flag passed *)
+    Ok (Unix_sock s)
+
+let parse_exn s =
+  match parse s with Ok e -> e | Error m -> invalid_arg m
+
+let to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let transport = function Unix_sock _ -> "unix" | Tcp _ -> "tcp"
+let equal (a : t) b = a = b
+
+let sockaddr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | addr -> Unix.ADDR_INET (addr, port)
+      | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+              failwith (host ^ ": host has no address")
+          | h -> Unix.ADDR_INET (h.Unix.h_addr_list.(0), port)
+          | exception Not_found -> failwith (host ^ ": unknown host")))
+
+let domain = function Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+let connect ?(io_timeout_ms = 0) ep =
+  let addr = sockaddr ep in
+  let fd = Unix.socket ~cloexec:true (domain ep) Unix.SOCK_STREAM 0 in
+  match
+    (match ep with
+    | Tcp _ -> (
+        try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ -> ())
+    | Unix_sock _ -> ());
+    if io_timeout_ms <= 0 then Unix.connect fd addr
+    else begin
+      let s = float_of_int io_timeout_ms /. 1000.0 in
+      (* the connect itself is bounded too: a wedged daemon whose
+         backlog has filled parks a blocking connect forever *)
+      Unix.set_nonblock fd;
+      (match Unix.connect fd addr with
+      | () -> ()
+      | exception Unix.Unix_error ((EINPROGRESS | EAGAIN | EWOULDBLOCK), _, _)
+        -> (
+          match Unix.select [] [ fd ] [] s with
+          | [], [], [] ->
+              raise (Unix.Unix_error (ETIMEDOUT, "connect", to_string ep))
+          | _ -> (
+              match Unix.getsockopt_error fd with
+              | None -> ()
+              | Some e -> raise (Unix.Unix_error (e, "connect", to_string ep)))));
+      Unix.clear_nonblock fd;
+      (* and so is every read/write: a daemon that stops responding
+         mid-exchange surfaces as a timeout, never as a hung client *)
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+       with Unix.Unix_error _ -> ());
+      try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+      with Unix.Unix_error _ -> ()
+    end
+  with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let listen ?(backlog = 64) ep =
+  (match ep with
+  | Unix_sock path ->
+      if Sys.file_exists path then begin
+        (match (Unix.stat path).Unix.st_kind with
+        | Unix.S_SOCK -> ()
+        | _ -> failwith (path ^ ": exists and is not a socket"));
+        (* stale socket from a dead daemon, or a live one?  probe it *)
+        let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () ->
+            Unix.close probe;
+            failwith (path ^ ": a daemon is already serving this socket")
+        | exception Unix.Unix_error _ ->
+            Unix.close probe;
+            (try Unix.unlink path with Unix.Unix_error _ -> ())
+      end
+  | Tcp _ -> ());
+  let fd = Unix.socket ~cloexec:true (domain ep) Unix.SOCK_STREAM 0 in
+  match
+    (match ep with
+    | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+    | Unix_sock _ -> ());
+    Unix.bind fd (sockaddr ep);
+    Unix.listen fd backlog
+  with
+  | () ->
+      let resolved =
+        match ep with
+        | Unix_sock _ -> ep
+        | Tcp (host, _) -> (
+            (* port 0 asked the OS for an ephemeral port; report the
+               one it actually assigned so callers can advertise it *)
+            match Unix.getsockname fd with
+            | Unix.ADDR_INET (_, port) -> Tcp (host, port)
+            | _ -> ep)
+      in
+      (fd, resolved)
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e

@@ -1,0 +1,58 @@
+(** Daemon endpoints: where a [mira serve] listens and a client
+    connects.
+
+    The grammar is parsed and printed in exactly one place — here:
+
+    {v
+      unix:PATH          a Unix-domain socket at PATH
+      tcp:HOST:PORT      a TCP socket (PORT 0 asks the OS for an
+                         ephemeral port when listening)
+      PATH               compatibility: a bare string with no
+                         unix:/tcp: prefix is a Unix-socket path
+    v}
+
+    [HOST] is a dotted-quad address or a resolvable name; IPv6
+    bracket syntax is not supported.  The rendered form
+    ({!to_string}) always carries the explicit scheme, and for a
+    TCP endpoint bound on port 0 the resolved form carries the port
+    the OS actually assigned (see {!listen}). *)
+
+type t =
+  | Unix_sock of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host, port *)
+
+val parse : string -> (t, string) result
+(** Parse the grammar above.  Errors name the offending part
+    (empty path, malformed or out-of-range port, missing host). *)
+
+val parse_exn : string -> t
+(** {!parse}, raising [Invalid_argument] on error. *)
+
+val to_string : t -> string
+(** Canonical rendering, always scheme-prefixed:
+    ["unix:/run/mira.sock"], ["tcp:127.0.0.1:7441"]. *)
+
+val transport : t -> string
+(** ["unix"] or ["tcp"] — the value daemons report in the
+    [transport=] field of a [stats] response. *)
+
+val equal : t -> t -> bool
+
+val connect : ?io_timeout_ms:int -> t -> Unix.file_descr
+(** Connect to a daemon at this endpoint.  With [io_timeout_ms > 0]
+    the connect, and every subsequent read and write on the
+    descriptor, is bounded: a wedged or stalled daemon surfaces as
+    [Unix_error (ETIMEDOUT, _, _)] (connect) or a frame-layer
+    timeout instead of hanging the caller forever.  [0] (the
+    default) keeps the descriptor fully blocking.  TCP sockets get
+    [TCP_NODELAY] — frames are small and latency-sensitive. *)
+
+val listen : ?backlog:int -> t -> Unix.file_descr * t
+(** Bind and listen; returns the listening descriptor and the
+    {e resolved} endpoint — identical to the input except for
+    [tcp:HOST:0], where the OS-assigned port is substituted so the
+    caller can advertise a connectable address.
+
+    For a Unix endpoint, a leftover socket file from a dead daemon
+    is detected (connect probe) and replaced; a live one raises
+    [Failure]. *)

@@ -23,7 +23,10 @@
     mid-frame instead of completing it, and [slow] in that layer
     stalls [slow_ms] between the frame header and its payload (a slow
     client).  They let one spec drive both the disk-cache and the
-    network fault schedules. *)
+    network fault schedules.  The wire sites act on the descriptor,
+    not the transport: one schedule fires identically over Unix-domain
+    and TCP ({!Endpoint}) connections, so the multi-host paths are
+    testable with the same determinism as the local ones. *)
 
 type t = {
   seed : int;

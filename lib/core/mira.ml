@@ -27,3 +27,7 @@ let parameters t ~fname = (Model_ir.find_exn t.model fname).mf_params
 let warnings t = Model_ir.all_warnings t.model
 let source_dot t = Mira_srclang.Dot.of_program t.input.ast
 let binary_dot t = Mira_visa.Binast.to_dot t.input.binast
+
+(* one-shot daemon access, so library users never touch the frame
+   codec: [with_endpoint e (fun c -> Client.request c Ping)] *)
+let with_endpoint = Client.with_endpoint

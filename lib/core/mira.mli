@@ -59,3 +59,10 @@ val source_dot : t -> string
 
 val binary_dot : t -> string
 (** Binary AST in Graphviz form (Figure 3). *)
+
+val with_endpoint :
+  ?io_timeout_ms:int -> Endpoint.t -> (Client.t -> 'a) -> 'a
+(** Re-export of {!Client.with_endpoint}: open a pooled connection to
+    one daemon, run the callback, close — the one-shot convenience for
+    library users, who never need the {!Serve} frame codec directly:
+    [Mira.with_endpoint e (fun c -> Client.request c Serve.Ping)]. *)

@@ -15,8 +15,9 @@
    and in neither case does the accept loop notice. *)
 
 type config = {
-  cfg_socket : string;
+  cfg_endpoints : Endpoint.t list;
   cfg_max_inflight : int;
+  cfg_max_pipeline : int;
   cfg_max_frame_bytes : int;
   cfg_idle_timeout_ms : int;
   cfg_drain_ms : int;
@@ -27,10 +28,11 @@ type config = {
   cfg_faults : Faults.t option;
 }
 
-let default_config ~socket =
+let default_config_endpoints ~endpoints =
   {
-    cfg_socket = socket;
+    cfg_endpoints = endpoints;
     cfg_max_inflight = 8;
+    cfg_max_pipeline = 8;
     cfg_max_frame_bytes = 4 * 1024 * 1024;
     cfg_idle_timeout_ms = 30_000;
     cfg_drain_ms = 2_000;
@@ -40,6 +42,9 @@ let default_config ~socket =
     cfg_incremental = true;
     cfg_faults = None;
   }
+
+let default_config ~socket =
+  default_config_endpoints ~endpoints:[ Endpoint.Unix_sock socket ]
 
 (* ---------- frame layer ---------- *)
 
@@ -273,23 +278,38 @@ let budget_fields b =
   opt "fuel" b.rq_fuel @ opt "timeout-ms" b.rq_timeout_ms
   @ opt "depth" b.rq_depth
 
-let encode_request = function
-  | Ping -> encode_payload ~head:"ping" ~fields:[] ~body:""
-  | Stats -> encode_payload ~head:"stats" ~fields:[] ~body:""
-  | Shutdown -> encode_payload ~head:"shutdown" ~fields:[] ~body:""
+let encode_request ?id req =
+  (* the id tag rides along as an ordinary field: untagged requests
+     stay byte-identical to the pre-pipelining wire format *)
+  let tag fields =
+    match id with None -> fields | Some i -> ("id", i) :: fields
+  in
+  match req with
+  | Ping -> encode_payload ~head:"ping" ~fields:(tag []) ~body:""
+  | Stats -> encode_payload ~head:"stats" ~fields:(tag []) ~body:""
+  | Shutdown -> encode_payload ~head:"shutdown" ~fields:(tag []) ~body:""
   | Analyze { an_name; an_source; an_budget } ->
       encode_payload ~head:"analyze"
-        ~fields:(("name", an_name) :: budget_fields an_budget)
+        ~fields:(tag (("name", an_name) :: budget_fields an_budget))
         ~body:an_source
   | Eval { ev_name; ev_source; ev_function; ev_params; ev_budget } ->
       encode_payload ~head:"eval"
         ~fields:
-          ([ ("name", ev_name); ("function", ev_function) ]
-          @ List.map
-              (fun (k, v) -> ("param", Printf.sprintf "%s=%d" k v))
-              ev_params
-          @ budget_fields ev_budget)
+          (tag
+             ([ ("name", ev_name); ("function", ev_function) ]
+             @ List.map
+                 (fun (k, v) -> ("param", Printf.sprintf "%s=%d" k v))
+                 ev_params
+             @ budget_fields ev_budget))
         ~body:ev_source
+
+(* the request id, when the payload parses at all — extracted
+   independently of the verb so even a bad-request error frame can be
+   re-associated by a pipelining client *)
+let payload_id payload =
+  match parse_payload payload with
+  | Ok (_, fields, _) -> List.assoc_opt "id" fields
+  | Error _ -> None
 
 let parse_request payload =
   let ( let* ) = Result.bind in
@@ -458,7 +478,7 @@ let stats_fields s =
 
 type t = {
   t_cfg : config;
-  t_listen : Unix.file_descr;
+  t_listen : (Unix.file_descr * Endpoint.t) list;
   t_stop_r : Unix.file_descr;
   t_stop_w : Unix.file_descr;
   t_stopping : bool Atomic.t;
@@ -533,28 +553,23 @@ let create cfg =
      that connection, never as a process-killing signal *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  let path = cfg.cfg_socket in
-  if Sys.file_exists path then begin
-    (match (Unix.stat path).Unix.st_kind with
-    | Unix.S_SOCK -> ()
-    | _ -> failwith (path ^ ": exists and is not a socket"));
-    (* stale socket from a dead daemon, or a live one?  probe it *)
-    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (match Unix.connect probe (Unix.ADDR_UNIX path) with
-    | () ->
-        Unix.close probe;
-        failwith (path ^ ": a daemon is already serving this socket")
-    | exception Unix.Unix_error _ ->
-        Unix.close probe;
-        (try Unix.unlink path with Unix.Unix_error _ -> ()))
-  end;
-  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (match Unix.bind listen (Unix.ADDR_UNIX path) with
-  | () -> ()
-  | exception e ->
-      Unix.close listen;
-      raise e);
-  Unix.listen listen 64;
+  if cfg.cfg_endpoints = [] then failwith "serve: no endpoints configured";
+  (* bind every endpoint before serving any, unwinding on failure so a
+     half-configured daemon never runs *)
+  let listen =
+    List.fold_left
+      (fun acc ep ->
+        match Endpoint.listen ep with
+        | bound -> bound :: acc
+        | exception e ->
+            List.iter
+              (fun (fd, _) ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              acc;
+            raise e)
+      [] cfg.cfg_endpoints
+    |> List.rev
+  in
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock stop_w;
   {
@@ -575,6 +590,8 @@ let create cfg =
     t_conns_mu = Mutex.create ();
     t_conns = Hashtbl.create 16;
   }
+
+let bound_endpoints t = List.map snd t.t_listen
 
 let stop t =
   if not (Atomic.exchange t.t_stopping true) then
@@ -676,7 +693,7 @@ let handle_eval t ~name ~source ~fname ~params ~budget =
       | exception e -> diag_response (Diag.of_exn e))
 
 (* returns the response plus whether the connection should go on *)
-let handle_request t req =
+let handle_request t ~transport req =
   match req with
   | Ping -> (ok ~fields:[ ("pong", "1") ] (), `Continue)
   | Stats ->
@@ -685,7 +702,10 @@ let handle_request t req =
         String.concat ""
           (List.map (fun (k, v) -> k ^ "=" ^ v ^ "\n") (stats_fields s))
       in
-      (ok ~body (), `Continue)
+      (* protocol introspection: a pool can refuse a mismatched daemon
+         with a clear diagnostic instead of a decode error *)
+      ( ok ~fields:[ ("proto", proto); ("transport", transport) ] ~body (),
+        `Continue )
   | Shutdown ->
       (ok ~fields:[ ("stopping", "1") ] (), `Stop)
   | Analyze { an_name; an_source; an_budget } ->
@@ -718,7 +738,7 @@ let send_response t fd resp =
       false
   | exception Faults.Injected _ -> false
 
-let handle_connection t fd =
+let handle_connection t transport fd =
   let cfg = t.t_cfg in
   if cfg.cfg_idle_timeout_ms > 0 then begin
     let s = float_of_int cfg.cfg_idle_timeout_ms /. 1000.0 in
@@ -727,43 +747,129 @@ let handle_connection t fd =
     try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
     with Unix.Unix_error _ -> ()
   end;
+  (* Pipelining: an [id=]-tagged request is dispatched to a worker
+     thread and may complete out of order; its response echoes the tag
+     so the client can re-associate it.  Untagged requests keep the
+     original strictly-serial request/response semantics, so old
+     clients see an unchanged protocol.  Response writes (from the
+     reader and all workers) are serialized by [write_mu]; the
+     pipeline depth is bounded by [cfg_max_pipeline] — the reader
+     blocks when it is full, which backpressures the socket. *)
+  let write_mu = Mutex.create () in
+  let pend_mu = Mutex.create () in
+  let pend_cv = Condition.create () in
+  let pending = ref 0 in
+  let conn_dead = Atomic.make false in
+  let send resp =
+    Mutex.lock write_mu;
+    let sent = send_response t fd resp in
+    Mutex.unlock write_mu;
+    if not sent then Atomic.set conn_dead true;
+    sent
+  in
+  let count resp =
+    if resp.rs_status = "ok" then Atomic.incr t.t_served
+    else Atomic.incr t.t_failed
+  in
+  let with_id id resp =
+    { resp with rs_fields = ("id", id) :: resp.rs_fields }
+  in
+  let pending_now () =
+    Mutex.lock pend_mu;
+    let p = !pending in
+    Mutex.unlock pend_mu;
+    p
+  in
+  let handle req =
+    (* one hostile request must never take the daemon down: whatever
+       escapes becomes a structured error frame *)
+    try handle_request t ~transport req
+    with e -> (diag_response (Diag.of_exn e), `Continue)
+  in
+  let dispatch id req =
+    Mutex.lock pend_mu;
+    while !pending >= max 1 cfg.cfg_max_pipeline do
+      Condition.wait pend_cv pend_mu
+    done;
+    incr pending;
+    Mutex.unlock pend_mu;
+    ignore
+      (Thread.create
+         (fun () ->
+           let resp, after = handle req in
+           count resp;
+           ignore (send (with_id id resp));
+           (match after with `Stop -> stop t | `Continue -> ());
+           Mutex.lock pend_mu;
+           decr pending;
+           Condition.broadcast pend_cv;
+           Mutex.unlock pend_mu)
+         ())
+  in
   let rec loop () =
-    match read_frame ~max_bytes:cfg.cfg_max_frame_bytes fd with
-    | Error Closed | Error Timed_out ->
-        (* a finished client, or an idle/slow-loris one: just let the
-           connection go *)
-        ()
-    | Error ((Bad_magic | Oversized _ | Truncated | Bad_checksum) as e) ->
-        (* the stream position can no longer be trusted: answer if
-           possible, then drop the connection.  A checksum mismatch is
-           in this class too — the digest covers only the payload, so
-           a corrupted length prefix also surfaces as Bad_checksum,
-           and then the boundary we read at was never real *)
-        Atomic.incr t.t_proto_err;
-        ignore
-          (send_response t fd
-             (error_response ~code:"bad-frame" (frame_error_to_string e)))
-    | Ok payload -> (
-        let resp, after =
+    if Atomic.get conn_dead then ()
+    else
+      match read_frame ~max_bytes:cfg.cfg_max_frame_bytes fd with
+      | Error Closed ->
+          (* a finished client: just let the connection go *)
+          ()
+      | Error Timed_out ->
+          (* idle only counts when nothing is in flight: a pipelining
+             client quietly waiting for its responses is not a
+             slow-loris *)
+          if pending_now () > 0 && not (Atomic.get t.t_stopping) then
+            loop ()
+      | Error ((Bad_magic | Oversized _ | Truncated | Bad_checksum) as e) ->
+          (* the stream position can no longer be trusted: answer if
+             possible, then drop the connection.  A checksum mismatch is
+             in this class too — the digest covers only the payload, so
+             a corrupted length prefix also surfaces as Bad_checksum,
+             and then the boundary we read at was never real *)
+          Atomic.incr t.t_proto_err;
+          ignore
+            (send
+               (error_response ~code:"bad-frame" (frame_error_to_string e)))
+      | Ok payload -> (
+          let id = payload_id payload in
           match parse_request payload with
-          | Error m -> (error_response ~code:"bad-request" m, `Continue)
+          | Error m ->
+              let resp = error_response ~code:"bad-request" m in
+              let resp =
+                match id with Some i -> with_id i resp | None -> resp
+              in
+              count resp;
+              if send resp && not (Atomic.get t.t_stopping) then loop ()
           | Ok req -> (
-              (* one hostile request must never take the daemon down:
-                 whatever escapes becomes a structured error frame *)
-              try handle_request t req
-              with e -> (diag_response (Diag.of_exn e), `Continue))
-        in
-        if resp.rs_status = "ok" then Atomic.incr t.t_served
-        else Atomic.incr t.t_failed;
-        let sent = send_response t fd resp in
-        match after with
-        | `Stop ->
-            stop t
-        | `Continue ->
-            if sent && not (Atomic.get t.t_stopping) then loop ())
+              match (id, req) with
+              | Some id, Shutdown ->
+                  (* exactly-once doesn't mix with concurrency:
+                     shutdown is answered in-line even when tagged *)
+                  let resp, _ = handle Shutdown in
+                  count resp;
+                  ignore (send (with_id id resp));
+                  stop t
+              | Some id, _ ->
+                  dispatch id req;
+                  if not (Atomic.get t.t_stopping) then loop ()
+              | None, _ -> (
+                  let resp, after = handle req in
+                  count resp;
+                  let sent = send resp in
+                  match after with
+                  | `Stop -> stop t
+                  | `Continue ->
+                      if sent && not (Atomic.get t.t_stopping) then loop ())))
   in
   Fun.protect
     ~finally:(fun () ->
+      (* drain this connection's pipeline before closing: worker
+         threads still hold the descriptor, and closing it out from
+         under them would race a kernel-level descriptor reuse *)
+      Mutex.lock pend_mu;
+      while !pending > 0 do
+        Condition.wait pend_cv pend_mu
+      done;
+      Mutex.unlock pend_mu;
       unregister_conn t fd;
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Atomic.decr t.t_inflight)
@@ -785,39 +891,62 @@ let rec bump_hwm hwm v =
 
 let serve t =
   let cfg = t.t_cfg in
+  let listen_fds = List.map fst t.t_listen in
   let rec accept_loop () =
     if Atomic.get t.t_stopping then ()
     else
-      match Unix.select [ t.t_listen; t.t_stop_r ] [] [] 0.5 with
+      match Unix.select (t.t_stop_r :: listen_fds) [] [] 0.5 with
       | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
       | readable, _, _ ->
           if List.mem t.t_stop_r readable then ()
           else begin
-            (if List.mem t.t_listen readable then
-               match Unix.accept ~cloexec:true t.t_listen with
-               | exception
-                   Unix.Unix_error ((EINTR | EAGAIN | EWOULDBLOCK | ECONNABORTED), _, _)
-                 ->
-                   ()
-               | fd, _ ->
-                   if Atomic.get t.t_stopping then (
-                     try Unix.close fd with Unix.Unix_error _ -> ())
-                   else if Atomic.get t.t_inflight >= cfg.cfg_max_inflight
-                   then shed t fd
-                   else begin
-                     let now = Atomic.fetch_and_add t.t_inflight 1 + 1 in
-                     bump_hwm t.t_hwm now;
-                     register_conn t fd;
-                     ignore (Thread.create (handle_connection t) fd)
-                   end);
+            List.iter
+              (fun (lfd, ep) ->
+                if List.mem lfd readable then
+                  match Unix.accept ~cloexec:true lfd with
+                  | exception
+                      Unix.Unix_error
+                        ((EINTR | EAGAIN | EWOULDBLOCK | ECONNABORTED), _, _)
+                    ->
+                      ()
+                  | fd, _ ->
+                      if Atomic.get t.t_stopping then (
+                        try Unix.close fd with Unix.Unix_error _ -> ())
+                      else if Atomic.get t.t_inflight >= cfg.cfg_max_inflight
+                      then shed t fd
+                      else begin
+                        (match ep with
+                        | Endpoint.Tcp _ -> (
+                            (* frames are small and latency-sensitive;
+                               Nagle + delayed ack would add round
+                               trips to every pipelined response *)
+                            try Unix.setsockopt fd Unix.TCP_NODELAY true
+                            with Unix.Unix_error _ -> ())
+                        | Endpoint.Unix_sock _ -> ());
+                        let now = Atomic.fetch_and_add t.t_inflight 1 + 1 in
+                        bump_hwm t.t_hwm now;
+                        register_conn t fd;
+                        ignore
+                          (Thread.create
+                             (handle_connection t (Endpoint.transport ep))
+                             fd)
+                      end)
+              t.t_listen;
             accept_loop ()
           end
   in
   accept_loop ();
   Atomic.set t.t_stopping true;
   (* no new admissions *)
-  (try Unix.close t.t_listen with Unix.Unix_error _ -> ());
-  (try Unix.unlink cfg.cfg_socket with Unix.Unix_error _ | Sys_error _ -> ());
+  List.iter
+    (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.t_listen;
+  List.iter
+    (function
+      | Endpoint.Unix_sock p -> (
+          try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+      | Endpoint.Tcp _ -> ())
+    (bound_endpoints t);
   (* graceful drain: in-flight requests get [cfg_drain_ms] to finish *)
   let deadline =
     Unix.gettimeofday () +. (float_of_int cfg.cfg_drain_ms /. 1000.0)
@@ -845,39 +974,8 @@ let serve t =
 
 (* ---------- client helpers ---------- *)
 
-let connect ?(io_timeout_ms = 0) path =
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match
-    if io_timeout_ms <= 0 then Unix.connect fd (Unix.ADDR_UNIX path)
-    else begin
-      let s = float_of_int io_timeout_ms /. 1000.0 in
-      (* the connect itself is bounded too: a wedged daemon whose
-         backlog has filled parks a blocking connect forever *)
-      Unix.set_nonblock fd;
-      (match Unix.connect fd (Unix.ADDR_UNIX path) with
-      | () -> ()
-      | exception Unix.Unix_error ((EINPROGRESS | EAGAIN | EWOULDBLOCK), _, _)
-        -> (
-          match Unix.select [] [ fd ] [] s with
-          | [], [], [] ->
-              raise (Unix.Unix_error (ETIMEDOUT, "connect", path))
-          | _ -> (
-              match Unix.getsockopt_error fd with
-              | None -> ()
-              | Some e -> raise (Unix.Unix_error (e, "connect", path)))));
-      Unix.clear_nonblock fd;
-      (* and so is every read/write: a daemon that stops responding
-         mid-exchange surfaces as Timed_out, never as a hung client *)
-      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
-       with Unix.Unix_error _ -> ());
-      try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
-      with Unix.Unix_error _ -> ()
-    end
-  with
-  | () -> fd
-  | exception e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise e
+let connect ?io_timeout_ms path =
+  Endpoint.connect ?io_timeout_ms (Endpoint.Unix_sock path)
 
 let roundtrip ?faults ?max_bytes fd req =
   match write_frame ?faults fd (encode_request req) with

@@ -1,5 +1,5 @@
-(** [mira serve]: a long-lived analysis daemon on a Unix-domain
-    socket.
+(** [mira serve]: a long-lived analysis daemon on one or more
+    {!Endpoint}s (Unix-domain and/or TCP).
 
     The daemon keeps one {!Batch.cache} warm across requests — models
     are generated once and evaluated many times, so the serving layer
@@ -8,45 +8,59 @@
     can take it down}:
 
     - The wire format is a length-prefixed, versioned, checksummed
-      frame ({!read_frame} / {!write_frame}).  Malformed input —
-      bad magic, oversized length prefixes, truncated frames, checksum
-      mismatches, garbage payloads — is answered with a structured
-      error frame; whenever the frame boundary can no longer be
-      trusted (including checksum mismatches: the digest covers only
-      the payload, so a corrupted length prefix surfaces as one) the
-      connection is also dropped.  The accept loop is never affected.
+      frame ({!read_frame} / {!write_frame}); the full grammar, the
+      [id=] pipelining tags, and the error taxonomy are documented in
+      [docs/PROTOCOL.md] — that page is the stable wire API.
+      Malformed input is answered with a structured error frame;
+      whenever the frame boundary can no longer be trusted (including
+      checksum mismatches: the digest covers only the payload, so a
+      corrupted length prefix surfaces as one) the connection is also
+      dropped.  The accept loop is never affected.
     - Every analysis runs under a per-request {!Limits} budget: the
       server's defaults, clamped further by the request (a request can
       only tighten its budget, never exceed the server's).  A hostile
       source exhausts its fuel or deadline and becomes an error frame.
     - Worker exceptions are caught and rendered as {!Diag}-derived
       error frames; the connection, and the daemon, live on.
-    - Admission is bounded: at most [cfg_max_inflight] connections are
-      served concurrently; beyond that, new connections receive an
-      [overloaded] frame and are closed (load shedding — memory use
-      never grows with offered load).
+    - Admission is bounded twice over: at most [cfg_max_inflight]
+      connections are served concurrently (beyond that, new
+      connections receive an [overloaded] frame and are closed), and
+      each connection pipelines at most [cfg_max_pipeline] tagged
+      requests (beyond that, the connection's reader stops consuming,
+      backpressuring the socket).  Memory use never grows with
+      offered load.
     - {!stop} (wired to SIGTERM/SIGINT by the CLI, and to the
       [shutdown] request) drains in-flight requests up to a hard
       deadline before {!serve} returns.
 
-    {2 Wire protocol}
+    {2 Pipelining}
 
-    Frame: [magic(6) ∥ length(4, big-endian) ∥ MD5(payload)(16) ∥
-    payload].  Payloads are text: a [mira/1 <verb>] (request) or
-    [mira/1 <status>] (response) head line, [key=value] field lines, a
-    blank line, then a raw body (the source text, the emitted Python,
-    …).  Requests: [ping], [stats], [analyze], [eval], [shutdown].
-    Response statuses: [ok], [error], [overloaded]. *)
+    A request carrying an [id=] field may be answered out of order:
+    the daemon dispatches it concurrently (bounded by
+    [cfg_max_pipeline]) and echoes the tag on the response —
+    including error responses — so a client holding several requests
+    on one connection re-associates each answer by its id.  Requests
+    without an [id=] keep the original strictly-serial semantics; the
+    two styles can be mixed but serial requests then see arbitrary
+    interleaving, so clients should pick one per connection.
+    {!Client} implements the tagged style, with pooling and failover,
+    on top of this. *)
 
 (** {1 Configuration} *)
 
 type config = {
-  cfg_socket : string;  (** Unix-domain socket path *)
+  cfg_endpoints : Endpoint.t list;
+      (** listeners; at least one ([unix:] and [tcp:] freely mixed) *)
   cfg_max_inflight : int;  (** concurrent connections before shedding *)
+  cfg_max_pipeline : int;
+      (** tagged requests in flight per connection before the reader
+          stops consuming (socket backpressure) *)
   cfg_max_frame_bytes : int;  (** largest accepted request payload *)
   cfg_idle_timeout_ms : int;
       (** per-read/write socket timeout; a stalled (slow-loris) client
-          is disconnected, never waited on forever; [0] disables *)
+          is disconnected, never waited on forever — but a client
+          merely waiting for its pipelined responses is not idle;
+          [0] disables *)
   cfg_drain_ms : int;
       (** hard deadline for the graceful-shutdown drain *)
   cfg_level : Mira_codegen.Codegen.level;
@@ -54,17 +68,23 @@ type config = {
   cfg_cache : Batch.cache option;  (** the warm cache, shared by all requests *)
   cfg_incremental : bool;
   cfg_faults : Faults.t option;
-      (** deterministic fault schedule (worker and wire sites) *)
+      (** deterministic fault schedule (worker and wire sites; the
+          wire sites fire identically over Unix and TCP transports) *)
 }
 
+val default_config_endpoints : endpoints:Endpoint.t list -> config
+(** 8 in-flight connections, 8-deep pipelines, 4 MiB frames, 30 s idle
+    timeout, 2 s drain, [O1], {!Limits.default}, no cache, incremental
+    on, no faults. *)
+
 val default_config : socket:string -> config
-(** 8 in-flight, 4 MiB frames, 30 s idle timeout, 2 s drain, [O1],
-    {!Limits.default}, no cache, incremental on, no faults. *)
+(** [default_config_endpoints] over a single Unix-socket endpoint. *)
 
 (** {1 Frame layer}
 
     Exposed so tests (and any other client) can speak — and abuse —
-    the wire format directly. *)
+    the wire format directly.  See [docs/PROTOCOL.md] for the byte
+    layout and payload grammar. *)
 
 val magic : string
 (** The 6-byte frame magic; its last byte before the newline is the
@@ -85,7 +105,8 @@ val write_frame : ?faults:Faults.t -> Unix.file_descr -> string -> unit
     site truncates the write mid-frame (short write), the [disconnect]
     site truncates it and shuts the socket down, and the [slow] site
     stalls [slow_ms] between header and payload (a slow client) —
-    each raising/returning exactly as the real condition would. *)
+    each raising/returning exactly as the real condition would, on
+    either transport. *)
 
 val read_frame :
   ?max_bytes:int -> Unix.file_descr -> (string, frame_error) result
@@ -121,10 +142,20 @@ type request =
       ev_budget : budget_request;
     }
 
-val encode_request : request -> string
-(** The request payload (to hand to {!write_frame}). *)
+val encode_request : ?id:string -> request -> string
+(** The request payload (to hand to {!write_frame}).  With [id], the
+    request is tagged for pipelining: the daemon may answer it out of
+    order and echoes [id] on the response.  Without it, the payload is
+    byte-identical to the pre-pipelining wire format. *)
 
 val parse_request : string -> (request, string) result
+(** The request proper; any [id=] tag is read separately
+    ({!payload_id}) so it survives even verbs this parser rejects. *)
+
+val payload_id : string -> string option
+(** The [id=] field of a request payload, when the payload parses at
+    all — extracted independently of the verb so even a bad-request
+    error frame can be re-associated by a pipelining client. *)
 
 type response = {
   rs_status : string;  (** ["ok"], ["error"] or ["overloaded"] *)
@@ -136,7 +167,8 @@ val encode_response : response -> string
 val parse_response : string -> (response, string) result
 
 val field : response -> string -> string option
-(** First field with that key. *)
+(** First field with that key ([field r "id"] recovers the pipelining
+    tag). *)
 
 (** {1 Server} *)
 
@@ -165,16 +197,24 @@ type server_stats = {
 
 val stats_fields : server_stats -> (string * string) list
 (** Deterministically ordered [key=value] rendering — the body of a
-    [stats] response. *)
+    [stats] response.  The response additionally carries [proto=mira/1]
+    and [transport=unix|tcp] fields, so a pool can refuse a mismatched
+    daemon with a clear diagnostic instead of a decode error. *)
 
 type t
 
 val create : config -> t
-(** Bind and listen.  A leftover socket file from a dead daemon is
-    detected (connect probe) and replaced; a live one raises
-    [Failure].  Also ignores SIGPIPE process-wide: a client
-    disconnecting mid-response must surface as [EPIPE] on that
-    connection, not kill the process. *)
+(** Bind and listen on every configured endpoint (all bound before any
+    is served; a failure unwinds them all).  For Unix endpoints a
+    leftover socket file from a dead daemon is detected (connect
+    probe) and replaced; a live one raises [Failure].  Also ignores
+    SIGPIPE process-wide: a client disconnecting mid-response must
+    surface as [EPIPE] on that connection, not kill the process. *)
+
+val bound_endpoints : t -> Endpoint.t list
+(** The endpoints actually listening — identical to [cfg_endpoints]
+    except that a [tcp:HOST:0] request carries the OS-assigned
+    ephemeral port, so callers can advertise a connectable address. *)
 
 val stop : t -> unit
 (** Begin graceful shutdown: stop accepting, let in-flight requests
@@ -190,12 +230,17 @@ val serve : t -> server_stats
 val stats : t -> server_stats
 (** A live snapshot (what a [stats] request returns). *)
 
-(** {1 Client helpers} *)
+(** {1 Low-level client helpers}
+
+    One blocking request per connection, no pooling, no pipelining —
+    kept for tests and scripts that drive the frame layer directly.
+    Real clients should use {!Client}. *)
 
 val connect : ?io_timeout_ms:int -> string -> Unix.file_descr
-(** Connect to a daemon's socket.  With [io_timeout_ms > 0] the
-    connect, and every subsequent read and write on the descriptor,
-    is bounded: a wedged or stalled daemon surfaces as
+(** Connect to a daemon's Unix socket
+    ([Endpoint.connect (Unix_sock path)]).  With [io_timeout_ms > 0]
+    the connect, and every subsequent read and write on the
+    descriptor, is bounded: a wedged or stalled daemon surfaces as
     [Unix_error (ETIMEDOUT, _, _)] (connect) or {!Timed_out}
     (roundtrip) instead of hanging the client forever.  [0] (the
     default) keeps the descriptor fully blocking. *)

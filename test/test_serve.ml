@@ -12,6 +12,18 @@
    - budget isolation: concurrent threads and concurrent requests each
      keep their own fuel/deadline (the slot is per sys-thread, never
      shared through a domain);
+   - endpoints: the unix:/tcp: grammar round-trips, bare paths stay
+     compatible, malformed endpoints are rejected;
+   - pipelining: id=-tagged requests complete out of order and
+     re-associate by tag (errors included), untagged requests keep the
+     legacy serial semantics and wire format byte for byte;
+   - tcp transport: a TCP loopback daemon answers byte-identically to
+     the unix path, ephemeral ports resolve, stats advertises
+     proto/transport;
+   - client pool: sweeps merge in input order whatever the completion
+     order, an endpoint dying mid-sweep loses and duplicates nothing,
+     and a non-idempotent shutdown is never retried onto a daemon it
+     was not sent to;
    - wire faults (pinned by MIRA_FAULT_SEED): slow clients, slow-loris
      stalls, mid-frame disconnects, short writes;
    - bounded admission: offered load beyond max-inflight is shed with
@@ -64,11 +76,11 @@ let rm_rf dir =
 
 let mira_exe = Filename.concat (Filename.concat ".." "bin") "mira.exe"
 
-(* run [f ~socket server] against an in-process daemon; stopped and
-   joined even when [f] raises *)
-let with_server ?(cfg = fun c -> c) f =
-  let socket = temp_name "mira-serve" ^ ".sock" in
-  let config = cfg (Serve.default_config ~socket) in
+(* run [f ~eps server] against an in-process daemon listening on
+   [endpoints]; stopped and joined even when [f] raises.  [eps] are the
+   bound endpoints, i.e. a tcp:HOST:0 request arrives resolved. *)
+let with_server_eps ?(cfg = fun c -> c) endpoints f =
+  let config = cfg (Serve.default_config_endpoints ~endpoints) in
   let server = Serve.create config in
   let stats = ref None in
   let th = Thread.create (fun () -> stats := Some (Serve.serve server)) () in
@@ -76,13 +88,28 @@ let with_server ?(cfg = fun c -> c) f =
     ~finally:(fun () ->
       Serve.stop server;
       Thread.join th;
-      try Sys.remove socket with Sys_error _ -> ())
+      List.iter
+        (function
+          | Endpoint.Unix_sock p -> (
+              try Sys.remove p with Sys_error _ -> ())
+          | Endpoint.Tcp _ -> ())
+        endpoints)
     (fun () ->
-      Alcotest.(check bool) "daemon is up" true (Serve.wait_ready socket);
-      let r = f ~socket server in
+      let eps = Serve.bound_endpoints server in
+      Alcotest.(check bool)
+        "daemon is up" true
+        (Client.wait_ready (List.hd eps));
+      let r = f ~eps server in
       Serve.stop server;
       Thread.join th;
       (r, Option.get !stats))
+
+(* the original single-Unix-socket harness, as a special case *)
+let with_server ?cfg f =
+  let socket = temp_name "mira-serve" ^ ".sock" in
+  with_server_eps ?cfg
+    [ Endpoint.Unix_sock socket ]
+    (fun ~eps:_ server -> f ~socket server)
 
 let with_conn socket f =
   let fd = Serve.connect socket in
@@ -1075,12 +1102,419 @@ let locking_tests =
             | _ -> fail "no results"));
   ]
 
+(* ---------- endpoints ---------- *)
+
+let endpoint_tests =
+  let open Alcotest in
+  [
+    test_case "the endpoint grammar parses and round-trips" `Quick (fun () ->
+        let ok s e =
+          match Endpoint.parse s with
+          | Ok e' ->
+              check bool (s ^ " parses as expected") true (Endpoint.equal e e')
+          | Error m -> failf "%s rejected: %s" s m
+        in
+        ok "unix:/tmp/m.sock" (Endpoint.Unix_sock "/tmp/m.sock");
+        (* a bare path is what every pre-endpoint --socket flag passed *)
+        ok "/tmp/m.sock" (Endpoint.Unix_sock "/tmp/m.sock");
+        ok "mira.sock" (Endpoint.Unix_sock "mira.sock");
+        ok "tcp:127.0.0.1:7000" (Endpoint.Tcp ("127.0.0.1", 7000));
+        ok "tcp:localhost:0" (Endpoint.Tcp ("localhost", 0));
+        List.iter
+          (fun e ->
+            match Endpoint.parse (Endpoint.to_string e) with
+            | Ok e' ->
+                check bool
+                  (Endpoint.to_string e ^ " round-trips")
+                  true (Endpoint.equal e e')
+            | Error m -> failf "round-trip rejected: %s" m)
+          [
+            Endpoint.Unix_sock "a.sock";
+            Endpoint.Tcp ("::1", 80);
+            Endpoint.Tcp ("h", 65535);
+          ];
+        check string "unix transport" "unix"
+          (Endpoint.transport (Endpoint.Unix_sock "x"));
+        check string "tcp transport" "tcp"
+          (Endpoint.transport (Endpoint.Tcp ("h", 1))));
+    test_case "malformed endpoints are rejected with a reason" `Quick
+      (fun () ->
+        List.iter
+          (fun s ->
+            match Endpoint.parse s with
+            | Error m ->
+                check bool "the reason is not empty" true
+                  (String.length m > 0)
+            | Ok _ -> failf "accepted malformed endpoint %S" s)
+          [
+            "";
+            "unix:";
+            "tcp:";
+            "tcp:host-without-port";
+            "tcp::7000";
+            "tcp:h:notaport";
+            "tcp:h:-1";
+            "tcp:h:65536";
+          ]);
+  ]
+
+(* ---------- pipelining ---------- *)
+
+let pipeline_tests =
+  let open Alcotest in
+  [
+    test_case "untagged payloads keep the legacy wire format" `Quick
+      (fun () ->
+        (* the pre-pipelining format, byte for byte: old clients must
+           interoperate with a new daemon without renegotiation *)
+        check string "legacy ping payload" "mira/1 ping\n\n"
+          (Serve.encode_request Serve.Ping);
+        check (option string) "tagged payloads carry their id" (Some "x7")
+          (Serve.payload_id (Serve.encode_request ~id:"x7" Serve.Ping));
+        check (option string) "untagged payloads carry none" None
+          (Serve.payload_id (Serve.encode_request Serve.Ping)));
+    test_case "tagged requests complete out of order, re-associated by id"
+      `Quick (fun () ->
+        let (), final =
+          with_server
+            ~cfg:(fun c ->
+              (* the worker slow site stalls every analysis 300 ms but
+                 leaves ping untouched, so completion order is forced:
+                 whichever request was submitted first, the ping answers
+                 first iff the connection really is pipelined *)
+              {
+                c with
+                Serve.cfg_faults = Some (faults ~slow:1.0 ~slow_ms:300 ());
+              })
+            (fun ~socket _server ->
+              with_conn socket (fun fd ->
+                  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+                  Serve.write_frame fd
+                    (Serve.encode_request ~id:"slow" (analyze ()));
+                  Serve.write_frame fd
+                    (Serve.encode_request ~id:"fast" Serve.Ping);
+                  let read_tagged () =
+                    match Serve.read_frame fd with
+                    | Ok payload -> (
+                        match Serve.parse_response payload with
+                        | Ok resp -> (
+                            match Serve.field resp "id" with
+                            | Some id -> (id, resp)
+                            | None -> fail "response lost its id tag")
+                        | Error m -> failf "bad response: %s" m)
+                    | Error e ->
+                        failf "read failed: %s"
+                          (Serve.frame_error_to_string e)
+                  in
+                  let id1, r1 = read_tagged () in
+                  let id2, r2 = read_tagged () in
+                  check string "the ping overtakes the stalled analyze"
+                    "fast" id1;
+                  check string "the analyze still arrives" "slow" id2;
+                  check string "ping ok" "ok" r1.rs_status;
+                  check string "analyze ok" "ok" r2.rs_status;
+                  check bool "analyze kept its body" true
+                    (String.length r2.rs_body > 0)))
+        in
+        check bool "both served" true (final.Serve.sv_served >= 2));
+    test_case "a bad pipelined request keeps its id on the error frame"
+      `Quick (fun () ->
+        let (), _ =
+          with_server (fun ~socket _server ->
+              with_conn socket (fun fd ->
+                  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+                  write_all fd
+                    (valid_frame "mira/1 launch-missiles\nid=tag-7\n\n");
+                  match Serve.read_frame fd with
+                  | Ok payload -> (
+                      match Serve.parse_response payload with
+                      | Ok resp ->
+                          check string "error status" "error" resp.rs_status;
+                          check (option string)
+                            "id echoed so the client can re-associate"
+                            (Some "tag-7") (Serve.field resp "id")
+                      | Error m -> failf "bad error frame: %s" m)
+                  | Error e ->
+                      failf "no error frame: %s"
+                        (Serve.frame_error_to_string e));
+              ping_ok socket)
+        in
+        ());
+    test_case "untagged requests stay strictly serial" `Quick (fun () ->
+        let (), _ =
+          with_server
+            ~cfg:(fun c ->
+              {
+                c with
+                Serve.cfg_faults = Some (faults ~slow:1.0 ~slow_ms:200 ());
+              })
+            (fun ~socket _server ->
+              with_conn socket (fun fd ->
+                  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+                  (* same shape as the pipelined test, untagged: now the
+                     slow analyze must answer first — the legacy
+                     serial semantics are preserved exactly *)
+                  Serve.write_frame fd (Serve.encode_request (analyze ()));
+                  Serve.write_frame fd (Serve.encode_request Serve.Ping);
+                  let read_resp () =
+                    match Serve.read_frame fd with
+                    | Ok payload -> (
+                        match Serve.parse_response payload with
+                        | Ok resp -> resp
+                        | Error m -> failf "bad response: %s" m)
+                    | Error e ->
+                        failf "read failed: %s"
+                          (Serve.frame_error_to_string e)
+                  in
+                  let r1 = read_resp () in
+                  let r2 = read_resp () in
+                  check bool "first answer is the analyze" true
+                    (Serve.field r1 "functions" <> None);
+                  check bool "second answer is the ping" true
+                    (Serve.field r2 "pong" <> None)))
+        in
+        ());
+  ]
+
+(* ---------- tcp transport ---------- *)
+
+let transport_tests =
+  let open Alcotest in
+  let via ep req =
+    let fd = Endpoint.connect ~io_timeout_ms:5000 ep in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Serve.roundtrip fd req with
+        | Ok r -> r
+        | Error m -> Alcotest.failf "%s: %s" (Endpoint.to_string ep) m)
+  in
+  [
+    test_case "tcp loopback responses are byte-identical to the unix path"
+      `Quick (fun () ->
+        let sock = temp_name "mira-tcp" ^ ".sock" in
+        let (), _ =
+          with_server_eps
+            [ Endpoint.Unix_sock sock; Endpoint.Tcp ("127.0.0.1", 0) ]
+            (fun ~eps _server ->
+              let tcp =
+                List.find
+                  (function Endpoint.Tcp _ -> true | _ -> false)
+                  eps
+              in
+              (match tcp with
+              | Endpoint.Tcp (_, port) ->
+                  check bool "the ephemeral port was resolved" true (port > 0)
+              | Endpoint.Unix_sock _ -> assert false);
+              List.iter
+                (fun req ->
+                  let u = via (Endpoint.Unix_sock sock) req in
+                  let t = via tcp req in
+                  check string "identical response payloads"
+                    (Serve.encode_response u)
+                    (Serve.encode_response t))
+                [
+                  Serve.Ping;
+                  analyze ();
+                  Serve.Eval
+                    {
+                      ev_name = "saxpy";
+                      ev_source = saxpy;
+                      ev_function = "saxpy_chain";
+                      ev_params = [ ("n", 64); ("reps", 2) ];
+                      ev_budget = Serve.no_budget;
+                    };
+                ])
+        in
+        ());
+    test_case "stats advertises proto and transport" `Quick (fun () ->
+        let sock = temp_name "mira-tcp-stats" ^ ".sock" in
+        let (), _ =
+          with_server_eps
+            [ Endpoint.Unix_sock sock; Endpoint.Tcp ("127.0.0.1", 0) ]
+            (fun ~eps _server ->
+              let tcp =
+                List.find
+                  (function Endpoint.Tcp _ -> true | _ -> false)
+                  eps
+              in
+              let su = via (Endpoint.Unix_sock sock) Serve.Stats in
+              let st = via tcp Serve.Stats in
+              check (option string) "proto over unix" (Some "mira/1")
+                (Serve.field su "proto");
+              check (option string) "unix transport" (Some "unix")
+                (Serve.field su "transport");
+              check (option string) "proto over tcp" (Some "mira/1")
+                (Serve.field st "proto");
+              check (option string) "tcp transport" (Some "tcp")
+                (Serve.field st "transport"))
+        in
+        ());
+  ]
+
+(* ---------- client pool ---------- *)
+
+let eval_req n =
+  Serve.Eval
+    {
+      ev_name = "saxpy";
+      ev_source = saxpy;
+      ev_function = "saxpy_chain";
+      ev_params = [ ("n", n); ("reps", 2) ];
+      ev_budget = Serve.no_budget;
+    }
+
+let expected_fpi =
+  let direct = lazy (Mira.analyze ~source_name:"saxpy" saxpy) in
+  fun n ->
+    Mira.fpi (Lazy.force direct) ~fname:"saxpy_chain"
+      ~env:[ ("n", n); ("reps", 2) ]
+
+let pool_tests =
+  let open Alcotest in
+  [
+    test_case "a pooled sweep merges in input order under pipelining" `Quick
+      (fun () ->
+        let (), _ =
+          with_server
+            ~cfg:(fun c ->
+              (* every eval stalls 60 ms while pings fly through, so
+                 wire completions arrive out of input order; the sweep
+                 must still merge positionally *)
+              {
+                c with
+                Serve.cfg_faults = Some (faults ~slow:1.0 ~slow_ms:60 ());
+              })
+            (fun ~socket _server ->
+              Client.with_endpoint ~io_timeout_ms:15000
+                (Endpoint.Unix_sock socket) (fun pool ->
+                  let results =
+                    Client.sweep pool
+                      [ eval_req 8; eval_req 16; Serve.Ping; eval_req 24 ]
+                  in
+                  match results with
+                  | [ Ok r0; Ok r1; Ok r2; Ok r3 ] ->
+                      check (float 1e-6) "slot 0" (expected_fpi 8)
+                        (float_of_field r0 "fpi");
+                      check (float 1e-6) "slot 1" (expected_fpi 16)
+                        (float_of_field r1 "fpi");
+                      check bool "slot 2 is the ping" true
+                        (Serve.field r2 "pong" <> None);
+                      check (float 1e-6) "slot 3" (expected_fpi 24)
+                        (float_of_field r3 "fpi")
+                  | rs ->
+                      failf "sweep returned %d results, some failed"
+                        (List.length rs)))
+        in
+        ());
+    test_case "pool failover mid-sweep loses and duplicates nothing" `Quick
+      (fun () ->
+        let sock_a = temp_name "mira-pool-a" ^ ".sock" in
+        let sock_b = temp_name "mira-pool-b" ^ ".sock" in
+        let mk sock =
+          let server =
+            Serve.create
+              {
+                (Serve.default_config ~socket:sock) with
+                cfg_max_inflight = 16;
+                cfg_faults = Some (faults ~slow:1.0 ~slow_ms:80 ());
+              }
+          in
+          let th =
+            Thread.create (fun () -> ignore (Serve.serve server)) ()
+          in
+          (server, th)
+        in
+        let a, th_a = mk sock_a in
+        let b, th_b = mk sock_b in
+        Fun.protect
+          ~finally:(fun () ->
+            Serve.stop a;
+            Serve.stop b;
+            Thread.join th_a;
+            Thread.join th_b;
+            List.iter
+              (fun s -> try Sys.remove s with Sys_error _ -> ())
+              [ sock_a; sock_b ])
+          (fun () ->
+            check bool "A up" true (Serve.wait_ready sock_a);
+            check bool "B up" true (Serve.wait_ready sock_b);
+            let ns = [ 8; 12; 16; 20; 24; 28; 32; 36 ] in
+            Client.with_pool ~io_timeout_ms:15000 ~max_inflight:2
+              [ Endpoint.Unix_sock sock_a; Endpoint.Unix_sock sock_b ]
+              (fun pool ->
+                let results = ref [] in
+                let sweeper =
+                  Thread.create
+                    (fun () ->
+                      results := Client.sweep pool (List.map eval_req ns))
+                    ()
+                in
+                (* several evals are stalled in the 80 ms worker fault
+                   when A dies; the pool must finish everything on B,
+                   retrying whatever A never answered *)
+                Unix.sleepf 0.12;
+                Serve.stop a;
+                Thread.join sweeper;
+                check int "no result lost or duplicated" (List.length ns)
+                  (List.length !results);
+                List.iteri
+                  (fun i (n, r) ->
+                    match r with
+                    | Ok (resp : Serve.response) ->
+                        check string (Printf.sprintf "result %d ok" i) "ok"
+                          resp.rs_status;
+                        check (float 1e-6)
+                          (Printf.sprintf "result %d in input order" i)
+                          (expected_fpi n)
+                          (float_of_field resp "fpi")
+                    | Error m -> failf "result %d: %s" i m)
+                  (List.combine ns !results))));
+    test_case "shutdown is never retried onto another endpoint" `Quick
+      (fun () ->
+        List.iter
+          (fun (req, expect) ->
+            check bool "idempotence classification" expect
+              (Client.idempotent req))
+          [
+            (Serve.Ping, true);
+            (Serve.Stats, true);
+            (analyze (), true);
+            (eval_req 8, true);
+            (Serve.Shutdown, false);
+          ];
+        let (), final =
+          with_server (fun ~socket _server ->
+              (* the dead endpoint sits first in round-robin order, so
+                 the shutdown's one and only attempt lands there *)
+              let dead = Endpoint.Unix_sock (temp_name "mira-dead" ^ ".sock") in
+              Client.with_pool ~retries:2
+                [ dead; Endpoint.Unix_sock socket ]
+                (fun pool ->
+                  (match Client.request pool Serve.Shutdown with
+                  | Error _ -> ()
+                  | Ok _ -> fail "shutdown reached a daemon it was not sent to");
+                  (* idempotent verbs from the same pool do fail over *)
+                  match Client.request pool Serve.Ping with
+                  | Ok r -> check string "ping fails over" "ok" r.rs_status
+                  | Error m -> failf "ping: %s" m);
+              (* the live daemon never saw the shutdown *)
+              ping_ok socket)
+        in
+        check bool "daemon survived to the end of the test" true
+          (final.Serve.sv_served >= 2));
+  ]
+
 let () =
   Alcotest.run "serve"
     [
       ("codec", codec_tests);
+      ("endpoints", endpoint_tests);
       ("protocol-fuzz", fuzz_tests);
       ("requests", request_tests);
+      ("pipelining", pipeline_tests);
+      ("tcp-transport", transport_tests);
+      ("client-pool", pool_tests);
       ("budget-isolation", budget_isolation_tests);
       ("wire-faults", wire_tests);
       ("overload", overload_tests);
