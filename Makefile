@@ -1,4 +1,4 @@
-.PHONY: build test ci serve-smoke bench bench-json clean
+.PHONY: build test ci serve-smoke bench bench-json bench-serve bench-serve-smoke clean
 
 build:
 	dune build @all
@@ -20,6 +20,7 @@ ci:
 	MIRA_FUZZ_SEED=20260806 QCHECK_SEED=20260806 MIRA_FAULT_SEED=20260806 \
 	  timeout --kill-after=30 $(CI_TIMEOUT) dune runtest --force
 	$(MAKE) serve-smoke
+	$(MAKE) bench-serve-smoke
 
 # Eval-service smoke: boot two real daemons — one on a Unix socket,
 # one on a TCP ephemeral port (discovered from its ready line) — drive
@@ -61,6 +62,22 @@ serve-smoke: build
 
 bench:
 	dune exec bench/main.exe -- --fast
+
+# Serving-layer benchmark: boots an in-process daemon and drives the
+# ping/eval/analyze mix at several connection counts, plus the
+# max-idle-connections probe.  Writes its numbers to
+# BENCH_serve.run.json; the checked-in BENCH_serve.json is the curated
+# before/after record from the event-loop migration and is not
+# overwritten here.
+bench-serve: build
+	dune exec bin/mira.exe -- bench-serve \
+	  --connections 8 --connections 256 --connections 2000 \
+	  --probe --json BENCH_serve.run.json
+
+# CI smoke: a 0.3 s run at 2 connections whose only assertion is that
+# the bench harness itself still works (exit 0, zero errors).
+bench-serve-smoke: build
+	timeout --kill-after=10 60 dune exec bin/mira.exe -- bench-serve --smoke
 
 # Timing-only run (batch scaling + incremental reanalysis) that
 # records its numbers in BENCH_batch.json for regression tracking.

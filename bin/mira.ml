@@ -698,7 +698,7 @@ let batch_cmd =
 
 let serve_cmd =
   let run endpoints max_inflight max_pipeline max_frame_bytes idle_timeout_ms
-      drain_ms cache no_incremental level limits faults =
+      drain_ms workers cache no_incremental level limits faults =
     handle_errors (fun () ->
         let cfg =
           {
@@ -708,6 +708,7 @@ let serve_cmd =
             cfg_max_frame_bytes = max 1024 max_frame_bytes;
             cfg_idle_timeout_ms = idle_timeout_ms;
             cfg_drain_ms = drain_ms;
+            cfg_workers = max 1 workers;
             cfg_level = level;
             cfg_limits = limits;
             cfg_cache = fst cache;
@@ -778,6 +779,15 @@ let serve_cmd =
           ~doc:
             "Hard deadline for the graceful drain on SIGTERM/SIGINT/shutdown.")
   in
+  let workers =
+    Arg.(
+      value & opt int 8
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Analysis worker threads.  Analyze/eval requests run on this \
+             fixed pool; ping/stats are answered by the event loop itself, \
+             and connections cost a descriptor, not a thread.")
+  in
   let no_incremental =
     Arg.(
       value & flag
@@ -794,8 +804,9 @@ let serve_cmd =
           admission, and graceful drain on SIGTERM.")
     Term.(
       const run $ Opts.endpoints_term $ max_inflight $ max_pipeline
-      $ max_frame_bytes $ idle_timeout_ms $ drain_ms $ Opts.cache_term
-      $ no_incremental $ level_arg $ Opts.limits_term $ Opts.faults)
+      $ max_frame_bytes $ idle_timeout_ms $ drain_ms $ workers
+      $ Opts.cache_term $ no_incremental $ level_arg $ Opts.limits_term
+      $ Opts.faults)
 
 (* shared response rendering for the pooled clients: print one response
    (body to stdout, diagnostics to stderr) and return its exit code *)
@@ -1104,6 +1115,232 @@ let corpus_dump_cmd =
     (Cmd.info "corpus-dump" ~doc:"Write the bundled mini-C corpus to disk.")
     Term.(const run $ dir)
 
+(* ---------- bench-serve ---------- *)
+
+let bench_serve_cmd =
+  let run endpoint connections pipeline duration_s mix_str probe probe_cap
+      json_path label smoke =
+    handle_errors (fun () ->
+        let mix =
+          match Mira_core.Bench_serve.parse_mix mix_str with
+          | Ok m -> m
+          | Error m ->
+              Printf.eprintf "error: %s\n" m;
+              exit exit_internal
+        in
+        (* smoke: a small fixed workload whose only assertion is that
+           the harness completes and emits valid JSON — CI keeps the
+           harness alive without turning timings into thresholds *)
+        let connections =
+          if smoke then [ 2 ]
+          else if connections = [] then [ 8 ]
+          else connections
+        in
+        let pipeline = max 1 (if smoke then 2 else pipeline) in
+        let duration_s = if smoke then 0.3 else duration_s in
+        let probe = probe && not smoke in
+        let json_path = if smoke && json_path = None then Some "-" else json_path in
+        let with_daemon f =
+          match endpoint with
+          | Some ep -> f ep
+          | None ->
+              (* no endpoint: measure a fresh in-process daemon with
+                 admission opened up — the generator, not the shed
+                 limit, should be what saturates *)
+              let sock =
+                Filename.concat
+                  (Filename.get_temp_dir_name ())
+                  (Printf.sprintf "mira-bench-%d.sock" (Unix.getpid ()))
+              in
+              (try Sys.remove sock with Sys_error _ -> ());
+              let cfg =
+                {
+                  (Mira_core.Serve.default_config ~socket:sock) with
+                  cfg_max_inflight = 1_000_000;
+                  cfg_max_pipeline = pipeline;
+                  cfg_idle_timeout_ms = 60_000;
+                }
+              in
+              let server = Mira_core.Serve.create cfg in
+              let th =
+                Thread.create
+                  (fun () -> ignore (Mira_core.Serve.serve server))
+                  ()
+              in
+              Fun.protect
+                ~finally:(fun () ->
+                  Mira_core.Serve.stop server;
+                  Thread.join th;
+                  try Sys.remove sock with Sys_error _ -> ())
+                (fun () ->
+                  let ep = Mira_core.Endpoint.Unix_sock sock in
+                  if not (Mira_core.Client.wait_ready ep) then begin
+                    Printf.eprintf "error: in-process daemon not ready\n";
+                    exit exit_internal
+                  end;
+                  f ep)
+        in
+        with_daemon (fun ep ->
+            let runs =
+              List.map
+                (fun conns ->
+                  let r =
+                    Mira_core.Bench_serve.run ~endpoint:ep ~connections:conns
+                      ~pipeline ~duration_s ~mix
+                  in
+                  Printf.eprintf
+                    "bench-serve: %4d conns x %d deep, %.1fs: %d ok, %d \
+                     errors, %d dropped, %.0f req/s, p50 %.2fms, p99 %.2fms\n\
+                     %!"
+                    r.Mira_core.Bench_serve.bs_connections r.bs_pipeline
+                    r.bs_elapsed_s r.bs_ok r.bs_errors r.bs_dropped_conns
+                    r.bs_throughput_rps r.bs_p50_ms r.bs_p99_ms;
+                  r)
+                connections
+            in
+            let probe_result =
+              if not probe then None
+              else begin
+                let cap =
+                  if probe_cap > 0 then probe_cap
+                  else
+                    (* both ends of every probe connection may live in
+                       this process: stay clear of RLIMIT_NOFILE *)
+                    max 100
+                      (min 8000 ((Mira_core.Poller.rlimit_nofile () - 256) / 2))
+                in
+                let n, reason =
+                  Mira_core.Bench_serve.max_idle_probe ~endpoint:ep ~cap ()
+                in
+                Printf.eprintf "bench-serve: max idle connections %d (%s)\n%!"
+                  n reason;
+                Some (n, reason)
+              end
+            in
+            match json_path with
+            | None -> ()
+            | Some path ->
+                let b = Buffer.create 1024 in
+                Buffer.add_string b "{\n";
+                Buffer.add_string b "  \"bench\": \"serve\",\n";
+                Printf.bprintf b "  \"label\": \"%s\",\n" label;
+                Printf.bprintf b "  \"mix\": \"%s\",\n"
+                  (Mira_core.Bench_serve.mix_to_string mix);
+                Printf.bprintf b "  \"duration_s\": %.3f,\n" duration_s;
+                Buffer.add_string b "  \"runs\": [\n";
+                List.iteri
+                  (fun i (r : Mira_core.Bench_serve.run) ->
+                    Printf.bprintf b
+                      "    { \"connections\": %d, \"pipeline\": %d, \
+                       \"elapsed_s\": %.3f, \"ok\": %d, \"errors\": %d, \
+                       \"dropped_conns\": %d, \"throughput_rps\": %.1f, \
+                       \"p50_ms\": %.3f, \"p99_ms\": %.3f }%s\n"
+                      r.bs_connections r.bs_pipeline r.bs_elapsed_s r.bs_ok
+                      r.bs_errors r.bs_dropped_conns r.bs_throughput_rps
+                      r.bs_p50_ms r.bs_p99_ms
+                      (if i = List.length runs - 1 then "" else ","))
+                  runs;
+                Buffer.add_string b "  ]";
+                (match probe_result with
+                | None -> ()
+                | Some (n, reason) ->
+                    Printf.bprintf b
+                      ",\n  \"max_idle_connections\": %d,\n\
+                      \  \"max_idle_stop_reason\": \"%s\"" n reason);
+                Buffer.add_string b "\n}\n";
+                if path = "-" then print_string (Buffer.contents b)
+                else begin
+                  let oc = open_out path in
+                  output_string oc (Buffer.contents b);
+                  close_out oc;
+                  Printf.eprintf "bench-serve: wrote %s\n" path
+                end))
+  in
+  let endpoint =
+    Arg.(
+      value
+      & opt (some Opts.endpoint_conv) None
+      & info [ "e"; "endpoint" ] ~docv:"ENDPOINT"
+          ~doc:
+            "Daemon to load-test.  Omitted: boot a fresh in-process daemon \
+             (admission opened up) and measure that.")
+  in
+  let connections =
+    Arg.(
+      value & opt_all int []
+      & info [ "connections" ] ~docv:"N"
+          ~doc:"Concurrent connections (repeatable: one run per count).")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 8
+      & info [ "pipeline" ] ~docv:"K"
+          ~doc:"Tagged requests kept in flight per connection.")
+  in
+  let duration_s =
+    Arg.(
+      value & opt float 3.0
+      & info [ "duration-s" ] ~docv:"S" ~doc:"Measured load per run.")
+  in
+  let mix =
+    Arg.(
+      value
+      & opt string (Mira_core.Bench_serve.mix_to_string
+                      Mira_core.Bench_serve.default_mix)
+      & info [ "mix" ] ~docv:"SPEC"
+          ~doc:
+            "Request mix weights, e.g. $(i,ping=8,eval=1,analyze=1); \
+             requests cycle through the mix deterministically.")
+  in
+  let probe =
+    Arg.(
+      value & flag
+      & info [ "probe" ]
+          ~doc:
+            "After the runs, probe how many concurrent idle connections the \
+             daemon holds while still answering a fresh ping within 2s.")
+  in
+  let probe_cap =
+    Arg.(
+      value & opt int 0
+      & info [ "probe-cap" ] ~docv:"N"
+          ~doc:
+            "Idle-connection probe ceiling (0: derived from the fd rlimit, \
+             at most 8000).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write results as JSON ($(i,-) for stdout).")
+  in
+  let label =
+    Arg.(
+      value & opt string "current"
+      & info [ "label" ] ~docv:"NAME"
+          ~doc:"Implementation label recorded in the JSON.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Small fixed workload (2 connections, 2-deep, 0.3s, no probe) \
+             that just proves the harness runs and emits valid JSON.")
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Load-test a daemon: N pipelined connections driving a \
+          deterministic ping/eval/analyze mix from one event-driven \
+          generator thread; reports throughput and p50/p99 latency, plus an \
+          optional idle-connection scale probe.  BENCH_serve.json records \
+          before/after numbers for serving-layer changes.")
+    Term.(
+      const run $ endpoint $ connections $ pipeline $ duration_s $ mix $ probe
+      $ probe_cap $ json $ label $ smoke)
+
 (* ---------- arch ---------- *)
 
 let arch_cmd =
@@ -1133,5 +1370,6 @@ let () =
           [
             parse_cmd; dot_cmd; compile_cmd; disasm_cmd; analyze_cmd; eval_cmd;
             predict_cmd; profile_cmd; coverage_cmd; validate_cmd; batch_cmd;
-            serve_cmd; client_cmd; eval_sweep_cmd; corpus_dump_cmd; arch_cmd;
+            serve_cmd; client_cmd; eval_sweep_cmd; bench_serve_cmd;
+            corpus_dump_cmd; arch_cmd;
           ]))

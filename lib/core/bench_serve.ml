@@ -1,0 +1,413 @@
+(* bench-serve: an event-driven load generator for the analysis
+   daemon.
+
+   One thread drives every connection through {!Poller}: each
+   connection keeps [pipeline] tagged requests in flight (closed
+   loop — a completion immediately issues the next request), payloads
+   drawn from a deterministic ping/eval/analyze mix.  Latency is
+   enqueue-to-response per request; throughput is completed responses
+   over elapsed time.  Single-threaded by design so the generator's
+   own cost is identical whichever server implementation is being
+   measured.
+
+   The scale probe ([max_idle_probe]) answers a different question:
+   how many concurrent *idle* connections the daemon can hold while
+   still answering a fresh ping promptly — the resource the event-loop
+   refactor trades from threads down to file descriptors. *)
+
+type mix = { mx_ping : int; mx_eval : int; mx_analyze : int }
+
+let default_mix = { mx_ping = 8; mx_eval = 1; mx_analyze = 1 }
+
+let mix_to_string m =
+  Printf.sprintf "ping=%d,eval=%d,analyze=%d" m.mx_ping m.mx_eval m.mx_analyze
+
+let parse_mix s =
+  let parts = String.split_on_char ',' s in
+  let weights =
+    List.fold_left
+      (fun acc part ->
+        Result.bind acc (fun m ->
+            match String.index_opt part '=' with
+            | None -> Error (Printf.sprintf "mix %S: expected kind=N" part)
+            | Some i -> (
+                let k = String.sub part 0 i in
+                let v = String.sub part (i + 1) (String.length part - i - 1) in
+                match int_of_string_opt v with
+                | None ->
+                    Error (Printf.sprintf "mix %s: %S is not an integer" k v)
+                | Some n when n < 0 ->
+                    Error (Printf.sprintf "mix %s: negative weight" k)
+                | Some n -> (
+                    match k with
+                    | "ping" -> Ok { m with mx_ping = n }
+                    | "eval" -> Ok { m with mx_eval = n }
+                    | "analyze" -> Ok { m with mx_analyze = n }
+                    | _ -> Error (Printf.sprintf "mix: unknown kind %S" k)))))
+      (Ok { mx_ping = 0; mx_eval = 0; mx_analyze = 0 })
+      parts
+  in
+  Result.bind weights (fun m ->
+      if m.mx_ping + m.mx_eval + m.mx_analyze = 0 then
+        Error "mix: all weights are zero"
+      else Ok m)
+
+type run = {
+  bs_connections : int;
+  bs_pipeline : int;
+  bs_elapsed_s : float;
+  bs_ok : int;
+  bs_errors : int;
+  bs_dropped_conns : int;
+  bs_throughput_rps : float;
+  bs_p50_ms : float;
+  bs_p99_ms : float;
+}
+
+(* the kernel the eval/analyze traffic carries: small enough that the
+   wire dominates pings, real enough that analyze/eval do the whole
+   pipeline *)
+let bench_source =
+  "double bench_kernel(double *x, int n) {\n\
+  \  double s = 0.0;\n\
+  \  for (int i = 0; i < n; i++) {\n\
+  \    s += x[i] * 0.5 + 1.0;\n\
+  \  }\n\
+  \  return s;\n\
+   }\n"
+
+let nth_request mix n =
+  let total = mix.mx_ping + mix.mx_eval + mix.mx_analyze in
+  let r = n mod total in
+  if r < mix.mx_ping then Serve.Ping
+  else if r < mix.mx_ping + mix.mx_eval then
+    Serve.Eval
+      {
+        ev_name = "bench.mc";
+        ev_source = bench_source;
+        ev_function = "bench_kernel";
+        ev_params = [ ("n", 64) ];
+        ev_budget = Serve.no_budget;
+      }
+  else
+    Serve.Analyze
+      {
+        an_name = "bench.mc";
+        an_source = bench_source;
+        an_budget = Serve.no_budget;
+      }
+
+(* ---------- framing (client side, nonblocking) ---------- *)
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.unsafe_to_string b
+
+let of_be32 b off =
+  (Bytes.get_uint8 b off lsl 24)
+  lor (Bytes.get_uint8 b (off + 1) lsl 16)
+  lor (Bytes.get_uint8 b (off + 2) lsl 8)
+  lor Bytes.get_uint8 b (off + 3)
+
+let frame payload =
+  Serve.magic ^ be32 (String.length payload) ^ Digest.string payload ^ payload
+
+let header_len = String.length Serve.magic + 4
+let frame_overhead = header_len + 16
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+  outq : string Queue.t;
+  mutable wchunk : string;
+  mutable woff : int;
+  inflight : (string, float) Hashtbl.t;
+  mutable next_id : int;
+  mutable dead : bool;
+}
+
+let new_conn fd =
+  {
+    fd;
+    rbuf = Bytes.create 65536;
+    rlen = 0;
+    outq = Queue.create ();
+    wchunk = "";
+    woff = 0;
+    inflight = Hashtbl.create 16;
+    next_id = 0;
+    dead = false;
+  }
+
+(* ---------- latency accumulator ---------- *)
+
+type lats = { mutable arr : float array; mutable n : int }
+
+let lat_push l v =
+  if l.n = Array.length l.arr then begin
+    let grown = Array.make (max 1024 (2 * l.n)) 0.0 in
+    Array.blit l.arr 0 grown 0 l.n;
+    l.arr <- grown
+  end;
+  l.arr.(l.n) <- v;
+  l.n <- l.n + 1
+
+let percentile sorted n p =
+  if n = 0 then 0.0 else sorted.(min (n - 1) (p * n / 100))
+
+(* ---------- the closed-loop run ---------- *)
+
+let run ~endpoint ~connections ~pipeline ~duration_s ~mix =
+  let conns =
+    Array.init connections (fun _ ->
+        (* ramping thousands of connections overruns the listen
+           backlog; EAGAIN/ECONNREFUSED here just means "slower" *)
+        let rec connect tries =
+          match Endpoint.connect endpoint with
+          | fd -> fd
+          | exception
+              Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ECONNREFUSED), _, _)
+            when tries > 0 ->
+              Unix.sleepf 0.01;
+              connect (tries - 1)
+        in
+        let fd = connect 500 in
+        Unix.set_nonblock fd;
+        new_conn fd)
+  in
+  let by_fd = Hashtbl.create (2 * connections) in
+  Array.iter (fun c -> Hashtbl.replace by_fd c.fd c) conns;
+  let lats = { arr = Array.make 4096 0.0; n = 0 } in
+  let ok = ref 0 and errors = ref 0 and reqno = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let issue_deadline = t0 +. duration_s in
+  let hard_stop = issue_deadline +. 10.0 in
+  let issue c now =
+    let id = string_of_int c.next_id in
+    c.next_id <- c.next_id + 1;
+    let req = nth_request mix !reqno in
+    incr reqno;
+    Hashtbl.replace c.inflight id now;
+    Queue.add (frame (Serve.encode_request ~id req)) c.outq
+  in
+  let kill c =
+    if not c.dead then begin
+      c.dead <- true;
+      try Unix.close c.fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let pump_writes c =
+    let continue = ref true in
+    while !continue && not c.dead do
+      if c.woff >= String.length c.wchunk then
+        if Queue.is_empty c.outq then continue := false
+        else begin
+          c.wchunk <- Queue.pop c.outq;
+          c.woff <- 0
+        end
+      else
+        match
+          Unix.write_substring c.fd c.wchunk c.woff
+            (String.length c.wchunk - c.woff)
+        with
+        | n -> c.woff <- c.woff + n
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            continue := false
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+        | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> kill c
+    done
+  in
+  let complete c payload now =
+    match Serve.payload_id payload with
+    | Some id when Hashtbl.mem c.inflight id ->
+        let t_sent = Hashtbl.find c.inflight id in
+        Hashtbl.remove c.inflight id;
+        lat_push lats ((now -. t_sent) *. 1000.0);
+        let is_ok =
+          let pfx = "mira/1 ok\n" in
+          String.length payload >= String.length pfx
+          && String.sub payload 0 (String.length pfx) = pfx
+        in
+        if is_ok then incr ok else incr errors;
+        if now < issue_deadline then begin
+          issue c now;
+          pump_writes c
+        end
+    | _ -> ()
+  in
+  let scratch = Bytes.create 65536 in
+  let pump_reads c =
+    let now = Unix.gettimeofday () in
+    let continue = ref true in
+    while !continue && not c.dead do
+      (match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+      | 0 -> kill c
+      | n ->
+          if c.rlen + n > Bytes.length c.rbuf then begin
+            let grown =
+              Bytes.create (max (c.rlen + n) (2 * Bytes.length c.rbuf))
+            in
+            Bytes.blit c.rbuf 0 grown 0 c.rlen;
+            c.rbuf <- grown
+          end;
+          Bytes.blit scratch 0 c.rbuf c.rlen n;
+          c.rlen <- c.rlen + n;
+          if n < Bytes.length scratch then continue := false
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> kill c);
+      (* extract every complete frame, then compact once *)
+      let off = ref 0 in
+      let more = ref true in
+      while !more do
+        let avail = c.rlen - !off in
+        if avail < frame_overhead then more := false
+        else
+          let len = of_be32 c.rbuf (!off + String.length Serve.magic) in
+          if avail < frame_overhead + len then more := false
+          else begin
+            let payload =
+              Bytes.sub_string c.rbuf (!off + frame_overhead) len
+            in
+            off := !off + frame_overhead + len;
+            complete c payload now
+          end
+      done;
+      if !off > 0 then begin
+        Bytes.blit c.rbuf !off c.rbuf 0 (c.rlen - !off);
+        c.rlen <- c.rlen - !off
+      end
+    done
+  in
+  (* prime the pipelines *)
+  Array.iter
+    (fun c ->
+      for _ = 1 to max 1 pipeline do
+        issue c t0
+      done;
+      pump_writes c)
+    conns;
+  let finished = ref false in
+  while not !finished do
+    let live =
+      Array.fold_left (fun acc c -> if c.dead then acc else c :: acc) [] conns
+    in
+    let now = Unix.gettimeofday () in
+    let inflight_total =
+      List.fold_left (fun a c -> a + Hashtbl.length c.inflight) 0 live
+    in
+    if live = [] || now >= hard_stop then finished := true
+    else if now >= issue_deadline && inflight_total = 0 then finished := true
+    else begin
+      let read = List.map (fun c -> c.fd) live in
+      let write =
+        List.filter_map
+          (fun c ->
+            if
+              c.woff < String.length c.wchunk
+              || not (Queue.is_empty c.outq)
+            then Some c.fd
+            else None)
+          live
+      in
+      let timeout_ms = 250 in
+      let rd, wr = Poller.wait ~read ~write ~timeout_ms () in
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt by_fd fd with
+          | Some c when not c.dead -> pump_writes c
+          | _ -> ())
+        wr;
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt by_fd fd with
+          | Some c when not c.dead -> pump_reads c
+          | _ -> ())
+        rd
+    end
+  done;
+  let t_end = Unix.gettimeofday () in
+  let dropped =
+    Array.fold_left (fun a c -> if c.dead then a + 1 else a) 0 conns
+  in
+  Array.iter kill conns;
+  let sorted = Array.sub lats.arr 0 lats.n in
+  Array.sort compare sorted;
+  let elapsed = t_end -. t0 in
+  let completed = !ok + !errors in
+  {
+    bs_connections = connections;
+    bs_pipeline = pipeline;
+    bs_elapsed_s = elapsed;
+    bs_ok = !ok;
+    bs_errors = !errors;
+    bs_dropped_conns = dropped;
+    bs_throughput_rps =
+      (if elapsed > 0.0 then float_of_int completed /. elapsed else 0.0);
+    bs_p50_ms = percentile sorted lats.n 50;
+    bs_p99_ms = percentile sorted lats.n 99;
+  }
+
+(* ---------- idle-connection scale probe ---------- *)
+
+(* Open idle connections until the daemon stops being healthy: a
+   fresh ping on a control connection must still answer within
+   [health_timeout_ms], no opened connection may be shed or closed,
+   and the OS must keep granting descriptors.  Returns how many idle
+   connections were held at once and why the probe stopped. *)
+let max_idle_probe ~endpoint ?(cap = 8000) ?(health_timeout_ms = 2000) () =
+  let control = Endpoint.connect ~io_timeout_ms:health_timeout_ms endpoint in
+  let opened = ref [] in
+  let count = ref 0 in
+  let reason = ref "reached probe cap" in
+  let batch = ref [] in
+  let healthy () =
+    match Serve.roundtrip control Serve.Ping with
+    | Ok { Serve.rs_status = "ok"; _ } -> true
+    | _ -> false
+  in
+  (try
+     if not (healthy ()) then begin
+       reason := "daemon not answering before probe";
+       raise Exit
+     end;
+     while !count < cap do
+       (match Endpoint.connect endpoint with
+       | fd ->
+           opened := fd :: !opened;
+           batch := fd :: !batch;
+           incr count
+       | exception Unix.Unix_error (e, _, _) ->
+           reason := "connect failed: " ^ Unix.error_message e;
+           raise Exit);
+       if !count mod 100 = 0 then begin
+         (* an fd with bytes (an overloaded frame) or EOF was shed *)
+         let rd, _ = Poller.wait ~read:!batch ~timeout_ms:0 () in
+         if rd <> [] then begin
+           reason := "connections shed or closed";
+           raise Exit
+         end;
+         batch := [];
+         if not (healthy ()) then begin
+           reason :=
+             Printf.sprintf "daemon unresponsive within %dms"
+               health_timeout_ms;
+           raise Exit
+         end
+       end
+     done
+   with
+  | Exit -> ()
+  | Unix.Unix_error (e, _, _) ->
+      reason := "probe error: " ^ Unix.error_message e);
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    !opened;
+  (try Unix.close control with Unix.Unix_error _ -> ());
+  (!count, !reason)

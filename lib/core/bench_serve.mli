@@ -1,0 +1,61 @@
+(** The [mira bench-serve] load generator.
+
+    A single event-driven thread ({!Poller}) holds [connections]
+    pipelined connections to a daemon, each keeping [pipeline] tagged
+    requests in flight (closed loop: a completion immediately issues
+    the next request), with payloads drawn from a deterministic
+    ping/eval/analyze {!mix}.  Reports throughput and p50/p99
+    enqueue-to-response latency, so serving changes are measurable —
+    [BENCH_serve.json] records the numbers across implementations. *)
+
+type mix = { mx_ping : int; mx_eval : int; mx_analyze : int }
+(** Relative weights; requests cycle through the mix deterministically
+    (request [n] picks by [n mod total]), so two runs offer identical
+    request sequences. *)
+
+val default_mix : mix
+(** [ping=8,eval=1,analyze=1] — wire-dominated with a steady trickle
+    of real analysis work. *)
+
+val mix_to_string : mix -> string
+
+val parse_mix : string -> (mix, string) result
+(** Parse ["ping=8,eval=1,analyze=1"]-style specs (unmentioned kinds
+    get weight 0; at least one weight must be positive). *)
+
+type run = {
+  bs_connections : int;
+  bs_pipeline : int;
+  bs_elapsed_s : float;  (** measured wall time, including drain *)
+  bs_ok : int;  (** [ok] responses *)
+  bs_errors : int;  (** [error]/[overloaded] responses *)
+  bs_dropped_conns : int;  (** connections that died mid-run *)
+  bs_throughput_rps : float;
+  bs_p50_ms : float;
+  bs_p99_ms : float;
+}
+
+val run :
+  endpoint:Endpoint.t ->
+  connections:int ->
+  pipeline:int ->
+  duration_s:float ->
+  mix:mix ->
+  run
+(** Drive the daemon at [endpoint] for [duration_s], then drain
+    in-flight requests (bounded) and report.  The generator is
+    deliberately identical whatever the server implementation, so
+    before/after numbers are comparable. *)
+
+val max_idle_probe :
+  endpoint:Endpoint.t ->
+  ?cap:int ->
+  ?health_timeout_ms:int ->
+  unit ->
+  int * string
+(** Open idle connections (in batches, health-checked with a fresh
+    ping on a control connection) until the daemon stops answering
+    within [health_timeout_ms], sheds/closes a probe connection, the
+    OS refuses descriptors, or [cap] (default 8000) is reached.
+    Returns how many idle connections were held at once, and why the
+    probe stopped. *)

@@ -11,3 +11,18 @@ let default =
   { fuel = None; depth = Budget.default_depth; timeout_ms = None; retries = 2 }
 
 let budget t = Budget.make ?fuel:t.fuel ~depth:t.depth ?timeout_ms:t.timeout_ms ()
+
+(* the configured limits are a ceiling: a request can tighten its own
+   budget but never exceed the operator's *)
+let clamp t ~fuel ~timeout_ms ~depth =
+  let min_opt a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (min a b)
+  in
+  {
+    t with
+    fuel = min_opt t.fuel fuel;
+    depth = (match depth with Some d -> min t.depth d | None -> t.depth);
+    timeout_ms = min_opt t.timeout_ms timeout_ms;
+  }

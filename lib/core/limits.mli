@@ -26,3 +26,10 @@ val default : t
 
 val budget : t -> Budget.t
 (** A fresh budget for one source; the deadline clock starts now. *)
+
+val clamp :
+  t -> fuel:int option -> timeout_ms:int option -> depth:int option -> t
+(** Tighten [t] by a request's own budget: each [Some] field lowers
+    the corresponding limit ([min]), so a request can narrow but never
+    exceed the operator's ceiling.  [retries] is the operator's alone
+    and passes through unchanged. *)

@@ -1,0 +1,71 @@
+(* A select-shaped interface over poll(2).  Unix.select cannot watch a
+   descriptor numbered >= FD_SETSIZE (1024 on Linux): the fd_set write
+   is undefined behaviour, so a server meant to hold thousands of idle
+   connections needs a real poller.  The C binding is in
+   poller_stubs.c; event bits come from <poll.h> at build time, never
+   hard-coded here.
+
+   Unix-only by construction: Unix.file_descr is physically an int on
+   Unix, which is what the stub passes to poll.  (On Windows it is a
+   HANDLE and this module would need a WSAPoll binding.) *)
+
+external poll_constants : unit -> int * int * int * int * int
+  = "mira_poll_constants"
+
+external poll_stub : int array -> int array -> int array -> int -> int
+  = "mira_poll_stub"
+
+external rlimit_nofile : unit -> int = "mira_rlimit_nofile"
+
+let pollin, pollout, pollerr, pollhup, pollnval = poll_constants ()
+let poll_bad = pollerr lor pollhup lor pollnval
+
+let int_of_fd : Unix.file_descr -> int = Obj.magic
+let fd_of_int : int -> Unix.file_descr = Obj.magic
+
+(* [wait ~read ~write ~timeout_ms ()]: the descriptors ready to read
+   and ready to write, like [Unix.select] but unbounded by FD_SETSIZE.
+   A descriptor may appear in both interest lists (its events are
+   merged into one poll slot).  Error conditions (POLLERR / POLLHUP /
+   POLLNVAL) are reported under whichever interest was registered, so
+   the owner discovers the condition from the failing/EOF-ing syscall
+   it was about to make anyway.  [timeout_ms < 0] waits forever; an
+   EINTR wait returns empty lists so the caller re-evaluates its
+   deadlines and retries. *)
+let wait ?(read = []) ?(write = []) ~timeout_ms () =
+  let tbl = Hashtbl.create 64 in
+  let add ev fd =
+    let k = int_of_fd fd in
+    let cur = try Hashtbl.find tbl k with Not_found -> 0 in
+    Hashtbl.replace tbl k (cur lor ev)
+  in
+  List.iter (add pollin) read;
+  List.iter (add pollout) write;
+  let n = Hashtbl.length tbl in
+  let fds = Array.make (max n 1) 0 and events = Array.make (max n 1) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun fd ev ->
+      fds.(!i) <- fd;
+      events.(!i) <- ev;
+      incr i)
+    tbl;
+  let fds = if n = 0 then [||] else fds
+  and events = if n = 0 then [||] else events in
+  let revents = Array.make n 0 in
+  match poll_stub fds events revents timeout_ms with
+  | -1 | 0 -> ([], [])
+  | _ ->
+      let rd = ref [] and wr = ref [] in
+      for j = n - 1 downto 0 do
+        let r = revents.(j) in
+        if r <> 0 then begin
+          let bad = r land poll_bad <> 0 in
+          let fd = fd_of_int fds.(j) in
+          if r land pollin <> 0 || (bad && events.(j) land pollin <> 0) then
+            rd := fd :: !rd;
+          if r land pollout <> 0 || (bad && events.(j) land pollout <> 0)
+          then wr := fd :: !wr
+        end
+      done;
+      (!rd, !wr)

@@ -4,15 +4,19 @@
      file descriptor, with fault-injection sites on the write path;
    - payload codec: a tiny line-oriented grammar shared by requests
      and responses;
-   - the server: an accept loop in the calling thread, one thread per
-     admitted connection, bounded admission with load shedding, and a
-     graceful drain on stop.
+   - the server: a single event loop (poll(2) via {!Poller}) in the
+     calling thread driving non-blocking per-connection state
+     machines, with analyze/eval work handed to a fixed pool of
+     [cfg_workers] threads.  An admitted connection costs a
+     descriptor and a small record, not a thread, so thousands of
+     idle connections are cheap; bounded admission with load
+     shedding and a graceful drain on stop are unchanged.
 
    Robustness stance: everything a client can send is untrusted.
    Frame errors are classified; whatever still has a trustworthy
    frame boundary is answered with an error frame and the connection
    continues, anything past a lost boundary closes the connection —
-   and in neither case does the accept loop notice. *)
+   and in neither case does the event loop stop accepting. *)
 
 type config = {
   cfg_endpoints : Endpoint.t list;
@@ -21,6 +25,7 @@ type config = {
   cfg_max_frame_bytes : int;
   cfg_idle_timeout_ms : int;
   cfg_drain_ms : int;
+  cfg_workers : int;
   cfg_level : Mira_codegen.Codegen.level;
   cfg_limits : Limits.t;
   cfg_cache : Batch.cache option;
@@ -36,6 +41,7 @@ let default_config_endpoints ~endpoints =
     cfg_max_frame_bytes = 4 * 1024 * 1024;
     cfg_idle_timeout_ms = 30_000;
     cfg_drain_ms = 2_000;
+    cfg_workers = 8;
     cfg_level = Mira_codegen.Codegen.O1;
     cfg_limits = Limits.default;
     cfg_cache = None;
@@ -492,9 +498,6 @@ type t = {
   (* accumulated Batch.stats over served requests *)
   t_batch_mu : Mutex.t;
   mutable t_batch : Batch.stats option;
-  (* live connections, so the drain can force-close stragglers *)
-  t_conns_mu : Mutex.t;
-  t_conns : (Unix.file_descr, unit) Hashtbl.t;
 }
 
 let add_batch_stats t (s : Batch.stats) =
@@ -587,8 +590,6 @@ let create cfg =
     t_proto_err = Atomic.make 0;
     t_batch_mu = Mutex.create ();
     t_batch = None;
-    t_conns_mu = Mutex.create ();
-    t_conns = Hashtbl.create 16;
   }
 
 let bound_endpoints t = List.map snd t.t_listen
@@ -602,27 +603,19 @@ let stop t =
 
 (* ---------- request handling ---------- *)
 
-let min_opt a b =
-  match (a, b) with
-  | None, x | x, None -> x
-  | Some a, Some b -> Some (min a b)
+(* the per-request budget: the server's limits clamped down by the
+   request's own (a request can tighten its budget but never exceed
+   the operator's).  Computed once at admission and carried with the
+   job, so the worker that runs it needs no ambient per-thread state
+   to find it. *)
+let request_limits (cfg : config) = function
+  | Analyze { an_budget = b; _ } | Eval { ev_budget = b; _ } ->
+      Limits.clamp cfg.cfg_limits ~fuel:b.rq_fuel ~timeout_ms:b.rq_timeout_ms
+        ~depth:b.rq_depth
+  | Ping | Stats | Shutdown -> cfg.cfg_limits
 
-(* the server's limits are a ceiling: a request can tighten its own
-   budget but never exceed the operator's *)
-let clamp_limits (server : Limits.t) (rq : budget_request) =
-  {
-    Limits.fuel = min_opt server.Limits.fuel rq.rq_fuel;
-    depth =
-      (match rq.rq_depth with
-      | Some d -> min server.Limits.depth d
-      | None -> server.Limits.depth);
-    timeout_ms = min_opt server.Limits.timeout_ms rq.rq_timeout_ms;
-    retries = server.Limits.retries;
-  }
-
-let analyze_source t ~name ~source ~budget =
+let analyze_source t ~name ~source ~limits =
   let cfg = t.t_cfg in
-  let limits = clamp_limits cfg.cfg_limits budget in
   let results, stats =
     Batch.run ~jobs:1 ?cache:cfg.cfg_cache ~incremental:cfg.cfg_incremental
       ~level:cfg.cfg_level ~limits ?faults:cfg.cfg_faults
@@ -630,7 +623,7 @@ let analyze_source t ~name ~source ~budget =
   in
   add_batch_stats t stats;
   match results with
-  | [ Ok a ] -> Ok (a, limits)
+  | [ Ok a ] -> Ok a
   | [ Error (_, d) ] -> Error d
   | _ ->
       Error
@@ -639,10 +632,10 @@ let analyze_source t ~name ~source ~budget =
 
 let float_field v = Printf.sprintf "%.12g" v
 
-let handle_analyze t ~name ~source ~budget =
-  match analyze_source t ~name ~source ~budget with
+let handle_analyze t ~limits ~name ~source =
+  match analyze_source t ~name ~source ~limits with
   | Error d -> diag_response d
-  | Ok ((a : Batch.analysis), _) ->
+  | Ok (a : Batch.analysis) ->
       ok
         ~fields:
           ([
@@ -656,10 +649,10 @@ let handle_analyze t ~name ~source ~budget =
               a.a_warnings)
         ~body:a.a_python ()
 
-let handle_eval t ~name ~source ~fname ~params ~budget =
-  match analyze_source t ~name ~source ~budget with
+let handle_eval t ~limits ~name ~source ~fname ~params =
+  match analyze_source t ~name ~source ~limits with
   | Error d -> diag_response d
-  | Ok ((a : Batch.analysis), limits) -> (
+  | Ok (a : Batch.analysis) -> (
       (* model evaluation recurses over untrusted structure too; give
          it the same budget the analysis ran under *)
       match
@@ -693,7 +686,7 @@ let handle_eval t ~name ~source ~fname ~params ~budget =
       | exception e -> diag_response (Diag.of_exn e))
 
 (* returns the response plus whether the connection should go on *)
-let handle_request t ~transport req =
+let handle_request t ~transport ~limits req =
   match req with
   | Ping -> (ok ~fields:[ ("pong", "1") ] (), `Continue)
   | Stats ->
@@ -708,174 +701,108 @@ let handle_request t ~transport req =
         `Continue )
   | Shutdown ->
       (ok ~fields:[ ("stopping", "1") ] (), `Stop)
-  | Analyze { an_name; an_source; an_budget } ->
-      ( handle_analyze t ~name:an_name ~source:an_source ~budget:an_budget,
+  | Analyze { an_name; an_source; _ } ->
+      (handle_analyze t ~limits ~name:an_name ~source:an_source, `Continue)
+  | Eval { ev_name; ev_source; ev_function; ev_params; _ } ->
+      ( handle_eval t ~limits ~name:ev_name ~source:ev_source
+          ~fname:ev_function ~params:ev_params,
         `Continue )
-  | Eval { ev_name; ev_source; ev_function; ev_params; ev_budget } ->
-      ( handle_eval t ~name:ev_name ~source:ev_source ~fname:ev_function
-          ~params:ev_params ~budget:ev_budget,
-        `Continue )
 
-(* ---------- connections ---------- *)
+(* ---------- connections: per-connection state machines ---------- *)
 
-let register_conn t fd =
-  Mutex.lock t.t_conns_mu;
-  Hashtbl.replace t.t_conns fd ();
-  Mutex.unlock t.t_conns_mu
+(* One queued write.  Responses are enqueued as chunks so the wire
+   fault sites can be expressed as queue transformations: a delayed
+   payload is a chunk with [wc_not_before] in the future, a truncated
+   write is half a frame followed by nothing, a disconnect is half a
+   frame with [wc_shutdown_after] set. *)
+type wchunk = {
+  wc_data : string;
+  mutable wc_off : int;
+  wc_not_before : float;  (** 0.0 = immediately *)
+  wc_shutdown_after : bool;
+}
 
-let unregister_conn t fd =
-  Mutex.lock t.t_conns_mu;
-  Hashtbl.remove t.t_conns fd;
-  Mutex.unlock t.t_conns_mu
+type rstage = Header | Body of int  (* declared payload length *)
 
-(* best-effort response write: a vanished or wedged client is its own
-   problem; [false] means the connection is no longer usable *)
-let send_response t fd resp =
-  match write_frame ?faults:t.t_cfg.cfg_faults fd (encode_response resp) with
-  | () -> true
-  | exception Unix.Unix_error ((EPIPE | ECONNRESET | EAGAIN | EWOULDBLOCK), _, _)
-    ->
-      false
-  | exception Faults.Injected _ -> false
+type conn = {
+  cn_fd : Unix.file_descr;
+  cn_transport : string;
+  (* exact-length frame assembly: [cn_want] bytes finish the stage *)
+  mutable cn_buf : Bytes.t;
+  mutable cn_have : int;
+  mutable cn_want : int;
+  mutable cn_stage : rstage;
+  cn_wq : wchunk Queue.t;
+  mutable cn_pending : int;  (* dispatched worker jobs unanswered *)
+  mutable cn_serial_busy : bool;  (* an untagged request is in a worker *)
+  mutable cn_closing : bool;  (* stop reading; close once settled *)
+  mutable cn_poisoned : bool;  (* write path is gone: drop writes *)
+  mutable cn_dead : bool;  (* descriptor closed *)
+  mutable cn_last_rx : float;  (* last byte received (idle reaping) *)
+  mutable cn_wstall : float;  (* last write progress (stall reaping) *)
+}
 
-let handle_connection t transport fd =
-  let cfg = t.t_cfg in
-  if cfg.cfg_idle_timeout_ms > 0 then begin
-    let s = float_of_int cfg.cfg_idle_timeout_ms /. 1000.0 in
-    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
-     with Unix.Unix_error _ -> ());
-    try Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
-    with Unix.Unix_error _ -> ()
-  end;
-  (* Pipelining: an [id=]-tagged request is dispatched to a worker
-     thread and may complete out of order; its response echoes the tag
-     so the client can re-associate it.  Untagged requests keep the
-     original strictly-serial request/response semantics, so old
-     clients see an unchanged protocol.  Response writes (from the
-     reader and all workers) are serialized by [write_mu]; the
-     pipeline depth is bounded by [cfg_max_pipeline] — the reader
-     blocks when it is full, which backpressures the socket. *)
-  let write_mu = Mutex.create () in
-  let pend_mu = Mutex.create () in
-  let pend_cv = Condition.create () in
-  let pending = ref 0 in
-  let conn_dead = Atomic.make false in
-  let send resp =
-    Mutex.lock write_mu;
-    let sent = send_response t fd resp in
-    Mutex.unlock write_mu;
-    if not sent then Atomic.set conn_dead true;
-    sent
-  in
-  let count resp =
-    if resp.rs_status = "ok" then Atomic.incr t.t_served
-    else Atomic.incr t.t_failed
-  in
-  let with_id id resp =
-    { resp with rs_fields = ("id", id) :: resp.rs_fields }
-  in
-  let pending_now () =
-    Mutex.lock pend_mu;
-    let p = !pending in
-    Mutex.unlock pend_mu;
-    p
-  in
-  let handle req =
-    (* one hostile request must never take the daemon down: whatever
-       escapes becomes a structured error frame *)
-    try handle_request t ~transport req
-    with e -> (diag_response (Diag.of_exn e), `Continue)
-  in
-  let dispatch id req =
-    Mutex.lock pend_mu;
-    while !pending >= max 1 cfg.cfg_max_pipeline do
-      Condition.wait pend_cv pend_mu
+(* ---------- worker pool ---------- *)
+
+(* A dispatched request.  The budget is clamped at admission and
+   rides with the job: workers are interchangeable and hold no
+   per-request state between jobs, so the pool — not the request
+   rate — bounds every per-thread structure downstream. *)
+type job = {
+  jb_conn : conn;
+  jb_id : string option;  (* None = untagged (strictly serial) *)
+  jb_req : request;
+  jb_limits : Limits.t;
+}
+
+type pool = {
+  po_mu : Mutex.t;
+  po_cv : Condition.t;
+  po_jobs : job Queue.t;
+  mutable po_stop : bool;
+  po_done_mu : Mutex.t;
+  po_done : (job * response * [ `Continue | `Stop ]) Queue.t;
+  mutable po_closed : bool;  (* wake pipe closed; stop writing to it *)
+  po_wake_w : Unix.file_descr;
+}
+
+let count t resp =
+  if resp.rs_status = "ok" then Atomic.incr t.t_served
+  else Atomic.incr t.t_failed
+
+let worker_loop t pool =
+  let wake = Bytes.make 1 'c' in
+  let rec next () =
+    Mutex.lock pool.po_mu;
+    while Queue.is_empty pool.po_jobs && not pool.po_stop do
+      Condition.wait pool.po_cv pool.po_mu
     done;
-    incr pending;
-    Mutex.unlock pend_mu;
-    ignore
-      (Thread.create
-         (fun () ->
-           let resp, after = handle req in
-           count resp;
-           ignore (send (with_id id resp));
-           (match after with `Stop -> stop t | `Continue -> ());
-           Mutex.lock pend_mu;
-           decr pending;
-           Condition.broadcast pend_cv;
-           Mutex.unlock pend_mu)
-         ())
+    match Queue.take_opt pool.po_jobs with
+    | None -> Mutex.unlock pool.po_mu (* stopping, queue drained *)
+    | Some job ->
+        Mutex.unlock pool.po_mu;
+        (* one hostile request must never take the daemon down:
+           whatever escapes becomes a structured error frame *)
+        let resp, after =
+          try
+            handle_request t ~transport:job.jb_conn.cn_transport
+              ~limits:job.jb_limits job.jb_req
+          with e -> (diag_response (Diag.of_exn e), `Continue)
+        in
+        count t resp;
+        Mutex.lock pool.po_done_mu;
+        Queue.add (job, resp, after) pool.po_done;
+        (* wake the event loop; a full pipe already has wake bytes in
+           it, so a failed write is never a lost wakeup *)
+        if not pool.po_closed then (
+          try ignore (Unix.write pool.po_wake_w wake 0 1)
+          with Unix.Unix_error _ -> ());
+        Mutex.unlock pool.po_done_mu;
+        next ()
   in
-  let rec loop () =
-    if Atomic.get conn_dead then ()
-    else
-      match read_frame ~max_bytes:cfg.cfg_max_frame_bytes fd with
-      | Error Closed ->
-          (* a finished client: just let the connection go *)
-          ()
-      | Error Timed_out ->
-          (* idle only counts when nothing is in flight: a pipelining
-             client quietly waiting for its responses is not a
-             slow-loris *)
-          if pending_now () > 0 && not (Atomic.get t.t_stopping) then
-            loop ()
-      | Error ((Bad_magic | Oversized _ | Truncated | Bad_checksum) as e) ->
-          (* the stream position can no longer be trusted: answer if
-             possible, then drop the connection.  A checksum mismatch is
-             in this class too — the digest covers only the payload, so
-             a corrupted length prefix also surfaces as Bad_checksum,
-             and then the boundary we read at was never real *)
-          Atomic.incr t.t_proto_err;
-          ignore
-            (send
-               (error_response ~code:"bad-frame" (frame_error_to_string e)))
-      | Ok payload -> (
-          let id = payload_id payload in
-          match parse_request payload with
-          | Error m ->
-              let resp = error_response ~code:"bad-request" m in
-              let resp =
-                match id with Some i -> with_id i resp | None -> resp
-              in
-              count resp;
-              if send resp && not (Atomic.get t.t_stopping) then loop ()
-          | Ok req -> (
-              match (id, req) with
-              | Some id, Shutdown ->
-                  (* exactly-once doesn't mix with concurrency:
-                     shutdown is answered in-line even when tagged *)
-                  let resp, _ = handle Shutdown in
-                  count resp;
-                  ignore (send (with_id id resp));
-                  stop t
-              | Some id, _ ->
-                  dispatch id req;
-                  if not (Atomic.get t.t_stopping) then loop ()
-              | None, _ -> (
-                  let resp, after = handle req in
-                  count resp;
-                  let sent = send resp in
-                  match after with
-                  | `Stop -> stop t
-                  | `Continue ->
-                      if sent && not (Atomic.get t.t_stopping) then loop ())))
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      (* drain this connection's pipeline before closing: worker
-         threads still hold the descriptor, and closing it out from
-         under them would race a kernel-level descriptor reuse *)
-      Mutex.lock pend_mu;
-      while !pending > 0 do
-        Condition.wait pend_cv pend_mu
-      done;
-      Mutex.unlock pend_mu;
-      unregister_conn t fd;
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Atomic.decr t.t_inflight)
-    (fun () -> try loop () with _ -> ())
+  next ()
 
-(* ---------- accept loop and drain ---------- *)
+(* ---------- load shedding ---------- *)
 
 let shed t fd =
   Atomic.incr t.t_shed;
@@ -889,85 +816,529 @@ let rec bump_hwm hwm v =
   let cur = Atomic.get hwm in
   if v > cur && not (Atomic.compare_and_set hwm cur v) then bump_hwm hwm v
 
+(* ---------- the event loop ---------- *)
+
 let serve t =
   let cfg = t.t_cfg in
-  let listen_fds = List.map fst t.t_listen in
-  let rec accept_loop () =
-    if Atomic.get t.t_stopping then ()
-    else
-      match Unix.select (t.t_stop_r :: listen_fds) [] [] 0.5 with
-      | exception Unix.Unix_error (EINTR, _, _) -> accept_loop ()
-      | readable, _, _ ->
-          if List.mem t.t_stop_r readable then ()
+  let max_pipe = max 1 cfg.cfg_max_pipeline in
+  let idle_s =
+    if cfg.cfg_idle_timeout_ms > 0 then
+      Some (float_of_int cfg.cfg_idle_timeout_ms /. 1000.0)
+    else None
+  in
+  List.iter (fun (fd, _) -> Unix.set_nonblock fd) t.t_listen;
+  (try Unix.set_nonblock t.t_stop_r with Unix.Unix_error _ -> ());
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let pool =
+    {
+      po_mu = Mutex.create ();
+      po_cv = Condition.create ();
+      po_jobs = Queue.create ();
+      po_stop = false;
+      po_done_mu = Mutex.create ();
+      po_done = Queue.create ();
+      po_closed = false;
+      po_wake_w = wake_w;
+    }
+  in
+  for _ = 1 to max 1 cfg.cfg_workers do
+    ignore (Thread.create (worker_loop t) pool)
+  done;
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let live () = Hashtbl.fold (fun _ c acc -> c :: acc) conns [] in
+  let close_conn conn =
+    if not conn.cn_dead then begin
+      conn.cn_dead <- true;
+      Hashtbl.remove conns conn.cn_fd;
+      (try Unix.close conn.cn_fd with Unix.Unix_error _ -> ());
+      Atomic.decr t.t_inflight
+    end
+  in
+  let maybe_close conn =
+    if
+      (not conn.cn_dead) && conn.cn_closing && conn.cn_pending = 0
+      && Queue.is_empty conn.cn_wq
+    then close_conn conn
+  in
+  let rec pump_writes conn =
+    if not conn.cn_dead then
+      match Queue.peek_opt conn.cn_wq with
+      | None -> maybe_close conn
+      | Some c ->
+          if c.wc_not_before > Unix.gettimeofday () then ()
           else begin
-            List.iter
-              (fun (lfd, ep) ->
-                if List.mem lfd readable then
-                  match Unix.accept ~cloexec:true lfd with
-                  | exception
-                      Unix.Unix_error
-                        ((EINTR | EAGAIN | EWOULDBLOCK | ECONNABORTED), _, _)
-                    ->
-                      ()
-                  | fd, _ ->
-                      if Atomic.get t.t_stopping then (
-                        try Unix.close fd with Unix.Unix_error _ -> ())
-                      else if Atomic.get t.t_inflight >= cfg.cfg_max_inflight
-                      then shed t fd
-                      else begin
-                        (match ep with
-                        | Endpoint.Tcp _ -> (
-                            (* frames are small and latency-sensitive;
-                               Nagle + delayed ack would add round
-                               trips to every pipelined response *)
-                            try Unix.setsockopt fd Unix.TCP_NODELAY true
-                            with Unix.Unix_error _ -> ())
-                        | Endpoint.Unix_sock _ -> ());
-                        let now = Atomic.fetch_and_add t.t_inflight 1 + 1 in
-                        bump_hwm t.t_hwm now;
-                        register_conn t fd;
-                        ignore
-                          (Thread.create
-                             (handle_connection t (Endpoint.transport ep))
-                             fd)
-                      end)
-              t.t_listen;
-            accept_loop ()
+            match
+              Unix.write_substring conn.cn_fd c.wc_data c.wc_off
+                (String.length c.wc_data - c.wc_off)
+            with
+            | n ->
+                conn.cn_wstall <- Unix.gettimeofday ();
+                c.wc_off <- c.wc_off + n;
+                if c.wc_off = String.length c.wc_data then begin
+                  ignore (Queue.pop conn.cn_wq);
+                  if c.wc_shutdown_after then begin
+                    (try Unix.shutdown conn.cn_fd Unix.SHUTDOWN_ALL
+                     with Unix.Unix_error _ -> ());
+                    Queue.clear conn.cn_wq
+                  end;
+                  pump_writes conn
+                end
+                (* partial write: the socket buffer is full; poll for
+                   writability *)
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+            | exception Unix.Unix_error (EINTR, _, _) -> pump_writes conn
+            | exception Unix.Unix_error (_, _, _) ->
+                (* the peer is gone (EPIPE/ECONNRESET/...): a vanished
+                   client is its own problem *)
+                Queue.clear conn.cn_wq;
+                conn.cn_poisoned <- true;
+                conn.cn_closing <- true;
+                maybe_close conn
           end
   in
-  accept_loop ();
-  Atomic.set t.t_stopping true;
-  (* no new admissions *)
-  List.iter
-    (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
-    t.t_listen;
-  List.iter
-    (function
-      | Endpoint.Unix_sock p -> (
-          try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
-      | Endpoint.Tcp _ -> ())
-    (bound_endpoints t);
-  (* graceful drain: in-flight requests get [cfg_drain_ms] to finish *)
-  let deadline =
-    Unix.gettimeofday () +. (float_of_int cfg.cfg_drain_ms /. 1000.0)
+  let enqueue_payload conn payload =
+    if (not conn.cn_dead) && not conn.cn_poisoned then begin
+      let data = frame payload in
+      let chunk ?(not_before = 0.0) ?(shutdown_after = false) s =
+        Queue.add
+          {
+            wc_data = s;
+            wc_off = 0;
+            wc_not_before = not_before;
+            wc_shutdown_after = shutdown_after;
+          }
+          conn.cn_wq
+      in
+      let faults = cfg.cfg_faults in
+      (* same sites, same subjects, same order as the blocking
+         write_frame: fault schedules are identical across server
+         implementations *)
+      let subject = Digest.to_hex (Digest.string payload) in
+      let fires p site =
+        match faults with
+        | Some f -> Faults.fires f ~p:(p f) ~site ~subject
+        | None -> false
+      in
+      if Queue.is_empty conn.cn_wq then
+        conn.cn_wstall <- Unix.gettimeofday ();
+      if fires (fun f -> f.Faults.disconnect_p) "net_disconnect" then begin
+        (* the peer vanishes mid-frame: half a frame, then a hard
+           close *)
+        chunk ~shutdown_after:true
+          (String.sub data 0 (String.length data / 2));
+        conn.cn_poisoned <- true;
+        conn.cn_closing <- true
+      end
+      else if fires (fun f -> f.Faults.net_write_p) "net_write" then begin
+        (* a dropped/short write: the frame just stops *)
+        chunk (String.sub data 0 (String.length data / 2));
+        conn.cn_poisoned <- true;
+        conn.cn_closing <- true
+      end
+      else if
+        (match faults with Some f -> f.Faults.slow_ms > 0 | None -> false)
+        && fires (fun f -> f.Faults.slow_p) "net_slow"
+      then begin
+        (* a slow peer: the header arrives, the payload dribbles in
+           later — without parking a thread for the interval *)
+        let slow_ms =
+          match faults with Some f -> f.Faults.slow_ms | None -> 0
+        in
+        chunk (String.sub data 0 header_len);
+        chunk
+          ~not_before:(Unix.gettimeofday () +. (float_of_int slow_ms /. 1000.0))
+          (String.sub data header_len (String.length data - header_len))
+      end
+      else chunk data;
+      pump_writes conn
+    end
   in
-  while Atomic.get t.t_inflight > 0 && Unix.gettimeofday () < deadline do
-    Unix.sleepf 0.005
-  done;
-  (* hard deadline passed: force the stragglers' sockets shut so their
-     threads wake out of blocking reads and unwind *)
-  if Atomic.get t.t_inflight > 0 then begin
-    Mutex.lock t.t_conns_mu;
-    Hashtbl.iter
-      (fun fd () ->
-        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-      t.t_conns;
-    Mutex.unlock t.t_conns_mu;
-    let hard = Unix.gettimeofday () +. 0.5 in
-    while Atomic.get t.t_inflight > 0 && Unix.gettimeofday () < hard do
-      Unix.sleepf 0.005
+  let with_id id resp =
+    { resp with rs_fields = ("id", id) :: resp.rs_fields }
+  in
+  let respond conn id resp =
+    let resp = match id with Some i -> with_id i resp | None -> resp in
+    enqueue_payload conn (encode_response resp)
+  in
+  let handle_inline conn req =
+    try
+      handle_request t ~transport:conn.cn_transport ~limits:cfg.cfg_limits req
+    with e -> (diag_response (Diag.of_exn e), `Continue)
+  in
+  let submit conn id req =
+    conn.cn_pending <- conn.cn_pending + 1;
+    (match id with None -> conn.cn_serial_busy <- true | Some _ -> ());
+    let job =
+      { jb_conn = conn; jb_id = id; jb_req = req;
+        jb_limits = request_limits cfg req }
+    in
+    Mutex.lock pool.po_mu;
+    Queue.add job pool.po_jobs;
+    Condition.signal pool.po_cv;
+    Mutex.unlock pool.po_mu
+  in
+  let process_payload conn payload =
+    let id = payload_id payload in
+    match parse_request payload with
+    | Error m ->
+        let resp = error_response ~code:"bad-request" m in
+        count t resp;
+        respond conn id resp
+    | Ok req -> (
+        match (id, req) with
+        | Some i, Shutdown ->
+            (* exactly-once doesn't mix with concurrency: shutdown is
+               answered in-line even when tagged *)
+            let resp, _ = handle_inline conn Shutdown in
+            count t resp;
+            respond conn (Some i) resp;
+            stop t
+        | _, (Ping | Stats) | None, Shutdown ->
+            (* cheap verbs are answered in the loop itself: a ping
+               never waits behind a stalled analysis *)
+            let resp, after = handle_inline conn req in
+            count t resp;
+            respond conn id resp;
+            (match after with `Stop -> stop t | `Continue -> ())
+        | _, (Analyze _ | Eval _) -> submit conn id req)
+  in
+  let want_read conn =
+    (not conn.cn_dead) && (not conn.cn_closing) && (not conn.cn_poisoned)
+    && (not conn.cn_serial_busy)
+    && conn.cn_pending < max_pipe
+  in
+  let frame_err conn e =
+    (* the stream position can no longer be trusted: answer if
+       possible, then drop the connection.  A checksum mismatch is in
+       this class too — the digest covers only the payload, so a
+       corrupted length prefix also surfaces as Bad_checksum, and then
+       the boundary we read at was never real *)
+    Atomic.incr t.t_proto_err;
+    enqueue_payload conn
+      (encode_response
+         (error_response ~code:"bad-frame" (frame_error_to_string e)));
+    conn.cn_closing <- true;
+    maybe_close conn
+  in
+  let eof conn =
+    match conn.cn_stage with
+    | Header when conn.cn_have = 0 ->
+        (* a finished client: just let the connection go *)
+        conn.cn_closing <- true;
+        maybe_close conn
+    | _ -> frame_err conn Truncated
+  in
+  let pump_reads conn =
+    (* cap the frames handled per readiness event so one firehose
+       connection cannot starve the rest of the loop *)
+    let budget = ref 64 in
+    let continue = ref true in
+    while !continue && want_read conn && !budget > 0 do
+      match
+        Unix.read conn.cn_fd conn.cn_buf conn.cn_have
+          (conn.cn_want - conn.cn_have)
+      with
+      | 0 ->
+          continue := false;
+          eof conn
+      | r ->
+          conn.cn_have <- conn.cn_have + r;
+          conn.cn_last_rx <- Unix.gettimeofday ();
+          if conn.cn_have = conn.cn_want then begin
+            match conn.cn_stage with
+            | Header ->
+                if
+                  Bytes.sub_string conn.cn_buf 0 (String.length magic)
+                  <> magic
+                then begin
+                  continue := false;
+                  frame_err conn Bad_magic
+                end
+                else
+                  let len =
+                    of_be32
+                      (Bytes.sub_string conn.cn_buf 0 header_len)
+                      (String.length magic)
+                  in
+                  if len > cfg.cfg_max_frame_bytes then begin
+                    continue := false;
+                    frame_err conn (Oversized len)
+                  end
+                  else begin
+                    conn.cn_stage <- Body len;
+                    conn.cn_want <- digest_len + len;
+                    conn.cn_have <- 0;
+                    if Bytes.length conn.cn_buf < conn.cn_want then
+                      conn.cn_buf <- Bytes.create conn.cn_want
+                  end
+            | Body len ->
+                let digest = Bytes.sub_string conn.cn_buf 0 digest_len in
+                let payload =
+                  Bytes.sub_string conn.cn_buf digest_len len
+                in
+                conn.cn_stage <- Header;
+                conn.cn_want <- header_len;
+                conn.cn_have <- 0;
+                (* do not let one huge frame pin its buffer forever *)
+                if Bytes.length conn.cn_buf > 65536 then
+                  conn.cn_buf <- Bytes.create header_len;
+                decr budget;
+                if Digest.string payload <> digest then begin
+                  continue := false;
+                  frame_err conn Bad_checksum
+                end
+                else process_payload conn payload
+          end
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+          continue := false;
+          eof conn
+      | exception Unix.Unix_error (_, _, _) ->
+          continue := false;
+          Queue.clear conn.cn_wq;
+          conn.cn_poisoned <- true;
+          conn.cn_closing <- true;
+          maybe_close conn
     done
-  end;
+  in
+  let accept_backoff = ref false in
+  let accept_ready (lfd, ep) =
+    let rec go () =
+      match Unix.accept ~cloexec:true lfd with
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error ((EINTR | ECONNABORTED), _, _) -> go ()
+      | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+          (* out of descriptors: leave the connection queued and retry
+             after a beat instead of spinning on a readable listener *)
+          accept_backoff := true
+      | exception Unix.Unix_error (_, _, _) -> ()
+      | fd, _ ->
+          if Atomic.get t.t_stopping then (
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          else if Atomic.get t.t_inflight >= cfg.cfg_max_inflight then begin
+            shed t fd;
+            go ()
+          end
+          else begin
+            (match ep with
+            | Endpoint.Tcp _ -> (
+                (* frames are small and latency-sensitive; Nagle +
+                   delayed ack would add round trips to every
+                   pipelined response *)
+                try Unix.setsockopt fd Unix.TCP_NODELAY true
+                with Unix.Unix_error _ -> ())
+            | Endpoint.Unix_sock _ -> ());
+            Unix.set_nonblock fd;
+            let n = Atomic.fetch_and_add t.t_inflight 1 + 1 in
+            bump_hwm t.t_hwm n;
+            let now = Unix.gettimeofday () in
+            Hashtbl.replace conns fd
+              {
+                cn_fd = fd;
+                cn_transport = Endpoint.transport ep;
+                cn_buf = Bytes.create header_len;
+                cn_have = 0;
+                cn_want = header_len;
+                cn_stage = Header;
+                cn_wq = Queue.create ();
+                cn_pending = 0;
+                cn_serial_busy = false;
+                cn_closing = false;
+                cn_poisoned = false;
+                cn_dead = false;
+                cn_last_rx = now;
+                cn_wstall = now;
+              };
+            go ()
+          end
+    in
+    go ()
+  in
+  let process_completions () =
+    let items =
+      Mutex.lock pool.po_done_mu;
+      let acc = Queue.fold (fun acc x -> x :: acc) [] pool.po_done in
+      Queue.clear pool.po_done;
+      Mutex.unlock pool.po_done_mu;
+      List.rev acc
+    in
+    List.iter
+      (fun (job, resp, after) ->
+        let conn = job.jb_conn in
+        conn.cn_pending <- conn.cn_pending - 1;
+        (match job.jb_id with
+        | None -> conn.cn_serial_busy <- false
+        | Some _ -> ());
+        if not conn.cn_dead then respond conn job.jb_id resp;
+        (match after with `Stop -> stop t | `Continue -> ());
+        maybe_close conn)
+      items
+  in
+  let drained = ref false in
+  let drain_deadline = ref infinity in
+  let begin_drain () =
+    if not !drained then begin
+      drained := true;
+      Atomic.set t.t_stopping true;
+      (* no new admissions *)
+      List.iter
+        (fun (fd, _) -> try Unix.close fd with Unix.Unix_error _ -> ())
+        t.t_listen;
+      List.iter
+        (function
+          | Endpoint.Unix_sock p -> (
+              try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+          | Endpoint.Tcp _ -> ())
+        (bound_endpoints t);
+      drain_deadline :=
+        Unix.gettimeofday () +. (float_of_int cfg.cfg_drain_ms /. 1000.0);
+      (* serve whatever was already on the wire, then stop reading:
+         in-flight requests get the full drain window to finish *)
+      List.iter (fun c -> if not c.cn_dead then pump_reads c) (live ());
+      List.iter
+        (fun c ->
+          if not c.cn_dead then begin
+            c.cn_closing <- true;
+            maybe_close c
+          end)
+        (live ())
+    end
+  in
+  let reap now =
+    match idle_s with
+    | None -> ()
+    | Some idle ->
+        let victims =
+          Hashtbl.fold
+            (fun _ c acc ->
+              if c.cn_dead then acc
+              else
+                match Queue.peek_opt c.cn_wq with
+                | Some head ->
+                    (* a wedged client that stopped reading; a chunk
+                       the server itself delayed does not count *)
+                    if
+                      head.wc_not_before <= now
+                      && now -. c.cn_wstall >= idle
+                    then c :: acc
+                    else acc
+                | None ->
+                    (* idle only counts when nothing is in flight: a
+                       pipelining client quietly waiting for its
+                       responses is not a slow-loris *)
+                    if
+                      c.cn_pending = 0 && (not c.cn_closing)
+                      && now -. c.cn_last_rx >= idle
+                    then c :: acc
+                    else acc)
+            conns []
+        in
+        List.iter close_conn victims
+  in
+  let next_timeout now =
+    let dl = ref (if !drained then !drain_deadline else infinity) in
+    let consider x = if x < !dl then dl := x in
+    Hashtbl.iter
+      (fun _ c ->
+        if not c.cn_dead then
+          match Queue.peek_opt c.cn_wq with
+          | Some head ->
+              if head.wc_not_before > now then consider head.wc_not_before;
+              (match idle_s with
+              | Some idle -> consider (c.cn_wstall +. idle)
+              | None -> ())
+          | None -> (
+              match idle_s with
+              | Some idle when c.cn_pending = 0 && not c.cn_closing ->
+                  consider (c.cn_last_rx +. idle)
+              | _ -> ()))
+      conns;
+    let ms =
+      if !dl = infinity then -1
+      else max 0 (int_of_float (ceil ((!dl -. now) *. 1000.0)))
+    in
+    if !accept_backoff then if ms < 0 then 50 else min ms 50 else ms
+  in
+  let pipe_buf = Bytes.create 512 in
+  let drain_pipe fd =
+    let rec go () =
+      match Unix.read fd pipe_buf 0 (Bytes.length pipe_buf) with
+      | n when n = Bytes.length pipe_buf -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    in
+    go ()
+  in
+  let running = ref true in
+  while !running do
+    let now = Unix.gettimeofday () in
+    if Atomic.get t.t_stopping then begin_drain ();
+    process_completions ();
+    reap now;
+    if !drained && now >= !drain_deadline then
+      (* hard deadline passed: force the stragglers shut *)
+      List.iter
+        (fun c ->
+          (try Unix.shutdown c.cn_fd Unix.SHUTDOWN_ALL
+           with Unix.Unix_error _ -> ());
+          close_conn c)
+        (live ());
+    if !drained && Hashtbl.length conns = 0 then running := false
+    else begin
+      let rd = ref [ t.t_stop_r; wake_r ] in
+      if not (Atomic.get t.t_stopping) then
+        List.iter (fun (fd, _) -> rd := fd :: !rd) t.t_listen;
+      let wr = ref [] in
+      Hashtbl.iter
+        (fun fd c ->
+          if want_read c then rd := fd :: !rd;
+          match Queue.peek_opt c.cn_wq with
+          | Some head when head.wc_not_before <= now -> wr := fd :: !wr
+          | _ -> ())
+        conns;
+      let timeout_ms = next_timeout now in
+      accept_backoff := false;
+      let readable, writable =
+        Poller.wait ~read:!rd ~write:!wr ~timeout_ms ()
+      in
+      List.iter
+        (fun fd ->
+          if fd = t.t_stop_r then begin
+            drain_pipe t.t_stop_r;
+            begin_drain ()
+          end
+          else if fd = wake_r then drain_pipe wake_r
+          else
+            match List.assoc_opt fd t.t_listen with
+            | Some ep -> accept_ready (fd, ep)
+            | None -> (
+                match Hashtbl.find_opt conns fd with
+                | Some c -> pump_reads c
+                | None -> ()))
+        readable;
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt conns fd with
+          | Some c -> pump_writes c
+          | None -> ())
+        writable
+    end
+  done;
+  (* release the pool: idle workers exit; one stuck mid-analysis is
+     abandoned, exactly as the drain abandoned its connection *)
+  Mutex.lock pool.po_mu;
+  pool.po_stop <- true;
+  Condition.broadcast pool.po_cv;
+  Mutex.unlock pool.po_mu;
+  Mutex.lock pool.po_done_mu;
+  pool.po_closed <- true;
+  Mutex.unlock pool.po_done_mu;
+  (try Unix.close wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close wake_w with Unix.Unix_error _ -> ());
   (try Unix.close t.t_stop_r with Unix.Unix_error _ -> ());
   (try Unix.close t.t_stop_w with Unix.Unix_error _ -> ());
   stats t

@@ -63,6 +63,10 @@ type config = {
           [0] disables *)
   cfg_drain_ms : int;
       (** hard deadline for the graceful-shutdown drain *)
+  cfg_workers : int;
+      (** analysis worker threads: analyze/eval requests run on this
+          fixed pool, so concurrent analyses are bounded by the pool,
+          not by connection or request count *)
   cfg_level : Mira_codegen.Codegen.level;
   cfg_limits : Limits.t;  (** per-request budget ceiling *)
   cfg_cache : Batch.cache option;  (** the warm cache, shared by all requests *)
@@ -74,8 +78,8 @@ type config = {
 
 val default_config_endpoints : endpoints:Endpoint.t list -> config
 (** 8 in-flight connections, 8-deep pipelines, 4 MiB frames, 30 s idle
-    timeout, 2 s drain, [O1], {!Limits.default}, no cache, incremental
-    on, no faults. *)
+    timeout, 2 s drain, 8 workers, [O1], {!Limits.default}, no cache,
+    incremental on, no faults. *)
 
 val default_config : socket:string -> config
 (** [default_config_endpoints] over a single Unix-socket endpoint. *)
@@ -222,10 +226,13 @@ val stop : t -> unit
     to call from a signal handler or another thread; idempotent. *)
 
 val serve : t -> server_stats
-(** Run the accept loop in the calling thread until {!stop} (or a
+(** Run the event loop in the calling thread until {!stop} (or a
     [shutdown] request) and the drain complete; returns the final
-    stats.  Connections are handled on threads; analyses reuse the
-    shared cache. *)
+    stats.  All sockets are serviced by one poller here — an idle
+    connection costs a descriptor, not a thread — while analyze/eval
+    requests run on the [cfg_workers] pool and reuse the shared
+    cache; ping/stats/shutdown are answered inline by the loop.  See
+    "Server concurrency model" in [docs/PROTOCOL.md]. *)
 
 val stats : t -> server_stats
 (** A live snapshot (what a [stats] request returns). *)

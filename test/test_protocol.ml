@@ -1,0 +1,931 @@
+(* Wire-conformance golden suite.
+
+   docs/PROTOCOL.md is the stable wire API; this file pins it at the
+   byte level.  The golden strings below were generated against the
+   thread-per-connection server (the wire format's reference
+   implementation) and are asserted two ways:
+
+   - codec goldens: what [encode_request]/[encode_response]/the frame
+     layer emit today must equal the pinned legacy bytes;
+   - live goldens: a freshly built server, driven over a raw socket,
+     must answer with exactly the pinned bytes — response payloads,
+     whole frames (magic, length, digest), error-taxonomy codes, the
+     unsolicited overloaded frame, and the drop-after-desync rule.
+
+   Regenerate (after an *intentional* wire change only) with:
+     MIRA_GOLDEN_GEN=1 dune exec test/test_protocol.exe
+   and paste the printed list over [pinned_goldens]. *)
+
+open Mira_core
+
+let seed =
+  match Sys.getenv_opt "MIRA_FAULT_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> failwith "MIRA_FAULT_SEED must be an integer")
+  | None -> 20260806
+
+let temp_name =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter)
+
+(* ---------- raw wire helpers (deliberately independent of Serve's
+   reader, so the bytes on the socket are what is asserted) ---------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | r -> go (off + r)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Some (Bytes.to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> None
+      | r -> go (off + r)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> None
+  in
+  go 0
+
+let header_len = String.length Serve.magic + 4
+let digest_len = 16
+
+let of_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+(* one whole frame, raw: header + digest + payload bytes *)
+let read_raw_frame fd =
+  match read_exactly fd header_len with
+  | None -> None
+  | Some header -> (
+      let len = of_be32 header (String.length Serve.magic) in
+      match read_exactly fd (digest_len + len) with
+      | None -> None
+      | Some rest -> Some (header ^ rest))
+
+let payload_of_raw raw =
+  String.sub raw (header_len + digest_len)
+    (String.length raw - header_len - digest_len)
+
+(* what write_frame actually puts on the wire, captured via a temp
+   file (a pipe would deadlock on frames past the pipe buffer) so the
+   golden pins the implementation, not a re-derivation *)
+let frame_bytes payload =
+  let path = temp_name "mira-frame" in
+  let fd = Unix.openfile path [ O_RDWR; O_CREAT; O_TRUNC ] 0o600 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Serve.write_frame fd payload;
+      let len = Unix.lseek fd 0 Unix.SEEK_END in
+      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+      match read_exactly fd len with
+      | Some s -> s
+      | None -> Alcotest.fail "short frame capture")
+
+(* ---------- the golden set ---------- *)
+
+let golden_source = "int f(int n) { return n + 1; }"
+
+let error_codes =
+  [
+    "bad-frame";
+    "bad-request";
+    "analysis";
+    "budget";
+    "timeout";
+    "io";
+    "cache";
+    "injected";
+    "internal";
+  ]
+
+let current_goldens () =
+  let open Serve in
+  let tag id (r : response) =
+    { r with rs_fields = ("id", id) :: r.rs_fields }
+  in
+  let ok_ping =
+    { rs_status = "ok"; rs_fields = [ ("pong", "1") ]; rs_body = "" }
+  in
+  let overloaded =
+    { rs_status = "overloaded"; rs_fields = [ ("retry", "1") ]; rs_body = "" }
+  in
+  let err code =
+    {
+      rs_status = "error";
+      rs_fields = [ ("code", code); ("message", "golden message") ];
+      rs_body = "";
+    }
+  in
+  let budget =
+    { rq_fuel = Some 100; rq_timeout_ms = Some 500; rq_depth = Some 32 }
+  in
+  let analyze =
+    Analyze { an_name = "m.mc"; an_source = golden_source; an_budget = budget }
+  in
+  let eval =
+    Eval
+      {
+        ev_name = "m.mc";
+        ev_source = golden_source;
+        ev_function = "f";
+        ev_params = [ ("n", 8); ("m", 2) ];
+        ev_budget = no_budget;
+      }
+  in
+  [
+    ("request.ping", encode_request Ping);
+    ("request.ping.tagged", encode_request ~id:"7" Ping);
+    ("request.stats", encode_request Stats);
+    ("request.shutdown", encode_request Shutdown);
+    ("request.analyze.budget", encode_request analyze);
+    ("request.eval.tagged", encode_request ~id:"sweep-3" eval);
+    ("response.ok.ping", encode_response ok_ping);
+    ("response.ok.ping.tagged", encode_response (tag "42" ok_ping));
+    ("response.overloaded", encode_response overloaded);
+    ( "response.error.diag",
+      encode_response
+        {
+          rs_status = "error";
+          rs_fields =
+            [
+              ("code", "analysis");
+              ("message", "parse error at 1:5: golden");
+              ("phase", "parse");
+              ("kind", "user-error");
+            ];
+          rs_body = "";
+        } );
+    ("frame.request.ping", frame_bytes (encode_request Ping));
+    ("frame.response.ok.ping", frame_bytes (encode_response ok_ping));
+  ]
+  @ List.map
+      (fun code -> ("response.error." ^ code, encode_response (err code)))
+      error_codes
+
+(* generated with MIRA_GOLDEN_GEN=1 against the pre-event-loop server *)
+let pinned_goldens : (string * string) list =
+  [
+    ("request.ping", "mira/1 ping\n\n");
+    ("request.ping.tagged", "mira/1 ping\nid=7\n\n");
+    ("request.stats", "mira/1 stats\n\n");
+    ("request.shutdown", "mira/1 shutdown\n\n");
+    ( "request.analyze.budget",
+      "mira/1 analyze\nname=m.mc\nfuel=100\ntimeout-ms=500\ndepth=32\n\n\
+       int f(int n) { return n + 1; }" );
+    ( "request.eval.tagged",
+      "mira/1 eval\nid=sweep-3\nname=m.mc\nfunction=f\nparam=n=8\n\
+       param=m=2\n\nint f(int n) { return n + 1; }" );
+    ("response.ok.ping", "mira/1 ok\npong=1\n\n");
+    ("response.ok.ping.tagged", "mira/1 ok\nid=42\npong=1\n\n");
+    ("response.overloaded", "mira/1 overloaded\nretry=1\n\n");
+    ( "response.error.diag",
+      "mira/1 error\ncode=analysis\nmessage=parse error at 1:5: golden\n\
+       phase=parse\nkind=user-error\n\n" );
+    ( "frame.request.ping",
+      "MIRS1\n\000\000\000\ry]\203D\183\130\182\138(\0058\213\190qh\195mira/1 \
+       ping\n\n" );
+    ( "frame.response.ok.ping",
+      "MIRS1\n\000\000\000\01874\132\239\140\146\169\149\144\241\t\024 \
+       \167T\011mira/1 ok\npong=1\n\n" );
+    ( "response.error.bad-frame",
+      "mira/1 error\ncode=bad-frame\nmessage=golden message\n\n" );
+    ( "response.error.bad-request",
+      "mira/1 error\ncode=bad-request\nmessage=golden message\n\n" );
+    ( "response.error.analysis",
+      "mira/1 error\ncode=analysis\nmessage=golden message\n\n" );
+    ( "response.error.budget",
+      "mira/1 error\ncode=budget\nmessage=golden message\n\n" );
+    ( "response.error.timeout",
+      "mira/1 error\ncode=timeout\nmessage=golden message\n\n" );
+    ("response.error.io", "mira/1 error\ncode=io\nmessage=golden message\n\n");
+    ( "response.error.cache",
+      "mira/1 error\ncode=cache\nmessage=golden message\n\n" );
+    ( "response.error.injected",
+      "mira/1 error\ncode=injected\nmessage=golden message\n\n" );
+    ( "response.error.internal",
+      "mira/1 error\ncode=internal\nmessage=golden message\n\n" );
+  ]
+
+(* ---------- codec goldens ---------- *)
+
+let check_goldens () =
+  let current = current_goldens () in
+  Alcotest.(check (list string))
+    "golden set is complete" (List.map fst current)
+    (List.map fst pinned_goldens);
+  List.iter
+    (fun (name, bytes) ->
+      match List.assoc_opt name pinned_goldens with
+      | None -> Alcotest.failf "golden %s has no pinned bytes" name
+      | Some pinned -> Alcotest.(check string) name pinned bytes)
+    current
+
+(* the documented frame layout (offset/size table in PROTOCOL.md) must
+   be exactly what the implementation emits *)
+let check_frame_layout () =
+  List.iter
+    (fun payload ->
+      let raw = frame_bytes payload in
+      let len = String.length payload in
+      Alcotest.(check string)
+        "magic" Serve.magic
+        (String.sub raw 0 (String.length Serve.magic));
+      Alcotest.(check int)
+        "declared length" len
+        (of_be32 raw (String.length Serve.magic));
+      Alcotest.(check string)
+        "digest covers only the payload"
+        (Digest.string payload)
+        (String.sub raw header_len digest_len);
+      Alcotest.(check string)
+        "payload" payload (payload_of_raw raw);
+      Alcotest.(check int)
+        "nothing after the payload"
+        (header_len + digest_len + len)
+        (String.length raw))
+    [
+      Serve.encode_request Serve.Ping;
+      Serve.encode_request ~id:"9" Serve.Stats;
+      "";
+      String.make 100_000 'x';
+    ]
+
+(* ---------- live server harness ---------- *)
+
+let with_server ?(cfg = fun c -> c) f =
+  let socket = temp_name "mira-proto" ^ ".sock" in
+  let config = cfg (Serve.default_config ~socket) in
+  let server = Serve.create config in
+  let th = Thread.create (fun () -> ignore (Serve.serve server)) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop server;
+      Thread.join th;
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () ->
+      Alcotest.(check bool)
+        "daemon is up" true
+        (Client.wait_ready (Endpoint.Unix_sock socket));
+      f socket)
+
+let with_conn socket f =
+  let fd = Serve.connect socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let golden name =
+  match List.assoc_opt name pinned_goldens with
+  | Some v -> v
+  | None -> Alcotest.failf "no pinned golden named %s" name
+
+(* ---------- live: pinned bytes over a real socket ---------- *)
+
+let live_ping_bytes () =
+  with_server (fun socket ->
+      with_conn socket (fun fd ->
+          (* send the pinned request frame verbatim; the whole response
+             frame — header, digest and payload — must be pinned bytes *)
+          write_all fd (golden "frame.request.ping");
+          match read_raw_frame fd with
+          | None -> Alcotest.fail "no response frame"
+          | Some raw ->
+              Alcotest.(check string)
+                "response frame bytes"
+                (golden "frame.response.ok.ping")
+                raw))
+
+let live_tagged_ping () =
+  with_server (fun socket ->
+      with_conn socket (fun fd ->
+          Serve.write_frame fd (Serve.encode_request ~id:"42" Serve.Ping);
+          match Serve.read_frame fd with
+          | Error e -> Alcotest.failf "read: %s" (Serve.frame_error_to_string e)
+          | Ok payload ->
+              Alcotest.(check string)
+                "tagged response payload"
+                (golden "response.ok.ping.tagged")
+                payload))
+
+let live_bad_request () =
+  with_server (fun socket ->
+      with_conn socket (fun fd ->
+          Serve.write_frame fd "mira/1 bogus\n\n";
+          (match Serve.read_frame fd with
+          | Ok payload ->
+              Alcotest.(check string)
+                "unknown verb error bytes"
+                "mira/1 error\ncode=bad-request\nmessage=unknown request verb \"bogus\"\n\n"
+                payload
+          | Error e ->
+              Alcotest.failf "read: %s" (Serve.frame_error_to_string e));
+          (* a bad request is an answer, not a desync: the connection
+             lives on *)
+          Serve.write_frame fd (Serve.encode_request Serve.Ping);
+          match Serve.read_frame fd with
+          | Ok payload ->
+              Alcotest.(check string)
+                "connection still serves" (golden "response.ok.ping") payload
+          | Error e ->
+              Alcotest.failf "read: %s" (Serve.frame_error_to_string e)))
+
+let live_bad_request_tagged () =
+  with_server (fun socket ->
+      with_conn socket (fun fd ->
+          Serve.write_frame fd "mira/1 bogus\nid=9\n\n";
+          match Serve.read_frame fd with
+          | Ok payload ->
+              Alcotest.(check string)
+                "tag echoed on a rejected verb"
+                "mira/1 error\nid=9\ncode=bad-request\nmessage=unknown request verb \"bogus\"\n\n"
+                payload
+          | Error e ->
+              Alcotest.failf "read: %s" (Serve.frame_error_to_string e)))
+
+(* every frame-layer desync: pinned error bytes, then the connection is
+   dropped (never resynchronized) *)
+let desync_drops ~name ~send ~expect =
+  with_server
+    ~cfg:(fun c -> { c with Serve.cfg_max_frame_bytes = 1024 })
+    (fun socket ->
+      with_conn socket (fun fd ->
+          send fd;
+          (match Serve.read_frame fd with
+          | Ok payload -> Alcotest.(check string) name expect payload
+          | Error e ->
+              Alcotest.failf "%s: read: %s" name
+                (Serve.frame_error_to_string e));
+          match Serve.read_frame fd with
+          | Error Serve.Closed -> ()
+          | Ok _ -> Alcotest.failf "%s: connection not dropped" name
+          | Error e ->
+              Alcotest.failf "%s: expected EOF, got %s" name
+                (Serve.frame_error_to_string e)))
+
+let live_bad_magic () =
+  desync_drops ~name:"bad magic"
+    ~send:(fun fd -> write_all fd (String.make 26 'X'))
+    ~expect:"mira/1 error\ncode=bad-frame\nmessage=bad frame magic\n\n"
+
+let live_bad_checksum () =
+  desync_drops ~name:"checksum mismatch"
+    ~send:(fun fd ->
+      let raw = Bytes.of_string (golden "frame.request.ping") in
+      Bytes.set raw header_len
+        (Char.chr (Char.code (Bytes.get raw header_len) lxor 0xff));
+      write_all fd (Bytes.to_string raw))
+    ~expect:"mira/1 error\ncode=bad-frame\nmessage=frame checksum mismatch\n\n"
+
+let live_oversized () =
+  desync_drops ~name:"oversized declaration"
+    ~send:(fun fd ->
+      let b = Bytes.create 4 in
+      Bytes.set_uint8 b 0 0;
+      Bytes.set_uint8 b 1 0;
+      Bytes.set_uint8 b 2 ((1025 lsr 8) land 0xff);
+      Bytes.set_uint8 b 3 (1025 land 0xff);
+      write_all fd (Serve.magic ^ Bytes.to_string b))
+    ~expect:
+      "mira/1 error\ncode=bad-frame\nmessage=oversized frame (1025 bytes declared)\n\n"
+
+let live_truncated () =
+  desync_drops ~name:"truncated frame"
+    ~send:(fun fd ->
+      let raw = golden "frame.request.ping" in
+      write_all fd (String.sub raw 0 (String.length raw - 3));
+      Unix.shutdown fd Unix.SHUTDOWN_SEND)
+    ~expect:"mira/1 error\ncode=bad-frame\nmessage=truncated frame\n\n"
+
+let live_overloaded () =
+  with_server
+    ~cfg:(fun c -> { c with Serve.cfg_max_inflight = 1 })
+    (fun socket ->
+      (* the readiness probe's connection may not have released its
+         admission slot yet: retry until a round-trip proves this
+         connection is the admitted one *)
+      let rec admitted tries =
+        let fd = Serve.connect socket in
+        match Serve.roundtrip fd Serve.Ping with
+        | Ok { Serve.rs_status = "ok"; _ } -> fd
+        | _ when tries > 0 ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Unix.sleepf 0.02;
+            admitted (tries - 1)
+        | _ -> Alcotest.fail "could not get admitted"
+      in
+      let fd = admitted 100 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          with_conn socket (fun fd2 ->
+              (match read_raw_frame fd2 with
+              | None -> Alcotest.fail "no unsolicited overloaded frame"
+              | Some raw ->
+                  Alcotest.(check string)
+                    "overloaded payload bytes"
+                    (golden "response.overloaded")
+                    (payload_of_raw raw));
+              match read_exactly fd2 1 with
+              | None -> ()
+              | Some _ -> Alcotest.fail "shed connection not closed")))
+
+(* error-taxonomy codes produced by real failing requests: the codes,
+   and the diag fields riding with them, match PROTOCOL.md *)
+let live_taxonomy () =
+  let req fd r =
+    Serve.write_frame fd (Serve.encode_request r);
+    match Serve.read_frame fd with
+    | Error e -> Alcotest.failf "read: %s" (Serve.frame_error_to_string e)
+    | Ok payload -> (
+        match Serve.parse_response payload with
+        | Error m -> Alcotest.failf "parse: %s" m
+        | Ok resp -> resp)
+  in
+  let check_code name (resp : Serve.response) code =
+    Alcotest.(check string) (name ^ " status") "error" resp.rs_status;
+    Alcotest.(check (option string))
+      (name ^ " code") (Some code) (Serve.field resp "code");
+    Alcotest.(check bool)
+      (name ^ " has message") true
+      (Serve.field resp "message" <> None);
+    Alcotest.(check bool)
+      (name ^ " has phase/kind") true
+      (Serve.field resp "phase" <> None && Serve.field resp "kind" <> None)
+  in
+  with_server (fun socket ->
+      with_conn socket (fun fd ->
+          check_code "analysis"
+            (req fd
+               (Serve.Analyze
+                  {
+                    an_name = "broken.mc";
+                    an_source = "int f(";
+                    an_budget = Serve.no_budget;
+                  }))
+            "analysis";
+          check_code "budget"
+            (req fd
+               (Serve.Analyze
+                  {
+                    an_name = "m.mc";
+                    an_source = golden_source;
+                    an_budget =
+                      {
+                        Serve.rq_fuel = Some 1;
+                        rq_timeout_ms = None;
+                        rq_depth = None;
+                      };
+                  }))
+            "budget";
+          (* a 0ms deadline needs enough work for the budget clock to
+             look at the wall clock at all; the overrun may surface as
+             timeout or budget depending on which limit trips first —
+             the same family PROTOCOL.md groups them in *)
+          let big_source =
+            let b = Buffer.create 8192 in
+            Buffer.add_string b "int f(int n) { int s = 0; ";
+            for _ = 1 to 400 do
+              Buffer.add_string b "s = s + n; "
+            done;
+            Buffer.add_string b "return s; }";
+            Buffer.contents b
+          in
+          let resp =
+            req fd
+              (Serve.Analyze
+                 {
+                   an_name = "m2.mc";
+                   an_source = big_source;
+                   an_budget =
+                     {
+                       Serve.rq_fuel = None;
+                       rq_timeout_ms = Some 0;
+                       rq_depth = None;
+                     };
+                 })
+          in
+          Alcotest.(check string) "deadline status" "error" resp.rs_status;
+          Alcotest.(check bool)
+            "deadline overrun code" true
+            (match Serve.field resp "code" with
+            | Some ("timeout" | "budget") -> true
+            | _ -> false)));
+  with_server
+    ~cfg:(fun c ->
+      {
+        c with
+        Serve.cfg_faults =
+          Some { Faults.none with Faults.seed; worker_p = 1.0 };
+      })
+    (fun socket ->
+      with_conn socket (fun fd ->
+          check_code "injected"
+            (req fd
+               (Serve.Analyze
+                  {
+                    an_name = "m.mc";
+                    an_source = golden_source;
+                    an_budget = Serve.no_budget;
+                  }))
+            "injected"))
+
+(* the stats body: documented key order, proto/transport fields *)
+let live_stats_shape () =
+  with_server (fun socket ->
+      with_conn socket (fun fd ->
+          Serve.write_frame fd (Serve.encode_request Serve.Stats);
+          match Serve.read_frame fd with
+          | Error e -> Alcotest.failf "read: %s" (Serve.frame_error_to_string e)
+          | Ok payload -> (
+              match Serve.parse_response payload with
+              | Error m -> Alcotest.failf "parse: %s" m
+              | Ok resp ->
+                  Alcotest.(check string) "status" "ok" resp.rs_status;
+                  Alcotest.(check (option string))
+                    "proto" (Some "mira/1") (Serve.field resp "proto");
+                  Alcotest.(check (option string))
+                    "transport" (Some "unix") (Serve.field resp "transport");
+                  let keys =
+                    String.split_on_char '\n' resp.rs_body
+                    |> List.filter (fun l -> l <> "")
+                    |> List.map (fun l ->
+                           match String.index_opt l '=' with
+                           | Some i -> String.sub l 0 i
+                           | None -> Alcotest.failf "stats line %S" l)
+                  in
+                  Alcotest.(check (list string))
+                    "stats body keys, in wire order"
+                    [
+                      "uptime-ms";
+                      "served";
+                      "failed";
+                      "shed";
+                      "protocol-errors";
+                      "inflight";
+                      "inflight-hwm";
+                      "analyzed";
+                      "mem-hits";
+                      "disk-hits";
+                      "assembled";
+                      "fn-mem-hits";
+                      "fn-disk-hits";
+                      "fn-analyzed";
+                      "cache-corrupt";
+                      "io-retries";
+                      "io-failures";
+                    ]
+                    keys)))
+
+(* ---------- poller smoke ---------- *)
+
+let poller_pipe () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rd, wr = Poller.wait ~read:[ r ] ~write:[ w ] ~timeout_ms:0 () in
+      Alcotest.(check bool) "empty pipe not readable" false (List.mem r rd);
+      Alcotest.(check bool) "pipe writable" true (List.mem w wr);
+      write_all w "!";
+      let rd, _ = Poller.wait ~read:[ r ] ~timeout_ms:1000 () in
+      Alcotest.(check bool) "now readable" true (List.mem r rd);
+      let rd, wr = Poller.wait ~timeout_ms:0 () in
+      Alcotest.(check bool) "no interests, no events" true (rd = [] && wr = []))
+
+(* ---------- idle-connection scale ---------- *)
+
+let thread_count () =
+  let ic = open_in "/proc/self/status" in
+  let rec go () =
+    match input_line ic with
+    | line ->
+        if String.length line > 8 && String.sub line 0 8 = "Threads:" then begin
+          close_in ic;
+          int_of_string
+            (String.trim (String.sub line 8 (String.length line - 8)))
+        end
+        else go ()
+    | exception End_of_file ->
+        close_in ic;
+        -1
+  in
+  go ()
+
+let idle_scale () =
+  let target = 1000 in
+  let rlimit = Poller.rlimit_nofile () in
+  (* each in-process connection holds two descriptors (both ends live
+     in this process); leave slack for the suite's own files *)
+  if rlimit < (2 * target) + 256 then
+    Printf.printf "idle-scale: skipped (RLIMIT_NOFILE %d < %d needed)\n%!"
+      rlimit
+      ((2 * target) + 256)
+  else
+    with_server
+      ~cfg:(fun c ->
+        {
+          c with
+          Serve.cfg_max_inflight = target + 16;
+          cfg_idle_timeout_ms = 1_500;
+        })
+      (fun socket ->
+        let threads_before = thread_count () in
+        let rec connect_retry tries =
+          match Serve.connect socket with
+          | fd -> fd
+          | exception Unix.Unix_error ((EAGAIN | ECONNREFUSED), _, _)
+            when tries > 0 ->
+              Unix.sleepf 0.005;
+              connect_retry (tries - 1)
+        in
+        let conns = Array.init target (fun _ -> connect_retry 200) in
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iter
+              (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+              conns)
+          (fun () ->
+            (* a fresh connection is answered promptly with 1000
+               connections already parked *)
+            with_conn socket (fun fd ->
+                match Serve.roundtrip fd Serve.Ping with
+                | Ok r ->
+                    Alcotest.(check string)
+                      "responsive at 1000 idle" "ok" r.Serve.rs_status
+                | Error m -> Alcotest.failf "ping under idle load: %s" m);
+            (* connections cost descriptors, not threads *)
+            let threads_during = thread_count () in
+            Alcotest.(check bool)
+              (Printf.sprintf "thread count flat (%d before, %d at %d idle)"
+                 threads_before threads_during target)
+              true
+              (threads_during - threads_before <= 8);
+            (* the idle timeout still reaps at scale: a parked
+               connection sees EOF once cfg_idle_timeout_ms passes *)
+            let fd0 = conns.(0) in
+            Unix.setsockopt_float fd0 Unix.SO_RCVTIMEO 10.0;
+            let buf = Bytes.create 1 in
+            match Unix.read fd0 buf 0 1 with
+            | 0 -> ()
+            | _ -> Alcotest.fail "expected EOF from the idle reap"
+            | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+                Alcotest.fail "idle connection was never reaped"
+            | exception Unix.Unix_error (ECONNRESET, _, _) -> ()))
+
+(* ---------- pipelining fuzz ---------- *)
+
+(* a tiny deterministic LCG: the interleavings replay from the same
+   seed the fault schedule uses *)
+let lcg seed =
+  let state = ref (seed land 0x3fffffff) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3fffffff;
+    !state mod bound
+
+let fuzz_requests rng n =
+  List.init n (fun i ->
+      let id = Printf.sprintf "f%d" i in
+      match rng 5 with
+      | 0 | 1 -> `Tagged (id, Serve.Ping)
+      | 2 ->
+          `Tagged
+            ( id,
+              Serve.Analyze
+                {
+                  an_name = "fuzz.mc";
+                  an_source = golden_source;
+                  an_budget = Serve.no_budget;
+                } )
+      | 3 -> `Untagged Serve.Ping
+      | _ -> `Bad_verb id)
+
+let send_fuzz fd items =
+  (* a faulted server may drop the connection mid-stream; whatever was
+     accepted is still subject to the response invariants *)
+  let sent_tagged = ref [] and sent_untagged = ref 0 in
+  (try
+     List.iter
+       (fun item ->
+         match item with
+         | `Tagged (id, req) ->
+             Serve.write_frame fd (Serve.encode_request ~id req);
+             sent_tagged := id :: !sent_tagged
+         | `Untagged req ->
+             Serve.write_frame fd (Serve.encode_request req);
+             incr sent_untagged
+         | `Bad_verb id ->
+             (* unknown verb, but a well-formed payload: the daemon
+                must still echo the tag on the bad-request error *)
+             Serve.write_frame fd
+               (Printf.sprintf "mira/1 bogus-verb\nid=%s\n\n" id);
+             sent_tagged := id :: !sent_tagged)
+       items
+   with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ());
+  (List.rev !sent_tagged, !sent_untagged)
+
+let read_fuzz fd expected =
+  let seen = Hashtbl.create 32 in
+  let untagged = ref 0 in
+  let broke = ref false in
+  let rec go remaining =
+    if remaining > 0 then
+      match Serve.read_frame fd with
+      | Error _ -> broke := true
+      | Ok payload -> (
+          match Serve.parse_response payload with
+          | Error m -> Alcotest.failf "fuzz: unparseable response: %s" m
+          | Ok resp -> (
+              match Serve.field resp "id" with
+              | Some id ->
+                  if Hashtbl.mem seen id then
+                    Alcotest.failf "fuzz: id %s answered twice" id;
+                  Hashtbl.replace seen id ();
+                  go (remaining - 1)
+              | None ->
+                  incr untagged;
+                  go (remaining - 1)))
+  in
+  go expected;
+  (seen, !untagged, !broke)
+
+let fuzz_one_conn ~malformed rng socket =
+  with_conn socket (fun fd ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+      let items = fuzz_requests rng 24 in
+      let tagged, untagged = send_fuzz fd items in
+      (* optionally wreck the stream after the real requests: the
+         server must answer what it accepted, then drop the rest *)
+      if malformed then begin
+        let raw = Bytes.of_string (frame_bytes "mira/1 ping\n\n") in
+        Bytes.set raw header_len
+          (Char.chr (Char.code (Bytes.get raw header_len) lxor 0xff));
+        try write_all fd (Bytes.to_string raw)
+        with Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ()
+      end;
+      let expected = List.length tagged + untagged in
+      let seen, got_untagged, broke = read_fuzz fd expected in
+      (* every answered id is one we sent, exactly once *)
+      Hashtbl.iter
+        (fun id () ->
+          if not (List.mem id tagged) then
+            Alcotest.failf "fuzz: response for unsent id %s" id)
+        seen;
+      if (not broke) && not malformed then begin
+        Alcotest.(check int)
+          "every tagged request answered exactly once" (List.length tagged)
+          (Hashtbl.length seen);
+        Alcotest.(check int) "every untagged request answered" untagged
+          got_untagged
+      end)
+
+let pipeline_fuzz_clean () =
+  with_server
+    ~cfg:(fun c -> { c with Serve.cfg_max_pipeline = 4 })
+    (fun socket ->
+      let rng = lcg seed in
+      for _ = 1 to 4 do
+        fuzz_one_conn ~malformed:false rng socket
+      done)
+
+let pipeline_fuzz_faulty () =
+  with_server
+    ~cfg:(fun c ->
+      {
+        c with
+        Serve.cfg_max_pipeline = 4;
+        cfg_faults =
+          Some
+            {
+              Faults.none with
+              Faults.seed;
+              worker_p = 0.1;
+              slow_p = 0.2;
+              slow_ms = 20;
+              net_write_p = 0.05;
+              disconnect_p = 0.05;
+            };
+      })
+    (fun socket ->
+      let rng = lcg (seed + 1) in
+      for _ = 1 to 4 do
+        fuzz_one_conn ~malformed:true rng socket
+      done;
+      (* whatever the fuzz did, the daemon is still standing *)
+      with_conn socket (fun fd ->
+          match Serve.roundtrip fd Serve.Ping with
+          | Ok { rs_status = "ok"; _ } -> ()
+          | Ok r -> Alcotest.failf "daemon unhealthy after fuzz: %s" r.rs_status
+          | Error m -> Alcotest.failf "daemon gone after fuzz: %s" m))
+
+(* ---------- accept and stop latency ---------- *)
+
+let accept_latency () =
+  with_server (fun socket ->
+      (* acceptance is event-driven: on a quiet server the whole
+         connect → ping → response exchange stays well under any
+         polling tick *)
+      let worst = ref 0.0 in
+      for _ = 1 to 5 do
+        let t0 = Unix.gettimeofday () in
+        with_conn socket (fun fd ->
+            match Serve.roundtrip fd Serve.Ping with
+            | Ok { rs_status = "ok"; _ } -> ()
+            | Ok r -> Alcotest.failf "ping answered %s" r.rs_status
+            | Error m -> Alcotest.failf "ping failed: %s" m);
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt > !worst then worst := dt
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "accept-to-response under 100ms (worst %.1f ms)"
+           (!worst *. 1000.0))
+        true (!worst < 0.1))
+
+let stop_latency () =
+  let socket = temp_name "mira-stoplat" ^ ".sock" in
+  let server = Serve.create (Serve.default_config ~socket) in
+  let th = Thread.create (fun () -> ignore (Serve.serve server)) () in
+  Alcotest.(check bool)
+    "daemon is up" true
+    (Client.wait_ready (Endpoint.Unix_sock socket));
+  let t0 = Unix.gettimeofday () in
+  Serve.stop server;
+  Thread.join th;
+  let dt = Unix.gettimeofday () -. t0 in
+  (try Sys.remove socket with Sys_error _ -> ());
+  Alcotest.(check bool)
+    (Printf.sprintf "stop pipe wakes the loop (%.1f ms)" (dt *. 1000.0))
+    true (dt < 0.5)
+
+(* ---------- runner ---------- *)
+
+let () =
+  if Sys.getenv_opt "MIRA_GOLDEN_GEN" <> None then begin
+    List.iter
+      (fun (k, v) -> Printf.printf "    (%S, %S);\n" k v)
+      (current_goldens ());
+    exit 0
+  end;
+  let t name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "protocol"
+    [
+      ( "golden",
+        [
+          t "codec bytes are pinned" check_goldens;
+          t "frame layout matches PROTOCOL.md" check_frame_layout;
+        ] );
+      ( "live",
+        [
+          t "ping round-trips the pinned frame" live_ping_bytes;
+          t "tagged ping echoes id first" live_tagged_ping;
+          t "unknown verb: bad-request bytes, connection lives"
+            live_bad_request;
+          t "rejected verb still echoes its tag" live_bad_request_tagged;
+          t "bad magic: bad-frame bytes, then drop" live_bad_magic;
+          t "checksum mismatch: bad-frame bytes, then drop"
+            live_bad_checksum;
+          t "oversized declaration: bad-frame bytes, then drop"
+            live_oversized;
+          t "truncated frame: bad-frame bytes, then drop" live_truncated;
+          t "overload shed: pinned overloaded bytes, then close"
+            live_overloaded;
+          t "error taxonomy codes from real failures" live_taxonomy;
+          t "stats response shape and key order" live_stats_shape;
+        ] );
+      ( "scale",
+        [
+          t "1000 idle connections cost fds, not threads" idle_scale;
+          t "pipelined ids answered exactly once (clean)"
+            pipeline_fuzz_clean;
+          t "pipelined ids never duplicated under faults"
+            pipeline_fuzz_faulty;
+        ] );
+      ( "latency",
+        [
+          t "accept-to-response under 100ms" accept_latency;
+          t "stop pipe wakes the loop promptly" stop_latency;
+        ] );
+      ("poller", [ t "pipe readiness" poller_pipe ]);
+    ]
