@@ -1,4 +1,4 @@
-.PHONY: build test ci serve-smoke bench bench-json bench-serve bench-serve-smoke clean
+.PHONY: build test ci serve-smoke cluster-smoke bench bench-json bench-serve bench-serve-smoke clean
 
 build:
 	dune build @all
@@ -20,6 +20,7 @@ ci:
 	MIRA_FUZZ_SEED=20260806 QCHECK_SEED=20260806 MIRA_FAULT_SEED=20260806 \
 	  timeout --kill-after=30 $(CI_TIMEOUT) dune runtest --force
 	$(MAKE) serve-smoke
+	$(MAKE) cluster-smoke
 	$(MAKE) bench-serve-smoke
 
 # Eval-service smoke: boot two real daemons — one on a Unix socket,
@@ -59,6 +60,60 @@ serve-smoke: build
 	  [ $$(grep -c "^ok " $$dir/sweep.out) -eq 4 ]; \
 	  kill -TERM $$pid_unix; kill -TERM $$pid_tcp; \
 	  wait $$pid_unix; wait $$pid_tcp'
+
+# Cluster smoke: three real daemons sharing an HMAC secret — one on a
+# Unix socket, two on TCP ephemeral ports — serve a 200-binding
+# authenticated sweep while one TCP daemon is SIGKILLed mid-run.  The
+# coordinator must detect the loss, re-dispatch the dead shard's
+# unfinished bindings to the survivors, and still deliver every answer
+# in input order with exit 0.  An unauthenticated ping on a TCP
+# endpoint must be refused.  Then the sharded-batch path: two disjoint
+# --shard runs into separate caches, "mira cache merge" unions them,
+# and a full batch against the merged cache must run entirely warm
+# ("0 analyzed").  Survivors must drain cleanly on SIGTERM.
+CLUSTER_TIMEOUT ?= 120
+cluster-smoke: build
+	timeout --kill-after=10 $(CLUSTER_TIMEOUT) sh -ec ' \
+	  exe=./_build/default/bin/mira.exe; \
+	  dir=$$(mktemp -d); trap "rm -rf $$dir" EXIT; \
+	  printf "cluster-smoke-secret\n" > $$dir/secret; \
+	  sock=$$dir/mira.sock; \
+	  $$exe corpus-dump $$dir/corpus; \
+	  $$exe serve --endpoint unix:$$sock --auth-secret-file $$dir/secret \
+	    --workers 4 & pid1=$$!; \
+	  $$exe serve --endpoint tcp:127.0.0.1:0 --auth-secret-file $$dir/secret \
+	    --workers 4 > $$dir/t1.log & pid2=$$!; \
+	  $$exe serve --endpoint tcp:127.0.0.1:0 --auth-secret-file $$dir/secret \
+	    --workers 4 > $$dir/t2.log & pid3=$$!; \
+	  i=0; until $$exe client ping --endpoint unix:$$sock \
+	      --auth-secret-file $$dir/secret >/dev/null 2>&1; do \
+	    i=$$((i+1)); [ $$i -lt 100 ] || exit 1; sleep 0.05; done; \
+	  for log in t1 t2; do i=0; \
+	    until grep -q "listening on tcp:" $$dir/$$log.log; do \
+	      i=$$((i+1)); [ $$i -lt 100 ] || exit 1; sleep 0.05; done; done; \
+	  tcp1=$$(sed -n "s/^mira serve: listening on \(tcp:.*\)$$/\1/p" $$dir/t1.log); \
+	  tcp2=$$(sed -n "s/^mira serve: listening on \(tcp:.*\)$$/\1/p" $$dir/t2.log); \
+	  if $$exe client ping --endpoint $$tcp1 >/dev/null 2>&1; then \
+	    echo "unauthenticated tcp ping was accepted" >&2; exit 1; fi; \
+	  : > $$dir/sweep.txt; : > $$dir/expect.txt; \
+	  i=0; while [ $$i -lt 200 ]; do i=$$((i+1)); \
+	    echo "$$dir/corpus/saxpy.mc saxpy_chain n=$$((8+i)) reps=2" \
+	      >> $$dir/sweep.txt; \
+	    echo "ok saxpy.mc saxpy_chain n=$$((8+i)) reps=2" \
+	      >> $$dir/expect.txt; done; \
+	  ( sleep 0.1; kill -9 $$pid3 ) & killer=$$!; \
+	  $$exe eval-sweep $$dir/sweep.txt \
+	    --endpoint unix:$$sock --endpoint $$tcp1 --endpoint $$tcp2 \
+	    --auth-secret-file $$dir/secret --chunk 16 --heartbeat-ms 300 \
+	    > $$dir/sweep.out; \
+	  wait $$killer; \
+	  cut -d" " -f1-5 $$dir/sweep.out | diff - $$dir/expect.txt; \
+	  $$exe batch $$dir/corpus --shard 1/2 --cache --cache-dir $$dir/ca >/dev/null; \
+	  $$exe batch $$dir/corpus --shard 2/2 --cache --cache-dir $$dir/cb >/dev/null; \
+	  $$exe cache merge $$dir/cm $$dir/ca $$dir/cb; \
+	  $$exe batch $$dir/corpus --cache --cache-dir $$dir/cm \
+	    | grep -q " 0 analyzed"; \
+	  kill -TERM $$pid1 $$pid2; wait $$pid1; wait $$pid2'
 
 bench:
 	dune exec bench/main.exe -- --fast

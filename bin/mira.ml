@@ -621,23 +621,68 @@ module Opts = struct
             "Requests kept in flight per daemon connection: tagged with \
              $(i,id=), answered possibly out of order, and re-associated by \
              the tag.")
+
+  let auth_secret_file =
+    Arg.(
+      value & opt (some file) None
+      & info [ "auth-secret-file" ] ~docv:"FILE"
+          ~doc:
+            "Shared secret for frame authentication (file contents, trailing \
+             newline stripped).  Every frame sent is sealed with an \
+             $(i,auth=) HMAC-SHA256 over the payload and every frame \
+             received must verify.  A daemon with a secret $(b,requires) \
+             authentication on $(i,tcp:) endpoints (optional on $(i,unix:), \
+             but verified when present); see docs/PROTOCOL.md.")
+
+  let load_auth_secret = function
+    | None -> None
+    | Some path -> (
+        match Mira_core.Auth.read_secret_file path with
+        | Ok s -> Some s
+        | Error m ->
+            Printf.eprintf "error: --auth-secret-file: %s\n" m;
+            exit 124)
 end
 
 (* ---------- batch ---------- *)
 
 let batch_cmd =
-  let run paths jobs cache no_incremental python level limits faults =
+  let run paths jobs cache no_incremental python level limits faults shard =
     handle_errors (fun () ->
-        let sources =
-          try Mira_core.Batch.sources_of_paths paths
+        let expanded =
+          try Mira_core.Batch.expand_paths paths
           with Sys_error m ->
             Printf.eprintf "error: %s\n" m;
             exit exit_analysis
         in
-        if sources = [] then begin
+        if expanded = [] then begin
           Printf.eprintf "error: no .mc sources found\n";
           exit exit_analysis
         end;
+        let selected =
+          match shard with
+          | None -> expanded
+          | Some (index, count) ->
+              List.filter
+                (Mira_core.Batch.shard_member ~index ~count)
+                expanded
+        in
+        (if selected = [] then
+           (* an empty shard is a successful no-op: its siblings hold
+              every path, so k sharded runs still cover the whole set *)
+           match shard with
+           | Some (index, count) ->
+               Printf.printf
+                 "batch: shard %d/%d holds none of the %d source(s)\n" index
+                 count (List.length expanded);
+               exit 0
+           | None -> assert false);
+        let sources =
+          try List.map Mira_core.Batch.source_of_file selected
+          with Sys_error m ->
+            Printf.eprintf "error: %s\n" m;
+            exit exit_analysis
+        in
         let results, stats =
           Mira_core.Batch.run ~jobs
             ?cache:(fst cache)
@@ -685,6 +730,44 @@ let batch_cmd =
       & info [ "python" ]
           ~doc:"Print every generated Python model instead of the batch report.")
   in
+  let shard =
+    let shard_conv =
+      let parse s =
+        let bad () =
+          Error
+            (`Msg
+               (Printf.sprintf "bad shard %S (expected I/K with 1 <= I <= K)"
+                  s))
+        in
+        match String.index_opt s '/' with
+        | None -> bad ()
+        | Some i -> (
+            match
+              ( int_of_string_opt (String.sub s 0 i),
+                int_of_string_opt
+                  (String.sub s (i + 1) (String.length s - i - 1)) )
+            with
+            | Some index, Some count
+              when count >= 1 && index >= 1 && index <= count ->
+                Ok (index, count)
+            | _ -> bad ())
+      in
+      let print ppf (i, k) = Format.fprintf ppf "%d/%d" i k in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt (some shard_conv) None
+      & info [ "shard" ] ~docv:"I/K"
+          ~doc:
+            "Process only shard $(i,I) of $(i,K): membership is a stable \
+             hash of each expanded source path, so $(i,K) processes run \
+             with $(b,--shard) $(i,1/K) .. $(i,K/K) over the same inputs \
+             partition the set exactly — every source analyzed by one \
+             shard, none by two.  Point the shards at per-shard \
+             $(b,--cache-dir)s and union them afterwards with $(b,mira \
+             cache merge).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -692,13 +775,59 @@ let batch_cmd =
           output is byte-identical for any --jobs and cache state).")
     Term.(
       const run $ paths $ jobs $ Opts.cache_term $ no_incremental $ python
-      $ level_arg $ Opts.limits_term $ Opts.faults)
+      $ level_arg $ Opts.limits_term $ Opts.faults $ shard)
+
+(* ---------- cache ---------- *)
+
+let cache_merge_cmd =
+  let run dst srcs =
+    handle_errors (fun () ->
+        let st = Mira_core.Batch.merge_dirs ~dst srcs in
+        Printf.printf
+          "cache merge: %d entries scanned, %d copied, %d already present, \
+           %d corrupt skipped, %d failed\n"
+          st.Mira_core.Batch.mg_scanned st.mg_copied st.mg_present
+          st.mg_corrupt st.mg_failed;
+        if st.mg_failed > 0 then exit exit_internal)
+  in
+  let dst =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DST"
+          ~doc:"Destination cache directory (created if missing).")
+  in
+  let srcs =
+    Arg.(
+      non_empty & pos_right 0 dir []
+      & info [] ~docv:"SRC" ~doc:"Source cache directories to union in.")
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Union source cache directories into DST.  Entries are \
+          content-addressed, so a filename already present in DST is the \
+          same payload and is skipped; everything copied is \
+          checksum-verified first and published atomically under the \
+          shared cache lock, safe against a daemon serving from DST \
+          concurrently.  A batch over the union of sharded inputs then \
+          runs entirely warm against DST.  Exit 3 only on I/O failure; \
+          corrupt source entries are counted and skipped.")
+    Term.(const run $ dst $ srcs)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Operate on on-disk analysis caches (see $(b,mira batch --cache)).")
+    [ cache_merge_cmd ]
 
 (* ---------- serve / client / eval-sweep ---------- *)
 
 let serve_cmd =
   let run endpoints max_inflight max_pipeline max_frame_bytes idle_timeout_ms
-      drain_ms workers cache no_incremental level limits faults =
+      drain_ms workers cache no_incremental level limits faults
+      auth_secret_file =
     handle_errors (fun () ->
         let cfg =
           {
@@ -714,6 +843,7 @@ let serve_cmd =
             cfg_cache = fst cache;
             cfg_incremental = not no_incremental;
             cfg_faults = faults;
+            cfg_auth_secret = Opts.load_auth_secret auth_secret_file;
           }
         in
         let server = Mira_core.Serve.create cfg in
@@ -806,7 +936,7 @@ let serve_cmd =
       const run $ Opts.endpoints_term $ max_inflight $ max_pipeline
       $ max_frame_bytes $ idle_timeout_ms $ drain_ms $ workers
       $ Opts.cache_term $ no_incremental $ level_arg $ Opts.limits_term
-      $ Opts.faults)
+      $ Opts.faults $ Opts.auth_secret_file)
 
 (* shared response rendering for the pooled clients: print one response
    (body to stdout, diagnostics to stderr) and return its exit code *)
@@ -855,7 +985,8 @@ let render_response = function
           exit_internal)
 
 let client_cmd =
-  let run endpoints verb file fname params budget io_timeout_ms pipeline =
+  let run endpoints verb file fname params budget io_timeout_ms pipeline
+      auth_secret_file =
     handle_errors (fun () ->
         let need_file () =
           match file with
@@ -902,7 +1033,8 @@ let client_cmd =
         let pipeline = max 1 pipeline in
         let results =
           Mira_core.Client.with_pool ~io_timeout_ms ~max_inflight:pipeline
-            endpoints (fun pool ->
+            ?auth_secret:(Opts.load_auth_secret auth_secret_file) endpoints
+            (fun pool ->
               if pipeline = 1 then [ Mira_core.Client.request pool req ]
               else
                 Mira_core.Client.sweep pool
@@ -942,10 +1074,12 @@ let client_cmd =
           connection and prints the answers in request order).")
     Term.(
       const run $ Opts.endpoints_term $ verb $ file $ fname $ params_arg
-      $ Opts.budget_term $ Opts.io_timeout_ms $ Opts.pipeline)
+      $ Opts.budget_term $ Opts.io_timeout_ms $ Opts.pipeline
+      $ Opts.auth_secret_file)
 
 let eval_sweep_cmd =
-  let run sweep_file endpoints pipeline io_timeout_ms budget =
+  let run sweep_file endpoints pipeline chunk heartbeat_ms chunk_deadline_ms
+      dispatch_retries budget auth_secret_file =
     handle_errors (fun () ->
         let usage_error ln msg =
           Printf.eprintf "error: %s:%d: %s\n" sweep_file ln msg;
@@ -1012,24 +1146,54 @@ let eval_sweep_cmd =
               Hashtbl.add sources f s;
               s
         in
-        let reqs =
+        (* --pipeline is accepted for compatibility: daemon-side sweep
+           scheduling supersedes client-side pipelining (a whole chunk
+           travels in one frame and the daemon parallelizes it) *)
+        ignore (pipeline : int);
+        (* sweep-frame source names are single tokens, and the
+           coordinator requires one name = one text: sanitize the
+           basename and disambiguate collisions with a #N suffix *)
+        let sanitize s =
+          String.map
+            (function ' ' | '\t' | '\n' | '\r' -> '_' | c -> c)
+            s
+        in
+        let by_content = Hashtbl.create 16 and used = Hashtbl.create 16 in
+        let name_of base text =
+          match Hashtbl.find_opt by_content (base, text) with
+          | Some n -> n
+          | None ->
+              let rec pick i =
+                let cand =
+                  if i = 0 then base else Printf.sprintf "%s#%d" base i
+                in
+                if Hashtbl.mem used cand then pick (i + 1) else cand
+              in
+              let n = pick 0 in
+              Hashtbl.add used n ();
+              Hashtbl.add by_content (base, text) n;
+              n
+        in
+        let bindings =
           List.map
             (fun (ln, file, fn, params) ->
-              Mira_core.Serve.Eval
-                {
-                  ev_name = Filename.basename file;
-                  ev_source = source_of ln file;
-                  ev_function = fn;
-                  ev_params = params;
-                  ev_budget = budget;
-                })
+              let text = source_of ln file in
+              {
+                Mira_core.Coordinator.bd_name =
+                  name_of (sanitize (Filename.basename file)) text;
+                bd_source = text;
+                bd_function = fn;
+                bd_params = params;
+              })
             specs
         in
-        let results =
-          Mira_core.Client.with_pool ~io_timeout_ms
-            ~max_inflight:(max 1 pipeline) endpoints (fun pool ->
-              Mira_core.Client.sweep pool reqs)
+        let results, cstats =
+          Mira_core.Coordinator.run ~chunk:(max 1 chunk) ~heartbeat_ms
+            ~deadline_ms:chunk_deadline_ms ~retries:dispatch_retries
+            ?auth_secret:(Opts.load_auth_secret auth_secret_file) ~budget
+            endpoints bindings
         in
+        let results = Array.to_list results in
         (* results come back in input order whatever the completion order
            across the pool was; render one line per spec line *)
         let transport = ref 0 and budget_hits = ref 0 and failed = ref 0 in
@@ -1070,6 +1234,24 @@ let eval_sweep_cmd =
                     | _ -> incr failed);
                     Printf.printf "error %s: %s\n" label msg))
           specs results;
+        (* whole-fleet death: name exactly which evaluations were never
+           answered, so a partial run is actionable *)
+        (if cstats.Mira_core.Coordinator.co_unfinished <> [] then
+           let specs_arr = Array.of_list specs in
+           Printf.eprintf
+             "error: every daemon lost; %d of %d evaluation(s) unanswered:\n"
+             (List.length cstats.co_unfinished)
+             cstats.co_total;
+           List.iter
+             (fun i ->
+               let _, file, fn, params = specs_arr.(i) in
+               Printf.eprintf "  unfinished: %s %s%s\n"
+                 (Filename.basename file) fn
+                 (String.concat ""
+                    (List.map
+                       (fun (k, v) -> Printf.sprintf " %s=%d" k v)
+                       params)))
+             cstats.co_unfinished);
         (* transport failures outrank budget outranks analysis, mirroring
            `mira batch`'s slow-vs-broken split with an extra "unreachable"
            tier *)
@@ -1086,18 +1268,58 @@ let eval_sweep_cmd =
             "Evaluation sweep: one $(i,FILE FUNCTION [name=value ...]) line \
              per evaluation ($(i,#) comments and blank lines ignored).")
   in
+  let chunk =
+    Arg.(
+      value & opt int 64
+      & info [ "chunk" ] ~docv:"N"
+          ~doc:
+            "Evaluations shipped to a daemon per $(i,sweep) frame; the \
+             daemon schedules them across its own worker pool and streams \
+             one answer frame per evaluation.")
+  in
+  let heartbeat_ms =
+    Arg.(
+      value & opt int 1000
+      & info [ "heartbeat-ms" ] ~docv:"MS"
+          ~doc:
+            "Liveness threshold per daemon connection: after this much \
+             silence the coordinator pings, and a second silent interval \
+             declares the daemon lost — its unfinished evaluations are \
+             re-dispatched to the survivors.  0 disables loss detection.")
+  in
+  let chunk_deadline_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "chunk-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Hard wall-clock bound on one chunk end to end; an overrun is \
+             treated as a lost daemon.  0 disables.")
+  in
+  let dispatch_retries =
+    Arg.(
+      value & opt int 3
+      & info [ "dispatch-retries" ] ~docv:"N"
+          ~doc:
+            "Consecutive no-progress dispatch failures before an endpoint \
+             is retired (any completed evaluation resets the count).")
+  in
   Cmd.v
     (Cmd.info "eval-sweep"
        ~doc:
-         "Fan a batch of model evaluations across a pool of $(b,mira serve) \
-          daemons (repeat $(b,--endpoint); Unix and TCP mix freely) and \
-          print one result line per sweep line, in input order.  Endpoints \
-          that die mid-sweep are retried elsewhere; exit status is 3 if any \
-          evaluation could not reach a daemon, else 2 on any budget/timeout \
-          overrun, else 1 on any analysis failure.")
+         "Fan a batch of model evaluations across a fleet of $(b,mira \
+          serve) daemons (repeat $(b,--endpoint); Unix and TCP mix freely) \
+          and print one result line per sweep line, in input order.  The \
+          sweep travels in whole chunks ($(b,--chunk)) that each daemon \
+          schedules internally; a daemon that dies or goes silent \
+          mid-chunk has its unfinished evaluations re-dispatched to the \
+          survivors, so every evaluation is answered exactly once.  Exit \
+          status is 3 if any evaluation could not be completed by any \
+          daemon (the unanswered ones are named on stderr), else 2 on any \
+          budget/timeout overrun, else 1 on any analysis failure.")
     Term.(
-      const run $ sweep_file $ Opts.endpoints_term $ Opts.pipeline
-      $ Opts.io_timeout_ms $ Opts.budget_term)
+      const run $ sweep_file $ Opts.endpoints_term $ Opts.pipeline $ chunk
+      $ heartbeat_ms $ chunk_deadline_ms $ dispatch_retries $ Opts.budget_term
+      $ Opts.auth_secret_file)
 
 (* ---------- corpus-dump ---------- *)
 
@@ -1370,6 +1592,6 @@ let () =
           [
             parse_cmd; dot_cmd; compile_cmd; disasm_cmd; analyze_cmd; eval_cmd;
             predict_cmd; profile_cmd; coverage_cmd; validate_cmd; batch_cmd;
-            serve_cmd; client_cmd; eval_sweep_cmd; bench_serve_cmd;
+            cache_cmd; serve_cmd; client_cmd; eval_sweep_cmd; bench_serve_cmd;
             corpus_dump_cmd; arch_cmd;
           ]))

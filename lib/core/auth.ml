@@ -1,0 +1,201 @@
+(* SHA-256 / HMAC-SHA256, implemented directly from FIPS 180-4 and
+   RFC 2104.  The stdlib's [Digest] is MD5 — adequate for the frame
+   checksum, which only guards against corruption, but not for
+   authentication — and pulling in an external crypto library is out
+   of scope for a daemon this small.  All word arithmetic is on
+   [Int32], which is exact on every word size OCaml runs on; the test
+   suite pins the implementation against the standard test vectors. *)
+
+let rotr x n =
+  Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+let ( +% ) = Int32.add
+let ( ^^ ) = Int32.logxor
+let ( &&& ) = Int32.logand
+let shr = Int32.shift_right_logical
+
+(* first 32 bits of the fractional parts of the cube roots of the
+   first 64 primes *)
+let k_tbl =
+  [|
+    0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+    0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+    0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+    0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+    0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+    0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+    0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+    0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+    0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+    0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+    0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+    0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+    0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l;
+  |]
+
+let sha256 msg =
+  let len = String.length msg in
+  (* pad to a 64-byte multiple: message, 0x80, zeros, 64-bit bit length *)
+  let total = (((len + 8) / 64) + 1) * 64 in
+  let buf = Bytes.make total '\000' in
+  Bytes.blit_string msg 0 buf 0 len;
+  Bytes.set buf len '\x80';
+  let bitlen = Int64.of_int len |> Int64.mul 8L in
+  for i = 0 to 7 do
+    Bytes.set buf
+      (total - 1 - i)
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+  done;
+  let h =
+    [|
+      0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
+      0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l;
+    |]
+  in
+  let w = Array.make 64 0l in
+  let byte i = Int32.of_int (Char.code (Bytes.get buf i)) in
+  for block = 0 to (total / 64) - 1 do
+    let base = block * 64 in
+    for t = 0 to 15 do
+      let o = base + (t * 4) in
+      w.(t) <-
+        Int32.logor
+          (Int32.shift_left (byte o) 24)
+          (Int32.logor
+             (Int32.shift_left (byte (o + 1)) 16)
+             (Int32.logor (Int32.shift_left (byte (o + 2)) 8) (byte (o + 3))))
+    done;
+    for t = 16 to 63 do
+      let s0 = rotr w.(t - 15) 7 ^^ rotr w.(t - 15) 18 ^^ shr w.(t - 15) 3 in
+      let s1 = rotr w.(t - 2) 17 ^^ rotr w.(t - 2) 19 ^^ shr w.(t - 2) 10 in
+      w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
+    done;
+    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+    for t = 0 to 63 do
+      let s1 = rotr !e 6 ^^ rotr !e 11 ^^ rotr !e 25 in
+      let ch = (!e &&& !f) ^^ (Int32.lognot !e &&& !g) in
+      let temp1 = !hh +% s1 +% ch +% k_tbl.(t) +% w.(t) in
+      let s0 = rotr !a 2 ^^ rotr !a 13 ^^ rotr !a 22 in
+      let maj = (!a &&& !b) ^^ (!a &&& !c) ^^ (!b &&& !c) in
+      let temp2 = s0 +% maj in
+      hh := !g;
+      g := !f;
+      f := !e;
+      e := !d +% temp1;
+      d := !c;
+      c := !b;
+      b := !a;
+      a := temp1 +% temp2
+    done;
+    h.(0) <- h.(0) +% !a;
+    h.(1) <- h.(1) +% !b;
+    h.(2) <- h.(2) +% !c;
+    h.(3) <- h.(3) +% !d;
+    h.(4) <- h.(4) +% !e;
+    h.(5) <- h.(5) +% !f;
+    h.(6) <- h.(6) +% !g;
+    h.(7) <- h.(7) +% !hh
+  done;
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let v = h.(i) in
+    for j = 0 to 3 do
+      Bytes.set out
+        ((4 * i) + j)
+        (Char.chr (Int32.to_int (shr v (24 - (8 * j))) land 0xff))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let to_hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let sha256_hex msg = to_hex (sha256 msg)
+
+let block_len = 64
+
+let hmac_sha256 ~key msg =
+  let key = if String.length key > block_len then sha256 key else key in
+  let ipad = Bytes.make block_len '\x36' in
+  let opad = Bytes.make block_len '\x5c' in
+  String.iteri
+    (fun i c ->
+      Bytes.set ipad i (Char.chr (Char.code c lxor 0x36));
+      Bytes.set opad i (Char.chr (Char.code c lxor 0x5c)))
+    key;
+  sha256 (Bytes.unsafe_to_string opad ^ sha256 (Bytes.unsafe_to_string ipad ^ msg))
+
+let hmac_sha256_hex ~key msg = to_hex (hmac_sha256 ~key msg)
+
+let equal_constant_time a b =
+  String.length a = String.length b
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code b.[i])) a;
+  !acc = 0
+
+(* ---------- payload sealing ---------- *)
+
+let auth_prefix = "auth="
+
+(* split a payload at its head line: [head] excludes the newline,
+   [rest] includes it (or is empty — a degenerate payload with no
+   fields and no body, which the codec never produces but sealing
+   round-trips anyway) *)
+let split_head payload =
+  match String.index_opt payload '\n' with
+  | None -> (payload, "")
+  | Some i ->
+      (String.sub payload 0 i, String.sub payload i (String.length payload - i))
+
+let mac ~secret payload = hmac_sha256_hex ~key:secret payload
+
+let seal ~secret payload =
+  let head, rest = split_head payload in
+  head ^ "\n" ^ auth_prefix ^ mac ~secret payload ^ rest
+
+let verify ~secret payload =
+  match String.index_opt payload '\n' with
+  | None -> `Missing
+  | Some i ->
+      let len = String.length payload in
+      let j =
+        match String.index_from_opt payload (i + 1) '\n' with
+        | Some j -> j
+        | None -> len
+      in
+      let line = String.sub payload (i + 1) (j - i - 1) in
+      let plen = String.length auth_prefix in
+      if
+        String.length line < plen || String.sub line 0 plen <> auth_prefix
+      then `Missing
+      else
+        let presented = String.sub line plen (String.length line - plen) in
+        (* the covered bytes: the payload with the auth line spliced
+           out (head, then everything from the newline that ended the
+           auth line) *)
+        let stripped = String.sub payload 0 i ^ String.sub payload j (len - j) in
+        if equal_constant_time presented (mac ~secret stripped) then
+          `Ok stripped
+        else `Bad
+
+let read_secret_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error m
+  | raw ->
+      let n = ref (String.length raw) in
+      while !n > 0 && (raw.[!n - 1] = '\n' || raw.[!n - 1] = '\r') do
+        decr n
+      done;
+      if !n = 0 then
+        Error (Printf.sprintf "auth secret file %s is empty" path)
+      else Ok (String.sub raw 0 !n)

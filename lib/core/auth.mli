@@ -1,0 +1,64 @@
+(** Shared-secret frame authentication for the wire protocol.
+
+    A daemon and its clients can share a secret (a file of raw bytes,
+    see {!read_secret_file}); every payload is then {e sealed} with an
+    [auth=] field carrying an HMAC-SHA256 of the rest of the payload.
+    The daemon requires a valid MAC on [tcp:] endpoints — an
+    unauthenticated or forged frame is answered with a structured
+    [auth] error and the connection is dropped before the payload ever
+    reaches the request parser or the analysis pool — and accepts
+    MAC-less frames on [unix:] endpoints, where filesystem permissions
+    already gate access.  See "Authenticated frames" in
+    [docs/PROTOCOL.md].
+
+    The primitives are implemented here in plain OCaml (the stdlib
+    only ships MD5, which is fine for framing checksums but not for
+    authentication); they are pinned against the FIPS 180-4 / RFC 4231
+    test vectors in the test suite. *)
+
+val sha256 : string -> string
+(** Raw 32-byte SHA-256 digest. *)
+
+val sha256_hex : string -> string
+(** Lowercase-hex SHA-256 digest (64 characters). *)
+
+val hmac_sha256 : key:string -> string -> string
+(** Raw 32-byte HMAC-SHA256; keys longer than the 64-byte block are
+    hashed first, per RFC 2104. *)
+
+val hmac_sha256_hex : key:string -> string -> string
+
+val equal_constant_time : string -> string -> bool
+(** Equality whose running time does not depend on {e where} the
+    strings differ (it still depends on their lengths, which are
+    public here: MACs are fixed-width). *)
+
+(** {1 Payload sealing}
+
+    The MAC rides inside the payload itself, as the first field line:
+
+    {v mira/1 VERB \n auth=HEX \n ...other fields... \n\n body v}
+
+    and covers the payload {e with the auth line absent} — so sealing
+    then verifying is the identity, and every other byte of the
+    payload (verb, fields, body, the [id=] pipelining tag) is
+    authenticated.  The frame checksum continues to cover the sealed
+    payload as ordinary bytes: integrity and authenticity compose
+    without the frame layer knowing about secrets. *)
+
+val seal : secret:string -> string -> string
+(** Insert an [auth=] MAC as the first field line of a payload. *)
+
+val verify :
+  secret:string -> string -> [ `Ok of string | `Missing | `Bad ]
+(** Check a payload's [auth=] line against [secret].  [`Ok stripped]
+    returns the payload with the auth line removed (the bytes the MAC
+    covered — hand these to the parser); [`Missing] means the first
+    field line is not an [auth=] MAC; [`Bad] means one is present but
+    wrong (forged, or a different secret).  Comparison is
+    constant-time. *)
+
+val read_secret_file : string -> (string, string) result
+(** Load a shared secret from a file: the raw bytes with trailing
+    newlines stripped (so [echo secret > file] works).  An unreadable
+    or empty file is an [Error] with a human-readable reason. *)

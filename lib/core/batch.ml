@@ -9,16 +9,33 @@ let read_file path =
 let source_of_file path =
   { src_name = Filename.basename path; src_text = read_file path }
 
-let sources_of_paths paths =
+let expand_paths paths =
   List.concat_map
     (fun path ->
       if Sys.is_directory path then
         Sys.readdir path |> Array.to_list
         |> List.filter (fun f -> Filename.check_suffix f ".mc")
         |> List.sort compare
-        |> List.map (fun f -> source_of_file (Filename.concat path f))
-      else [ source_of_file path ])
+        |> List.map (fun f -> Filename.concat path f)
+      else [ path ])
     paths
+
+let sources_of_paths paths = List.map source_of_file (expand_paths paths)
+
+(* Shard membership is a pure function of the expanded path, so k
+   [mira batch --shard i/k] processes launched with the same arguments
+   partition the work without coordinating: every path lands in
+   exactly one shard, whatever order the filesystem listed it in. *)
+let shard_member ~index ~count path =
+  if count < 1 then invalid_arg "Batch.shard_member: count must be >= 1";
+  if index < 1 || index > count then
+    invalid_arg
+      (Printf.sprintf "Batch.shard_member: index %d out of 1..%d" index count);
+  let d = Digest.string path in
+  let h =
+    (Char.code d.[0] lsl 16) lor (Char.code d.[1] lsl 8) lor Char.code d.[2]
+  in
+  h mod count = index - 1
 
 type analysis = {
   a_name : string;
@@ -588,6 +605,83 @@ let gc_disk ~max_bytes c =
       match with_dir_lock dir (fun () -> gc_disk_unlocked ~max_bytes c) with
       | Some r -> r
       | None -> (0, 0))
+
+(* ---------- cache merge ---------- *)
+
+type merge_stats = {
+  mg_scanned : int;
+  mg_copied : int;
+  mg_present : int;
+  mg_corrupt : int;
+  mg_failed : int;
+}
+
+(* Entries are content-addressed, so merging cache directories is a
+   union: a name present in [dst] already holds the same bytes (same
+   digest key, same version in the key) and is skipped.  Each copy is
+   checksum-verified first — a merge must not propagate a corrupt
+   entry from a damaged shard cache into a healthy one — and published
+   with the same tmp+rename, shared-directory-lock discipline as a
+   cache store, so a daemon serving from [dst] meanwhile never
+   observes a torn entry. *)
+let merge_dirs ~dst srcs =
+  if not (Sys.file_exists dst) then begin
+    try Sys.mkdir dst 0o755 with Sys_error _ -> ()
+  end;
+  let scanned = ref 0 and copied = ref 0 and present = ref 0 in
+  let corrupt = ref 0 and failed = ref 0 in
+  let entry_magic f =
+    if Filename.check_suffix f file_suffix then Some payload_magic
+    else if Filename.check_suffix f fn_suffix then Some fn_magic
+    else None
+  in
+  List.iter
+    (fun src ->
+      match Sys.readdir src with
+      | exception Sys_error _ -> incr failed
+      | entries ->
+          Array.sort compare entries;
+          Array.iter
+            (fun f ->
+              match entry_magic f with
+              | None -> ()
+              | Some _ when is_tmp_name f -> ()
+              | Some magic -> (
+                  incr scanned;
+                  let target = Filename.concat dst f in
+                  if Sys.file_exists target then incr present
+                  else
+                    match read_file (Filename.concat src f) with
+                    | exception Sys_error _ -> incr failed
+                    | data -> (
+                        match decode_blob ~magic data with
+                        | exception Corrupt_entry _ -> incr corrupt
+                        | _body -> (
+                            let tmp =
+                              Filename.concat dst
+                                (Printf.sprintf "%s.tmp.%d" f (Unix.getpid ()))
+                            in
+                            match
+                              with_dir_lock ~shared:true dst (fun () ->
+                                  let oc = open_out_bin tmp in
+                                  Fun.protect
+                                    ~finally:(fun () -> close_out oc)
+                                    (fun () -> output_string oc data);
+                                  Sys.rename tmp target)
+                            with
+                            | Some () -> incr copied
+                            | None | (exception Sys_error _) ->
+                                (try Sys.remove tmp with Sys_error _ -> ());
+                                incr failed))))
+            entries)
+    srcs;
+  {
+    mg_scanned = !scanned;
+    mg_copied = !copied;
+    mg_present = !present;
+    mg_corrupt = !corrupt;
+    mg_failed = !failed;
+  }
 
 (* ---------- one task ---------- *)
 

@@ -36,9 +36,21 @@ type source = { src_name : string; src_text : string }
 val source_of_file : string -> source
 (** Read one file; [src_name] is its basename. *)
 
-val sources_of_paths : string list -> source list
+val expand_paths : string list -> string list
 (** Expand files and directories (directories contribute their [.mc]
-    files, sorted by name) into a deterministic source list. *)
+    files, sorted by name) into a deterministic path list — the
+    universe that {!shard_member} partitions. *)
+
+val sources_of_paths : string list -> source list
+(** [expand_paths] with each path read into a {!source}. *)
+
+val shard_member : index:int -> count:int -> string -> bool
+(** Whether a path belongs to shard [index] of [count] ([1 ≤ index ≤
+    count]; raises [Invalid_argument] otherwise).  Membership is a
+    stable hash of the path string alone, so [count] processes
+    launched with the same inputs and [--shard 1/k .. k/k] partition
+    the expanded path set exactly — every path in one shard, no path
+    in two — without any coordination. *)
 
 type analysis = {
   a_name : string;
@@ -128,6 +140,26 @@ val gc_disk : max_bytes:int -> cache -> int * int
 
 val key : level:Mira_codegen.Codegen.level -> string -> string
 (** The content-addressed cache key (hex digest) of a source text. *)
+
+type merge_stats = {
+  mg_scanned : int;  (** entries examined across all sources *)
+  mg_copied : int;
+  mg_present : int;  (** already in the destination, skipped *)
+  mg_corrupt : int;  (** failed checksum verification, not copied *)
+  mg_failed : int;  (** I/O or lock failures (the merge keeps going) *)
+}
+
+val merge_dirs : dst:string -> string list -> merge_stats
+(** Union the entries of the source cache directories into [dst]
+    (created if missing).  Entries are content-addressed, so a
+    filename already present in [dst] is the same payload and is
+    skipped; everything copied is checksum-verified first and
+    published atomically (tmp + rename) under the shared directory
+    lock ({!lock_file_name}), so a daemon serving from [dst]
+    concurrently never sees a torn entry.  After
+    [merge_dirs ~dst shard_caches], a batch over the union of the
+    shards' inputs runs entirely warm against [dst].  Never raises;
+    failures are counted and the merge proceeds. *)
 
 val run :
   ?jobs:int ->

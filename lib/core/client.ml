@@ -27,6 +27,9 @@ type conn = {
   mutable c_closed : bool;
   mutable c_inflight : int;
   mutable c_reader : Thread.t option;
+  c_secret : string option;
+      (* shared auth secret: seal every request, require a valid MAC
+         on every response *)
 }
 
 let kill conn msg =
@@ -50,7 +53,18 @@ let reader conn =
         if conn.c_dead = None then loop ()
     | Error e -> kill conn (Serve.frame_error_to_string e)
     | Ok payload -> (
-        match Serve.parse_response payload with
+        let payload =
+          match conn.c_secret with
+          | None -> Ok payload
+          | Some secret -> (
+              (* a secret-bearing daemon seals every response; an
+                 unsealed or forged frame means the peer is not the
+                 daemon this pool was configured for *)
+              match Auth.verify ~secret payload with
+              | `Ok stripped -> Ok stripped
+              | `Missing | `Bad -> Error "response failed authentication")
+        in
+        match Result.bind payload Serve.parse_response with
         | Error m -> kill conn ("unparseable response: " ^ m)
         | Ok resp -> (
             match Serve.field resp "id" with
@@ -82,7 +96,7 @@ let reader conn =
   end;
   Mutex.unlock conn.c_mu
 
-let make_conn ~io_timeout_ms ep =
+let make_conn ~io_timeout_ms ?auth_secret ep =
   let fd = Endpoint.connect ~io_timeout_ms ep in
   let conn =
     {
@@ -94,6 +108,7 @@ let make_conn ~io_timeout_ms ep =
       c_closed = false;
       c_inflight = 0;
       c_reader = None;
+      c_secret = auth_secret;
     }
   in
   conn.c_reader <- Some (Thread.create reader conn);
@@ -127,7 +142,13 @@ let conn_request conn ~max_inflight ~deadline_ms req =
     let slot = { s_resp = None } in
     Hashtbl.replace conn.c_slots id slot;
     conn.c_inflight <- conn.c_inflight + 1;
-    match Serve.write_frame conn.c_fd (Serve.encode_request ~id req) with
+    let payload = Serve.encode_request ~id req in
+    let payload =
+      match conn.c_secret with
+      | Some secret -> Auth.seal ~secret payload
+      | None -> payload
+    in
+    match Serve.write_frame conn.c_fd payload with
     | exception e ->
         Hashtbl.remove conn.c_slots id;
         conn.c_inflight <- conn.c_inflight - 1;
@@ -194,13 +215,15 @@ type t = {
   p_max_inflight : int;
   p_retries : int;
   p_closed : bool Atomic.t;
+  p_auth_secret : string option;
 }
 
 (* how long a failed endpoint sits out before dispatch tries it again;
    reconnects still happen sooner when every endpoint is down *)
 let down_cooldown_s = 1.0
 
-let create ?(io_timeout_ms = 30_000) ?(max_inflight = 8) ?(retries = 2) eps =
+let create ?(io_timeout_ms = 30_000) ?(max_inflight = 8) ?(retries = 2)
+    ?auth_secret eps =
   if eps = [] then invalid_arg "Client.create: no endpoints";
   {
     p_eps =
@@ -219,13 +242,19 @@ let create ?(io_timeout_ms = 30_000) ?(max_inflight = 8) ?(retries = 2) eps =
     p_max_inflight = max 1 max_inflight;
     p_retries = max 0 retries;
     p_closed = Atomic.make false;
+    p_auth_secret = auth_secret;
   }
 
 let endpoints t = Array.to_list (Array.map (fun s -> s.e_ep) t.p_eps)
 
 let idempotent = function
   | Serve.Shutdown -> false
-  | Serve.Ping | Serve.Stats | Serve.Analyze _ | Serve.Eval _ -> true
+  (* Sweep is side-effect-free on the daemon too, but this pool's
+     one-response-per-request slots cannot carry its streamed frames:
+     [request] refuses it and Coordinator owns the verb *)
+  | Serve.Ping | Serve.Stats | Serve.Analyze _ | Serve.Eval _
+  | Serve.Sweep _ ->
+      true
 
 let drop_conn st =
   Mutex.lock st.e_mu;
@@ -269,13 +298,18 @@ let get_conn t st =
       match st.e_conn with
       | Some c when c.c_dead = None -> c
       | _ ->
-          let c = make_conn ~io_timeout_ms:t.p_io_timeout_ms st.e_ep in
+          let c =
+            make_conn ~io_timeout_ms:t.p_io_timeout_ms
+              ?auth_secret:t.p_auth_secret st.e_ep
+          in
           st.e_conn <- Some c;
           st.e_down_until <- 0.0;
           c)
 
 let request ?deadline_ms t req =
   if Atomic.get t.p_closed then Error "client pool is closed"
+  else if match req with Serve.Sweep _ -> true | _ -> false then
+    Error "sweep responses stream (one frame per binding); use Coordinator"
   else
     let deadline_ms = Option.value deadline_ms ~default:t.p_io_timeout_ms in
     let attempts = if idempotent req then 1 + t.p_retries else 1 in
@@ -358,13 +392,13 @@ let close t =
             | None -> ()))
       t.p_eps
 
-let with_pool ?io_timeout_ms ?max_inflight ?retries eps f =
-  let t = create ?io_timeout_ms ?max_inflight ?retries eps in
+let with_pool ?io_timeout_ms ?max_inflight ?retries ?auth_secret eps f =
+  let t = create ?io_timeout_ms ?max_inflight ?retries ?auth_secret eps in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 let with_endpoint ?io_timeout_ms ep f = with_pool ?io_timeout_ms [ ep ] f
 
-let wait_ready ?(timeout_s = 5.0) ep =
+let wait_ready ?(timeout_s = 5.0) ?auth_secret ep =
   let deadline = Unix.gettimeofday () +. timeout_s in
   let rec go () =
     let ready =
@@ -377,7 +411,7 @@ let wait_ready ?(timeout_s = 5.0) ep =
             ~finally:(fun () ->
               try Unix.close fd with Unix.Unix_error _ -> ())
             (fun () ->
-              match Serve.roundtrip fd Serve.Ping with
+              match Serve.roundtrip ?auth_secret fd Serve.Ping with
               | Ok { Serve.rs_status = "ok"; _ } -> true
               | _ -> false)
     in

@@ -36,6 +36,7 @@ val create :
   ?io_timeout_ms:int ->
   ?max_inflight:int ->
   ?retries:int ->
+  ?auth_secret:string ->
   Endpoint.t list ->
   t
 (** A pool over the given endpoints (at least one; raises
@@ -44,8 +45,11 @@ val create :
     per-request deadline; [0] disables both.  [max_inflight] (default
     8) bounds the pipeline depth per connection.  [retries] (default
     2) is the number of {e extra} attempts an idempotent request gets
-    after a transport failure.  No connection is opened until the
-    first request needs it. *)
+    after a transport failure.  With [auth_secret] every request is
+    sealed with an [auth=] HMAC ({!Auth}) and every response must
+    verify — an unsealed or forged response kills the connection (the
+    peer is not the daemon this pool was configured for).  No
+    connection is opened until the first request needs it. *)
 
 val endpoints : t -> Endpoint.t list
 
@@ -56,7 +60,9 @@ val request :
     a transport error (and closes the connection — see above).
     [Error] means no daemon could be reached within the retry budget;
     server-side failures arrive as [Ok] responses with
-    [rs_status = "error"]. *)
+    [rs_status = "error"].  [Serve.Sweep] is refused with an [Error]:
+    its responses stream (one frame per binding) and cannot ride this
+    pool's one-response slots — use {!Coordinator}. *)
 
 val sweep :
   ?jobs:int ->
@@ -78,6 +84,7 @@ val with_pool :
   ?io_timeout_ms:int ->
   ?max_inflight:int ->
   ?retries:int ->
+  ?auth_secret:string ->
   Endpoint.t list ->
   (t -> 'a) ->
   'a
@@ -90,9 +97,11 @@ val with_endpoint :
     {!Mira.with_endpoint} so library users never touch the frame
     codec. *)
 
-val wait_ready : ?timeout_s:float -> Endpoint.t -> bool
+val wait_ready : ?timeout_s:float -> ?auth_secret:string -> Endpoint.t -> bool
 (** Poll connect+ping until a daemon answers at [ep] (for scripts and
-    tests that just started one); [false] on timeout (default 5 s). *)
+    tests that just started one); [false] on timeout (default 5 s).
+    [auth_secret] is required to probe a secret-bearing [tcp:]
+    daemon (the unauthenticated ping would be rejected). *)
 
 val idempotent : Serve.request -> bool
 (** Whether the pool may transparently retry this request after a

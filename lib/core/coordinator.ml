@@ -1,0 +1,393 @@
+(* Sweep coordination: chunked dispatch, per-binding completion
+   tracking, shard re-dispatch.  See coordinator.mli for the contract;
+   the load-bearing invariant here is that every unfinished binding is
+   either on [sh_queue] or held by a live worker, and a worker
+   re-queues its leftovers *before* it retires — so short of the whole
+   fleet dying, nothing is stranded.  Results are recorded first-wins
+   under the one mutex; everything a worker learns after its
+   connection is closed is a counted duplicate, never a second answer. *)
+
+type binding = {
+  bd_name : string;
+  bd_source : string;
+  bd_function : string;
+  bd_params : (string * int) list;
+}
+
+type stats = {
+  co_total : int;
+  co_finished : int;
+  co_redispatched : int;
+  co_daemons_lost : int;
+  co_duplicates : int;
+  co_unfinished : int list;
+}
+
+type shared = {
+  sh_mutex : Mutex.t;
+  sh_cond : Condition.t;
+  sh_queue : int array Queue.t;  (* chunks of binding indices *)
+  sh_results : (Serve.response, string) result option array;
+  mutable sh_unfinished : int;
+  mutable sh_redispatched : int;
+  mutable sh_daemons_lost : int;
+  mutable sh_duplicates : int;
+  mutable sh_live : int;  (* workers still running *)
+}
+
+(* what one chunk attempt came to *)
+type attempt_result =
+  | Chunk_done
+  | Shard_lost of {
+      lv_leftover : int array;  (* still-unanswered indices, ascending *)
+      lv_reason : string;
+      lv_progressed : bool;  (* any binding recorded this attempt *)
+    }
+
+let run ?(chunk = 64) ?(heartbeat_ms = 1000) ?(deadline_ms = 0) ?(retries = 3)
+    ?(backoff_ms = 100) ?auth_secret ?(budget = Serve.no_budget) ?on_progress
+    endpoints bindings =
+  if endpoints = [] then invalid_arg "Coordinator.run: empty endpoint list";
+  if chunk <= 0 then invalid_arg "Coordinator.run: chunk must be positive";
+  let bindings = Array.of_list bindings in
+  let total = Array.length bindings in
+  (* chunks dedupe sources by name, so one name carrying two texts
+     would silently analyze the wrong program — refuse up front *)
+  let sources = Hashtbl.create 16 in
+  Array.iter
+    (fun b ->
+      match Hashtbl.find_opt sources b.bd_name with
+      | None -> Hashtbl.add sources b.bd_name b.bd_source
+      | Some s when String.equal s b.bd_source -> ()
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Coordinator.run: source %S bound to two different texts"
+               b.bd_name))
+    bindings;
+  let sh =
+    {
+      sh_mutex = Mutex.create ();
+      sh_cond = Condition.create ();
+      sh_queue = Queue.create ();
+      sh_results = Array.make total None;
+      sh_unfinished = total;
+      sh_redispatched = 0;
+      sh_daemons_lost = 0;
+      sh_duplicates = 0;
+      sh_live = 0;
+    }
+  in
+  let i = ref 0 in
+  while !i < total do
+    let n = min chunk (total - !i) in
+    let base = !i in
+    Queue.add (Array.init n (fun j -> base + j)) sh.sh_queue;
+    i := !i + n
+  done;
+  (* first-wins recording; the progress callback runs outside the lock
+     (it may do arbitrary work — the kill test SIGKILLs a daemon from
+     it) *)
+  let record idx r =
+    Mutex.lock sh.sh_mutex;
+    let finished =
+      match sh.sh_results.(idx) with
+      | Some _ ->
+          sh.sh_duplicates <- sh.sh_duplicates + 1;
+          None
+      | None ->
+          sh.sh_results.(idx) <- Some r;
+          sh.sh_unfinished <- sh.sh_unfinished - 1;
+          if sh.sh_unfinished = 0 then Condition.broadcast sh.sh_cond;
+          Some (total - sh.sh_unfinished)
+    in
+    Mutex.unlock sh.sh_mutex;
+    match (finished, on_progress) with
+    | Some finished, Some f -> f ~finished ~total
+    | _ -> ()
+  in
+  let seal payload =
+    match auth_secret with
+    | Some secret -> Auth.seal ~secret payload
+    | None -> payload
+  in
+  let worker wi ep =
+    let ep_str = Endpoint.to_string ep in
+    let conn = ref None in
+    let close_conn () =
+      match !conn with
+      | None -> ()
+      | Some fd ->
+          conn := None;
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+    in
+    let fails = ref 0 in
+    let reqno = ref 0 in
+    let backoff () =
+      (* bounded exponential backoff; the jitter is a hash, not a
+         random draw, so a fault-injected run replays byte-identically *)
+      let base = min 5000 (backoff_ms * (1 lsl min 6 (!fails - 1))) in
+      let jitter =
+        Char.code
+          (Digest.string (Printf.sprintf "%d:%d:%s" wi !fails ep_str)).[0]
+        * base / 1024
+      in
+      Thread.delay (float_of_int (base + jitter) /. 1000.)
+    in
+    (* one chunk on this endpoint; never raises *)
+    let attempt idxs =
+      let remaining = Hashtbl.create (Array.length idxs) in
+      Array.iter (fun i -> Hashtbl.replace remaining i ()) idxs;
+      let progressed = ref false in
+      let leftover () =
+        Hashtbl.fold (fun i () acc -> i :: acc) remaining []
+        |> List.sort compare |> Array.of_list
+      in
+      let lost reason =
+        Shard_lost
+          { lv_leftover = leftover (); lv_reason = reason;
+            lv_progressed = !progressed }
+      in
+      let record_frame idx resp =
+        if Hashtbl.mem remaining idx then begin
+          Hashtbl.remove remaining idx;
+          progressed := true;
+          record idx (Ok resp)
+        end
+        else if idx >= 0 && idx < total then
+          (* an index we did not send on this chunk: a daemon echoing a
+             stale frame — first-wins accounting absorbs it *)
+          record idx (Ok resp)
+      in
+      try
+        let fd =
+          match !conn with
+          | Some fd -> fd
+          | None ->
+              let fd = Endpoint.connect ~io_timeout_ms:heartbeat_ms ep in
+              conn := Some fd;
+              fd
+        in
+        incr reqno;
+        let sweep_id = Printf.sprintf "s%d-%d" wi !reqno in
+        let names =
+          let seen = Hashtbl.create 8 in
+          Array.fold_left
+            (fun acc i ->
+              let n = bindings.(i).bd_name in
+              if Hashtbl.mem seen n then acc
+              else begin
+                Hashtbl.add seen n ();
+                n :: acc
+              end)
+            [] idxs
+          |> List.rev
+        in
+        let req =
+          Serve.Sweep
+            {
+              sw_sources =
+                List.map (fun n -> (n, Hashtbl.find sources n)) names;
+              sw_bindings =
+                Array.to_list idxs
+                |> List.map (fun i ->
+                       let b = bindings.(i) in
+                       {
+                         Serve.sb_index = i;
+                         sb_source = b.bd_name;
+                         sb_function = b.bd_function;
+                         sb_params = b.bd_params;
+                       });
+              sw_budget = budget;
+            }
+        in
+        Serve.write_frame fd (seal (Serve.encode_request ~id:sweep_id req));
+        let started = Unix.gettimeofday () in
+        let ping_outstanding = ref false in
+        let outcome = ref None in
+        while !outcome = None do
+          if
+            deadline_ms > 0
+            && (Unix.gettimeofday () -. started) *. 1000. > float_of_int deadline_ms
+          then outcome := Some (lost "chunk deadline overrun")
+          else
+            match Serve.read_frame fd with
+            | Error Serve.Timed_out ->
+                (* [heartbeat_ms] of silence.  First: ping — the daemon
+                   answers pings inline even while the sweep streams.
+                   Second silence in a row means the ping went
+                   unanswered too: the daemon is gone. *)
+                if !ping_outstanding then
+                  outcome := Some (lost "heartbeat timeout")
+                else begin
+                  let pid = Printf.sprintf "%s-hb" sweep_id in
+                  Serve.write_frame fd
+                    (seal (Serve.encode_request ~id:pid Serve.Ping));
+                  ping_outstanding := true
+                end
+            | Error e ->
+                outcome := Some (lost (Serve.frame_error_to_string e))
+            | Ok payload -> (
+                ping_outstanding := false;
+                let payload =
+                  match auth_secret with
+                  | None -> Ok payload
+                  | Some secret -> (
+                      match Auth.verify ~secret payload with
+                      | `Ok p -> Ok p
+                      | `Missing | `Bad ->
+                          Error "response failed authentication")
+                in
+                match Result.bind payload Serve.parse_response with
+                | Error e -> outcome := Some (lost e)
+                | Ok resp -> (
+                    match Serve.field resp "id" with
+                    | Some rid when rid = sweep_id -> (
+                        if Serve.field resp "sweep-done" = Some "1" then begin
+                          (* terminal frame; a well-behaved daemon has
+                             answered everything, but never trust the
+                             count — strand nothing *)
+                          Hashtbl.iter
+                            (fun i () ->
+                              record i
+                                (Error
+                                   "sweep terminated without an answer"))
+                            remaining;
+                          Hashtbl.reset remaining;
+                          outcome := Some Chunk_done
+                        end
+                        else
+                          match
+                            Option.bind
+                              (Serve.field resp "binding")
+                              int_of_string_opt
+                          with
+                          | Some idx -> record_frame idx resp
+                          | None ->
+                              (* a request-level rejection (auth,
+                                 bad-request): retrying elsewhere cannot
+                                 help, so fail the chunk's remaining
+                                 bindings instead of bouncing them
+                                 around the fleet forever *)
+                              let detail =
+                                match Serve.field resp "message" with
+                                | Some m -> m
+                                | None -> String.trim resp.Serve.rs_body
+                              in
+                              let msg =
+                                Printf.sprintf "sweep rejected (%s): %s"
+                                  (Option.value
+                                     (Serve.field resp "code")
+                                     ~default:resp.Serve.rs_status)
+                                  detail
+                              in
+                              Hashtbl.iter
+                                (fun i () -> record i (Error msg))
+                                remaining;
+                              Hashtbl.reset remaining;
+                              outcome := Some Chunk_done)
+                    | Some _ -> ()  (* our heartbeat ping's answer *)
+                    | None ->
+                        (* an untagged frame mid-sweep: [overloaded] at
+                           admission, or a desynced peer — either way
+                           this connection is not serving our chunk *)
+                        outcome :=
+                          Some
+                            (lost
+                               (Printf.sprintf "connection rejected: %s"
+                                  resp.Serve.rs_status))))
+        done;
+        match !outcome with Some r -> r | None -> assert false
+      with e -> lost (Printexc.to_string e)
+    in
+    let rec loop () =
+      Mutex.lock sh.sh_mutex;
+      while Queue.is_empty sh.sh_queue && sh.sh_unfinished > 0 do
+        Condition.wait sh.sh_cond sh.sh_mutex
+      done;
+      if sh.sh_unfinished = 0 then Mutex.unlock sh.sh_mutex
+      else begin
+        let idxs = Queue.pop sh.sh_queue in
+        Mutex.unlock sh.sh_mutex;
+        (* a re-queued chunk can only hold unfinished indices, but
+           filtering is cheap and makes that a non-assumption *)
+        let idxs =
+          Array.to_list idxs
+          |> List.filter (fun i ->
+                 Mutex.lock sh.sh_mutex;
+                 let unfinished = sh.sh_results.(i) = None in
+                 Mutex.unlock sh.sh_mutex;
+                 unfinished)
+          |> Array.of_list
+        in
+        if Array.length idxs = 0 then loop ()
+        else
+          match attempt idxs with
+          | Chunk_done ->
+              fails := 0;
+              loop ()
+          | Shard_lost { lv_leftover; lv_reason = _; lv_progressed } ->
+              close_conn ();
+              if lv_progressed then fails := 0;
+              incr fails;
+              (* re-queue BEFORE deciding whether to retire: the chunk
+                 must never be stranded on a dying worker *)
+              Mutex.lock sh.sh_mutex;
+              if Array.length lv_leftover > 0 then begin
+                Queue.add lv_leftover sh.sh_queue;
+                sh.sh_redispatched <-
+                  sh.sh_redispatched + Array.length lv_leftover;
+                Condition.broadcast sh.sh_cond
+              end;
+              Mutex.unlock sh.sh_mutex;
+              if !fails > retries then begin
+                Mutex.lock sh.sh_mutex;
+                sh.sh_daemons_lost <- sh.sh_daemons_lost + 1;
+                Mutex.unlock sh.sh_mutex
+              end
+              else begin
+                backoff ();
+                loop ()
+              end
+      end
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        close_conn ();
+        Mutex.lock sh.sh_mutex;
+        sh.sh_live <- sh.sh_live - 1;
+        Condition.broadcast sh.sh_cond;
+        Mutex.unlock sh.sh_mutex)
+      loop
+  in
+  sh.sh_live <- List.length endpoints;
+  let threads =
+    List.mapi (fun wi ep -> Thread.create (fun () -> worker wi ep) ()) endpoints
+  in
+  Mutex.lock sh.sh_mutex;
+  while sh.sh_unfinished > 0 && sh.sh_live > 0 do
+    Condition.wait sh.sh_cond sh.sh_mutex
+  done;
+  Mutex.unlock sh.sh_mutex;
+  List.iter Thread.join threads;
+  let unfinished = ref [] in
+  for i = total - 1 downto 0 do
+    if sh.sh_results.(i) = None then unfinished := i :: !unfinished
+  done;
+  let results =
+    Array.map
+      (function
+        | Some r -> r
+        | None ->
+            Error "unfinished: every daemon was lost before this binding was answered")
+      sh.sh_results
+  in
+  ( results,
+    {
+      co_total = total;
+      co_finished = total - List.length !unfinished;
+      co_redispatched = sh.sh_redispatched;
+      co_daemons_lost = sh.sh_daemons_lost;
+      co_duplicates = sh.sh_duplicates;
+      co_unfinished = !unfinished;
+    } )

@@ -9,6 +9,7 @@ type t = {
   slow_ms : int;
   net_write_p : float;
   disconnect_p : float;
+  kill_p : float;
 }
 
 exception Injected of string
@@ -25,6 +26,7 @@ let none =
     slow_ms = 0;
     net_write_p = 0.0;
     disconnect_p = 0.0;
+    kill_p = 0.0;
   }
 
 let parse spec =
@@ -67,6 +69,7 @@ let parse spec =
                 Result.map (fun p -> { t with net_write_p = p }) (parse_p k v)
             | "disconnect" ->
                 Result.map (fun p -> { t with disconnect_p = p }) (parse_p k v)
+            | "kill" -> Result.map (fun p -> { t with kill_p = p }) (parse_p k v)
             | _ -> Error (Printf.sprintf "unknown fault key %S" k)))
   in
   match String.trim spec with
@@ -76,6 +79,7 @@ let parse spec =
 let to_string t =
   let parts = ref [] in
   let add k v = if v > 0.0 then parts := Printf.sprintf "%s=%g" k v :: !parts in
+  add "kill" t.kill_p;
   add "disconnect" t.disconnect_p;
   add "net_write" t.net_write_p;
   add "slow" t.slow_p;

@@ -12,7 +12,7 @@
     Spec grammar (comma-separated [key=value]):
 
     {v seed=INT read=P write=P rename=P corrupt=P worker=P slow=P slow_ms=INT
-       net_write=P disconnect=P v}
+       net_write=P disconnect=P kill=P v}
 
     where [P] is a probability in [0..1].  Example:
     [--faults seed=42,read=0.3,corrupt=0.2,worker=0.1].
@@ -41,6 +41,11 @@ type t = {
       (** truncate a {!Serve} frame write (short write, then EOF) *)
   disconnect_p : float;
       (** drop a {!Serve} connection mid-frame instead of finishing *)
+  kill_p : float;
+      (** daemon death {e between} frames: the response frame is never
+          written at all and the connection is severed abruptly, as a
+          SIGKILLed daemon's kernel would — the site that makes the
+          {!Coordinator} re-dispatch path deterministically testable *)
 }
 
 exception Injected of string

@@ -31,6 +31,7 @@ type config = {
   cfg_cache : Batch.cache option;
   cfg_incremental : bool;
   cfg_faults : Faults.t option;
+  cfg_auth_secret : string option;
 }
 
 let default_config_endpoints ~endpoints =
@@ -47,6 +48,7 @@ let default_config_endpoints ~endpoints =
     cfg_cache = None;
     cfg_incremental = true;
     cfg_faults = None;
+    cfg_auth_secret = None;
   }
 
 let default_config ~socket =
@@ -127,7 +129,14 @@ let write_frame ?faults fd payload =
     | Some f -> Faults.fires f ~p:(p f) ~site ~subject
     | None -> false
   in
-  if fires (fun f -> f.Faults.disconnect_p) "net_disconnect" then begin
+  if fires (fun f -> f.Faults.kill_p) "net_kill" then begin
+    (* the process dies between frames: nothing of this frame is ever
+       written, the socket is just severed — what a SIGKILLed daemon
+       looks like from the other end *)
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    raise (Faults.Injected "net_kill")
+  end
+  else if fires (fun f -> f.Faults.disconnect_p) "net_disconnect" then begin
     (* the peer vanishes mid-frame: half a frame, then a hard close *)
     write_all fd (String.sub data 0 (String.length data / 2));
     (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
@@ -259,6 +268,13 @@ type budget_request = {
 
 let no_budget = { rq_fuel = None; rq_timeout_ms = None; rq_depth = None }
 
+type sweep_binding = {
+  sb_index : int;
+  sb_source : string;
+  sb_function : string;
+  sb_params : (string * int) list;
+}
+
 type request =
   | Ping
   | Stats
@@ -275,6 +291,11 @@ type request =
       ev_params : (string * int) list;
       ev_budget : budget_request;
     }
+  | Sweep of {
+      sw_sources : (string * string) list;
+      sw_bindings : sweep_binding list;
+      sw_budget : budget_request;
+    }
 
 let budget_fields b =
   let opt k = function
@@ -283,6 +304,111 @@ let budget_fields b =
   in
   opt "fuel" b.rq_fuel @ opt "timeout-ms" b.rq_timeout_ms
   @ opt "depth" b.rq_depth
+
+(* ---------- sweep body codec ----------
+
+   A sweep chunk carries every distinct source once (length-prefixed,
+   so arbitrary program text needs no escaping) followed by one [bind]
+   line per evaluation, each tagged with its caller-chosen index:
+
+   {v source NAME LEN \n <LEN bytes> \n
+      bind INDEX NAME FUNCTION k=v k=v... \n v}
+
+   Names and function names are single tokens (no spaces/newlines);
+   the index rides back on the per-binding response frame, which is
+   what lets a coordinator track completion of a chunk it may later
+   re-dispatch elsewhere. *)
+
+let valid_token s =
+  s <> ""
+  && String.for_all (fun c -> c <> ' ' && c <> '\n' && c <> '\r') s
+
+let encode_sweep_body ~sources ~bindings =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, text) ->
+      if not (valid_token name) then
+        invalid_arg
+          (Printf.sprintf "sweep: source name %S is not a single token" name);
+      Printf.bprintf buf "source %s %d\n%s\n" name (String.length text) text)
+    sources;
+  List.iter
+    (fun b ->
+      if b.sb_index < 0 then invalid_arg "sweep: negative binding index";
+      if not (valid_token b.sb_function) then
+        invalid_arg
+          (Printf.sprintf "sweep: function name %S is not a single token"
+             b.sb_function);
+      Printf.bprintf buf "bind %d %s %s" b.sb_index b.sb_source b.sb_function;
+      List.iter
+        (fun (k, v) ->
+          if not (valid_token k) || String.contains k '=' then
+            invalid_arg
+              (Printf.sprintf "sweep: parameter name %S is not a single token"
+                 k);
+          Printf.bprintf buf " %s=%d" k v)
+        b.sb_params;
+      Buffer.add_char buf '\n')
+    bindings;
+  Buffer.contents buf
+
+let parse_sweep_body body =
+  let ( let* ) = Result.bind in
+  let len = String.length body in
+  let line_end pos =
+    match String.index_from_opt body pos '\n' with Some i -> i | None -> len
+  in
+  let parse_bind idx name fn params =
+    let* idx =
+      match int_of_string_opt idx with
+      | Some i when i >= 0 -> Ok i
+      | _ -> Error (Printf.sprintf "sweep bind: bad index %S" idx)
+    in
+    let* params =
+      List.fold_left
+        (fun acc p ->
+          let* acc = acc in
+          match String.index_opt p '=' with
+          | None -> Error (Printf.sprintf "sweep bind: expected k=v, got %S" p)
+          | Some i -> (
+              let k = String.sub p 0 i in
+              let v = String.sub p (i + 1) (String.length p - i - 1) in
+              match int_of_string_opt v with
+              | Some n -> Ok ((k, n) :: acc)
+              | None ->
+                  Error
+                    (Printf.sprintf "sweep bind: param %s: %S is not an integer"
+                       k v)))
+        (Ok []) params
+    in
+    Ok
+      {
+        sb_index = idx;
+        sb_source = name;
+        sb_function = fn;
+        sb_params = List.rev params;
+      }
+  in
+  let rec go pos sources bindings =
+    if pos >= len then Ok (List.rev sources, List.rev bindings)
+    else
+      let e = line_end pos in
+      let line = String.sub body pos (e - pos) in
+      match String.split_on_char ' ' line with
+      | [ "source"; name; n ] -> (
+          match int_of_string_opt n with
+          | Some sz when sz >= 0 && e + 1 + sz < len ->
+              let text = String.sub body (e + 1) sz in
+              if body.[e + 1 + sz] <> '\n' then
+                Error "sweep source: missing terminator after text"
+              else go (e + 2 + sz) ((name, text) :: sources) bindings
+          | _ -> Error (Printf.sprintf "sweep source: bad length %S" n))
+      | "bind" :: idx :: name :: fn :: params ->
+          let* b = parse_bind idx name fn params in
+          go (e + 1) sources (b :: bindings)
+      | _ -> Error (Printf.sprintf "sweep: malformed line %S" line)
+  in
+  go 0 [] []
 
 let encode_request ?id req =
   (* the id tag rides along as an ordinary field: untagged requests
@@ -308,6 +434,10 @@ let encode_request ?id req =
                  ev_params
              @ budget_fields ev_budget))
         ~body:ev_source
+  | Sweep { sw_sources; sw_bindings; sw_budget } ->
+      encode_payload ~head:"sweep"
+        ~fields:(tag (budget_fields sw_budget))
+        ~body:(encode_sweep_body ~sources:sw_sources ~bindings:sw_bindings)
 
 (* the request id, when the payload parses at all — extracted
    independently of the verb so even a bad-request error frame can be
@@ -380,6 +510,21 @@ let parse_request payload =
                  ev_params = List.rev params;
                  ev_budget = b;
                }))
+  | "sweep" ->
+      let* b = budget () in
+      let* sources, bindings = parse_sweep_body body in
+      let* () =
+        List.fold_left
+          (fun acc sb ->
+            let* () = acc in
+            if List.mem_assoc sb.sb_source sources then Ok ()
+            else
+              Error
+                (Printf.sprintf "sweep binding %d: unknown source %S"
+                   sb.sb_index sb.sb_source))
+          (Ok ()) bindings
+      in
+      Ok (Sweep { sw_sources = sources; sw_bindings = bindings; sw_budget = b })
   | v -> Error (Printf.sprintf "unknown request verb %S" v)
 
 (* ---------- responses ---------- *)
@@ -609,7 +754,9 @@ let stop t =
    job, so the worker that runs it needs no ambient per-thread state
    to find it. *)
 let request_limits (cfg : config) = function
-  | Analyze { an_budget = b; _ } | Eval { ev_budget = b; _ } ->
+  | Analyze { an_budget = b; _ }
+  | Eval { ev_budget = b; _ }
+  | Sweep { sw_budget = b; _ } ->
       Limits.clamp cfg.cfg_limits ~fuel:b.rq_fuel ~timeout_ms:b.rq_timeout_ms
         ~depth:b.rq_depth
   | Ping | Stats | Shutdown -> cfg.cfg_limits
@@ -707,6 +854,13 @@ let handle_request t ~transport ~limits req =
       ( handle_eval t ~limits ~name:ev_name ~source:ev_source
           ~fname:ev_function ~params:ev_params,
         `Continue )
+  | Sweep _ ->
+      (* sweeps stream multiple frames and are scheduled by the event
+         loop itself (see [process_payload]); they cannot be answered
+         by this single-response path *)
+      ( error_response ~code:"bad-request"
+          "sweep is only served by the event loop",
+        `Continue )
 
 (* ---------- connections: per-connection state machines ---------- *)
 
@@ -744,6 +898,30 @@ type conn = {
 
 (* ---------- worker pool ---------- *)
 
+(* Shared bookkeeping for one in-flight sweep: every binding of the
+   chunk is its own pool job, and the completion that brings [sx_done]
+   to [sx_total] emits the terminal [sweep-done] frame.  All mutation
+   happens on the event-loop thread (process_completions), so plain
+   mutable fields suffice. *)
+type sweep_ctx = {
+  sx_id : string;  (* the sweep's id= tag, echoed on every frame *)
+  sx_total : int;
+  mutable sx_done : int;
+  mutable sx_ok : int;
+  mutable sx_failed : int;
+}
+
+type jobwork =
+  | Wreq of request
+  | Wbinding of {
+      wb_ctx : sweep_ctx;
+      wb_index : int;
+      wb_name : string;
+      wb_source : string;
+      wb_function : string;
+      wb_params : (string * int) list;
+    }
+
 (* A dispatched request.  The budget is clamped at admission and
    rides with the job: workers are interchangeable and hold no
    per-request state between jobs, so the pool — not the request
@@ -751,7 +929,7 @@ type conn = {
 type job = {
   jb_conn : conn;
   jb_id : string option;  (* None = untagged (strictly serial) *)
-  jb_req : request;
+  jb_work : jobwork;
   jb_limits : Limits.t;
 }
 
@@ -784,10 +962,28 @@ let worker_loop t pool =
         (* one hostile request must never take the daemon down:
            whatever escapes becomes a structured error frame *)
         let resp, after =
-          try
-            handle_request t ~transport:job.jb_conn.cn_transport
-              ~limits:job.jb_limits job.jb_req
-          with e -> (diag_response (Diag.of_exn e), `Continue)
+          match job.jb_work with
+          | Wreq req -> (
+              try
+                handle_request t ~transport:job.jb_conn.cn_transport
+                  ~limits:job.jb_limits req
+              with e -> (diag_response (Diag.of_exn e), `Continue))
+          | Wbinding b ->
+              let resp =
+                try
+                  handle_eval t ~limits:job.jb_limits ~name:b.wb_name
+                    ~source:b.wb_source ~fname:b.wb_function
+                    ~params:b.wb_params
+                with e -> diag_response (Diag.of_exn e)
+              in
+              (* the binding index is how the coordinator knows which
+                 evaluation this frame answers *)
+              ( {
+                  resp with
+                  rs_fields =
+                    ("binding", string_of_int b.wb_index) :: resp.rs_fields;
+                },
+                `Continue )
         in
         count t resp;
         Mutex.lock pool.po_done_mu;
@@ -806,9 +1002,15 @@ let worker_loop t pool =
 
 let shed t fd =
   Atomic.incr t.t_shed;
+  let payload = encode_response overloaded_response in
+  let payload =
+    match t.t_cfg.cfg_auth_secret with
+    | Some secret -> Auth.seal ~secret payload
+    | None -> payload
+  in
   (* the frame is far smaller than a fresh socket buffer, so this
      cannot block even on a client that never reads *)
-  (try write_frame fd (encode_response overloaded_response)
+  (try write_frame fd payload
    with Unix.Unix_error _ | Faults.Injected _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -900,6 +1102,14 @@ let serve t =
   in
   let enqueue_payload conn payload =
     if (not conn.cn_dead) && not conn.cn_poisoned then begin
+      (* a secret-bearing daemon seals everything it sends, so clients
+         can authenticate responses symmetrically; without a secret the
+         bytes are identical to every earlier release *)
+      let payload =
+        match cfg.cfg_auth_secret with
+        | Some secret -> Auth.seal ~secret payload
+        | None -> payload
+      in
       let data = frame payload in
       let chunk ?(not_before = 0.0) ?(shutdown_after = false) s =
         Queue.add
@@ -923,7 +1133,18 @@ let serve t =
       in
       if Queue.is_empty conn.cn_wq then
         conn.cn_wstall <- Unix.gettimeofday ();
-      if fires (fun f -> f.Faults.disconnect_p) "net_disconnect" then begin
+      if fires (fun f -> f.Faults.kill_p) "net_kill" then begin
+        (* abrupt death between frames: this frame — and anything still
+           queued behind the kernel's back — never reaches the peer,
+           exactly as a SIGKILLed daemon would behave.  Same site,
+           subject and ordering as the blocking write_frame. *)
+        Queue.clear conn.cn_wq;
+        (try Unix.shutdown conn.cn_fd Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ());
+        conn.cn_poisoned <- true;
+        conn.cn_closing <- true
+      end
+      else if fires (fun f -> f.Faults.disconnect_p) "net_disconnect" then begin
         (* the peer vanishes mid-frame: half a frame, then a hard
            close *)
         chunk ~shutdown_after:true
@@ -967,19 +1188,76 @@ let serve t =
       handle_request t ~transport:conn.cn_transport ~limits:cfg.cfg_limits req
     with e -> (diag_response (Diag.of_exn e), `Continue)
   in
-  let submit conn id req =
-    conn.cn_pending <- conn.cn_pending + 1;
-    (match id with None -> conn.cn_serial_busy <- true | Some _ -> ());
-    let job =
-      { jb_conn = conn; jb_id = id; jb_req = req;
-        jb_limits = request_limits cfg req }
-    in
+  let enqueue_job job =
     Mutex.lock pool.po_mu;
     Queue.add job pool.po_jobs;
     Condition.signal pool.po_cv;
     Mutex.unlock pool.po_mu
   in
-  let process_payload conn payload =
+  let submit conn id req =
+    conn.cn_pending <- conn.cn_pending + 1;
+    (match id with None -> conn.cn_serial_busy <- true | Some _ -> ());
+    enqueue_job
+      { jb_conn = conn; jb_id = id; jb_work = Wreq req;
+        jb_limits = request_limits cfg req }
+  in
+  let sweep_done_response ctx =
+    ok
+      ~fields:
+        [
+          ("sweep-done", "1");
+          ("bindings", string_of_int ctx.sx_total);
+          ("ok", string_of_int ctx.sx_ok);
+          ("failed", string_of_int ctx.sx_failed);
+        ]
+      ()
+  in
+  (* A whole sweep chunk counts as ONE pending unit on its connection
+     (decremented when the terminal frame is emitted): admission stays
+     bounded by [cfg_max_pipeline] sweeps, but the reader keeps
+     consuming — so a heartbeat ping sent while a long chunk runs is
+     answered inline immediately, which is what makes client-side
+     liveness detection work.  The analysis pool still bounds the
+     actual concurrency; per-binding jobs just queue. *)
+  let submit_sweep conn id sw_sources sw_bindings limits =
+    let ctx =
+      {
+        sx_id = id;
+        sx_total = List.length sw_bindings;
+        sx_done = 0;
+        sx_ok = 0;
+        sx_failed = 0;
+      }
+    in
+    if ctx.sx_total = 0 then begin
+      let resp = sweep_done_response ctx in
+      count t resp;
+      respond conn (Some id) resp
+    end
+    else begin
+      conn.cn_pending <- conn.cn_pending + 1;
+      List.iter
+        (fun sb ->
+          enqueue_job
+            {
+              jb_conn = conn;
+              jb_id = Some id;
+              jb_work =
+                Wbinding
+                  {
+                    wb_ctx = ctx;
+                    wb_index = sb.sb_index;
+                    wb_name = sb.sb_source;
+                    wb_source = List.assoc sb.sb_source sw_sources;
+                    wb_function = sb.sb_function;
+                    wb_params = sb.sb_params;
+                  };
+              jb_limits = limits;
+            })
+        sw_bindings
+    end
+  in
+  let process_request conn payload =
     let id = payload_id payload in
     match parse_request payload with
     | Error m ->
@@ -1002,7 +1280,46 @@ let serve t =
             count t resp;
             respond conn id resp;
             (match after with `Stop -> stop t | `Continue -> ())
-        | _, (Analyze _ | Eval _) -> submit conn id req)
+        | _, (Analyze _ | Eval _) -> submit conn id req
+        | Some i, Sweep { sw_sources; sw_bindings; _ } ->
+            submit_sweep conn i sw_sources sw_bindings
+              (request_limits cfg req)
+        | None, Sweep _ ->
+            (* streamed responses are meaningless without a tag to
+               re-associate them *)
+            let resp =
+              error_response ~code:"bad-request"
+                "sweep requires an id= field (its responses stream)"
+            in
+            count t resp;
+            respond conn None resp)
+  in
+  let process_payload conn payload =
+    match cfg.cfg_auth_secret with
+    | None -> process_request conn payload
+    | Some secret -> (
+        match Auth.verify ~secret payload with
+        | `Ok stripped -> process_request conn stripped
+        | `Missing when conn.cn_transport <> "tcp" ->
+            (* unix sockets are already gated by filesystem permission;
+               the MAC is optional there (but still verified when
+               present — see the `Bad arm) *)
+            process_request conn payload
+        | (`Missing | `Bad) as why ->
+            (* an unauthenticated frame never reaches the request
+               parser or the analysis pool: answer with a structured
+               error and drop the connection *)
+            Atomic.incr t.t_proto_err;
+            let resp =
+              error_response ~code:"auth"
+                (match why with
+                | `Missing -> "frame authentication required (no auth= field)"
+                | `Bad -> "frame authentication failed (bad MAC)")
+            in
+            count t resp;
+            respond conn (payload_id payload) resp;
+            conn.cn_closing <- true;
+            maybe_close conn)
   in
   let want_read conn =
     (not conn.cn_dead) && (not conn.cn_closing) && (not conn.cn_poisoned)
@@ -1169,11 +1486,26 @@ let serve t =
     List.iter
       (fun (job, resp, after) ->
         let conn = job.jb_conn in
-        conn.cn_pending <- conn.cn_pending - 1;
-        (match job.jb_id with
-        | None -> conn.cn_serial_busy <- false
-        | Some _ -> ());
-        if not conn.cn_dead then respond conn job.jb_id resp;
+        (match job.jb_work with
+        | Wreq _ ->
+            conn.cn_pending <- conn.cn_pending - 1;
+            (match job.jb_id with
+            | None -> conn.cn_serial_busy <- false
+            | Some _ -> ());
+            if not conn.cn_dead then respond conn job.jb_id resp
+        | Wbinding { wb_ctx = ctx; _ } ->
+            (* the sweep holds its single pending unit until the last
+               binding lands; only then does the terminal frame go out
+               and the unit release *)
+            if not conn.cn_dead then respond conn job.jb_id resp;
+            if resp.rs_status = "ok" then ctx.sx_ok <- ctx.sx_ok + 1
+            else ctx.sx_failed <- ctx.sx_failed + 1;
+            ctx.sx_done <- ctx.sx_done + 1;
+            if ctx.sx_done = ctx.sx_total then begin
+              conn.cn_pending <- conn.cn_pending - 1;
+              if not conn.cn_dead then
+                respond conn (Some ctx.sx_id) (sweep_done_response ctx)
+            end);
         (match after with `Stop -> stop t | `Continue -> ());
         maybe_close conn)
       items
@@ -1348,15 +1680,29 @@ let serve t =
 let connect ?io_timeout_ms path =
   Endpoint.connect ?io_timeout_ms (Endpoint.Unix_sock path)
 
-let roundtrip ?faults ?max_bytes fd req =
-  match write_frame ?faults fd (encode_request req) with
+let roundtrip ?faults ?max_bytes ?auth_secret fd req =
+  let payload = encode_request req in
+  let payload =
+    match auth_secret with
+    | Some secret -> Auth.seal ~secret payload
+    | None -> payload
+  in
+  match write_frame ?faults fd payload with
   | exception Unix.Unix_error (e, _, _) ->
       Error ("write: " ^ Unix.error_message e)
   | exception Faults.Injected site -> Error ("injected: " ^ site)
   | () -> (
       match read_frame ?max_bytes fd with
       | Error e -> Error (frame_error_to_string e)
-      | Ok payload -> parse_response payload)
+      | Ok payload -> (
+          match auth_secret with
+          | None -> parse_response payload
+          | Some secret -> (
+              (* a secret-bearing daemon seals every response; accept
+                 nothing less than a valid MAC *)
+              match Auth.verify ~secret payload with
+              | `Ok stripped -> parse_response stripped
+              | `Missing | `Bad -> Error "response failed authentication")))
 
 let wait_ready ?(timeout_s = 5.0) path =
   let deadline = Unix.gettimeofday () +. timeout_s in

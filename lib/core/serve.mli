@@ -74,6 +74,13 @@ type config = {
   cfg_faults : Faults.t option;
       (** deterministic fault schedule (worker and wire sites; the
           wire sites fire identically over Unix and TCP transports) *)
+  cfg_auth_secret : string option;
+      (** shared-secret frame authentication ({!Auth}): when set, every
+          [tcp:] request frame must carry a valid [auth=] MAC (optional
+          on [unix:], but verified when present), rejected frames are
+          answered with an [auth] error and dropped before they reach
+          the parser or the analysis pool, and every outgoing frame is
+          sealed in turn *)
 }
 
 val default_config_endpoints : endpoints:Endpoint.t list -> config
@@ -129,6 +136,15 @@ type budget_request = {
 
 val no_budget : budget_request
 
+type sweep_binding = {
+  sb_index : int;
+      (** caller-chosen tag echoed as [binding=] on the response frame;
+          what lets a coordinator track completion across re-dispatch *)
+  sb_source : string;  (** names an entry of [sw_sources] *)
+  sb_function : string;
+  sb_params : (string * int) list;
+}
+
 type request =
   | Ping
   | Stats
@@ -145,6 +161,16 @@ type request =
       ev_params : (string * int) list;
       ev_budget : budget_request;
     }
+  | Sweep of {
+      sw_sources : (string * string) list;  (** (name, text), each once *)
+      sw_bindings : sweep_binding list;
+      sw_budget : budget_request;  (** clamp shared by every binding *)
+    }
+      (** a whole sweep chunk in one frame: the daemon schedules the
+          bindings across its worker pool and streams one
+          [binding=]-tagged response frame per binding (in completion
+          order) followed by a terminal [sweep-done=1] frame.  Requires
+          an [id=] tag; see "The sweep verb" in [docs/PROTOCOL.md]. *)
 
 val encode_request : ?id:string -> request -> string
 (** The request payload (to hand to {!write_frame}).  With [id], the
@@ -255,10 +281,14 @@ val connect : ?io_timeout_ms:int -> string -> Unix.file_descr
 val roundtrip :
   ?faults:Faults.t ->
   ?max_bytes:int ->
+  ?auth_secret:string ->
   Unix.file_descr ->
   request ->
   (response, string) result
-(** One request/response exchange on an open connection. *)
+(** One request/response exchange on an open connection.  With
+    [auth_secret] the request is sealed ({!Auth.seal}) and the
+    response must verify — a secret-bearing daemon seals everything it
+    sends.  Not suitable for [Sweep] (multiple response frames). *)
 
 val wait_ready : ?timeout_s:float -> string -> bool
 (** Poll [connect]+[ping] until the daemon answers (for scripts and

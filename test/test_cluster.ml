@@ -1,0 +1,805 @@
+(* The distributed sweep cluster, exercised end to end:
+
+   - auth: SHA-256 / HMAC-SHA256 against the FIPS 180-4 and RFC 4231
+     vectors; seal/verify round-trips; forged and missing MACs are
+     rejected in constant time;
+   - auth enforcement: a secret-bearing daemon rejects unauthenticated
+     and bad-MAC frames on tcp with a structured [auth] error before
+     they reach the analysis pool, accepts them on unix (optional
+     there), verifies a MAC whenever one is presented, and seals every
+     response it sends;
+   - the sweep verb: a whole chunk travels in one frame, per-binding
+     responses stream back tagged [binding=] with a terminal
+     [sweep-done=1] frame; malformed sweeps are structured errors; the
+     pool client refuses the verb (its responses stream);
+   - coordinator: a 3-daemon sweep merges to the same answers as a
+     1-daemon sweep, in input order; an injected daemon kill
+     (MIRA_FAULT_SEED-pinned) re-dispatches only the unfinished
+     bindings; a real SIGKILLed daemon process mid-sweep loses and
+     duplicates nothing; whole-fleet death returns partial results
+     naming every unfinished binding, and the CLI turns that into
+     exit 3;
+   - sharding: --shard I/K membership partitions the expanded path set
+     exactly for several K;
+   - cache merge: merged shard caches serve a full warm run
+     byte-identically, re-merge is a no-op, corrupt source entries are
+     skipped. *)
+
+open Mira_core
+
+let seed =
+  match Sys.getenv_opt "MIRA_FAULT_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> failwith "MIRA_FAULT_SEED must be an integer")
+  | None -> 20260806
+
+let temp_name =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let mira_exe = Filename.concat (Filename.concat ".." "bin") "mira.exe"
+let saxpy = Option.get (Mira_corpus.Corpus.find "saxpy")
+let stream = Option.get (Mira_corpus.Corpus.find "stream")
+let secret = "cluster-test-secret"
+
+(* ---------- auth vectors ---------- *)
+
+let auth_tests =
+  let open Alcotest in
+  [
+    test_case "SHA-256 matches the FIPS 180-4 vectors" `Quick (fun () ->
+        check string "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+          (Auth.sha256_hex "");
+        check string "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+          (Auth.sha256_hex "abc");
+        check string "448-bit"
+          "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+          (Auth.sha256_hex
+             "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+    test_case "HMAC-SHA256 matches the RFC 4231 vectors" `Quick (fun () ->
+        check string "case 1"
+          "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+          (Auth.hmac_sha256_hex ~key:(String.make 20 '\x0b') "Hi There");
+        check string "case 2"
+          "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+          (Auth.hmac_sha256_hex ~key:"Jefe" "what do ya want for nothing?");
+        (* key longer than the block: hashed first *)
+        check string "case 6"
+          "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+          (Auth.hmac_sha256_hex
+             ~key:(String.make 131 '\xaa')
+             "Test Using Larger Than Block-Size Key - Hash Key First"));
+    test_case "seal/verify round-trips and rejects forgery" `Quick (fun () ->
+        let payload = Serve.encode_request ~id:"x1" Serve.Ping in
+        let sealed = Auth.seal ~secret payload in
+        (match Auth.verify ~secret sealed with
+        | `Ok stripped ->
+            check string "verify recovers the unsealed payload" payload
+              stripped
+        | `Missing | `Bad -> fail "sealed payload did not verify");
+        (match Auth.verify ~secret:"other" sealed with
+        | `Bad -> ()
+        | `Ok _ | `Missing -> fail "wrong secret accepted");
+        (match Auth.verify ~secret payload with
+        | `Missing -> ()
+        | `Ok _ | `Bad -> fail "unsealed payload accepted");
+        (* flipping one payload byte must invalidate the MAC *)
+        let tampered = Bytes.of_string sealed in
+        Bytes.set tampered (Bytes.length tampered - 1) '\xff';
+        match Auth.verify ~secret (Bytes.to_string tampered) with
+        | `Bad -> ()
+        | `Ok _ | `Missing -> fail "tampered payload accepted");
+    test_case "constant-time compare" `Quick (fun () ->
+        check bool "equal" true (Auth.equal_constant_time "abcd" "abcd");
+        check bool "different" false (Auth.equal_constant_time "abcd" "abce");
+        check bool "length mismatch" false
+          (Auth.equal_constant_time "abc" "abcd"));
+    test_case "secret files strip trailing newlines, reject empty" `Quick
+      (fun () ->
+        let f = temp_name "mira-secret" in
+        write_file f "s3cret\n";
+        (match Auth.read_secret_file f with
+        | Ok s -> check string "stripped" "s3cret" s
+        | Error m -> failf "read_secret_file: %s" m);
+        write_file f "\n\n";
+        (match Auth.read_secret_file f with
+        | Error _ -> ()
+        | Ok _ -> fail "empty secret accepted");
+        Sys.remove f);
+  ]
+
+(* ---------- in-process daemon harness ---------- *)
+
+let with_daemon ?(cfg = fun c -> c) ?auth_secret ?(wait = true) endpoints f =
+  let config = cfg (Serve.default_config_endpoints ~endpoints) in
+  let server = Serve.create config in
+  let th = Thread.create (fun () -> ignore (Serve.serve server)) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop server;
+      Thread.join th;
+      List.iter
+        (function
+          | Endpoint.Unix_sock p -> (
+              try Sys.remove p with Sys_error _ -> ())
+          | Endpoint.Tcp _ -> ())
+        endpoints)
+    (fun () ->
+      let eps = Serve.bound_endpoints server in
+      (* a fault-injecting daemon may deterministically kill the very
+         pong wait_ready listens for; sockets are bound synchronously
+         by [create], so such tests skip the readiness ping *)
+      if wait then
+        Alcotest.(check bool)
+          "daemon is up" true
+          (Client.wait_ready ?auth_secret (List.hd eps));
+      f ~eps server)
+
+let unix_ep () = Endpoint.Unix_sock (temp_name "mira-cluster" ^ ".sock")
+
+let read_response_exn fd =
+  match Serve.read_frame fd with
+  | Error e -> Alcotest.failf "read_frame: %s" (Serve.frame_error_to_string e)
+  | Ok payload -> (
+      match Serve.parse_response payload with
+      | Ok r -> r
+      | Error m -> Alcotest.failf "parse_response: %s" m)
+
+let with_conn ep f =
+  let fd = Endpoint.connect ep in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd)
+
+let sweep_req ?(budget = Serve.no_budget) bindings =
+  Serve.Sweep
+    {
+      sw_sources = [ ("saxpy", saxpy); ("stream", stream) ];
+      sw_bindings =
+        List.mapi
+          (fun i (src, fn, params) ->
+            { Serve.sb_index = i; sb_source = src; sb_function = fn;
+              sb_params = params })
+          bindings;
+      sw_budget = budget;
+    }
+
+let mixed_bindings n =
+  List.init n (fun i ->
+      if i mod 2 = 0 then ("saxpy", "saxpy_chain", [ ("n", 10 + i); ("reps", 2) ])
+      else ("stream", "stream_triad", [ ("n", 100 + (10 * i)) ]))
+
+(* ---------- the sweep verb ---------- *)
+
+let sweep_tests =
+  let open Alcotest in
+  [
+    test_case "sweep codec round-trips" `Quick (fun () ->
+        let req = sweep_req (mixed_bindings 5) in
+        match Serve.parse_request (Serve.encode_request ~id:"s1" req) with
+        | Ok req' -> check bool "round-trip" true (req = req')
+        | Error m -> failf "parse_request: %s" m);
+    test_case "sweep rejects unknown sources and malformed bodies" `Quick
+      (fun () ->
+        let bad =
+          Serve.Sweep
+            {
+              sw_sources = [ ("saxpy", saxpy) ];
+              sw_bindings =
+                [
+                  { Serve.sb_index = 0; sb_source = "nope"; sb_function = "f";
+                    sb_params = [] };
+                ];
+              sw_budget = Serve.no_budget;
+            }
+        in
+        (match Serve.parse_request (Serve.encode_request ~id:"s1" bad) with
+        | Error _ -> ()
+        | Ok _ -> fail "binding naming an unknown source parsed");
+        match Serve.parse_request "mira/1 sweep\n\nsource x 999\nhi\n" with
+        | Error _ -> ()
+        | Ok _ -> fail "lying source length parsed");
+    test_case "sweep streams one tagged frame per binding plus a terminal"
+      `Quick (fun () ->
+        let ep = unix_ep () in
+        with_daemon [ ep ] (fun ~eps:_ _server ->
+            with_conn ep (fun fd ->
+                let n = 7 in
+                Serve.write_frame fd
+                  (Serve.encode_request ~id:"sw" (sweep_req (mixed_bindings n)));
+                let seen = Hashtbl.create n in
+                let rec collect () =
+                  let r = read_response_exn fd in
+                  check (option string) "sweep id echoed" (Some "sw")
+                    (Serve.field r "id");
+                  if Serve.field r "sweep-done" = Some "1" then r
+                  else begin
+                    (match
+                       Option.bind (Serve.field r "binding") int_of_string_opt
+                     with
+                    | Some i ->
+                        check bool "binding index in range" true
+                          (i >= 0 && i < n);
+                        check bool "binding answered once" false
+                          (Hashtbl.mem seen i);
+                        Hashtbl.replace seen i ();
+                        check string "binding ok" "ok" r.Serve.rs_status;
+                        check bool "binding carries fpi" true
+                          (Serve.field r "fpi" <> None)
+                    | None -> fail "untagged frame mid-sweep");
+                    collect ()
+                  end
+                in
+                let terminal = collect () in
+                check int "every binding answered" n (Hashtbl.length seen);
+                check (option string) "terminal counts bindings"
+                  (Some (string_of_int n))
+                  (Serve.field terminal "bindings");
+                check (option string) "terminal counts ok"
+                  (Some (string_of_int n))
+                  (Serve.field terminal "ok"))));
+    test_case "empty sweep answers its terminal immediately" `Quick (fun () ->
+        let ep = unix_ep () in
+        with_daemon [ ep ] (fun ~eps:_ _server ->
+            with_conn ep (fun fd ->
+                Serve.write_frame fd
+                  (Serve.encode_request ~id:"sw" (sweep_req []));
+                let r = read_response_exn fd in
+                check (option string) "terminal" (Some "1")
+                  (Serve.field r "sweep-done");
+                check (option string) "zero bindings" (Some "0")
+                  (Serve.field r "bindings"))));
+    test_case "sweep without an id is a structured error" `Quick (fun () ->
+        let ep = unix_ep () in
+        with_daemon [ ep ] (fun ~eps:_ _server ->
+            with_conn ep (fun fd ->
+                Serve.write_frame fd
+                  (Serve.encode_request (sweep_req (mixed_bindings 2)));
+                let r = read_response_exn fd in
+                check string "error" "error" r.Serve.rs_status;
+                check (option string) "bad-request" (Some "bad-request")
+                  (Serve.field r "code"))));
+    test_case "the pool client refuses the sweep verb" `Quick (fun () ->
+        let ep = unix_ep () in
+        with_daemon [ ep ] (fun ~eps _server ->
+            Client.with_pool eps (fun pool ->
+                match Client.request pool (sweep_req (mixed_bindings 2)) with
+                | Error m ->
+                    check bool "points at the coordinator" true
+                      (String.length m > 0)
+                | Ok _ -> fail "pool accepted a streaming verb")));
+  ]
+
+(* ---------- auth enforcement ---------- *)
+
+let auth_enforcement_tests =
+  let open Alcotest in
+  let secret_cfg c = { c with Serve.cfg_auth_secret = Some secret } in
+  [
+    test_case "tcp requires a MAC, unix does not; bad MACs always rejected"
+      `Quick (fun () ->
+        let uep = unix_ep () in
+        with_daemon ~cfg:secret_cfg
+          [ uep; Endpoint.Tcp ("127.0.0.1", 0) ]
+          (fun ~eps server ->
+            let tep =
+              List.find (function Endpoint.Tcp _ -> true | _ -> false) eps
+            in
+            (* unauthenticated ping over tcp: auth error, never served *)
+            with_conn tep (fun fd ->
+                Serve.write_frame fd (Serve.encode_request Serve.Ping);
+                let r = read_response_exn fd in
+                check string "rejected" "error" r.Serve.rs_status;
+                check (option string) "auth code" (Some "auth")
+                  (Serve.field r "code"));
+            (* bad MAC over tcp: same, and over unix too (verified when
+               present) *)
+            List.iter
+              (fun ep ->
+                with_conn ep (fun fd ->
+                    Serve.write_frame fd
+                      (Auth.seal ~secret:"wrong"
+                         (Serve.encode_request Serve.Ping));
+                    let r = read_response_exn fd in
+                    check (option string) "auth code" (Some "auth")
+                      (Serve.field r "code")))
+              [ tep; uep ];
+            (* unauthenticated over unix: optional there *)
+            with_conn uep (fun fd ->
+                match Serve.roundtrip fd Serve.Ping with
+                | Ok r -> check string "unix ok" "ok" r.Serve.rs_status
+                | Error m -> failf "unix unauthenticated ping: %s" m);
+            (* authenticated over tcp: proceeds, response is sealed *)
+            with_conn tep (fun fd ->
+                Serve.write_frame fd
+                  (Auth.seal ~secret (Serve.encode_request Serve.Ping));
+                match Serve.read_frame fd with
+                | Error e -> failf "read: %s" (Serve.frame_error_to_string e)
+                | Ok payload -> (
+                    match Auth.verify ~secret payload with
+                    | `Ok p ->
+                        let r = Result.get_ok (Serve.parse_response p) in
+                        check string "sealed pong" "ok" r.Serve.rs_status
+                    | `Missing | `Bad -> fail "response was not sealed"));
+            (* the rejected analyze below must never reach the pool *)
+            with_conn tep (fun fd ->
+                Serve.write_frame fd
+                  (Serve.encode_request
+                     (Serve.Analyze
+                        {
+                          an_name = "saxpy";
+                          an_source = saxpy;
+                          an_budget = Serve.no_budget;
+                        }));
+                let r = read_response_exn fd in
+                check (option string) "analyze rejected" (Some "auth")
+                  (Serve.field r "code"));
+            let st = Serve.stats server in
+            check int "nothing analyzed" 0 st.Serve.sv_analyzed;
+            check bool "rejections counted as protocol errors" true
+              (st.Serve.sv_protocol_errors >= 3)));
+    test_case "roundtrip and the pool speak auth transparently" `Quick
+      (fun () ->
+        with_daemon ~cfg:secret_cfg ~auth_secret:secret
+          [ Endpoint.Tcp ("127.0.0.1", 0) ]
+          (fun ~eps _server ->
+            with_conn (List.hd eps) (fun fd ->
+                match Serve.roundtrip ~auth_secret:secret fd Serve.Ping with
+                | Ok r -> check string "ok" "ok" r.Serve.rs_status
+                | Error m -> failf "authenticated roundtrip: %s" m);
+            Client.with_pool ~auth_secret:secret eps (fun pool ->
+                match Client.request pool Serve.Ping with
+                | Ok r -> check string "pool ok" "ok" r.Serve.rs_status
+                | Error m -> failf "authenticated pool: %s" m)));
+  ]
+
+(* ---------- coordinator ---------- *)
+
+let ok_key r =
+  match r with
+  | Ok resp ->
+      Printf.sprintf "%s fpi=%s total=%s" resp.Serve.rs_status
+        (Option.value (Serve.field resp "fpi") ~default:"?")
+        (Option.value (Serve.field resp "total") ~default:"?")
+  | Error m -> "error " ^ m
+
+let coordinator_bindings n =
+  List.init n (fun i ->
+      if i mod 2 = 0 then
+        { Coordinator.bd_name = "saxpy"; bd_source = saxpy;
+          bd_function = "saxpy_chain";
+          bd_params = [ ("n", 10 + i); ("reps", 2) ] }
+      else
+        { Coordinator.bd_name = "stream"; bd_source = stream;
+          bd_function = "stream_triad"; bd_params = [ ("n", 100 + (10 * i)) ] })
+
+let coordinator_tests =
+  let open Alcotest in
+  [
+    test_case "three daemons answer exactly what one daemon answers" `Quick
+      (fun () ->
+        let bindings = coordinator_bindings 40 in
+        let run eps =
+          let results, stats = Coordinator.run ~chunk:8 eps bindings in
+          check int "all finished" 40 stats.Coordinator.co_finished;
+          check (list int) "nothing unfinished" []
+            stats.Coordinator.co_unfinished;
+          Array.to_list (Array.map ok_key results)
+        in
+        let reference =
+          with_daemon [ unix_ep () ] (fun ~eps _server -> run eps)
+        in
+        let clustered =
+          with_daemon [ unix_ep () ] (fun ~eps:e1 _s1 ->
+              with_daemon [ unix_ep () ] (fun ~eps:e2 _s2 ->
+                  with_daemon
+                    [ Endpoint.Tcp ("127.0.0.1", 0) ]
+                    (fun ~eps:e3 _s3 -> run (e1 @ e2 @ e3))))
+        in
+        check (list string) "identical, in input order" reference clustered);
+    test_case "an injected daemon kill re-dispatches only the unfinished"
+      `Quick (fun () ->
+        (* one daemon whose wire kills connections mid-sweep (the
+           net_kill site: the frame is never written, the socket is
+           severed — exactly a SIGKILL's kernel behavior), one clean
+           daemon to absorb the re-dispatches *)
+        let kill_faults =
+          {
+            Faults.none with
+            Faults.seed;
+            kill_p = 0.4;
+          }
+        in
+        let bindings = coordinator_bindings 30 in
+        with_daemon
+          ~cfg:(fun c -> { c with Serve.cfg_faults = Some kill_faults })
+          ~wait:false
+          [ unix_ep () ]
+          (fun ~eps:faulty _s1 ->
+            with_daemon [ unix_ep () ] (fun ~eps:clean _s2 ->
+                let results, stats =
+                  Coordinator.run ~chunk:5 ~heartbeat_ms:400 ~retries:2
+                    ~backoff_ms:20 (faulty @ clean) bindings
+                in
+                check int "every binding answered" 30
+                  stats.Coordinator.co_finished;
+                check (list int) "none unfinished" []
+                  stats.Coordinator.co_unfinished;
+                Array.iter
+                  (fun r ->
+                    match r with
+                    | Ok resp ->
+                        check string "answered ok" "ok" resp.Serve.rs_status
+                    | Error m -> failf "binding lost: %s" m)
+                  results;
+                (* under the pinned default seed the kill site fires and
+                   forces re-dispatch; under another seed only the
+                   exactly-once contract is asserted *)
+                if seed = 20260806 then
+                  check bool "kills forced re-dispatch" true
+                    (stats.Coordinator.co_redispatched > 0))));
+    test_case "a misconfigured secret fails fast, not forever" `Quick
+      (fun () ->
+        with_daemon
+          ~cfg:(fun c -> { c with Serve.cfg_auth_secret = Some secret })
+          ~auth_secret:secret
+          [ Endpoint.Tcp ("127.0.0.1", 0) ]
+          (fun ~eps _server ->
+            let results, stats =
+              Coordinator.run ~chunk:4 ~retries:1 ~backoff_ms:10 eps
+                (coordinator_bindings 8)
+            in
+            (* request-level rejection: recorded as errors, no endless
+               re-dispatch loop, nothing left unfinished *)
+            check (list int) "none unfinished" []
+              stats.Coordinator.co_unfinished;
+            Array.iter
+              (fun r ->
+                match r with
+                | Error m ->
+                    check bool "names the rejection" true
+                      (String.length m > 0)
+                | Ok _ -> fail "unauthenticated sweep was served")
+              results));
+    test_case "whole-fleet death names every unfinished binding" `Quick
+      (fun () ->
+        (* a port with nothing listening: connect is refused on every
+           attempt, the only endpoint retires, and run returns with the
+           full unfinished list *)
+        let port =
+          let fd, ep = Endpoint.listen (Endpoint.Tcp ("127.0.0.1", 0)) in
+          Unix.close fd;
+          match ep with Endpoint.Tcp (_, p) -> p | _ -> assert false
+        in
+        let results, stats =
+          Coordinator.run ~chunk:4 ~retries:0 ~backoff_ms:10
+            [ Endpoint.Tcp ("127.0.0.1", port) ]
+            (coordinator_bindings 10)
+        in
+        check int "nothing finished" 0 stats.Coordinator.co_finished;
+        check (list int) "every binding named"
+          (List.init 10 Fun.id)
+          stats.Coordinator.co_unfinished;
+        check int "one daemon lost" 1 stats.Coordinator.co_daemons_lost;
+        Array.iter
+          (fun r ->
+            match r with
+            | Error _ -> ()
+            | Ok _ -> fail "a dead fleet answered")
+          results);
+  ]
+
+(* ---------- real daemon processes: SIGKILL mid-sweep ---------- *)
+
+let spawn_serve args out_file =
+  let out =
+    Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close out;
+      Unix.close devnull)
+    (fun () ->
+      Unix.create_process mira_exe
+        (Array.append [| mira_exe; "serve" |] args)
+        devnull out devnull)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* poll the daemon's ready line for its (possibly OS-assigned) endpoint *)
+let wait_listening ?(timeout_s = 15.0) out_file =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let line =
+      if Sys.file_exists out_file then
+        read_file out_file |> String.split_on_char '\n'
+        |> List.find_opt (fun l ->
+               String.length l > 0
+               && String.starts_with ~prefix:"mira serve: listening on " l)
+      else None
+    in
+    match line with
+    | Some l ->
+        let prefix = "mira serve: listening on " in
+        Endpoint.parse_exn
+          (String.sub l (String.length prefix)
+             (String.length l - String.length prefix))
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "daemon never printed its ready line"
+        else begin
+          Unix.sleepf 0.02;
+          go ()
+        end
+  in
+  go ()
+
+let wait_exit ?(timeout_s = 20.0) pid =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          Alcotest.fail "subprocess did not exit in time"
+        end
+        else begin
+          Unix.sleepf 0.02;
+          go ()
+        end
+    | _, st -> st
+  in
+  go ()
+
+let kill_pid pid =
+  try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let sigkill_tests =
+  let open Alcotest in
+  [
+    test_case
+      "SIGKILLing a daemon process mid-sweep loses and duplicates nothing"
+      `Slow (fun () ->
+        let secret_file = temp_name "mira-secret" in
+        write_file secret_file (secret ^ "\n");
+        let sock = temp_name "mira-cluster" ^ ".sock" in
+        let outs = List.init 3 (fun i -> temp_name (Printf.sprintf "d%d" i)) in
+        let args = function
+          | 0 -> [| "--socket"; sock |]
+          | _ -> [| "--endpoint"; "tcp:127.0.0.1:0" |]
+        in
+        let pids =
+          List.mapi
+            (fun i out ->
+              spawn_serve
+                (Array.append (args i)
+                   [|
+                     "--auth-secret-file"; secret_file; "--workers"; "4";
+                     "--cache"; "--cache-dir";
+                     temp_name (Printf.sprintf "cache%d" i);
+                   |])
+                out)
+            outs
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter kill_pid pids;
+            List.iter (fun p -> ignore (wait_exit p)) pids;
+            (try Sys.remove secret_file with Sys_error _ -> ());
+            List.iter
+              (fun f -> try Sys.remove f with Sys_error _ -> ())
+              outs;
+            try Sys.remove sock with Sys_error _ -> ())
+          (fun () ->
+            let eps = List.map wait_listening outs in
+            List.iter
+              (fun ep ->
+                check bool "daemon is up" true
+                  (Client.wait_ready ~auth_secret:secret ep))
+              eps;
+            let n = 1000 in
+            let bindings = coordinator_bindings n in
+            (* SIGKILL the last tcp daemon once real progress exists,
+               from the progress callback — i.e. guaranteed mid-sweep *)
+            let victim = List.nth pids 2 in
+            let killed = Atomic.make false in
+            let on_progress ~finished ~total:_ =
+              if finished >= 50 && not (Atomic.exchange killed true) then
+                kill_pid victim
+            in
+            let results, stats =
+              Coordinator.run ~chunk:32 ~heartbeat_ms:500 ~backoff_ms:50
+                ~auth_secret:secret ~on_progress eps bindings
+            in
+            check bool "the victim was killed mid-run" true
+              (Atomic.get killed);
+            check int "every binding answered exactly once" n
+              stats.Coordinator.co_finished;
+            check (list int) "none unfinished" []
+              stats.Coordinator.co_unfinished;
+            check int "no duplicate answers recorded" 0
+              stats.Coordinator.co_duplicates;
+            let clustered = Array.map ok_key results in
+            (* the surviving unix daemon alone must produce the same
+               answers: nothing was lost, reordered, or double-served *)
+            let reference, _ =
+              Coordinator.run ~chunk:32 ~auth_secret:secret
+                [ List.hd eps ] bindings
+            in
+            check (list string) "identical to a single-daemon run"
+              (Array.to_list (Array.map ok_key reference))
+              (Array.to_list clustered)));
+    test_case "the CLI turns whole-fleet death into exit 3" `Slow (fun () ->
+        let dir = temp_name "mira-fleet" in
+        Sys.mkdir dir 0o755;
+        let src = Filename.concat dir "saxpy.mc" in
+        write_file src saxpy;
+        let sweep = Filename.concat dir "sweep.txt" in
+        write_file sweep
+          (String.concat ""
+             (List.init 5 (fun i ->
+                  Printf.sprintf "%s saxpy_chain n=%d reps=2\n" src (10 + i))));
+        let port =
+          let fd, ep = Endpoint.listen (Endpoint.Tcp ("127.0.0.1", 0)) in
+          Unix.close fd;
+          match ep with Endpoint.Tcp (_, p) -> p | _ -> assert false
+        in
+        let err_file = Filename.concat dir "err" in
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+        let err =
+          Unix.openfile err_file
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+            0o600
+        in
+        let pid =
+          Fun.protect
+            ~finally:(fun () ->
+              Unix.close devnull;
+              Unix.close err)
+            (fun () ->
+              Unix.create_process mira_exe
+                [|
+                  mira_exe; "eval-sweep"; sweep; "-e";
+                  Printf.sprintf "tcp:127.0.0.1:%d" port; "--dispatch-retries";
+                  "0"; "--heartbeat-ms"; "200";
+                |]
+                devnull devnull err)
+        in
+        (match wait_exit pid with
+        | Unix.WEXITED c -> check int "exit 3" 3 c
+        | _ -> fail "eval-sweep did not exit normally");
+        let err_text = read_file err_file in
+        check bool "names the unfinished evaluations" true
+          (let rec has i =
+             i >= 0
+             && (String.length err_text - i >= 11
+                 && String.sub err_text i 11 = "unfinished:"
+                || has (i - 1))
+           in
+           has (String.length err_text - 11));
+        rm_rf dir);
+  ]
+
+(* ---------- sharding and cache merge ---------- *)
+
+let shard_tests =
+  let open Alcotest in
+  [
+    test_case "--shard membership partitions the expanded paths" `Quick
+      (fun () ->
+        let dir = temp_name "mira-shard" in
+        Sys.mkdir dir 0o755;
+        List.iteri
+          (fun i (name, text) ->
+            write_file
+              (Filename.concat dir (Printf.sprintf "p%02d_%s.mc" i name))
+              text)
+          (List.concat (List.init 6 (fun _ -> [ ("saxpy", saxpy); ("stream", stream) ])));
+        let paths = Batch.expand_paths [ dir ] in
+        check int "twelve paths" 12 (List.length paths);
+        List.iter
+          (fun count ->
+            let owners =
+              List.map
+                (fun p ->
+                  let hits =
+                    List.filter
+                      (fun index -> Batch.shard_member ~index ~count p)
+                      (List.init count (fun i -> i + 1))
+                  in
+                  check int
+                    (Printf.sprintf "%s owned exactly once of %d" p count)
+                    1 (List.length hits);
+                  List.hd hits)
+                paths
+            in
+            (* union covers everything by construction; also require the
+               assignment be deterministic across calls *)
+            check (list int) "stable" owners
+              (List.map
+                 (fun p ->
+                   List.find
+                     (fun index -> Batch.shard_member ~index ~count p)
+                     (List.init count (fun i -> i + 1)))
+                 paths))
+          [ 1; 2; 3; 5 ];
+        (match Batch.shard_member ~index:0 ~count:3 "x" with
+        | exception Invalid_argument _ -> ()
+        | _ -> fail "index 0 accepted");
+        (match Batch.shard_member ~index:4 ~count:3 "x" with
+        | exception Invalid_argument _ -> ()
+        | _ -> fail "index > count accepted");
+        rm_rf dir);
+    test_case "merged shard caches serve a warm, byte-identical run" `Quick
+      (fun () ->
+        let d1 = temp_name "mira-cache-a" in
+        let d2 = temp_name "mira-cache-b" in
+        let dst = temp_name "mira-cache-m" in
+        let srcs1 = [ { Batch.src_name = "saxpy.mc"; src_text = saxpy } ] in
+        let srcs2 = [ { Batch.src_name = "stream.mc"; src_text = stream } ] in
+        let all = srcs1 @ srcs2 in
+        (* a cold reference for byte-identity *)
+        let cold, _ = Batch.run all in
+        let r1, _ = Batch.run ~cache:(Batch.create_cache ~dir:d1 ()) srcs1 in
+        let r2, _ = Batch.run ~cache:(Batch.create_cache ~dir:d2 ()) srcs2 in
+        check int "shards analyzed" 2 (List.length r1 + List.length r2);
+        (* drop a corrupt entry into a shard: it must be skipped *)
+        write_file (Filename.concat d1 "deadbeef.model") "MIRAC2\ngarbage";
+        let st = Batch.merge_dirs ~dst [ d1; d2 ] in
+        check int "corrupt skipped" 1 st.Batch.mg_corrupt;
+        check bool "entries copied" true (st.Batch.mg_copied > 0);
+        check int "nothing failed" 0 st.Batch.mg_failed;
+        let again = Batch.merge_dirs ~dst [ d1; d2 ] in
+        check int "re-merge copies nothing" 0 again.Batch.mg_copied;
+        check int "re-merge finds everything present" st.Batch.mg_copied
+          again.Batch.mg_present;
+        let warm, wstats =
+          Batch.run ~cache:(Batch.create_cache ~dir:dst ()) all
+        in
+        check int "no re-analysis against the merged cache" 0
+          wstats.Batch.st_analyzed;
+        check int "every source a disk hit" 2 wstats.Batch.st_disk_hits;
+        List.iter2
+          (fun c w ->
+            match (c, w) with
+            | Ok (ca : Batch.analysis), Ok wa ->
+                check string "python byte-identical" ca.Batch.a_python
+                  wa.Batch.a_python
+            | _ -> fail "warm run failed where cold run succeeded")
+          cold warm;
+        List.iter rm_rf [ d1; d2; dst ]);
+  ]
+
+let () =
+  Alcotest.run "mira cluster"
+    [
+      ("auth", auth_tests);
+      ("sweep verb", sweep_tests);
+      ("auth enforcement", auth_enforcement_tests);
+      ("coordinator", coordinator_tests);
+      ("sigkill", sigkill_tests);
+      ("shard & merge", shard_tests);
+    ]

@@ -34,6 +34,7 @@ let faults ?(read = 0.0) ?(write = 0.0) ?(rename = 0.0) ?(corrupt = 0.0)
     slow_ms;
     net_write_p = net_write;
     disconnect_p = disconnect;
+    kill_p = 0.0;
   }
 
 let corpus_sources =

@@ -57,6 +57,7 @@ let faults ?(worker = 0.0) ?(slow = 0.0) ?(slow_ms = 0) ?(net_write = 0.0)
     slow_ms;
     net_write_p = net_write;
     disconnect_p = disconnect;
+    kill_p = 0.0;
   }
 
 let temp_name =
