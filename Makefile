@@ -1,4 +1,4 @@
-.PHONY: build test ci serve-smoke cluster-smoke bench bench-json bench-serve bench-serve-smoke clean
+.PHONY: build test ci serve-smoke cluster-smoke bench bench-json bench-serve bench-serve-smoke bench-eval bench-eval-smoke clean
 
 build:
 	dune build @all
@@ -22,6 +22,7 @@ ci:
 	$(MAKE) serve-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) bench-serve-smoke
+	$(MAKE) bench-eval-smoke
 
 # Eval-service smoke: boot two real daemons — one on a Unix socket,
 # one on a TCP ephemeral port (discovered from its ready line) — drive
@@ -133,6 +134,20 @@ bench-serve: build
 # the bench harness itself still works (exit 0, zero errors).
 bench-serve-smoke: build
 	timeout --kill-after=10 60 dune exec bin/mira.exe -- bench-serve --smoke
+
+# Eval-layer benchmark: one-shot interpretation vs interpreter plan vs
+# the compiled register program on five corpus kernels, every target
+# cross-checked against the interpreter before timing.  Writes
+# BENCH_eval.json — the number the "compiled model evaluation" work is
+# held to (>= 50x sweep throughput over interpreted evaluation).
+bench-eval: build
+	dune exec bin/mira.exe -- bench-eval --json BENCH_eval.json
+
+# CI smoke: tiny sweeps and timing windows; asserts the harness runs
+# and that compiled == interpreted on the sampled points (the harness
+# fails loudly on divergence), without turning timings into thresholds.
+bench-eval-smoke: build
+	timeout --kill-after=10 120 dune exec bin/mira.exe -- bench-eval --smoke
 
 # Timing-only run (batch scaling + incremental reanalysis) that
 # records its numbers in BENCH_batch.json for regression tracking.

@@ -953,13 +953,16 @@ let render_response = function
             resp.rs_fields;
           (if resp.rs_body <> "" then begin
              print_string resp.rs_body;
-             (* eval carries its headline numbers as fields *)
+             (* eval carries its headline numbers as fields; stats carries
+                the compiled-evaluator counters there too (the body's key
+                list is pinned wire shape, see docs/PROTOCOL.md) *)
              List.iter
                (fun k ->
                  match Mira_core.Serve.field resp k with
                  | Some v -> Printf.printf "%s=%s\n" k v
                  | None -> ())
-               [ "fpi"; "total" ]
+               [ "fpi"; "total"; "compile-hits"; "compile-misses";
+                 "compile-fallbacks" ]
            end
            else
              match Mira_core.Serve.field resp "pong" with
@@ -1563,6 +1566,365 @@ let bench_serve_cmd =
       const run $ endpoint $ connections $ pipeline $ duration_s $ mix $ probe
       $ probe_cap $ json $ label $ smoke)
 
+(* ---------- dataset ---------- *)
+
+(* --sweep name=lo:hi[:step] | name=v1,v2,... (repeatable, one grid
+   axis each, row order = odometer over the axes in argument order) *)
+let sweep_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | None -> Error (`Msg (Printf.sprintf "expected name=RANGE, got %S" s))
+    | Some i -> (
+        let name = String.sub s 0 i in
+        let spec = String.sub s (i + 1) (String.length s - i - 1) in
+        let ints l =
+          try Ok (List.map int_of_string l)
+          with Failure _ ->
+            Error (`Msg (Printf.sprintf "%S: values must be integers" s))
+        in
+        if name = "" then Error (`Msg (Printf.sprintf "%S: empty name" s))
+        else if String.contains spec ',' then
+          match ints (String.split_on_char ',' spec) with
+          | Ok (_ :: _ as vs) -> Ok (name, vs)
+          | Ok [] -> Error (`Msg (Printf.sprintf "%S: empty list" s))
+          | Error e -> Error e
+        else
+          match ints (String.split_on_char ':' spec) with
+          | Ok [ v ] -> Ok (name, [ v ])
+          | Ok [ lo; hi ] | Ok [ lo; hi; 1 ] when lo <= hi ->
+              Ok (name, List.init (hi - lo + 1) (fun i -> lo + i))
+          | Ok [ lo; hi; step ] when step > 0 && lo <= hi ->
+              Ok
+                ( name,
+                  List.init
+                    (((hi - lo) / step) + 1)
+                    (fun i -> lo + (i * step)) )
+          | Ok _ ->
+              Error
+                (`Msg (Printf.sprintf "%S: expected lo:hi[:step], step > 0" s))
+          | Error e -> Error e)
+  in
+  let print ppf (name, vs) =
+    Format.fprintf ppf "%s=%s" name
+      (String.concat "," (List.map string_of_int vs))
+  in
+  Arg.conv (parse, print)
+
+let dataset_cmd =
+  let run file fname sweeps fixed archs level fmt out =
+    handle_errors (fun () ->
+        if sweeps = [] then begin
+          Printf.eprintf "error: at least one --sweep axis is required\n";
+          exit 124
+        end;
+        let m =
+          Mira_core.Mira.analyze ~level ~source_name:file (read_file file)
+        in
+        let model = m.Mira_core.Mira.model in
+        let archs =
+          if archs = [] then [ Mira_arch.Archdesc.arya ] else archs
+        in
+        let vars = List.map fst sweeps in
+        let axes = Array.of_list (List.map (fun (_, vs) -> Array.of_list vs) sweeps) in
+        let mns = Mira_core.Model_eval.mnemonic_order model ~fname ~inclusive:true in
+        let fp =
+          Array.map
+            (fun mn -> List.mem mn Mira_core.Model_eval.fp_mnemonics)
+            mns
+        in
+        (* per arch: the compiled program when one exists, else an
+           interpreter plan — rows are identical either way *)
+        let eval_row =
+          let cache = Mira_core.Model_compile.create_cache () in
+          let digest = Digest.string (Mira_core.Mira.python_model m) in
+          fun (arch : Mira_arch.Archdesc.t) ->
+            match
+              Mira_core.Model_compile.get cache ~digest ~arch ~model ~fname
+                ~sweep:vars ~fixed ()
+            with
+            | Ok prog ->
+                let runner = Mira_core.Model_compile.runner prog in
+                fun args ->
+                  let out = Mira_core.Model_compile.run runner args in
+                  (out, Mira_core.Model_compile.cycles prog out)
+            | Error _ ->
+                let plan =
+                  Mira_core.Model_eval.plan model ~fname
+                    ~params:(vars @ List.map fst fixed)
+                in
+                let env = Array.make (List.length vars + List.length fixed) 0 in
+                List.iteri
+                  (fun i (_, v) -> env.(List.length vars + i) <- v)
+                  fixed;
+                let out = Array.make (Array.length mns) 0.0 in
+                fun args ->
+                  Array.blit args 0 env 0 (Array.length args);
+                  Mira_core.Model_eval.run_plan_into plan env out;
+                  let cycles = ref 0.0 in
+                  Array.iteri
+                    (fun i mn ->
+                      cycles :=
+                        !cycles
+                        +. (out.(i)
+                           *. Mira_arch.Archdesc.cost_of_mnemonic arch mn))
+                    mns;
+                  (out, !cycles)
+        in
+        let buf = Buffer.create 4096 in
+        let sep = ref "" in
+        (match fmt with
+        | `Csv ->
+            Buffer.add_string buf "arch";
+            List.iter (fun v -> Printf.bprintf buf ",%s" v) vars;
+            Array.iter (fun mn -> Printf.bprintf buf ",%s" mn) mns;
+            Buffer.add_string buf ",total,fpi,cycles,seconds\n"
+        | `Json -> Buffer.add_string buf "[\n");
+        let emit_row (arch : Mira_arch.Archdesc.t) args (out : float array)
+            cycles =
+          let total = Array.fold_left ( +. ) 0.0 out in
+          let fpi = ref 0.0 in
+          Array.iteri (fun i v -> if fp.(i) then fpi := !fpi +. v) out;
+          let seconds = cycles /. (arch.clock_ghz *. 1e9) in
+          match fmt with
+          | `Csv ->
+              Buffer.add_string buf arch.name;
+              Array.iter (fun v -> Printf.bprintf buf ",%d" v) args;
+              Array.iter (fun v -> Printf.bprintf buf ",%.12g" v) out;
+              Printf.bprintf buf ",%.12g,%.12g,%.12g,%.6e\n" total !fpi
+                cycles seconds
+          | `Json ->
+              Printf.bprintf buf "%s  { \"arch\": \"%s\"" !sep arch.name;
+              sep := ",\n";
+              List.iteri
+                (fun i v -> Printf.bprintf buf ", \"%s\": %d" v args.(i))
+                vars;
+              Array.iteri
+                (fun i mn -> Printf.bprintf buf ", \"%s\": %.12g" mn out.(i))
+                mns;
+              Printf.bprintf buf
+                ", \"total\": %.12g, \"fpi\": %.12g, \"cycles\": %.12g, \
+                 \"seconds\": %.6e }"
+                total !fpi cycles seconds
+        in
+        List.iter
+          (fun arch ->
+            let eval = eval_row arch in
+            let n = Array.length axes in
+            let idx = Array.make n 0 in
+            let args = Array.make n 0 in
+            let rec next () =
+              Array.iteri (fun i ax -> args.(i) <- ax.(idx.(i))) axes;
+              let out, cycles = eval args in
+              emit_row arch args out cycles;
+              (* odometer: last axis fastest *)
+              let rec carry i =
+                if i >= 0 then begin
+                  idx.(i) <- idx.(i) + 1;
+                  if idx.(i) >= Array.length axes.(i) then begin
+                    idx.(i) <- 0;
+                    carry (i - 1)
+                  end
+                  else next ()
+                end
+              in
+              carry (n - 1)
+            in
+            next ())
+          archs;
+        if fmt = `Json then Buffer.add_string buf "\n]\n";
+        match out with
+        | "-" -> print_string (Buffer.contents buf)
+        | path ->
+            write_file path (Buffer.contents buf);
+            Printf.eprintf "dataset: wrote %s\n" path)
+  in
+  let fname =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "f"; "function" ] ~docv:"FN"
+          ~doc:"Function to sweep (mangled name).")
+  in
+  let sweeps =
+    Arg.(
+      value & opt_all sweep_conv []
+      & info [ "sweep" ] ~docv:"NAME=RANGE"
+          ~doc:
+            "Grid axis: $(i,name=lo:hi), $(i,name=lo:hi:step) or \
+             $(i,name=v1,v2,...) (repeatable; row order sweeps the last \
+             axis fastest).")
+  in
+  let archs =
+    Arg.(
+      value & opt_all arch_conv []
+      & info [ "arch" ] ~docv:"ARCH"
+          ~doc:
+            "Architecture(s) to include, one row block each (repeatable; \
+             default arya).")
+  in
+  let fmt =
+    Arg.(
+      value
+      & opt (enum [ ("csv", `Csv); ("json", `Json) ]) `Csv
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: csv or json.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output file ($(i,-) for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "dataset"
+       ~doc:
+         "Sweep a function's model over parameter grids and architectures \
+          and emit a training-ready table (one row per grid point per \
+          arch: parameters, per-mnemonic counts, total, FPI, predicted \
+          cycles and seconds).  Sweeps run on the compiled evaluator \
+          (see README \"Compiled evaluation\"); models without a closed \
+          form fall back to the interpreter.")
+    Term.(
+      const run $ file_arg $ fname $ sweeps $ params_arg $ archs $ level_arg
+      $ fmt $ out)
+
+(* ---------- bench-eval ---------- *)
+
+let bench_eval_cmd =
+  let run smoke json_path label =
+    handle_errors (fun () ->
+        let corpus name =
+          match Mira_corpus.Corpus.find name with
+          | Some s -> s
+          | None -> failwith ("no corpus program " ^ name)
+        in
+        (* one target per kernel shape: a streaming loop, a chained
+           callee, and three nests of increasing polynomial degree *)
+        let hi full = if smoke then 100 else full in
+        let targets =
+          [
+            ("stream", "stream_triad", "n", 1, hi 100_000, []);
+            ("saxpy", "saxpy_chain", "n", 1, hi 100_000, [ ("reps", 8) ]);
+            ("dgemm", "dgemm", "n", 1, hi 10_000, []);
+            ("jacobi2d", "jacobi2d", "n", 4, hi 10_000, [ ("tsteps", 10) ]);
+            ("lu", "lu", "n", 2, hi 10_000, []);
+          ]
+        in
+        let min_time_s = if smoke then 0.02 else 0.5 in
+        let results =
+          List.map
+            (fun (name, fname, sweep, lo, hi, fixed) ->
+              let r =
+                Mira_core.Bench_eval.run ~min_time_s
+                  {
+                    Mira_core.Bench_eval.tg_label = name;
+                    tg_source_name = name;
+                    tg_source = corpus name;
+                    tg_fname = fname;
+                    tg_sweep = sweep;
+                    tg_lo = lo;
+                    tg_hi = hi;
+                    tg_fixed = fixed;
+                  }
+              in
+              Printf.eprintf
+                "bench-eval: %-10s %-12s %8.1f ns/eval interpreted, %7.1f \
+                 ns/eval planned, %6.2f ns/eval compiled (%.1fM evals/s, \
+                 %.0fx vs interpreter, %.0fx vs plan)\n\
+                 %!"
+                name fname r.Mira_core.Bench_eval.br_legacy_ns r.br_plan_ns
+                r.br_compiled_ns
+                (r.br_compiled_eps /. 1e6)
+                r.br_speedup_vs_legacy r.br_speedup_vs_plan;
+              r)
+            targets
+        in
+        let geomean f =
+          exp
+            (List.fold_left (fun a r -> a +. log (f r)) 0.0 results
+            /. float_of_int (List.length results))
+        in
+        let gm_legacy =
+          geomean (fun r -> r.Mira_core.Bench_eval.br_speedup_vs_legacy)
+        in
+        let gm_plan =
+          geomean (fun r -> r.Mira_core.Bench_eval.br_speedup_vs_plan)
+        in
+        let peak =
+          List.fold_left
+            (fun a r -> Float.max a r.Mira_core.Bench_eval.br_compiled_eps)
+            0.0 results
+        in
+        Printf.eprintf
+          "bench-eval: geomean speedup %.0fx vs interpreter, %.0fx vs \
+           plan; peak %.1fM evals/s\n\
+           %!"
+          gm_legacy gm_plan (peak /. 1e6);
+        match json_path with
+        | None -> ()
+        | Some path ->
+            let b = Buffer.create 2048 in
+            Buffer.add_string b "{\n";
+            Buffer.add_string b "  \"bench\": \"eval\",\n";
+            Printf.bprintf b "  \"label\": \"%s\",\n" label;
+            Buffer.add_string b "  \"targets\": [\n";
+            List.iteri
+              (fun i (r : Mira_core.Bench_eval.result) ->
+                Printf.bprintf b
+                  "    { \"label\": \"%s\", \"function\": \"%s\", \
+                   \"points\": %d, \"interpreted_ns_per_eval\": %.2f, \
+                   \"plan_ns_per_eval\": %.2f, \"compiled_ns_per_eval\": \
+                   %.3f, \"compiled_evals_per_s\": %.0f, \
+                   \"speedup_vs_interpreted\": %.1f, \"speedup_vs_plan\": \
+                   %.1f, \"prog_ops\": %d, \"max_rel_err\": %.3g }%s\n"
+                  r.br_label r.br_fname r.br_points r.br_legacy_ns
+                  r.br_plan_ns r.br_compiled_ns r.br_compiled_eps
+                  r.br_speedup_vs_legacy r.br_speedup_vs_plan r.br_prog_ops
+                  r.br_max_rel_err
+                  (if i = List.length results - 1 then "" else ","))
+              results;
+            Buffer.add_string b "  ],\n";
+            Printf.bprintf b "  \"geomean_speedup_vs_interpreted\": %.1f,\n"
+              gm_legacy;
+            Printf.bprintf b "  \"geomean_speedup_vs_plan\": %.1f,\n" gm_plan;
+            Printf.bprintf b "  \"peak_compiled_evals_per_s\": %.0f\n" peak;
+            Buffer.add_string b "}\n";
+            if path = "-" then print_string (Buffer.contents b)
+            else begin
+              write_file path (Buffer.contents b);
+              Printf.eprintf "bench-eval: wrote %s\n" path
+            end)
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Tiny sweeps and timing windows: proves the harness runs, \
+             cross-checks compiled against interpreted, emits valid JSON.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write results as JSON ($(i,-) for stdout).")
+  in
+  let label =
+    Arg.(
+      value & opt string "current"
+      & info [ "label" ] ~docv:"NAME"
+          ~doc:"Implementation label recorded in the JSON.")
+  in
+  Cmd.v
+    (Cmd.info "bench-eval"
+       ~doc:
+         "Benchmark the evaluation tiers on corpus kernels: one-shot \
+          interpretation vs a reusable interpreter plan vs the compiled \
+          register program (see README \"Compiled evaluation\").  Each \
+          target is cross-checked against the interpreter before timing; \
+          BENCH_eval.json records the numbers.")
+    Term.(const run $ smoke $ json $ label)
+
 (* ---------- arch ---------- *)
 
 let arch_cmd =
@@ -1593,5 +1955,5 @@ let () =
             parse_cmd; dot_cmd; compile_cmd; disasm_cmd; analyze_cmd; eval_cmd;
             predict_cmd; profile_cmd; coverage_cmd; validate_cmd; batch_cmd;
             cache_cmd; serve_cmd; client_cmd; eval_sweep_cmd; bench_serve_cmd;
-            corpus_dump_cmd; arch_cmd;
+            dataset_cmd; bench_eval_cmd; corpus_dump_cmd; arch_cmd;
           ]))

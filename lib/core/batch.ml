@@ -292,6 +292,8 @@ let create_cache ?(capacity = 512) ?dir () =
     c_fn_fresh = Atomic.make 0;
   }
 
+let cache_dir c = c.c_dir
+
 type cache_health = {
   h_corrupt : int;
   h_io_retries : int;

@@ -103,6 +103,11 @@ val create_cache : ?capacity:int -> ?dir:string -> unit -> cache
     existing directory now (under the directory lock — see
     {!lock_file_name}). *)
 
+val cache_dir : cache -> string option
+(** The disk tier's directory, when one was given — other per-model
+    caches (e.g. {!Model_compile.cache}) co-locate their entries
+    there. *)
+
 val lock_file_name : string
 (** Name of the advisory lock file ([".lock"]) kept inside a disk
     cache directory.  Writers hold a shared [Unix.lockf] lock on it

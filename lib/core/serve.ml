@@ -602,6 +602,9 @@ type server_stats = {
   sv_cache_corrupt : int;
   sv_io_retries : int;
   sv_io_failures : int;
+  sv_compile_hits : int;
+  sv_compile_misses : int;
+  sv_compile_fallbacks : int;
 }
 
 let stats_fields s =
@@ -624,6 +627,17 @@ let stats_fields s =
     ("io-retries", string_of_int s.sv_io_retries);
     ("io-failures", string_of_int s.sv_io_failures);
   ]
+(* the compiled-evaluator counters ride as response header fields, not
+   body lines: the body's key list is pinned wire shape
+   (docs/PROTOCOL.md, test_protocol) and pre-compile pollers must keep
+   parsing it byte-for-byte *)
+
+let compile_fields s =
+  [
+    ("compile-hits", string_of_int s.sv_compile_hits);
+    ("compile-misses", string_of_int s.sv_compile_misses);
+    ("compile-fallbacks", string_of_int s.sv_compile_fallbacks);
+  ]
 
 (* ---------- the server ---------- *)
 
@@ -643,6 +657,10 @@ type t = {
   (* accumulated Batch.stats over served requests *)
   t_batch_mu : Mutex.t;
   mutable t_batch : Batch.stats option;
+  (* compiled evaluators, shared across workers and requests: eval and
+     sweep bindings with the same (model, function, parameter-name
+     set) re-run one program instead of re-walking the model *)
+  t_compile : Model_compile.cache;
 }
 
 let add_batch_stats t (s : Batch.stats) =
@@ -675,6 +693,7 @@ let stats t =
     b
   in
   let bf f = match b with None -> 0 | Some s -> f s in
+  let cs = Model_compile.stats t.t_compile in
   {
     sv_uptime_ms =
       int_of_float ((Unix.gettimeofday () -. t.t_start) *. 1000.0);
@@ -694,6 +713,9 @@ let stats t =
     sv_cache_corrupt = bf (fun s -> s.Batch.st_cache_corrupt);
     sv_io_retries = bf (fun s -> s.Batch.st_io_retries);
     sv_io_failures = bf (fun s -> s.Batch.st_io_failures);
+    sv_compile_hits = cs.Model_compile.hits;
+    sv_compile_misses = cs.Model_compile.misses;
+    sv_compile_fallbacks = cs.Model_compile.fallbacks;
   }
 
 let create cfg =
@@ -735,6 +757,12 @@ let create cfg =
     t_proto_err = Atomic.make 0;
     t_batch_mu = Mutex.create ();
     t_batch = None;
+    t_compile =
+      (* share the analysis cache's directory so compiled programs
+         survive restarts alongside the models they derive from *)
+      Model_compile.create_cache ~capacity:256
+        ?dir:(Option.bind cfg.cfg_cache Batch.cache_dir)
+        ();
   }
 
 let bound_endpoints t = List.map snd t.t_listen
@@ -796,6 +824,21 @@ let handle_analyze t ~limits ~name ~source =
               a.a_warnings)
         ~body:a.a_python ()
 
+(* Evaluate through the compiled-program cache: one compilation per
+   (model, function, parameter-name set), so a sweep's bindings all
+   re-run the same program.  Models the partial evaluator rejects are
+   answered by the interpreter; results agree to float tolerance and
+   the response wire format is identical either way. *)
+let eval_counts t (a : Batch.analysis) ~fname ~params =
+  let sweep = List.sort_uniq compare (List.map fst params) in
+  match
+    Model_compile.get t.t_compile
+      ~digest:(Digest.string a.a_python)
+      ~model:a.a_model ~fname ~sweep ~fixed:[] ()
+  with
+  | Ok prog -> Model_compile.eval prog ~env:params
+  | Error _ -> Model_eval.eval a.a_model ~fname ~env:params
+
 let handle_eval t ~limits ~name ~source ~fname ~params =
   match analyze_source t ~name ~source ~limits with
   | Error d -> diag_response d
@@ -804,7 +847,7 @@ let handle_eval t ~limits ~name ~source ~fname ~params =
          it the same budget the analysis ran under *)
       match
         Limits.Budget.install (Limits.budget limits) (fun () ->
-            Model_eval.eval a.a_model ~fname ~env:params)
+            eval_counts t a ~fname ~params)
       with
       | counts ->
           let buf = Buffer.create 256 in
@@ -844,7 +887,11 @@ let handle_request t ~transport ~limits req =
       in
       (* protocol introspection: a pool can refuse a mismatched daemon
          with a clear diagnostic instead of a decode error *)
-      ( ok ~fields:[ ("proto", proto); ("transport", transport) ] ~body (),
+      ( ok
+          ~fields:
+            ([ ("proto", proto); ("transport", transport) ]
+            @ compile_fields s)
+          ~body (),
         `Continue )
   | Shutdown ->
       (ok ~fields:[ ("stopping", "1") ] (), `Stop)

@@ -223,6 +223,13 @@ type server_stats = {
   sv_cache_corrupt : int;
   sv_io_retries : int;
   sv_io_failures : int;
+  (* the compiled-evaluator cache (see {!Model_compile}): eval and
+     sweep requests compile each (model, function, parameter-name set)
+     once and re-run the program per binding *)
+  sv_compile_hits : int;
+  sv_compile_misses : int;
+  sv_compile_fallbacks : int;
+      (** evals answered by the interpreter (model not compilable) *)
 }
 
 val stats_fields : server_stats -> (string * string) list
