@@ -622,6 +622,19 @@ module Opts = struct
              $(i,id=), answered possibly out of order, and re-associated by \
              the tag.")
 
+  let no_fsync =
+    Arg.(
+      value & flag
+      & info [ "no-fsync" ]
+          ~doc:
+            "Skip the fsync-before-rename durability protocol on cache \
+             publishes (benchmarking escape hatch): a machine crash can \
+             then leave a published cache name over torn bytes, detected \
+             and quarantined at next startup rather than prevented.")
+
+  let apply_fsync no_fsync =
+    if no_fsync then Mira_core.Batch.set_fsync false
+
   let auth_secret_file =
     Arg.(
       value & opt (some file) None
@@ -647,8 +660,10 @@ end
 (* ---------- batch ---------- *)
 
 let batch_cmd =
-  let run paths jobs cache no_incremental python level limits faults shard =
+  let run paths jobs cache no_incremental python level limits faults shard
+      no_fsync =
     handle_errors (fun () ->
+        Opts.apply_fsync no_fsync;
         let expanded =
           try Mira_core.Batch.expand_paths paths
           with Sys_error m ->
@@ -775,13 +790,14 @@ let batch_cmd =
           output is byte-identical for any --jobs and cache state).")
     Term.(
       const run $ paths $ jobs $ Opts.cache_term $ no_incremental $ python
-      $ level_arg $ Opts.limits_term $ Opts.faults $ shard)
+      $ level_arg $ Opts.limits_term $ Opts.faults $ shard $ Opts.no_fsync)
 
 (* ---------- cache ---------- *)
 
 let cache_merge_cmd =
-  let run dst srcs =
+  let run dst srcs no_fsync =
     handle_errors (fun () ->
+        Opts.apply_fsync no_fsync;
         let st = Mira_core.Batch.merge_dirs ~dst srcs in
         Printf.printf
           "cache merge: %d entries scanned, %d copied, %d already present, \
@@ -813,7 +829,7 @@ let cache_merge_cmd =
           concurrently.  A batch over the union of sharded inputs then \
           runs entirely warm against DST.  Exit 3 only on I/O failure; \
           corrupt source entries are counted and skipped.")
-    Term.(const run $ dst $ srcs)
+    Term.(const run $ dst $ srcs $ Opts.no_fsync)
 
 let cache_cmd =
   Cmd.group
@@ -827,8 +843,9 @@ let cache_cmd =
 let serve_cmd =
   let run endpoints max_inflight max_pipeline max_frame_bytes idle_timeout_ms
       drain_ms workers cache no_incremental level limits faults
-      auth_secret_file =
+      auth_secret_file no_fsync =
     handle_errors (fun () ->
+        Opts.apply_fsync no_fsync;
         let cfg =
           {
             (Mira_core.Serve.default_config_endpoints ~endpoints) with
@@ -936,7 +953,7 @@ let serve_cmd =
       const run $ Opts.endpoints_term $ max_inflight $ max_pipeline
       $ max_frame_bytes $ idle_timeout_ms $ drain_ms $ workers
       $ Opts.cache_term $ no_incremental $ level_arg $ Opts.limits_term
-      $ Opts.faults $ Opts.auth_secret_file)
+      $ Opts.faults $ Opts.auth_secret_file $ Opts.no_fsync)
 
 (* shared response rendering for the pooled clients: print one response
    (body to stdout, diagnostics to stderr) and return its exit code *)
@@ -967,7 +984,18 @@ let render_response = function
            else
              match Mira_core.Serve.field resp "pong" with
              | Some _ -> print_endline "pong"
-             | None -> print_endline "ok");
+             | None -> (
+                 match Mira_core.Serve.field resp "state" with
+                 | Some _ ->
+                     (* a health response: its payload is all fields *)
+                     List.iter
+                       (fun k ->
+                         match Mira_core.Serve.field resp k with
+                         | Some v -> Printf.printf "%s=%s\n" k v
+                         | None -> ())
+                       [ "state"; "inflight"; "max-inflight"; "workers";
+                         "served"; "failed" ]
+                 | None -> print_endline "ok"));
           0
       | "overloaded" ->
           Printf.eprintf "error: server overloaded, retry later\n";
@@ -1002,6 +1030,7 @@ let client_cmd =
           match verb with
           | "ping" -> Mira_core.Serve.Ping
           | "stats" -> Mira_core.Serve.Stats
+          | "health" -> Mira_core.Serve.Health
           | "shutdown" -> Mira_core.Serve.Shutdown
           | "analyze" ->
               let f = need_file () in
@@ -1028,8 +1057,8 @@ let client_cmd =
                     })
           | other ->
               Printf.eprintf
-                "error: unknown request %S (ping, stats, analyze, eval, \
-                 shutdown)\n"
+                "error: unknown request %S (ping, stats, health, analyze, \
+                 eval, shutdown)\n"
                 other;
               exit 124
         in
@@ -1053,7 +1082,7 @@ let client_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"REQUEST"
-          ~doc:"One of ping, stats, analyze, eval, shutdown.")
+          ~doc:"One of ping, stats, health, analyze, eval, shutdown.")
   in
   let file =
     Arg.(
@@ -1088,6 +1117,19 @@ let eval_sweep_cmd =
           Printf.eprintf "error: %s:%d: %s\n" sweep_file ln msg;
           exit 124
         in
+        (* --pipeline is accepted for compatibility: daemon-side sweep
+           scheduling supersedes client-side pipelining (a whole chunk
+           travels in one frame and the daemon parallelizes it).  Warn
+           before touching the sweep file so even a run that dies on a
+           usage error learns the flag is dead. *)
+        (match pipeline with
+        | Some n ->
+            Printf.eprintf
+              "warning: --pipeline %d is deprecated and ignored by \
+               eval-sweep; sweeps travel in whole chunks that each daemon \
+               schedules internally — use --chunk to size them\n%!"
+              n
+        | None -> ());
         (* one spec line per evaluation: FILE FUNCTION [name=value ...] *)
         let specs =
           let ln = ref 0 in
@@ -1149,10 +1191,6 @@ let eval_sweep_cmd =
               Hashtbl.add sources f s;
               s
         in
-        (* --pipeline is accepted for compatibility: daemon-side sweep
-           scheduling supersedes client-side pipelining (a whole chunk
-           travels in one frame and the daemon parallelizes it) *)
-        ignore (pipeline : int);
         (* sweep-frame source names are single tokens, and the
            coordinator requires one name = one text: sanitize the
            basename and disambiguate collisions with a #N suffix *)
@@ -1306,6 +1344,16 @@ let eval_sweep_cmd =
             "Consecutive no-progress dispatch failures before an endpoint \
              is retired (any completed evaluation resets the count).")
   in
+  let pipeline_deprecated =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pipeline" ] ~docv:"K"
+          ~doc:
+            "Deprecated and ignored: sweeps travel in whole chunks that \
+             each daemon schedules internally.  Use $(b,--chunk) to size \
+             them.")
+  in
   Cmd.v
     (Cmd.info "eval-sweep"
        ~doc:
@@ -1320,9 +1368,163 @@ let eval_sweep_cmd =
           daemon (the unanswered ones are named on stderr), else 2 on any \
           budget/timeout overrun, else 1 on any analysis failure.")
     Term.(
-      const run $ sweep_file $ Opts.endpoints_term $ Opts.pipeline $ chunk
-      $ heartbeat_ms $ chunk_deadline_ms $ dispatch_retries $ Opts.budget_term
-      $ Opts.auth_secret_file)
+      const run $ sweep_file $ Opts.endpoints_term $ pipeline_deprecated
+      $ chunk $ heartbeat_ms $ chunk_deadline_ms $ dispatch_retries
+      $ Opts.budget_term $ Opts.auth_secret_file)
+
+(* ---------- supervise ---------- *)
+
+let supervise_cmd =
+  let run endpoints serve_args probe_interval_ms wedge_timeout_ms
+      backoff_base_ms backoff_max_ms storm_failures storm_window_s grace_ms
+      seed =
+    handle_errors (fun () ->
+        (* the supervisor probes each child at its configured endpoint, so
+           a tcp:HOST:0 child would advertise a port only on its own
+           stdout — unprobeable.  Demand concrete addresses. *)
+        List.iter
+          (fun ep ->
+            match ep with
+            | Mira_core.Endpoint.Tcp (_, 0) ->
+                Printf.eprintf
+                  "error: supervise needs a concrete endpoint to probe; \
+                   tcp port 0 is assigned by the OS inside the child\n";
+                exit 124
+            | _ -> ())
+          endpoints;
+        let exe = Sys.executable_name in
+        let children =
+          List.mapi
+            (fun i ep ->
+              {
+                Mira_core.Supervisor.cs_name = Printf.sprintf "serve-%d" i;
+                cs_argv =
+                  Array.of_list
+                    (exe :: "serve" :: "--endpoint"
+                    :: Mira_core.Endpoint.to_string ep
+                    :: serve_args);
+                cs_endpoint = ep;
+              })
+            endpoints
+        in
+        let cfg =
+          {
+            (Mira_core.Supervisor.default_config ~children) with
+            sp_probe_interval_ms = max 50 probe_interval_ms;
+            sp_wedge_timeout_ms = max 1 wedge_timeout_ms;
+            sp_backoff_base_ms = max 1 backoff_base_ms;
+            sp_backoff_max_ms = max backoff_base_ms backoff_max_ms;
+            sp_storm_failures = max 1 storm_failures;
+            sp_storm_window_s = storm_window_s;
+            sp_grace_ms = max 0 grace_ms;
+            sp_seed = seed;
+          }
+        in
+        let sup = Mira_core.Supervisor.create cfg in
+        List.iter
+          (fun s ->
+            Sys.set_signal s
+              (Sys.Signal_handle (fun _ -> Mira_core.Supervisor.stop sup)))
+          [ Sys.sigterm; Sys.sigint ];
+        let outcome = Mira_core.Supervisor.run sup in
+        let st = Mira_core.Supervisor.stats sup in
+        Printf.printf
+          "mira supervise: %d spawn(s), %d restart(s), %d wedge kill(s)\n"
+          st.Mira_core.Supervisor.su_spawns st.su_restarts st.su_wedge_kills;
+        match outcome with
+        | Mira_core.Supervisor.Drained -> ()
+        | Mira_core.Supervisor.Storm name ->
+            Printf.eprintf
+              "error: child %s kept failing (restart storm); fleet drained\n"
+              name;
+            exit exit_internal)
+  in
+  let serve_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "serve-arg" ] ~docv:"ARG"
+          ~doc:
+            "Extra argument appended to every child's $(b,mira serve) \
+             command line (repeatable, in order) — e.g. \
+             $(b,--serve-arg=--workers --serve-arg=4).")
+  in
+  let probe_interval_ms =
+    Arg.(
+      value & opt int 300
+      & info [ "probe-interval-ms" ] ~docv:"MS"
+          ~doc:
+            "Readiness poll period: each child's $(i,health) verb is \
+             probed this often (also the probe's I/O timeout).")
+  in
+  let wedge_timeout_ms =
+    Arg.(
+      value & opt int 10_000
+      & info [ "wedge-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "A child that runs but stays unready — answering \
+             $(i,starting) forever, or not answering at all — this long \
+             is SIGKILLed and restarted.")
+  in
+  let backoff_base_ms =
+    Arg.(
+      value & opt int 200
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Restart backoff base, doubling per consecutive failure (plus \
+             deterministic jitter, see $(b,--seed)).")
+  in
+  let backoff_max_ms =
+    Arg.(
+      value & opt int 5_000
+      & info [ "backoff-max-ms" ] ~docv:"MS" ~doc:"Restart backoff cap.")
+  in
+  let storm_failures =
+    Arg.(
+      value & opt int 5
+      & info [ "storm-failures" ] ~docv:"N"
+          ~doc:
+            "Restart-storm breaker: this many failures of the same child \
+             inside $(b,--storm-window-s) means it can not come up; the \
+             fleet is drained and supervise exits 3.")
+  in
+  let storm_window_s =
+    Arg.(
+      value & opt float 30.0
+      & info [ "storm-window-s" ] ~docv:"S"
+          ~doc:"Window for $(b,--storm-failures).")
+  in
+  let grace_ms =
+    Arg.(
+      value & opt int 5_000
+      & info [ "grace-ms" ] ~docv:"MS"
+          ~doc:
+            "Shutdown drain deadline: SIGTERM fans out to the fleet, and \
+             a child still running after this long is SIGKILLed.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Jitter seed: restart delays are jittered by a hash of \
+             (seed, child, attempt), so a chaos run replays the same \
+             restart timeline for the same seed.")
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:
+         "Run a self-healing fleet of $(b,mira serve) daemons: fork one \
+          child per $(b,--endpoint), watch liveness (process exit) and \
+          readiness (the $(i,health) verb), and restart whatever crashes \
+          or wedges — exponential backoff with deterministic jitter, a \
+          per-child restart-storm breaker (exit 3), and SIGTERM fan-out \
+          drain on shutdown.  Pair with $(b,mira eval-sweep) against the \
+          same endpoints: a daemon killed mid-sweep is restarted here and \
+          rejoins the running sweep on the client side.")
+    Term.(
+      const run $ Opts.endpoints_term $ serve_args $ probe_interval_ms
+      $ wedge_timeout_ms $ backoff_base_ms $ backoff_max_ms $ storm_failures
+      $ storm_window_s $ grace_ms $ seed)
 
 (* ---------- corpus-dump ---------- *)
 
@@ -1954,6 +2156,7 @@ let () =
           [
             parse_cmd; dot_cmd; compile_cmd; disasm_cmd; analyze_cmd; eval_cmd;
             predict_cmd; profile_cmd; coverage_cmd; validate_cmd; batch_cmd;
-            cache_cmd; serve_cmd; client_cmd; eval_sweep_cmd; bench_serve_cmd;
-            dataset_cmd; bench_eval_cmd; corpus_dump_cmd; arch_cmd;
+            cache_cmd; serve_cmd; supervise_cmd; client_cmd; eval_sweep_cmd;
+            bench_serve_cmd; dataset_cmd; bench_eval_cmd; corpus_dump_cmd;
+            arch_cmd;
           ]))

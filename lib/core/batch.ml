@@ -124,11 +124,18 @@ type cache = {
 
 let is_tmp_name f =
   (* entries are published as <digest>.model; anything still carrying a
-     .tmp. infix is an orphan from an interrupted writer *)
-  let rec find_sub i =
-    i + 5 <= String.length f && (String.sub f i 5 = ".tmp." || find_sub (i + 1))
+     .tmp. infix is an orphan from an interrupted writer.  The .ptmp.
+     infix is Model_compile's prog-tier temporary: distinct so its
+     writers are recognizable, but swept here all the same — a crashed
+     compile must not leak temp blobs forever *)
+  let has sub =
+    let n = String.length sub in
+    let rec find i =
+      i + n <= String.length f && (String.sub f i n = sub || find (i + 1))
+    in
+    find 0
   in
-  find_sub 0
+  has ".tmp." || has ".ptmp."
 
 (* ---------- cross-process cache locking ----------
 
@@ -273,25 +280,6 @@ let sweep_orphans dir =
 let sweep_orphans_locked dir =
   ignore (with_dir_lock dir (fun () -> sweep_orphans dir))
 
-let create_cache ?(capacity = 512) ?dir () =
-  (match dir with
-  | Some d when Sys.file_exists d -> sweep_orphans_locked d
-  | _ -> ());
-  {
-    c_lock = Mutex.create ();
-    c_mem = Hashtbl.create 64;
-    c_fn_mem = Hashtbl.create 256;
-    c_capacity = max 1 capacity;
-    c_tick = 0;
-    c_dir = dir;
-    c_corrupt = Atomic.make 0;
-    c_retries = Atomic.make 0;
-    c_io_fail = Atomic.make 0;
-    c_fn_mem_hits = Atomic.make 0;
-    c_fn_disk_hits = Atomic.make 0;
-    c_fn_fresh = Atomic.make 0;
-  }
-
 let cache_dir c = c.c_dir
 
 type cache_health = {
@@ -393,6 +381,64 @@ let decode_fn_payload data : Metric_gen.part =
   | p -> p
   | exception _ -> raise (Corrupt_entry "undecodable payload")
 
+(* ---------- durable publish ----------
+
+   tmp+rename is atomic against concurrent readers but not against
+   machine crashes: without fsync the rename can reach disk before the
+   temporary's data blocks, so a crash leaves a {e published} name with
+   torn contents.  Every cache tier (file [.model], function
+   [.fnmodel], compiled-program [.prog]) publishes through this one
+   helper: write the temporary, fsync it, rename into place, then
+   fsync the directory so the new name itself survives the crash.
+   [set_fsync false] ([--no-fsync]) drops the fsyncs for benches,
+   leaving the checksum layer as the only defence.  The [crash] fault
+   site fires {e between} the steps, SIGKILLing the process exactly
+   where a real crash would bite; the chaos harness sweeps it through
+   hundreds of publishes and asserts the startup recovery scan leaves
+   nothing torn behind. *)
+
+let fsync_enabled = Atomic.make true
+let set_fsync on = Atomic.set fsync_enabled on
+
+(* directory fsync is best-effort: some filesystems refuse it, and a
+   lost directory entry is re-creatable (a cache miss), unlike torn
+   contents under a published name *)
+let fsync_dir dir =
+  if Atomic.get fsync_enabled then
+    match Unix.openfile dir [ O_RDONLY; O_CLOEXEC ] 0 with
+    | fd ->
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+    | exception (Unix.Unix_error _ | Sys_error _) -> ()
+
+let durable_publish ?(before_rename = ignore) ~subject ~tmp ~final data =
+  let crash point = Faults.maybe_crash ~subject:(subject ^ "@" ^ point) in
+  try
+    let fd =
+      Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let n = String.length data in
+        let off = ref 0 in
+        while !off < n do
+          off := !off + Unix.write_substring fd data !off (n - !off)
+        done;
+        crash "tmp-written";
+        if Atomic.get fsync_enabled then Unix.fsync fd;
+        crash "tmp-synced");
+    before_rename ();
+    Unix.rename tmp final;
+    crash "renamed";
+    fsync_dir (Filename.dirname final)
+  with Unix.Unix_error (e, fn, _) ->
+    (* callers speak Sys_error (retry loops, degrade-to-miss paths) *)
+    raise
+      (Sys_error (Printf.sprintf "%s %s: %s" fn tmp (Unix.error_message e)))
+
 (* ---------- retrying disk I/O ---------- *)
 
 let backoff_s attempt = 0.0005 *. (4.0 ** float_of_int attempt)
@@ -436,6 +482,83 @@ let file_suffix = ".model"
 let fn_suffix = ".fnmodel"
 
 let disk_path ~suffix dir k = Filename.concat dir (k ^ suffix)
+
+(* ---------- crash recovery ---------- *)
+
+type recovery_stats = { rc_scanned : int; rc_quarantined : int }
+
+let quarantine_suffix = ".quarantined"
+
+(* Startup recovery scan.  Even with durable publish, a cache written
+   by an older build, a --no-fsync run, or a filesystem that reorders
+   rename and data writes can survive a crash with a published name
+   over torn bytes.  Re-verify every entry's checksum and move the
+   torn ones aside to NAME.quarantined — kept for post-mortems,
+   invisible to every reader (wrong suffix) — so no consumer ever has
+   to trust a post-crash cache.  Unreadable files are left alone (the
+   read path degrades to a miss there anyway); an unobtainable lock
+   postpones the scan to the next startup, like the orphan sweep.
+   [entries] maps an entry suffix to its magic; the default covers the
+   two Batch tiers, and Model_compile passes its prog tier — all three
+   share the magic+checksum+body frame, so one scan serves them
+   all. *)
+let recover_dir ?entries dir =
+  let entries =
+    match entries with
+    | Some e -> e
+    | None -> [ (file_suffix, payload_magic); (fn_suffix, fn_magic) ]
+  in
+  let scanned = ref 0 and quarantined = ref 0 in
+  (match
+     with_dir_lock dir (fun () ->
+         match Sys.readdir dir with
+         | exception Sys_error _ -> ()
+         | names ->
+             Array.sort compare names;
+             Array.iter
+               (fun f ->
+                 if not (is_tmp_name f) then
+                   match
+                     List.find_opt
+                       (fun (suf, _) -> Filename.check_suffix f suf)
+                       entries
+                   with
+                   | None -> ()
+                   | Some (_, magic) -> (
+                       incr scanned;
+                       let path = Filename.concat dir f in
+                       match decode_blob ~magic (read_file path) with
+                       | _body -> ()
+                       | exception Corrupt_entry _ ->
+                           (try Sys.rename path (path ^ quarantine_suffix)
+                            with Sys_error _ -> ());
+                           incr quarantined
+                       | exception Sys_error _ -> ()))
+               names)
+   with
+  | Some () | None -> ());
+  { rc_scanned = !scanned; rc_quarantined = !quarantined }
+
+let create_cache ?(capacity = 512) ?dir () =
+  (match dir with
+  | Some d when Sys.file_exists d ->
+      sweep_orphans_locked d;
+      ignore (recover_dir d)
+  | _ -> ());
+  {
+    c_lock = Mutex.create ();
+    c_mem = Hashtbl.create 64;
+    c_fn_mem = Hashtbl.create 256;
+    c_capacity = max 1 capacity;
+    c_tick = 0;
+    c_dir = dir;
+    c_corrupt = Atomic.make 0;
+    c_retries = Atomic.make 0;
+    c_io_fail = Atomic.make 0;
+    c_fn_mem_hits = Atomic.make 0;
+    c_fn_disk_hits = Atomic.make 0;
+    c_fn_fresh = Atomic.make 0;
+  }
 
 (* a successful read refreshes the entry's mtime so {!gc_disk}'s
    LRU-by-mtime eviction spares hot entries *)
@@ -505,14 +628,13 @@ let disk_store_blob ~faults ~retries ~suffix c k full =
                 inject_io faults
                   ~p:(fun f -> f.Faults.write_p)
                   ~site:"disk_write" ~subject:k ~attempt;
-                let oc = open_out_bin tmp in
-                Fun.protect
-                  ~finally:(fun () -> close_out oc)
-                  (fun () -> output_string oc data);
-                inject_io faults
-                  ~p:(fun f -> f.Faults.rename_p)
-                  ~site:"rename" ~subject:k ~attempt;
-                Sys.rename tmp (disk_path ~suffix dir k)))
+                durable_publish ~subject:k ~tmp
+                  ~final:(disk_path ~suffix dir k)
+                  ~before_rename:(fun () ->
+                    inject_io faults
+                      ~p:(fun f -> f.Faults.rename_p)
+                      ~site:"rename" ~subject:k ~attempt)
+                  data))
       with
       | Some () -> ()
       | None | (exception Sys_error _) ->
@@ -665,11 +787,8 @@ let merge_dirs ~dst srcs =
                             in
                             match
                               with_dir_lock ~shared:true dst (fun () ->
-                                  let oc = open_out_bin tmp in
-                                  Fun.protect
-                                    ~finally:(fun () -> close_out oc)
-                                    (fun () -> output_string oc data);
-                                  Sys.rename tmp target)
+                                  durable_publish ~subject:f ~tmp
+                                    ~final:target data)
                             with
                             | Some () -> incr copied
                             | None | (exception Sys_error _) ->

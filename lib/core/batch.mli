@@ -99,9 +99,53 @@ val fn_cache_version : string
 val create_cache : ?capacity:int -> ?dir:string -> unit -> cache
 (** [capacity] bounds the in-memory LRU tier (default 512 entries).
     [dir] enables the on-disk tier; it is created on first write, and
-    orphaned [*.tmp.*] files from interrupted writers are swept from an
-    existing directory now (under the directory lock — see
-    {!lock_file_name}). *)
+    an existing directory gets the startup housekeeping now (under the
+    directory lock — see {!lock_file_name}): orphaned temporaries from
+    interrupted writers are swept ([*.tmp.*], and [*.ptmp.*] from the
+    {!Model_compile} prog tier), and the {!recover_dir} integrity scan
+    quarantines any entry a crash left torn. *)
+
+val set_fsync : bool -> unit
+(** Process-wide durability switch (default on).  When on, every cache
+    publish — all tiers — fsyncs the entry file before the
+    rename-publish and the directory after it, so a machine crash
+    cannot leave a published name over torn bytes.  [set_fsync false]
+    ([--no-fsync]) drops both fsyncs for benchmarking; the checksum
+    layer and {!recover_dir} then remain the only defence. *)
+
+val durable_publish :
+  ?before_rename:(unit -> unit) ->
+  subject:string ->
+  tmp:string ->
+  final:string ->
+  string ->
+  unit
+(** The one crash-consistent publish path shared by every cache tier
+    ([.model], [.fnmodel], and {!Model_compile}'s [.prog]): write
+    [data] to [tmp], fsync it, rename over [final], fsync the parent
+    directory (fsyncs subject to {!set_fsync}).  [before_rename] runs
+    between the file sync and the rename (fault-injection hook).  The
+    {!Faults.set_crash} site fires at seeded points between the steps
+    — subjects ["SUBJECT@tmp-written"], ["@tmp-synced"], ["@renamed"]
+    — SIGKILLing the process where a real crash would bite.  I/O
+    failures raise [Sys_error].  Callers are expected to hold the
+    shared directory lock. *)
+
+type recovery_stats = { rc_scanned : int; rc_quarantined : int }
+
+val quarantine_suffix : string
+(** [".quarantined"] — appended to a torn entry's name by
+    {!recover_dir}; no reader or sweeper matches the suffix, so
+    quarantined files are inert but kept for post-mortems. *)
+
+val recover_dir : ?entries:(string * string) list -> string -> recovery_stats
+(** Crash-recovery integrity scan over a cache directory: re-verify
+    the checksum of every published entry and rename torn ones to
+    [NAME ^ quarantine_suffix].  [entries] maps entry suffix to magic
+    and defaults to the two Batch tiers; {!Model_compile} adds its
+    prog tier.  Runs under the exclusive directory lock (a busy lock
+    postpones the scan); {!create_cache} runs it on every existing
+    directory it opens. *)
 
 val cache_dir : cache -> string option
 (** The disk tier's directory, when one was given — other per-model
@@ -118,6 +162,15 @@ val lock_file_name : string
     is always non-blocking with bounded retry; failure degrades —
     GC is skipped, a store is dropped — and never blocks or crashes
     a run. *)
+
+val with_dir_lock : ?shared:bool -> string -> (unit -> 'a) -> 'a option
+(** Run [f] holding the advisory directory lock ({!lock_file_name}) —
+    shared (default exclusive: [?shared] defaults to [false]) for a
+    writer's publish window, exclusive for sweep/GC-style passes.
+    Non-blocking with bounded retry; [None] means the lock could not
+    be taken and [f] never ran (callers degrade).  Used by
+    {!Model_compile} so its prog-tier publishes participate in the
+    same cross-process discipline. *)
 
 type cache_health = {
   h_corrupt : int;

@@ -201,11 +201,24 @@ let conn_request conn ~max_inflight ~deadline_ms req =
 
 (* ---------- the pool ---------- *)
 
+(* Per-endpoint circuit breaker.  Closed passes traffic and counts
+   consecutive failures; [trip_after] of them open the circuit for a
+   cooldown that doubles with each consecutive trip; once the cooldown
+   elapses exactly one caller is admitted as the half-open probe
+   (everyone else keeps skipping), and that probe's outcome either
+   closes the circuit (a revived daemon rejoins dispatch — counted in
+   [p_reopened]) or re-opens it with a longer cooldown.  This replaces
+   the old flat mark-down cooldown: a dead endpoint is skipped, not
+   periodically retried into by every caller at once. *)
+type breaker = Closed | Open of float  (* earliest half-open probe *) | Half_open
+
 type ep_state = {
   e_ep : Endpoint.t;
   e_mu : Mutex.t;
   mutable e_conn : conn option;
-  mutable e_down_until : float;
+  mutable e_breaker : breaker;
+  mutable e_fails : int;  (* consecutive failures while closed *)
+  mutable e_trips : int;  (* consecutive opens — scales the cooldown *)
 }
 
 type t = {
@@ -214,16 +227,33 @@ type t = {
   p_io_timeout_ms : int;
   p_max_inflight : int;
   p_retries : int;
+  p_hedge_ms : int;
   p_closed : bool Atomic.t;
   p_auth_secret : string option;
+  p_reopened : int Atomic.t;  (* half-open probes that closed the circuit *)
+  p_hedges : int Atomic.t;  (* hedge requests actually fired *)
+  p_hedge_wins : int Atomic.t;  (* answered by the hedge, not the primary *)
 }
 
-(* how long a failed endpoint sits out before dispatch tries it again;
-   reconnects still happen sooner when every endpoint is down *)
-let down_cooldown_s = 1.0
+type breaker_stats = {
+  bk_closed : int;
+  bk_open : int;
+  bk_half_open : int;
+  bk_reopened : int;
+  bk_hedges : int;
+  bk_hedge_wins : int;
+}
+
+let trip_after = 2
+let cooldown_base_s = 0.5
+let cooldown_max_s = 8.0
+
+let cooldown trips =
+  Float.min cooldown_max_s
+    (cooldown_base_s *. (2.0 ** float_of_int (min 8 (max 0 (trips - 1)))))
 
 let create ?(io_timeout_ms = 30_000) ?(max_inflight = 8) ?(retries = 2)
-    ?auth_secret eps =
+    ?(hedge_ms = 0) ?auth_secret eps =
   if eps = [] then invalid_arg "Client.create: no endpoints";
   {
     p_eps =
@@ -234,15 +264,41 @@ let create ?(io_timeout_ms = 30_000) ?(max_inflight = 8) ?(retries = 2)
                e_ep = ep;
                e_mu = Mutex.create ();
                e_conn = None;
-               e_down_until = 0.0;
+               e_breaker = Closed;
+               e_fails = 0;
+               e_trips = 0;
              })
            eps);
     p_rr = Atomic.make 0;
     p_io_timeout_ms = max 0 io_timeout_ms;
     p_max_inflight = max 1 max_inflight;
     p_retries = max 0 retries;
+    p_hedge_ms = max 0 hedge_ms;
     p_closed = Atomic.make false;
     p_auth_secret = auth_secret;
+    p_reopened = Atomic.make 0;
+    p_hedges = Atomic.make 0;
+    p_hedge_wins = Atomic.make 0;
+  }
+
+let breaker_stats t =
+  let closed = ref 0 and opened = ref 0 and half = ref 0 in
+  Array.iter
+    (fun st ->
+      Mutex.lock st.e_mu;
+      (match st.e_breaker with
+      | Closed -> incr closed
+      | Open _ -> incr opened
+      | Half_open -> incr half);
+      Mutex.unlock st.e_mu)
+    t.p_eps;
+  {
+    bk_closed = !closed;
+    bk_open = !opened;
+    bk_half_open = !half;
+    bk_reopened = Atomic.get t.p_reopened;
+    bk_hedges = Atomic.get t.p_hedges;
+    bk_hedge_wins = Atomic.get t.p_hedge_wins;
   }
 
 let endpoints t = Array.to_list (Array.map (fun s -> s.e_ep) t.p_eps)
@@ -252,7 +308,7 @@ let idempotent = function
   (* Sweep is side-effect-free on the daemon too, but this pool's
      one-response-per-request slots cannot carry its streamed frames:
      [request] refuses it and Coordinator owns the verb *)
-  | Serve.Ping | Serve.Stats | Serve.Analyze _ | Serve.Eval _
+  | Serve.Ping | Serve.Stats | Serve.Health | Serve.Analyze _ | Serve.Eval _
   | Serve.Sweep _ ->
       true
 
@@ -263,19 +319,58 @@ let drop_conn st =
   Mutex.unlock st.e_mu;
   match c with None -> () | Some c -> kill c "connection replaced"
 
-let mark_down st =
-  st.e_down_until <- Unix.gettimeofday () +. down_cooldown_s;
+let breaker_fail st =
+  Mutex.lock st.e_mu;
+  (match st.e_breaker with
+  | Half_open ->
+      (* the probe failed: back to open, longer cooldown *)
+      st.e_trips <- st.e_trips + 1;
+      st.e_breaker <- Open (Unix.gettimeofday () +. cooldown st.e_trips)
+  | Closed ->
+      st.e_fails <- st.e_fails + 1;
+      if st.e_fails >= trip_after then begin
+        st.e_trips <- st.e_trips + 1;
+        st.e_breaker <- Open (Unix.gettimeofday () +. cooldown st.e_trips)
+      end
+  | Open _ -> ());
+  Mutex.unlock st.e_mu;
   drop_conn st
 
-(* round-robin, health- and room-aware: prefer an up endpoint with
-   pipeline room, then any up endpoint, then the raw round-robin
-   choice (when everything is cooling down, trying beats failing) *)
+let breaker_ok t st =
+  Mutex.lock st.e_mu;
+  (match st.e_breaker with
+  | Closed -> st.e_fails <- 0
+  | Half_open | Open _ ->
+      (* the half-open probe succeeded (or a last-resort try against an
+         open circuit did): the daemon is back — e.g. just restarted by
+         a supervisor — so it rejoins dispatch *)
+      st.e_breaker <- Closed;
+      st.e_fails <- 0;
+      st.e_trips <- 0;
+      Atomic.incr t.p_reopened);
+  Mutex.unlock st.e_mu
+
+(* round-robin, breaker- and room-aware: a due half-open probe first
+   (it fires at most once per cooldown window, and skipping it while
+   healthy endpoints exist would strand a revived endpoint open
+   forever), then a closed-circuit endpoint with pipeline room, then
+   any closed one, then the raw round-robin choice (when every
+   circuit is open, trying beats failing) *)
 let pick t =
   let n = Array.length t.p_eps in
   let start = Atomic.fetch_and_add t.p_rr 1 in
   let at i = t.p_eps.((start + i) mod n) in
   let now = Unix.gettimeofday () in
-  let up st = st.e_down_until <= now in
+  let state st =
+    Mutex.lock st.e_mu;
+    let b = st.e_breaker in
+    Mutex.unlock st.e_mu;
+    b
+  in
+  let closed st = state st = Closed in
+  let probe_due st =
+    match state st with Open until -> now >= until | Closed | Half_open -> false
+  in
   let room st =
     match st.e_conn with
     | Some c -> c.c_dead = None && c.c_inflight < t.p_max_inflight
@@ -285,10 +380,27 @@ let pick t =
     let st = at i in
     if pred st then Some st else scan (i + 1) pred
   in
-  match scan 0 (fun st -> up st && room st) with
-  | Some st -> st
-  | None -> (
-      match scan 0 up with Some st -> st | None -> at 0)
+  let claim_probe st =
+    (* claim the single probe slot; a racing picker that saw the same
+       expiry loses here and skips the endpoint *)
+    Mutex.lock st.e_mu;
+    let won =
+      match st.e_breaker with
+      | Open until when now >= until ->
+          st.e_breaker <- Half_open;
+          true
+      | Closed | Open _ | Half_open -> false
+    in
+    Mutex.unlock st.e_mu;
+    won
+  in
+  match scan 0 probe_due with
+  | Some st when claim_probe st -> st
+  | Some _ | None -> (
+      match scan 0 (fun st -> closed st && room st) with
+      | Some st -> st
+      | None -> (
+          match scan 0 closed with Some st -> st | None -> at 0))
 
 let get_conn t st =
   Mutex.lock st.e_mu;
@@ -303,47 +415,102 @@ let get_conn t st =
               ?auth_secret:t.p_auth_secret st.e_ep
           in
           st.e_conn <- Some c;
-          st.e_down_until <- 0.0;
           c)
+
+let request_once ?deadline_ms t req =
+  let deadline_ms = Option.value deadline_ms ~default:t.p_io_timeout_ms in
+  let attempts = if idempotent req then 1 + t.p_retries else 1 in
+  let rec go attempt last_err =
+    if attempt >= attempts then Error last_err
+    else
+      let st = pick t in
+      let label m = Endpoint.to_string st.e_ep ^ ": " ^ m in
+      match get_conn t st with
+      | exception Unix.Unix_error (e, _, _) ->
+          breaker_fail st;
+          go (attempt + 1) (label ("connect: " ^ Unix.error_message e))
+      | exception Failure m ->
+          (* unresolvable host: no point hammering it *)
+          breaker_fail st;
+          go (attempt + 1) (label m)
+      | conn -> (
+          match
+            conn_request conn ~max_inflight:t.p_max_inflight ~deadline_ms
+              req
+          with
+          | Ok resp when resp.Serve.rs_status = "overloaded" ->
+              (* shed at accept: this daemon is saturated, move on —
+                 but surface the shed itself when attempts run out *)
+              breaker_fail st;
+              if idempotent req && attempt + 1 < attempts then
+                go (attempt + 1) (label "overloaded")
+              else Ok resp
+          | Ok resp ->
+              breaker_ok t st;
+              Ok resp
+          | Error m ->
+              breaker_fail st;
+              go (attempt + 1) (label m))
+  in
+  go 0 "no endpoints"
+
+(* Hedging: when the primary attempt has not answered after
+   [p_hedge_ms], fire one duplicate through the pool (round-robin
+   advances, so it lands on a different endpoint when one exists) and
+   take whichever answers first.  Only for idempotent requests — a
+   hedge is by construction a retry that may double-execute. *)
+let request_hedged ?deadline_ms t req =
+  let primary = Atomic.make None and hedge = Atomic.make None in
+  let run cell =
+    ignore
+      (Thread.create
+         (fun () ->
+           let r =
+             try request_once ?deadline_ms t req
+             with e -> Error (Printexc.to_string e)
+           in
+           Atomic.set cell (Some r))
+         ())
+  in
+  run primary;
+  let hedge_at =
+    Unix.gettimeofday () +. (float_of_int t.p_hedge_ms /. 1000.0)
+  in
+  let hedge_fired = ref false in
+  let rec wait n =
+    let rp = Atomic.get primary in
+    let rh = if !hedge_fired then Atomic.get hedge else None in
+    match (rp, rh) with
+    | Some (Ok resp), _ -> Ok resp
+    | _, Some (Ok resp) ->
+        Atomic.incr t.p_hedge_wins;
+        Ok resp
+    | Some (Error _ as e), None when not !hedge_fired ->
+        (* the primary already burned the retry budget; no hedge now *)
+        e
+    | Some (Error _ as e), Some (Error _) -> e
+    | _ ->
+        if
+          (not !hedge_fired)
+          && rp = None
+          && Unix.gettimeofday () >= hedge_at
+        then begin
+          hedge_fired := true;
+          Atomic.incr t.p_hedges;
+          run hedge
+        end;
+        backoff n;
+        wait (n + 1)
+  in
+  wait 0
 
 let request ?deadline_ms t req =
   if Atomic.get t.p_closed then Error "client pool is closed"
   else if match req with Serve.Sweep _ -> true | _ -> false then
     Error "sweep responses stream (one frame per binding); use Coordinator"
-  else
-    let deadline_ms = Option.value deadline_ms ~default:t.p_io_timeout_ms in
-    let attempts = if idempotent req then 1 + t.p_retries else 1 in
-    let rec go attempt last_err =
-      if attempt >= attempts then Error last_err
-      else
-        let st = pick t in
-        let label m = Endpoint.to_string st.e_ep ^ ": " ^ m in
-        match get_conn t st with
-        | exception Unix.Unix_error (e, _, _) ->
-            mark_down st;
-            go (attempt + 1) (label ("connect: " ^ Unix.error_message e))
-        | exception Failure m ->
-            (* unresolvable host: no point hammering it *)
-            mark_down st;
-            go (attempt + 1) (label m)
-        | conn -> (
-            match
-              conn_request conn ~max_inflight:t.p_max_inflight ~deadline_ms
-                req
-            with
-            | Ok resp when resp.Serve.rs_status = "overloaded" ->
-                (* shed at accept: this daemon is saturated, move on —
-                   but surface the shed itself when attempts run out *)
-                mark_down st;
-                if idempotent req && attempt + 1 < attempts then
-                  go (attempt + 1) (label "overloaded")
-                else Ok resp
-            | Ok resp -> Ok resp
-            | Error m ->
-                mark_down st;
-                go (attempt + 1) (label m))
-    in
-    go 0 "no endpoints"
+  else if t.p_hedge_ms > 0 && idempotent req && Array.length t.p_eps > 1 then
+    request_hedged ?deadline_ms t req
+  else request_once ?deadline_ms t req
 
 let sweep ?jobs ?deadline_ms t reqs =
   let arr = Array.of_list reqs in
@@ -392,8 +559,11 @@ let close t =
             | None -> ()))
       t.p_eps
 
-let with_pool ?io_timeout_ms ?max_inflight ?retries ?auth_secret eps f =
-  let t = create ?io_timeout_ms ?max_inflight ?retries ?auth_secret eps in
+let with_pool ?io_timeout_ms ?max_inflight ?retries ?hedge_ms ?auth_secret
+    eps f =
+  let t =
+    create ?io_timeout_ms ?max_inflight ?retries ?hedge_ms ?auth_secret eps
+  in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
 let with_endpoint ?io_timeout_ms ep f = with_pool ?io_timeout_ms [ ep ] f

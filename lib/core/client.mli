@@ -7,16 +7,27 @@
     tagged with [id=] and may complete out of order on the wire
     ({!Serve} echoes the tag), so up to [max_inflight] requests ride
     one connection concurrently.  Dispatch is round-robin, skipping
-    endpoints that recently failed (a short health cooldown) and
-    preferring connections with pipeline room.
+    endpoints whose circuit is open (see below) and preferring
+    connections with pipeline room; a due half-open probe is admitted
+    ahead of the rotation, so a revived endpoint rejoins even while
+    its healthy peers could absorb the load.
 
     {2 Failure semantics}
 
-    A transport failure — connect refused, a dead or desynced
-    connection, a request deadline overrun — marks the endpoint down
-    for a cooldown and, for {e idempotent} requests ([ping], [stats],
-    [analyze], [eval]: all side-effect-free on the daemon), retries on
-    the next endpoint, up to [retries] extra attempts.  [shutdown] is
+    Each endpoint carries a {e circuit breaker}
+    (closed / open / half-open).  A transport failure — connect
+    refused, a dead or desynced connection, a request deadline
+    overrun — counts against the endpoint; consecutive failures open
+    its circuit, and dispatch then {e skips} the endpoint instead of
+    retrying into it.  Once the cooldown (doubling per consecutive
+    trip) elapses, exactly one request is admitted as the half-open
+    probe; its success closes the circuit — a daemon revived by the
+    {!Supervisor} rejoins dispatch, counted in
+    {!breaker_stats}[.bk_reopened] — while failure re-opens it with a
+    longer cooldown.  For {e idempotent} requests ([ping], [stats],
+    [health], [analyze], [eval]: all side-effect-free on the daemon),
+    a failure also retries on the next endpoint, up to [retries] extra
+    attempts.  [shutdown] is
     not idempotent and is {e never} retried: if its connection dies
     before the acknowledgement arrives, the caller gets the transport
     error and must decide for itself.  An [overloaded] response is
@@ -36,6 +47,7 @@ val create :
   ?io_timeout_ms:int ->
   ?max_inflight:int ->
   ?retries:int ->
+  ?hedge_ms:int ->
   ?auth_secret:string ->
   Endpoint.t list ->
   t
@@ -45,13 +57,33 @@ val create :
     per-request deadline; [0] disables both.  [max_inflight] (default
     8) bounds the pipeline depth per connection.  [retries] (default
     2) is the number of {e extra} attempts an idempotent request gets
-    after a transport failure.  With [auth_secret] every request is
+    after a transport failure.  [hedge_ms] (default 0 = off) enables
+    hedged requests: an idempotent request still unanswered after
+    [hedge_ms] fires one duplicate through the pool (round-robin lands
+    it on another endpoint when one exists) and the first answer wins —
+    tail latency protection against a slow daemon, at the cost of at
+    most one duplicate execution; meaningful only with ≥ 2 endpoints.
+    With [auth_secret] every request is
     sealed with an [auth=] HMAC ({!Auth}) and every response must
     verify — an unsealed or forged response kills the connection (the
     peer is not the daemon this pool was configured for).  No
     connection is opened until the first request needs it. *)
 
 val endpoints : t -> Endpoint.t list
+
+type breaker_stats = {
+  bk_closed : int;  (** endpoints passing traffic *)
+  bk_open : int;  (** endpoints being skipped (cooling down) *)
+  bk_half_open : int;  (** endpoints with a probe in flight *)
+  bk_reopened : int;
+      (** cumulative half-open → closed transitions: dead endpoints
+          that came back and rejoined dispatch *)
+  bk_hedges : int;  (** hedge requests fired (see [hedge_ms]) *)
+  bk_hedge_wins : int;  (** answered by the hedge, not the primary *)
+}
+
+val breaker_stats : t -> breaker_stats
+(** Live circuit-breaker and hedging counters for the pool. *)
 
 val request :
   ?deadline_ms:int -> t -> Serve.request -> (Serve.response, string) result
@@ -84,6 +116,7 @@ val with_pool :
   ?io_timeout_ms:int ->
   ?max_inflight:int ->
   ?retries:int ->
+  ?hedge_ms:int ->
   ?auth_secret:string ->
   Endpoint.t list ->
   (t -> 'a) ->

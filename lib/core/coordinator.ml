@@ -20,6 +20,7 @@ type stats = {
   co_redispatched : int;
   co_daemons_lost : int;
   co_duplicates : int;
+  co_revived : int;
   co_unfinished : int list;
 }
 
@@ -32,7 +33,9 @@ type shared = {
   mutable sh_redispatched : int;
   mutable sh_daemons_lost : int;
   mutable sh_duplicates : int;
+  mutable sh_revived : int;
   mutable sh_live : int;  (* workers still running *)
+  mutable sh_active : int;  (* workers serving (not probing a lost daemon) *)
 }
 
 (* what one chunk attempt came to *)
@@ -45,8 +48,8 @@ type attempt_result =
     }
 
 let run ?(chunk = 64) ?(heartbeat_ms = 1000) ?(deadline_ms = 0) ?(retries = 3)
-    ?(backoff_ms = 100) ?auth_secret ?(budget = Serve.no_budget) ?on_progress
-    endpoints bindings =
+    ?(backoff_ms = 100) ?(revive_ms = 10_000) ?auth_secret
+    ?(budget = Serve.no_budget) ?on_progress endpoints bindings =
   if endpoints = [] then invalid_arg "Coordinator.run: empty endpoint list";
   if chunk <= 0 then invalid_arg "Coordinator.run: chunk must be positive";
   let bindings = Array.of_list bindings in
@@ -75,7 +78,9 @@ let run ?(chunk = 64) ?(heartbeat_ms = 1000) ?(deadline_ms = 0) ?(retries = 3)
       sh_redispatched = 0;
       sh_daemons_lost = 0;
       sh_duplicates = 0;
+      sh_revived = 0;
       sh_live = 0;
+      sh_active = 0;
     }
   in
   let i = ref 0 in
@@ -123,6 +128,49 @@ let run ?(chunk = 64) ?(heartbeat_ms = 1000) ?(deadline_ms = 0) ?(retries = 3)
     in
     let fails = ref 0 in
     let reqno = ref 0 in
+    (* Open-circuit probe: is the daemon back?  One [health] (or, for
+       a pre-health daemon, any parsed answer) roundtrip; a daemon
+       reporting itself starting or draining is not ready to take
+       chunks yet. *)
+    let probe_once () =
+      match Endpoint.connect ~io_timeout_ms:heartbeat_ms ep with
+      | exception _ -> false
+      | fd ->
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              match Serve.roundtrip ?auth_secret fd Serve.Health with
+              | Ok resp -> (
+                  match Serve.field resp "state" with
+                  | Some ("starting" | "draining") -> false
+                  | Some _ | None -> true)
+              | Error _ -> false)
+    in
+    (* The half-open wait of a worker whose daemon was lost: instead of
+       retiring for good, keep probing the endpoint — a supervisor may
+       be restarting it — and rejoin the sweep when it answers.  The
+       wait gives up when the sweep finishes without us, when no other
+       worker is actively serving (the old prompt-termination
+       behaviour: a fleet that is {e all} dead must not sit out the
+       whole revive window), or after [revive_ms]. *)
+    let probe_for_revival () =
+      let deadline =
+        Unix.gettimeofday () +. (float_of_int revive_ms /. 1000.)
+      in
+      let rec go () =
+        Mutex.lock sh.sh_mutex;
+        let worth_waiting = sh.sh_unfinished > 0 && sh.sh_active > 0 in
+        Mutex.unlock sh.sh_mutex;
+        if (not worth_waiting) || Unix.gettimeofday () > deadline then false
+        else if probe_once () then true
+        else begin
+          Thread.delay 0.2;
+          go ()
+        end
+      in
+      go ()
+    in
     let backoff () =
       (* bounded exponential backoff; the jitter is a hash, not a
          random draw, so a fault-injected run replays byte-identically *)
@@ -341,9 +389,22 @@ let run ?(chunk = 64) ?(heartbeat_ms = 1000) ?(deadline_ms = 0) ?(retries = 3)
               end;
               Mutex.unlock sh.sh_mutex;
               if !fails > retries then begin
+                (* circuit open: the daemon is lost.  Step out of the
+                   active set, then wait half-open for a revival
+                   instead of retiring outright. *)
                 Mutex.lock sh.sh_mutex;
                 sh.sh_daemons_lost <- sh.sh_daemons_lost + 1;
-                Mutex.unlock sh.sh_mutex
+                sh.sh_active <- sh.sh_active - 1;
+                Mutex.unlock sh.sh_mutex;
+                if probe_for_revival () then begin
+                  Mutex.lock sh.sh_mutex;
+                  sh.sh_active <- sh.sh_active + 1;
+                  sh.sh_revived <- sh.sh_revived + 1;
+                  Mutex.unlock sh.sh_mutex;
+                  fails := 0;
+                  loop ()
+                end
+                (* else: retire — the fall-through releases the worker *)
               end
               else begin
                 backoff ();
@@ -361,6 +422,7 @@ let run ?(chunk = 64) ?(heartbeat_ms = 1000) ?(deadline_ms = 0) ?(retries = 3)
       loop
   in
   sh.sh_live <- List.length endpoints;
+  sh.sh_active <- List.length endpoints;
   let threads =
     List.mapi (fun wi ep -> Thread.create (fun () -> worker wi ep) ()) endpoints
   in
@@ -389,5 +451,6 @@ let run ?(chunk = 64) ?(heartbeat_ms = 1000) ?(deadline_ms = 0) ?(retries = 3)
       co_redispatched = sh.sh_redispatched;
       co_daemons_lost = sh.sh_daemons_lost;
       co_duplicates = sh.sh_duplicates;
+      co_revived = sh.sh_revived;
       co_unfinished = !unfinished;
     } )

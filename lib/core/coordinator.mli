@@ -22,7 +22,16 @@
     — the chunk's unfinished bindings go back on the queue, and the
     endpoint's worker retries after bounded exponential backoff with
     deterministic jitter.  [retries] consecutive no-progress failures
-    retire the endpoint (any recorded binding resets the counter).
+    open the endpoint's circuit (any recorded binding resets the
+    counter): the loss is counted in [co_daemons_lost] and the worker
+    stops dispatching into the dead endpoint — but instead of retiring
+    outright it half-open probes the endpoint (a [health] roundtrip
+    every 200 ms, up to [revive_ms]) while other workers keep serving,
+    so a daemon brought back by the {!Supervisor} {e rejoins the
+    running sweep} ([co_revived]).  The probe gives up — and the
+    worker retires for good — when the sweep finishes without it, when
+    no other worker is actively serving (an all-dead fleet terminates
+    promptly, exactly as before), or when [revive_ms] elapses.
 
     Every binding is answered {e exactly once}: results are recorded
     first-wins under one lock (late duplicates are counted, not
@@ -55,9 +64,15 @@ type stats = {
   co_redispatched : int;
       (** bindings re-queued after a shard loss (a binding lost twice
           counts twice) *)
-  co_daemons_lost : int;  (** endpoints retired after repeated failures *)
+  co_daemons_lost : int;
+      (** circuit-open events: endpoints that stopped answering after
+          repeated failures (an endpoint lost, revived and lost again
+          counts twice) *)
   co_duplicates : int;
       (** late answers dropped by first-wins recording *)
+  co_revived : int;
+      (** lost endpoints that answered a half-open probe and rejoined
+          the sweep *)
   co_unfinished : int list;
       (** binding indices never answered (whole-fleet death only),
           ascending *)
@@ -69,6 +84,7 @@ val run :
   ?deadline_ms:int ->
   ?retries:int ->
   ?backoff_ms:int ->
+  ?revive_ms:int ->
   ?auth_secret:string ->
   ?budget:Serve.budget_request ->
   ?on_progress:(finished:int -> total:int -> unit) ->
@@ -87,9 +103,11 @@ val run :
     disables liveness detection {e and} socket timeouts — a dead
     daemon then hangs its worker forever); [deadline_ms] (default 0 =
     off) additionally bounds one chunk end to end; [retries] (default
-    3) consecutive no-progress failures retire an endpoint;
+    3) consecutive no-progress failures open an endpoint's circuit;
     [backoff_ms] (default 100) seeds the exponential backoff (capped
-    at 5 s).  With [auth_secret] every frame is sealed and every
+    at 5 s); [revive_ms] (default 10 000) bounds the half-open
+    revival wait described above ([0] restores permanent
+    retirement).  With [auth_secret] every frame is sealed and every
     response must verify ({!Auth}); an unverifiable response is a
     shard loss, not data.  [budget] is the per-binding clamp shared
     by the whole sweep.  [on_progress] is called after each newly

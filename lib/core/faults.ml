@@ -29,7 +29,17 @@ let none =
     kill_p = 0.0;
   }
 
+(* The crash site is process-global, not per-spec: it kills the whole
+   process (self-SIGKILL), so exactly one schedule can be meaningful
+   per process, and the spec records handed around per-request keep
+   their shape.  [parse] arms it when a spec carries [crash=P]. *)
+let crash_schedule : (int * float) option Atomic.t = Atomic.make None
+
+let set_crash ?(seed = 0) p =
+  Atomic.set crash_schedule (if p > 0.0 then Some (seed, p) else None)
+
 let parse spec =
+  let crash = ref None in
   let parse_p k v =
     match float_of_string_opt v with
     | Some p when p >= 0.0 && p <= 1.0 -> Ok p
@@ -70,11 +80,24 @@ let parse spec =
             | "disconnect" ->
                 Result.map (fun p -> { t with disconnect_p = p }) (parse_p k v)
             | "kill" -> Result.map (fun p -> { t with kill_p = p }) (parse_p k v)
+            | "crash" ->
+                Result.map
+                  (fun p ->
+                    crash := Some p;
+                    t)
+                  (parse_p k v)
             | _ -> Error (Printf.sprintf "unknown fault key %S" k)))
   in
   match String.trim spec with
   | "" -> Error "empty fault spec"
-  | spec -> List.fold_left step (Ok none) (String.split_on_char ',' spec)
+  | spec -> (
+      match List.fold_left step (Ok none) (String.split_on_char ',' spec) with
+      | Ok t as ok ->
+          (* armed only once the whole spec is folded, so the seed is
+             the spec's seed wherever the keys appeared in it *)
+          (match !crash with Some p -> set_crash ~seed:t.seed p | None -> ());
+          ok
+      | Error _ as e -> e)
 
 let to_string t =
   let parts = ref [] in
@@ -104,3 +127,15 @@ let roll t ~site ~subject =
   float_of_int !bits /. 72057594037927936.0 (* 2^56 *)
 
 let fires t ~p ~site ~subject = p > 0.0 && roll t ~site ~subject < p
+
+(* The crash site does not raise: it kills the process the way a power
+   cut or SIGKILL would, with no unwind, no finalizers, no buffered-IO
+   flush.  The subject should name both the entry being published and
+   the point inside the publish sequence (e.g. "KEY@tmp-written") so a
+   seed sweep exercises every interleaving deterministically. *)
+let maybe_crash ~subject =
+  match Atomic.get crash_schedule with
+  | None -> ()
+  | Some (seed, p) ->
+      if fires { none with seed } ~p ~site:"crash" ~subject then
+        Unix.kill (Unix.getpid ()) Sys.sigkill

@@ -12,7 +12,7 @@
     Spec grammar (comma-separated [key=value]):
 
     {v seed=INT read=P write=P rename=P corrupt=P worker=P slow=P slow_ms=INT
-       net_write=P disconnect=P kill=P v}
+       net_write=P disconnect=P kill=P crash=P v}
 
     where [P] is a probability in [0..1].  Example:
     [--faults seed=42,read=0.3,corrupt=0.2,worker=0.1].
@@ -68,3 +68,27 @@ val roll : t -> site:string -> subject:string -> float
 
 val fires : t -> p:float -> site:string -> subject:string -> bool
 (** [roll < p]; false when [p = 0]. *)
+
+(** {1 The crash site}
+
+    [crash=P] is unlike every other site: when it fires the whole
+    process dies by self-SIGKILL — no unwind, no finalizers, no
+    buffered-IO flush, exactly what a power cut leaves behind.  It
+    fires at seeded points {e inside} the cache publish sequence
+    ({!Batch.durable_publish}: between write, fsync and rename), which
+    is what makes crash-consistent publish testable: a harness forks a
+    child per publish, lets the seed pick where it dies, and asserts
+    the {!Batch.recover_dir} scan finds nothing torn.  Because only
+    one death schedule per process is meaningful, it is process-global
+    state armed by {!set_crash} (or a [crash=P] key in {!parse}, using
+    that spec's seed), not a field of [t]. *)
+
+val set_crash : ?seed:int -> float -> unit
+(** Arm (or, with [p <= 0], disarm) the process-global crash
+    schedule.  [seed] defaults to [0]. *)
+
+val maybe_crash : subject:string -> unit
+(** Fire the [crash] site against the armed schedule (no-op when
+    disarmed).  [subject] should be ["KEY@point"], naming the entry
+    and the position inside the publish sequence; the decision is the
+    same pure [(seed, site, subject)] draw as {!fires}. *)

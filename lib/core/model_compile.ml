@@ -723,7 +723,17 @@ type cache = {
   mutable c_fallbacks : int;
 }
 
+let disk_magic = "MIRAPROG1\n"
+let disk_suffix = ".prog"
+let recovery_entry = (disk_suffix, disk_magic)
+
 let create_cache ?(capacity = 256) ?dir () =
+  (* same startup recovery discipline as the Batch tiers: quarantine
+     any prog entry a crash left torn before anything can load it *)
+  (match dir with
+  | Some d when Sys.file_exists d ->
+      ignore (Batch.recover_dir ~entries:[ recovery_entry ] d)
+  | _ -> ());
   {
     c_mutex = Mutex.create ();
     c_mem = Hashtbl.create 64;
@@ -776,11 +786,11 @@ let key ~digest ?arch ~mode ~fname ~sweep ~fixed () =
       add (Stdlib.Digest.to_hex (Stdlib.Digest.string (Archdesc.to_text a))));
   Stdlib.Digest.to_hex (Stdlib.Digest.string (Buffer.contents b))
 
-let disk_magic = "MIRAPROG1\n"
-
-(* Temporary-file suffix deliberately distinct from Batch's
-   "*.tmp.*" pattern, whose orphan sweep would delete ours. *)
-let disk_path dir k = Filename.concat dir (k ^ ".prog")
+(* Temporary-file suffix distinct from Batch's "*.tmp.*" pattern so
+   prog writers stay recognizable; Batch's orphan sweep knows it and
+   removes stale ".ptmp." files too, which is why the publish below
+   holds the shared directory lock for its write+rename window. *)
+let disk_path dir k = Filename.concat dir (k ^ disk_suffix)
 
 let mkdir_p dir =
   try Unix.mkdir dir 0o755 with
@@ -802,16 +812,10 @@ let store_disk dir k (p : prog) =
       Filename.concat dir
         (Printf.sprintf "%s.ptmp.%d" k (Unix.getpid ()))
     in
-    let oc = open_out_bin tmp in
-    (try
-       output_string oc disk_magic;
-       output_string oc sum;
-       output_string oc payload;
-       close_out oc
-     with e ->
-       close_out_noerr oc;
-       raise e);
-    Unix.rename tmp (disk_path dir k)
+    ignore
+      (Batch.with_dir_lock ~shared:true dir (fun () ->
+           Batch.durable_publish ~subject:k ~tmp ~final:(disk_path dir k)
+             (disk_magic ^ sum ^ payload)))
   with _ -> ()  (* disk tier is best-effort *)
 
 let load_disk dir k : prog option =

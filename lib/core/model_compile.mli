@@ -118,12 +118,20 @@ val seconds : prog -> float array -> float
 type cache
 (** Thread-safe: a memory LRU always, plus a checksummed disk tier
     ([<key>.prog] files: magic + MD5 + marshalled program, published
-    via tmp + rename) when [dir] is given — it can share a directory
-    with the {!Batch} analysis cache.  "Not compilable" verdicts are
-    negatively cached in memory so sweeps over uncompilable models
-    don't re-attempt compilation per binding. *)
+    crash-consistently through {!Batch.durable_publish} under the
+    shared directory lock) when [dir] is given — it can share a
+    directory with the {!Batch} analysis cache.  "Not compilable"
+    verdicts are negatively cached in memory so sweeps over
+    uncompilable models don't re-attempt compilation per binding. *)
+
+val recovery_entry : string * string
+(** The prog tier's [(suffix, magic)] pair ([".prog"], its file magic)
+    for {!Batch.recover_dir}'s integrity scan. *)
 
 val create_cache : ?capacity:int -> ?dir:string -> unit -> cache
+(** An existing [dir] gets the {!Batch.recover_dir} startup scan over
+    the prog tier now: entries a crash left torn are quarantined
+    before anything can load them. *)
 
 type stats = {
   hits : int;  (** served from a tier without compiling *)

@@ -278,6 +278,7 @@ type sweep_binding = {
 type request =
   | Ping
   | Stats
+  | Health
   | Shutdown
   | Analyze of {
       an_name : string;
@@ -419,6 +420,7 @@ let encode_request ?id req =
   match req with
   | Ping -> encode_payload ~head:"ping" ~fields:(tag []) ~body:""
   | Stats -> encode_payload ~head:"stats" ~fields:(tag []) ~body:""
+  | Health -> encode_payload ~head:"health" ~fields:(tag []) ~body:""
   | Shutdown -> encode_payload ~head:"shutdown" ~fields:(tag []) ~body:""
   | Analyze { an_name; an_source; an_budget } ->
       encode_payload ~head:"analyze"
@@ -469,6 +471,7 @@ let parse_request payload =
   match verb with
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
+  | "health" -> Ok Health
   | "shutdown" -> Ok Shutdown
   | "analyze" ->
       let* b = budget () in
@@ -647,6 +650,10 @@ type t = {
   t_stop_r : Unix.file_descr;
   t_stop_w : Unix.file_descr;
   t_stopping : bool Atomic.t;
+  (* flipped once the event loop is live; [health] reports "starting"
+     until then, so a supervisor can tell a booting daemon (bound but
+     not yet serving, e.g. still scanning its cache) from a ready one *)
+  t_ready : bool Atomic.t;
   t_start : float;
   t_inflight : int Atomic.t;
   t_hwm : int Atomic.t;
@@ -748,6 +755,7 @@ let create cfg =
     t_stop_r = stop_r;
     t_stop_w = stop_w;
     t_stopping = Atomic.make false;
+    t_ready = Atomic.make false;
     t_start = Unix.gettimeofday ();
     t_inflight = Atomic.make 0;
     t_hwm = Atomic.make 0;
@@ -787,7 +795,7 @@ let request_limits (cfg : config) = function
   | Sweep { sw_budget = b; _ } ->
       Limits.clamp cfg.cfg_limits ~fuel:b.rq_fuel ~timeout_ms:b.rq_timeout_ms
         ~depth:b.rq_depth
-  | Ping | Stats | Shutdown -> cfg.cfg_limits
+  | Ping | Stats | Health | Shutdown -> cfg.cfg_limits
 
 let analyze_source t ~name ~source ~limits =
   let cfg = t.t_cfg in
@@ -876,9 +884,34 @@ let handle_eval t ~limits ~name ~source ~fname ~params =
       | exception e -> diag_response (Diag.of_exn e))
 
 (* returns the response plus whether the connection should go on *)
+(* The readiness probe's view of the daemon.  Order matters: a
+   draining daemon is "draining" even while saturated, and a booting
+   one is "starting" whatever its counters say — a supervisor restarts
+   a wedged "starting" child but leaves a "draining" one alone. *)
+let health_state t =
+  if Atomic.get t.t_stopping then "draining"
+  else if not (Atomic.get t.t_ready) then "starting"
+  else if Atomic.get t.t_inflight >= t.t_cfg.cfg_max_inflight then "overloaded"
+  else "ready"
+
 let handle_request t ~transport ~limits req =
   match req with
   | Ping -> (ok ~fields:[ ("pong", "1") ] (), `Continue)
+  | Health ->
+      (* purely additive: a new verb plus response fields, nothing in
+         the existing grammar moves (docs/PROTOCOL.md, "health") *)
+      ( ok
+          ~fields:
+            [
+              ("state", health_state t);
+              ("inflight", string_of_int (Atomic.get t.t_inflight));
+              ("max-inflight", string_of_int t.t_cfg.cfg_max_inflight);
+              ("workers", string_of_int t.t_cfg.cfg_workers);
+              ("served", string_of_int (Atomic.get t.t_served));
+              ("failed", string_of_int (Atomic.get t.t_failed));
+            ]
+          (),
+        `Continue )
   | Stats ->
       let s = stats t in
       let body =
@@ -1095,6 +1128,7 @@ let serve t =
   for _ = 1 to max 1 cfg.cfg_workers do
     ignore (Thread.create (worker_loop t) pool)
   done;
+  Atomic.set t.t_ready true;
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
   let live () = Hashtbl.fold (fun _ c acc -> c :: acc) conns [] in
   let close_conn conn =
@@ -1320,7 +1354,7 @@ let serve t =
             count t resp;
             respond conn (Some i) resp;
             stop t
-        | _, (Ping | Stats) | None, Shutdown ->
+        | _, (Ping | Stats | Health) | None, Shutdown ->
             (* cheap verbs are answered in the loop itself: a ping
                never waits behind a stalled analysis *)
             let resp, after = handle_inline conn req in

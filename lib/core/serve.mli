@@ -148,6 +148,17 @@ type sweep_binding = {
 type request =
   | Ping
   | Stats
+  | Health
+      (** readiness/liveness probe, answered inline by the event loop:
+          the response carries [state=starting|ready|draining|overloaded]
+          plus [inflight=], [max-inflight=], [workers=], [served=] and
+          [failed=] fields.  [starting] means the process answered but
+          the serve loop is not live yet; [draining] that {!stop} has
+          begun; [overloaded] that admission is at [cfg_max_inflight].
+          Purely additive to the wire format — a pre-health daemon
+          answers it with an [unknown request verb] error, which probes
+          should treat as "ready, but old".  The {!Supervisor} polls
+          this verb to distinguish a wedged child from a busy one. *)
   | Shutdown
   | Analyze of {
       an_name : string;  (** source name used in the model/report *)

@@ -118,7 +118,12 @@ let fault_tests =
             let c0 = Batch.create_cache ~dir () in
             let _, s0 = Batch.run ~cache:c0 corpus_sources in
             check int "populated" (List.length corpus_sources) s0.st_analyzed;
-            (* garble every entry on disk *)
+            (* a fresh cache value (empty memory tier, same directory);
+               entries are garbled only after it is open, so the
+               startup recovery scan sees them clean and the read path
+               must detect the corruption, degrade to misses, and
+               reproduce the clean outputs *)
+            let c1 = Batch.create_cache ~dir () in
             Array.iter
               (fun f ->
                 let path = Filename.concat dir f in
@@ -126,10 +131,6 @@ let fault_tests =
                 output_string oc "not a cache entry";
                 close_out oc)
               (Sys.readdir dir);
-            (* a fresh cache value (empty memory tier, same directory)
-               must detect the corruption, degrade to misses, and
-               reproduce the clean outputs *)
-            let c1 = Batch.create_cache ~dir () in
             let r1, s1 = Batch.run ~cache:c1 corpus_sources in
             check bool "corruption detected" true (s1.st_cache_corrupt > 0);
             check int "no disk hits" 0 s1.st_disk_hits;
@@ -137,18 +138,24 @@ let fault_tests =
               s1.st_analyzed;
             check bool "outputs identical to clean run" true
               (outcomes r1 = clean)));
-    test_case "corrupting writer: entries never validate, reads degrade"
+    test_case "corrupting writer: entries quarantined at startup, reads miss"
       `Quick (fun () ->
         with_temp_dir (fun dir ->
             let f = faults ~corrupt:1.0 () in
             let c0 = Batch.create_cache ~dir () in
             let r0, s0 = Batch.run ~cache:c0 ~faults:f corpus_sources in
             check int "batch still succeeds" 0 s0.st_failed;
-            (* every published entry is garbage: a fresh cache value
-               detects it on read *)
+            (* every published entry is garbage: the startup recovery
+               scan quarantines them all, so a fresh cache value never
+               even has to trust them *)
+            let rc = Batch.recover_dir dir in
+            check bool "torn entries quarantined" true
+              (rc.Batch.rc_quarantined > 0);
+            check int "every scanned entry was torn" rc.Batch.rc_scanned
+              rc.Batch.rc_quarantined;
             let c1 = Batch.create_cache ~dir () in
             let r1, s1 = Batch.run ~cache:c1 corpus_sources in
-            check bool "corruption detected" true (s1.st_cache_corrupt > 0);
+            check int "no disk hits" 0 s1.st_disk_hits;
             check int "all re-analyzed" (List.length corpus_sources)
               s1.st_analyzed;
             check bool "outputs identical" true (outcomes r0 = outcomes r1)));

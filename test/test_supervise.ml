@@ -1,0 +1,740 @@
+(* The self-healing fleet, exercised end to end:
+
+   - crash-consistent publish: forked children run cache-backed
+     batches with the seeded crash site armed (self-SIGKILL between
+     write, fsync and rename inside every durable_publish); after each
+     death the recovery scan must find {e zero} torn published entries
+     — fsync-before-rename means a published name is never over torn
+     bytes — and a warm run against the survivor cache must be
+     byte-identical to an undisturbed one;
+   - supervisor: a child that exits immediately trips the per-child
+     restart-storm breaker; a child that runs but never answers
+     [health] is wedge-killed and restarted until the breaker trips;
+     [stop] drains the fleet and returns [Drained];
+   - client breakers: repeated failures open an endpoint's circuit,
+     and once a daemon appears there the elapsed-cooldown half-open
+     probe closes it again ([bk_reopened]); a hedged request beats a
+     stalled daemon through the second endpoint ([bk_hedge_wins]);
+   - coordinator revival: an endpoint dead at sweep start is lost
+     ([co_daemons_lost]), then revived by its half-open probe when a
+     daemon comes up mid-sweep, and rejoins ([co_revived]) — every
+     binding still answered exactly once;
+   - the supervised fleet, over real processes: [mira supervise] runs
+     three daemons; one is SIGKILLed mid-sweep and then SIGKILLed
+     again after its restart; both generations are respawned, the
+     sweeps complete exactly-once and byte-identical to a
+     single-daemon run, and the twice-restarted child observably
+     serves; SIGTERM drains the whole tree with exit 0;
+   - cache merge vs a live batch writer racing on one DST (real
+     cross-process lock interplay), merged result fully warm and
+     byte-identical;
+   - CLI: [eval-sweep --pipeline] warns (deprecated, points at
+     [--chunk]); [supervise] refuses an unprobeable [tcp:...:0]
+     endpoint. *)
+
+open Mira_core
+
+let seed =
+  match Sys.getenv_opt "MIRA_FAULT_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> failwith "MIRA_FAULT_SEED must be an integer")
+  | None -> 20260806
+
+let temp_name =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let mira_exe = Filename.concat (Filename.concat ".." "bin") "mira.exe"
+let saxpy = Option.get (Mira_corpus.Corpus.find "saxpy")
+let stream = Option.get (Mira_corpus.Corpus.find "stream")
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains s sub = find_sub s sub <> None
+
+let wait_for ?(timeout_s = 20.0) msg pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if not (pred ()) then
+      if Unix.gettimeofday () > deadline then
+        Alcotest.failf "timed out waiting for %s" msg
+      else begin
+        Unix.sleepf 0.05;
+        go ()
+      end
+  in
+  go ()
+
+let wait_exit ?(timeout_s = 30.0) pid =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          Alcotest.fail "subprocess did not exit in time"
+        end
+        else begin
+          Unix.sleepf 0.02;
+          go ()
+        end
+    | _, st -> st
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+        (* already reaped by an earlier wait *)
+        Unix.WEXITED 0
+  in
+  go ()
+
+let kill_pid pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+let spawn_capture argv out_file err_file =
+  let out =
+    Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let err =
+    Unix.openfile err_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close out;
+      Unix.close err;
+      Unix.close devnull)
+    (fun () -> Unix.create_process argv.(0) argv devnull out err)
+
+(* ---------- crash-consistent publish ---------- *)
+
+let batch_sources = [
+  { Batch.src_name = "saxpy.mc"; src_text = saxpy };
+  { Batch.src_name = "stream.mc"; src_text = stream };
+]
+
+let crash_tests =
+  let open Alcotest in
+  [
+    test_case
+      "seeded crash-injected publishes leave zero torn entries after recovery"
+      `Slow (fun () ->
+        Batch.set_fsync true;
+        let reference, _ = Batch.run batch_sources in
+        let children = 80 in
+        let crashed = ref 0 and survived = ref 0 in
+        for i = 0 to children - 1 do
+          let dir = temp_name (Printf.sprintf "mira-crash-%d" i) in
+          (match Unix.fork () with
+          | 0 ->
+              (* the child arms its own crash schedule: a deterministic
+                 seed picks which publish point (tmp-written /
+                 tmp-synced / renamed) dies, exactly as a power cut
+                 would — no unwind, no flush *)
+              Faults.set_crash ~seed:(seed + i) 0.15;
+              (try
+                 ignore
+                   (Batch.run ~cache:(Batch.create_cache ~dir ()) batch_sources)
+               with _ -> ());
+              Unix._exit 0
+          | pid -> (
+              match snd (Unix.waitpid [] pid) with
+              | Unix.WSIGNALED s when s = Sys.sigkill -> incr crashed
+              | Unix.WEXITED 0 -> incr survived
+              | st ->
+                  failf "crash child %d: unexpected status %s" i
+                    (match st with
+                    | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+                    | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+                    | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s)));
+          (* the recovery scan must find nothing torn: every published
+             name covers fully-synced bytes, whatever point the child
+             died at *)
+          if Sys.file_exists dir then begin
+            let rs = Batch.recover_dir dir in
+            check int
+              (Printf.sprintf "child %d: zero torn entries" i)
+              0 rs.Batch.rc_quarantined
+          end;
+          (* and the survivor cache serves a correct continuation: the
+             warm run completes whatever the crash cut short,
+             byte-identical to the undisturbed reference *)
+          let cache = Batch.create_cache ~dir () in
+          let warm, _ = Batch.run ~cache batch_sources in
+          List.iter2
+            (fun r w ->
+              match (r, w) with
+              | Ok (ra : Batch.analysis), Ok wa ->
+                  check string "byte-identical python" ra.Batch.a_python
+                    wa.Batch.a_python
+              | _ -> fail "warm run failed after crash recovery")
+            reference warm;
+          check int
+            (Printf.sprintf "child %d: no corrupt reads" i)
+            0 (Batch.cache_health cache).Batch.h_corrupt;
+          rm_rf dir
+        done;
+        (* the schedule must actually have bitten: a harness where no
+           child ever dies is testing nothing *)
+        check bool "some children crashed mid-publish" true (!crashed >= 5);
+        check int "every child accounted for" children (!crashed + !survived));
+  ]
+
+(* ---------- supervisor policy, in-process ---------- *)
+
+let dead_ep () = Endpoint.Unix_sock (temp_name "mira-sup-dead" ^ ".sock")
+
+let quiet_config ~children =
+  { (Supervisor.default_config ~children) with sp_log = ignore }
+
+let supervisor_tests =
+  let open Alcotest in
+  [
+    test_case "a child that can never come up trips the storm breaker" `Quick
+      (fun () ->
+        let children =
+          [
+            {
+              Supervisor.cs_name = "flappy";
+              cs_argv = [| "/bin/false" |];
+              cs_endpoint = dead_ep ();
+            };
+          ]
+        in
+        let cfg =
+          {
+            (quiet_config ~children) with
+            sp_backoff_base_ms = 10;
+            sp_backoff_max_ms = 40;
+            sp_storm_failures = 3;
+          }
+        in
+        let t = Supervisor.create cfg in
+        (match Supervisor.run t with
+        | Supervisor.Storm name -> check string "names the child" "flappy" name
+        | Supervisor.Drained -> fail "an unstartable child drained cleanly");
+        let st = Supervisor.stats t in
+        check int "three generations spawned" 3 st.Supervisor.su_spawns;
+        check int "restarts before giving up" 2 st.Supervisor.su_restarts;
+        check int "one storm" 1 st.Supervisor.su_storms);
+    test_case "a running-but-unready child is wedge-killed" `Quick (fun () ->
+        let children =
+          [
+            {
+              Supervisor.cs_name = "wedged";
+              cs_argv = [| "/bin/sleep"; "60" |];
+              cs_endpoint = dead_ep ();
+            };
+          ]
+        in
+        let cfg =
+          {
+            (quiet_config ~children) with
+            sp_probe_interval_ms = 50;
+            sp_wedge_timeout_ms = 250;
+            sp_backoff_base_ms = 10;
+            sp_backoff_max_ms = 40;
+            sp_storm_failures = 2;
+          }
+        in
+        let t = Supervisor.create cfg in
+        (match Supervisor.run t with
+        | Supervisor.Storm name -> check string "names the child" "wedged" name
+        | Supervisor.Drained -> fail "a wedged child drained cleanly");
+        let st = Supervisor.stats t in
+        check int "both generations wedge-killed" 2 st.Supervisor.su_wedge_kills);
+    test_case "stop drains the fleet" `Quick (fun () ->
+        let children =
+          [
+            {
+              Supervisor.cs_name = "drainee";
+              cs_argv = [| "/bin/sleep"; "60" |];
+              cs_endpoint = dead_ep ();
+            };
+          ]
+        in
+        let cfg =
+          {
+            (quiet_config ~children) with
+            sp_wedge_timeout_ms = 60_000;
+            sp_grace_ms = 3_000;
+          }
+        in
+        let t = Supervisor.create cfg in
+        let outcome = ref Supervisor.Drained in
+        let th = Thread.create (fun () -> outcome := Supervisor.run t) () in
+        Unix.sleepf 0.3;
+        Supervisor.stop t;
+        Thread.join th;
+        (match !outcome with
+        | Supervisor.Drained -> ()
+        | Supervisor.Storm _ -> fail "clean stop reported a storm");
+        check int "one spawn, no restarts" 1 (Supervisor.stats t).Supervisor.su_spawns);
+  ]
+
+(* ---------- in-process daemon harness ---------- *)
+
+let with_daemon ?(cfg = fun c -> c) ?(wait = true) endpoints f =
+  let config = cfg (Serve.default_config_endpoints ~endpoints) in
+  let server = Serve.create config in
+  let th = Thread.create (fun () -> ignore (Serve.serve server)) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop server;
+      Thread.join th;
+      List.iter
+        (function
+          | Endpoint.Unix_sock p -> ( try Sys.remove p with Sys_error _ -> ())
+          | Endpoint.Tcp _ -> ())
+        endpoints)
+    (fun () ->
+      let eps = Serve.bound_endpoints server in
+      if wait then
+        Alcotest.(check bool)
+          "daemon is up" true
+          (Client.wait_ready (List.hd eps));
+      f ~eps server)
+
+let unix_ep () = Endpoint.Unix_sock (temp_name "mira-supervise" ^ ".sock")
+
+(* ---------- client circuit breakers ---------- *)
+
+let breaker_tests =
+  let open Alcotest in
+  [
+    test_case "the half-open probe closes a revived endpoint's circuit"
+      `Quick (fun () ->
+        let sock = temp_name "mira-breaker" ^ ".sock" in
+        let ep = Endpoint.Unix_sock sock in
+        let pool = Client.create ~io_timeout_ms:2_000 [ ep ] in
+        Fun.protect
+          ~finally:(fun () -> Client.close pool)
+          (fun () ->
+            (* nothing listening: consecutive connect failures must trip
+               the breaker open *)
+            (match Client.request pool Serve.Ping with
+            | Error _ -> ()
+            | Ok _ -> fail "a dead endpoint answered");
+            let st = Client.breaker_stats pool in
+            check int "circuit open" 1 st.Client.bk_open;
+            check int "nothing reopened yet" 0 st.Client.bk_reopened;
+            (* revive the endpoint, outlive the first-trip cooldown
+               (0.5 s), and the next request must ride the half-open
+               probe and close the circuit *)
+            with_daemon [ ep ] (fun ~eps:_ _server ->
+                Unix.sleepf 0.6;
+                (match Client.request pool Serve.Ping with
+                | Ok r -> check string "probe served" "ok" r.Serve.rs_status
+                | Error m -> failf "half-open probe failed: %s" m);
+                let st = Client.breaker_stats pool in
+                check int "circuit closed again" 1 st.Client.bk_closed;
+                check int "reopen counted" 1 st.Client.bk_reopened)));
+    test_case "a hedged request beats a stalled daemon" `Quick (fun () ->
+        let stall =
+          { Faults.none with Faults.seed; slow_p = 1.0; slow_ms = 800 }
+        in
+        let slow_ep = unix_ep () and fast_ep = unix_ep () in
+        with_daemon ~wait:false
+          ~cfg:(fun c -> { c with Serve.cfg_faults = Some stall })
+          [ slow_ep ]
+          (fun ~eps:_ _slow ->
+            with_daemon [ fast_ep ] (fun ~eps:_ _fast ->
+                (* round-robin starts at the slow daemon; the hedge
+                   fires after 50 ms and the fast daemon answers it
+                   long before the 800 ms stall releases the primary *)
+                Client.with_pool ~hedge_ms:50 ~io_timeout_ms:5_000
+                  [ slow_ep; fast_ep ]
+                  (fun pool ->
+                    (match Client.request pool Serve.Ping with
+                    | Ok r -> check string "answered" "ok" r.Serve.rs_status
+                    | Error m -> failf "hedged ping: %s" m);
+                    let st = Client.breaker_stats pool in
+                    check int "hedge fired" 1 st.Client.bk_hedges;
+                    check int "hedge won" 1 st.Client.bk_hedge_wins))));
+  ]
+
+(* ---------- coordinator revival ---------- *)
+
+let coordinator_bindings n =
+  List.init n (fun i ->
+      if i mod 2 = 0 then
+        { Coordinator.bd_name = "saxpy"; bd_source = saxpy;
+          bd_function = "saxpy_chain";
+          bd_params = [ ("n", 10 + i); ("reps", 2) ] }
+      else
+        { Coordinator.bd_name = "stream"; bd_source = stream;
+          bd_function = "stream_triad"; bd_params = [ ("n", 100 + (10 * i)) ] })
+
+let ok_key r =
+  match r with
+  | Ok resp ->
+      Printf.sprintf "%s fpi=%s total=%s" resp.Serve.rs_status
+        (Option.value (Serve.field resp "fpi") ~default:"?")
+        (Option.value (Serve.field resp "total") ~default:"?")
+  | Error m -> "error " ^ m
+
+let revival_tests =
+  let open Alcotest in
+  [
+    test_case "a daemon arriving mid-sweep revives its lost endpoint" `Slow
+      (fun () ->
+        (* one slow-but-live daemon carries the sweep; the second
+           endpoint is dead at start, so its worker opens the circuit
+           (co_daemons_lost) and half-open probes.  A daemon started
+           there mid-sweep — exactly what the supervisor does after a
+           restart — must revive the endpoint and rejoin. *)
+        let stall =
+          { Faults.none with Faults.seed; slow_p = 1.0; slow_ms = 20 }
+        in
+        let live_ep = unix_ep () in
+        let late_sock = temp_name "mira-late" ^ ".sock" in
+        let late_ep = Endpoint.Unix_sock late_sock in
+        with_daemon ~wait:false
+          ~cfg:(fun c -> { c with Serve.cfg_faults = Some stall })
+          [ live_ep ]
+          (fun ~eps:_ _slow ->
+            let late = ref None in
+            let starter =
+              Thread.create
+                (fun () ->
+                  Unix.sleepf 0.5;
+                  let server =
+                    Serve.create
+                      (Serve.default_config_endpoints ~endpoints:[ late_ep ])
+                  in
+                  let th =
+                    Thread.create (fun () -> ignore (Serve.serve server)) ()
+                  in
+                  late := Some (server, th))
+                ()
+            in
+            let n = 200 in
+            let results, stats =
+              Coordinator.run ~chunk:4 ~retries:1 ~backoff_ms:20
+                [ live_ep; late_ep ]
+                (coordinator_bindings n)
+            in
+            Thread.join starter;
+            let server, th = Option.get !late in
+            Fun.protect
+              ~finally:(fun () ->
+                Serve.stop server;
+                Thread.join th;
+                try Sys.remove late_sock with Sys_error _ -> ())
+              (fun () ->
+                check int "every binding answered" n
+                  stats.Coordinator.co_finished;
+                check (list int) "none unfinished" []
+                  stats.Coordinator.co_unfinished;
+                check int "the dead endpoint was lost" 1
+                  stats.Coordinator.co_daemons_lost;
+                check int "and revived" 1 stats.Coordinator.co_revived;
+                check int "no duplicates" 0 stats.Coordinator.co_duplicates;
+                Array.iter
+                  (fun r ->
+                    match r with
+                    | Ok resp ->
+                        check string "answered ok" "ok" resp.Serve.rs_status
+                    | Error m -> failf "binding lost: %s" m)
+                  results)));
+  ]
+
+(* ---------- the supervised fleet, over real processes ---------- *)
+
+let spawned_pids err_file name =
+  if not (Sys.file_exists err_file) then []
+  else
+    let marker = name ^ ": spawned pid " in
+    read_file err_file |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           match find_sub line marker with
+           | None -> None
+           | Some i ->
+               let rest =
+                 String.sub line
+                   (i + String.length marker)
+                   (String.length line - i - String.length marker)
+               in
+               let digits =
+                 match String.index_opt rest ' ' with
+                 | Some j -> String.sub rest 0 j
+                 | None -> rest
+               in
+               int_of_string_opt digits)
+
+let fleet_tests =
+  let open Alcotest in
+  [
+    test_case
+      "a supervised fleet survives a child SIGKILLed twice, exactly-once"
+      `Slow (fun () ->
+        let socks =
+          List.init 3 (fun i ->
+              temp_name (Printf.sprintf "mira-fleet-%d" i) ^ ".sock")
+        in
+        let eps = List.map (fun s -> Endpoint.Unix_sock s) socks in
+        let sup_out = temp_name "mira-sup-out" in
+        let sup_err = temp_name "mira-sup-err" in
+        let argv =
+          Array.of_list
+            ([ mira_exe; "supervise" ]
+            @ List.concat_map (fun s -> [ "-e"; "unix:" ^ s ]) socks
+            @ [
+                "--probe-interval-ms"; "100"; "--backoff-ms"; "50";
+                "--serve-arg=--workers"; "--serve-arg=4";
+              ])
+        in
+        let sup_pid = spawn_capture argv sup_out sup_err in
+        Fun.protect
+          ~finally:(fun () ->
+            kill_pid sup_pid;
+            ignore (wait_exit sup_pid);
+            List.iter kill_pid (spawned_pids sup_err "serve-0");
+            List.iter kill_pid (spawned_pids sup_err "serve-1");
+            List.iter kill_pid (spawned_pids sup_err "serve-2");
+            List.iter
+              (fun s -> try Sys.remove s with Sys_error _ -> ())
+              socks;
+            List.iter
+              (fun f -> try Sys.remove f with Sys_error _ -> ())
+              [ sup_out; sup_err ])
+          (fun () ->
+            List.iter
+              (fun ep ->
+                check bool "daemon is up" true
+                  (Client.wait_ready ~timeout_s:20.0 ep))
+              eps;
+            let victim_gen1 =
+              match spawned_pids sup_err "serve-0" with
+              | pid :: _ -> pid
+              | [] -> fail "supervisor never logged serve-0's pid"
+            in
+            let n = 400 in
+            let bindings = coordinator_bindings n in
+            (* kill #1: from the progress callback, guaranteed
+               mid-sweep; the survivors absorb the re-dispatch while
+               the supervisor respawns the victim *)
+            let killed = Atomic.make false in
+            let on_progress ~finished ~total:_ =
+              if finished >= 40 && not (Atomic.exchange killed true) then
+                kill_pid victim_gen1
+            in
+            let results1, stats1 =
+              Coordinator.run ~chunk:16 ~heartbeat_ms:500 ~backoff_ms:50
+                ~on_progress eps bindings
+            in
+            check bool "victim killed mid-sweep" true (Atomic.get killed);
+            check int "sweep 1: every binding answered" n
+              stats1.Coordinator.co_finished;
+            check (list int) "sweep 1: none unfinished" []
+              stats1.Coordinator.co_unfinished;
+            check int "sweep 1: no duplicates" 0
+              stats1.Coordinator.co_duplicates;
+            (* the supervisor must respawn generation 2; then kill it
+               too, and demand generation 3 *)
+            wait_for "serve-0 restart #1" (fun () ->
+                List.length (spawned_pids sup_err "serve-0") >= 2);
+            let victim_gen2 = List.nth (spawned_pids sup_err "serve-0") 1 in
+            check bool "a fresh pid" true (victim_gen2 <> victim_gen1);
+            check bool "restarted child is up" true
+              (Client.wait_ready ~timeout_s:20.0 (List.hd eps));
+            kill_pid victim_gen2;
+            wait_for "serve-0 restart #2" (fun () ->
+                List.length (spawned_pids sup_err "serve-0") >= 3);
+            check bool "twice-restarted child is up" true
+              (Client.wait_ready ~timeout_s:20.0 (List.hd eps));
+            (* sweep 2 across the healed fleet: byte-identical to a
+               single-daemon run, and the restarted child serves *)
+            let results2, stats2 =
+              Coordinator.run ~chunk:16 ~heartbeat_ms:500 eps bindings
+            in
+            check int "sweep 2: every binding answered" n
+              stats2.Coordinator.co_finished;
+            check int "sweep 2: no endpoints lost" 0
+              stats2.Coordinator.co_daemons_lost;
+            let reference, _ =
+              Coordinator.run ~chunk:16 [ List.nth eps 1 ] bindings
+            in
+            check (list string) "sweep 1 identical to a single-daemon run"
+              (Array.to_list (Array.map ok_key reference))
+              (Array.to_list (Array.map ok_key results1));
+            check (list string) "sweep 2 identical to a single-daemon run"
+              (Array.to_list (Array.map ok_key reference))
+              (Array.to_list (Array.map ok_key results2));
+            (* generation 3 is observably serving: ready, and answering *)
+            let fd = Endpoint.connect ~io_timeout_ms:2_000 (List.hd eps) in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                match Serve.roundtrip fd Serve.Health with
+                | Ok r ->
+                    check (option string) "generation 3 is ready"
+                      (Some "ready") (Serve.field r "state")
+                | Error m -> failf "health on the restarted child: %s" m);
+            (* the supervisor's own log recorded the restarts *)
+            check bool "restarts logged" true
+              (contains (read_file sup_err) "restarting in");
+            (* SIGTERM drains the whole tree cleanly *)
+            Unix.kill sup_pid Sys.sigterm;
+            (match wait_exit sup_pid with
+            | Unix.WEXITED 0 -> ()
+            | Unix.WEXITED c -> failf "supervise exited %d" c
+            | _ -> fail "supervise did not exit normally");
+            check bool "summary printed" true
+              (contains (read_file sup_out) "mira supervise:")));
+  ]
+
+(* ---------- cache merge vs a live batch writer ---------- *)
+
+let merge_race_tests =
+  let open Alcotest in
+  [
+    test_case "cache merge races a live batch writer on the same DST" `Slow
+      (fun () ->
+        (* content addressing: a trailing newline is a distinct source
+           (and cache entry) that analyzes identically *)
+        let variant pad s = { s with Batch.src_text = s.Batch.src_text ^ pad } in
+        let live = batch_sources @ List.map (variant "\n") batch_sources in
+        let merged = List.map (variant "\n\n") batch_sources in
+        let all = live @ merged in
+        let cold, _ = Batch.run all in
+        let src_dir = temp_name "mira-race-src" in
+        let dst = temp_name "mira-race-dst" in
+        let input_dir = temp_name "mira-race-in" in
+        Sys.mkdir input_dir 0o755;
+        List.iteri
+          (fun i s ->
+            write_file
+              (Filename.concat input_dir (Printf.sprintf "v%d_%s" i s.Batch.src_name))
+              s.Batch.src_text)
+          live;
+        ignore (Batch.run ~cache:(Batch.create_cache ~dir:src_dir ()) merged);
+        (* a real second process writes DST while we merge into it:
+           cross-process lock interplay, not thread-local lockf noise *)
+        let out = temp_name "mira-race-out" in
+        let pid =
+          spawn_capture
+            [|
+              mira_exe; "batch"; input_dir; "--cache"; "--cache-dir"; dst;
+              "--faults"; Printf.sprintf "seed=%d,slow=1,slow_ms=80" seed;
+            |]
+            out out
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            kill_pid pid;
+            ignore (wait_exit pid);
+            List.iter rm_rf [ src_dir; dst; input_dir ];
+            try Sys.remove out with Sys_error _ -> ())
+          (fun () ->
+            Unix.sleepf 0.1;
+            let mg = Batch.merge_dirs ~dst [ src_dir ] in
+            check bool "merge copied the other shard" true
+              (mg.Batch.mg_copied > 0);
+            check int "merge failed nothing" 0 mg.Batch.mg_failed;
+            (match wait_exit pid with
+            | Unix.WEXITED 0 -> ()
+            | Unix.WEXITED c -> failf "live batch writer exited %d" c
+            | _ -> fail "live batch writer died");
+            (* the union must now serve a fully warm, byte-identical
+               run: nothing the two writers raced on was lost or torn *)
+            let warm, wstats =
+              Batch.run ~cache:(Batch.create_cache ~dir:dst ()) all
+            in
+            check int "fully warm" 0 wstats.Batch.st_analyzed;
+            check int "every source a disk hit" (List.length all)
+              wstats.Batch.st_disk_hits;
+            List.iter2
+              (fun c w ->
+                match (c, w) with
+                | Ok (ca : Batch.analysis), Ok wa ->
+                    check string "byte-identical python" ca.Batch.a_python
+                      wa.Batch.a_python
+                | _ -> fail "warm run failed where cold run succeeded")
+              cold warm));
+  ]
+
+(* ---------- CLI contracts ---------- *)
+
+let cli_tests =
+  let open Alcotest in
+  [
+    test_case "eval-sweep --pipeline warns: deprecated, use --chunk" `Quick
+      (fun () ->
+        let dir = temp_name "mira-dep" in
+        Sys.mkdir dir 0o755;
+        let src = Filename.concat dir "saxpy.mc" in
+        write_file src saxpy;
+        let sweep = Filename.concat dir "sweep.txt" in
+        write_file sweep (Printf.sprintf "%s saxpy_chain n=16 reps=2\n" src);
+        let out = Filename.concat dir "out" and err = Filename.concat dir "err" in
+        let pid =
+          spawn_capture
+            [|
+              mira_exe; "eval-sweep"; sweep; "--pipeline"; "4"; "-e";
+              "unix:" ^ Filename.concat dir "nothing.sock";
+              "--dispatch-retries"; "0"; "--heartbeat-ms"; "100";
+            |]
+            out err
+        in
+        ignore (wait_exit pid);
+        let err_text = read_file err in
+        check bool "warns on stderr" true
+          (contains err_text "--pipeline" && contains err_text "deprecated");
+        check bool "points at --chunk" true (contains err_text "--chunk");
+        rm_rf dir);
+    test_case "supervise refuses an unprobeable tcp:...:0 endpoint" `Quick
+      (fun () ->
+        let out = temp_name "mira-sup0-out" in
+        let pid =
+          spawn_capture
+            [| mira_exe; "supervise"; "-e"; "tcp:127.0.0.1:0" |]
+            out out
+        in
+        (match wait_exit pid with
+        | Unix.WEXITED 124 -> ()
+        | Unix.WEXITED c -> failf "expected usage exit 124, got %d" c
+        | _ -> fail "supervise did not exit normally");
+        check bool "explains why" true (contains (read_file out) "port 0");
+        try Sys.remove out with Sys_error _ -> ());
+  ]
+
+let () =
+  Alcotest.run "mira supervise"
+    [
+      ("crash-consistent publish", crash_tests);
+      ("supervisor", supervisor_tests);
+      ("breakers", breaker_tests);
+      ("revival", revival_tests);
+      ("supervised fleet", fleet_tests);
+      ("merge race", merge_race_tests);
+      ("cli", cli_tests);
+    ]
