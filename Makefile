@@ -1,4 +1,4 @@
-.PHONY: build test ci ci-seeds chaos-smoke serve-smoke cluster-smoke bench bench-json bench-serve bench-serve-smoke bench-eval bench-eval-smoke clean
+.PHONY: build test ci ci-seeds chaos-smoke serve-smoke cluster-smoke watch-smoke bench bench-json bench-serve bench-serve-smoke bench-eval bench-eval-smoke bench-watch bench-watch-smoke clean
 
 build:
 	dune build @all
@@ -23,8 +23,10 @@ ci:
 	$(MAKE) chaos-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) watch-smoke
 	$(MAKE) bench-serve-smoke
 	$(MAKE) bench-eval-smoke
+	$(MAKE) bench-watch-smoke
 
 # Seed sweep: the fault-injection and cluster harnesses re-run under
 # several pinned MIRA_FAULT_SEED values.  Each seed draws a different
@@ -87,7 +89,7 @@ serve-smoke: build
 	    "$$dir/corpus/stream.mc stream_triad n=1000" \
 	    "$$dir/corpus/stream.mc stream_triad n=2000" > $$dir/sweep.txt; \
 	  $$exe eval-sweep $$dir/sweep.txt --endpoint unix:$$sock --endpoint $$tcp \
-	    --pipeline 4 | tee $$dir/sweep.out; \
+	    --chunk 4 | tee $$dir/sweep.out; \
 	  [ $$(grep -c "^ok " $$dir/sweep.out) -eq 4 ]; \
 	  kill -TERM $$pid_unix; kill -TERM $$pid_tcp; \
 	  wait $$pid_unix; wait $$pid_tcp'
@@ -146,6 +148,58 @@ cluster-smoke: build
 	    | grep -q " 0 analyzed"; \
 	  kill -TERM $$pid1 $$pid2; wait $$pid1; wait $$pid2'
 
+# Watch-mode smoke, both surfaces end to end.  Daemon path: a real
+# daemon watches a 3-file tree (a.mc's g is also defined in b.mc and
+# called by b.mc's h; c.mc is unrelated), a cross-file signature edit
+# to a.mc is reanalyzed over the wire, and the streamed frames must
+# show the EXACT invalidation set — two edited functions in a.mc, one
+# cross:sig:g dependent in b.mc, three binding frames, cross-files=1 —
+# with session counters visible on stats.  CLI path: the same edit
+# through `mira watch --check`, whose cold-vs-warm gate exits 3 on any
+# byte divergence between the incremental model and a cold analysis.
+WATCH_TIMEOUT ?= 60
+watch-smoke: build
+	timeout --kill-after=10 $(WATCH_TIMEOUT) sh -ec ' \
+	  exe=./_build/default/bin/mira.exe; \
+	  dir=$$(mktemp -d); trap "rm -rf $$dir" EXIT; \
+	  sock=$$dir/mira.sock; \
+	  printf "double g(double *a, int n) {\n  double s = 0.0;\n  for (int i = 0; i < n; i++) {\n    s = s + a[i];\n  }\n  return s;\n}\n\ndouble f(double *a, int n) {\n  double t = g(a, n);\n  return t + 1.0;\n}\n" > $$dir/a.mc; \
+	  printf "double g(double *a, int n) {\n  double s = 0.0;\n  for (int i = 0; i < n; i++) {\n    s = s + 2.0 * a[i];\n  }\n  return s;\n}\n\ndouble h(double *a, int n) {\n  return g(a, n) * 0.5;\n}\n" > $$dir/b.mc; \
+	  printf "int c_only(int n) {\n  int acc = 0;\n  for (int i = 0; i < n; i++) {\n    acc = acc + 3;\n  }\n  return acc;\n}\n" > $$dir/c.mc; \
+	  $$exe serve --endpoint unix:$$sock & pid=$$!; \
+	  i=0; until $$exe client ping --endpoint unix:$$sock >/dev/null 2>&1; do \
+	    i=$$((i+1)); [ $$i -lt 100 ] || exit 1; sleep 0.05; done; \
+	  for f in a b c; do \
+	    $$exe client watch $$dir/$$f.mc --endpoint unix:$$sock >/dev/null; done; \
+	  $$exe client stats --format json --endpoint unix:$$sock \
+	    | grep -q "\"key\":\"watch-files\",\"value\":\"3\""; \
+	  sed -e "s/double g(double \*a, int n) {/double g(double *a, int n, int reps) {/" \
+	      -e "s/g(a, n);/g(a, n, 1);/" $$dir/a.mc > $$dir/a2.mc; \
+	  cp $$dir/a2.mc $$dir/a.mc; \
+	  $$exe client reanalyze $$dir/a.mc --endpoint unix:$$sock --format json \
+	    > $$dir/rz.out; \
+	  [ $$(grep -c "\"key\":\"binding\"" $$dir/rz.out) -eq 3 ]; \
+	  [ $$(grep -c "\"key\":\"reason\",\"value\":\"edited\"" $$dir/rz.out) -eq 2 ]; \
+	  [ $$(grep -c "\"key\":\"reason\",\"value\":\"cross:sig:g\"" $$dir/rz.out) -eq 1 ]; \
+	  grep -q "\"key\":\"function\",\"value\":\"h\"" $$dir/rz.out; \
+	  grep -q "\"key\":\"reanalyze-done\",\"value\":\"1\"" $$dir/rz.out; \
+	  grep -q "\"key\":\"invalidated\",\"value\":\"3\"" $$dir/rz.out; \
+	  grep -q "\"key\":\"cross-files\",\"value\":\"1\"" $$dir/rz.out; \
+	  grep -q "\"key\":\"clean\",\"value\":\"0\"" $$dir/rz.out; \
+	  $$exe client stats --format json --endpoint unix:$$sock \
+	    | grep -q "\"key\":\"watch-cross\",\"value\":\"1\""; \
+	  $$exe client forget $$dir/c.mc --endpoint unix:$$sock >/dev/null; \
+	  kill -TERM $$pid; wait $$pid; \
+	  sed -e "s/double g(double \*a, int n, int reps) {/double g(double *a, int n) {/" \
+	      -e "s/g(a, n, 1);/g(a, n);/" $$dir/a.mc > $$dir/a1.mc; \
+	  cp $$dir/a1.mc $$dir/a.mc; \
+	  ( sleep 1; cp $$dir/a2.mc $$dir/a.mc; echo "reanalyze $$dir/a.mc"; \
+	    sleep 1; echo quit ) \
+	    | $$exe watch $$dir/a.mc $$dir/b.mc $$dir/c.mc --check \
+	        --poll-ms 100000 > $$dir/watch.out; \
+	  grep -q "invalidated=3 recomputed=3 cross-files=1" $$dir/watch.out; \
+	  grep -q "h (cross:sig:g)" $$dir/watch.out'
+
 bench:
 	dune exec bench/main.exe -- --fast
 
@@ -178,6 +232,20 @@ bench-eval: build
 # fails loudly on divergence), without turning timings into thresholds.
 bench-eval-smoke: build
 	timeout --kill-after=10 120 dune exec bin/mira.exe -- bench-eval --smoke
+
+# Watch-mode benchmark: median edit-to-updated-model latency through a
+# warm session vs the cold whole-corpus re-batch each edit used to
+# cost, every warm model byte-checked against cold before timing.
+# Writes BENCH_watch.json — the number the watch-mode work is held to
+# (>= 3x; measured around two orders of magnitude).
+bench-watch: build
+	dune exec bin/mira.exe -- bench-watch --json BENCH_watch.json
+
+# CI smoke: a few edits and cold samples; asserts the harness runs and
+# that warm == cold on the sampled edits (the harness fails loudly on
+# divergence), without turning timings into thresholds.
+bench-watch-smoke: build
+	timeout --kill-after=10 120 dune exec bin/mira.exe -- bench-watch --smoke
 
 # Timing-only run (batch scaling + incremental reanalysis) that
 # records its numbers in BENCH_batch.json for regression tracking.

@@ -659,9 +659,21 @@ end
 
 (* ---------- batch ---------- *)
 
+(* shared output-format selector: the JSON schema is pinned in
+   docs/PROTOCOL.md ("JSON output") and by test_json.ml *)
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: $(i,text) (human-readable, the default) or \
+           $(i,json) (the stable machine-readable schema of \
+           docs/PROTOCOL.md).")
+
 let batch_cmd =
   let run paths jobs cache no_incremental python level limits faults shard
-      no_fsync =
+      no_fsync format =
     handle_errors (fun () ->
         Opts.apply_fsync no_fsync;
         let expanded =
@@ -704,15 +716,20 @@ let batch_cmd =
             ~incremental:(not no_incremental) ~level ~limits ?faults sources
         in
         Opts.gc_cache cache;
-        if python then
-          List.iter
-            (function
-              | Ok (a : Mira_core.Batch.analysis) -> print_string a.a_python
-              | Error (name, diag) ->
-                  Printf.eprintf "%s: FAILED: %s\n" name
-                    (Mira_core.Diag.to_string diag))
-            results
-        else print_string (Mira_core.Batch.report results stats);
+        (match format with
+        | `Json ->
+            print_endline
+              (Mira_core.Json.to_string (Mira_core.Json.of_batch results stats))
+        | `Text ->
+            if python then
+              List.iter
+                (function
+                  | Ok (a : Mira_core.Batch.analysis) -> print_string a.a_python
+                  | Error (name, diag) ->
+                      Printf.eprintf "%s: FAILED: %s\n" name
+                        (Mira_core.Diag.to_string diag))
+                results
+            else print_string (Mira_core.Batch.report results stats));
         (* budget/timeout overruns outrank plain analysis failures so a
            driver can tell "your corpus is slow" from "your corpus is
            broken" without parsing the report *)
@@ -790,7 +807,8 @@ let batch_cmd =
           output is byte-identical for any --jobs and cache state).")
     Term.(
       const run $ paths $ jobs $ Opts.cache_term $ no_incremental $ python
-      $ level_arg $ Opts.limits_term $ Opts.faults $ shard $ Opts.no_fsync)
+      $ level_arg $ Opts.limits_term $ Opts.faults $ shard $ Opts.no_fsync
+      $ format_arg)
 
 (* ---------- cache ---------- *)
 
@@ -1015,9 +1033,52 @@ let render_response = function
           Printf.eprintf "error: unknown response status %S\n" other;
           exit_internal)
 
+(* the exit code a response maps to, shared by text and JSON modes *)
+let response_code = function
+  | Error _ -> exit_internal
+  | Ok resp -> (
+      match resp.Mira_core.Serve.rs_status with
+      | "ok" -> 0
+      | "overloaded" -> exit_budget
+      | "error" -> (
+          match Mira_core.Serve.field resp "code" with
+          | Some ("budget" | "timeout") -> exit_budget
+          | Some "internal" -> exit_internal
+          | _ -> exit_analysis)
+      | _ -> exit_internal)
+
+(* JSON rendering of one wire response: status, fields in wire order
+   (keys repeat), and the body — spliced verbatim when it is itself
+   JSON (watch/reanalyze frames), escaped as a string otherwise *)
+let response_json r =
+  let open Mira_core.Json in
+  match r with
+  | Error m -> Obj [ ("status", Str "transport-error"); ("message", Str m) ]
+  | Ok resp ->
+      let body =
+        if resp.Mira_core.Serve.rs_body = "" then Null
+        else if resp.rs_body.[0] = '{' || resp.rs_body.[0] = '[' then
+          Raw resp.rs_body
+        else Str resp.rs_body
+      in
+      Obj
+        [
+          ("status", Str resp.rs_status);
+          ( "fields",
+            Arr
+              (List.map
+                 (fun (k, v) -> Obj [ ("key", Str k); ("value", Str v) ])
+                 resp.rs_fields) );
+          ("body", body);
+        ]
+
+let render_response_json r =
+  print_endline (Mira_core.Json.to_string (response_json r));
+  response_code r
+
 let client_cmd =
   let run endpoints verb file fname params budget io_timeout_ms pipeline
-      auth_secret_file =
+      auth_secret_file format =
     handle_errors (fun () ->
         let need_file () =
           match file with
@@ -1025,6 +1086,11 @@ let client_cmd =
           | None ->
               Printf.eprintf "error: %s needs a FILE argument\n" verb;
               exit 124
+        in
+        let render =
+          match format with
+          | `Json -> render_response_json
+          | `Text -> render_response
         in
         let req =
           match verb with
@@ -1055,40 +1121,129 @@ let client_cmd =
                       ev_params = params;
                       ev_budget = budget;
                     })
+          (* the session verbs ship the text when the file is readable
+             client-side and fall back to a daemon-side read (empty
+             body) otherwise — the shared-filesystem deployment *)
+          | "watch" ->
+              let f = need_file () in
+              Mira_core.Serve.Watch
+                {
+                  wt_path = f;
+                  wt_source = (if Sys.file_exists f then read_file f else "");
+                }
+          | "reanalyze" ->
+              let f = need_file () in
+              Mira_core.Serve.Reanalyze
+                {
+                  rz_path = f;
+                  rz_source = (if Sys.file_exists f then read_file f else "");
+                }
+          | "forget" -> Mira_core.Serve.Forget { fg_path = need_file () }
           | other ->
               Printf.eprintf
                 "error: unknown request %S (ping, stats, health, analyze, \
-                 eval, shutdown)\n"
+                 eval, watch, reanalyze, forget, shutdown)\n"
                 other;
               exit 124
         in
-        let pipeline = max 1 pipeline in
-        let results =
-          Mira_core.Client.with_pool ~io_timeout_ms ~max_inflight:pipeline
-            ?auth_secret:(Opts.load_auth_secret auth_secret_file) endpoints
-            (fun pool ->
-              if pipeline = 1 then [ Mira_core.Client.request pool req ]
-              else
-                Mira_core.Client.sweep pool
-                  (List.init pipeline (fun _ -> req)))
-        in
-        let worst =
-          List.fold_left (fun acc r -> max acc (render_response r)) 0 results
-        in
-        if worst <> 0 then exit worst)
+        match req with
+        | Mira_core.Serve.Reanalyze _ ->
+            (* reanalyze streams one frame per invalidated function
+               plus a terminal frame: drive one direct connection with
+               the frame loop instead of the one-response pool *)
+            let ep =
+              match endpoints with
+              | [ ep ] -> ep
+              | _ ->
+                  Printf.eprintf
+                    "error: reanalyze streams over a single connection; give \
+                     exactly one --endpoint\n";
+                  exit 124
+            in
+            let secret = Opts.load_auth_secret auth_secret_file in
+            let fd = Mira_core.Endpoint.connect ~io_timeout_ms ep in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                let payload =
+                  Mira_core.Serve.encode_request ~id:"reanalyze-1" req
+                in
+                let payload =
+                  match secret with
+                  | Some secret -> Mira_core.Auth.seal ~secret payload
+                  | None -> payload
+                in
+                Mira_core.Serve.write_frame fd payload;
+                let rec drain worst =
+                  match Mira_core.Serve.read_frame fd with
+                  | Error e ->
+                      Printf.eprintf "error: %s\n"
+                        (Mira_core.Serve.frame_error_to_string e);
+                      exit exit_internal
+                  | Ok payload -> (
+                      let payload =
+                        match secret with
+                        | None -> payload
+                        | Some secret -> (
+                            match
+                              Mira_core.Auth.verify ~secret payload
+                            with
+                            | `Ok stripped -> stripped
+                            | `Missing | `Bad ->
+                                Printf.eprintf
+                                  "error: unauthenticated response frame\n";
+                                exit exit_internal)
+                      in
+                      match Mira_core.Serve.parse_response payload with
+                      | Error m ->
+                          Printf.eprintf "error: bad response frame: %s\n" m;
+                          exit exit_internal
+                      | Ok resp ->
+                          let worst = max worst (render (Ok resp)) in
+                          if
+                            Mira_core.Serve.field resp "reanalyze-done"
+                            = Some "1"
+                            || resp.rs_status <> "ok"
+                               && Mira_core.Serve.field resp "binding" = None
+                          then worst
+                          else drain worst)
+                in
+                let worst = drain 0 in
+                if worst <> 0 then exit worst)
+        | req ->
+            let pipeline = max 1 pipeline in
+            let results =
+              Mira_core.Client.with_pool ~io_timeout_ms ~max_inflight:pipeline
+                ?auth_secret:(Opts.load_auth_secret auth_secret_file) endpoints
+                (fun pool ->
+                  if pipeline = 1 then [ Mira_core.Client.request pool req ]
+                  else
+                    Mira_core.Client.sweep pool
+                      (List.init pipeline (fun _ -> req)))
+            in
+            let worst =
+              List.fold_left (fun acc r -> max acc (render r)) 0 results
+            in
+            if worst <> 0 then exit worst)
   in
   let verb =
     Arg.(
       required
       & pos 0 (some string) None
       & info [] ~docv:"REQUEST"
-          ~doc:"One of ping, stats, health, analyze, eval, shutdown.")
+          ~doc:
+            "One of ping, stats, health, analyze, eval, watch, reanalyze, \
+             forget, shutdown.")
   in
   let file =
     Arg.(
       value
-      & pos 1 (some file) None
-      & info [] ~docv:"FILE" ~doc:"mini-C source (analyze and eval).")
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "mini-C source (analyze, eval, watch, reanalyze) or watched \
+             path (forget).")
   in
   let fname =
     Arg.(
@@ -1107,29 +1262,270 @@ let client_cmd =
     Term.(
       const run $ Opts.endpoints_term $ verb $ file $ fname $ params_arg
       $ Opts.budget_term $ Opts.io_timeout_ms $ Opts.pipeline
-      $ Opts.auth_secret_file)
+      $ Opts.auth_secret_file $ format_arg)
+
+(* ---------- watch ---------- *)
+
+let watch_cmd =
+  let run paths level limits poll_ms once check format =
+    handle_errors (fun () ->
+        let json = format = `Json in
+        let session = Mira_core.Session.create ~level ~limits () in
+        let worst = ref 0 in
+        let emit_json obj =
+          print_endline (Mira_core.Json.to_string obj);
+          flush stdout
+        in
+        let report_diag path (d : Mira_core.Diag.t) =
+          worst := max !worst exit_analysis;
+          if json then
+            emit_json
+              (Mira_core.Json.Obj
+                 [
+                   ("event", Mira_core.Json.Str "error");
+                   ("path", Mira_core.Json.Str path);
+                   ("diag", Mira_core.Json.of_diag d);
+                 ])
+          else
+            Printf.eprintf "%s\n"
+              (Mira_core.Diag.to_editor_string ~file:path d)
+        in
+        (* remembered text per path: an mtime tick only becomes a
+           reanalyze when the bytes really moved, so editors that
+           touch without writing stay quiet *)
+        let texts : (string, string) Hashtbl.t = Hashtbl.create 16 in
+        let mtimes : (string, float) Hashtbl.t = Hashtbl.create 16 in
+        let mtime p = try (Unix.stat p).Unix.st_mtime with Unix.Unix_error _ -> 0.0 in
+        let do_watch path =
+          let text = read_file path in
+          Hashtbl.replace texts path text;
+          Hashtbl.replace mtimes path (mtime path);
+          match Mira_core.Session.watch session ~path text with
+          | Error d -> report_diag path d
+          | Ok info ->
+              if json then
+                emit_json
+                  (Mira_core.Json.Obj
+                     [
+                       ("event", Mira_core.Json.Str "watch");
+                       ("path", Mira_core.Json.Str path);
+                       ( "functions",
+                         Mira_core.Json.Int
+                           (List.length info.Mira_core.Session.in_functions) );
+                     ])
+              else
+                Printf.printf "watch %s: %d function(s)\n%!" path
+                  (List.length info.Mira_core.Session.in_functions)
+        in
+        (* --check: every touched model must match a cold whole-file
+           analysis of the file's current text, byte for byte *)
+        let check_models (upd : Mira_core.Session.update) =
+          List.iter
+            (fun (path, _, py) ->
+              let text =
+                Option.value
+                  (Mira_core.Session.source session ~path)
+                  ~default:""
+              in
+              let cold, _ =
+                Mira_core.Batch.run ~jobs:1 ~incremental:false ~level ~limits
+                  [ { Mira_core.Batch.src_name = path; src_text = text } ]
+              in
+              match cold with
+              | [ Ok a ] when a.Mira_core.Batch.a_python = py -> ()
+              | _ ->
+                  Printf.eprintf
+                    "error: %s: warm model diverges from cold analysis\n" path;
+                  exit exit_internal)
+            upd.Mira_core.Session.up_models
+        in
+        let do_reanalyze path =
+          let text = read_file path in
+          Hashtbl.replace texts path text;
+          Hashtbl.replace mtimes path (mtime path);
+          match Mira_core.Session.reanalyze session ~path text with
+          | Error d -> report_diag path d
+          | Ok upd ->
+              if check then check_models upd;
+              if json then
+                emit_json
+                  (Mira_core.Json.Obj
+                     [
+                       ("event", Mira_core.Json.Str "reanalyze");
+                       ("path", Mira_core.Json.Str path);
+                       ( "invalidated",
+                         Mira_core.Json.Arr
+                           (List.map
+                              (fun (iv : Mira_core.Session.inval) ->
+                                Mira_core.Json.Obj
+                                  [
+                                    ("file", Mira_core.Json.Str iv.iv_file);
+                                    ( "function",
+                                      Mira_core.Json.Str iv.iv_func );
+                                    ( "reason",
+                                      Mira_core.Json.Str
+                                        (Mira_core.Session.reason_to_string
+                                           iv.iv_reason) );
+                                  ])
+                              upd.Mira_core.Session.up_invalidated) );
+                       ( "recomputed",
+                         Mira_core.Json.Int upd.Mira_core.Session.up_recomputed
+                       );
+                       ( "cross_files",
+                         Mira_core.Json.Arr
+                           (List.map
+                              (fun f -> Mira_core.Json.Str f)
+                              upd.Mira_core.Session.up_cross_files) );
+                       ( "deleted",
+                         Mira_core.Json.Arr
+                           (List.map
+                              (fun f -> Mira_core.Json.Str f)
+                              upd.Mira_core.Session.up_deleted) );
+                       ( "clean",
+                         Mira_core.Json.Bool upd.Mira_core.Session.up_clean );
+                     ])
+              else begin
+                Printf.printf
+                  "reanalyze %s: invalidated=%d recomputed=%d cross-files=%d \
+                   deleted=%d clean=%d\n"
+                  path
+                  (List.length upd.Mira_core.Session.up_invalidated)
+                  upd.Mira_core.Session.up_recomputed
+                  (List.length upd.Mira_core.Session.up_cross_files)
+                  (List.length upd.Mira_core.Session.up_deleted)
+                  (if upd.Mira_core.Session.up_clean then 1 else 0);
+                List.iter
+                  (fun (iv : Mira_core.Session.inval) ->
+                    Printf.printf "  %s %s (%s)\n" iv.iv_file iv.iv_func
+                      (Mira_core.Session.reason_to_string iv.iv_reason))
+                  upd.Mira_core.Session.up_invalidated;
+                flush stdout
+              end
+        in
+        List.iter do_watch paths;
+        (* one polling pass: reanalyze every watched file whose bytes
+           changed since last look *)
+        let poll_once () =
+          List.iter
+            (fun path ->
+              if Sys.file_exists path then
+                let m = mtime path in
+                if
+                  Some m <> Hashtbl.find_opt mtimes path
+                  && Some (read_file path) <> Hashtbl.find_opt texts path
+                then do_reanalyze path
+                else Hashtbl.replace mtimes path m)
+            (Mira_core.Session.paths session)
+        in
+        if once then poll_once ()
+        else begin
+          (* event loop: edits arrive as mtime ticks or as explicit
+             stdin command lines (reanalyze/watch/forget/quit) —
+             inotify-free, so it runs anywhere *)
+          let stdin_open = ref true in
+          let quit = ref false in
+          while not !quit do
+            let readable, _, _ =
+              if !stdin_open then
+                Unix.select [ Unix.stdin ] [] []
+                  (float_of_int (max 10 poll_ms) /. 1000.0)
+              else begin
+                Unix.sleepf (float_of_int (max 10 poll_ms) /. 1000.0);
+                ([], [], [])
+              end
+            in
+            if readable <> [] then begin
+              match input_line stdin with
+              | exception End_of_file ->
+                  (* piped command stream ended: finish pending polls
+                     and stop — interactive use quits with `quit` *)
+                  quit := true
+              | line -> (
+                  match
+                    String.split_on_char ' ' (String.trim line)
+                    |> List.filter (fun s -> s <> "")
+                  with
+                  | [] -> ()
+                  | [ "quit" ] -> quit := true
+                  | [ "watch"; p ] -> do_watch p
+                  | [ "reanalyze"; p ] -> do_reanalyze p
+                  | [ "forget"; p ] ->
+                      let dropped =
+                        Mira_core.Session.forget session ~path:p
+                      in
+                      Hashtbl.remove texts p;
+                      Hashtbl.remove mtimes p;
+                      if json then
+                        emit_json
+                          (Mira_core.Json.Obj
+                             [
+                               ("event", Mira_core.Json.Str "forget");
+                               ("path", Mira_core.Json.Str p);
+                               ("forgotten", Mira_core.Json.Bool dropped);
+                             ])
+                      else
+                        Printf.printf "forget %s: %s\n%!" p
+                          (if dropped then "dropped" else "not watched")
+                  | _ ->
+                      Printf.eprintf
+                        "watch: unknown command %S (watch PATH, reanalyze \
+                         PATH, forget PATH, quit)\n"
+                        line)
+            end;
+            poll_once ()
+          done
+        end;
+        if !worst <> 0 then exit !worst)
+  in
+  let paths =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"PATHS" ~doc:"mini-C source files to watch.")
+  in
+  let poll_ms =
+    Arg.(
+      value & opt int 200
+      & info [ "poll-ms" ] ~docv:"MS"
+          ~doc:"File modification-time polling interval.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Analyze, run a single polling pass (reanalyzing anything \
+             already edited), then exit — for scripts and CI.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "After every reanalyze, cold-analyze each touched file in \
+             process and exit 3 unless the warm models are byte-identical.")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Hold a long-lived incremental analysis session over a set of \
+          sources: edits (detected by mtime polling, or injected as \
+          $(i,reanalyze PATH) lines on stdin) invalidate exactly the \
+          edited functions plus their cross-file dependents, and only \
+          those are re-analyzed.  Warm models are byte-identical to cold \
+          analysis ($(b,--check) verifies this).  See README \"Watch \
+          mode\".")
+    Term.(
+      const run $ paths $ level_arg $ Opts.limits_term $ poll_ms $ once
+      $ check $ format_arg)
 
 let eval_sweep_cmd =
-  let run sweep_file endpoints pipeline chunk heartbeat_ms chunk_deadline_ms
+  let run sweep_file endpoints chunk heartbeat_ms chunk_deadline_ms
       dispatch_retries budget auth_secret_file =
     handle_errors (fun () ->
         let usage_error ln msg =
           Printf.eprintf "error: %s:%d: %s\n" sweep_file ln msg;
           exit 124
         in
-        (* --pipeline is accepted for compatibility: daemon-side sweep
-           scheduling supersedes client-side pipelining (a whole chunk
-           travels in one frame and the daemon parallelizes it).  Warn
-           before touching the sweep file so even a run that dies on a
-           usage error learns the flag is dead. *)
-        (match pipeline with
-        | Some n ->
-            Printf.eprintf
-              "warning: --pipeline %d is deprecated and ignored by \
-               eval-sweep; sweeps travel in whole chunks that each daemon \
-               schedules internally — use --chunk to size them\n%!"
-              n
-        | None -> ());
         (* one spec line per evaluation: FILE FUNCTION [name=value ...] *)
         let specs =
           let ln = ref 0 in
@@ -1344,16 +1740,6 @@ let eval_sweep_cmd =
             "Consecutive no-progress dispatch failures before an endpoint \
              is retired (any completed evaluation resets the count).")
   in
-  let pipeline_deprecated =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "pipeline" ] ~docv:"K"
-          ~doc:
-            "Deprecated and ignored: sweeps travel in whole chunks that \
-             each daemon schedules internally.  Use $(b,--chunk) to size \
-             them.")
-  in
   Cmd.v
     (Cmd.info "eval-sweep"
        ~doc:
@@ -1368,7 +1754,7 @@ let eval_sweep_cmd =
           daemon (the unanswered ones are named on stderr), else 2 on any \
           budget/timeout overrun, else 1 on any analysis failure.")
     Term.(
-      const run $ sweep_file $ Opts.endpoints_term $ pipeline_deprecated
+      const run $ sweep_file $ Opts.endpoints_term
       $ chunk $ heartbeat_ms $ chunk_deadline_ms $ dispatch_retries
       $ Opts.budget_term $ Opts.auth_secret_file)
 
@@ -2127,6 +2513,87 @@ let bench_eval_cmd =
           BENCH_eval.json records the numbers.")
     Term.(const run $ smoke $ json $ label)
 
+(* ---------- bench-watch ---------- *)
+
+let bench_watch_cmd =
+  let run smoke json_path label level =
+    handle_errors (fun () ->
+        (* the corpus kernels are the watched background: the session
+           holds them all, and each timed edit touches only the
+           synthesized target file *)
+        let sources =
+          List.map
+            (fun (name, text) -> (name ^ ".mc", text))
+            Mira_corpus.Corpus.all
+        in
+        let edits = if smoke then 3 else 20 in
+        let cold_samples = if smoke then 2 else 5 in
+        let r =
+          Mira_core.Bench_watch.run ~level ~edits ~cold_samples ~sources ()
+        in
+        Printf.eprintf
+          "bench-watch: %d files, %d functions; one-function edit: %.2f ms \
+           warm (p90 %.2f), %d invalidated; cold re-batch: %.1f ms; \
+           speedup %.1fx\n\
+           %!"
+          r.Mira_core.Bench_watch.bw_files r.bw_functions r.bw_warm_ms
+          r.bw_warm_p90_ms r.bw_invalidated r.bw_cold_ms r.bw_speedup;
+        match json_path with
+        | None -> ()
+        | Some path ->
+            let b = Buffer.create 1024 in
+            Buffer.add_string b "{\n";
+            Buffer.add_string b "  \"bench\": \"watch\",\n";
+            Printf.bprintf b "  \"label\": \"%s\",\n" label;
+            Printf.bprintf b "  \"files\": %d,\n"
+              r.Mira_core.Bench_watch.bw_files;
+            Printf.bprintf b "  \"functions\": %d,\n" r.bw_functions;
+            Printf.bprintf b "  \"edits\": %d,\n" r.bw_edits;
+            Printf.bprintf b "  \"invalidated_per_edit\": %d,\n"
+              r.bw_invalidated;
+            Printf.bprintf b "  \"warm_ms\": %.3f,\n" r.bw_warm_ms;
+            Printf.bprintf b "  \"warm_p90_ms\": %.3f,\n" r.bw_warm_p90_ms;
+            Printf.bprintf b "  \"cold_ms\": %.3f,\n" r.bw_cold_ms;
+            Printf.bprintf b "  \"cold_samples\": %d,\n" r.bw_cold_samples;
+            Printf.bprintf b "  \"speedup\": %.1f\n" r.bw_speedup;
+            Buffer.add_string b "}\n";
+            if path = "-" then print_string (Buffer.contents b)
+            else begin
+              write_file path (Buffer.contents b);
+              Printf.eprintf "bench-watch: wrote %s\n" path
+            end)
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Few edits and cold samples: proves the harness runs, verifies \
+             byte-identity, emits valid JSON.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write results as JSON ($(i,-) for stdout).")
+  in
+  let label =
+    Arg.(
+      value & opt string "current"
+      & info [ "label" ] ~docv:"NAME"
+          ~doc:"Implementation label recorded in the JSON.")
+  in
+  Cmd.v
+    (Cmd.info "bench-watch"
+       ~doc:
+         "Benchmark watch mode on the bundled corpus: the \
+          edit-to-updated-model latency of a one-function edit through a \
+          warm session vs a cold whole-corpus re-batch.  Warm models are \
+          verified byte-identical to cold before timing; \
+          BENCH_watch.json records the numbers.")
+    Term.(const run $ smoke $ json $ label $ level_arg)
+
 (* ---------- arch ---------- *)
 
 let arch_cmd =
@@ -2156,7 +2623,7 @@ let () =
           [
             parse_cmd; dot_cmd; compile_cmd; disasm_cmd; analyze_cmd; eval_cmd;
             predict_cmd; profile_cmd; coverage_cmd; validate_cmd; batch_cmd;
-            cache_cmd; serve_cmd; supervise_cmd; client_cmd; eval_sweep_cmd;
-            bench_serve_cmd; dataset_cmd; bench_eval_cmd; corpus_dump_cmd;
-            arch_cmd;
+            cache_cmd; serve_cmd; supervise_cmd; client_cmd; watch_cmd;
+            eval_sweep_cmd; bench_serve_cmd; dataset_cmd; bench_eval_cmd;
+            bench_watch_cmd; corpus_dump_cmd; arch_cmd;
           ]))

@@ -1,0 +1,149 @@
+(* Watch-mode latency benchmark — see the .mli.  The edit target is
+   synthesized rather than taken from the corpus so the edit is
+   guaranteed to be interface-neutral: a constant changes inside one
+   function body, no signature/class/extern/annotation key moves, and
+   the invalidation set is exactly that one function. *)
+
+type result = {
+  bw_files : int;
+  bw_functions : int;
+  bw_edits : int;
+  bw_invalidated : int;
+  bw_warm_ms : float;
+  bw_warm_p90_ms : float;
+  bw_cold_ms : float;
+  bw_cold_samples : int;
+  bw_speedup : float;
+}
+
+let target_path = "watch_target.mc"
+
+(* [k] sibling functions make the target a realistic multi-function
+   file: the edit must invalidate one of them, not all *)
+let target_text ~functions ~variant =
+  let b = Buffer.create 1024 in
+  for i = 0 to functions - 1 do
+    Printf.bprintf b
+      "int probe_%d(int n) {\n\
+      \  int acc = 0;\n\
+      \  for (int i = 0; i < n; i++) {\n\
+      \    acc = acc + %d;\n\
+      \  }\n\
+      \  return acc;\n\
+       }\n\n"
+      i
+      (if i = 0 then variant else i + 1)
+  done;
+  Buffer.contents b
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let percentile p xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(min (Array.length a - 1) (int_of_float (p *. float_of_int (Array.length a))))
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let cold_python ~level ~limits sources =
+  let results, _ =
+    Batch.run ~jobs:1 ~incremental:false ~level ~limits
+      (List.map
+         (fun (name, text) -> { Batch.src_name = name; src_text = text })
+         sources)
+  in
+  List.map
+    (function
+      | Ok (a : Batch.analysis) -> (a.a_name, a.a_python)
+      | Error (name, d) ->
+          failwith
+            (Printf.sprintf "bench-watch: %s failed cold analysis: %s" name
+               (Diag.to_string d)))
+    results
+
+let run ?(level = Mira_codegen.Codegen.O1) ?(limits = Limits.default)
+    ?(edits = 20) ?(cold_samples = 5) ?(target_functions = 8) ~sources () =
+  let edits = max 1 edits and cold_samples = max 1 cold_samples in
+  let session = Session.create ~level ~limits () in
+  let watch path text =
+    match Session.watch session ~path text with
+    | Ok info -> List.length info.Session.in_functions
+    | Error d ->
+        failwith
+          (Printf.sprintf "bench-watch: %s failed cold analysis: %s" path
+             (Diag.to_string d))
+  in
+  let corpus_fns =
+    List.fold_left (fun acc (p, text) -> acc + watch p text) 0 sources
+  in
+  let target0 = target_text ~functions:target_functions ~variant:100 in
+  let target_fns = watch target_path target0 in
+  (* correctness gate before any timing: a warm edit's model must be
+     byte-identical to a cold analysis of the same text *)
+  let check_variant = target_text ~functions:target_functions ~variant:101 in
+  let invalidated =
+    match Session.reanalyze session ~path:target_path check_variant with
+    | Error d -> failwith ("bench-watch: reanalyze failed: " ^ Diag.to_string d)
+    | Ok upd ->
+        let cold =
+          cold_python ~level ~limits ((target_path, check_variant) :: sources)
+        in
+        List.iter
+          (fun (path, _, py) ->
+            match List.assoc_opt path cold with
+            | Some cold_py when cold_py = py -> ()
+            | _ ->
+                failwith
+                  (Printf.sprintf
+                     "bench-watch: warm model of %s diverges from cold" path))
+          upd.Session.up_models;
+        List.length upd.Session.up_invalidated
+  in
+  (* warm samples: alternate the constant so every edit really is an
+     edit (an unchanged text would invalidate nothing) *)
+  let warm =
+    List.init edits (fun i ->
+        let text =
+          target_text ~functions:target_functions ~variant:(200 + i)
+        in
+        let upd, ms =
+          time_ms (fun () ->
+              match Session.reanalyze session ~path:target_path text with
+              | Ok upd -> upd
+              | Error d ->
+                  failwith
+                    ("bench-watch: reanalyze failed: " ^ Diag.to_string d))
+        in
+        if List.length upd.Session.up_invalidated <> invalidated then
+          failwith "bench-watch: invalidation set drifted across edits";
+        ms)
+  in
+  (* cold samples: what each edit cost before watch mode existed —
+     re-batch the whole source set from scratch *)
+  let cold =
+    List.init cold_samples (fun i ->
+        let text =
+          target_text ~functions:target_functions ~variant:(500 + i)
+        in
+        snd
+          (time_ms (fun () ->
+               ignore (cold_python ~level ~limits ((target_path, text) :: sources)))))
+  in
+  let warm_ms = median warm and cold_ms = median cold in
+  {
+    bw_files = List.length sources + 1;
+    bw_functions = corpus_fns + target_fns;
+    bw_edits = edits;
+    bw_invalidated = invalidated;
+    bw_warm_ms = warm_ms;
+    bw_warm_p90_ms = percentile 0.9 warm;
+    bw_cold_ms = cold_ms;
+    bw_cold_samples = cold_samples;
+    bw_speedup = (if warm_ms > 0.0 then cold_ms /. warm_ms else infinity);
+  }

@@ -1,0 +1,38 @@
+(** Watch-mode latency benchmark: edit-to-updated-model through a warm
+    {!Session} vs a cold whole-corpus re-batch.
+
+    The harness watches every given source plus one synthesized edit
+    target, then repeatedly edits a single constant inside one of the
+    target's functions — the canonical watch-mode interaction.  Each
+    warm sample times {!Session.reanalyze} end to end (diff,
+    recompute, reassemble, re-emit); each cold sample times
+    {!Batch.run} over the whole source set with no cache, which is
+    what a pre-watch caller had to do per edit.  Every warm model is
+    verified byte-identical to its cold counterpart before anything is
+    timed. *)
+
+type result = {
+  bw_files : int;  (** watched files, edit target included *)
+  bw_functions : int;  (** functions across all watched files *)
+  bw_edits : int;  (** timed warm edits *)
+  bw_invalidated : int;  (** functions invalidated per edit *)
+  bw_warm_ms : float;  (** median edit-to-updated-model latency *)
+  bw_warm_p90_ms : float;
+  bw_cold_ms : float;  (** median cold whole-corpus re-batch *)
+  bw_cold_samples : int;
+  bw_speedup : float;  (** [bw_cold_ms /. bw_warm_ms] *)
+}
+
+val run :
+  ?level:Mira_codegen.Codegen.level ->
+  ?limits:Limits.t ->
+  ?edits:int ->
+  ?cold_samples:int ->
+  ?target_functions:int ->
+  sources:(string * string) list ->
+  unit ->
+  result
+(** [sources] are (path, text) pairs (the corpus); the synthesized
+    edit target rides alongside them.  Raises [Failure] if any source
+    fails cold analysis or a warm model diverges from its cold
+    counterpart. *)

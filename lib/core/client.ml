@@ -305,6 +305,10 @@ let endpoints t = Array.to_list (Array.map (fun s -> s.e_ep) t.p_eps)
 
 let idempotent = function
   | Serve.Shutdown -> false
+  (* the session verbs mutate daemon state (watch/forget change the
+     watched set, reanalyze advances it): never hedge or silently
+     retry them — a duplicate would double-commit an edit *)
+  | Serve.Watch _ | Serve.Reanalyze _ | Serve.Forget _ -> false
   (* Sweep is side-effect-free on the daemon too, but this pool's
      one-response-per-request slots cannot carry its streamed frames:
      [request] refuses it and Coordinator owns the verb *)
@@ -508,6 +512,10 @@ let request ?deadline_ms t req =
   if Atomic.get t.p_closed then Error "client pool is closed"
   else if match req with Serve.Sweep _ -> true | _ -> false then
     Error "sweep responses stream (one frame per binding); use Coordinator"
+  else if match req with Serve.Reanalyze _ -> true | _ -> false then
+    Error
+      "reanalyze responses stream (one frame per invalidated function); \
+       use a direct connection (mira client reanalyze)"
   else if t.p_hedge_ms > 0 && idempotent req && Array.length t.p_eps > 1 then
     request_hedged ?deadline_ms t req
   else request_once ?deadline_ms t req

@@ -17,16 +17,30 @@ type kind =
   | Injected_fault
   | Internal_error
 
+type span = { sp_label : string option; sp_pos : Mira_srclang.Loc.pos }
+
 type t = {
   d_phase : phase;
   d_kind : kind;
   d_message : string;
-  d_pos : Mira_srclang.Loc.pos option;
+  d_spans : span list;
   d_backtrace : string option;
 }
 
-let make ?pos ?backtrace d_phase d_kind d_message =
-  { d_phase; d_kind; d_message; d_pos = pos; d_backtrace = backtrace }
+let span ?label sp_pos = { sp_label = label; sp_pos }
+
+let make_spans ?backtrace d_phase d_kind d_message d_spans =
+  { d_phase; d_kind; d_message; d_spans; d_backtrace = backtrace }
+
+(* compat constructor: the single optional position becomes an
+   unlabelled primary span, so pre-multi-span call sites migrate
+   without edits *)
+let make ?pos ?backtrace phase kind msg =
+  make_spans ?backtrace phase kind msg
+    (match pos with None -> [] | Some p -> [ span p ])
+
+let primary_pos d =
+  match d.d_spans with [] -> None | s :: _ -> Some s.sp_pos
 
 let phase_to_string = function
   | Lex -> "lex"
@@ -57,15 +71,19 @@ let of_exn ?(phase = Analysis) exn =
   | Mira_srclang.Parser.Error (m, p) -> make ~pos:p Parse User_error m
   | Mira_srclang.Annot.Error m -> make Annotate User_error m
   | Mira_srclang.Typecheck.Check_error es -> (
-      (* a lone error's position goes in [d_pos]; several keep their
-         own positions in the multi-line message *)
+      (* a lone error's position is the primary span; several become
+         one labelled span each under a count headline *)
       match es with
       | [ e ] ->
           make ~pos:e.Mira_srclang.Typecheck.at Typecheck User_error
             e.Mira_srclang.Typecheck.msg
       | es ->
-          make Typecheck User_error
-            (Mira_srclang.Typecheck.errors_to_string es))
+          make_spans Typecheck User_error
+            (Printf.sprintf "%d type errors" (List.length es))
+            (List.map
+               (fun (e : Mira_srclang.Typecheck.error) ->
+                 span ~label:e.msg e.at)
+               es))
   | Mira_codegen.Codegen.Error (m, p) -> make ~pos:p Codegen User_error m
   | Metric_gen.Unsupported (m, p) ->
       let pos = if p = Mira_srclang.Loc.dummy.lo then None else Some p in
@@ -86,15 +104,46 @@ let of_exn ?(phase = Analysis) exn =
   | e ->
       make phase Internal_error (Printexc.to_string e) ?backtrace:(bt ())
 
+let label_of d =
+  match d.d_kind with
+  | User_error -> phase_to_string d.d_phase ^ " error"
+  | k -> kind_to_string k
+
 let to_string d =
-  let label =
-    match d.d_kind with
-    | User_error -> phase_to_string d.d_phase ^ " error"
-    | k -> kind_to_string k
+  let label = label_of d in
+  let head =
+    match d.d_spans with
+    | [] -> Printf.sprintf "%s: %s" label d.d_message
+    | s :: _ ->
+        Printf.sprintf "%s at %d:%d: %s" label s.sp_pos.line s.sp_pos.col
+          d.d_message
   in
-  match d.d_pos with
-  | Some p -> Printf.sprintf "%s at %d:%d: %s" label p.line p.col d.d_message
-  | None -> Printf.sprintf "%s: %s" label d.d_message
+  (* the head line alone is byte-identical to the pre-multi-span
+     rendering; labelled spans each add an indented line *)
+  String.concat ""
+    (head
+    :: List.filter_map
+         (fun s ->
+           match s.sp_label with
+           | None -> None
+           | Some l ->
+               Some
+                 (Printf.sprintf "\n  at %d:%d: %s" s.sp_pos.line s.sp_pos.col
+                    l))
+         d.d_spans)
+
+let to_editor_string ?(file = "<input>") d =
+  let label = label_of d in
+  match d.d_spans with
+  | [] -> Printf.sprintf "%s: %s: %s" file label d.d_message
+  | spans ->
+      String.concat "\n"
+        (List.map
+           (fun s ->
+             Printf.sprintf "%s:%d:%d: %s: %s" file s.sp_pos.line s.sp_pos.col
+               label
+               (match s.sp_label with Some l -> l | None -> d.d_message))
+           spans)
 
 let is_budget d =
   match d.d_kind with Budget_exhausted | Timeout -> true | _ -> false

@@ -4,10 +4,12 @@
     budget, a wall-clock timeout, cache corruption, an injected fault,
     or a genuine bug in Mira itself — is described by one {!t}: the
     pipeline phase that failed, a machine-readable {!kind}, a human
-    message, the source position when one is known, and a captured
+    message, a list of source {!span}s (each an optional label plus a
+    position; the first is the primary location), and a captured
     backtrace for internal errors.  {!Batch} threads these through its
-    results in place of ad-hoc strings, and the CLI maps {!kind}s to
-    distinct exit codes. *)
+    results in place of ad-hoc strings, the CLI maps {!kind}s to
+    distinct exit codes, and {!Json.of_diag} gives the stable
+    machine-readable encoding. *)
 
 type phase =
   | Lex
@@ -28,34 +30,61 @@ type kind =
   | Injected_fault  (** a {!Faults} schedule fired on purpose *)
   | Internal_error  (** an unexpected exception: a bug in Mira *)
 
+type span = { sp_label : string option; sp_pos : Mira_srclang.Loc.pos }
+(** One source location a diagnostic points at.  The label carries the
+    per-span message of a multi-error diagnostic ([None] when the main
+    message is the whole story). *)
+
 type t = {
   d_phase : phase;
   d_kind : kind;
-  d_message : string;
-  d_pos : Mira_srclang.Loc.pos option;
+  d_message : string;  (** the main message *)
+  d_spans : span list;  (** primary span first; may be empty *)
   d_backtrace : string option;  (** captured for [Internal_error] *)
 }
 
+val span : ?label:string -> Mira_srclang.Loc.pos -> span
+
+val make_spans :
+  ?backtrace:string -> phase -> kind -> string -> span list -> t
+(** The full constructor: main message plus any number of spans. *)
+
 val make :
   ?pos:Mira_srclang.Loc.pos -> ?backtrace:string -> phase -> kind -> string -> t
+(** Compat constructor (the pre-multi-span shape): [pos] becomes the
+    unlabelled primary span.  Existing call sites migrate without
+    edits. *)
+
+val primary_pos : t -> Mira_srclang.Loc.pos option
+(** The first span's position, when there is one — what [d_pos] used
+    to be. *)
 
 val of_exn : ?phase:phase -> exn -> t
 (** Classify an exception raised during analysis.  Known pipeline
     exceptions ([Lexer.Error], [Parser.Error], [Annot.Error],
     [Typecheck.Check_error], [Codegen.Error], [Metric_gen.Unsupported],
     [Budget.Exhausted], [Faults.Injected], [Stack_overflow], …) map to
-    their phase and kind; anything else — including a bare [Failure] —
-    becomes [Internal_error] with the current backtrace attached.
-    [phase] is the fallback phase for exceptions that do not pin one
-    down (default [Analysis]). *)
+    their phase and kind; a multi-error [Check_error] becomes one
+    labelled span per error under a count headline; anything else —
+    including a bare [Failure] — becomes [Internal_error] with the
+    current backtrace attached.  [phase] is the fallback phase for
+    exceptions that do not pin one down (default [Analysis]). *)
 
 val phase_to_string : phase -> string
 val kind_to_string : kind -> string
 
 val to_string : t -> string
-(** One-line rendering, e.g. ["parse error at 3:7: expected \";\""] or
-    ["budget exhausted: fuel"].  Deterministic (never includes the
-    backtrace — use {!d_backtrace} for that). *)
+(** Human rendering.  The head line is byte-identical to the
+    pre-multi-span format — ["parse error at 3:7: expected \";\""] or
+    ["budget exhausted: fuel"] — and each labelled span appends an
+    indented ["\n  at L:C: label"] line.  Deterministic (never
+    includes the backtrace — use {!d_backtrace} for that). *)
+
+val to_editor_string : ?file:string -> t -> string
+(** Editor-parsable rendering: one GNU-style
+    ["file:line:col: label: message"] line per span (or a single
+    positionless ["file: label: message"] line when the diagnostic has
+    no spans).  [file] defaults to ["<input>"]. *)
 
 val is_budget : t -> bool
 (** [Budget_exhausted] or [Timeout] — the "slow source" family that

@@ -1,0 +1,163 @@
+(* Minimal JSON emission — no external dependency, compact output,
+   deterministic byte-for-byte (the golden tests pin it).  This module
+   is the single machine-readable encoding shared by `mira batch
+   --format json`, `mira client --format json` and the daemon's
+   watch/reanalyze frames. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Raw of string  (* pre-encoded JSON, spliced verbatim *)
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_str f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f -> Buffer.add_string b (float_str f)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | Raw s -> Buffer.add_string b s
+  | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          emit b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  emit b v;
+  Buffer.contents b
+
+(* ---------- encoders (the stable schema of docs/PROTOCOL.md) ---------- *)
+
+let opt_str = function None -> Null | Some s -> Str s
+let str_list xs = Arr (List.map (fun s -> Str s) xs)
+
+let of_span (s : Diag.span) =
+  Obj
+    [
+      ("label", opt_str s.sp_label);
+      ("line", Int s.sp_pos.Mira_srclang.Loc.line);
+      ("col", Int s.sp_pos.Mira_srclang.Loc.col);
+    ]
+
+let of_diag (d : Diag.t) =
+  Obj
+    [
+      ("phase", Str (Diag.phase_to_string d.d_phase));
+      ("kind", Str (Diag.kind_to_string d.d_kind));
+      ("message", Str d.d_message);
+      ("spans", Arr (List.map of_span d.d_spans));
+      ("rendered", Str (Diag.to_string d));
+    ]
+
+let of_fmodel (m : Model_ir.t) (f : Model_ir.fmodel) =
+  Obj
+    [
+      ("name", Str f.mf_name);
+      ("python_name", Str (Model_ir.python_name f));
+      ("class", opt_str f.mf_class);
+      ("arity", Int f.mf_arity);
+      ("params", str_list f.mf_params);
+      ("source_params", str_list f.mf_source_params);
+      ("warnings", str_list f.mf_warnings);
+      ("python", Str (Python_emit.emit_function m f.mf_name));
+    ]
+
+let of_model (m : Model_ir.t) =
+  Obj
+    [
+      ("file", Str m.Model_ir.source_name);
+      ("functions", Arr (List.map (of_fmodel m) m.Model_ir.functions));
+      ("python", Str (Python_emit.emit m));
+    ]
+
+let analysis_fields (a : Batch.analysis) =
+  [
+    ("file", Str a.a_name);
+    ("cached", Bool a.a_cached);
+    ( "functions",
+      Arr (List.map (of_fmodel a.a_model) a.a_model.Model_ir.functions) );
+    ( "warnings",
+      Arr
+        (List.map
+           (fun (f, w) -> Obj [ ("function", Str f); ("message", Str w) ])
+           a.a_warnings) );
+    ("python", Str a.a_python);
+  ]
+
+let of_analysis a = Obj (("status", Str "ok") :: analysis_fields a)
+
+let of_result = function
+  | Ok a -> of_analysis a
+  | Error (name, d) ->
+      Obj [ ("status", Str "error"); ("file", Str name); ("diag", of_diag d) ]
+
+let of_stats (s : Batch.stats) =
+  Obj
+    [
+      ("total", Int s.st_total);
+      ("analyzed", Int s.st_analyzed);
+      ("mem_hits", Int s.st_mem_hits);
+      ("disk_hits", Int s.st_disk_hits);
+      ("failed", Int s.st_failed);
+      ("jobs", Int s.st_jobs);
+      ("budget", Int s.st_budget);
+      ("injected", Int s.st_injected);
+      ("cache_corrupt", Int s.st_cache_corrupt);
+      ("io_retries", Int s.st_io_retries);
+      ("io_failures", Int s.st_io_failures);
+      ("assembled", Int s.st_assembled);
+      ("fn_mem_hits", Int s.st_fn_mem_hits);
+      ("fn_disk_hits", Int s.st_fn_disk_hits);
+      ("fn_analyzed", Int s.st_fn_analyzed);
+    ]
+
+let of_batch results stats =
+  Obj
+    [
+      ("results", Arr (List.map of_result results)); ("stats", of_stats stats);
+    ]

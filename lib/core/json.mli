@@ -1,0 +1,58 @@
+(** Minimal JSON values and the stable machine-readable encodings of
+    models, analyses and diagnostics ([--format json], the daemon's
+    watch/reanalyze frame bodies).  The schema is documented in
+    docs/PROTOCOL.md and pinned byte-for-byte by test_json.ml; output
+    is compact (no whitespace) and deterministic. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Raw of string
+      (** pre-encoded JSON, spliced verbatim — for nesting a frame
+          body that is already encoded *)
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact encoding.  Strings are escaped per RFC 8259 (control
+    characters as [\u00XX]); floats render as [%.1f] when integral and
+    [%.17g] (round-trip exact) otherwise; NaN becomes [null]. *)
+
+val escape : string -> string
+(** The string-escaping helper alone (no surrounding quotes). *)
+
+val of_span : Diag.span -> t
+(** [{"label": string|null, "line": int, "col": int}] *)
+
+val of_diag : Diag.t -> t
+(** [{"phase", "kind", "message", "spans": [span…], "rendered"}] —
+    [rendered] is {!Diag.to_string}. *)
+
+val of_fmodel : Model_ir.t -> Model_ir.fmodel -> t
+(** One function's model: [{"name", "python_name", "class":
+    string|null, "arity", "params", "source_params", "warnings",
+    "python"}] — [python] is the function's emitted definition within
+    the given assembled model. *)
+
+val of_model : Model_ir.t -> t
+(** [{"file", "functions": [fmodel…], "python"}] — [python] is the
+    whole emitted module. *)
+
+val of_analysis : Batch.analysis -> t
+(** [{"status": "ok", "file", "cached", "functions": [fmodel…],
+    "warnings": [{"function", "message"}…], "python"}] *)
+
+val of_result : Batch.result -> t
+(** {!of_analysis} for successes;
+    [{"status": "error", "file", "diag": diag}] for failures. *)
+
+val of_stats : Batch.stats -> t
+(** Every {!Batch.stats} counter under its field name sans the [st_]
+    prefix. *)
+
+val of_batch : Batch.result list -> Batch.stats -> t
+(** [{"results": [result…], "stats": stats}] — the
+    [mira batch --format json] document. *)

@@ -297,6 +297,13 @@ type request =
       sw_bindings : sweep_binding list;
       sw_budget : budget_request;
     }
+  (* watch-mode session verbs (additive, PROTOCOL.md "watch mode"):
+     an empty source body means "read [path] from the daemon's own
+     filesystem" — the shared-filesystem deployment — while a
+     non-empty body carries the text itself *)
+  | Watch of { wt_path : string; wt_source : string }
+  | Reanalyze of { rz_path : string; rz_source : string }
+  | Forget of { fg_path : string }
 
 let budget_fields b =
   let opt k = function
@@ -440,6 +447,16 @@ let encode_request ?id req =
       encode_payload ~head:"sweep"
         ~fields:(tag (budget_fields sw_budget))
         ~body:(encode_sweep_body ~sources:sw_sources ~bindings:sw_bindings)
+  | Watch { wt_path; wt_source } ->
+      encode_payload ~head:"watch"
+        ~fields:(tag [ ("path", wt_path) ])
+        ~body:wt_source
+  | Reanalyze { rz_path; rz_source } ->
+      encode_payload ~head:"reanalyze"
+        ~fields:(tag [ ("path", rz_path) ])
+        ~body:rz_source
+  | Forget { fg_path } ->
+      encode_payload ~head:"forget" ~fields:(tag [ ("path", fg_path) ]) ~body:""
 
 (* the request id, when the payload parses at all — extracted
    independently of the verb so even a bad-request error frame can be
@@ -528,6 +545,15 @@ let parse_request payload =
           (Ok ()) bindings
       in
       Ok (Sweep { sw_sources = sources; sw_bindings = bindings; sw_budget = b })
+  | ("watch" | "reanalyze" | "forget") as verb -> (
+      match field "path" with
+      | None -> Error (Printf.sprintf "%s needs a path= field" verb)
+      | Some p ->
+          Ok
+            (match verb with
+            | "watch" -> Watch { wt_path = p; wt_source = body }
+            | "reanalyze" -> Reanalyze { rz_path = p; rz_source = body }
+            | _ -> Forget { fg_path = p }))
   | v -> Error (Printf.sprintf "unknown request verb %S" v)
 
 (* ---------- responses ---------- *)
@@ -642,6 +668,19 @@ let compile_fields s =
     ("compile-fallbacks", string_of_int s.sv_compile_fallbacks);
   ]
 
+(* watch-mode session counters — same precedent as [compile_fields]:
+   header fields on the stats response, never new body lines *)
+let session_counter_fields (c : Session.counters) =
+  [
+    ("watch-files", string_of_int c.Session.ct_files);
+    ("watch-reanalyses", string_of_int c.ct_reanalyses);
+    ("watch-invalidated", string_of_int c.ct_invalidated);
+    ("watch-local", string_of_int c.ct_local);
+    ("watch-cross", string_of_int c.ct_cross);
+    ("watch-recomputed", string_of_int c.ct_recomputed);
+    ("watch-clean", string_of_int c.ct_clean);
+  ]
+
 (* ---------- the server ---------- *)
 
 type t = {
@@ -668,6 +707,12 @@ type t = {
      sweep bindings with the same (model, function, parameter-name
      set) re-run one program instead of re-walking the model *)
   t_compile : Model_compile.cache;
+  (* the watch-mode session: per-file fingerprint tables, models and
+     the cross-file dependency index.  Mutating verbs are serialized
+     by the event loop (one at a time, FIFO), so pipelined edits
+     always observe a consistent snapshot; Session's own mutex guards
+     the remaining reader paths (stats). *)
+  t_session : Session.t;
 }
 
 let add_batch_stats t (s : Batch.stats) =
@@ -771,6 +816,7 @@ let create cfg =
       Model_compile.create_cache ~capacity:256
         ?dir:(Option.bind cfg.cfg_cache Batch.cache_dir)
         ();
+    t_session = Session.create ~level:cfg.cfg_level ~limits:cfg.cfg_limits ();
   }
 
 let bound_endpoints t = List.map snd t.t_listen
@@ -796,6 +842,7 @@ let request_limits (cfg : config) = function
       Limits.clamp cfg.cfg_limits ~fuel:b.rq_fuel ~timeout_ms:b.rq_timeout_ms
         ~depth:b.rq_depth
   | Ping | Stats | Health | Shutdown -> cfg.cfg_limits
+  | Watch _ | Reanalyze _ | Forget _ -> cfg.cfg_limits
 
 let analyze_source t ~name ~source ~limits =
   let cfg = t.t_cfg in
@@ -894,6 +941,16 @@ let health_state t =
   else if Atomic.get t.t_inflight >= t.t_cfg.cfg_max_inflight then "overloaded"
   else "ready"
 
+(* watch/reanalyze with an empty body read the file from the daemon's
+   own filesystem (shared-filesystem deployment); failures are ordinary
+   io-coded error responses, never exceptions *)
+let read_path_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Ok s
+  | (exception Sys_error m) -> Error m
+  | (exception Unix.Unix_error (e, _, _)) ->
+      Error (path ^ ": " ^ Unix.error_message e)
+
 let handle_request t ~transport ~limits req =
   match req with
   | Ping -> (ok ~fields:[ ("pong", "1") ] (), `Continue)
@@ -923,7 +980,8 @@ let handle_request t ~transport ~limits req =
       ( ok
           ~fields:
             ([ ("proto", proto); ("transport", transport) ]
-            @ compile_fields s)
+            @ compile_fields s
+            @ session_counter_fields (Session.counters t.t_session))
           ~body (),
         `Continue )
   | Shutdown ->
@@ -940,6 +998,43 @@ let handle_request t ~transport ~limits req =
          by this single-response path *)
       ( error_response ~code:"bad-request"
           "sweep is only served by the event loop",
+        `Continue )
+  | Watch { wt_path; wt_source } -> (
+      match
+        if wt_source <> "" then Ok wt_source else read_path_file wt_path
+      with
+      | Error m -> (error_response ~code:"io" m, `Continue)
+      | Ok text -> (
+          match Session.watch t.t_session ~path:wt_path text with
+          | Error d -> (diag_response d, `Continue)
+          | Ok info ->
+              ( ok
+                  ~fields:
+                    [
+                      ("path", info.Session.in_path);
+                      ( "functions",
+                        string_of_int (List.length info.Session.in_functions)
+                      );
+                    ]
+                  ~body:(Json.to_string (Json.of_model info.Session.in_model))
+                  (),
+                `Continue )))
+  | Forget { fg_path } ->
+      ( ok
+          ~fields:
+            [
+              ("path", fg_path);
+              ( "forgotten",
+                if Session.forget t.t_session ~path:fg_path then "1" else "0"
+              );
+            ]
+          (),
+        `Continue )
+  | Reanalyze _ ->
+      (* reanalyze streams one frame per invalidated function plus a
+         terminal frame; like sweep it is scheduled by the event loop *)
+      ( error_response ~code:"bad-request"
+          "reanalyze is only served by the event loop",
         `Continue )
 
 (* ---------- connections: per-connection state machines ---------- *)
@@ -991,8 +1086,28 @@ type sweep_ctx = {
   mutable sx_failed : int;
 }
 
+(* Shared bookkeeping for one in-flight reanalyze: planning and the
+   final commit run on the event-loop thread; each invalidated
+   function's recomputation is its own pool job.  Like [sweep_ctx],
+   all mutation of the counters and accumulated results happens on
+   the loop thread (process_completions). *)
+type reanalyze_ctx = {
+  rz_id : string;  (* the reanalyze's id= tag, echoed on every frame *)
+  rz_plan : Session.plan;
+  rz_total : int;
+  mutable rz_done : int;
+  mutable rz_ok : int;
+  mutable rz_failed : int;
+  mutable rz_results : (Session.inval * (Metric_gen.part, Diag.t) result) list;
+      (* accumulated in reverse completion order; commit re-sorts
+         nothing — Session.commit keys by (file, function) *)
+}
+
 type jobwork =
   | Wreq of request
+  | Wsession of request
+      (* watch/forget: single-response session verbs, serialized
+         daemon-wide by the event loop's session queue *)
   | Wbinding of {
       wb_ctx : sweep_ctx;
       wb_index : int;
@@ -1000,6 +1115,15 @@ type jobwork =
       wb_source : string;
       wb_function : string;
       wb_params : (string * int) list;
+    }
+  | Wrecompute of {
+      wr_ctx : reanalyze_ctx;
+      wr_index : int;
+      wr_inval : Session.inval;
+      mutable wr_result : (Metric_gen.part, Diag.t) result option;
+          (* written by the worker before the job lands on po_done,
+             read by the loop after it is popped — the done-queue
+             mutex orders the two *)
     }
 
 (* A dispatched request.  The budget is clamped at admission and
@@ -1043,11 +1167,67 @@ let worker_loop t pool =
            whatever escapes becomes a structured error frame *)
         let resp, after =
           match job.jb_work with
-          | Wreq req -> (
+          | Wreq req | Wsession req -> (
               try
                 handle_request t ~transport:job.jb_conn.cn_transport
                   ~limits:job.jb_limits req
               with e -> (diag_response (Diag.of_exn e), `Continue))
+          | Wrecompute w ->
+              let inv = w.wr_inval in
+              let result =
+                try Session.recompute t.t_session w.wr_ctx.rz_plan inv
+                with e -> Error (Diag.of_exn e)
+              in
+              w.wr_result <- Some result;
+              (* one streamed frame per invalidated function: the
+                 routing fields name the function and why it was
+                 invalidated; the body carries its recomputed part
+                 summary (the final python needs the assembled model
+                 and rides on the terminal frame) *)
+              let tag =
+                [
+                  ("binding", string_of_int w.wr_index);
+                  ("file", inv.Session.iv_file);
+                  ("function", inv.Session.iv_func);
+                  ("reason", Session.reason_to_string inv.Session.iv_reason);
+                ]
+              in
+              let resp =
+                match result with
+                | Ok part ->
+                    ok ~fields:tag
+                      ~body:
+                        (Json.to_string
+                           (Json.Obj
+                              [
+                                ("file", Json.Str inv.Session.iv_file);
+                                ("function", Json.Str inv.Session.iv_func);
+                                ( "reason",
+                                  Json.Str
+                                    (Session.reason_to_string
+                                       inv.Session.iv_reason) );
+                                ( "source_params",
+                                  Json.Arr
+                                    (List.map
+                                       (fun s -> Json.Str s)
+                                       part.Metric_gen.fp_source_params) );
+                                ("arity", Json.Int part.Metric_gen.fp_arity);
+                                ( "class",
+                                  match part.Metric_gen.fp_class with
+                                  | None -> Json.Null
+                                  | Some c -> Json.Str c );
+                                ( "warnings",
+                                  Json.Arr
+                                    (List.map
+                                       (fun s -> Json.Str s)
+                                       part.Metric_gen.fp_warnings) );
+                              ]))
+                      ()
+                | Error d ->
+                    let base = diag_response d in
+                    { base with rs_fields = tag @ base.rs_fields }
+              in
+              (resp, `Continue)
           | Wbinding b ->
               let resp =
                 try
@@ -1338,6 +1518,145 @@ let serve t =
         sw_bindings
     end
   in
+  (* Session verbs (watch / reanalyze / forget) serialize daemon-wide:
+     one at a time, FIFO across connections, so pipelined edits always
+     observe a consistent session snapshot and two overlapping
+     reanalyzes can never interleave their commits.  Each op counts as
+     ONE pending unit on its connection (exactly like a sweep chunk);
+     the reader keeps consuming, so heartbeats stay answered while a
+     reanalyze streams.  A reanalyze's per-function recomputations run
+     concurrently on the analysis pool — only the verbs themselves are
+     serialized. *)
+  let session_q : (conn * string option * request) Queue.t =
+    Queue.create ()
+  in
+  let session_busy = ref false in
+  let reanalyze_done_response ctx (upd : Session.update) =
+    ok
+      ~fields:
+        [
+          ("reanalyze-done", "1");
+          ("path", upd.Session.up_path);
+          ("invalidated", string_of_int (List.length upd.Session.up_invalidated));
+          ("recomputed", string_of_int ctx.rz_ok);
+          ("failed", string_of_int ctx.rz_failed);
+          ("cross-files", string_of_int (List.length upd.Session.up_cross_files));
+          ("deleted", string_of_int (List.length upd.Session.up_deleted));
+          ("clean", if upd.Session.up_clean then "1" else "0");
+        ]
+      ~body:
+        (Json.to_string
+           (Json.Arr
+              (List.map
+                 (fun (p, m, py) ->
+                   Json.Obj
+                     [
+                       ("file", Json.Str p);
+                       ( "functions",
+                         Json.Int (List.length m.Model_ir.functions) );
+                       ( "python_digest",
+                         Json.Str (Digest.to_hex (Digest.string py)) );
+                       ("python", Json.Str py);
+                     ])
+                 upd.Session.up_models)))
+      ()
+  in
+  let rec pump_session () =
+    if (not !session_busy) && not (Queue.is_empty session_q) then begin
+      let conn, id, req = Queue.pop session_q in
+      session_busy := true;
+      if conn.cn_dead then begin
+        (* the submitter hung up before its turn: release the slot and
+           let the next queued op run *)
+        session_busy := false;
+        pump_session ()
+      end
+      else
+        match req with
+        | Reanalyze { rz_path; rz_source } ->
+            start_reanalyze conn id rz_path rz_source
+        | req ->
+            enqueue_job
+              {
+                jb_conn = conn;
+                jb_id = id;
+                jb_work = Wsession req;
+                jb_limits = request_limits cfg req;
+              }
+    end
+  and finish_session () =
+    session_busy := false;
+    pump_session ()
+  (* answer a session op from the loop thread itself (plan failures,
+     clean edits): settle the connection accounting that submission
+     charged, then release the session slot *)
+  and answer_session conn id resp =
+    count t resp;
+    conn.cn_pending <- conn.cn_pending - 1;
+    (match id with None -> conn.cn_serial_busy <- false | Some _ -> ());
+    if not conn.cn_dead then respond conn id resp;
+    maybe_close conn;
+    finish_session ()
+  and start_reanalyze conn id path source =
+    match if source <> "" then Ok source else read_path_file path with
+    | Error m -> answer_session conn id (error_response ~code:"io" m)
+    | Ok text -> (
+        match Session.plan t.t_session ~path text with
+        | Error d -> answer_session conn id (diag_response d)
+        | Ok plan -> (
+            match Session.plan_invalidated plan with
+            | [] ->
+                (* nothing to recompute — commit still refreshes the
+                   edited file's tables (and handles deletions) *)
+                let upd = Session.commit t.t_session plan [] in
+                let ctx =
+                  {
+                    rz_id = Option.value id ~default:"";
+                    rz_plan = plan;
+                    rz_total = 0;
+                    rz_done = 0;
+                    rz_ok = 0;
+                    rz_failed = 0;
+                    rz_results = [];
+                  }
+                in
+                answer_session conn id (reanalyze_done_response ctx upd)
+            | invals ->
+                let ctx =
+                  {
+                    rz_id = Option.value id ~default:"";
+                    rz_plan = plan;
+                    rz_total = List.length invals;
+                    rz_done = 0;
+                    rz_ok = 0;
+                    rz_failed = 0;
+                    rz_results = [];
+                  }
+                in
+                List.iteri
+                  (fun i inv ->
+                    enqueue_job
+                      {
+                        jb_conn = conn;
+                        jb_id = id;
+                        jb_work =
+                          Wrecompute
+                            {
+                              wr_ctx = ctx;
+                              wr_index = i;
+                              wr_inval = inv;
+                              wr_result = None;
+                            };
+                        jb_limits = cfg.cfg_limits;
+                      })
+                  invals))
+  in
+  let submit_session conn id req =
+    conn.cn_pending <- conn.cn_pending + 1;
+    (match id with None -> conn.cn_serial_busy <- true | Some _ -> ());
+    Queue.add (conn, id, req) session_q;
+    pump_session ()
+  in
   let process_request conn payload =
     let id = payload_id payload in
     match parse_request payload with
@@ -1362,6 +1681,15 @@ let serve t =
             respond conn id resp;
             (match after with `Stop -> stop t | `Continue -> ())
         | _, (Analyze _ | Eval _) -> submit conn id req
+        | _, (Watch _ | Forget _) | Some _, Reanalyze _ ->
+            submit_session conn id req
+        | None, Reanalyze _ ->
+            let resp =
+              error_response ~code:"bad-request"
+                "reanalyze requires an id= field (its responses stream)"
+            in
+            count t resp;
+            respond conn None resp
         | Some i, Sweep { sw_sources; sw_bindings; _ } ->
             submit_sweep conn i sw_sources sw_bindings
               (request_limits cfg req)
@@ -1574,6 +1902,44 @@ let serve t =
             | None -> conn.cn_serial_busy <- false
             | Some _ -> ());
             if not conn.cn_dead then respond conn job.jb_id resp
+        | Wsession _ ->
+            conn.cn_pending <- conn.cn_pending - 1;
+            (match job.jb_id with
+            | None -> conn.cn_serial_busy <- false
+            | Some _ -> ());
+            if not conn.cn_dead then respond conn job.jb_id resp;
+            (* the daemon-wide session slot frees only when the op's
+               single response has been produced *)
+            finish_session ()
+        | Wrecompute w ->
+            let ctx = w.wr_ctx in
+            if not conn.cn_dead then respond conn job.jb_id resp;
+            let result =
+              match w.wr_result with
+              | Some r -> r
+              | None ->
+                  Error
+                    (Diag.make Diag.Driver Diag.Internal_error
+                       "recompute finished without a result")
+            in
+            (match result with
+            | Ok _ -> ctx.rz_ok <- ctx.rz_ok + 1
+            | Error _ -> ctx.rz_failed <- ctx.rz_failed + 1);
+            ctx.rz_results <- (w.wr_inval, result) :: ctx.rz_results;
+            ctx.rz_done <- ctx.rz_done + 1;
+            if ctx.rz_done = ctx.rz_total then begin
+              (* last recomputation landed: commit (reassemble every
+                 touched model) and emit the terminal frame *)
+              let upd =
+                Session.commit t.t_session ctx.rz_plan
+                  (List.rev ctx.rz_results)
+              in
+              conn.cn_pending <- conn.cn_pending - 1;
+              let term = reanalyze_done_response ctx upd in
+              count t term;
+              if not conn.cn_dead then respond conn (Some ctx.rz_id) term;
+              finish_session ()
+            end
         | Wbinding { wb_ctx = ctx; _ } ->
             (* the sweep holds its single pending unit until the last
                binding lands; only then does the terminal frame go out

@@ -182,6 +182,23 @@ type request =
           [binding=]-tagged response frame per binding (in completion
           order) followed by a terminal [sweep-done=1] frame.  Requires
           an [id=] tag; see "The sweep verb" in [docs/PROTOCOL.md]. *)
+  | Watch of { wt_path : string; wt_source : string }
+      (** register [wt_path] with the daemon's watch-mode session and
+          analyze it cold.  An empty [wt_source] makes the daemon read
+          the file from its own filesystem (shared-filesystem
+          deployment); otherwise the body carries the text.  Response:
+          [path=], [functions=] fields and the model's JSON encoding as
+          body.  See "Watch mode" in [docs/PROTOCOL.md]. *)
+  | Reanalyze of { rz_path : string; rz_source : string }
+      (** diff the new text of a watched file against its last
+          analyzed state, re-analyze exactly the invalidated functions
+          (including cross-file dependents) on the worker pool, and
+          stream one [binding=]-tagged frame per invalidated function
+          followed by a terminal [reanalyze-done=1] frame carrying the
+          reassembled models.  Requires an [id=] tag, like {!Sweep}. *)
+  | Forget of { fg_path : string }
+      (** drop a file from the watch-mode session ([forgotten=0] when
+          it was not watched). *)
 
 val encode_request : ?id:string -> request -> string
 (** The request payload (to hand to {!write_frame}).  With [id], the

@@ -236,3 +236,93 @@ let func_bytes ~(context : context) ~salt (f : func) =
 
 let func_digest ~context ~salt (f : func) =
   Digest.to_hex (Digest.string (func_bytes ~context ~salt f))
+
+(* ---------- cross-file interface and reference sets ---------- *)
+
+let digest_of add x =
+  let b = Buffer.create 128 in
+  add_str b version;
+  add b x;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let mangled (f : func) =
+  match f.fclass with None -> f.fname | Some c -> c ^ "::" ^ f.fname
+
+(* Only the annotation structure of the body, in traversal order:
+   callers splice the callee's evaluated model, so an annotation edit
+   inside [f] must reach [f]'s cross-file callers — but a plain body
+   edit must not. *)
+let add_body_annotations b (f : func) =
+  iter_stmts (fun st -> add_list b add_annotation st.sann) f.fbody
+
+let add_class b (c : class_decl) =
+  add_str b c.cname;
+  add_list b add_param c.cfields;
+  add_list b add_signature c.cmethods
+
+let add_extern b (x : extern_decl) =
+  add_str b x.xname;
+  add_ty b x.xret;
+  add_list b add_ty x.xparams
+
+let interface_of_program (p : program) =
+  let entries = ref [] in
+  let push k v = entries := (k, v) :: !entries in
+  List.iter
+    (fun (c : class_decl) ->
+      push ("class:" ^ c.cname) (digest_of add_class c);
+      List.iter
+        (fun (m : func) ->
+          push ("ann:" ^ mangled m) (digest_of add_body_annotations m))
+        c.cmethods)
+    p.classes;
+  List.iter
+    (fun (f : func) ->
+      push ("sig:" ^ f.fname) (digest_of add_signature f);
+      push ("ann:" ^ f.fname) (digest_of add_body_annotations f))
+    p.funcs;
+  List.iter
+    (fun (x : extern_decl) -> push ("extern:" ^ x.xname) (digest_of add_extern x))
+    p.externs;
+  List.rev !entries
+
+module Sset = Set.Make (String)
+
+let func_refs (p : program) (f : func) =
+  let refs = ref Sset.empty in
+  let add k = refs := Sset.add k !refs in
+  let rec ty_refs = function
+    | Tint | Tdouble | Tvoid -> ()
+    | Tarr t -> ty_refs t
+    | Tclass c -> add ("class:" ^ c)
+  in
+  ty_refs f.fret;
+  List.iter (fun (pm : param) -> ty_refs pm.pty) f.fparams;
+  (match f.fclass with Some c -> add ("class:" ^ c) | None -> ());
+  let on_expr (e : expr) =
+    (match e.ety with Some t -> ty_refs t | None -> ());
+    match e.e with
+    | Call (name, _) ->
+        if Option.is_some (find_extern p name) then add ("extern:" ^ name)
+        else begin
+          add ("sig:" ^ name);
+          add ("ann:" ^ name)
+        end
+    | Method_call (o, m, _) -> (
+        match o.ety with
+        | Some (Tclass c) ->
+            add ("class:" ^ c);
+            add ("ann:" ^ c ^ "::" ^ m)
+        | _ -> ())
+    | Cast (t, _) -> ty_refs t
+    | Int_lit _ | Float_lit _ | Var _ | Index _ | Field _ | Binop _ | Unop _ ->
+        ()
+  in
+  iter_stmts
+    (fun st ->
+      (match st.s with
+      | Decl (t, _, _) | Arr_decl (t, _, _) -> ty_refs t
+      | _ -> ());
+      iter_exprs_of_stmt on_expr st)
+    f.fbody;
+  Sset.elements !refs

@@ -30,3 +30,34 @@ val func_digest : context:context -> salt:string -> Ast.func -> string
 (** Hex digest of one function under the given closure.  [salt] lets
     callers fold in external invalidators (codegen level, consumer
     cache version). *)
+
+(** {2 Cross-file interface and reference sets}
+
+    Watch-mode sessions track dependencies {e between} files by name:
+    every file is a self-contained program, but real projects repeat
+    shared declarations textually (the C-header discipline), so when
+    file [B]'s exported declaration of name [g] changes, any function
+    in another file that references [g] conservatively re-analyzes.
+    The exported interface is a map from keys — ["sig:NAME"],
+    ["class:NAME"], ["extern:NAME"], ["ann:NAME"] (the annotations
+    inside [NAME]'s body, which feed callers' evaluated models) — to
+    digests of the corresponding declaration serialization, and each
+    function's reference set lists the keys its analysis closure can
+    observe. *)
+
+val interface_of_program : Ast.program -> (string * string) list
+(** Exported interface of a program: [(key, digest)] pairs for every
+    function signature ([sig:f]), per-function annotation structure
+    ([ann:f], methods mangled [ann:C::m]), class declaration
+    ([class:C]) and extern ([extern:x]), in declaration order.  A
+    key's digest changes exactly when re-analyzing a referencing
+    function {e in another file} could observe the difference (plus
+    the deliberate over-approximation of [ann:*], which changes with
+    any annotation edit in the body). *)
+
+val func_refs : Ast.program -> Ast.func -> string list
+(** The interface keys function [f] references: ["sig:g"] and
+    ["ann:g"] for every called program function [g], ["extern:x"] for
+    called externs, ["class:C"] (and ["ann:C::m"] at method call
+    sites) for every class named in its types.  Sorted, duplicate
+    free. *)

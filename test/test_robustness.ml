@@ -53,7 +53,7 @@ let check_diag name (diag : Diag.t) (phase, kind, (line, col), sub) =
   check string (name ^ " phase") (phase_name phase)
     (phase_name diag.d_phase);
   check string (name ^ " kind") (kind_name kind) (kind_name diag.d_kind);
-  (match (line, diag.d_pos) with
+  (match (line, Diag.primary_pos diag) with
   | 0, _ -> () (* position not locked for this case *)
   | _, None -> failf "%s: expected position %d:%d, diag has none" name line col
   | _, Some p ->

@@ -28,9 +28,9 @@
    - cache merge vs a live batch writer racing on one DST (real
      cross-process lock interplay), merged result fully warm and
      byte-identical;
-   - CLI: [eval-sweep --pipeline] warns (deprecated, points at
-     [--chunk]); [supervise] refuses an unprobeable [tcp:...:0]
-     endpoint. *)
+   - CLI: [eval-sweep --pipeline] (deprecated through PR 9, removed
+     in PR 10) is rejected as an unknown option; [supervise] refuses
+     an unprobeable [tcp:...:0] endpoint. *)
 
 open Mira_core
 
@@ -687,8 +687,10 @@ let merge_race_tests =
 let cli_tests =
   let open Alcotest in
   [
-    test_case "eval-sweep --pipeline warns: deprecated, use --chunk" `Quick
+    test_case "eval-sweep --pipeline is gone: rejected as unknown" `Quick
       (fun () ->
+        (* deprecated-with-warning through PR 9, removed in PR 10: the
+           flag must now fail loudly instead of silently doing nothing *)
         let dir = temp_name "mira-dep" in
         Sys.mkdir dir 0o755;
         let src = Filename.concat dir "saxpy.mc" in
@@ -705,11 +707,13 @@ let cli_tests =
             |]
             out err
         in
-        ignore (wait_exit pid);
+        (match wait_exit pid with
+        | Unix.WEXITED c when c <> 0 -> ()
+        | Unix.WEXITED 0 -> fail "expected a usage error exit, got 0"
+        | _ -> fail "eval-sweep died on a signal");
         let err_text = read_file err in
-        check bool "warns on stderr" true
-          (contains err_text "--pipeline" && contains err_text "deprecated");
-        check bool "points at --chunk" true (contains err_text "--chunk");
+        check bool "names the unknown option" true
+          (contains err_text "pipeline");
         rm_rf dir);
     test_case "supervise refuses an unprobeable tcp:...:0 endpoint" `Quick
       (fun () ->
